@@ -1,0 +1,10 @@
+//! Criterion bench for E10: the boundedness prober on both protocols.
+use criterion::{criterion_group, criterion_main, Criterion};
+use stp_bench::e10;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("e10_probe_n8", |b| b.iter(|| e10::run(&[8], 6).len()));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

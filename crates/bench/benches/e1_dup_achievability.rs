@@ -1,0 +1,33 @@
+//! Criterion bench for E1: full tight-dup sweeps at increasing alphabet
+//! sizes under a duplication storm.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stp_channel::{DupChannel, DupStormScheduler};
+use stp_protocols::{ResendPolicy, TightFamily};
+use stp_sim::{sweep_family, FamilyRunConfig};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_dup_achievability");
+    for m in [2u16, 3, 4] {
+        g.bench_with_input(BenchmarkId::new("sweep_alpha_m", m), &m, |b, &m| {
+            let family = TightFamily::new(m, ResendPolicy::Once);
+            let cfg = FamilyRunConfig {
+                max_steps: 4_000,
+                seeds: vec![0],
+            };
+            b.iter(|| {
+                let out = sweep_family(
+                    &family,
+                    &cfg,
+                    || Box::new(DupChannel::new()),
+                    |seed| Box::new(DupStormScheduler::new(seed, 0.9)),
+                );
+                assert!(out.all_complete());
+                out.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

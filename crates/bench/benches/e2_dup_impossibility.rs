@@ -1,0 +1,26 @@
+//! Criterion bench for E2: the decisive-tuple refuter and the exhaustive
+//! prefix-closed enumeration.
+use criterion::{criterion_group, criterion_main, Criterion};
+use stp_channel::DupChannel;
+use stp_protocols::NaiveFamily;
+use stp_verify::{exhaustive_prefix_closed_check, find_indistinguishable_conflict};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("e2_refute_naive_m2", |b| {
+        let family = NaiveFamily::new(2, 2);
+        b.iter(|| {
+            find_indistinguishable_conflict(&family, || Box::new(DupChannel::new()), 6, 200)
+                .expect("certificate")
+        })
+    });
+    c.bench_function("e2_exhaustive_embedding_m2", |b| {
+        b.iter(|| {
+            let r = exhaustive_prefix_closed_check(2, 3, 3);
+            assert_eq!(r.embeddable, 0);
+            r.families_checked
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion bench for E3: tight-del sweeps and the fault-recovery probe.
+use criterion::{criterion_group, criterion_main, Criterion};
+use stp_bench::e3;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("e3_del_sweep_m3", |b| {
+        b.iter(|| {
+            let rows = e3::run_completeness(3, 1);
+            assert!(rows.iter().all(|r| r.complete == r.runs));
+            rows.len()
+        })
+    });
+    c.bench_function("e3_recovery_profile_m8", |b| {
+        b.iter(|| e3::run_recovery(8).len())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for E4: bounded-confusion certificate search across
+//! budgets.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stp_channel::DelChannel;
+use stp_protocols::NaiveFamily;
+use stp_verify::refute::find_conflict_with_budget;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_del_impossibility");
+    for budget in [2u64, 4, 6] {
+        g.bench_with_input(BenchmarkId::new("budget", budget), &budget, |b, &budget| {
+            let family = NaiveFamily::resending(1, 2);
+            b.iter(|| {
+                find_conflict_with_budget(
+                    &family,
+                    || Box::new(DelChannel::new()),
+                    6 + 2 * budget,
+                    0,
+                    budget,
+                )
+                .expect("certificate")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

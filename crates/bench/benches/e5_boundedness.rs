@@ -1,0 +1,21 @@
+//! Criterion bench for E5: single-fault recovery measurement, hybrid vs
+//! tight-del, across input lengths.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stp_bench::e5;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_boundedness");
+    for n in [8usize, 16, 32] {
+        g.bench_with_input(BenchmarkId::new("series_point", n), &n, |b, &n| {
+            b.iter(|| {
+                let rows = e5::run(&[n]);
+                assert_eq!(rows.len(), 2);
+                rows[0].recovery_steps + rows[1].recovery_steps
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench for E6: alpha arithmetic, ranking and enumeration.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stp_core::alpha::{alpha, rank, unrank, RepetitionFreeSeqs};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("e6_alpha_closed_form_m33", |b| {
+        b.iter(|| alpha(33).expect("fits"))
+    });
+    let mut g = c.benchmark_group("e6_enumeration");
+    for m in [4u16, 5, 6] {
+        g.bench_with_input(BenchmarkId::new("enumerate", m), &m, |b, &m| {
+            b.iter(|| RepetitionFreeSeqs::new(m).count())
+        });
+    }
+    g.finish();
+    c.bench_function("e6_rank_unrank_round_trip_m8", |b| {
+        let total = alpha(8).unwrap();
+        b.iter(|| {
+            let mut acc = 0u128;
+            for r in (0..total).step_by(997) {
+                let s = unrank(8, r).unwrap();
+                acc += rank(8, &s).unwrap();
+            }
+            acc
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

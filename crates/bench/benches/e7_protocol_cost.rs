@@ -1,0 +1,27 @@
+//! Criterion bench for E7: the full protocol-cost grid plus per-protocol
+//! end-to-end transfers.
+use criterion::{criterion_group, criterion_main, Criterion};
+use stp_bench::e7;
+use stp_core::data::DataSeq;
+use stp_sim::World;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("e7_full_grid", |b| b.iter(|| e7::run(42).len()));
+    c.bench_function("e7_tight_dup_transfer_n8", |b| {
+        let input: DataSeq = DataSeq::from_indices(0..8);
+        b.iter(|| {
+            let mut w = World::tight_dup(input.clone(), 8);
+            w.run_to_completion(10_000).expect("completes").steps()
+        })
+    });
+    c.bench_function("e7_tight_del_transfer_n8", |b| {
+        let input: DataSeq = DataSeq::from_indices(0..8);
+        b.iter(|| {
+            let mut w = World::tight_del(input.clone(), 8);
+            w.run_to_completion(10_000).expect("completes").steps()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion bench for E8: exhaustive universe construction and knowledge
+//! evaluation.
+use criterion::{criterion_group, criterion_main, Criterion};
+use stp_bench::e8;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("e8_exact_universe_m2_h6", |b| {
+        b.iter(|| e8::exact_universe(2, 6).len())
+    });
+    c.bench_function("e8_full_analysis_m2_h6", |b| {
+        b.iter(|| {
+            let (rows, classes) = e8::run(2, 6);
+            rows.len() + classes.classes_per_step.len()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Criterion bench for E9: codebook generation and a full probabilistic
+//! sweep at one alphabet size.
+use criterion::{criterion_group, criterion_main, Criterion};
+use stp_bench::e9;
+use stp_core::sequence::SequenceFamily;
+use stp_protocols::probabilistic::random_codebook;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("e9_codebook_draw_m8_n40", |b| {
+        let family = SequenceFamily::all_up_to(3, 3);
+        b.iter(|| random_codebook(&family, 8, 7).len())
+    });
+    c.bench_function("e9_sweep_m5", |b| {
+        b.iter(|| e9::run(2, 2, &[5], 2).len())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

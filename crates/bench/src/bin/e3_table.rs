@@ -1,0 +1,10 @@
+//! Prints the E3 tables (Theorem 2 achievability + boundedness profile).
+fn main() {
+    let c = stp_bench::e3::run_completeness(4, 3);
+    println!("E3a — tight-del completeness under deletion-heavy adversaries");
+    println!("{}", stp_bench::e3::render_completeness(&c));
+    let r = stp_bench::e3::run_recovery(8);
+    println!("E3b — recovery after a one-shot fault (bounded: flat in i)");
+    println!("{}", stp_bench::e3::render_recovery(&r));
+    println!("{}", serde_json::to_string_pretty(&r).expect("serializable"));
+}

@@ -1,0 +1,7 @@
+//! Prints the E4 table (Theorem 2 impossibility).
+fn main() {
+    let rows = stp_bench::e4::run(&[2, 4, 6, 8]);
+    println!("E4 — bounded-confusion certificates over del channels (Theorem 2, impossibility)");
+    println!("{}", stp_bench::e4::render(&rows));
+    println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+}

@@ -1,0 +1,7 @@
+//! Prints the E5 series (Section 5: weakly bounded != bounded).
+fn main() {
+    let rows = stp_bench::e5::run(&[4, 8, 16, 32, 64]);
+    println!("E5 — single-fault recovery latency vs |X| (Section 5)");
+    println!("{}", stp_bench::e5::render(&rows));
+    println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+}

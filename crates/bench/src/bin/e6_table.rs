@@ -1,0 +1,6 @@
+//! Prints the E6 alpha table.
+fn main() {
+    let rows = stp_bench::e6::run(25, 7);
+    println!("E6 — the alpha function: values, enumeration cross-check, convergence to e");
+    println!("{}", stp_bench::e6::render(&rows));
+}

@@ -1,0 +1,7 @@
+//! Prints the E7 protocol-cost grid.
+fn main() {
+    let rows = stp_bench::e7::run(42);
+    println!("E7 — protocol cost comparison (messages and steps per delivered item)");
+    println!("{}", stp_bench::e7::render(&rows));
+    println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+}

@@ -1,0 +1,7 @@
+//! Prints the E9 table (probabilistic X-STP, §6 future work).
+fn main() {
+    let rows = stp_bench::e9::run(2, 3, &[4, 5, 6, 7], 8);
+    println!("E9 — probabilistic codebooks beyond alpha(m): failure probability vs code space");
+    println!("{}", stp_bench::e9::render(&rows));
+    println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+}

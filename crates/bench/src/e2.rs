@@ -1,0 +1,167 @@
+//! **E2 — Theorem 1 impossibility.** `|X| > α(m)` is unsolvable over
+//! duplicating reordering channels. Three independent attacks:
+//!
+//! 1. **Counting** — any solution induces an injective map into the
+//!    repetition-free message sequences, of which there are exactly `α(m)`.
+//! 2. **Exhaustive embedding** — every prefix-closed family of size
+//!    `α(m)+1` on small domains fails the tree-embedding condition.
+//! 3. **Decisive tuples** — the refuter produces a concrete certificate
+//!    (two receiver-indistinguishable runs with different inputs) against
+//!    the over-capacity `NaiveFamily`.
+
+use serde::{Deserialize, Serialize};
+use stp_channel::DupChannel;
+use stp_protocols::{NaiveFamily, ProtocolFamily, ResendPolicy, TightFamily};
+use stp_verify::refute::{find_indistinguishable_conflict, ConflictKind};
+use stp_verify::{encoding_capacity, exhaustive_prefix_closed_check, search_two_state_receivers};
+
+/// One row of the E2 table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct E2Row {
+    /// Alphabet size.
+    pub m: u16,
+    /// The capacity `α(m)`.
+    pub capacity: u128,
+    /// Size of the over-capacity family attacked.
+    pub claimed: usize,
+    /// Exhaustive check: families of size `α(m)+1` enumerated (0 = skipped
+    /// for this `m`).
+    pub exhaustive_families: usize,
+    /// Exhaustive check: how many of them embedded (must be 0).
+    pub exhaustive_embeddable: usize,
+    /// Description of the refuter's certificate against `NaiveFamily`.
+    pub certificate: String,
+    /// Control: whether the tight family at capacity was (wrongly) refuted.
+    pub tight_refuted: bool,
+    /// Protocol-space search (`m = 1` only): two-state receivers
+    /// enumerated, all of which must be refuted.
+    pub protospace_machines: u32,
+    /// …of which refuted (must equal `protospace_machines`).
+    pub protospace_refuted: u32,
+}
+
+/// Runs E2 for `m = 1..=max_m` (exhaustive enumeration only for `m ≤ 2`).
+pub fn run(max_m: u16) -> Vec<E2Row> {
+    let mut rows = Vec::new();
+    for m in 1..=max_m {
+        let naive = NaiveFamily::minimal_overcapacity(m, ResendPolicy::Once);
+        let claimed = naive.claimed_family().len();
+        let cert = find_indistinguishable_conflict(
+            &naive,
+            || Box::new(DupChannel::new()),
+            6,
+            200,
+        );
+        let certificate = match cert {
+            Some(c) => match c.kind {
+                ConflictKind::SafetyViolation { at_step } => {
+                    format!("safety violation at step {at_step} ({} vs {})", c.x1, c.x2)
+                }
+                ConflictKind::LivenessCycle { cycle_len, .. } => format!(
+                    "fair liveness cycle (len {cycle_len}) on {} vs {}",
+                    c.x1, c.x2
+                ),
+                ConflictKind::BoundedConfusion { budget } => {
+                    format!("bounded confusion (budget {budget})")
+                }
+            },
+            None => "NONE (unexpected!)".to_string(),
+        };
+        let (exh_fams, exh_emb) = if m <= 2 {
+            let r = exhaustive_prefix_closed_check(m, m + 1, (m + 1) as usize);
+            (r.families_checked, r.embeddable)
+        } else {
+            (0, 0)
+        };
+        let (ps_machines, ps_refuted) = if m == 1 {
+            let r = search_two_state_receivers(5);
+            (
+                r.machines,
+                r.safety_refuted + r.liveness_long_refuted + r.liveness_short_refuted,
+            )
+        } else {
+            (0, 0)
+        };
+        let tight = TightFamily::new(m, ResendPolicy::Once);
+        let tight_refuted = find_indistinguishable_conflict(
+            &tight,
+            || Box::new(DupChannel::new()),
+            4,
+            100,
+        )
+        .is_some();
+        rows.push(E2Row {
+            m,
+            capacity: encoding_capacity(m as u32).expect("small m"),
+            claimed,
+            exhaustive_families: exh_fams,
+            exhaustive_embeddable: exh_emb,
+            certificate,
+            tight_refuted,
+            protospace_machines: ps_machines,
+            protospace_refuted: ps_refuted,
+        });
+    }
+    rows
+}
+
+/// Renders the table.
+pub fn render(rows: &[E2Row]) -> String {
+    crate::table::render(
+        &[
+            "m",
+            "alpha(m)",
+            "claimed |X|",
+            "exh. fams",
+            "embeddable",
+            "certificate",
+            "tight refuted?",
+            "2-state receivers",
+            "refuted",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.m.to_string(),
+                    r.capacity.to_string(),
+                    r.claimed.to_string(),
+                    r.exhaustive_families.to_string(),
+                    r.exhaustive_embeddable.to_string(),
+                    r.certificate.clone(),
+                    r.tight_refuted.to_string(),
+                    r.protospace_machines.to_string(),
+                    r.protospace_refuted.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2_refutes_overcapacity_and_exonerates_tight() {
+        let rows = run(2);
+        for r in &rows {
+            assert!(r.claimed as u128 > r.capacity, "family must be over capacity");
+            assert!(!r.certificate.contains("NONE"), "m={}: {}", r.m, r.certificate);
+            assert!(!r.tight_refuted, "m={}", r.m);
+            assert_eq!(r.exhaustive_embeddable, 0);
+            assert!(r.exhaustive_families > 0);
+            if r.m == 1 {
+                assert_eq!(r.protospace_machines, 262_144);
+                assert_eq!(r.protospace_refuted, r.protospace_machines);
+            }
+        }
+    }
+
+    #[test]
+    fn e2_table_renders() {
+        let rows = run(1);
+        let t = render(&rows);
+        assert!(t.contains("certificate"));
+    }
+}

@@ -1,0 +1,106 @@
+//! **E4 — Theorem 2 impossibility.** No *bounded* protocol solves
+//! `X`-STP(del) for `|X| > α(m)`: the refuter produces bounded-confusion
+//! certificates with escalating step budgets (the executable `δ_ℓ`
+//! escalation of Lemma 4), while the tight family at capacity survives
+//! every budget.
+
+use serde::{Deserialize, Serialize};
+use stp_channel::DelChannel;
+use stp_protocols::{NaiveFamily, ProtocolFamily, ResendPolicy, TightFamily};
+use stp_verify::refute::find_conflict_with_budget;
+
+/// One row of the E4 table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct E4Row {
+    /// Alphabet size.
+    pub m: u16,
+    /// Over-capacity family size.
+    pub claimed: usize,
+    /// The per-item step budget defeated.
+    pub budget: u64,
+    /// Whether a certificate was found (must be true for the naive family).
+    pub refuted: bool,
+    /// The certificate's stockpile (≥ budget when found).
+    pub stockpile: u64,
+    /// Control: whether the tight family at capacity was (wrongly) refuted
+    /// at this budget.
+    pub tight_refuted: bool,
+}
+
+/// Runs E4 for the given budgets, at `m = 1` and `m = 2`.
+pub fn run(budgets: &[u64]) -> Vec<E4Row> {
+    let mut rows = Vec::new();
+    for m in 1..=2u16 {
+        let naive = NaiveFamily::resending(m, 2);
+        let claimed = naive.claimed_family().len();
+        for &budget in budgets {
+            let horizon = 6 + 2 * budget;
+            let cert = find_conflict_with_budget(
+                &naive,
+                || Box::new(DelChannel::new()),
+                horizon,
+                0,
+                budget,
+            );
+            let tight = TightFamily::new(m, ResendPolicy::EveryTick);
+            let tight_refuted = find_conflict_with_budget(
+                &tight,
+                || Box::new(DelChannel::new()),
+                horizon.min(8),
+                0,
+                budget,
+            )
+            .is_some();
+            rows.push(E4Row {
+                m,
+                claimed,
+                budget,
+                refuted: cert.is_some(),
+                stockpile: cert.map(|c| c.stockpile).unwrap_or(0),
+                tight_refuted,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the table.
+pub fn render(rows: &[E4Row]) -> String {
+    crate::table::render(
+        &["m", "claimed |X|", "budget f(i)", "refuted", "stockpile", "tight refuted?"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.m.to_string(),
+                    r.claimed.to_string(),
+                    r.budget.to_string(),
+                    r.refuted.to_string(),
+                    r.stockpile.to_string(),
+                    r.tight_refuted.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e4_certificates_escalate() {
+        let rows = run(&[2, 4]);
+        for r in &rows {
+            assert!(r.refuted, "m={} budget={}", r.m, r.budget);
+            assert!(r.stockpile >= r.budget);
+            assert!(!r.tight_refuted, "m={} budget={}", r.m, r.budget);
+        }
+    }
+
+    #[test]
+    fn e4_table_renders() {
+        let t = render(&run(&[2]));
+        assert!(t.contains("budget"));
+    }
+}

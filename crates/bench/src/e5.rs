@@ -1,0 +1,152 @@
+//! **E5 — Section 5: weak boundedness is not boundedness.** A single
+//! fault is injected right after the first item is learnt; the time until
+//! the receiver learns the *next* item is measured as the input length
+//! grows. The hybrid (ABP + reverse-order recovery) needs time
+//! proportional to the whole remaining sequence — its recovery latency
+//! grows linearly with `|X|` — while the bounded tight-del protocol
+//! recovers in constant time.
+
+use serde::{Deserialize, Serialize};
+use stp_channel::{DelChannel, EagerScheduler, TimedChannel};
+use stp_core::data::DataSeq;
+use stp_core::event::Step;
+use stp_protocols::{
+    HybridReceiver, HybridSender, ResendPolicy, TightReceiver, TightSender,
+};
+use stp_sim::{FaultInjector, World};
+
+/// One row of the E5 series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct E5Row {
+    /// Protocol label.
+    pub protocol: String,
+    /// Input length `|X|`.
+    pub n: usize,
+    /// Step at which the fault struck.
+    pub fault_at: Step,
+    /// Steps from the fault until item 2 was written (learning `t_2`).
+    pub recovery_steps: Step,
+    /// Steps from the fault until the whole input was delivered.
+    pub completion_steps: Step,
+}
+
+const DEADLINE: u32 = 3;
+
+fn hybrid_world(input: DataSeq, fault_at: Option<Step>) -> World {
+    let sched: Box<dyn stp_channel::Scheduler> = match fault_at {
+        Some(at) => Box::new(FaultInjector::new(Box::new(EagerScheduler::new()), at, 1)),
+        None => Box::new(EagerScheduler::new()),
+    };
+    World::new(
+        input.clone(),
+        Box::new(HybridSender::new(input, 2, DEADLINE)),
+        Box::new(HybridReceiver::new(2)),
+        Box::new(TimedChannel::new(DEADLINE)),
+        sched,
+    )
+}
+
+fn tight_world(input: DataSeq, fault_at: Option<Step>) -> World {
+    // The tight protocol needs repetition-free inputs; E5 uses indices
+    // 0..n as the data sequence, so the domain is n.
+    let d = input.len() as u16;
+    let sched: Box<dyn stp_channel::Scheduler> = match fault_at {
+        Some(at) => Box::new(FaultInjector::new(Box::new(EagerScheduler::new()), at, 1)),
+        None => Box::new(EagerScheduler::new()),
+    };
+    World::new(
+        input.clone(),
+        Box::new(TightSender::new(input, d, ResendPolicy::EveryTick)),
+        Box::new(TightReceiver::new(d, ResendPolicy::EveryTick)),
+        Box::new(DelChannel::new()),
+        sched,
+    )
+}
+
+fn measure(
+    label: &str,
+    n: usize,
+    mk: impl Fn(DataSeq, Option<Step>) -> World,
+    input: DataSeq,
+) -> E5Row {
+    // Reference run to locate the first write.
+    let mut base = mk(input.clone(), None);
+    base.run_until(200_000, World::is_complete);
+    let first_write = base.trace().write_steps()[0];
+    let fault_at = first_write + 1;
+    let mut w = mk(input, Some(fault_at));
+    w.run_until(400_000, World::is_complete);
+    let writes = w.trace().write_steps();
+    assert!(
+        w.is_complete(),
+        "{label} n={n}: run must complete after the fault"
+    );
+    E5Row {
+        protocol: label.to_string(),
+        n,
+        fault_at,
+        recovery_steps: writes[1].saturating_sub(fault_at),
+        completion_steps: writes.last().copied().unwrap_or(fault_at) - fault_at,
+    }
+}
+
+/// Runs the series for the given input lengths.
+pub fn run(sizes: &[usize]) -> Vec<E5Row> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let hybrid_input: DataSeq = DataSeq::from_indices((0..n).map(|i| (i % 2) as u16));
+        rows.push(measure("hybrid-weakly-bounded", n, hybrid_world, hybrid_input));
+        let tight_input: DataSeq = DataSeq::from_indices(0..n as u16);
+        rows.push(measure("tight-del (bounded)", n, tight_world, tight_input));
+    }
+    rows
+}
+
+/// Renders the series table.
+pub fn render(rows: &[E5Row]) -> String {
+    crate::table::render(
+        &["protocol", "|X|", "fault at", "steps to next item", "steps to completion"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.protocol.clone(),
+                    r.n.to_string(),
+                    r.fault_at.to_string(),
+                    r.recovery_steps.to_string(),
+                    r.completion_steps.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e5_hybrid_recovery_grows_while_tight_stays_flat() {
+        let rows = run(&[4, 8, 16]);
+        let hybrid: Vec<&E5Row> = rows
+            .iter()
+            .filter(|r| r.protocol.starts_with("hybrid"))
+            .collect();
+        let tight: Vec<&E5Row> = rows
+            .iter()
+            .filter(|r| r.protocol.starts_with("tight"))
+            .collect();
+        // The hybrid's time-to-next-item grows with |X| (strictly, here).
+        assert!(
+            hybrid[0].recovery_steps < hybrid[1].recovery_steps
+                && hybrid[1].recovery_steps < hybrid[2].recovery_steps,
+            "hybrid: {hybrid:?}"
+        );
+        // The tight protocol's recovery is flat.
+        let t_max = tight.iter().map(|r| r.recovery_steps).max().unwrap();
+        let t_min = tight.iter().map(|r| r.recovery_steps).min().unwrap();
+        assert!(t_max - t_min <= 4, "tight should be flat: {tight:?}");
+        // And the crossover is stark: at n=16 the hybrid is much slower.
+        assert!(hybrid[2].recovery_steps > 4 * t_max.max(1));
+    }
+}

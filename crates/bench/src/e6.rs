@@ -1,0 +1,85 @@
+//! **E6 — the `α` function.** The bound itself: exact values, the
+//! recurrence `α(m) = m·α(m-1) + 1`, the enumeration cross-check (the
+//! number of repetition-free sequences really is `α(m)`), and the
+//! convergence `α(m)/m! → e`.
+
+use serde::{Deserialize, Serialize};
+use stp_core::alpha::{alpha, alpha_over_factorial, RepetitionFreeSeqs};
+
+/// One row of the α table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct E6Row {
+    /// Alphabet size.
+    pub m: u32,
+    /// `α(m)`.
+    pub alpha: u128,
+    /// `α(m)/m!`.
+    pub ratio: f64,
+    /// `e − α(m)/m!` (positive, shrinking).
+    pub gap_to_e: f64,
+    /// Enumerated repetition-free sequence count (`None` above the
+    /// enumeration cutoff).
+    pub enumerated: Option<u128>,
+}
+
+/// Runs E6 for `m = 0..=max_m`, enumerating explicitly up to
+/// `enumerate_up_to`.
+pub fn run(max_m: u32, enumerate_up_to: u32) -> Vec<E6Row> {
+    (0..=max_m)
+        .map(|m| {
+            let a = alpha(m).expect("within u128 range");
+            let ratio = alpha_over_factorial(m).expect("within range");
+            let enumerated = (m <= enumerate_up_to)
+                .then(|| RepetitionFreeSeqs::new(m as u16).count() as u128);
+            E6Row {
+                m,
+                alpha: a,
+                ratio,
+                gap_to_e: std::f64::consts::E - ratio,
+                enumerated,
+            }
+        })
+        .collect()
+}
+
+/// Renders the table.
+pub fn render(rows: &[E6Row]) -> String {
+    crate::table::render(
+        &["m", "alpha(m)", "alpha/m!", "e - ratio", "enumerated"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.m.to_string(),
+                    r.alpha.to_string(),
+                    format!("{:.12}", r.ratio),
+                    format!("{:.3e}", r.gap_to_e),
+                    r.enumerated
+                        .map(|e| e.to_string())
+                        .unwrap_or_else(|| "-".to_string()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e6_enumeration_matches_closed_form() {
+        for r in run(7, 7) {
+            assert_eq!(r.enumerated, Some(r.alpha), "m={}", r.m);
+        }
+    }
+
+    #[test]
+    fn e6_gap_to_e_shrinks_monotonically() {
+        let rows = run(20, 0);
+        for w in rows.windows(2).skip(1) {
+            assert!(w[1].gap_to_e <= w[0].gap_to_e, "m={}", w[1].m);
+            assert!(w[1].gap_to_e >= 0.0);
+        }
+    }
+}

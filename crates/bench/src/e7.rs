@@ -1,0 +1,258 @@
+//! **E7 — protocol cost comparison.** The early protocol literature the
+//! paper builds on (\[BSW69\], \[Ste76\], \[AUY79\]) optimized message counts;
+//! this experiment reports messages-per-delivered-item and
+//! steps-per-item for every protocol on its home channel, across fault
+//! intensities — including the dishonest cell: ABP placed on a
+//! *reordering* channel, where its alternating bit is no longer sound.
+
+use serde::{Deserialize, Serialize};
+use stp_channel::{
+    Channel, DelChannel, DropHeavyScheduler, DupChannel, DupStormScheduler, EagerScheduler,
+    LossyFifoChannel, Scheduler, TimedChannel,
+};
+use stp_core::data::DataSeq;
+use stp_core::require::check_safety;
+use stp_protocols::{
+    AbpReceiver, AbpSender, GoBackNReceiver, GoBackNSender, HybridReceiver, HybridSender,
+    ResendPolicy, StenningReceiver, StenningSender, TightReceiver, TightSender,
+};
+use stp_sim::{RunStats, World};
+
+/// One row of the cost table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct E7Row {
+    /// Protocol label.
+    pub protocol: String,
+    /// Channel label.
+    pub channel: String,
+    /// Fault intensity label.
+    pub faults: String,
+    /// Whether the run completed safely.
+    pub complete: bool,
+    /// Whether safety held (liveness may still fail).
+    pub safe: bool,
+    /// Messages per delivered item.
+    pub sends_per_item: f64,
+    /// Steps per delivered item.
+    pub steps_per_item: f64,
+}
+
+const N: usize = 8;
+
+fn run_one(
+    protocol: &str,
+    channel_label: &str,
+    faults: &str,
+    input: DataSeq,
+    sender: Box<dyn stp_core::proto::Sender>,
+    receiver: Box<dyn stp_core::proto::Receiver>,
+    channel: Box<dyn Channel>,
+    scheduler: Box<dyn Scheduler>,
+) -> E7Row {
+    let mut w = World::new(input, sender, receiver, channel, scheduler);
+    w.run_until(200_000, World::is_complete);
+    let stats = RunStats::of(w.trace());
+    E7Row {
+        protocol: protocol.to_string(),
+        channel: channel_label.to_string(),
+        faults: faults.to_string(),
+        complete: stats.is_complete(),
+        safe: check_safety(w.trace()).is_ok(),
+        sends_per_item: stats.sends_per_item().unwrap_or(f64::NAN),
+        steps_per_item: if stats.written > 0 {
+            stats.steps as f64 / stats.written as f64
+        } else {
+            f64::NAN
+        },
+    }
+}
+
+/// Runs the cost grid with one seed.
+pub fn run(seed: u64) -> Vec<E7Row> {
+    let perm: DataSeq = DataSeq::from_indices(0..N as u16);
+    let bits: DataSeq = DataSeq::from_indices((0..N).map(|i| (i % 2) as u16));
+    let mut rows = Vec::new();
+
+    // Tight protocol on its home channels.
+    rows.push(run_one(
+        "tight-dup",
+        "reorder+dup",
+        "storm 0.9",
+        perm.clone(),
+        Box::new(TightSender::new(perm.clone(), N as u16, ResendPolicy::Once)),
+        Box::new(TightReceiver::new(N as u16, ResendPolicy::Once)),
+        Box::new(DupChannel::new()),
+        Box::new(DupStormScheduler::new(seed, 0.9)),
+    ));
+    for (label, p_drop, p_del) in [
+        ("drop 0.1", 0.1, 0.8),
+        ("drop 0.3", 0.3, 0.6),
+        ("drop 0.5", 0.5, 0.5),
+    ] {
+        rows.push(run_one(
+            "tight-del",
+            "reorder+del",
+            label,
+            perm.clone(),
+            Box::new(TightSender::new(
+                perm.clone(),
+                N as u16,
+                ResendPolicy::EveryTick,
+            )),
+            Box::new(TightReceiver::new(N as u16, ResendPolicy::EveryTick)),
+            Box::new(DelChannel::new()),
+            Box::new(DropHeavyScheduler::new(seed, p_drop, p_del)),
+        ));
+    }
+
+    // ABP and Stenning on the lossy FIFO they were designed for.
+    for (label, p_drop, p_del) in [
+        ("drop 0.0", 0.0, 0.9),
+        ("drop 0.2", 0.2, 0.8),
+        ("drop 0.4", 0.4, 0.6),
+    ] {
+        rows.push(run_one(
+            "abp",
+            "lossy-fifo",
+            label,
+            bits.clone(),
+            Box::new(AbpSender::new(bits.clone(), 2)),
+            Box::new(AbpReceiver::new(2)),
+            Box::new(LossyFifoChannel::new()),
+            Box::new(DropHeavyScheduler::new(seed, p_drop, p_del)),
+        ));
+        rows.push(run_one(
+            "stenning-4",
+            "lossy-fifo",
+            label,
+            bits.clone(),
+            Box::new(StenningSender::new(bits.clone(), 2, 4)),
+            Box::new(StenningReceiver::new(2, 4)),
+            Box::new(LossyFifoChannel::new()),
+            Box::new(DropHeavyScheduler::new(seed, p_drop, p_del)),
+        ));
+        rows.push(run_one(
+            "go-back-4",
+            "lossy-fifo",
+            label,
+            bits.clone(),
+            Box::new(GoBackNSender::new(bits.clone(), 2, 8, 4)),
+            Box::new(GoBackNReceiver::new(2, 8)),
+            Box::new(LossyFifoChannel::new()),
+            Box::new(DropHeavyScheduler::new(seed, p_drop, p_del)),
+        ));
+    }
+
+    // The dishonest cell: ABP on a *reordering, duplicating* channel.
+    // Stale bits masquerade as fresh; completeness or safety gives way —
+    // the motivation for the paper's whole setup.
+    rows.push(run_one(
+        "abp",
+        "reorder+dup",
+        "storm 0.9",
+        bits.clone(),
+        Box::new(AbpSender::new(bits.clone(), 2)),
+        Box::new(AbpReceiver::new(2)),
+        Box::new(DupChannel::new()),
+        Box::new(DupStormScheduler::new(seed, 0.9)),
+    ));
+
+    // The hybrid on its timed channel, fault-free.
+    rows.push(run_one(
+        "hybrid",
+        "timed",
+        "none",
+        bits.clone(),
+        Box::new(HybridSender::new(bits.clone(), 2, 3)),
+        Box::new(HybridReceiver::new(2)),
+        Box::new(TimedChannel::new(3)),
+        Box::new(EagerScheduler::new()),
+    ));
+    rows
+}
+
+/// Renders the cost table.
+pub fn render(rows: &[E7Row]) -> String {
+    crate::table::render(
+        &["protocol", "channel", "faults", "complete", "safe", "sends/item", "steps/item"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.protocol.clone(),
+                    r.channel.clone(),
+                    r.faults.clone(),
+                    r.complete.to_string(),
+                    r.safe.to_string(),
+                    format!("{:.2}", r.sends_per_item),
+                    format!("{:.2}", r.steps_per_item),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e7_home_channels_complete() {
+        let rows = run(7);
+        for r in rows.iter().filter(|r| {
+            !(r.protocol == "abp" && r.channel == "reorder+dup")
+        }) {
+            assert!(r.complete, "{} on {} ({})", r.protocol, r.channel, r.faults);
+        }
+    }
+
+    #[test]
+    fn e7_abp_misbehaves_on_reordering_channels() {
+        // Under a duplication storm the alternating bit is unsound: the
+        // run must fail to complete correctly (either unsafe writes or a
+        // stall — with ⟨0,1,0,1,…⟩ stale (bit,value) replays typically
+        // corrupt the output).
+        let rows = run(7);
+        let cell = rows
+            .iter()
+            .find(|r| r.protocol == "abp" && r.channel == "reorder+dup")
+            .unwrap();
+        assert!(
+            !cell.complete || !cell.safe,
+            "ABP should not survive a reordering+duplicating channel: {cell:?}"
+        );
+    }
+
+    #[test]
+    fn e7_windowed_protocol_finishes_faster_than_stop_and_wait() {
+        // With frames pipelined, go-back-N needs fewer steps per item than
+        // ABP on the same lossless link.
+        let rows = run(11);
+        let abp = rows
+            .iter()
+            .find(|r| r.protocol == "abp" && r.faults == "drop 0.0")
+            .unwrap();
+        let gbn = rows
+            .iter()
+            .find(|r| r.protocol == "go-back-4" && r.faults == "drop 0.0")
+            .unwrap();
+        assert!(gbn.complete);
+        assert!(
+            gbn.steps_per_item < abp.steps_per_item,
+            "gbn {gbn:?} vs abp {abp:?}"
+        );
+    }
+
+    #[test]
+    fn e7_costs_rise_with_drop_rate() {
+        let rows = run(3);
+        let abp: Vec<&E7Row> = rows
+            .iter()
+            .filter(|r| r.protocol == "abp" && r.channel == "lossy-fifo")
+            .collect();
+        assert!(abp[0].sends_per_item <= abp[2].sends_per_item * 1.5 + 5.0);
+        // Loss can only make things more expensive on average; allow noise
+        // but insist the lossless run is no more costly than the worst.
+        assert!(abp[0].sends_per_item <= abp.iter().map(|r| r.sends_per_item).fold(0.0, f64::max) + f64::EPSILON);
+    }
+}

@@ -1,0 +1,237 @@
+//! **E8 — the knowledge viewpoint, §2.3–2.4.** Exact run universes
+//! (exhaustively enumerated for small systems) drive the epistemic
+//! machinery: learning times `t_i` exist in completing runs, `K_R(x_i)` is
+//! stable once acquired, knowledge precedes writing, and the
+//! indistinguishability classes shrink over time as information arrives.
+
+use serde::{Deserialize, Serialize};
+use stp_channel::DupChannel;
+use stp_core::event::{ProcessId, Step};
+use stp_knowledge::{Formula, LearningProfile, Universe};
+use stp_protocols::{ProtocolFamily, ResendPolicy, TightFamily};
+use stp_verify::{explore_runs, ExploreConfig};
+
+/// One row of the knowledge table (aggregated per input sequence).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct E8Row {
+    /// The input sequence.
+    pub input: String,
+    /// Runs of this input in the exact universe.
+    pub runs: usize,
+    /// Runs in which every item was learnt within the horizon.
+    pub fully_learnt: usize,
+    /// Mean `t_i − t_{i−1}` over learnt items (steps).
+    pub mean_learning_gap: f64,
+    /// Fraction of (run, item) pairs with stable knowledge (must be 1.0).
+    pub stability: f64,
+    /// Fraction of learnt items where knowledge preceded the write.
+    pub knowledge_first: f64,
+}
+
+/// Summary of indistinguishability-class shrinkage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct E8Classes {
+    /// Class counts at each step `0..=horizon` (more classes = more
+    /// receiver knowledge).
+    pub classes_per_step: Vec<usize>,
+}
+
+/// Builds the exact universe for the tight-dup family at alphabet size `m`
+/// over the given horizon.
+pub fn exact_universe(m: u16, horizon: Step) -> Universe {
+    let family = TightFamily::new(m, ResendPolicy::Once);
+    let cfg = ExploreConfig {
+        horizon,
+        max_runs: 500_000,
+    };
+    let mut traces = Vec::new();
+    for x in family.claimed_family().iter() {
+        traces.extend(explore_runs(
+            &family,
+            x,
+            || Box::new(DupChannel::new()),
+            &cfg,
+        ));
+    }
+    Universe::new(traces)
+}
+
+/// Runs E8 on the exact universe.
+pub fn run(m: u16, horizon: Step) -> (Vec<E8Row>, E8Classes) {
+    let u = exact_universe(m, horizon);
+    let mut by_input: std::collections::BTreeMap<String, Vec<usize>> = Default::default();
+    for run in 0..u.len() {
+        by_input
+            .entry(u.trace(run).input().to_string())
+            .or_default()
+            .push(run);
+    }
+    let mut rows = Vec::new();
+    for (input, runs) in &by_input {
+        let mut fully = 0usize;
+        let mut gaps: Vec<Step> = Vec::new();
+        let mut stable = 0usize;
+        let mut stable_total = 0usize;
+        let mut kfirst = 0usize;
+        let mut kfirst_total = 0usize;
+        for &run in runs {
+            let n = u.trace(run).input().len();
+            let profile = LearningProfile::of(&u, run);
+            if profile.t.iter().all(Option::is_some) && n > 0 {
+                fully += 1;
+            } else if n == 0 {
+                fully += 1;
+            }
+            for g in profile.learning_gaps().into_iter().flatten() {
+                gaps.push(g);
+            }
+            for i in 1..=n {
+                stable_total += 1;
+                if u.is_knowledge_stable(run, i) {
+                    stable += 1;
+                }
+            }
+            for (t, &w) in profile.t.iter().zip(&profile.write_steps) {
+                if let Some(t) = t {
+                    kfirst_total += 1;
+                    if *t <= w + 1 {
+                        kfirst += 1;
+                    }
+                }
+            }
+        }
+        rows.push(E8Row {
+            input: input.clone(),
+            runs: runs.len(),
+            fully_learnt: fully,
+            mean_learning_gap: if gaps.is_empty() {
+                0.0
+            } else {
+                gaps.iter().sum::<Step>() as f64 / gaps.len() as f64
+            },
+            stability: if stable_total == 0 {
+                1.0
+            } else {
+                stable as f64 / stable_total as f64
+            },
+            knowledge_first: if kfirst_total == 0 {
+                1.0
+            } else {
+                kfirst as f64 / kfirst_total as f64
+            },
+        });
+    }
+    let classes = E8Classes {
+        classes_per_step: (0..=horizon).map(|t| u.classes_at(t).len()).collect(),
+    };
+    (rows, classes)
+}
+
+/// The knowledge-hierarchy profile of one run: when `K_R(x₁)` arrives and
+/// when the *sender* learns that it has (`K_S K_R(x₁)`), which in the
+/// tight protocol is exactly the acknowledgement round-trip.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct E8Hierarchy {
+    /// Runs in which both levels were reached within the horizon.
+    pub runs_measured: usize,
+    /// Mean step at which `K_R(x₁)` first holds.
+    pub mean_t_kr: f64,
+    /// Mean step at which `K_S K_R(x₁)` first holds.
+    pub mean_t_kskr: f64,
+    /// Mean gap between the two — the epistemic cost of the ack trip.
+    pub mean_gap: f64,
+}
+
+/// Measures the knowledge hierarchy `K_R(x₁)` → `K_S K_R(x₁)` over the
+/// exact universe (runs on single-item inputs, all schedules).
+pub fn knowledge_hierarchy(m: u16, horizon: Step) -> E8Hierarchy {
+    let u = exact_universe(m, horizon);
+    let kr = Formula::knows_value(ProcessId::Receiver, 1, m);
+    let kskr = Formula::knows(ProcessId::Sender, kr.clone());
+    let mut t_kr = Vec::new();
+    let mut t_kskr = Vec::new();
+    for run in 0..u.len() {
+        if u.trace(run).input().len() != 1 {
+            continue;
+        }
+        let first = |f: &Formula| (0..=horizon).find(|&t| f.eval(&u, run, t));
+        if let (Some(a), Some(b)) = (first(&kr), first(&kskr)) {
+            t_kr.push(a);
+            t_kskr.push(b);
+        }
+    }
+    let mean = |v: &[Step]| {
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<Step>() as f64 / v.len() as f64
+        }
+    };
+    E8Hierarchy {
+        runs_measured: t_kr.len(),
+        mean_t_kr: mean(&t_kr),
+        mean_t_kskr: mean(&t_kskr),
+        mean_gap: mean(&t_kskr) - mean(&t_kr),
+    }
+}
+
+/// Renders the per-input table.
+pub fn render(rows: &[E8Row]) -> String {
+    crate::table::render(
+        &["input", "runs", "fully learnt", "mean gap", "stability", "knowledge first"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.input.clone(),
+                    r.runs.to_string(),
+                    r.fully_learnt.to_string(),
+                    format!("{:.2}", r.mean_learning_gap),
+                    format!("{:.2}", r.stability),
+                    format!("{:.2}", r.knowledge_first),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e8_stability_is_universal() {
+        let (rows, _) = run(2, 6);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!((r.stability - 1.0).abs() < 1e-9, "{}", r.input);
+            assert!((r.knowledge_first - 1.0).abs() < 1e-9, "{}", r.input);
+        }
+    }
+
+    #[test]
+    fn e8_classes_shrink_over_time() {
+        let (_, classes) = run(2, 6);
+        let c = &classes.classes_per_step;
+        assert_eq!(c[0], 1, "all runs indistinguishable at t=0");
+        assert!(c[c.len() - 1] > 1, "information must eventually separate runs");
+        for w in c.windows(2) {
+            assert!(w[1] >= w[0], "classes only ever split");
+        }
+    }
+
+    #[test]
+    fn e8_knowledge_hierarchy_orders_correctly() {
+        let h = knowledge_hierarchy(2, 6);
+        assert!(h.runs_measured > 10, "{h:?}");
+        // K_S K_R(x₁) can only arrive after K_R(x₁): the ack costs time.
+        assert!(h.mean_t_kskr > h.mean_t_kr, "{h:?}");
+        assert!(h.mean_gap >= 1.0, "{h:?}");
+    }
+
+    #[test]
+    fn e8_some_run_learns_everything() {
+        let (rows, _) = run(1, 6);
+        assert!(rows.iter().any(|r| r.fully_learnt > 0));
+    }
+}

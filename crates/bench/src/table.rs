@@ -1,0 +1,75 @@
+//! Minimal aligned-text table rendering for the experiment binaries.
+
+/// Renders rows as an aligned text table with a header line.
+///
+/// ```
+/// use stp_bench::table::render;
+///
+/// let out = render(
+///     &["m", "alpha"],
+///     &[vec!["1".into(), "2".into()], vec!["2".into(), "5".into()]],
+/// );
+/// assert!(out.contains("alpha"));
+/// assert!(out.lines().count() >= 4);
+/// ```
+pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: Vec<String>| {
+        for (i, c) in cells.iter().enumerate().take(cols) {
+            out.push_str(&format!("{:<width$}  ", c, width = widths[i]));
+        }
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    line(&mut out, header.iter().map(|s| s.to_string()).collect());
+    line(
+        &mut out,
+        widths.iter().map(|w| "-".repeat(*w)).collect(),
+    );
+    for row in rows {
+        line(&mut out, row.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let s = render(
+            &["name", "n"],
+            &[
+                vec!["tight".into(), "5".into()],
+                vec!["alternating-bit".into(), "12".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("----"));
+        assert!(lines[3].starts_with("alternating-bit"));
+    }
+
+    #[test]
+    fn handles_empty_rows() {
+        let s = render(&["a"], &[]);
+        assert_eq!(s.lines().count(), 2);
+    }
+
+    #[test]
+    fn ignores_extra_cells() {
+        let s = render(&["a"], &[vec!["1".into(), "junk".into()]]);
+        assert!(!s.contains("junk"));
+    }
+}

@@ -1,0 +1,197 @@
+//! The object-safe [`Channel`] trait shared by every channel model.
+
+use crate::error::ChannelError;
+use stp_core::alphabet::{RMsg, SMsg};
+use std::fmt;
+
+/// The fault class of a channel, mirroring the paper's taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelKind {
+    /// Reorders and duplicates, never loses (the `X`-STP(dup) channel).
+    ReorderDuplicate,
+    /// Reorders and deletes, never duplicates (the `X`-STP(del) channel).
+    ReorderDelete,
+    /// First-in-first-out, reliable.
+    Fifo,
+    /// First-in-first-out, may lose messages.
+    LossyFifo,
+    /// Reliable, in-order, prompt — the trivial setting from the paper's
+    /// introduction.
+    Perfect,
+    /// Lossy FIFO with a known delivery deadline (loss is detectable by
+    /// timeout), the Section-5 setting.
+    Timed,
+}
+
+impl fmt::Display for ChannelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ChannelKind::ReorderDuplicate => "reorder+dup",
+            ChannelKind::ReorderDelete => "reorder+del",
+            ChannelKind::Fifo => "fifo",
+            ChannelKind::LossyFifo => "lossy-fifo",
+            ChannelKind::Perfect => "perfect",
+            ChannelKind::Timed => "timed",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A bidirectional channel between `S` and `R`.
+///
+/// The executor enqueues sends *after* the step's deliveries, so a message
+/// can never be delivered in the step it was sent (the paper's assumption
+/// in §2.2). The channel itself is a passive state holder: which of the
+/// deliverable messages actually gets delivered — and, on deleting
+/// channels, what gets destroyed — is the [`Scheduler`](crate::Scheduler)'s
+/// (the adversary's) choice.
+pub trait Channel: fmt::Debug {
+    /// The fault class of this channel.
+    fn kind(&self) -> ChannelKind;
+
+    /// `S` puts a message on the channel.
+    fn send_s(&mut self, msg: SMsg);
+
+    /// `R` puts a message on the channel.
+    fn send_r(&mut self, msg: RMsg);
+
+    /// The *distinct* sender messages that could be delivered to `R` right
+    /// now (for FIFO models: at most the head).
+    fn deliverable_to_r(&self) -> Vec<SMsg>;
+
+    /// The *distinct* receiver messages that could be delivered to `S`
+    /// right now.
+    fn deliverable_to_s(&self) -> Vec<RMsg>;
+
+    /// Delivers one copy of `msg` to `R`.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::NotDeliverableToR`] if `msg` is not currently
+    /// deliverable.
+    fn deliver_to_r(&mut self, msg: SMsg) -> Result<(), ChannelError>;
+
+    /// Delivers one copy of `msg` to `S`.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::NotDeliverableToS`] if `msg` is not currently
+    /// deliverable.
+    fn deliver_to_s(&mut self, msg: RMsg) -> Result<(), ChannelError>;
+
+    /// Whether the adversary may delete in-flight copies.
+    fn can_delete(&self) -> bool {
+        false
+    }
+
+    /// Irrevocably destroys one in-flight copy of `msg` addressed to `R`.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::DeletionUnsupported`] unless [`Channel::can_delete`];
+    /// [`ChannelError::NothingToDelete`] if no copy exists.
+    fn delete_to_r(&mut self, msg: SMsg) -> Result<(), ChannelError> {
+        let _ = msg;
+        Err(ChannelError::DeletionUnsupported)
+    }
+
+    /// Irrevocably destroys one in-flight copy of `msg` addressed to `S`.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::DeletionUnsupported`] unless [`Channel::can_delete`];
+    /// [`ChannelError::NothingToDelete`] if no copy exists.
+    fn delete_to_s(&mut self, msg: RMsg) -> Result<(), ChannelError> {
+        let _ = msg;
+        Err(ChannelError::DeletionUnsupported)
+    }
+
+    /// Number of in-flight copies addressed to `R` (for duplicating
+    /// channels: the number of distinct ever-sent messages, since each is
+    /// inexhaustibly deliverable).
+    fn pending_to_r(&self) -> u64;
+
+    /// Number of in-flight copies addressed to `S`.
+    fn pending_to_s(&self) -> u64;
+
+    /// Advances the channel's internal clock by one global step (only the
+    /// timed model uses this; the default is a no-op).
+    fn tick(&mut self) {}
+
+    /// A canonical rendering of the channel's *forward-relevant* state —
+    /// in-flight content only, excluding monotone statistics counters — so
+    /// that cycle detectors can recognize repeated states. Two channels
+    /// with equal keys behave identically from here on.
+    fn state_key(&self) -> String;
+
+    /// Clones the channel state behind a box (object-safe `Clone`).
+    fn box_clone(&self) -> Box<dyn Channel>;
+}
+
+impl Clone for Box<dyn Channel> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(ChannelKind::ReorderDuplicate.to_string(), "reorder+dup");
+        assert_eq!(ChannelKind::ReorderDelete.to_string(), "reorder+del");
+        assert_eq!(ChannelKind::Timed.to_string(), "timed");
+    }
+
+    #[test]
+    fn default_deletion_is_unsupported() {
+        #[derive(Debug, Clone)]
+        struct Nop;
+        impl Channel for Nop {
+            fn kind(&self) -> ChannelKind {
+                ChannelKind::Perfect
+            }
+            fn send_s(&mut self, _msg: SMsg) {}
+            fn send_r(&mut self, _msg: RMsg) {}
+            fn deliverable_to_r(&self) -> Vec<SMsg> {
+                Vec::new()
+            }
+            fn deliverable_to_s(&self) -> Vec<RMsg> {
+                Vec::new()
+            }
+            fn deliver_to_r(&mut self, msg: SMsg) -> Result<(), ChannelError> {
+                Err(ChannelError::NotDeliverableToR { msg })
+            }
+            fn deliver_to_s(&mut self, msg: RMsg) -> Result<(), ChannelError> {
+                Err(ChannelError::NotDeliverableToS { msg })
+            }
+            fn pending_to_r(&self) -> u64 {
+                0
+            }
+            fn pending_to_s(&self) -> u64 {
+                0
+            }
+            fn state_key(&self) -> String {
+                "nop".to_string()
+            }
+            fn box_clone(&self) -> Box<dyn Channel> {
+                Box::new(self.clone())
+            }
+        }
+        let mut c = Nop;
+        assert!(!c.can_delete());
+        assert_eq!(
+            c.delete_to_r(SMsg(0)),
+            Err(ChannelError::DeletionUnsupported)
+        );
+        assert_eq!(
+            c.delete_to_s(RMsg(0)),
+            Err(ChannelError::DeletionUnsupported)
+        );
+        c.tick(); // default no-op
+        let b: Box<dyn Channel> = c.box_clone();
+        let _b2 = b.clone();
+    }
+}

@@ -1,0 +1,245 @@
+//! The reorder + delete channel of `X`-STP(del).
+//!
+//! The channel holds a multiset of in-flight copies in each direction: a
+//! delivery consumes one copy, and the adversary may irrevocably delete
+//! copies. The paper's `dlvrble_R(r,t)[μ]` — copies of `μ` sent and not yet
+//! delivered — is exactly the multiset count here. Duplication is
+//! impossible: total deliveries of `μ` can never exceed total sends of `μ`,
+//! a property the tests pin down.
+
+use crate::chan::{Channel, ChannelKind};
+use crate::error::ChannelError;
+use crate::multiset::Multiset;
+use stp_core::alphabet::{RMsg, SMsg};
+
+/// A bidirectional reorder + delete channel.
+///
+/// ```
+/// use stp_channel::{Channel, DelChannel};
+/// use stp_core::alphabet::SMsg;
+///
+/// let mut ch = DelChannel::new();
+/// ch.send_s(SMsg(3));
+/// ch.deliver_to_r(SMsg(3)).unwrap();
+/// // The single copy is consumed; a second delivery is impossible.
+/// assert!(ch.deliver_to_r(SMsg(3)).is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DelChannel {
+    to_r: Multiset<SMsg>,
+    to_s: Multiset<RMsg>,
+    sent_to_r: u64,
+    sent_to_s: u64,
+    delivered_to_r: u64,
+    delivered_to_s: u64,
+    deleted_to_r: u64,
+    deleted_to_s: u64,
+}
+
+impl DelChannel {
+    /// Creates an empty channel.
+    pub fn new() -> Self {
+        DelChannel::default()
+    }
+
+    /// The paper's `dlvrble_R(·)[μ]`: in-flight copies of `μ` addressed to
+    /// `R`.
+    pub fn in_flight_to_r(&self, msg: SMsg) -> u64 {
+        self.to_r.count(&msg)
+    }
+
+    /// In-flight copies of `μ` addressed to `S`.
+    pub fn in_flight_to_s(&self, msg: RMsg) -> u64 {
+        self.to_s.count(&msg)
+    }
+
+    /// Totals: `(sent, delivered, deleted)` toward `R`.
+    pub fn totals_to_r(&self) -> (u64, u64, u64) {
+        (self.sent_to_r, self.delivered_to_r, self.deleted_to_r)
+    }
+
+    /// Totals: `(sent, delivered, deleted)` toward `S`.
+    pub fn totals_to_s(&self) -> (u64, u64, u64) {
+        (self.sent_to_s, self.delivered_to_s, self.deleted_to_s)
+    }
+}
+
+impl Channel for DelChannel {
+    fn kind(&self) -> ChannelKind {
+        ChannelKind::ReorderDelete
+    }
+
+    fn send_s(&mut self, msg: SMsg) {
+        self.to_r.insert(msg);
+        self.sent_to_r += 1;
+    }
+
+    fn send_r(&mut self, msg: RMsg) {
+        self.to_s.insert(msg);
+        self.sent_to_s += 1;
+    }
+
+    fn deliverable_to_r(&self) -> Vec<SMsg> {
+        self.to_r.values().copied().collect()
+    }
+
+    fn deliverable_to_s(&self) -> Vec<RMsg> {
+        self.to_s.values().copied().collect()
+    }
+
+    fn deliver_to_r(&mut self, msg: SMsg) -> Result<(), ChannelError> {
+        if self.to_r.remove(&msg) {
+            self.delivered_to_r += 1;
+            Ok(())
+        } else {
+            Err(ChannelError::NotDeliverableToR { msg })
+        }
+    }
+
+    fn deliver_to_s(&mut self, msg: RMsg) -> Result<(), ChannelError> {
+        if self.to_s.remove(&msg) {
+            self.delivered_to_s += 1;
+            Ok(())
+        } else {
+            Err(ChannelError::NotDeliverableToS { msg })
+        }
+    }
+
+    fn can_delete(&self) -> bool {
+        true
+    }
+
+    fn delete_to_r(&mut self, msg: SMsg) -> Result<(), ChannelError> {
+        if self.to_r.remove(&msg) {
+            self.deleted_to_r += 1;
+            Ok(())
+        } else {
+            Err(ChannelError::NothingToDelete)
+        }
+    }
+
+    fn delete_to_s(&mut self, msg: RMsg) -> Result<(), ChannelError> {
+        if self.to_s.remove(&msg) {
+            self.deleted_to_s += 1;
+            Ok(())
+        } else {
+            Err(ChannelError::NothingToDelete)
+        }
+    }
+
+    fn pending_to_r(&self) -> u64 {
+        self.to_r.total()
+    }
+
+    fn pending_to_s(&self) -> u64 {
+        self.to_s.total()
+    }
+
+    fn state_key(&self) -> String {
+        format!("del r:{:?} s:{:?}", self.to_r, self.to_s)
+    }
+
+    fn box_clone(&self) -> Box<dyn Channel> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn delivery_consumes_copies() {
+        let mut ch = DelChannel::new();
+        ch.send_s(SMsg(1));
+        ch.send_s(SMsg(1));
+        assert_eq!(ch.in_flight_to_r(SMsg(1)), 2);
+        ch.deliver_to_r(SMsg(1)).unwrap();
+        assert_eq!(ch.in_flight_to_r(SMsg(1)), 1);
+        ch.deliver_to_r(SMsg(1)).unwrap();
+        assert_eq!(
+            ch.deliver_to_r(SMsg(1)),
+            Err(ChannelError::NotDeliverableToR { msg: SMsg(1) })
+        );
+    }
+
+    #[test]
+    fn deletion_consumes_copies_irrevocably() {
+        let mut ch = DelChannel::new();
+        assert!(ch.can_delete());
+        ch.send_s(SMsg(0));
+        ch.delete_to_r(SMsg(0)).unwrap();
+        assert_eq!(ch.delete_to_r(SMsg(0)), Err(ChannelError::NothingToDelete));
+        assert!(ch.deliver_to_r(SMsg(0)).is_err());
+        assert_eq!(ch.totals_to_r(), (1, 0, 1));
+    }
+
+    #[test]
+    fn reverse_direction_deletion() {
+        let mut ch = DelChannel::new();
+        ch.send_r(RMsg(2));
+        ch.delete_to_s(RMsg(2)).unwrap();
+        assert_eq!(ch.totals_to_s(), (1, 0, 1));
+        assert_eq!(ch.delete_to_s(RMsg(2)), Err(ChannelError::NothingToDelete));
+    }
+
+    #[test]
+    fn deliverable_lists_distinct_messages() {
+        let mut ch = DelChannel::new();
+        ch.send_s(SMsg(5));
+        ch.send_s(SMsg(5));
+        ch.send_s(SMsg(1));
+        assert_eq!(ch.deliverable_to_r(), vec![SMsg(1), SMsg(5)]);
+        assert_eq!(ch.pending_to_r(), 3);
+    }
+
+    #[test]
+    fn pending_counts_per_direction() {
+        let mut ch = DelChannel::new();
+        ch.send_s(SMsg(0));
+        ch.send_r(RMsg(0));
+        ch.send_r(RMsg(1));
+        assert_eq!(ch.pending_to_r(), 1);
+        assert_eq!(ch.pending_to_s(), 2);
+    }
+
+    proptest! {
+        /// No duplication: deliveries of each message never exceed sends.
+        #[test]
+        fn prop_no_duplication(
+            ops in proptest::collection::vec((0u16..4, 0u8..3), 0..300)
+        ) {
+            let mut ch = DelChannel::new();
+            let mut sent = [0u64; 4];
+            let mut delivered = [0u64; 4];
+            for (v, op) in ops {
+                let m = SMsg(v);
+                match op {
+                    0 => {
+                        ch.send_s(m);
+                        sent[v as usize] += 1;
+                    }
+                    1 => {
+                        if ch.deliver_to_r(m).is_ok() {
+                            delivered[v as usize] += 1;
+                        }
+                    }
+                    _ => {
+                        let _ = ch.delete_to_r(m);
+                    }
+                }
+                for i in 0..4 {
+                    prop_assert!(delivered[i] <= sent[i]);
+                    prop_assert_eq!(
+                        ch.in_flight_to_r(SMsg(i as u16)) <= sent[i], true
+                    );
+                }
+            }
+            let (s, d, x) = ch.totals_to_r();
+            prop_assert_eq!(s, sent.iter().sum::<u64>());
+            prop_assert!(d + x <= s);
+            prop_assert_eq!(ch.pending_to_r(), s - d - x);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! The reorder + duplicate channel of `X`-STP(dup).
+//!
+//! Once a message has been sent it is deliverable forever, arbitrarily many
+//! times — the paper models this with the boolean vector
+//! `dlvrble_R(r,t)[μ] = 1` iff `μ` was sent to `R` before `(r,t)`. Nothing
+//! is ever lost (Property 1(c)), so the channel state in each direction is
+//! simply the *set* of ever-sent messages.
+
+use crate::chan::{Channel, ChannelKind};
+use crate::error::ChannelError;
+use std::collections::BTreeSet;
+use stp_core::alphabet::{RMsg, SMsg};
+
+/// A bidirectional reorder + duplicate channel.
+///
+/// ```
+/// use stp_channel::{Channel, DupChannel};
+/// use stp_core::alphabet::SMsg;
+///
+/// let mut ch = DupChannel::new();
+/// ch.send_s(SMsg(0));
+/// ch.send_s(SMsg(0)); // sending twice changes nothing
+/// ch.deliver_to_r(SMsg(0)).unwrap();
+/// ch.deliver_to_r(SMsg(0)).unwrap(); // …and it can be delivered forever
+/// assert_eq!(ch.pending_to_r(), 1);  // one distinct ever-sent message
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DupChannel {
+    ever_sent_to_r: BTreeSet<SMsg>,
+    ever_sent_to_s: BTreeSet<RMsg>,
+    deliveries_to_r: u64,
+    deliveries_to_s: u64,
+}
+
+impl DupChannel {
+    /// Creates an empty channel.
+    pub fn new() -> Self {
+        DupChannel::default()
+    }
+
+    /// The paper's `dlvrble_R` vector restricted to ever-sent messages.
+    pub fn ever_sent_to_r(&self) -> &BTreeSet<SMsg> {
+        &self.ever_sent_to_r
+    }
+
+    /// The paper's `dlvrble_S` vector restricted to ever-sent messages.
+    pub fn ever_sent_to_s(&self) -> &BTreeSet<RMsg> {
+        &self.ever_sent_to_s
+    }
+
+    /// Total deliveries made to `R` (duplicates included).
+    pub fn deliveries_to_r(&self) -> u64 {
+        self.deliveries_to_r
+    }
+
+    /// Total deliveries made to `S` (duplicates included).
+    pub fn deliveries_to_s(&self) -> u64 {
+        self.deliveries_to_s
+    }
+}
+
+impl Channel for DupChannel {
+    fn kind(&self) -> ChannelKind {
+        ChannelKind::ReorderDuplicate
+    }
+
+    fn send_s(&mut self, msg: SMsg) {
+        self.ever_sent_to_r.insert(msg);
+    }
+
+    fn send_r(&mut self, msg: RMsg) {
+        self.ever_sent_to_s.insert(msg);
+    }
+
+    fn deliverable_to_r(&self) -> Vec<SMsg> {
+        self.ever_sent_to_r.iter().copied().collect()
+    }
+
+    fn deliverable_to_s(&self) -> Vec<RMsg> {
+        self.ever_sent_to_s.iter().copied().collect()
+    }
+
+    fn deliver_to_r(&mut self, msg: SMsg) -> Result<(), ChannelError> {
+        if self.ever_sent_to_r.contains(&msg) {
+            self.deliveries_to_r += 1;
+            Ok(())
+        } else {
+            Err(ChannelError::NotDeliverableToR { msg })
+        }
+    }
+
+    fn deliver_to_s(&mut self, msg: RMsg) -> Result<(), ChannelError> {
+        if self.ever_sent_to_s.contains(&msg) {
+            self.deliveries_to_s += 1;
+            Ok(())
+        } else {
+            Err(ChannelError::NotDeliverableToS { msg })
+        }
+    }
+
+    fn pending_to_r(&self) -> u64 {
+        self.ever_sent_to_r.len() as u64
+    }
+
+    fn pending_to_s(&self) -> u64 {
+        self.ever_sent_to_s.len() as u64
+    }
+
+    fn state_key(&self) -> String {
+        format!("dup r:{:?} s:{:?}", self.ever_sent_to_r, self.ever_sent_to_s)
+    }
+
+    fn box_clone(&self) -> Box<dyn Channel> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn unsent_messages_are_not_deliverable() {
+        let mut ch = DupChannel::new();
+        assert_eq!(
+            ch.deliver_to_r(SMsg(0)),
+            Err(ChannelError::NotDeliverableToR { msg: SMsg(0) })
+        );
+        assert_eq!(
+            ch.deliver_to_s(RMsg(1)),
+            Err(ChannelError::NotDeliverableToS { msg: RMsg(1) })
+        );
+        assert!(ch.deliverable_to_r().is_empty());
+        assert!(ch.deliverable_to_s().is_empty());
+    }
+
+    #[test]
+    fn sent_messages_are_deliverable_forever() {
+        let mut ch = DupChannel::new();
+        ch.send_s(SMsg(2));
+        for _ in 0..100 {
+            ch.deliver_to_r(SMsg(2)).unwrap();
+        }
+        assert_eq!(ch.deliveries_to_r(), 100);
+        assert_eq!(ch.pending_to_r(), 1);
+    }
+
+    #[test]
+    fn duplicate_sends_are_idempotent() {
+        let mut ch = DupChannel::new();
+        ch.send_s(SMsg(1));
+        ch.send_s(SMsg(1));
+        ch.send_s(SMsg(3));
+        assert_eq!(ch.deliverable_to_r(), vec![SMsg(1), SMsg(3)]);
+        assert_eq!(ch.pending_to_r(), 2);
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut ch = DupChannel::new();
+        ch.send_s(SMsg(0));
+        ch.send_r(RMsg(0));
+        assert_eq!(ch.deliverable_to_r(), vec![SMsg(0)]);
+        assert_eq!(ch.deliverable_to_s(), vec![RMsg(0)]);
+        ch.deliver_to_s(RMsg(0)).unwrap();
+        assert_eq!(ch.deliveries_to_s(), 1);
+        assert_eq!(ch.deliveries_to_r(), 0);
+    }
+
+    #[test]
+    fn deletion_is_unsupported() {
+        let mut ch = DupChannel::new();
+        ch.send_s(SMsg(0));
+        assert!(!ch.can_delete());
+        assert_eq!(
+            ch.delete_to_r(SMsg(0)),
+            Err(ChannelError::DeletionUnsupported)
+        );
+    }
+
+    #[test]
+    fn clone_preserves_state() {
+        let mut ch = DupChannel::new();
+        ch.send_s(SMsg(4));
+        let mut c2 = ch.clone();
+        c2.deliver_to_r(SMsg(4)).unwrap();
+        assert_eq!(ch.deliveries_to_r(), 0);
+        assert_eq!(c2.deliveries_to_r(), 1);
+    }
+
+    proptest! {
+        /// The channel never creates messages: anything deliverable was sent.
+        #[test]
+        fn prop_never_creates_messages(sends in proptest::collection::vec(0u16..6, 0..50)) {
+            let mut ch = DupChannel::new();
+            for s in &sends {
+                ch.send_s(SMsg(*s));
+            }
+            let sent: std::collections::HashSet<u16> = sends.iter().copied().collect();
+            for d in ch.deliverable_to_r() {
+                prop_assert!(sent.contains(&d.0));
+            }
+            // And everything sent is deliverable (nothing is ever lost).
+            prop_assert_eq!(ch.deliverable_to_r().len(), sent.len());
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Channel-layer errors.
+
+use stp_core::alphabet::{RMsg, SMsg};
+use std::fmt;
+
+/// Errors raised by channel operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ChannelError {
+    /// A delivery was requested for a sender message that is not currently
+    /// deliverable to `R`.
+    NotDeliverableToR {
+        /// The requested message.
+        msg: SMsg,
+    },
+    /// A delivery was requested for a receiver message that is not
+    /// currently deliverable to `S`.
+    NotDeliverableToS {
+        /// The requested message.
+        msg: RMsg,
+    },
+    /// A deletion was requested on a channel that cannot delete messages
+    /// (e.g. a duplication channel, per Property 1(c)).
+    DeletionUnsupported,
+    /// A deletion was requested for a copy that does not exist.
+    NothingToDelete,
+}
+
+impl fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChannelError::NotDeliverableToR { msg } => {
+                write!(f, "message s{} is not deliverable to R", msg.0)
+            }
+            ChannelError::NotDeliverableToS { msg } => {
+                write!(f, "message r{} is not deliverable to S", msg.0)
+            }
+            ChannelError::DeletionUnsupported => {
+                write!(f, "this channel cannot delete messages")
+            }
+            ChannelError::NothingToDelete => {
+                write!(f, "no in-flight copy to delete")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            ChannelError::NotDeliverableToR { msg: SMsg(2) }.to_string(),
+            "message s2 is not deliverable to R"
+        );
+        assert_eq!(
+            ChannelError::NotDeliverableToS { msg: RMsg(0) }.to_string(),
+            "message r0 is not deliverable to S"
+        );
+        assert!(!ChannelError::DeletionUnsupported.to_string().is_empty());
+        assert!(!ChannelError::NothingToDelete.to_string().is_empty());
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err<E: std::error::Error + Send + Sync>(_: E) {}
+        takes_err(ChannelError::DeletionUnsupported);
+    }
+}

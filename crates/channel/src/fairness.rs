@@ -1,0 +1,203 @@
+//! Fairness monitors over recorded traces.
+//!
+//! The paper keeps fairness abstract: the only property it needs is that
+//! every point extends to a fair run (Property 2). Operationally, our
+//! experiments use the standard notions:
+//!
+//! * **dup channels** — every message that was ever sent is delivered at
+//!   least once (Property 1(c) even forces every send to be matched by a
+//!   delivery eventually); over a finite trace we check delivery of every
+//!   ever-sent message, with a configurable tail `slack` during which
+//!   recent sends are excused.
+//! * **del channels** — every copy is eventually delivered *or deleted*;
+//!   copies may not linger in flight forever. Over a finite trace we bound
+//!   the number of copies still pending at the end.
+//!
+//! A scheduler that fails its monitor produced an unfair run, and liveness
+//! claims about that run are vacuous — experiment harnesses use these
+//! checks to validate their own adversaries.
+
+use stp_core::alphabet::{RMsg, SMsg};
+use stp_core::event::{Event, Step, Trace};
+
+/// The result of a fairness check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FairnessVerdict {
+    /// The trace satisfies the monitored condition.
+    Fair,
+    /// A sender message was sent (before the slack window) and never
+    /// delivered to `R`.
+    UndeliveredToR {
+        /// The neglected message.
+        msg: SMsg,
+        /// The step at which it was first sent.
+        sent_at: Step,
+    },
+    /// A receiver message was sent (before the slack window) and never
+    /// delivered to `S`.
+    UndeliveredToS {
+        /// The neglected message.
+        msg: RMsg,
+        /// The step at which it was first sent.
+        sent_at: Step,
+    },
+    /// More copies than allowed were still in flight at the end.
+    ExcessPending {
+        /// Pending copies toward `R`.
+        to_r: u64,
+        /// Pending copies toward `S`.
+        to_s: u64,
+    },
+}
+
+impl FairnessVerdict {
+    /// Whether the verdict is [`FairnessVerdict::Fair`].
+    pub fn is_fair(&self) -> bool {
+        matches!(self, FairnessVerdict::Fair)
+    }
+}
+
+/// Checks duplication-channel fairness on a finite trace: every *distinct*
+/// message first sent at or before `trace.steps() - slack` must have been
+/// delivered at least once by the end.
+pub fn check_dup_fairness(trace: &Trace, slack: Step) -> FairnessVerdict {
+    let horizon = trace.steps().saturating_sub(slack);
+    let mut first_sent_s: std::collections::BTreeMap<SMsg, Step> = Default::default();
+    let mut first_sent_r: std::collections::BTreeMap<RMsg, Step> = Default::default();
+    let mut delivered_s: std::collections::BTreeSet<SMsg> = Default::default();
+    let mut delivered_r: std::collections::BTreeSet<RMsg> = Default::default();
+    for e in trace.events() {
+        match e.event {
+            Event::SendS { msg } => {
+                first_sent_s.entry(msg).or_insert(e.step);
+            }
+            Event::SendR { msg } => {
+                first_sent_r.entry(msg).or_insert(e.step);
+            }
+            Event::DeliverToR { msg } => {
+                delivered_s.insert(msg);
+            }
+            Event::DeliverToS { msg } => {
+                delivered_r.insert(msg);
+            }
+            _ => {}
+        }
+    }
+    for (msg, &sent_at) in &first_sent_s {
+        if sent_at < horizon && !delivered_s.contains(msg) {
+            return FairnessVerdict::UndeliveredToR { msg: *msg, sent_at };
+        }
+    }
+    for (msg, &sent_at) in &first_sent_r {
+        if sent_at < horizon && !delivered_r.contains(msg) {
+            return FairnessVerdict::UndeliveredToS { msg: *msg, sent_at };
+        }
+    }
+    FairnessVerdict::Fair
+}
+
+/// Checks deletion-channel fairness on a finite trace: at the end, at most
+/// `max_pending` copies may remain in flight in each direction (sent and
+/// neither delivered nor deleted). Deleted copies are fair game — deletion
+/// *is* the fault model.
+pub fn check_del_fairness(trace: &Trace, max_pending: u64) -> FairnessVerdict {
+    let mut to_r: i64 = 0;
+    let mut to_s: i64 = 0;
+    for e in trace.events() {
+        match e.event {
+            Event::SendS { .. } => to_r += 1,
+            Event::SendR { .. } => to_s += 1,
+            Event::DeliverToR { .. } => to_r -= 1,
+            Event::DeliverToS { .. } => to_s -= 1,
+            Event::ChannelDrop { to, .. } => match to {
+                stp_core::event::ProcessId::Receiver => to_r -= 1,
+                stp_core::event::ProcessId::Sender => to_s -= 1,
+            },
+            _ => {}
+        }
+    }
+    let (to_r, to_s) = (to_r.max(0) as u64, to_s.max(0) as u64);
+    if to_r > max_pending || to_s > max_pending {
+        FairnessVerdict::ExcessPending { to_r, to_s }
+    } else {
+        FairnessVerdict::Fair
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stp_core::data::DataSeq;
+    use stp_core::event::ProcessId;
+
+    #[test]
+    fn dup_fairness_requires_every_sent_message_delivered() {
+        let mut t = Trace::new(DataSeq::new());
+        t.record(0, Event::SendS { msg: SMsg(0) });
+        t.record(1, Event::SendS { msg: SMsg(1) });
+        t.record(5, Event::DeliverToR { msg: SMsg(0) });
+        t.set_steps(100);
+        let v = check_dup_fairness(&t, 0);
+        assert_eq!(
+            v,
+            FairnessVerdict::UndeliveredToR {
+                msg: SMsg(1),
+                sent_at: 1
+            }
+        );
+        assert!(!v.is_fair());
+    }
+
+    #[test]
+    fn dup_fairness_slack_excuses_recent_sends() {
+        let mut t = Trace::new(DataSeq::new());
+        t.record(95, Event::SendS { msg: SMsg(1) });
+        t.set_steps(100);
+        assert!(check_dup_fairness(&t, 10).is_fair());
+        assert!(!check_dup_fairness(&t, 0).is_fair());
+    }
+
+    #[test]
+    fn dup_fairness_covers_reverse_direction() {
+        let mut t = Trace::new(DataSeq::new());
+        t.record(0, Event::SendR { msg: RMsg(2) });
+        t.set_steps(50);
+        assert_eq!(
+            check_dup_fairness(&t, 0),
+            FairnessVerdict::UndeliveredToS {
+                msg: RMsg(2),
+                sent_at: 0
+            }
+        );
+    }
+
+    #[test]
+    fn del_fairness_counts_pending_copies() {
+        let mut t = Trace::new(DataSeq::new());
+        for i in 0..5 {
+            t.record(i, Event::SendS { msg: SMsg(0) });
+        }
+        t.record(6, Event::DeliverToR { msg: SMsg(0) });
+        t.record(
+            7,
+            Event::ChannelDrop {
+                to: ProcessId::Receiver,
+                msg: 0,
+            },
+        );
+        t.set_steps(10);
+        // 5 sent - 1 delivered - 1 dropped = 3 pending.
+        assert_eq!(
+            check_del_fairness(&t, 2),
+            FairnessVerdict::ExcessPending { to_r: 3, to_s: 0 }
+        );
+        assert!(check_del_fairness(&t, 3).is_fair());
+    }
+
+    #[test]
+    fn empty_trace_is_fair() {
+        let t = Trace::new(DataSeq::new());
+        assert!(check_dup_fairness(&t, 0).is_fair());
+        assert!(check_del_fairness(&t, 0).is_fair());
+    }
+}

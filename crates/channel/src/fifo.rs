@@ -1,0 +1,325 @@
+//! FIFO channel models: reliable, perfect and lossy variants.
+//!
+//! These are not the paper's main object of study — they are the substrate
+//! for the *baseline* protocols (the Alternating Bit protocol and
+//! Stenning's protocol assume order-preserving links) and for the
+//! Section-5 hybrid. Keeping them behind the same [`Channel`] trait lets
+//! every experiment use one executor.
+
+use crate::chan::{Channel, ChannelKind};
+use crate::error::ChannelError;
+use std::collections::VecDeque;
+use stp_core::alphabet::{RMsg, SMsg};
+
+/// Shared queue mechanics for the FIFO family.
+#[derive(Debug, Clone, Default)]
+struct FifoCore {
+    to_r: VecDeque<SMsg>,
+    to_s: VecDeque<RMsg>,
+    deleted_to_r: u64,
+    deleted_to_s: u64,
+}
+
+impl FifoCore {
+    fn deliverable_to_r(&self) -> Vec<SMsg> {
+        self.to_r.front().copied().into_iter().collect()
+    }
+    fn deliverable_to_s(&self) -> Vec<RMsg> {
+        self.to_s.front().copied().into_iter().collect()
+    }
+    fn deliver_to_r(&mut self, msg: SMsg) -> Result<(), ChannelError> {
+        if self.to_r.front() == Some(&msg) {
+            self.to_r.pop_front();
+            Ok(())
+        } else {
+            Err(ChannelError::NotDeliverableToR { msg })
+        }
+    }
+    fn deliver_to_s(&mut self, msg: RMsg) -> Result<(), ChannelError> {
+        if self.to_s.front() == Some(&msg) {
+            self.to_s.pop_front();
+            Ok(())
+        } else {
+            Err(ChannelError::NotDeliverableToS { msg })
+        }
+    }
+    fn delete_to_r(&mut self, msg: SMsg) -> Result<(), ChannelError> {
+        match self.to_r.iter().position(|&m| m == msg) {
+            Some(i) => {
+                self.to_r.remove(i);
+                self.deleted_to_r += 1;
+                Ok(())
+            }
+            None => Err(ChannelError::NothingToDelete),
+        }
+    }
+    fn delete_to_s(&mut self, msg: RMsg) -> Result<(), ChannelError> {
+        match self.to_s.iter().position(|&m| m == msg) {
+            Some(i) => {
+                self.to_s.remove(i);
+                self.deleted_to_s += 1;
+                Ok(())
+            }
+            None => Err(ChannelError::NothingToDelete),
+        }
+    }
+}
+
+/// A reliable order-preserving channel: messages are deliverable only in
+/// send order and are never lost. The scheduler may still delay delivery
+/// arbitrarily.
+#[derive(Debug, Clone, Default)]
+pub struct FifoChannel {
+    core: FifoCore,
+}
+
+impl FifoChannel {
+    /// Creates an empty channel.
+    pub fn new() -> Self {
+        FifoChannel::default()
+    }
+}
+
+impl Channel for FifoChannel {
+    fn kind(&self) -> ChannelKind {
+        ChannelKind::Fifo
+    }
+    fn send_s(&mut self, msg: SMsg) {
+        self.core.to_r.push_back(msg);
+    }
+    fn send_r(&mut self, msg: RMsg) {
+        self.core.to_s.push_back(msg);
+    }
+    fn deliverable_to_r(&self) -> Vec<SMsg> {
+        self.core.deliverable_to_r()
+    }
+    fn deliverable_to_s(&self) -> Vec<RMsg> {
+        self.core.deliverable_to_s()
+    }
+    fn deliver_to_r(&mut self, msg: SMsg) -> Result<(), ChannelError> {
+        self.core.deliver_to_r(msg)
+    }
+    fn deliver_to_s(&mut self, msg: RMsg) -> Result<(), ChannelError> {
+        self.core.deliver_to_s(msg)
+    }
+    fn pending_to_r(&self) -> u64 {
+        self.core.to_r.len() as u64
+    }
+    fn pending_to_s(&self) -> u64 {
+        self.core.to_s.len() as u64
+    }
+    fn state_key(&self) -> String {
+        format!("fifo r:{:?} s:{:?}", self.core.to_r, self.core.to_s)
+    }
+    fn box_clone(&self) -> Box<dyn Channel> {
+        Box::new(self.clone())
+    }
+}
+
+/// An order-preserving channel whose adversary may drop queued messages —
+/// the classic data-link-layer physical medium assumed by the Alternating
+/// Bit protocol.
+#[derive(Debug, Clone, Default)]
+pub struct LossyFifoChannel {
+    core: FifoCore,
+}
+
+impl LossyFifoChannel {
+    /// Creates an empty channel.
+    pub fn new() -> Self {
+        LossyFifoChannel::default()
+    }
+
+    /// Copies dropped so far: `(to_r, to_s)`.
+    pub fn dropped(&self) -> (u64, u64) {
+        (self.core.deleted_to_r, self.core.deleted_to_s)
+    }
+}
+
+impl Channel for LossyFifoChannel {
+    fn kind(&self) -> ChannelKind {
+        ChannelKind::LossyFifo
+    }
+    fn send_s(&mut self, msg: SMsg) {
+        self.core.to_r.push_back(msg);
+    }
+    fn send_r(&mut self, msg: RMsg) {
+        self.core.to_s.push_back(msg);
+    }
+    fn deliverable_to_r(&self) -> Vec<SMsg> {
+        self.core.deliverable_to_r()
+    }
+    fn deliverable_to_s(&self) -> Vec<RMsg> {
+        self.core.deliverable_to_s()
+    }
+    fn deliver_to_r(&mut self, msg: SMsg) -> Result<(), ChannelError> {
+        self.core.deliver_to_r(msg)
+    }
+    fn deliver_to_s(&mut self, msg: RMsg) -> Result<(), ChannelError> {
+        self.core.deliver_to_s(msg)
+    }
+    fn can_delete(&self) -> bool {
+        true
+    }
+    fn delete_to_r(&mut self, msg: SMsg) -> Result<(), ChannelError> {
+        self.core.delete_to_r(msg)
+    }
+    fn delete_to_s(&mut self, msg: RMsg) -> Result<(), ChannelError> {
+        self.core.delete_to_s(msg)
+    }
+    fn pending_to_r(&self) -> u64 {
+        self.core.to_r.len() as u64
+    }
+    fn pending_to_s(&self) -> u64 {
+        self.core.to_s.len() as u64
+    }
+    fn state_key(&self) -> String {
+        format!("lossy-fifo r:{:?} s:{:?}", self.core.to_r, self.core.to_s)
+    }
+    fn box_clone(&self) -> Box<dyn Channel> {
+        Box::new(self.clone())
+    }
+}
+
+/// The "perfect channel" of the paper's introduction: order-preserving,
+/// loss-free. It is a [`FifoChannel`] with a distinct [`ChannelKind`] so
+/// experiments can label runs honestly; *promptness* is supplied by pairing
+/// it with an eager scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct PerfectChannel {
+    inner: FifoChannel,
+}
+
+impl PerfectChannel {
+    /// Creates an empty channel.
+    pub fn new() -> Self {
+        PerfectChannel::default()
+    }
+}
+
+impl Channel for PerfectChannel {
+    fn kind(&self) -> ChannelKind {
+        ChannelKind::Perfect
+    }
+    fn send_s(&mut self, msg: SMsg) {
+        self.inner.send_s(msg);
+    }
+    fn send_r(&mut self, msg: RMsg) {
+        self.inner.send_r(msg);
+    }
+    fn deliverable_to_r(&self) -> Vec<SMsg> {
+        self.inner.deliverable_to_r()
+    }
+    fn deliverable_to_s(&self) -> Vec<RMsg> {
+        self.inner.deliverable_to_s()
+    }
+    fn deliver_to_r(&mut self, msg: SMsg) -> Result<(), ChannelError> {
+        self.inner.deliver_to_r(msg)
+    }
+    fn deliver_to_s(&mut self, msg: RMsg) -> Result<(), ChannelError> {
+        self.inner.deliver_to_s(msg)
+    }
+    fn pending_to_r(&self) -> u64 {
+        self.inner.pending_to_r()
+    }
+    fn pending_to_s(&self) -> u64 {
+        self.inner.pending_to_s()
+    }
+    fn state_key(&self) -> String {
+        self.inner.state_key()
+    }
+    fn box_clone(&self) -> Box<dyn Channel> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_delivers_in_order_only() {
+        let mut ch = FifoChannel::new();
+        ch.send_s(SMsg(1));
+        ch.send_s(SMsg(2));
+        assert_eq!(ch.deliverable_to_r(), vec![SMsg(1)]);
+        assert_eq!(
+            ch.deliver_to_r(SMsg(2)),
+            Err(ChannelError::NotDeliverableToR { msg: SMsg(2) })
+        );
+        ch.deliver_to_r(SMsg(1)).unwrap();
+        ch.deliver_to_r(SMsg(2)).unwrap();
+        assert!(ch.deliverable_to_r().is_empty());
+    }
+
+    #[test]
+    fn fifo_queues_duplicates_separately() {
+        let mut ch = FifoChannel::new();
+        ch.send_s(SMsg(1));
+        ch.send_s(SMsg(1));
+        assert_eq!(ch.pending_to_r(), 2);
+        ch.deliver_to_r(SMsg(1)).unwrap();
+        ch.deliver_to_r(SMsg(1)).unwrap();
+        assert!(ch.deliver_to_r(SMsg(1)).is_err());
+    }
+
+    #[test]
+    fn fifo_cannot_delete() {
+        let mut ch = FifoChannel::new();
+        ch.send_s(SMsg(1));
+        assert!(!ch.can_delete());
+        assert_eq!(
+            ch.delete_to_r(SMsg(1)),
+            Err(ChannelError::DeletionUnsupported)
+        );
+    }
+
+    #[test]
+    fn lossy_fifo_drops_specific_copies() {
+        let mut ch = LossyFifoChannel::new();
+        ch.send_s(SMsg(1));
+        ch.send_s(SMsg(2));
+        ch.send_s(SMsg(1));
+        assert!(ch.can_delete());
+        // Drop the head copy of 1; next head is 2.
+        ch.delete_to_r(SMsg(1)).unwrap();
+        assert_eq!(ch.deliverable_to_r(), vec![SMsg(2)]);
+        ch.deliver_to_r(SMsg(2)).unwrap();
+        assert_eq!(ch.deliverable_to_r(), vec![SMsg(1)]);
+        assert_eq!(ch.dropped(), (1, 0));
+        assert_eq!(ch.delete_to_r(SMsg(9)), Err(ChannelError::NothingToDelete));
+    }
+
+    #[test]
+    fn lossy_fifo_reverse_direction() {
+        let mut ch = LossyFifoChannel::new();
+        ch.send_r(RMsg(0));
+        ch.send_r(RMsg(1));
+        ch.delete_to_s(RMsg(0)).unwrap();
+        assert_eq!(ch.deliverable_to_s(), vec![RMsg(1)]);
+        assert_eq!(ch.dropped(), (0, 1));
+    }
+
+    #[test]
+    fn perfect_channel_is_fifo_with_its_own_kind() {
+        let mut ch = PerfectChannel::new();
+        assert_eq!(ch.kind(), ChannelKind::Perfect);
+        ch.send_s(SMsg(0));
+        ch.send_s(SMsg(1));
+        assert_eq!(ch.deliverable_to_r(), vec![SMsg(0)]);
+        assert!(!ch.can_delete());
+        assert_eq!(ch.pending_to_r(), 2);
+        assert_eq!(ch.pending_to_s(), 0);
+    }
+
+    #[test]
+    fn boxed_clone_round_trip() {
+        let mut ch = LossyFifoChannel::new();
+        ch.send_s(SMsg(7));
+        let b: Box<dyn Channel> = ch.box_clone();
+        let mut b2 = b.clone();
+        assert_eq!(b2.deliverable_to_r(), vec![SMsg(7)]);
+        b2.deliver_to_r(SMsg(7)).unwrap();
+        assert_eq!(ch.pending_to_r(), 1, "original unaffected");
+    }
+}

@@ -1,0 +1,59 @@
+//! # stp-channel — unreliable channel models
+//!
+//! The paper studies the sequence transmission problem over two channel
+//! types:
+//!
+//! * **reorder + duplicate** ([`DupChannel`]) — once a message has been
+//!   sent, the channel may deliver arbitrarily many copies of it, forever;
+//!   it never loses anything (Property 1(c)). The paper tracks this with a
+//!   boolean `dlvrble` vector per message.
+//! * **reorder + delete** ([`DelChannel`]) — the channel holds a *multiset*
+//!   of in-flight copies; a delivery consumes a copy, and the adversary may
+//!   irrevocably delete copies. The paper tracks the count
+//!   `sent − delivered` per message.
+//!
+//! For baselines and the Section-5 hybrid we also provide [`FifoChannel`],
+//! [`LossyFifoChannel`], [`PerfectChannel`] and [`TimedChannel`] (a lossy
+//! FIFO with a known delivery deadline, which makes loss *detectable* by
+//! timeout — the setting the paper's Section-5 example assumes).
+//!
+//! All nondeterminism is concentrated in a [`Scheduler`] (the adversary):
+//! each global step it inspects the channel and decides what to deliver to
+//! each processor (at most one message per processor per step, as in the
+//! paper's model) and, on deleting channels, what to destroy.
+//!
+//! ```
+//! use stp_channel::{Channel, DupChannel};
+//! use stp_core::alphabet::SMsg;
+//!
+//! let mut ch = DupChannel::new();
+//! ch.send_s(SMsg(3));
+//! // A duplicating channel can deliver the message any number of times.
+//! assert_eq!(ch.deliverable_to_r(), vec![SMsg(3)]);
+//! ch.deliver_to_r(SMsg(3)).unwrap();
+//! assert_eq!(ch.deliverable_to_r(), vec![SMsg(3)]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chan;
+pub mod del;
+pub mod dup;
+pub mod error;
+pub mod fairness;
+pub mod fifo;
+pub mod multiset;
+pub mod sched;
+pub mod timed;
+
+pub use chan::{Channel, ChannelKind};
+pub use del::DelChannel;
+pub use dup::DupChannel;
+pub use error::ChannelError;
+pub use fifo::{FifoChannel, LossyFifoChannel, PerfectChannel};
+pub use sched::{
+    DropHeavyScheduler, DupStormScheduler, EagerScheduler, RandomScheduler, ReorderScheduler,
+    Scheduler, ScriptedScheduler, StarveScheduler, StepDecision, TargetedScheduler,
+};
+pub use timed::TimedChannel;

@@ -1,0 +1,193 @@
+//! A small counting multiset used by the deleting channel models.
+
+use std::collections::BTreeMap;
+
+/// A multiset with `u64` multiplicities over an ordered element type.
+///
+/// ```
+/// use stp_channel::multiset::Multiset;
+///
+/// let mut m = Multiset::new();
+/// m.insert(7u16);
+/// m.insert(7u16);
+/// assert_eq!(m.count(&7), 2);
+/// assert!(m.remove(&7));
+/// assert_eq!(m.count(&7), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Multiset<T: Ord> {
+    counts: BTreeMap<T, u64>,
+    total: u64,
+}
+
+impl<T: Ord + Clone> Multiset<T> {
+    /// Creates an empty multiset.
+    pub fn new() -> Self {
+        Multiset {
+            counts: BTreeMap::new(),
+            total: 0,
+        }
+    }
+
+    /// Adds one copy of `value`.
+    pub fn insert(&mut self, value: T) {
+        *self.counts.entry(value).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Adds `n` copies of `value`.
+    pub fn insert_n(&mut self, value: T, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.counts.entry(value).or_insert(0) += n;
+        self.total += n;
+    }
+
+    /// Removes one copy of `value`; returns `false` (without modifying the
+    /// set) when no copy is present.
+    pub fn remove(&mut self, value: &T) -> bool {
+        match self.counts.get_mut(value) {
+            Some(c) if *c > 0 => {
+                *c -= 1;
+                self.total -= 1;
+                if *c == 0 {
+                    self.counts.remove(value);
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Multiplicity of `value`.
+    pub fn count(&self, value: &T) -> u64 {
+        self.counts.get(value).copied().unwrap_or(0)
+    }
+
+    /// Total number of copies across all values.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether the multiset holds no copies.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of *distinct* values present.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Iterates over distinct values present (count ≥ 1), in order.
+    pub fn values(&self) -> impl Iterator<Item = &T> {
+        self.counts.keys()
+    }
+
+    /// Iterates over `(value, count)` pairs, in value order.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, u64)> {
+        self.counts.iter().map(|(v, &c)| (v, c))
+    }
+
+    /// Removes every copy of every value.
+    pub fn clear(&mut self) {
+        self.counts.clear();
+        self.total = 0;
+    }
+}
+
+impl<T: Ord + Clone> FromIterator<T> for Multiset<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut m = Multiset::new();
+        for v in iter {
+            m.insert(v);
+        }
+        m
+    }
+}
+
+impl<T: Ord + Clone> Extend<T> for Multiset<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_remove_count() {
+        let mut m = Multiset::new();
+        assert!(m.is_empty());
+        m.insert(1u16);
+        m.insert(1);
+        m.insert(2);
+        assert_eq!(m.count(&1), 2);
+        assert_eq!(m.count(&2), 1);
+        assert_eq!(m.count(&3), 0);
+        assert_eq!(m.total(), 3);
+        assert_eq!(m.distinct(), 2);
+        assert!(m.remove(&1));
+        assert_eq!(m.count(&1), 1);
+        assert!(m.remove(&1));
+        assert!(!m.remove(&1));
+        assert_eq!(m.distinct(), 1);
+    }
+
+    #[test]
+    fn insert_n_and_clear() {
+        let mut m = Multiset::new();
+        m.insert_n(5u16, 10);
+        m.insert_n(6u16, 0);
+        assert_eq!(m.count(&5), 10);
+        assert_eq!(m.count(&6), 0);
+        assert_eq!(m.total(), 10);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.distinct(), 0);
+    }
+
+    #[test]
+    fn values_are_sorted_and_present_only() {
+        let m: Multiset<u16> = [3, 1, 1, 2].into_iter().collect();
+        let vs: Vec<u16> = m.values().copied().collect();
+        assert_eq!(vs, vec![1, 2, 3]);
+        let pairs: Vec<(u16, u64)> = m.iter().map(|(v, c)| (*v, c)).collect();
+        assert_eq!(pairs, vec![(1, 2), (2, 1), (3, 1)]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_total_matches_sum_of_counts(ops in proptest::collection::vec((0u16..8, prop::bool::ANY), 0..200)) {
+            let mut m = Multiset::new();
+            for (v, add) in ops {
+                if add {
+                    m.insert(v);
+                } else {
+                    m.remove(&v);
+                }
+                let sum: u64 = m.iter().map(|(_, c)| c).sum();
+                prop_assert_eq!(sum, m.total());
+            }
+        }
+
+        #[test]
+        fn prop_remove_never_underflows(v in 0u16..4, removes in 1usize..10) {
+            let mut m = Multiset::new();
+            m.insert(v);
+            let mut removed = 0;
+            for _ in 0..removes {
+                if m.remove(&v) {
+                    removed += 1;
+                }
+            }
+            prop_assert_eq!(removed, 1);
+            prop_assert_eq!(m.count(&v), 0);
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! The timed channel of the Section-5 setting.
+//!
+//! The paper's weak-boundedness example assumes "some global clock and
+//! known message delivery times": a message is either delivered within a
+//! known deadline or it is lost, and the *absence* of a message is
+//! therefore detectable by timeout. [`TimedChannel`] realizes this as a
+//! lossy FIFO whose messages expire `deadline` ticks after being sent; the
+//! executor calls [`Channel::tick`] once per global step.
+
+use crate::chan::{Channel, ChannelKind};
+use crate::error::ChannelError;
+use std::collections::VecDeque;
+use stp_core::alphabet::{RMsg, SMsg};
+
+/// A message with its remaining time-to-live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct InFlight<M> {
+    msg: M,
+    ttl: u32,
+}
+
+/// A lossy FIFO channel with a known delivery deadline.
+///
+/// ```
+/// use stp_channel::{Channel, TimedChannel};
+/// use stp_core::alphabet::SMsg;
+///
+/// let mut ch = TimedChannel::new(2);
+/// ch.send_s(SMsg(0));
+/// ch.tick();
+/// assert_eq!(ch.deliverable_to_r(), vec![SMsg(0)]);
+/// ch.tick(); // deadline reached: the message expires
+/// assert!(ch.deliverable_to_r().is_empty());
+/// assert_eq!(ch.expired(), (1, 0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimedChannel {
+    deadline: u32,
+    to_r: VecDeque<InFlight<SMsg>>,
+    to_s: VecDeque<InFlight<RMsg>>,
+    expired_to_r: u64,
+    expired_to_s: u64,
+    deleted_to_r: u64,
+    deleted_to_s: u64,
+}
+
+impl TimedChannel {
+    /// Creates a channel whose messages expire `deadline` ticks after being
+    /// sent (`deadline ≥ 1`; a message sent at step `t` is deliverable at
+    /// steps `t+1 … t+deadline-1` and expires at the tick ending step
+    /// `t+deadline-1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline == 0`.
+    pub fn new(deadline: u32) -> Self {
+        assert!(deadline > 0, "deadline must be at least 1 tick");
+        TimedChannel {
+            deadline,
+            to_r: VecDeque::new(),
+            to_s: VecDeque::new(),
+            expired_to_r: 0,
+            expired_to_s: 0,
+            deleted_to_r: 0,
+            deleted_to_s: 0,
+        }
+    }
+
+    /// The configured delivery deadline in ticks.
+    pub fn deadline(&self) -> u32 {
+        self.deadline
+    }
+
+    /// Messages that timed out without being delivered: `(to_r, to_s)`.
+    pub fn expired(&self) -> (u64, u64) {
+        (self.expired_to_r, self.expired_to_s)
+    }
+
+    /// Messages explicitly deleted by the adversary: `(to_r, to_s)`.
+    pub fn deleted(&self) -> (u64, u64) {
+        (self.deleted_to_r, self.deleted_to_s)
+    }
+}
+
+impl Channel for TimedChannel {
+    fn kind(&self) -> ChannelKind {
+        ChannelKind::Timed
+    }
+
+    fn send_s(&mut self, msg: SMsg) {
+        self.to_r.push_back(InFlight {
+            msg,
+            ttl: self.deadline,
+        });
+    }
+
+    fn send_r(&mut self, msg: RMsg) {
+        self.to_s.push_back(InFlight {
+            msg,
+            ttl: self.deadline,
+        });
+    }
+
+    fn deliverable_to_r(&self) -> Vec<SMsg> {
+        self.to_r.front().map(|m| m.msg).into_iter().collect()
+    }
+
+    fn deliverable_to_s(&self) -> Vec<RMsg> {
+        self.to_s.front().map(|m| m.msg).into_iter().collect()
+    }
+
+    fn deliver_to_r(&mut self, msg: SMsg) -> Result<(), ChannelError> {
+        if self.to_r.front().map(|m| m.msg) == Some(msg) {
+            self.to_r.pop_front();
+            Ok(())
+        } else {
+            Err(ChannelError::NotDeliverableToR { msg })
+        }
+    }
+
+    fn deliver_to_s(&mut self, msg: RMsg) -> Result<(), ChannelError> {
+        if self.to_s.front().map(|m| m.msg) == Some(msg) {
+            self.to_s.pop_front();
+            Ok(())
+        } else {
+            Err(ChannelError::NotDeliverableToS { msg })
+        }
+    }
+
+    fn can_delete(&self) -> bool {
+        true
+    }
+
+    fn delete_to_r(&mut self, msg: SMsg) -> Result<(), ChannelError> {
+        match self.to_r.iter().position(|m| m.msg == msg) {
+            Some(i) => {
+                self.to_r.remove(i);
+                self.deleted_to_r += 1;
+                Ok(())
+            }
+            None => Err(ChannelError::NothingToDelete),
+        }
+    }
+
+    fn delete_to_s(&mut self, msg: RMsg) -> Result<(), ChannelError> {
+        match self.to_s.iter().position(|m| m.msg == msg) {
+            Some(i) => {
+                self.to_s.remove(i);
+                self.deleted_to_s += 1;
+                Ok(())
+            }
+            None => Err(ChannelError::NothingToDelete),
+        }
+    }
+
+    fn pending_to_r(&self) -> u64 {
+        self.to_r.len() as u64
+    }
+
+    fn pending_to_s(&self) -> u64 {
+        self.to_s.len() as u64
+    }
+
+    fn tick(&mut self) {
+        for m in self.to_r.iter_mut() {
+            m.ttl -= 1;
+        }
+        for m in self.to_s.iter_mut() {
+            m.ttl -= 1;
+        }
+        let before_r = self.to_r.len();
+        self.to_r.retain(|m| m.ttl > 0);
+        self.expired_to_r += (before_r - self.to_r.len()) as u64;
+        let before_s = self.to_s.len();
+        self.to_s.retain(|m| m.ttl > 0);
+        self.expired_to_s += (before_s - self.to_s.len()) as u64;
+    }
+
+    fn state_key(&self) -> String {
+        format!("timed r:{:?} s:{:?}", self.to_r, self.to_s)
+    }
+
+    fn box_clone(&self) -> Box<dyn Channel> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "deadline")]
+    fn zero_deadline_rejected() {
+        let _ = TimedChannel::new(0);
+    }
+
+    #[test]
+    fn messages_expire_after_deadline() {
+        let mut ch = TimedChannel::new(3);
+        ch.send_s(SMsg(1));
+        ch.tick();
+        ch.tick();
+        assert_eq!(ch.deliverable_to_r(), vec![SMsg(1)]);
+        ch.tick();
+        assert!(ch.deliverable_to_r().is_empty());
+        assert_eq!(ch.expired(), (1, 0));
+    }
+
+    #[test]
+    fn delivery_before_deadline_succeeds() {
+        let mut ch = TimedChannel::new(2);
+        ch.send_s(SMsg(0));
+        ch.tick();
+        ch.deliver_to_r(SMsg(0)).unwrap();
+        ch.tick();
+        assert_eq!(ch.expired(), (0, 0));
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut ch = TimedChannel::new(10);
+        ch.send_s(SMsg(1));
+        ch.send_s(SMsg(2));
+        assert_eq!(ch.deliverable_to_r(), vec![SMsg(1)]);
+        assert!(ch.deliver_to_r(SMsg(2)).is_err());
+    }
+
+    #[test]
+    fn adversarial_deletion_is_counted_separately() {
+        let mut ch = TimedChannel::new(10);
+        ch.send_s(SMsg(1));
+        ch.send_r(RMsg(0));
+        ch.delete_to_r(SMsg(1)).unwrap();
+        ch.delete_to_s(RMsg(0)).unwrap();
+        assert_eq!(ch.deleted(), (1, 1));
+        assert_eq!(ch.expired(), (0, 0));
+        assert_eq!(ch.delete_to_r(SMsg(1)), Err(ChannelError::NothingToDelete));
+    }
+
+    #[test]
+    fn both_directions_expire_independently() {
+        let mut ch = TimedChannel::new(1);
+        ch.send_s(SMsg(0));
+        ch.tick();
+        ch.send_r(RMsg(0));
+        assert_eq!(ch.expired(), (1, 0));
+        ch.tick();
+        assert_eq!(ch.expired(), (1, 1));
+    }
+}

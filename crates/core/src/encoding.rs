@@ -1,0 +1,474 @@
+//! The encoding characterization of `X`-STP(dup) solvability.
+//!
+//! At the end of Section 3 the paper observes that solving `X`-STP(dup)
+//! requires mapping every input sequence `X ∈ X` to a message sequence
+//! `μ(X)` over `M^S` such that
+//!
+//! 1. `μ(X)` contains **no repetitions** (a duplicating channel makes a
+//!    second copy of a message worthless), and
+//! 2. `μ` is **prefix-monotone**: `μ(X₁)` is a prefix of `μ(X₂)` only when
+//!    `X₁` is a prefix of `X₂` (otherwise the receiver, having seen
+//!    `μ(X₁)`, could not safely write anything beyond the common prefix).
+//!
+//! Since there are exactly `α(m)` repetition-free sequences over `m`
+//! letters, `|X| ≤ α(m)` follows; and because distinct full-length
+//! (length-`m`) repetition-free sequences are never prefixes of one
+//! another, *any* `X` with `|X| ≤ m!` admits an encoding. This module makes
+//! all of that executable.
+
+use crate::alphabet::{Alphabet, SMsg, SMsgSeq};
+use crate::data::DataSeq;
+use crate::error::{Error, Result};
+use crate::sequence::SequenceFamily;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A finite encoding table `μ : X → M^S`-sequences.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Encoding {
+    entries: Vec<(DataSeq, SMsgSeq)>,
+}
+
+impl Encoding {
+    /// Creates an empty encoding.
+    pub fn new() -> Self {
+        Encoding {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Creates an encoding from explicit `(input, code)` pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (DataSeq, SMsgSeq)>>(pairs: I) -> Self {
+        Encoding {
+            entries: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Number of encoded sequences.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the encoding is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The `(input, code)` pairs.
+    pub fn entries(&self) -> &[(DataSeq, SMsgSeq)] {
+        &self.entries
+    }
+
+    /// Looks up the code of `seq`.
+    pub fn code_of(&self, seq: &DataSeq) -> Option<&SMsgSeq> {
+        self.entries.iter().find(|(s, _)| s == seq).map(|(_, c)| c)
+    }
+
+    /// Decodes: the input sequence whose code is exactly `code`.
+    pub fn decode(&self, code: &SMsgSeq) -> Option<&DataSeq> {
+        self.entries.iter().find(|(_, c)| c == code).map(|(s, _)| s)
+    }
+
+    /// The longest decodable input for a *received set* of messages under a
+    /// duplicating channel: the receiver knows only which messages it has
+    /// seen; among entries whose code's message-set is contained in
+    /// `received`, the one with the longest code is the safest inference.
+    ///
+    /// This mirrors what the paper's tight receiver does incrementally.
+    pub fn decode_from_set(&self, received: &std::collections::HashSet<SMsg>) -> Option<&DataSeq> {
+        self.entries
+            .iter()
+            .filter(|(_, c)| c.msgs().iter().all(|m| received.contains(m)))
+            .max_by_key(|(_, c)| c.len())
+            .map(|(s, _)| s)
+    }
+
+    /// Checks the two validity conditions (plus injectivity and alphabet
+    /// membership) for a solution to `X`-STP(dup).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::MsgOutOfAlphabet`] / [`Error::RepetitionInSequence`] —
+    ///   condition 1 fails;
+    /// * [`Error::EncodingNotInjective`] — two inputs share a code;
+    /// * [`Error::PrefixMonotonicityViolated`] — condition 2 fails.
+    pub fn validate(&self, alphabet: Alphabet) -> Result<()> {
+        for (_, code) in &self.entries {
+            code.validate_repetition_free(alphabet)?;
+        }
+        let mut by_code: BTreeMap<&SMsgSeq, usize> = BTreeMap::new();
+        for (i, (_, code)) in self.entries.iter().enumerate() {
+            if let Some(&first) = by_code.get(code) {
+                return Err(Error::EncodingNotInjective { first, second: i });
+            }
+            by_code.insert(code, i);
+        }
+        for (i, (xi, ci)) in self.entries.iter().enumerate() {
+            for (j, (xj, cj)) in self.entries.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                if ci.is_prefix_of(cj) && !xi.is_prefix_of(xj) {
+                    return Err(Error::PrefixMonotonicityViolated { first: i, second: j });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The **identity encoding** for the repetition-free family over a
+    /// domain of size `d`: each data sequence maps to the message sequence
+    /// with the same indices. Requires `m ≥ d`.
+    ///
+    /// This is exactly the encoding realized by the paper's tight protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CapacityExceeded`] when `alphabet.size() < d`.
+    pub fn identity(d: u16, alphabet: Alphabet) -> Result<Self> {
+        if alphabet.size() < d {
+            return Err(Error::CapacityExceeded {
+                requested: d as u128,
+                capacity: alphabet.size() as u128,
+            });
+        }
+        let family = SequenceFamily::repetition_free(d);
+        let entries = family
+            .iter()
+            .map(|s| {
+                (
+                    s.clone(),
+                    SMsgSeq::from_indices(s.items().iter().map(|i| i.0)),
+                )
+            })
+            .collect();
+        Ok(Encoding { entries })
+    }
+
+    /// Builds an encoding for a **prefix-closed** family by embedding its
+    /// prefix tree into the repetition-free message tree (greedy first-fit:
+    /// each trie edge takes the smallest unused letter on its root path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CapacityExceeded`] when some trie node at depth `k`
+    /// has more than `m - k` children (the embedding condition fails).
+    pub fn tree_embedding(family: &SequenceFamily, alphabet: Alphabet) -> Result<Self> {
+        let tree = family.prefix_tree();
+        let m = alphabet.size();
+        if !tree.embeds_in_repetition_free(m) {
+            let worst = (0..=tree.depth())
+                .map(|d| (d, tree.max_arity_at_depth(d)))
+                .max_by_key(|&(d, a)| a as i64 - (m as i64 - d as i64))
+                .unwrap_or((0, 0));
+            return Err(Error::CapacityExceeded {
+                requested: worst.1 as u128,
+                capacity: (m as usize).saturating_sub(worst.0) as u128,
+            });
+        }
+        // Assign codes by BFS: code(node) = code(parent) + first unused
+        // letter.
+        let mut code: Vec<SMsgSeq> = vec![SMsgSeq::new(); tree.len()];
+        let mut order: Vec<usize> = (0..tree.len()).collect();
+        order.sort_by_key(|&i| tree.nodes()[i].depth);
+        for &idx in &order {
+            let node = &tree.nodes()[idx];
+            let base = code[idx].clone();
+            let used: std::collections::HashSet<u16> =
+                base.msgs().iter().map(|msg| msg.0).collect();
+            let mut next_letter = 0u16;
+            for &child in &node.children {
+                while used.contains(&next_letter) {
+                    next_letter += 1;
+                }
+                debug_assert!(next_letter < m, "embedding precondition checked above");
+                let mut c = base.clone();
+                c.push(SMsg(next_letter));
+                code[child] = c;
+                next_letter += 1;
+            }
+        }
+        let entries = tree
+            .nodes()
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.terminal)
+            .map(|(i, _)| (tree.path_to(i), code[i].clone()))
+            .collect();
+        Ok(Encoding { entries })
+    }
+
+    /// Builds an encoding for an **arbitrary** family of size at most `m!`
+    /// by assigning each member a distinct full permutation of the alphabet
+    /// (distinct same-length codes are never prefixes of each other, so
+    /// prefix-monotonicity holds vacuously).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::CapacityExceeded`] when `|family| > m!` or `m!`
+    /// overflows `u128`.
+    pub fn full_permutation(family: &SequenceFamily, alphabet: Alphabet) -> Result<Self> {
+        let m = alphabet.size() as u32;
+        let cap = crate::alpha::factorial(m)?;
+        if family.len() as u128 > cap {
+            return Err(Error::CapacityExceeded {
+                requested: family.len() as u128,
+                capacity: cap,
+            });
+        }
+        // The k-th permutation in lexicographic order (Lehmer decode).
+        let mut entries = Vec::with_capacity(family.len());
+        for (k, seq) in family.iter().enumerate() {
+            entries.push((seq.clone(), nth_permutation(alphabet.size(), k as u128)?));
+        }
+        Ok(Encoding { entries })
+    }
+
+    /// Maximum size of a **prefix-closed** family encodable with an
+    /// `m`-letter alphabet, computed by dynamic programming over the
+    /// repetition-free tree. Equals `α(m)` — an independent derivation of
+    /// the paper's bound used as a cross-check in the experiments.
+    pub fn max_prefix_closed_capacity(m: u32) -> Result<u128> {
+        // cap(k) = 1 + (m - k) · cap(k + 1): a node at depth k plus its
+        // m - k child subtrees.
+        let mut cap: u128 = 1;
+        for depth in (0..m).rev() {
+            cap = cap
+                .checked_mul((m - depth) as u128)
+                .and_then(|v| v.checked_add(1))
+                .ok_or(Error::AlphaOverflow { m })?;
+        }
+        Ok(cap)
+    }
+}
+
+/// The `k`-th lexicographic permutation of `{0, …, m-1}` as a message
+/// sequence (Lehmer-code decoding).
+///
+/// # Errors
+///
+/// Returns [`Error::RankOutOfRange`] when `k ≥ m!`.
+pub fn nth_permutation(m: u16, k: u128) -> Result<SMsgSeq> {
+    let total = crate::alpha::factorial(m as u32)?;
+    if k >= total {
+        return Err(Error::RankOutOfRange {
+            rank: k,
+            count: total,
+        });
+    }
+    let mut rem = k;
+    let mut avail: Vec<u16> = (0..m).collect();
+    let mut out = Vec::with_capacity(m as usize);
+    for i in (1..=m as u32).rev() {
+        let block = crate::alpha::factorial(i - 1)?;
+        let idx = (rem / block) as usize;
+        rem %= block;
+        out.push(avail.remove(idx));
+    }
+    Ok(SMsgSeq::from_indices(out))
+}
+
+impl fmt::Display for Encoding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "μ:")?;
+        for (s, c) in &self.entries {
+            writeln!(f, "  {s} ↦ {c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alpha::alpha;
+    use proptest::prelude::*;
+
+    fn seq(v: &[u16]) -> DataSeq {
+        DataSeq::from_indices(v.iter().copied())
+    }
+    fn code(v: &[u16]) -> SMsgSeq {
+        SMsgSeq::from_indices(v.iter().copied())
+    }
+
+    #[test]
+    fn identity_encoding_is_valid_and_full_size() {
+        for d in 0u16..=5 {
+            let e = Encoding::identity(d, Alphabet::new(d)).unwrap();
+            assert_eq!(e.len() as u128, alpha(d as u32).unwrap());
+            e.validate(Alphabet::new(d)).unwrap();
+        }
+    }
+
+    #[test]
+    fn identity_requires_enough_letters() {
+        assert!(matches!(
+            Encoding::identity(3, Alphabet::new(2)),
+            Err(Error::CapacityExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_repetition() {
+        let e = Encoding::from_pairs([(seq(&[0]), code(&[1, 1]))]);
+        assert!(matches!(
+            e.validate(Alphabet::new(2)),
+            Err(Error::RepetitionInSequence { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_collision() {
+        let e = Encoding::from_pairs([(seq(&[0]), code(&[1])), (seq(&[1]), code(&[1]))]);
+        assert_eq!(
+            e.validate(Alphabet::new(2)),
+            Err(Error::EncodingNotInjective { first: 0, second: 1 })
+        );
+    }
+
+    #[test]
+    fn validate_catches_prefix_monotonicity_violation() {
+        // μ(⟨0⟩) = ⟨0⟩ is a prefix of μ(⟨1,2⟩) = ⟨0,1⟩, but ⟨0⟩ is not a
+        // prefix of ⟨1,2⟩.
+        let e = Encoding::from_pairs([(seq(&[0]), code(&[0])), (seq(&[1, 2]), code(&[0, 1]))]);
+        assert_eq!(
+            e.validate(Alphabet::new(2)),
+            Err(Error::PrefixMonotonicityViolated { first: 0, second: 1 })
+        );
+    }
+
+    #[test]
+    fn validate_allows_prefix_pairs_in_x() {
+        let e = Encoding::from_pairs([(seq(&[0]), code(&[0])), (seq(&[0, 1]), code(&[0, 1]))]);
+        e.validate(Alphabet::new(2)).unwrap();
+    }
+
+    #[test]
+    fn tree_embedding_on_binary_family() {
+        let x = SequenceFamily::all_up_to(2, 2); // 7 sequences, needs m ≥ 3
+        assert!(matches!(
+            Encoding::tree_embedding(&x, Alphabet::new(2)),
+            Err(Error::CapacityExceeded { .. })
+        ));
+        let e = Encoding::tree_embedding(&x, Alphabet::new(3)).unwrap();
+        assert_eq!(e.len(), 7);
+        e.validate(Alphabet::new(3)).unwrap();
+        // Codes of prefix-related inputs are prefix-related.
+        for (xi, ci) in e.entries() {
+            for (xj, cj) in e.entries() {
+                if xi.is_prefix_of(xj) {
+                    assert!(ci.is_prefix_of(cj), "{xi}→{ci} vs {xj}→{cj}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_embedding_maximal_family_exactly_fits() {
+        // The repetition-free family over d letters needs exactly m = d.
+        for d in 1u16..=5 {
+            let x = SequenceFamily::repetition_free(d);
+            let e = Encoding::tree_embedding(&x, Alphabet::new(d)).unwrap();
+            assert_eq!(e.len() as u128, alpha(d as u32).unwrap());
+            e.validate(Alphabet::new(d)).unwrap();
+            assert!(Encoding::tree_embedding(&x, Alphabet::new(d.saturating_sub(1))).is_err());
+        }
+    }
+
+    #[test]
+    fn full_permutation_handles_non_prefix_closed_families() {
+        // 6 arbitrary sequences over a large domain, m = 3 (3! = 6).
+        let x = SequenceFamily::from_seqs([
+            seq(&[9, 9, 9]),
+            seq(&[1]),
+            seq(&[2, 2]),
+            seq(&[0, 1, 0, 1]),
+            seq(&[5]),
+            seq(&[7, 8]),
+        ])
+        .unwrap();
+        let e = Encoding::full_permutation(&x, Alphabet::new(3)).unwrap();
+        assert_eq!(e.len(), 6);
+        e.validate(Alphabet::new(3)).unwrap();
+        // One more sequence overflows m!.
+        let y = SequenceFamily::from_seqs(
+            x.iter().cloned().chain([seq(&[6, 6, 6])]),
+        )
+        .unwrap();
+        assert_eq!(
+            Encoding::full_permutation(&y, Alphabet::new(3)),
+            Err(Error::CapacityExceeded {
+                requested: 7,
+                capacity: 6
+            })
+        );
+    }
+
+    #[test]
+    fn max_prefix_closed_capacity_equals_alpha() {
+        for m in 0..=20 {
+            assert_eq!(
+                Encoding::max_prefix_closed_capacity(m).unwrap(),
+                alpha(m).unwrap(),
+                "m={m}"
+            );
+        }
+    }
+
+    #[test]
+    fn nth_permutation_enumerates_all() {
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..24 {
+            let p = nth_permutation(4, k).unwrap();
+            assert_eq!(p.len(), 4);
+            assert!(p.is_repetition_free());
+            assert!(seen.insert(p));
+        }
+        assert!(nth_permutation(4, 24).is_err());
+        // Lexicographic order spot checks.
+        assert_eq!(nth_permutation(3, 0).unwrap(), code(&[0, 1, 2]));
+        assert_eq!(nth_permutation(3, 5).unwrap(), code(&[2, 1, 0]));
+    }
+
+    #[test]
+    fn decode_and_decode_from_set() {
+        let e = Encoding::identity(3, Alphabet::new(3)).unwrap();
+        assert_eq!(e.decode(&code(&[2, 0])), Some(&seq(&[2, 0])));
+        assert_eq!(e.decode(&code(&[0, 0])), None);
+        let mut rx = std::collections::HashSet::new();
+        rx.insert(SMsg(2));
+        rx.insert(SMsg(0));
+        // Longest covered code wins: ⟨2,0⟩ or ⟨0,2⟩ both have length 2; the
+        // decoder must pick one of them consistently (max_by_key keeps the
+        // last max — either is a valid longest inference for the *set*).
+        let d = e.decode_from_set(&rx).unwrap();
+        assert_eq!(d.len(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_tree_embedding_valid_for_random_prefix_closed_families(
+            d in 1u16..4, max_len in 0usize..3
+        ) {
+            let x = SequenceFamily::all_up_to(d, max_len);
+            // Smallest m that fits: arity at depth k is d, so need m ≥ d + max_len - 1...
+            // use a safely large alphabet.
+            let m = d + max_len as u16;
+            if x.prefix_tree().embeds_in_repetition_free(m) {
+                let e = Encoding::tree_embedding(&x, Alphabet::new(m)).unwrap();
+                prop_assert!(e.validate(Alphabet::new(m)).is_ok());
+                prop_assert_eq!(e.len(), x.len());
+            }
+        }
+
+        #[test]
+        fn prop_full_permutation_always_valid(n in 1usize..24) {
+            let seqs: Vec<DataSeq> = (0..n)
+                .map(|i| DataSeq::from_indices([(i % 7) as u16, (i / 7) as u16, i as u16]))
+                .collect();
+            let x = SequenceFamily::from_seqs(seqs).unwrap();
+            let e = Encoding::full_permutation(&x, Alphabet::new(4)).unwrap();
+            prop_assert!(e.validate(Alphabet::new(4)).is_ok());
+        }
+    }
+}

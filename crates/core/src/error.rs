@@ -1,0 +1,201 @@
+//! The crate-wide error type.
+
+use std::fmt;
+
+/// Convenience alias for results with [`enum@Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the `stp-core` APIs.
+///
+/// All variants carry enough context to be actionable; the `Display`
+/// representation is lowercase without trailing punctuation per the Rust API
+/// guidelines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// `α(m)` (or an intermediate factorial) does not fit in `u128`.
+    AlphaOverflow {
+        /// The alphabet size whose `α` was requested.
+        m: u32,
+    },
+    /// A data item index is outside its domain.
+    ItemOutOfDomain {
+        /// The offending item index.
+        item: u32,
+        /// The domain size.
+        domain: u32,
+    },
+    /// A message index is outside its alphabet.
+    MsgOutOfAlphabet {
+        /// The offending message index.
+        msg: u32,
+        /// The alphabet size.
+        alphabet: u32,
+    },
+    /// A sequence contains a repeated element where a repetition-free one is
+    /// required.
+    RepetitionInSequence {
+        /// Position (0-based) of the second occurrence.
+        position: usize,
+    },
+    /// An encoding violates prefix-monotonicity: `μ(X₁)` is a prefix of
+    /// `μ(X₂)` although `X₁` is not a prefix of `X₂`.
+    PrefixMonotonicityViolated {
+        /// Index of the first offending pair member in the encoding's table.
+        first: usize,
+        /// Index of the second offending pair member.
+        second: usize,
+    },
+    /// Two distinct sequences map to the same message sequence.
+    EncodingNotInjective {
+        /// Index of the first colliding entry.
+        first: usize,
+        /// Index of the second colliding entry.
+        second: usize,
+    },
+    /// A sequence family does not fit the requested encoding construction
+    /// (e.g. a prefix-tree node has more children than remaining letters).
+    CapacityExceeded {
+        /// Number of sequences (or children) requested.
+        requested: u128,
+        /// The capacity that was available.
+        capacity: u128,
+    },
+    /// A rank is outside the range of the enumeration it indexes.
+    RankOutOfRange {
+        /// The offending rank.
+        rank: u128,
+        /// The number of enumerated objects.
+        count: u128,
+    },
+    /// The input tape was read past its end.
+    TapeExhausted {
+        /// Length of the tape.
+        len: usize,
+    },
+    /// A requirement checker detected a safety violation: the output tape is
+    /// not a prefix of the input tape.
+    SafetyViolated {
+        /// The step at which the violation first occurred.
+        step: u64,
+        /// Position of the first disagreeing output item.
+        position: usize,
+    },
+    /// A requirement checker detected a liveness shortfall within the
+    /// inspected horizon.
+    LivenessShortfall {
+        /// Number of items written.
+        written: usize,
+        /// Number of items expected.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::AlphaOverflow { m } => {
+                write!(f, "alpha({m}) does not fit in u128")
+            }
+            Error::ItemOutOfDomain { item, domain } => {
+                write!(f, "data item {item} outside domain of size {domain}")
+            }
+            Error::MsgOutOfAlphabet { msg, alphabet } => {
+                write!(f, "message {msg} outside alphabet of size {alphabet}")
+            }
+            Error::RepetitionInSequence { position } => {
+                write!(f, "sequence repeats an element at position {position}")
+            }
+            Error::PrefixMonotonicityViolated { first, second } => {
+                write!(
+                    f,
+                    "encoding violates prefix monotonicity between entries {first} and {second}"
+                )
+            }
+            Error::EncodingNotInjective { first, second } => {
+                write!(f, "encoding entries {first} and {second} collide")
+            }
+            Error::CapacityExceeded {
+                requested,
+                capacity,
+            } => {
+                write!(f, "requested {requested} exceeds capacity {capacity}")
+            }
+            Error::RankOutOfRange { rank, count } => {
+                write!(f, "rank {rank} out of range for {count} objects")
+            }
+            Error::TapeExhausted { len } => {
+                write!(f, "input tape of length {len} read past its end")
+            }
+            Error::SafetyViolated { step, position } => {
+                write!(
+                    f,
+                    "safety violated at step {step}: output disagrees with input at position {position}"
+                )
+            }
+            Error::LivenessShortfall { written, expected } => {
+                write!(
+                    f,
+                    "liveness shortfall: {written} of {expected} items written"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let samples: Vec<Error> = vec![
+            Error::AlphaOverflow { m: 40 },
+            Error::ItemOutOfDomain { item: 9, domain: 4 },
+            Error::MsgOutOfAlphabet {
+                msg: 7,
+                alphabet: 3,
+            },
+            Error::RepetitionInSequence { position: 2 },
+            Error::PrefixMonotonicityViolated { first: 0, second: 1 },
+            Error::EncodingNotInjective { first: 3, second: 5 },
+            Error::CapacityExceeded {
+                requested: 10,
+                capacity: 5,
+            },
+            Error::RankOutOfRange { rank: 99, count: 16 },
+            Error::TapeExhausted { len: 4 },
+            Error::SafetyViolated {
+                step: 17,
+                position: 2,
+            },
+            Error::LivenessShortfall {
+                written: 1,
+                expected: 3,
+            },
+        ];
+        for e in samples {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(!s.ends_with('.'), "trailing punctuation in {s:?}");
+            assert!(
+                s.chars().next().unwrap().is_lowercase(),
+                "uppercase start in {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(Error::AlphaOverflow { m: 34 });
+        assert!(e.source().is_none());
+    }
+}

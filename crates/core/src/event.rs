@@ -1,0 +1,457 @@
+//! The observable event vocabulary of a run, and recorded traces.
+//!
+//! A *run* in the paper is an infinite sequence of global states; our
+//! simulator records the finite prefix it executes as a [`Trace`] — a
+//! time-stamped list of [`Event`]s plus the input sequence. Traces are the
+//! common currency between the simulator, the requirement checkers, the
+//! knowledge machinery (which extracts per-process *local histories* from
+//! them) and the experiment harnesses.
+
+use crate::alphabet::{RMsg, SMsg};
+use crate::data::{DataItem, DataSeq};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Discrete time: the index of a global step.
+pub type Step = u64;
+
+/// One of the two processors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProcessId {
+    /// The sender `S`.
+    Sender,
+    /// The receiver `R`.
+    Receiver,
+}
+
+impl ProcessId {
+    /// The other processor (the paper's `p̄`).
+    pub fn other(self) -> ProcessId {
+        match self {
+            ProcessId::Sender => ProcessId::Receiver,
+            ProcessId::Receiver => ProcessId::Sender,
+        }
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProcessId::Sender => write!(f, "S"),
+            ProcessId::Receiver => write!(f, "R"),
+        }
+    }
+}
+
+/// An observable event of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Event {
+    /// `S` put a message on the channel.
+    SendS {
+        /// The message sent.
+        msg: SMsg,
+    },
+    /// `R` put a message on the channel.
+    SendR {
+        /// The message sent.
+        msg: RMsg,
+    },
+    /// The channel delivered a sender message to `R`.
+    DeliverToR {
+        /// The delivered message.
+        msg: SMsg,
+    },
+    /// The channel delivered a receiver message to `S`.
+    DeliverToS {
+        /// The delivered message.
+        msg: RMsg,
+    },
+    /// `S` read the next item from the input tape.
+    Read {
+        /// The item read.
+        item: DataItem,
+        /// Its 0-based position on the tape.
+        pos: usize,
+    },
+    /// `R` wrote an item to the output tape.
+    Write {
+        /// The item written.
+        item: DataItem,
+        /// Its 0-based position on the tape.
+        pos: usize,
+    },
+    /// The channel irrevocably deleted an in-flight copy (deletion
+    /// channels only; recorded for diagnosis and replay, invisible to both
+    /// processors).
+    ChannelDrop {
+        /// Which processor the deleted copy was addressed to.
+        to: ProcessId,
+        /// Raw index of the deleted message within its alphabet.
+        msg: u16,
+    },
+}
+
+impl Event {
+    /// Whether the given processor *observes* this event (it appears in the
+    /// processor's local history under the complete-history
+    /// interpretation).
+    pub fn visible_to(&self, p: ProcessId) -> bool {
+        match (self, p) {
+            (Event::SendS { .. }, ProcessId::Sender) => true,
+            (Event::SendR { .. }, ProcessId::Receiver) => true,
+            (Event::DeliverToR { .. }, ProcessId::Receiver) => true,
+            (Event::DeliverToS { .. }, ProcessId::Sender) => true,
+            (Event::Read { .. }, ProcessId::Sender) => true,
+            (Event::Write { .. }, ProcessId::Receiver) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::SendS { msg } => write!(f, "S!{}", msg.0),
+            Event::SendR { msg } => write!(f, "R!{}", msg.0),
+            Event::DeliverToR { msg } => write!(f, "R?{}", msg.0),
+            Event::DeliverToS { msg } => write!(f, "S?{}", msg.0),
+            Event::Read { item, pos } => write!(f, "read[{pos}]={}", item.0),
+            Event::Write { item, pos } => write!(f, "write[{pos}]={}", item.0),
+            Event::ChannelDrop { to, msg } => write!(f, "drop {msg}→{to}"),
+        }
+    }
+}
+
+/// A time-stamped event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// The global step at which the event occurred.
+    pub step: Step,
+    /// The event itself.
+    pub event: Event,
+}
+
+/// One step of a processor's *local history*: everything it observed during
+/// a single global step. Under the complete-history interpretation two
+/// points are indistinguishable to a processor exactly when their local
+/// histories are equal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct LocalStep {
+    /// Messages this processor received this step (raw indices; sender
+    /// messages for `R`, receiver messages for `S`).
+    pub received: Vec<u16>,
+    /// Messages this processor sent this step (raw indices).
+    pub sent: Vec<u16>,
+    /// Tape activity: items read (for `S`) or written (for `R`) this step.
+    pub tape: Vec<DataItem>,
+}
+
+/// The recorded finite prefix of a run.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    input: DataSeq,
+    events: Vec<TimedEvent>,
+    steps: Step,
+}
+
+impl Trace {
+    /// Creates an empty trace for the given input sequence.
+    pub fn new(input: DataSeq) -> Self {
+        Trace {
+            input,
+            events: Vec::new(),
+            steps: 0,
+        }
+    }
+
+    /// The input sequence `X` of the run.
+    pub fn input(&self) -> &DataSeq {
+        &self.input
+    }
+
+    /// Records an event at a step.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `step` is earlier than an already
+    /// recorded event — traces are append-only in time order.
+    pub fn record(&mut self, step: Step, event: Event) {
+        debug_assert!(
+            self.events.last().map_or(true, |e| e.step <= step),
+            "events must be recorded in step order"
+        );
+        self.events.push(TimedEvent { step, event });
+        self.steps = self.steps.max(step + 1);
+    }
+
+    /// Marks the trace as having run through `steps` global steps (even if
+    /// the tail produced no events).
+    pub fn set_steps(&mut self, steps: Step) {
+        self.steps = self.steps.max(steps);
+    }
+
+    /// Number of global steps the trace spans.
+    pub fn steps(&self) -> Step {
+        self.steps
+    }
+
+    /// All recorded events in time order.
+    pub fn events(&self) -> &[TimedEvent] {
+        &self.events
+    }
+
+    /// Iterates over the events of one step.
+    pub fn events_at(&self, step: Step) -> impl Iterator<Item = &TimedEvent> {
+        self.events.iter().filter(move |e| e.step == step)
+    }
+
+    /// The output tape contents after all recorded events (in write order).
+    pub fn output(&self) -> DataSeq {
+        self.output_at(self.steps)
+    }
+
+    /// The output tape contents strictly before `step`… i.e. including all
+    /// writes with `event.step < step`.
+    pub fn output_at(&self, step: Step) -> DataSeq {
+        self.events
+            .iter()
+            .filter(|e| e.step < step)
+            .filter_map(|e| match e.event {
+                Event::Write { item, .. } => Some(item),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Steps at which each output position was written: `result[i]` is the
+    /// step of `write[i]`.
+    pub fn write_steps(&self) -> Vec<Step> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.event, Event::Write { .. }))
+            .map(|e| e.step)
+            .collect()
+    }
+
+    /// Number of items the sender has read from the input tape.
+    pub fn reads(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.event, Event::Read { .. }))
+            .count()
+    }
+
+    /// Total messages sent by `S` (with multiplicity).
+    pub fn sends_by_s(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.event, Event::SendS { .. }))
+            .count()
+    }
+
+    /// Total messages sent by `R` (with multiplicity).
+    pub fn sends_by_r(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.event, Event::SendR { .. }))
+            .count()
+    }
+
+    /// Total deliveries to `R`.
+    pub fn deliveries_to_r(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.event, Event::DeliverToR { .. }))
+            .count()
+    }
+
+    /// Total deliveries to `S`.
+    pub fn deliveries_to_s(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.event, Event::DeliverToS { .. }))
+            .count()
+    }
+
+    /// The paper's `dlvrble_R(r, t)` for deletion channels: for each sender
+    /// message, copies sent to `R` minus copies delivered to `R`, strictly
+    /// before `step`.
+    pub fn dlvrble_r_del(&self, step: Step, alphabet_size: u16) -> Vec<i64> {
+        let mut v = vec![0i64; alphabet_size as usize];
+        for e in self.events.iter().filter(|e| e.step < step) {
+            match e.event {
+                Event::SendS { msg } if (msg.0 as usize) < v.len() => v[msg.0 as usize] += 1,
+                Event::DeliverToR { msg } if (msg.0 as usize) < v.len() => {
+                    v[msg.0 as usize] -= 1
+                }
+                _ => {}
+            }
+        }
+        v
+    }
+
+    /// The paper's `dlvrble_R(r, t)` for duplication channels: whether each
+    /// sender message was sent at least once strictly before `step`.
+    pub fn dlvrble_r_dup(&self, step: Step, alphabet_size: u16) -> Vec<bool> {
+        let mut v = vec![false; alphabet_size as usize];
+        for e in self.events.iter().filter(|e| e.step < step) {
+            if let Event::SendS { msg } = e.event {
+                if (msg.0 as usize) < v.len() {
+                    v[msg.0 as usize] = true;
+                }
+            }
+        }
+        v
+    }
+
+    /// Extracts the local history of processor `p` up to (excluding) step
+    /// `upto`: one [`LocalStep`] per global step.
+    ///
+    /// Two traces whose local histories for `R` agree at a step are
+    /// indistinguishable to `R` at that point — the formal `~_R` relation of
+    /// the paper under the complete-history interpretation.
+    pub fn local_history(&self, p: ProcessId, upto: Step) -> Vec<LocalStep> {
+        let upto = upto.min(self.steps);
+        let mut hist = vec![LocalStep::default(); upto as usize];
+        for e in self.events.iter().filter(|e| e.step < upto) {
+            if !e.event.visible_to(p) {
+                continue;
+            }
+            let slot = &mut hist[e.step as usize];
+            match e.event {
+                Event::SendS { msg } => slot.sent.push(msg.0),
+                Event::SendR { msg } => slot.sent.push(msg.0),
+                Event::DeliverToR { msg } => slot.received.push(msg.0),
+                Event::DeliverToS { msg } => slot.received.push(msg.0),
+                Event::Read { item, .. } => slot.tape.push(item),
+                Event::Write { item, .. } => slot.tape.push(item),
+                Event::ChannelDrop { .. } => {}
+            }
+        }
+        hist
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "trace over X = {} ({} steps)", self.input, self.steps)?;
+        for e in &self.events {
+            writeln!(f, "  t={:<4} {}", e.step, e.event)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new(DataSeq::from_indices([1, 0]));
+        t.record(0, Event::Read { item: DataItem(1), pos: 0 });
+        t.record(0, Event::SendS { msg: SMsg(1) });
+        t.record(1, Event::DeliverToR { msg: SMsg(1) });
+        t.record(1, Event::Write { item: DataItem(1), pos: 0 });
+        t.record(1, Event::SendR { msg: RMsg(1) });
+        t.record(2, Event::DeliverToS { msg: RMsg(1) });
+        t.record(2, Event::Read { item: DataItem(0), pos: 1 });
+        t.record(2, Event::SendS { msg: SMsg(0) });
+        t.record(3, Event::DeliverToR { msg: SMsg(0) });
+        t.record(3, Event::Write { item: DataItem(0), pos: 1 });
+        t.set_steps(4);
+        t
+    }
+
+    #[test]
+    fn process_other_is_involution() {
+        assert_eq!(ProcessId::Sender.other(), ProcessId::Receiver);
+        assert_eq!(ProcessId::Receiver.other(), ProcessId::Sender);
+        assert_eq!(ProcessId::Sender.other().other(), ProcessId::Sender);
+    }
+
+    #[test]
+    fn visibility_matrix() {
+        use Event::*;
+        use ProcessId::*;
+        assert!(SendS { msg: SMsg(0) }.visible_to(Sender));
+        assert!(!SendS { msg: SMsg(0) }.visible_to(Receiver));
+        assert!(DeliverToR { msg: SMsg(0) }.visible_to(Receiver));
+        assert!(!DeliverToR { msg: SMsg(0) }.visible_to(Sender));
+        assert!(Read { item: DataItem(0), pos: 0 }.visible_to(Sender));
+        assert!(Write { item: DataItem(0), pos: 0 }.visible_to(Receiver));
+        assert!(!ChannelDrop { to: Receiver, msg: 0 }.visible_to(Receiver));
+        assert!(!ChannelDrop { to: Receiver, msg: 0 }.visible_to(Sender));
+    }
+
+    #[test]
+    fn output_reconstruction() {
+        let t = sample_trace();
+        assert_eq!(t.output(), DataSeq::from_indices([1, 0]));
+        assert_eq!(t.output_at(0), DataSeq::new());
+        assert_eq!(t.output_at(2), DataSeq::from_indices([1]));
+        assert_eq!(t.output_at(4), DataSeq::from_indices([1, 0]));
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let t = sample_trace();
+        assert_eq!(t.reads(), 2);
+        assert_eq!(t.sends_by_s(), 2);
+        assert_eq!(t.sends_by_r(), 1);
+        assert_eq!(t.deliveries_to_r(), 2);
+        assert_eq!(t.deliveries_to_s(), 1);
+        assert_eq!(t.write_steps(), vec![1, 3]);
+    }
+
+    #[test]
+    fn dlvrble_vectors() {
+        let t = sample_trace();
+        // Before step 1: s1 sent once, not delivered.
+        assert_eq!(t.dlvrble_r_del(1, 2), vec![0, 1]);
+        // Before step 2: s1 delivered.
+        assert_eq!(t.dlvrble_r_del(2, 2), vec![0, 0]);
+        // Before step 3: s0 sent, pending.
+        assert_eq!(t.dlvrble_r_del(3, 2), vec![1, 0]);
+        assert_eq!(t.dlvrble_r_dup(1, 2), vec![false, true]);
+        assert_eq!(t.dlvrble_r_dup(3, 2), vec![true, true]);
+    }
+
+    #[test]
+    fn local_histories_respect_visibility() {
+        let t = sample_trace();
+        let hr = t.local_history(ProcessId::Receiver, 4);
+        assert_eq!(hr.len(), 4);
+        // Step 0: R sees nothing.
+        assert_eq!(hr[0], LocalStep::default());
+        // Step 1: R receives s1, writes d1, sends r1.
+        assert_eq!(hr[1].received, vec![1]);
+        assert_eq!(hr[1].sent, vec![1]);
+        assert_eq!(hr[1].tape, vec![DataItem(1)]);
+        let hs = t.local_history(ProcessId::Sender, 4);
+        // Step 0: S reads and sends.
+        assert_eq!(hs[0].tape, vec![DataItem(1)]);
+        assert_eq!(hs[0].sent, vec![1]);
+        assert!(hs[0].received.is_empty());
+        // Step 2: S receives r1.
+        assert_eq!(hs[2].received, vec![1]);
+    }
+
+    #[test]
+    fn local_history_truncation() {
+        let t = sample_trace();
+        let h2 = t.local_history(ProcessId::Receiver, 2);
+        let h4 = t.local_history(ProcessId::Receiver, 4);
+        assert_eq!(h2[..], h4[..2]);
+        // Requesting beyond the trace clamps.
+        let h9 = t.local_history(ProcessId::Receiver, 9);
+        assert_eq!(h9.len(), 4);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let t = sample_trace();
+        let s = t.to_string();
+        assert!(s.contains("write[0]=1"));
+        assert!(s.contains("S!1"));
+    }
+}

@@ -1,0 +1,334 @@
+//! Protocol traits: deterministic sender/receiver state machines.
+//!
+//! A protocol in the paper is a deterministic algorithm per processor; all
+//! nondeterminism lives in the *environment* (the channel). We model a
+//! processor as a Mealy machine driven by three kinds of events — `Init`
+//! (once, at step 0), `Deliver` (a message arrived), and `Tick` (a step in
+//! which nothing was delivered; Property 1(b)(i) guarantees such extensions
+//! exist) — producing messages to send and, for the receiver, items to
+//! write.
+//!
+//! Determinism plus the seeded adversaries in `stp-sim` make every run
+//! replayable, and the `fingerprint` hook lets the verifier deduplicate
+//! protocol states during exhaustive run-tree exploration.
+
+use crate::alphabet::{Alphabet, RMsg, SMsg};
+use crate::data::{DataItem, DataSeq};
+use crate::error::{Error, Result};
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// The sender's read-only input tape with a read cursor.
+///
+/// Uniform protocols must consume it strictly left-to-right via
+/// [`InputTape::read`]; non-uniform protocols (the paper allows `P_{S,X}`
+/// to depend on the whole sequence) may inspect [`InputTape::full`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InputTape {
+    seq: DataSeq,
+    cursor: usize,
+}
+
+impl InputTape {
+    /// Creates a tape holding `seq` with the cursor at the start.
+    pub fn new(seq: DataSeq) -> Self {
+        InputTape { seq, cursor: 0 }
+    }
+
+    /// Reads (and consumes) the next item.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TapeExhausted`] past the end of the tape.
+    pub fn read(&mut self) -> Result<DataItem> {
+        match self.seq.get(self.cursor) {
+            Some(item) => {
+                self.cursor += 1;
+                Ok(item)
+            }
+            None => Err(Error::TapeExhausted {
+                len: self.seq.len(),
+            }),
+        }
+    }
+
+    /// Peeks at the next item without consuming it.
+    pub fn peek(&self) -> Option<DataItem> {
+        self.seq.get(self.cursor)
+    }
+
+    /// Number of items read so far.
+    pub fn position(&self) -> usize {
+        self.cursor
+    }
+
+    /// Whether every item has been read.
+    pub fn is_exhausted(&self) -> bool {
+        self.cursor >= self.seq.len()
+    }
+
+    /// Number of items remaining.
+    pub fn remaining(&self) -> usize {
+        self.seq.len() - self.cursor
+    }
+
+    /// The entire tape contents (non-uniform protocols only).
+    pub fn full(&self) -> &DataSeq {
+        &self.seq
+    }
+}
+
+/// An event delivered to the sender at the start of a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SenderEvent {
+    /// The first step of the run.
+    Init,
+    /// A step with no incoming message.
+    Tick,
+    /// A receiver message arrived.
+    Deliver(RMsg),
+}
+
+/// What the sender does in one step.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SenderOutput {
+    /// Messages to put on the channel this step.
+    pub send: Vec<SMsg>,
+}
+
+impl SenderOutput {
+    /// An idle step.
+    pub fn idle() -> Self {
+        SenderOutput::default()
+    }
+
+    /// A step that sends a single message.
+    pub fn send_one(msg: SMsg) -> Self {
+        SenderOutput { send: vec![msg] }
+    }
+}
+
+/// An event delivered to the receiver at the start of a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReceiverEvent {
+    /// The first step of the run.
+    Init,
+    /// A step with no incoming message.
+    Tick,
+    /// A sender message arrived.
+    Deliver(SMsg),
+}
+
+/// What the receiver does in one step.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ReceiverOutput {
+    /// Messages to put on the channel this step.
+    pub send: Vec<RMsg>,
+    /// Items to append to the output tape this step, in order.
+    pub write: Vec<DataItem>,
+}
+
+impl ReceiverOutput {
+    /// An idle step.
+    pub fn idle() -> Self {
+        ReceiverOutput::default()
+    }
+
+    /// A step that sends a single message and writes nothing.
+    pub fn send_one(msg: RMsg) -> Self {
+        ReceiverOutput {
+            send: vec![msg],
+            write: Vec::new(),
+        }
+    }
+}
+
+/// A deterministic sender protocol.
+///
+/// Implementations own their [`InputTape`]; the harness observes tape
+/// progress through [`Sender::reads`] to record `Read` events.
+pub trait Sender: fmt::Debug {
+    /// The sender's message alphabet `M^S` (its size is the paper's `m`).
+    fn alphabet(&self) -> Alphabet;
+
+    /// Processes one event and returns the step's actions.
+    fn on_event(&mut self, ev: SenderEvent) -> SenderOutput;
+
+    /// Number of input items read so far.
+    fn reads(&self) -> usize;
+
+    /// Whether the sender believes the whole input has been transmitted and
+    /// acknowledged (used to terminate finite experiments; a conservative
+    /// `false` is always sound).
+    fn is_done(&self) -> bool {
+        false
+    }
+
+    /// Clones the protocol state behind a box (object-safe `Clone`).
+    fn box_clone(&self) -> Box<dyn Sender>;
+
+    /// A hash of the local state, used by the verifier to deduplicate
+    /// explored states. The default hashes the `Debug` rendering, which is
+    /// sound as long as `Debug` faithfully reflects the state (derived
+    /// `Debug` does).
+    fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        format!("{self:?}").hash(&mut h);
+        h.finish()
+    }
+}
+
+impl Clone for Box<dyn Sender> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
+}
+
+/// A deterministic receiver protocol.
+pub trait Receiver: fmt::Debug {
+    /// The receiver's message alphabet `M^R`.
+    fn alphabet(&self) -> Alphabet;
+
+    /// Processes one event and returns the step's actions.
+    fn on_event(&mut self, ev: ReceiverEvent) -> ReceiverOutput;
+
+    /// Clones the protocol state behind a box (object-safe `Clone`).
+    fn box_clone(&self) -> Box<dyn Receiver>;
+
+    /// A hash of the local state (see [`Sender::fingerprint`]).
+    fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        format!("{self:?}").hash(&mut h);
+        h.finish()
+    }
+}
+
+impl Clone for Box<dyn Receiver> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
+}
+
+/// A trivial sender that never sends anything — the degenerate protocol for
+/// `X = {⟨⟩}` (one allowable sequence needs no communication). Also handy
+/// as a stub in tests.
+#[derive(Debug, Clone, Default)]
+pub struct SilentSender;
+
+impl Sender for SilentSender {
+    fn alphabet(&self) -> Alphabet {
+        Alphabet::new(0)
+    }
+    fn on_event(&mut self, _ev: SenderEvent) -> SenderOutput {
+        SenderOutput::idle()
+    }
+    fn reads(&self) -> usize {
+        0
+    }
+    fn is_done(&self) -> bool {
+        true
+    }
+    fn box_clone(&self) -> Box<dyn Sender> {
+        Box::new(self.clone())
+    }
+}
+
+/// The receiver counterpart of [`SilentSender`].
+#[derive(Debug, Clone, Default)]
+pub struct SilentReceiver;
+
+impl Receiver for SilentReceiver {
+    fn alphabet(&self) -> Alphabet {
+        Alphabet::new(0)
+    }
+    fn on_event(&mut self, _ev: ReceiverEvent) -> ReceiverOutput {
+        ReceiverOutput::idle()
+    }
+    fn box_clone(&self) -> Box<dyn Receiver> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tape_reads_in_order_then_errors() {
+        let mut t = InputTape::new(DataSeq::from_indices([4, 5]));
+        assert_eq!(t.peek(), Some(DataItem(4)));
+        assert_eq!(t.read().unwrap(), DataItem(4));
+        assert_eq!(t.position(), 1);
+        assert_eq!(t.remaining(), 1);
+        assert_eq!(t.read().unwrap(), DataItem(5));
+        assert!(t.is_exhausted());
+        assert_eq!(t.read(), Err(Error::TapeExhausted { len: 2 }));
+        assert_eq!(t.peek(), None);
+    }
+
+    #[test]
+    fn tape_full_view() {
+        let t = InputTape::new(DataSeq::from_indices([1, 2, 3]));
+        assert_eq!(t.full(), &DataSeq::from_indices([1, 2, 3]));
+    }
+
+    #[test]
+    fn silent_processes_do_nothing() {
+        let mut s = SilentSender;
+        assert_eq!(s.on_event(SenderEvent::Init), SenderOutput::idle());
+        assert_eq!(s.on_event(SenderEvent::Tick), SenderOutput::idle());
+        assert!(s.is_done());
+        assert_eq!(s.reads(), 0);
+        let mut r = SilentReceiver;
+        assert_eq!(r.on_event(ReceiverEvent::Init), ReceiverOutput::idle());
+        assert_eq!(
+            r.on_event(ReceiverEvent::Deliver(SMsg(0))),
+            ReceiverOutput::idle()
+        );
+    }
+
+    #[test]
+    fn boxed_clone_preserves_behavior() {
+        let s: Box<dyn Sender> = Box::new(SilentSender);
+        let mut c = s.clone();
+        assert_eq!(c.on_event(SenderEvent::Tick), SenderOutput::idle());
+        let r: Box<dyn Receiver> = Box::new(SilentReceiver);
+        let mut rc = r.clone();
+        assert_eq!(rc.on_event(ReceiverEvent::Tick), ReceiverOutput::idle());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_states() {
+        #[derive(Debug, Clone)]
+        struct Counting(u32);
+        impl Sender for Counting {
+            fn alphabet(&self) -> Alphabet {
+                Alphabet::new(1)
+            }
+            fn on_event(&mut self, _ev: SenderEvent) -> SenderOutput {
+                self.0 += 1;
+                SenderOutput::idle()
+            }
+            fn reads(&self) -> usize {
+                0
+            }
+            fn box_clone(&self) -> Box<dyn Sender> {
+                Box::new(self.clone())
+            }
+        }
+        let mut a = Counting(0);
+        let b = Counting(0);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        a.on_event(SenderEvent::Tick);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn output_constructors() {
+        assert_eq!(SenderOutput::send_one(SMsg(3)).send, vec![SMsg(3)]);
+        let r = ReceiverOutput::send_one(RMsg(1));
+        assert_eq!(r.send, vec![RMsg(1)]);
+        assert!(r.write.is_empty());
+    }
+}

@@ -1,0 +1,223 @@
+//! Executable forms of the paper's Safety and Liveness requirements.
+//!
+//! * **Safety** — at any time, the output tape `Y` is a prefix of the input
+//!   tape `X` ([`check_safety`]).
+//! * **Liveness** — in a fair run, every input item is eventually written.
+//!   Over a finite trace we check the bounded form: at least `expected`
+//!   items were written ([`check_liveness`]).
+//!
+//! Both checkers operate on recorded [`Trace`]s, so they apply uniformly to
+//! every protocol, channel and adversary in the workspace.
+
+use crate::data::DataSeq;
+use crate::error::{Error, Result};
+use crate::event::{Event, Trace};
+
+/// Checks that the output tape was a prefix of the input at *every* point
+/// of the trace (not just at the end): writes must occur at consecutive
+/// positions `0, 1, 2, …` and each written item must equal the input item
+/// at that position.
+///
+/// # Errors
+///
+/// Returns [`Error::SafetyViolated`] naming the first offending step and
+/// position.
+///
+/// ```
+/// use stp_core::data::{DataItem, DataSeq};
+/// use stp_core::event::{Event, Trace};
+/// use stp_core::require::check_safety;
+///
+/// let mut t = Trace::new(DataSeq::from_indices([7]));
+/// t.record(0, Event::Write { item: DataItem(7), pos: 0 });
+/// assert!(check_safety(&t).is_ok());
+/// ```
+pub fn check_safety(trace: &Trace) -> Result<()> {
+    let input = trace.input();
+    let mut next_pos = 0usize;
+    for e in trace.events() {
+        if let Event::Write { item, pos } = e.event {
+            if pos != next_pos {
+                return Err(Error::SafetyViolated {
+                    step: e.step,
+                    position: pos,
+                });
+            }
+            match input.get(pos) {
+                Some(expected) if expected == item => next_pos += 1,
+                _ => {
+                    return Err(Error::SafetyViolated {
+                        step: e.step,
+                        position: pos,
+                    })
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks the bounded liveness obligation: at least `expected` items have
+/// been written by the end of the trace.
+///
+/// # Errors
+///
+/// Returns [`Error::LivenessShortfall`] when fewer were written.
+pub fn check_liveness(trace: &Trace, expected: usize) -> Result<()> {
+    let written = trace.output().len();
+    if written < expected {
+        Err(Error::LivenessShortfall { written, expected })
+    } else {
+        Ok(())
+    }
+}
+
+/// Checks full delivery: the whole input was written.
+///
+/// # Errors
+///
+/// Returns [`Error::LivenessShortfall`] when items are missing, or
+/// [`Error::SafetyViolated`] when the output disagrees with the input.
+pub fn check_complete(trace: &Trace) -> Result<()> {
+    check_safety(trace)?;
+    check_liveness(trace, trace.input().len())
+}
+
+/// A summary verdict for one run, convenient for experiment tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// Whether safety held throughout.
+    pub safe: bool,
+    /// Number of items written.
+    pub written: usize,
+    /// Number of items on the input tape.
+    pub expected: usize,
+    /// The output tape at the end of the trace.
+    pub output: DataSeq,
+}
+
+impl Verdict {
+    /// Evaluates a trace.
+    pub fn of(trace: &Trace) -> Verdict {
+        Verdict {
+            safe: check_safety(trace).is_ok(),
+            written: trace.output().len(),
+            expected: trace.input().len(),
+            output: trace.output(),
+        }
+    }
+
+    /// Whether the run both stayed safe and delivered everything.
+    pub fn is_complete(&self) -> bool {
+        self.safe && self.written >= self.expected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::DataItem;
+
+    fn write(pos: usize, item: u16) -> Event {
+        Event::Write {
+            item: DataItem(item),
+            pos,
+        }
+    }
+
+    #[test]
+    fn safety_holds_for_correct_prefix_writes() {
+        let mut t = Trace::new(DataSeq::from_indices([3, 1, 4]));
+        t.record(2, write(0, 3));
+        t.record(5, write(1, 1));
+        assert!(check_safety(&t).is_ok());
+    }
+
+    #[test]
+    fn safety_rejects_wrong_item() {
+        let mut t = Trace::new(DataSeq::from_indices([3, 1]));
+        t.record(2, write(0, 9));
+        assert_eq!(
+            check_safety(&t),
+            Err(Error::SafetyViolated {
+                step: 2,
+                position: 0
+            })
+        );
+    }
+
+    #[test]
+    fn safety_rejects_out_of_order_positions() {
+        let mut t = Trace::new(DataSeq::from_indices([3, 1]));
+        t.record(1, write(1, 1));
+        assert_eq!(
+            check_safety(&t),
+            Err(Error::SafetyViolated {
+                step: 1,
+                position: 1
+            })
+        );
+    }
+
+    #[test]
+    fn safety_rejects_overrun() {
+        let mut t = Trace::new(DataSeq::from_indices([3]));
+        t.record(0, write(0, 3));
+        t.record(1, write(1, 0));
+        assert!(matches!(
+            check_safety(&t),
+            Err(Error::SafetyViolated { step: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn safety_rejects_double_write_of_same_position() {
+        let mut t = Trace::new(DataSeq::from_indices([3, 3]));
+        t.record(0, write(0, 3));
+        t.record(1, write(0, 3));
+        assert!(check_safety(&t).is_err());
+    }
+
+    #[test]
+    fn liveness_counts_writes() {
+        let mut t = Trace::new(DataSeq::from_indices([3, 1]));
+        t.record(0, write(0, 3));
+        assert!(check_liveness(&t, 1).is_ok());
+        assert_eq!(
+            check_liveness(&t, 2),
+            Err(Error::LivenessShortfall {
+                written: 1,
+                expected: 2
+            })
+        );
+    }
+
+    #[test]
+    fn complete_requires_both() {
+        let mut t = Trace::new(DataSeq::from_indices([3, 1]));
+        t.record(0, write(0, 3));
+        assert!(check_complete(&t).is_err());
+        t.record(1, write(1, 1));
+        assert!(check_complete(&t).is_ok());
+    }
+
+    #[test]
+    fn verdict_summarizes() {
+        let mut t = Trace::new(DataSeq::from_indices([3, 1]));
+        t.record(0, write(0, 3));
+        let v = Verdict::of(&t);
+        assert!(v.safe);
+        assert_eq!(v.written, 1);
+        assert_eq!(v.expected, 2);
+        assert!(!v.is_complete());
+        t.record(1, write(1, 1));
+        assert!(Verdict::of(&t).is_complete());
+    }
+
+    #[test]
+    fn empty_trace_is_safe_and_trivially_live_for_zero() {
+        let t = Trace::new(DataSeq::new());
+        assert!(check_safety(&t).is_ok());
+        assert!(check_complete(&t).is_ok());
+    }
+}

@@ -1,0 +1,280 @@
+//! The paper's fact language, executable (§2.3).
+//!
+//! The set of *facts* is "the closure of the set of basic facts under the
+//! Boolean operators and the knowledge operator `K_p` for `p ∈ {S, R}`",
+//! with satisfaction
+//!
+//! ```text
+//! (R, r, t) ⊨ K_p φ   iff   (R, r', t') ⊨ φ for all (r', t') ~_p (r, t)
+//! ```
+//!
+//! [`Formula`] is that closure as an AST; [`Formula::eval`] is `⊨` over a
+//! finite [`Universe`]. The basic facts are the ones the paper uses:
+//! `x_i = d`, `|Y| ≥ n`, and "Y is a prefix of X" (its Safety clause).
+//!
+//! Because indistinguishability is an equivalence relation, the S5 axioms
+//! hold and the tests pin them down: **truth** (`K_p φ → φ`), **positive
+//! introspection** (`K_p φ → K_p K_p φ`) and **negative introspection**
+//! (`¬K_p φ → K_p ¬K_p φ`).
+//!
+//! ```
+//! use stp_core::data::DataItem;
+//! use stp_core::event::ProcessId;
+//! use stp_knowledge::formula::Formula;
+//!
+//! // "the receiver knows x₁ = 3"
+//! let f = Formula::knows(ProcessId::Receiver, Formula::item_is(1, DataItem(3)));
+//! assert!(format!("{f}").contains("K_R"));
+//! ```
+
+use crate::universe::Universe;
+use std::fmt;
+use stp_core::data::DataItem;
+use stp_core::event::{ProcessId, Step};
+
+/// A fact: the closure of the basic facts under booleans and `K_p`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Formula {
+    /// Basic fact `x_i = d` (1-based `i`, as in the paper).
+    ItemIs {
+        /// 1-based item index.
+        i: usize,
+        /// The asserted value.
+        d: DataItem,
+    },
+    /// Basic fact `|Y| ≥ n` (at least `n` items written).
+    OutputLenAtLeast(usize),
+    /// Basic fact "`Y` is a prefix of `X`" (the Safety clause).
+    OutputIsPrefix,
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+    /// The knowledge operator `K_p φ`.
+    Knows(ProcessId, Box<Formula>),
+}
+
+impl Formula {
+    /// `x_i = d`.
+    pub fn item_is(i: usize, d: DataItem) -> Formula {
+        Formula::ItemIs { i, d }
+    }
+
+    /// `K_p φ`.
+    pub fn knows(p: ProcessId, f: Formula) -> Formula {
+        Formula::Knows(p, Box::new(f))
+    }
+
+    /// `¬φ`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: Formula) -> Formula {
+        Formula::Not(Box::new(f))
+    }
+
+    /// `φ ∧ ψ`.
+    pub fn and(a: Formula, b: Formula) -> Formula {
+        Formula::And(Box::new(a), Box::new(b))
+    }
+
+    /// `φ ∨ ψ`.
+    pub fn or(a: Formula, b: Formula) -> Formula {
+        Formula::Or(Box::new(a), Box::new(b))
+    }
+
+    /// The paper's abbreviation `K_p(x_i)` — "`p` knows the value of the
+    /// `i`-th item": `⋁_{d ∈ D} K_p(x_i = d)`.
+    pub fn knows_value(p: ProcessId, i: usize, domain: u16) -> Formula {
+        let mut it = (0..domain).map(|d| Formula::knows(p, Formula::item_is(i, DataItem(d))));
+        let first = it.next().unwrap_or(Formula::OutputLenAtLeast(usize::MAX));
+        it.fold(first, Formula::or)
+    }
+
+    /// The satisfaction relation `(R, run, t) ⊨ φ` over the universe.
+    pub fn eval(&self, u: &Universe, run: usize, t: Step) -> bool {
+        match self {
+            Formula::ItemIs { i, d } => u.trace(run).input().get(i - 1) == Some(*d),
+            Formula::OutputLenAtLeast(n) => u.trace(run).output_at(t).len() >= *n,
+            Formula::OutputIsPrefix => {
+                let out = u.trace(run).output_at(t);
+                out.is_prefix_of(u.trace(run).input())
+            }
+            Formula::Not(f) => !f.eval(u, run, t),
+            Formula::And(a, b) => a.eval(u, run, t) && b.eval(u, run, t),
+            Formula::Or(a, b) => a.eval(u, run, t) || b.eval(u, run, t),
+            Formula::Knows(p, f) => (0..u.len())
+                .filter(|&o| u.indistinguishable(*p, run, o, t))
+                .all(|o| f.eval(u, o, t)),
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::ItemIs { i, d } => write!(f, "x{i}={}", d.0),
+            Formula::OutputLenAtLeast(n) => write!(f, "|Y|≥{n}"),
+            Formula::OutputIsPrefix => write!(f, "Y⊑X"),
+            Formula::Not(g) => write!(f, "¬({g})"),
+            Formula::And(a, b) => write!(f, "({a} ∧ {b})"),
+            Formula::Or(a, b) => write!(f, "({a} ∨ {b})"),
+            Formula::Knows(p, g) => write!(f, "K_{p}({g})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stp_core::alphabet::{RMsg, SMsg};
+    use stp_core::data::DataSeq;
+    use stp_core::event::{Event, Trace};
+
+    fn seq(v: &[u16]) -> DataSeq {
+        DataSeq::from_indices(v.iter().copied())
+    }
+
+    /// Two runs that diverge for R at step 2 and carry different inputs.
+    fn two_run_universe() -> Universe {
+        let mk = |input: &[u16], deliveries: &[u16], acks: &[u16]| {
+            let mut t = Trace::new(seq(input));
+            let steps = deliveries.len().max(acks.len());
+            for k in 0..steps {
+                if let Some(&m) = deliveries.get(k) {
+                    t.record(k as Step + 1, Event::DeliverToR { msg: SMsg(m) });
+                }
+                if let Some(&a) = acks.get(k) {
+                    t.record(k as Step + 1, Event::DeliverToS { msg: RMsg(a) });
+                }
+            }
+            t.set_steps(6);
+            t
+        };
+        Universe::new(vec![
+            mk(&[5, 1], &[9, 0], &[0]),
+            mk(&[5, 2], &[9, 1], &[0]),
+        ])
+    }
+
+    #[test]
+    fn basic_facts_evaluate_against_the_run() {
+        let u = two_run_universe();
+        assert!(Formula::item_is(1, DataItem(5)).eval(&u, 0, 0));
+        assert!(!Formula::item_is(1, DataItem(4)).eval(&u, 0, 0));
+        assert!(Formula::item_is(2, DataItem(1)).eval(&u, 0, 0));
+        assert!(!Formula::item_is(3, DataItem(0)).eval(&u, 0, 0), "no third item");
+        assert!(Formula::OutputLenAtLeast(0).eval(&u, 0, 0));
+        assert!(!Formula::OutputLenAtLeast(1).eval(&u, 0, 5));
+        assert!(Formula::OutputIsPrefix.eval(&u, 0, 5));
+    }
+
+    #[test]
+    fn knowledge_matches_knows_item() {
+        let u = two_run_universe();
+        for run in 0..2 {
+            for t in 0..=6 {
+                for i in 1..=2usize {
+                    let via_formula = (0..10).any(|d| {
+                        Formula::knows(
+                            ProcessId::Receiver,
+                            Formula::item_is(i, DataItem(d)),
+                        )
+                        .eval(&u, run, t)
+                            && u.trace(run).input().get(i - 1) == Some(DataItem(d))
+                    });
+                    assert_eq!(
+                        via_formula,
+                        u.knows_item(run, t, i).is_some(),
+                        "run {run}, t={t}, i={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn knows_value_abbreviation_expands_correctly() {
+        let u = two_run_universe();
+        let f = Formula::knows_value(ProcessId::Receiver, 2, 3);
+        // Before divergence (t=2): unknown; after (t=3): known.
+        assert!(!f.eval(&u, 0, 2));
+        assert!(f.eval(&u, 0, 3));
+    }
+
+    #[test]
+    fn sender_knows_its_input_immediately() {
+        let u = two_run_universe();
+        let f = Formula::knows(ProcessId::Sender, Formula::item_is(2, DataItem(1)));
+        assert!(f.eval(&u, 0, 0), "the input is part of S's local state");
+        let g = Formula::knows(ProcessId::Sender, Formula::item_is(2, DataItem(2)));
+        assert!(g.eval(&u, 1, 0));
+    }
+
+    #[test]
+    fn s5_axioms_hold() {
+        let u = two_run_universe();
+        let atoms = [
+            Formula::item_is(1, DataItem(5)),
+            Formula::item_is(2, DataItem(1)),
+            Formula::OutputLenAtLeast(1),
+            Formula::OutputIsPrefix,
+        ];
+        for p in [ProcessId::Sender, ProcessId::Receiver] {
+            for atom in &atoms {
+                for run in 0..2 {
+                    for t in 0..=6 {
+                        let k = Formula::knows(p, atom.clone());
+                        // Truth: K φ → φ.
+                        if k.eval(&u, run, t) {
+                            assert!(atom.eval(&u, run, t), "truth axiom: {k} at ({run},{t})");
+                            // Positive introspection: K φ → K K φ.
+                            assert!(
+                                Formula::knows(p, k.clone()).eval(&u, run, t),
+                                "positive introspection: {k}"
+                            );
+                        } else {
+                            // Negative introspection: ¬K φ → K ¬K φ.
+                            assert!(
+                                Formula::knows(p, Formula::not(k.clone())).eval(&u, run, t),
+                                "negative introspection: {k}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nested_cross_agent_knowledge() {
+        // After R's histories diverge (t ≥ 3), R knows x₂; does S know
+        // that R knows? S's history also differs across the runs only via
+        // ack deliveries — with the same ack stream S cannot tell the two
+        // runs apart… but S-indistinguishability also requires equal
+        // inputs, and the inputs differ, so S (knowing its input) knows
+        // everything R could ever learn about it.
+        let u = two_run_universe();
+        let r_knows = Formula::knows_value(ProcessId::Receiver, 2, 3);
+        let s_knows_r_knows = Formula::knows(ProcessId::Sender, r_knows.clone());
+        assert!(r_knows.eval(&u, 0, 3));
+        assert!(s_knows_r_knows.eval(&u, 0, 3));
+        // At t = 2, R does not know — and S knows that R does not know.
+        assert!(!r_knows.eval(&u, 0, 2));
+        assert!(
+            Formula::knows(ProcessId::Sender, Formula::not(r_knows)).eval(&u, 0, 2)
+        );
+    }
+
+    #[test]
+    fn display_renders_readably() {
+        let f = Formula::knows(
+            ProcessId::Receiver,
+            Formula::and(
+                Formula::item_is(1, DataItem(0)),
+                Formula::not(Formula::OutputLenAtLeast(2)),
+            ),
+        );
+        assert_eq!(f.to_string(), "K_R((x1=0 ∧ ¬(|Y|≥2)))");
+    }
+}

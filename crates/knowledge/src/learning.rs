@@ -1,0 +1,162 @@
+//! Learning-time extraction and universe sampling.
+//!
+//! The paper defines `t_i` — when the receiver first *knows* the first `i`
+//! data items — and argues it is the right notion of "R learns item `i`"
+//! (writing can lag knowing arbitrarily). This module extracts both the
+//! epistemic `t_i` (via a [`Universe`]) and the *empirical* write steps
+//! from a trace, and packages sampling helpers that build universes by
+//! running a protocol family across its claimed sequences under seeded
+//! adversaries.
+
+use crate::universe::Universe;
+use stp_channel::{Channel, Scheduler};
+use stp_core::event::{Step, Trace};
+use stp_protocols::ProtocolFamily;
+use stp_sim::run_family_member;
+
+/// The per-item learning profile of one run inside a universe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LearningProfile {
+    /// The epistemic learning times `t_i` (1-based items; `None` = never
+    /// within the horizon).
+    pub t: Vec<Option<Step>>,
+    /// The steps at which the receiver actually wrote each item.
+    pub write_steps: Vec<Step>,
+}
+
+impl LearningProfile {
+    /// Extracts the profile of run `run` in `universe`.
+    pub fn of(universe: &Universe, run: usize) -> LearningProfile {
+        LearningProfile {
+            t: universe.learning_times(run),
+            write_steps: universe.trace(run).write_steps(),
+        }
+    }
+
+    /// Whether knowledge precedes (or coincides with) writing for every
+    /// written item — the sanity property connecting the two notions. The
+    /// receiver writes item `i` during step `w`; the knowledge point is
+    /// visible from `w + 1` on (local histories cover *completed* steps),
+    /// so the check is `t_i ≤ w_i + 1`.
+    pub fn knowledge_precedes_writes(&self) -> bool {
+        self.t
+            .iter()
+            .zip(&self.write_steps)
+            .all(|(t, &w)| match t {
+                Some(t) => *t <= w + 1,
+                None => false,
+            })
+    }
+
+    /// Gaps `t_i − t_{i−1}` between consecutive learning times (`None`
+    /// where either endpoint is unknown). The distribution of these gaps
+    /// is experiment E8's deliverable.
+    pub fn learning_gaps(&self) -> Vec<Option<Step>> {
+        let mut out = Vec::with_capacity(self.t.len());
+        let mut prev: Option<Step> = Some(0);
+        for t in &self.t {
+            out.push(match (prev, t) {
+                (Some(p), Some(t)) => Some(t.saturating_sub(p)),
+                _ => None,
+            });
+            prev = *t;
+        }
+        out
+    }
+}
+
+/// The empirical write steps of a trace (shorthand used by benches).
+pub fn empirical_write_steps(trace: &Trace) -> Vec<Step> {
+    trace.write_steps()
+}
+
+/// Builds a universe by running `family` on **every** sequence it claims,
+/// once per scheduler seed, for exactly `steps` global steps each (equal
+/// horizons keep late points comparable).
+pub fn sample_universe(
+    family: &dyn ProtocolFamily,
+    seeds: &[u64],
+    steps: Step,
+    make_channel: impl Fn() -> Box<dyn Channel>,
+    make_scheduler: impl Fn(u64) -> Box<dyn Scheduler>,
+) -> Universe {
+    let mut traces = Vec::new();
+    for x in family.claimed_family().iter() {
+        for &seed in seeds {
+            let mut trace =
+                run_family_member(family, x, make_channel(), make_scheduler(seed), steps);
+            trace.set_steps(steps);
+            traces.push(trace);
+        }
+    }
+    Universe::new(traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stp_channel::{DupChannel, EagerScheduler};
+    use stp_protocols::{ResendPolicy, TightFamily};
+
+    fn tight_universe(d: u16, steps: Step) -> Universe {
+        sample_universe(
+            &TightFamily::new(d, ResendPolicy::Once),
+            &[0],
+            steps,
+            || Box::new(DupChannel::new()),
+            |_| Box::new(EagerScheduler::new()),
+        )
+    }
+
+    #[test]
+    fn tight_protocol_learning_times_exist_and_are_stable() {
+        let u = tight_universe(2, 60);
+        for run in 0..u.len() {
+            let n = u.trace(run).input().len();
+            let profile = LearningProfile::of(&u, run);
+            assert_eq!(profile.t.len(), n);
+            for (i, t) in profile.t.iter().enumerate() {
+                assert!(t.is_some(), "run {run}: item {} never learnt", i + 1);
+            }
+            for i in 1..=n {
+                assert!(u.is_knowledge_stable(run, i), "run {run} item {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn knowledge_precedes_writes_in_the_tight_protocol() {
+        let u = tight_universe(2, 60);
+        for run in 0..u.len() {
+            let profile = LearningProfile::of(&u, run);
+            if !profile.write_steps.is_empty() {
+                assert!(
+                    profile.knowledge_precedes_writes(),
+                    "run {run}: {profile:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn learning_gaps_have_expected_shape() {
+        let p = LearningProfile {
+            t: vec![Some(3), Some(7), None],
+            write_steps: vec![2, 6],
+        };
+        assert_eq!(p.learning_gaps(), vec![Some(3), Some(4), None]);
+    }
+
+    #[test]
+    fn universe_size_matches_family_times_seeds() {
+        let u = sample_universe(
+            &TightFamily::new(2, ResendPolicy::Once),
+            &[0, 1],
+            30,
+            || Box::new(DupChannel::new()),
+            |_| Box::new(EagerScheduler::new()),
+        );
+        // α(2) = 5 sequences × 2 seeds.
+        assert_eq!(u.len(), 10);
+    }
+}

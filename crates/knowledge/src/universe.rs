@@ -1,0 +1,413 @@
+//! Run universes and the indistinguishability / knowledge machinery.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use stp_core::data::DataItem;
+use stp_core::event::{LocalStep, ProcessId, Step, Trace};
+
+/// A finite set of recorded runs standing in for the system's run set.
+#[derive(Debug, Clone)]
+pub struct Universe {
+    traces: Vec<Trace>,
+    /// Per run: the receiver's full local history, one entry per step.
+    r_histories: Vec<Vec<LocalStep>>,
+    /// Per run: rolling hashes of receiver-history prefixes;
+    /// `r_hashes[run][t]` covers steps `0..t`.
+    r_hashes: Vec<Vec<u64>>,
+    /// Per run: the sender's full local history.
+    s_histories: Vec<Vec<LocalStep>>,
+    /// Per run: rolling hashes of sender-history prefixes. Note that the
+    /// sender's local state conceptually includes its input tape, which a
+    /// bare event history does not capture — so sender indistinguishability
+    /// additionally compares the inputs (see
+    /// [`Universe::indistinguishable`]).
+    s_hashes: Vec<Vec<u64>>,
+}
+
+fn hash_step(prev: u64, step: &LocalStep) -> u64 {
+    let mut h = DefaultHasher::new();
+    prev.hash(&mut h);
+    step.received.hash(&mut h);
+    step.sent.hash(&mut h);
+    step.tape.hash(&mut h);
+    h.finish()
+}
+
+fn index_histories(traces: &[Trace], p: ProcessId) -> (Vec<Vec<LocalStep>>, Vec<Vec<u64>>) {
+    let mut histories = Vec::with_capacity(traces.len());
+    let mut hash_chains = Vec::with_capacity(traces.len());
+    for t in traces {
+        let hist = t.local_history(p, t.steps());
+        let mut hashes = Vec::with_capacity(hist.len() + 1);
+        hashes.push(0u64);
+        let mut acc = 0u64;
+        for step in &hist {
+            acc = hash_step(acc, step);
+            hashes.push(acc);
+        }
+        histories.push(hist);
+        hash_chains.push(hashes);
+    }
+    (histories, hash_chains)
+}
+
+impl Universe {
+    /// Builds a universe from recorded traces.
+    pub fn new(traces: Vec<Trace>) -> Self {
+        let (r_histories, r_hashes) = index_histories(&traces, ProcessId::Receiver);
+        let (s_histories, s_hashes) = index_histories(&traces, ProcessId::Sender);
+        Universe {
+            traces,
+            r_histories,
+            r_hashes,
+            s_histories,
+            s_hashes,
+        }
+    }
+
+    /// Number of runs.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether the universe holds no runs.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// The traces.
+    pub fn traces(&self) -> &[Trace] {
+        &self.traces
+    }
+
+    /// The trace of run `run`.
+    pub fn trace(&self, run: usize) -> &Trace {
+        &self.traces[run]
+    }
+
+    /// Whether processor `p` cannot tell apart `(run, t)` and `(other, t)`
+    /// — equality of `p`'s local histories up to (excluding) step `t`,
+    /// and, for the sender (whose local state includes its input tape),
+    /// equality of the inputs.
+    ///
+    /// Points beyond a run's recorded horizon do not exist in the universe
+    /// and are never indistinguishable from anything.
+    pub fn indistinguishable(&self, p: ProcessId, run: usize, other: usize, t: Step) -> bool {
+        let (histories, hashes) = match p {
+            ProcessId::Receiver => (&self.r_histories, &self.r_hashes),
+            ProcessId::Sender => {
+                if self.traces[run].input() != self.traces[other].input() {
+                    return false;
+                }
+                (&self.s_histories, &self.s_hashes)
+            }
+        };
+        let t = t as usize;
+        if t > histories[run].len() || t > histories[other].len() {
+            return false;
+        }
+        hashes[run][t] == hashes[other][t] && histories[run][..t] == histories[other][..t]
+    }
+
+    /// Whether the receiver cannot tell apart `(run, t)` and `(other, t)` —
+    /// equality of receiver local histories up to (excluding) step `t`.
+    pub fn r_indistinguishable(&self, run: usize, other: usize, t: Step) -> bool {
+        self.indistinguishable(ProcessId::Receiver, run, other, t)
+    }
+
+    /// All runs whose time-`t` points the receiver cannot tell apart from
+    /// `(run, t)` (including `run` itself).
+    pub fn indistinguishability_class(&self, run: usize, t: Step) -> Vec<usize> {
+        (0..self.traces.len())
+            .filter(|&o| self.r_indistinguishable(run, o, t))
+            .collect()
+    }
+
+    /// `K_R(x_i)` at `(run, t)`: the value `d` such that the receiver knows
+    /// `x_i = d` (1-based `i`), or `None` when some indistinguishable point
+    /// disagrees (or lacks an `i`-th item).
+    pub fn knows_item(&self, run: usize, t: Step, i: usize) -> Option<DataItem> {
+        debug_assert!(i >= 1, "items are 1-based, following the paper");
+        let own = self.traces[run].input().get(i - 1)?;
+        for other in 0..self.traces.len() {
+            if !self.r_indistinguishable(run, other, t) {
+                continue;
+            }
+            match self.traces[other].input().get(i - 1) {
+                Some(d) if d == own => {}
+                _ => return None,
+            }
+        }
+        Some(own)
+    }
+
+    /// `⋀_{j=1..i} K_R(x_j)` at `(run, t)`.
+    pub fn knows_prefix(&self, run: usize, t: Step, i: usize) -> bool {
+        (1..=i).all(|j| self.knows_item(run, t, j).is_some())
+    }
+
+    /// The paper's `t_i` for every `i` up to the input length: the minimal
+    /// `t` at which the receiver knows the first `i` items, or `None` if it
+    /// never does within the recorded horizon.
+    pub fn learning_times(&self, run: usize) -> Vec<Option<Step>> {
+        let n = self.traces[run].input().len();
+        let horizon = self.traces[run].steps();
+        let mut out = Vec::with_capacity(n);
+        let mut from: Step = 0;
+        for i in 1..=n {
+            // t_i is monotone in i, so resume scanning where t_{i-1} left
+            // off.
+            let mut found = None;
+            for t in from..=horizon {
+                if self.knows_prefix(run, t, i) {
+                    found = Some(t);
+                    from = t;
+                    break;
+                }
+            }
+            if found.is_none() {
+                from = horizon + 1;
+            }
+            out.push(found);
+        }
+        out
+    }
+
+    /// Checks stability of `K_R(x_i)` along `run`: once known, the value
+    /// stays known and unchanged at every later recorded point.
+    pub fn is_knowledge_stable(&self, run: usize, i: usize) -> bool {
+        let horizon = self.traces[run].steps();
+        let mut seen: Option<DataItem> = None;
+        for t in 0..=horizon {
+            match (seen, self.knows_item(run, t, i)) {
+                (None, Some(d)) => seen = Some(d),
+                (Some(d), Some(d2)) if d == d2 => {}
+                (Some(_), _) => return false,
+                (None, None) => {}
+            }
+        }
+        true
+    }
+
+    /// Renders the time-`t` slice of the receiver's Kripke structure as
+    /// Graphviz DOT: one node per run (labelled with its input and output
+    /// so far), one cluster per indistinguishability class. Feed it to
+    /// `dot -Tsvg` to *see* the paper's possible-worlds semantics.
+    pub fn to_dot(&self, t: Step) -> String {
+        let mut out = String::from("graph kripke {\n  rankdir=LR;\n  node [shape=box];\n");
+        for (c, class) in self.classes_at(t).iter().enumerate() {
+            out.push_str(&format!(
+                "  subgraph cluster_{c} {{\n    label=\"class {c}\";\n"
+            ));
+            for &run in class {
+                let trace = &self.traces[run];
+                out.push_str(&format!(
+                    "    r{run} [label=\"run {run}\\nX={}\\nY={}\"];\n",
+                    trace.input(),
+                    trace.output_at(t)
+                ));
+            }
+            // Indistinguishability edges within the class (a clique; we
+            // draw the path to keep the picture readable).
+            for w in class.windows(2) {
+                out.push_str(&format!("    r{} -- r{};\n", w[0], w[1]));
+            }
+            out.push_str("  }\n");
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Groups all runs by their receiver-history hash at time `t` —
+    /// useful for spotting indistinguishable clusters in experiments.
+    pub fn classes_at(&self, t: Step) -> Vec<Vec<usize>> {
+        let mut by_hash: HashMap<u64, Vec<usize>> = HashMap::new();
+        for run in 0..self.traces.len() {
+            let tt = t as usize;
+            if tt > self.r_histories[run].len() {
+                continue;
+            }
+            by_hash.entry(self.r_hashes[run][tt]).or_default().push(run);
+        }
+        let mut classes: Vec<Vec<usize>> = by_hash.into_values().collect();
+        classes.sort();
+        classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stp_core::alphabet::SMsg;
+    use stp_core::data::DataSeq;
+    use stp_core::event::Event;
+
+    fn seq(v: &[u16]) -> DataSeq {
+        DataSeq::from_indices(v.iter().copied())
+    }
+
+    /// A trace where R receives `msgs[k]` at step `k+1` (one per step).
+    fn trace_with_deliveries(input: &[u16], msgs: &[u16], steps: Step) -> Trace {
+        let mut t = Trace::new(seq(input));
+        for (k, &m) in msgs.iter().enumerate() {
+            t.record(k as Step + 1, Event::DeliverToR { msg: SMsg(m) });
+        }
+        t.set_steps(steps);
+        t
+    }
+
+    #[test]
+    fn identical_histories_are_indistinguishable() {
+        let u = Universe::new(vec![
+            trace_with_deliveries(&[0, 1], &[7], 5),
+            trace_with_deliveries(&[0, 2], &[7], 5),
+        ]);
+        for t in 0..=5 {
+            assert!(u.r_indistinguishable(0, 1, t), "t={t}");
+        }
+        assert_eq!(u.indistinguishability_class(0, 3), vec![0, 1]);
+    }
+
+    #[test]
+    fn diverging_histories_split_at_the_divergence() {
+        let u = Universe::new(vec![
+            trace_with_deliveries(&[0, 1], &[7, 3], 5),
+            trace_with_deliveries(&[0, 2], &[7, 4], 5),
+        ]);
+        assert!(u.r_indistinguishable(0, 1, 2)); // only ⟨7⟩ seen by then
+        assert!(!u.r_indistinguishable(0, 1, 3)); // 3 vs 4 at step 2
+    }
+
+    #[test]
+    fn knowledge_requires_agreement_of_the_whole_class() {
+        // Two runs indistinguishable forever, inputs agree on x₁ but not x₂.
+        let u = Universe::new(vec![
+            trace_with_deliveries(&[5, 1], &[9], 10),
+            trace_with_deliveries(&[5, 2], &[9], 10),
+        ]);
+        assert_eq!(u.knows_item(0, 10, 1), Some(DataItem(5)));
+        assert_eq!(u.knows_item(0, 10, 2), None);
+        assert!(u.knows_prefix(0, 10, 1));
+        assert!(!u.knows_prefix(0, 10, 2));
+    }
+
+    #[test]
+    fn knowledge_emerges_when_histories_diverge() {
+        // Runs share step 1 but diverge at step 2.
+        let u = Universe::new(vec![
+            trace_with_deliveries(&[5, 1], &[9, 0], 10),
+            trace_with_deliveries(&[5, 2], &[9, 1], 10),
+        ]);
+        assert_eq!(u.knows_item(0, 2, 2), None, "still clustered at t=2");
+        assert_eq!(u.knows_item(0, 3, 2), Some(DataItem(1)), "split at t=3");
+    }
+
+    #[test]
+    fn learning_times_are_monotone_and_match_divergence() {
+        let u = Universe::new(vec![
+            trace_with_deliveries(&[5, 1], &[9, 0], 10),
+            trace_with_deliveries(&[5, 2], &[9, 1], 10),
+            trace_with_deliveries(&[6, 2], &[8, 1], 10),
+        ]);
+        let lt = u.learning_times(0);
+        // x₁ = 5 is known once run 2 (input 6…) is distinguishable — that
+        // happens at t=2 (8 vs 9 delivered at step 1).
+        assert_eq!(lt[0], Some(2));
+        // x₂ = 1 needs run 1 distinguished too: t=3.
+        assert_eq!(lt[1], Some(3));
+        let pairs: Vec<_> = lt.windows(2).collect();
+        for w in pairs {
+            if let (Some(a), Some(b)) = (w[0], w[1]) {
+                assert!(a <= b, "t_i must be monotone");
+            }
+        }
+    }
+
+    #[test]
+    fn never_learnt_items_return_none() {
+        let u = Universe::new(vec![
+            trace_with_deliveries(&[1], &[], 4),
+            trace_with_deliveries(&[0], &[], 4),
+        ]);
+        assert_eq!(u.learning_times(0), vec![None]);
+    }
+
+    #[test]
+    fn singleton_universe_knows_everything_vacuously() {
+        // With one run, the class is a singleton and R "knows" the input
+        // immediately — the honest illustration of the sampling caveat.
+        let u = Universe::new(vec![trace_with_deliveries(&[3, 1, 4], &[], 2)]);
+        assert_eq!(u.knows_item(0, 0, 3), Some(DataItem(4)));
+    }
+
+    #[test]
+    fn stability_holds_for_diverging_universes() {
+        let u = Universe::new(vec![
+            trace_with_deliveries(&[5, 1], &[9, 0], 10),
+            trace_with_deliveries(&[5, 2], &[9, 1], 10),
+        ]);
+        assert!(u.is_knowledge_stable(0, 1));
+        assert!(u.is_knowledge_stable(0, 2));
+    }
+
+    #[test]
+    fn classes_at_partitions_runs() {
+        let u = Universe::new(vec![
+            trace_with_deliveries(&[0], &[1], 5),
+            trace_with_deliveries(&[1], &[1], 5),
+            trace_with_deliveries(&[2], &[2], 5),
+        ]);
+        let classes = u.classes_at(2);
+        assert_eq!(classes.len(), 2);
+        assert!(classes.contains(&vec![0, 1]));
+        assert!(classes.contains(&vec![2]));
+        // At t=0 everyone clusters.
+        assert_eq!(u.classes_at(0), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn dot_export_contains_every_run_and_class() {
+        let u = Universe::new(vec![
+            trace_with_deliveries(&[0], &[1], 5),
+            trace_with_deliveries(&[1], &[1], 5),
+            trace_with_deliveries(&[2], &[2], 5),
+        ]);
+        let dot = u.to_dot(2);
+        assert!(dot.starts_with("graph kripke"));
+        for run in 0..3 {
+            assert!(dot.contains(&format!("r{run} [label=")), "{dot}");
+        }
+        assert!(dot.contains("cluster_0"));
+        assert!(dot.contains("cluster_1"));
+        assert!(!dot.contains("cluster_2"), "only two classes at t=2");
+        // The indistinguishable pair is connected.
+        assert!(dot.contains("r0 -- r1"));
+    }
+
+    #[test]
+    fn sender_indistinguishability_requires_equal_inputs() {
+        let u = Universe::new(vec![
+            trace_with_deliveries(&[5, 1], &[], 5),
+            trace_with_deliveries(&[5, 2], &[], 5),
+            trace_with_deliveries(&[5, 1], &[], 5),
+        ]);
+        use stp_core::event::ProcessId;
+        // Same input, same (empty) history: indistinguishable to S.
+        assert!(u.indistinguishable(ProcessId::Sender, 0, 2, 3));
+        // Different inputs: never, even with identical event histories.
+        assert!(!u.indistinguishable(ProcessId::Sender, 0, 1, 3));
+        // R, by contrast, confuses all three.
+        assert!(u.indistinguishable(ProcessId::Receiver, 0, 1, 0));
+    }
+
+    #[test]
+    fn short_runs_have_no_late_points() {
+        let u = Universe::new(vec![
+            trace_with_deliveries(&[0], &[], 2),
+            trace_with_deliveries(&[0], &[], 9),
+        ]);
+        assert!(u.r_indistinguishable(0, 1, 2));
+        assert!(!u.r_indistinguishable(0, 1, 5), "run 0 has no point at 5");
+    }
+}

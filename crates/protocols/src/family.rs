@@ -1,0 +1,360 @@
+//! Protocol *families*: recipes that instantiate a sender/receiver pair for
+//! a given input sequence.
+//!
+//! The paper's solutions are families `⋃_{X∈X}(P_{S,X}, P_R)` — possibly
+//! non-uniform in the input — together with the set `X` of sequences they
+//! claim to transmit. The simulator runs a family on each member of its
+//! `X`; the verifier tries to *refute* a family by exhibiting runs on two
+//! members that the receiver cannot tell apart.
+
+use crate::abp::{AbpReceiver, AbpSender};
+use crate::hybrid::{HybridReceiver, HybridSender};
+use crate::naive::NaiveSender;
+use crate::stenning::{StenningReceiver, StenningSender};
+use crate::tight::{ResendPolicy, TightReceiver, TightSender};
+use std::fmt;
+use stp_core::data::DataSeq;
+use stp_core::proto::{Receiver, Sender};
+use stp_core::sequence::SequenceFamily;
+
+/// A family of protocols plus the sequence family it claims to solve.
+pub trait ProtocolFamily: fmt::Debug {
+    /// Human-readable name for experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// The set `X` of input sequences the family claims to transmit.
+    fn claimed_family(&self) -> SequenceFamily;
+
+    /// Size of the sender's message alphabet `m = |M^S|`.
+    fn sender_alphabet_size(&self) -> u16;
+
+    /// Instantiates the sender for input `x`.
+    fn sender_for(&self, x: &DataSeq) -> Box<dyn Sender>;
+
+    /// Instantiates the receiver (the same `P_R` for every input).
+    fn receiver(&self) -> Box<dyn Receiver>;
+}
+
+/// The paper's tight protocol over the repetition-free family: the
+/// achievability half of Theorems 1 and 2 (`|X| = α(m)`).
+#[derive(Debug, Clone)]
+pub struct TightFamily {
+    /// Domain (= alphabet) size.
+    pub d: u16,
+    /// Retransmission policy ([`ResendPolicy::Once`] for dup channels,
+    /// [`ResendPolicy::EveryTick`] for del channels).
+    pub policy: ResendPolicy,
+}
+
+impl TightFamily {
+    /// Creates the family for domain size `d`.
+    pub fn new(d: u16, policy: ResendPolicy) -> Self {
+        TightFamily { d, policy }
+    }
+}
+
+impl ProtocolFamily for TightFamily {
+    fn name(&self) -> &'static str {
+        match self.policy {
+            ResendPolicy::Once => "tight-dup",
+            ResendPolicy::EveryTick => "tight-del",
+        }
+    }
+
+    fn claimed_family(&self) -> SequenceFamily {
+        SequenceFamily::repetition_free(self.d)
+    }
+
+    fn sender_alphabet_size(&self) -> u16 {
+        self.d
+    }
+
+    fn sender_for(&self, x: &DataSeq) -> Box<dyn Sender> {
+        Box::new(TightSender::new(x.clone(), self.d, self.policy))
+    }
+
+    fn receiver(&self) -> Box<dyn Receiver> {
+        Box::new(TightReceiver::new(self.d, self.policy))
+    }
+}
+
+/// The over-capacity family the impossibility engine refutes: the tight
+/// machinery applied to **all** sequences over the domain up to a length
+/// bound — strictly more than `α(d)` of them once `max_len ≥ 2`.
+#[derive(Debug, Clone)]
+pub struct NaiveFamily {
+    /// Domain (= alphabet) size.
+    pub d: u16,
+    /// Maximum claimed sequence length.
+    pub max_len: usize,
+    /// Retransmission policy ([`ResendPolicy::Once`] for dup channels,
+    /// [`ResendPolicy::EveryTick`] for del channels).
+    pub policy: ResendPolicy,
+}
+
+impl NaiveFamily {
+    /// Creates the dup-channel family for domain size `d` and length bound
+    /// `max_len`.
+    pub fn new(d: u16, max_len: usize) -> Self {
+        NaiveFamily {
+            d,
+            max_len,
+            policy: ResendPolicy::Once,
+        }
+    }
+
+    /// The retransmitting (del-channel) variant.
+    pub fn resending(d: u16, max_len: usize) -> Self {
+        NaiveFamily {
+            d,
+            max_len,
+            policy: ResendPolicy::EveryTick,
+        }
+    }
+
+    /// The *minimal* over-capacity family: all sequences over `d` items up
+    /// to the smallest length whose count exceeds `α(d)` — the smallest
+    /// claim Theorem 1 already forbids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `α(d)` overflows `u128` (`d > 33`).
+    pub fn minimal_overcapacity(d: u16, policy: ResendPolicy) -> Self {
+        let capacity = stp_core::alpha::alpha(d as u32).expect("small d");
+        let mut max_len = 1usize;
+        loop {
+            let size = stp_core::sequence::SequenceFamily::all_up_to(d, max_len).len();
+            if size as u128 > capacity {
+                break;
+            }
+            max_len += 1;
+        }
+        NaiveFamily { d, max_len, policy }
+    }
+}
+
+impl ProtocolFamily for NaiveFamily {
+    fn name(&self) -> &'static str {
+        match self.policy {
+            ResendPolicy::Once => "naive-overcapacity",
+            ResendPolicy::EveryTick => "naive-overcapacity-del",
+        }
+    }
+
+    fn claimed_family(&self) -> SequenceFamily {
+        SequenceFamily::all_up_to(self.d, self.max_len)
+    }
+
+    fn sender_alphabet_size(&self) -> u16 {
+        self.d
+    }
+
+    fn sender_for(&self, x: &DataSeq) -> Box<dyn Sender> {
+        Box::new(NaiveSender::new(x.clone(), self.d, self.policy))
+    }
+
+    fn receiver(&self) -> Box<dyn Receiver> {
+        Box::new(TightReceiver::new(self.d, self.policy))
+    }
+}
+
+/// The Alternating Bit protocol as a family over all bounded-length
+/// sequences (its natural claim on a lossy FIFO link).
+#[derive(Debug, Clone)]
+pub struct AbpFamily {
+    /// Data domain size.
+    pub domain: u16,
+    /// Maximum claimed sequence length.
+    pub max_len: usize,
+}
+
+impl AbpFamily {
+    /// Creates the family.
+    pub fn new(domain: u16, max_len: usize) -> Self {
+        AbpFamily { domain, max_len }
+    }
+}
+
+impl ProtocolFamily for AbpFamily {
+    fn name(&self) -> &'static str {
+        "abp"
+    }
+
+    fn claimed_family(&self) -> SequenceFamily {
+        SequenceFamily::all_up_to(self.domain, self.max_len)
+    }
+
+    fn sender_alphabet_size(&self) -> u16 {
+        2 * self.domain
+    }
+
+    fn sender_for(&self, x: &DataSeq) -> Box<dyn Sender> {
+        Box::new(AbpSender::new(x.clone(), self.domain))
+    }
+
+    fn receiver(&self) -> Box<dyn Receiver> {
+        Box::new(AbpReceiver::new(self.domain))
+    }
+}
+
+/// Stenning's protocol as a family (modular sequence numbers).
+#[derive(Debug, Clone)]
+pub struct StenningFamily {
+    /// Data domain size.
+    pub domain: u16,
+    /// Sequence-number modulus.
+    pub modulus: u16,
+    /// Maximum claimed sequence length.
+    pub max_len: usize,
+}
+
+impl StenningFamily {
+    /// Creates the family.
+    pub fn new(domain: u16, modulus: u16, max_len: usize) -> Self {
+        StenningFamily {
+            domain,
+            modulus,
+            max_len,
+        }
+    }
+}
+
+impl ProtocolFamily for StenningFamily {
+    fn name(&self) -> &'static str {
+        "stenning"
+    }
+
+    fn claimed_family(&self) -> SequenceFamily {
+        SequenceFamily::all_up_to(self.domain, self.max_len)
+    }
+
+    fn sender_alphabet_size(&self) -> u16 {
+        self.modulus * self.domain
+    }
+
+    fn sender_for(&self, x: &DataSeq) -> Box<dyn Sender> {
+        Box::new(StenningSender::new(x.clone(), self.domain, self.modulus))
+    }
+
+    fn receiver(&self) -> Box<dyn Receiver> {
+        Box::new(StenningReceiver::new(self.domain, self.modulus))
+    }
+}
+
+/// The Section-5 hybrid as a family over a timed channel.
+#[derive(Debug, Clone)]
+pub struct HybridFamily {
+    /// Data domain size.
+    pub domain: u16,
+    /// The timed channel's delivery deadline in ticks.
+    pub deadline: u32,
+    /// Maximum claimed sequence length.
+    pub max_len: usize,
+}
+
+impl HybridFamily {
+    /// Creates the family.
+    pub fn new(domain: u16, deadline: u32, max_len: usize) -> Self {
+        HybridFamily {
+            domain,
+            deadline,
+            max_len,
+        }
+    }
+}
+
+impl ProtocolFamily for HybridFamily {
+    fn name(&self) -> &'static str {
+        "hybrid-weakly-bounded"
+    }
+
+    fn claimed_family(&self) -> SequenceFamily {
+        SequenceFamily::all_up_to(self.domain, self.max_len)
+    }
+
+    fn sender_alphabet_size(&self) -> u16 {
+        4 * self.domain + 3
+    }
+
+    fn sender_for(&self, x: &DataSeq) -> Box<dyn Sender> {
+        Box::new(HybridSender::new(x.clone(), self.domain, self.deadline))
+    }
+
+    fn receiver(&self) -> Box<dyn Receiver> {
+        Box::new(HybridReceiver::new(self.domain))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stp_core::alpha::alpha;
+
+    #[test]
+    fn tight_family_claims_exactly_alpha_sequences() {
+        for d in 0u16..=5 {
+            let f = TightFamily::new(d, ResendPolicy::Once);
+            assert_eq!(
+                f.claimed_family().len() as u128,
+                alpha(d as u32).unwrap(),
+                "d={d}"
+            );
+            assert_eq!(f.sender_alphabet_size(), d);
+        }
+    }
+
+    #[test]
+    fn naive_family_exceeds_alpha() {
+        let f = NaiveFamily::new(2, 2);
+        assert!(f.claimed_family().len() as u128 > alpha(2).unwrap());
+    }
+
+    #[test]
+    fn families_instantiate_working_pairs() {
+        use stp_core::proto::{ReceiverEvent, SenderEvent};
+        let fams: Vec<Box<dyn ProtocolFamily>> = vec![
+            Box::new(TightFamily::new(3, ResendPolicy::Once)),
+            Box::new(TightFamily::new(3, ResendPolicy::EveryTick)),
+            Box::new(NaiveFamily::new(3, 2)),
+            Box::new(AbpFamily::new(3, 4)),
+            Box::new(StenningFamily::new(3, 4, 4)),
+            Box::new(HybridFamily::new(3, 2, 4)),
+        ];
+        for f in &fams {
+            let x = f
+                .claimed_family()
+                .iter()
+                .find(|s| s.len() == 1)
+                .cloned()
+                .expect("every family claims some singleton sequence");
+            let mut s = f.sender_for(&x);
+            let mut r = f.receiver();
+            let out = s.on_event(SenderEvent::Init);
+            assert!(
+                !out.send.is_empty(),
+                "{} should transmit something for {x}",
+                f.name()
+            );
+            let rout = r.on_event(ReceiverEvent::Deliver(out.send[0]));
+            assert_eq!(
+                rout.write.len(),
+                1,
+                "{} receiver should write the first item",
+                f.name()
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(TightFamily::new(2, ResendPolicy::Once).name(), "tight-dup");
+        assert_eq!(
+            TightFamily::new(2, ResendPolicy::EveryTick).name(),
+            "tight-del"
+        );
+        assert_eq!(NaiveFamily::new(2, 2).name(), "naive-overcapacity");
+        assert_eq!(AbpFamily::new(2, 2).name(), "abp");
+        assert_eq!(StenningFamily::new(2, 2, 2).name(), "stenning");
+        assert_eq!(HybridFamily::new(2, 2, 2).name(), "hybrid-weakly-bounded");
+    }
+}

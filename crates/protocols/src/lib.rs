@@ -1,0 +1,58 @@
+//! # stp-protocols — sequence transmission protocols
+//!
+//! Implementations of every protocol the paper describes, uses or argues
+//! against:
+//!
+//! * [`TightSender`] / [`TightReceiver`] — the paper's tight protocol for
+//!   `X`-STP(dup) (Section 3), which also is the bounded solution for
+//!   `X`-STP(del) (Section 4): the sender transmits the items of a
+//!   repetition-free sequence one at a time, awaiting a matching
+//!   acknowledgement for each; the receiver writes any *new* message value
+//!   and acknowledges it. It achieves `|X| = α(m)`, matching the
+//!   impossibility bound exactly.
+//! * [`AbpSender`] / [`AbpReceiver`] — the Alternating Bit protocol
+//!   (\[BSW69\]), the classical data-link baseline for lossy FIFO links.
+//! * [`StenningSender`] / [`StenningReceiver`] — Stenning's protocol
+//!   (\[Ste76\]) with a parametric sequence-number modulus; with an
+//!   unbounded modulus it would solve everything, which is precisely what a
+//!   finite alphabet forbids.
+//! * [`HybridSender`] / [`HybridReceiver`] — the Section-5 example of a
+//!   *weakly bounded but not bounded* protocol: ABP over a timed channel
+//!   until a timeout fault, then recovery that retransmits the remaining
+//!   items in reverse order on a fresh alphabet, committing them all at a
+//!   final DONE message. Its recovery latency grows with `|X|`, not with
+//!   the index being learnt.
+//! * [`NaiveSender`] — an over-capacity protocol that pretends to transmit
+//!   arbitrary (repetition-containing) sequences with the tight encoding;
+//!   the verifier's decisive-tuple engine refutes it, reproducing the
+//!   impossibility argument concretely.
+//!
+//! Every protocol is a deterministic state machine implementing the
+//! [`Sender`](stp_core::proto::Sender) / [`Receiver`](stp_core::proto::Receiver)
+//! traits from `stp-core`; the [`family`] module packages each as a
+//! [`ProtocolFamily`] (a recipe for instantiating
+//! the pair on a given input sequence) for use by the simulator and the
+//! verifier.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abp;
+pub mod family;
+pub mod hybrid;
+pub mod naive;
+pub mod probabilistic;
+pub mod stenning;
+pub mod tight;
+pub mod window;
+
+pub use abp::{AbpReceiver, AbpSender};
+pub use family::{
+    AbpFamily, HybridFamily, NaiveFamily, ProtocolFamily, StenningFamily, TightFamily,
+};
+pub use hybrid::{HybridReceiver, HybridSender};
+pub use naive::NaiveSender;
+pub use probabilistic::{CodebookReceiver, CodebookSender, ProbabilisticFamily};
+pub use stenning::{StenningReceiver, StenningSender};
+pub use tight::{ResendPolicy, TightReceiver, TightSender};
+pub use window::{GoBackNFamily, GoBackNReceiver, GoBackNSender};

@@ -1,0 +1,123 @@
+//! One-shot fault injection — the instrument behind the boundedness
+//! experiments (E3, E5).
+//!
+//! [`FaultInjector`] wraps an inner scheduler and, at a chosen global step,
+//! destroys in-flight copies (on deleting/lossy channels). Everything else
+//! is delegated. Injecting exactly one fault right after the receiver
+//! learns item `i` is how we measure a protocol's recovery profile: the
+//! paper's Definition-2 *bounded* protocols recover in time `f(i)`
+//! independent of the input length, while the Section-5 hybrid needs time
+//! proportional to the whole remaining sequence.
+
+use stp_channel::{Channel, Scheduler, StepDecision};
+use stp_core::event::Step;
+
+/// A scheduler wrapper that injects a single deletion burst at a fixed
+/// step.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    inner: Box<dyn Scheduler>,
+    /// Step at which to strike.
+    at: Step,
+    /// Maximum copies to destroy in each direction (usually 1).
+    copies: usize,
+    /// Whether the strike also suppresses that step's deliveries.
+    suppress_delivery: bool,
+    fired: bool,
+}
+
+impl FaultInjector {
+    /// Wraps `inner`, deleting up to `copies` in-flight copies per
+    /// direction at step `at` and suppressing that step's deliveries.
+    pub fn new(inner: Box<dyn Scheduler>, at: Step, copies: usize) -> Self {
+        FaultInjector {
+            inner,
+            at,
+            copies,
+            suppress_delivery: true,
+            fired: false,
+        }
+    }
+
+    /// Whether the fault has fired yet.
+    pub fn fired(&self) -> bool {
+        self.fired
+    }
+}
+
+impl Scheduler for FaultInjector {
+    fn decide(&mut self, step: Step, chan: &dyn Channel) -> StepDecision {
+        let mut d = self.inner.decide(step, chan);
+        if !self.fired && step >= self.at {
+            self.fired = true;
+            if chan.can_delete() {
+                d.delete_to_r = chan
+                    .deliverable_to_r()
+                    .into_iter()
+                    .take(self.copies)
+                    .collect();
+                d.delete_to_s = chan
+                    .deliverable_to_s()
+                    .into_iter()
+                    .take(self.copies)
+                    .collect();
+            }
+            if self.suppress_delivery {
+                d.deliver_to_r = None;
+                d.deliver_to_s = None;
+            }
+        }
+        d
+    }
+
+    fn box_clone(&self) -> Box<dyn Scheduler> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stp_channel::{DelChannel, DupChannel, EagerScheduler};
+    use stp_core::alphabet::SMsg;
+
+    #[test]
+    fn fires_once_at_the_configured_step() {
+        let mut ch = DelChannel::new();
+        ch.send_s(SMsg(0));
+        ch.send_s(SMsg(1));
+        let mut f = FaultInjector::new(Box::new(EagerScheduler::new()), 3, 1);
+        for t in 0..3 {
+            let d = f.decide(t, &ch);
+            assert!(d.delete_to_r.is_empty(), "t={t}");
+            assert!(!f.fired());
+        }
+        let d = f.decide(3, &ch);
+        assert_eq!(d.delete_to_r.len(), 1);
+        assert!(d.deliver_to_r.is_none(), "delivery suppressed at the fault");
+        assert!(f.fired());
+        // Subsequent steps delegate untouched.
+        let d = f.decide(4, &ch);
+        assert!(d.delete_to_r.is_empty());
+        assert!(d.deliver_to_r.is_some());
+    }
+
+    #[test]
+    fn respects_non_deleting_channels() {
+        let mut ch = DupChannel::new();
+        ch.send_s(SMsg(0));
+        let mut f = FaultInjector::new(Box::new(EagerScheduler::new()), 0, 1);
+        let d = f.decide(0, &ch);
+        assert!(d.delete_to_r.is_empty(), "dup channels cannot lose copies");
+        assert!(f.fired(), "the strike step still counts as fired");
+    }
+
+    #[test]
+    fn late_start_fires_at_first_opportunity() {
+        let ch = DelChannel::new();
+        let mut f = FaultInjector::new(Box::new(EagerScheduler::new()), 2, 1);
+        // Jump straight past the configured step.
+        let _ = f.decide(10, &ch);
+        assert!(f.fired());
+    }
+}

@@ -1,0 +1,46 @@
+//! # stp-sim — the discrete-event executor
+//!
+//! Runs a sender/receiver pair against a channel and an adversarial
+//! scheduler in lock-step global steps, recording everything as a
+//! [`Trace`](stp_core::event::Trace). One global step is:
+//!
+//! 1. the scheduler inspects the channel and decides deletions and at most
+//!    one delivery per processor (the paper's §2.2 model);
+//! 2. deletions are applied (recorded as `ChannelDrop`);
+//! 3. each processor handles its event — `Init` at step 0, `Deliver(m)` if
+//!    a message arrived, `Tick` otherwise — and its outputs (sends, tape
+//!    writes) are applied *after* the deliveries, so nothing is delivered
+//!    in the step it was sent;
+//! 4. the channel's clock advances (timed channels expire messages here).
+//!
+//! Everything is deterministic given the scheduler's seed, so runs are
+//! replayable; the verifier leans on this to re-execute adversarial
+//! extensions it has constructed.
+//!
+//! ```
+//! use stp_core::data::DataSeq;
+//! use stp_sim::World;
+//!
+//! let input = DataSeq::from_indices([2, 0, 1]);
+//! let mut world = World::tight_dup(input.clone(), 3);
+//! let trace = world.run_to_completion(1_000).unwrap();
+//! assert_eq!(trace.output(), input);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod metrics;
+pub mod replay;
+pub mod runner;
+pub mod threaded;
+pub mod world;
+
+pub use fault::FaultInjector;
+pub use metrics::RunStats;
+pub use replay::{replay, script_from_trace};
+pub use runner::{
+    run_family_member, sweep_family, sweep_family_parallel, FamilyRunConfig, SweepOutcome,
+};
+pub use world::World;

@@ -1,0 +1,163 @@
+//! Run statistics extracted from traces — the raw material of the
+//! protocol-cost experiment (E7).
+
+use serde::{Deserialize, Serialize};
+use stp_core::event::{Event, Step, Trace};
+use stp_core::require::check_safety;
+
+/// Aggregate statistics of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Global steps executed.
+    pub steps: Step,
+    /// Messages sent by `S` (with multiplicity).
+    pub sends_s: usize,
+    /// Messages sent by `R`.
+    pub sends_r: usize,
+    /// Deliveries to `R`.
+    pub deliveries_r: usize,
+    /// Deliveries to `S`.
+    pub deliveries_s: usize,
+    /// Copies destroyed by the adversary (both directions).
+    pub drops: usize,
+    /// Items written by `R`.
+    pub written: usize,
+    /// Items on the input tape.
+    pub input_len: usize,
+    /// Whether safety held throughout.
+    pub safe: bool,
+    /// Step at which each output item was written.
+    pub write_steps: Vec<Step>,
+}
+
+impl RunStats {
+    /// Computes the statistics of `trace`.
+    pub fn of(trace: &Trace) -> RunStats {
+        let drops = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e.event, Event::ChannelDrop { .. }))
+            .count();
+        RunStats {
+            steps: trace.steps(),
+            sends_s: trace.sends_by_s(),
+            sends_r: trace.sends_by_r(),
+            deliveries_r: trace.deliveries_to_r(),
+            deliveries_s: trace.deliveries_to_s(),
+            drops,
+            written: trace.output().len(),
+            input_len: trace.input().len(),
+            safe: check_safety(trace).is_ok(),
+            write_steps: trace.write_steps(),
+        }
+    }
+
+    /// Whether the run delivered the whole input safely.
+    pub fn is_complete(&self) -> bool {
+        self.safe && self.written >= self.input_len
+    }
+
+    /// Total messages sent by both processors.
+    pub fn total_sends(&self) -> usize {
+        self.sends_s + self.sends_r
+    }
+
+    /// Messages sent per delivered item — the paper-era cost metric
+    /// ("optimizing the number of messages"). `None` when nothing was
+    /// written.
+    pub fn sends_per_item(&self) -> Option<f64> {
+        if self.written == 0 {
+            None
+        } else {
+            Some(self.total_sends() as f64 / self.written as f64)
+        }
+    }
+
+    /// Steps between consecutive writes (first entry is the step of the
+    /// first write): the per-item learning latency profile.
+    pub fn inter_write_gaps(&self) -> Vec<Step> {
+        let mut gaps = Vec::with_capacity(self.write_steps.len());
+        let mut prev = 0;
+        for &s in &self.write_steps {
+            gaps.push(s - prev);
+            prev = s;
+        }
+        gaps
+    }
+
+    /// The largest inter-write gap, a proxy for the protocol's worst-case
+    /// per-item latency in this run.
+    pub fn max_gap(&self) -> Option<Step> {
+        self.inter_write_gaps().into_iter().max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stp_core::alphabet::{RMsg, SMsg};
+    use stp_core::data::{DataItem, DataSeq};
+    use stp_core::event::ProcessId;
+
+    fn sample() -> Trace {
+        let mut t = Trace::new(DataSeq::from_indices([1, 0]));
+        t.record(0, Event::SendS { msg: SMsg(1) });
+        t.record(1, Event::DeliverToR { msg: SMsg(1) });
+        t.record(1, Event::Write { item: DataItem(1), pos: 0 });
+        t.record(1, Event::SendR { msg: RMsg(1) });
+        t.record(
+            2,
+            Event::ChannelDrop {
+                to: ProcessId::Sender,
+                msg: 0,
+            },
+        );
+        t.record(3, Event::SendS { msg: SMsg(0) });
+        t.record(5, Event::DeliverToR { msg: SMsg(0) });
+        t.record(5, Event::Write { item: DataItem(0), pos: 1 });
+        t.set_steps(6);
+        t
+    }
+
+    #[test]
+    fn counts_are_extracted() {
+        let s = RunStats::of(&sample());
+        assert_eq!(s.steps, 6);
+        assert_eq!(s.sends_s, 2);
+        assert_eq!(s.sends_r, 1);
+        assert_eq!(s.deliveries_r, 2);
+        assert_eq!(s.deliveries_s, 0);
+        assert_eq!(s.drops, 1);
+        assert_eq!(s.written, 2);
+        assert!(s.safe);
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    fn cost_metrics() {
+        let s = RunStats::of(&sample());
+        assert_eq!(s.total_sends(), 3);
+        assert_eq!(s.sends_per_item(), Some(1.5));
+        assert_eq!(s.write_steps, vec![1, 5]);
+        assert_eq!(s.inter_write_gaps(), vec![1, 4]);
+        assert_eq!(s.max_gap(), Some(4));
+    }
+
+    #[test]
+    fn empty_run_has_no_rate() {
+        let t = Trace::new(DataSeq::from_indices([1]));
+        let s = RunStats::of(&t);
+        assert_eq!(s.sends_per_item(), None);
+        assert_eq!(s.max_gap(), None);
+        assert!(!s.is_complete());
+    }
+
+    #[test]
+    fn unsafe_runs_are_flagged() {
+        let mut t = Trace::new(DataSeq::from_indices([1]));
+        t.record(0, Event::Write { item: DataItem(0), pos: 0 });
+        let s = RunStats::of(&t);
+        assert!(!s.safe);
+        assert!(!s.is_complete());
+    }
+}

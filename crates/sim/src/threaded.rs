@@ -1,0 +1,299 @@
+//! A threaded harness: the same lock-step semantics, with each protocol
+//! state machine running on its own OS thread.
+//!
+//! The coordinator still drives the [`World`] loop — determinism is not
+//! negotiable — but the processors live behind proxy objects that forward
+//! events over crossbeam channels to worker threads. This exercises the
+//! protocols under real concurrency (Send bounds, cross-thread moves,
+//! backpressure) without giving up replayability, and provides a shared
+//! [`Progress`] handle a monitoring thread can poll.
+
+use crate::world::World;
+use crossbeam::channel::{bounded, Receiver as CbReceiver, Sender as CbSender};
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use stp_channel::{Channel, Scheduler};
+use stp_core::alphabet::Alphabet;
+use stp_core::data::DataSeq;
+use stp_core::event::{Step, Trace};
+use stp_core::proto::{
+    Receiver, ReceiverEvent, ReceiverOutput, Sender, SenderEvent, SenderOutput,
+};
+
+/// Live progress of a threaded run, updated by the coordinator each step.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Progress {
+    /// Steps executed so far.
+    pub steps: Step,
+    /// Items written so far.
+    pub written: usize,
+    /// Whether the run has finished.
+    pub done: bool,
+}
+
+/// Response from a sender worker.
+struct SenderReply {
+    out: SenderOutput,
+    reads: usize,
+    done: bool,
+}
+
+/// Proxy implementing [`Sender`] by round-tripping to a worker thread.
+struct ProxySender {
+    alphabet: Alphabet,
+    tx: CbSender<SenderEvent>,
+    rx: CbReceiver<SenderReply>,
+    reads: usize,
+    done: bool,
+}
+
+impl fmt::Debug for ProxySender {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProxySender")
+            .field("reads", &self.reads)
+            .field("done", &self.done)
+            .finish()
+    }
+}
+
+impl Sender for ProxySender {
+    fn alphabet(&self) -> Alphabet {
+        self.alphabet
+    }
+
+    fn on_event(&mut self, ev: SenderEvent) -> SenderOutput {
+        self.tx.send(ev).expect("sender worker alive");
+        let reply = self.rx.recv().expect("sender worker replies");
+        self.reads = reply.reads;
+        self.done = reply.done;
+        reply.out
+    }
+
+    fn reads(&self) -> usize {
+        self.reads
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// # Panics
+    ///
+    /// Thread-backed proxies cannot be cloned; the threaded harness never
+    /// clones its processors.
+    fn box_clone(&self) -> Box<dyn Sender> {
+        unreachable!("ProxySender is not cloneable")
+    }
+}
+
+/// Response from a receiver worker.
+struct ReceiverReply {
+    out: ReceiverOutput,
+}
+
+/// Proxy implementing [`Receiver`] by round-tripping to a worker thread.
+struct ProxyReceiver {
+    alphabet: Alphabet,
+    tx: CbSender<ReceiverEvent>,
+    rx: CbReceiver<ReceiverReply>,
+}
+
+impl fmt::Debug for ProxyReceiver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProxyReceiver").finish()
+    }
+}
+
+impl Receiver for ProxyReceiver {
+    fn alphabet(&self) -> Alphabet {
+        self.alphabet
+    }
+
+    fn on_event(&mut self, ev: ReceiverEvent) -> ReceiverOutput {
+        self.tx.send(ev).expect("receiver worker alive");
+        self.rx.recv().expect("receiver worker replies").out
+    }
+
+    /// # Panics
+    ///
+    /// Thread-backed proxies cannot be cloned.
+    fn box_clone(&self) -> Box<dyn Receiver> {
+        unreachable!("ProxyReceiver is not cloneable")
+    }
+}
+
+fn spawn_sender(mut sender: Box<dyn Sender + Send>) -> (ProxySender, JoinHandle<()>) {
+    let (ev_tx, ev_rx) = bounded::<SenderEvent>(1);
+    let (re_tx, re_rx) = bounded::<SenderReply>(1);
+    let alphabet = sender.alphabet();
+    let handle = std::thread::spawn(move || {
+        while let Ok(ev) = ev_rx.recv() {
+            let out = sender.on_event(ev);
+            let reply = SenderReply {
+                out,
+                reads: sender.reads(),
+                done: sender.is_done(),
+            };
+            if re_tx.send(reply).is_err() {
+                break;
+            }
+        }
+    });
+    (
+        ProxySender {
+            alphabet,
+            tx: ev_tx,
+            rx: re_rx,
+            reads: 0,
+            done: false,
+        },
+        handle,
+    )
+}
+
+fn spawn_receiver(mut receiver: Box<dyn Receiver + Send>) -> (ProxyReceiver, JoinHandle<()>) {
+    let (ev_tx, ev_rx) = bounded::<ReceiverEvent>(1);
+    let (re_tx, re_rx) = bounded::<ReceiverReply>(1);
+    let alphabet = receiver.alphabet();
+    let handle = std::thread::spawn(move || {
+        while let Ok(ev) = ev_rx.recv() {
+            let out = receiver.on_event(ev);
+            if re_tx.send(ReceiverReply { out }).is_err() {
+                break;
+            }
+        }
+    });
+    (
+        ProxyReceiver {
+            alphabet,
+            tx: ev_tx,
+            rx: re_rx,
+        },
+        handle,
+    )
+}
+
+/// Runs a protocol pair on worker threads until completion or `max_steps`,
+/// returning the recorded trace. Semantically identical to driving a
+/// [`World`] directly — and the tests assert exactly that.
+pub fn run_threaded(
+    input: DataSeq,
+    sender: Box<dyn Sender + Send>,
+    receiver: Box<dyn Receiver + Send>,
+    channel: Box<dyn Channel>,
+    scheduler: Box<dyn Scheduler>,
+    max_steps: Step,
+    progress: Option<Arc<Mutex<Progress>>>,
+) -> Trace {
+    let (s_proxy, s_handle) = spawn_sender(sender);
+    let (r_proxy, r_handle) = spawn_receiver(receiver);
+    let mut world = World::new(
+        input,
+        Box::new(s_proxy),
+        Box::new(r_proxy),
+        channel,
+        scheduler,
+    );
+    while world.step_count() < max_steps && !world.is_complete() {
+        world.step();
+        if let Some(p) = &progress {
+            let mut p = p.lock();
+            p.steps = world.step_count();
+            p.written = world.trace().output().len();
+        }
+    }
+    if let Some(p) = &progress {
+        p.lock().done = true;
+    }
+    let trace = world.into_trace();
+    // Dropping the world drops the proxies, closing the event channels and
+    // letting the workers exit.
+    s_handle.join().expect("sender worker exits cleanly");
+    r_handle.join().expect("receiver worker exits cleanly");
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stp_channel::{DelChannel, DropHeavyScheduler, DupChannel, DupStormScheduler};
+    use stp_protocols::{ResendPolicy, TightReceiver, TightSender};
+
+    fn seq(v: &[u16]) -> DataSeq {
+        DataSeq::from_indices(v.iter().copied())
+    }
+
+    #[test]
+    fn threaded_run_completes() {
+        let input = seq(&[2, 0, 1]);
+        let trace = run_threaded(
+            input.clone(),
+            Box::new(TightSender::new(input.clone(), 3, ResendPolicy::Once)),
+            Box::new(TightReceiver::new(3, ResendPolicy::Once)),
+            Box::new(DupChannel::new()),
+            Box::new(DupStormScheduler::new(5, 0.9)),
+            5_000,
+            None,
+        );
+        assert_eq!(trace.output(), input);
+    }
+
+    #[test]
+    fn threaded_matches_single_threaded_exactly() {
+        let input = seq(&[1, 3, 0, 2]);
+        let mk_sched = || Box::new(DropHeavyScheduler::new(9, 0.3, 0.6));
+        let threaded = run_threaded(
+            input.clone(),
+            Box::new(TightSender::new(input.clone(), 4, ResendPolicy::EveryTick)),
+            Box::new(TightReceiver::new(4, ResendPolicy::EveryTick)),
+            Box::new(DelChannel::new()),
+            mk_sched(),
+            20_000,
+            None,
+        );
+        let mut world = World::new(
+            input.clone(),
+            Box::new(TightSender::new(input.clone(), 4, ResendPolicy::EveryTick)),
+            Box::new(TightReceiver::new(4, ResendPolicy::EveryTick)),
+            Box::new(DelChannel::new()),
+            mk_sched(),
+        );
+        world.run_until(20_000, World::is_complete);
+        assert_eq!(threaded, world.into_trace());
+    }
+
+    #[test]
+    fn progress_is_published() {
+        let input = seq(&[1, 0]);
+        let progress = Arc::new(Mutex::new(Progress::default()));
+        let trace = run_threaded(
+            input.clone(),
+            Box::new(TightSender::new(input.clone(), 2, ResendPolicy::Once)),
+            Box::new(TightReceiver::new(2, ResendPolicy::Once)),
+            Box::new(DupChannel::new()),
+            Box::new(stp_channel::EagerScheduler::new()),
+            1_000,
+            Some(progress.clone()),
+        );
+        let p = progress.lock();
+        assert!(p.done);
+        assert_eq!(p.written, 2);
+        assert_eq!(p.steps, trace.steps());
+    }
+
+    #[test]
+    fn empty_input_threaded() {
+        let trace = run_threaded(
+            seq(&[]),
+            Box::new(TightSender::new(seq(&[]), 2, ResendPolicy::Once)),
+            Box::new(TightReceiver::new(2, ResendPolicy::Once)),
+            Box::new(DupChannel::new()),
+            Box::new(stp_channel::EagerScheduler::new()),
+            100,
+            None,
+        );
+        assert_eq!(trace.output(), seq(&[]));
+    }
+}

@@ -1,0 +1,400 @@
+//! The lock-step world executor.
+
+use stp_channel::{Channel, DelChannel, DupChannel, EagerScheduler, Scheduler};
+use stp_core::data::DataSeq;
+use stp_core::event::{Event, ProcessId, Step, Trace};
+use stp_core::proto::{Receiver, ReceiverEvent, Sender, SenderEvent};
+use stp_core::require;
+use stp_protocols::{ResendPolicy, TightReceiver, TightSender};
+
+/// A complete simulated system: two processors, a channel, an adversary,
+/// and the trace being recorded.
+#[derive(Debug)]
+pub struct World {
+    sender: Box<dyn Sender>,
+    receiver: Box<dyn Receiver>,
+    channel: Box<dyn Channel>,
+    scheduler: Box<dyn Scheduler>,
+    trace: Trace,
+    step: Step,
+    written: usize,
+    reads_seen: usize,
+}
+
+impl World {
+    /// Assembles a world from its parts.
+    pub fn new(
+        input: DataSeq,
+        sender: Box<dyn Sender>,
+        receiver: Box<dyn Receiver>,
+        channel: Box<dyn Channel>,
+        scheduler: Box<dyn Scheduler>,
+    ) -> Self {
+        World {
+            sender,
+            receiver,
+            channel,
+            scheduler,
+            trace: Trace::new(input),
+            step: 0,
+            written: 0,
+            reads_seen: 0,
+        }
+    }
+
+    /// Convenience: the paper's tight protocol on `input` over a
+    /// duplicating channel with an eager scheduler.
+    pub fn tight_dup(input: DataSeq, d: u16) -> Self {
+        World::new(
+            input.clone(),
+            Box::new(TightSender::new(input, d, ResendPolicy::Once)),
+            Box::new(TightReceiver::new(d, ResendPolicy::Once)),
+            Box::new(DupChannel::new()),
+            Box::new(EagerScheduler::new()),
+        )
+    }
+
+    /// Convenience: the tight protocol (retransmitting variant) on `input`
+    /// over a deleting channel with an eager scheduler.
+    pub fn tight_del(input: DataSeq, d: u16) -> Self {
+        World::new(
+            input.clone(),
+            Box::new(TightSender::new(input, d, ResendPolicy::EveryTick)),
+            Box::new(TightReceiver::new(d, ResendPolicy::EveryTick)),
+            Box::new(DelChannel::new()),
+            Box::new(EagerScheduler::new()),
+        )
+    }
+
+    /// The current global step (number of steps executed so far).
+    pub fn step_count(&self) -> Step {
+        self.step
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The channel, for inspection.
+    pub fn channel(&self) -> &dyn Channel {
+        &*self.channel
+    }
+
+    /// The sender, for inspection.
+    pub fn sender(&self) -> &dyn Sender {
+        &*self.sender
+    }
+
+    /// The receiver, for inspection.
+    pub fn receiver(&self) -> &dyn Receiver {
+        &*self.receiver
+    }
+
+    /// Number of items written so far.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Clones the live parts of the system — `(sender, receiver, channel,
+    /// written)` — so an analysis (e.g. the boundedness prober in
+    /// `stp-verify`) can explore hypothetical extensions of this exact
+    /// point without disturbing the run.
+    pub fn fork_parts(
+        &self,
+    ) -> (
+        Box<dyn Sender>,
+        Box<dyn Receiver>,
+        Box<dyn Channel>,
+        usize,
+    ) {
+        (
+            self.sender.box_clone(),
+            self.receiver.box_clone(),
+            self.channel.box_clone(),
+            self.written,
+        )
+    }
+
+    /// Whether the sender reports completion and the output covers the
+    /// whole input.
+    pub fn is_complete(&self) -> bool {
+        self.sender.is_done() && self.written >= self.trace.input().len()
+    }
+
+    /// Executes one global step.
+    pub fn step(&mut self) {
+        let t = self.step;
+        let decision = self.scheduler.decide(t, &*self.channel);
+
+        // Adversarial deletions first (they model in-transit loss).
+        for msg in &decision.delete_to_r {
+            if self.channel.delete_to_r(*msg).is_ok() {
+                self.trace.record(
+                    t,
+                    Event::ChannelDrop {
+                        to: ProcessId::Receiver,
+                        msg: msg.0,
+                    },
+                );
+            }
+        }
+        for msg in &decision.delete_to_s {
+            if self.channel.delete_to_s(*msg).is_ok() {
+                self.trace.record(
+                    t,
+                    Event::ChannelDrop {
+                        to: ProcessId::Sender,
+                        msg: msg.0,
+                    },
+                );
+            }
+        }
+
+        // Deliveries (against the post-deletion state; infeasible choices
+        // are ignored, which keeps adversaries honest without crashing).
+        let delivered_to_s = decision
+            .deliver_to_s
+            .filter(|m| self.channel.deliver_to_s(*m).is_ok());
+        if let Some(m) = delivered_to_s {
+            self.trace.record(t, Event::DeliverToS { msg: m });
+        }
+        let delivered_to_r = decision
+            .deliver_to_r
+            .filter(|m| self.channel.deliver_to_r(*m).is_ok());
+        if let Some(m) = delivered_to_r {
+            self.trace.record(t, Event::DeliverToR { msg: m });
+        }
+
+        // Processor steps.
+        let s_event = if t == 0 {
+            SenderEvent::Init
+        } else {
+            match delivered_to_s {
+                Some(m) => SenderEvent::Deliver(m),
+                None => SenderEvent::Tick,
+            }
+        };
+        let r_event = if t == 0 {
+            ReceiverEvent::Init
+        } else {
+            match delivered_to_r {
+                Some(m) => ReceiverEvent::Deliver(m),
+                None => ReceiverEvent::Tick,
+            }
+        };
+        let s_out = self.sender.on_event(s_event);
+        let r_out = self.receiver.on_event(r_event);
+
+        // Record tape reads the sender performed during this step.
+        let reads_now = self.sender.reads();
+        for pos in self.reads_seen..reads_now {
+            if let Some(item) = self.trace.input().get(pos) {
+                self.trace.record(t, Event::Read { item, pos });
+            }
+        }
+        self.reads_seen = reads_now;
+
+        // Apply outputs after deliveries: sends become deliverable next
+        // step at the earliest.
+        for item in r_out.write {
+            self.trace.record(
+                t,
+                Event::Write {
+                    item,
+                    pos: self.written,
+                },
+            );
+            self.written += 1;
+        }
+        for m in s_out.send {
+            self.channel.send_s(m);
+            self.trace.record(t, Event::SendS { msg: m });
+        }
+        for m in r_out.send {
+            self.channel.send_r(m);
+            self.trace.record(t, Event::SendR { msg: m });
+        }
+
+        // Channel clock (timed channels expire messages here).
+        self.channel.tick();
+
+        self.step += 1;
+        self.trace.set_steps(self.step);
+    }
+
+    /// Runs exactly `steps` global steps and returns the trace.
+    pub fn run(&mut self, steps: Step) -> &Trace {
+        for _ in 0..steps {
+            self.step();
+        }
+        &self.trace
+    }
+
+    /// Runs until [`World::is_complete`] or `max_steps`, whichever first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the safety/liveness error if the run ended incomplete or
+    /// unsafe (see [`require::check_complete`]).
+    pub fn run_to_completion(&mut self, max_steps: Step) -> stp_core::Result<Trace> {
+        while self.step < max_steps && !self.is_complete() {
+            self.step();
+        }
+        require::check_complete(&self.trace)?;
+        Ok(self.trace.clone())
+    }
+
+    /// Runs until `cond` holds or `max_steps` elapsed; reports whether the
+    /// condition was reached.
+    pub fn run_until<F: FnMut(&World) -> bool>(&mut self, max_steps: Step, mut cond: F) -> bool {
+        while self.step < max_steps {
+            if cond(self) {
+                return true;
+            }
+            self.step();
+        }
+        cond(self)
+    }
+
+    /// Consumes the world and returns the recorded trace.
+    pub fn into_trace(self) -> Trace {
+        self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stp_channel::{DropHeavyScheduler, DupStormScheduler, RandomScheduler, ReorderScheduler};
+    use stp_core::require::{check_complete, check_safety};
+
+    fn seq(v: &[u16]) -> DataSeq {
+        DataSeq::from_indices(v.iter().copied())
+    }
+
+    #[test]
+    fn tight_dup_delivers_under_eager_scheduler() {
+        let input = seq(&[2, 0, 1]);
+        let mut w = World::tight_dup(input.clone(), 3);
+        let trace = w.run_to_completion(1_000).unwrap();
+        assert_eq!(trace.output(), input);
+        check_complete(&trace).unwrap();
+    }
+
+    #[test]
+    fn tight_dup_survives_duplication_storms() {
+        let input = seq(&[3, 1, 4, 0, 2]);
+        for storm_seed in 0..20 {
+            let mut w = World::new(
+                input.clone(),
+                Box::new(TightSender::new(input.clone(), 5, ResendPolicy::Once)),
+                Box::new(TightReceiver::new(5, ResendPolicy::Once)),
+                Box::new(DupChannel::new()),
+                Box::new(DupStormScheduler::new(storm_seed, 0.9)),
+            );
+            let trace = w.run_to_completion(5_000).unwrap();
+            assert_eq!(trace.output(), input, "seed={storm_seed}");
+        }
+    }
+
+    #[test]
+    fn tight_del_survives_drop_heavy_adversaries() {
+        let input = seq(&[1, 3, 0]);
+        for s in 0..20 {
+            let mut w = World::new(
+                input.clone(),
+                Box::new(TightSender::new(input.clone(), 4, ResendPolicy::EveryTick)),
+                Box::new(TightReceiver::new(4, ResendPolicy::EveryTick)),
+                Box::new(DelChannel::new()),
+                Box::new(DropHeavyScheduler::new(s, 0.4, 0.5)),
+            );
+            let trace = w.run_to_completion(20_000).unwrap();
+            assert_eq!(trace.output(), input, "seed={s}");
+        }
+    }
+
+    #[test]
+    fn safety_holds_even_when_liveness_is_starved() {
+        // A scheduler that never delivers: nothing gets written, but
+        // nothing wrong gets written either.
+        let input = seq(&[1, 0]);
+        let mut w = World::new(
+            input.clone(),
+            Box::new(TightSender::new(input, 2, ResendPolicy::Once)),
+            Box::new(TightReceiver::new(2, ResendPolicy::Once)),
+            Box::new(DupChannel::new()),
+            Box::new(RandomScheduler::new(0, 0.0)),
+        );
+        w.run(500);
+        assert!(check_safety(w.trace()).is_ok());
+        assert_eq!(w.trace().output().len(), 0);
+        assert!(!w.is_complete());
+    }
+
+    #[test]
+    fn reorder_scheduler_cannot_break_the_tight_protocol() {
+        let input = seq(&[0, 2, 1, 3]);
+        let mut w = World::new(
+            input.clone(),
+            Box::new(TightSender::new(input.clone(), 4, ResendPolicy::Once)),
+            Box::new(TightReceiver::new(4, ResendPolicy::Once)),
+            Box::new(DupChannel::new()),
+            Box::new(ReorderScheduler::new()),
+        );
+        let trace = w.run_to_completion(2_000).unwrap();
+        assert_eq!(trace.output(), input);
+    }
+
+    #[test]
+    fn runs_are_deterministic_under_a_fixed_seed() {
+        let input = seq(&[1, 2, 0]);
+        let run = |seed: u64| {
+            let mut w = World::new(
+                input.clone(),
+                Box::new(TightSender::new(input.clone(), 3, ResendPolicy::EveryTick)),
+                Box::new(TightReceiver::new(3, ResendPolicy::EveryTick)),
+                Box::new(DelChannel::new()),
+                Box::new(DropHeavyScheduler::new(seed, 0.3, 0.6)),
+            );
+            w.run(300).clone()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn trace_records_reads_and_writes_with_positions() {
+        let input = seq(&[2, 0]);
+        let mut w = World::tight_dup(input.clone(), 3);
+        let trace = w.run_to_completion(100).unwrap();
+        assert_eq!(trace.reads(), 2);
+        let writes: Vec<_> = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e.event {
+                Event::Write { pos, .. } => Some(pos),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(writes, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_input_completes_instantly() {
+        let mut w = World::tight_dup(seq(&[]), 2);
+        let trace = w.run_to_completion(10).unwrap();
+        assert_eq!(trace.output(), seq(&[]));
+    }
+
+    #[test]
+    fn run_until_condition() {
+        let input = seq(&[1, 0]);
+        let mut w = World::tight_dup(input, 2);
+        let reached = w.run_until(1_000, |w| w.trace().output().len() >= 1);
+        assert!(reached);
+        assert!(w.step_count() < 1_000);
+        let never = w.run_until(w.step_count() + 5, |w| w.trace().output().len() >= 99);
+        assert!(!never);
+    }
+}

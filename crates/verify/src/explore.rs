@@ -1,0 +1,263 @@
+//! Exhaustive run exploration: every adversary choice branches.
+//!
+//! For small alphabets and horizons this enumerates **all** runs of a
+//! protocol on a given input — the exact run set the knowledge semantics
+//! quantifies over. Deletions are deliberately not branched: within a
+//! finite horizon, deleting a copy reaches exactly the receiver histories
+//! that simply *not delivering* it reaches, so the set of local histories
+//! (and hence every knowledge fact) is unaffected while the branching
+//! factor stays manageable.
+
+use std::collections::HashSet;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use stp_channel::Channel;
+use stp_core::data::DataSeq;
+use stp_core::event::{Event, Step, Trace};
+use stp_core::proto::{Receiver, ReceiverEvent, Sender, SenderEvent};
+use stp_protocols::ProtocolFamily;
+
+/// Parameters of an exhaustive exploration.
+#[derive(Debug, Clone)]
+pub struct ExploreConfig {
+    /// Horizon: every enumerated run has exactly this many global steps.
+    pub horizon: Step,
+    /// Hard cap on enumerated runs (guards against accidental blow-ups).
+    pub max_runs: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            horizon: 6,
+            max_runs: 200_000,
+        }
+    }
+}
+
+/// One node of the exploration: full joint state plus the trace so far.
+struct Node {
+    sender: Box<dyn Sender>,
+    receiver: Box<dyn Receiver>,
+    channel: Box<dyn Channel>,
+    trace: Trace,
+    written: usize,
+    reads_seen: usize,
+    step: Step,
+}
+
+impl Node {
+    fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.step.hash(&mut h);
+        self.sender.fingerprint().hash(&mut h);
+        self.receiver.fingerprint().hash(&mut h);
+        format!("{:?}", self.channel).hash(&mut h);
+        // Distinct histories must stay distinct even when machine states
+        // coincide — knowledge is about histories.
+        format!("{:?}", self.trace.events()).hash(&mut h);
+        h.finish()
+    }
+
+    /// Executes one step under the given adversary choice.
+    fn advance(
+        &self,
+        deliver_to_r: Option<stp_core::alphabet::SMsg>,
+        deliver_to_s: Option<stp_core::alphabet::RMsg>,
+    ) -> Node {
+        let mut sender = self.sender.clone();
+        let mut receiver = self.receiver.clone();
+        let mut channel = self.channel.clone();
+        let mut trace = self.trace.clone();
+        let mut written = self.written;
+        let mut reads_seen = self.reads_seen;
+        let t = self.step;
+
+        let delivered_to_s = deliver_to_s.filter(|m| channel.deliver_to_s(*m).is_ok());
+        if let Some(m) = delivered_to_s {
+            trace.record(t, Event::DeliverToS { msg: m });
+        }
+        let delivered_to_r = deliver_to_r.filter(|m| channel.deliver_to_r(*m).is_ok());
+        if let Some(m) = delivered_to_r {
+            trace.record(t, Event::DeliverToR { msg: m });
+        }
+
+        let s_event = if t == 0 {
+            SenderEvent::Init
+        } else {
+            match delivered_to_s {
+                Some(m) => SenderEvent::Deliver(m),
+                None => SenderEvent::Tick,
+            }
+        };
+        let r_event = if t == 0 {
+            ReceiverEvent::Init
+        } else {
+            match delivered_to_r {
+                Some(m) => ReceiverEvent::Deliver(m),
+                None => ReceiverEvent::Tick,
+            }
+        };
+        let s_out = sender.on_event(s_event);
+        let r_out = receiver.on_event(r_event);
+
+        let reads_now = sender.reads();
+        for pos in reads_seen..reads_now {
+            if let Some(item) = trace.input().get(pos) {
+                trace.record(t, Event::Read { item, pos });
+            }
+        }
+        reads_seen = reads_now;
+
+        for item in r_out.write {
+            trace.record(t, Event::Write { item, pos: written });
+            written += 1;
+        }
+        for m in s_out.send {
+            channel.send_s(m);
+            trace.record(t, Event::SendS { msg: m });
+        }
+        for m in r_out.send {
+            channel.send_r(m);
+            trace.record(t, Event::SendR { msg: m });
+        }
+        channel.tick();
+        trace.set_steps(t + 1);
+
+        Node {
+            sender,
+            receiver,
+            channel,
+            trace,
+            written,
+            reads_seen,
+            step: t + 1,
+        }
+    }
+}
+
+/// Enumerates every run of `family` on input `x` over `make_channel()`
+/// up to the configured horizon, branching on all adversary delivery
+/// choices. Returns the traces, all with exactly `cfg.horizon` steps.
+///
+/// # Panics
+///
+/// Panics if the enumeration exceeds `cfg.max_runs` — raise the cap or
+/// lower the horizon rather than silently truncating the run set (a
+/// truncated universe would make the knowledge checker unsound).
+pub fn explore_runs(
+    family: &dyn ProtocolFamily,
+    x: &DataSeq,
+    make_channel: impl Fn() -> Box<dyn Channel>,
+    cfg: &ExploreConfig,
+) -> Vec<Trace> {
+    let root = Node {
+        sender: family.sender_for(x),
+        receiver: family.receiver(),
+        channel: make_channel(),
+        trace: Trace::new(x.clone()),
+        written: 0,
+        reads_seen: 0,
+        step: 0,
+    };
+    let mut frontier = vec![root];
+    let mut seen: HashSet<u64> = HashSet::new();
+    for _ in 0..cfg.horizon {
+        let mut next = Vec::new();
+        for node in frontier {
+            let mut to_r: Vec<Option<stp_core::alphabet::SMsg>> = vec![None];
+            to_r.extend(node.channel.deliverable_to_r().into_iter().map(Some));
+            let mut to_s: Vec<Option<stp_core::alphabet::RMsg>> = vec![None];
+            to_s.extend(node.channel.deliverable_to_s().into_iter().map(Some));
+            for &dr in &to_r {
+                for &ds in &to_s {
+                    let child = node.advance(dr, ds);
+                    if seen.insert(child.fingerprint()) {
+                        next.push(child);
+                    }
+                    assert!(
+                        next.len() <= cfg.max_runs,
+                        "exploration exceeded max_runs = {}",
+                        cfg.max_runs
+                    );
+                }
+            }
+        }
+        frontier = next;
+    }
+    frontier.into_iter().map(|n| n.trace).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stp_channel::{DelChannel, DupChannel};
+    use stp_core::require::check_safety;
+    use stp_protocols::{ResendPolicy, TightFamily};
+
+    fn seq(v: &[u16]) -> DataSeq {
+        DataSeq::from_indices(v.iter().copied())
+    }
+
+    #[test]
+    fn exploration_finds_multiple_schedules() {
+        let family = TightFamily::new(1, ResendPolicy::Once);
+        let cfg = ExploreConfig {
+            horizon: 4,
+            max_runs: 100_000,
+        };
+        let runs = explore_runs(&family, &seq(&[0]), || Box::new(DupChannel::new()), &cfg);
+        // At minimum: the starved run and a prompt-delivery run.
+        assert!(runs.len() >= 2, "got {}", runs.len());
+        for t in &runs {
+            assert_eq!(t.steps(), 4);
+            check_safety(t).unwrap();
+        }
+        // Some run completes, some run is starved.
+        assert!(runs.iter().any(|t| t.output().len() == 1));
+        assert!(runs.iter().any(|t| t.output().is_empty()));
+    }
+
+    #[test]
+    fn all_explored_traces_are_distinct() {
+        let family = TightFamily::new(2, ResendPolicy::Once);
+        let cfg = ExploreConfig {
+            horizon: 5,
+            max_runs: 100_000,
+        };
+        let runs = explore_runs(&family, &seq(&[1, 0]), || Box::new(DupChannel::new()), &cfg);
+        let set: HashSet<String> = runs.iter().map(|t| format!("{:?}", t.events())).collect();
+        assert_eq!(set.len(), runs.len());
+        assert!(runs.len() > 5);
+    }
+
+    #[test]
+    fn del_channel_exploration_respects_copy_counts() {
+        let family = TightFamily::new(1, ResendPolicy::Once);
+        let cfg = ExploreConfig {
+            horizon: 5,
+            max_runs: 100_000,
+        };
+        let runs = explore_runs(&family, &seq(&[0]), || Box::new(DelChannel::new()), &cfg);
+        for t in &runs {
+            // With ResendPolicy::Once over a deleting channel, the single
+            // copy can be delivered at most once.
+            assert!(t.deliveries_to_r() <= 1, "{t}");
+        }
+    }
+
+    #[test]
+    fn safety_holds_across_the_whole_run_tree() {
+        let family = TightFamily::new(2, ResendPolicy::EveryTick);
+        let cfg = ExploreConfig {
+            horizon: 5,
+            max_runs: 200_000,
+        };
+        for input in [seq(&[]), seq(&[0]), seq(&[1, 0])] {
+            let runs = explore_runs(&family, &input, || Box::new(DelChannel::new()), &cfg);
+            for t in &runs {
+                check_safety(t).unwrap();
+            }
+        }
+    }
+}

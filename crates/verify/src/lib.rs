@@ -1,0 +1,47 @@
+//! # stp-verify — bounded model checking and the impossibility engine
+//!
+//! The paper's impossibility halves (Theorems 1 and 2) are proved by
+//! constructing *decisive tuples*: sets of runs with mutually distinct
+//! inputs whose points the receiver cannot tell apart, driven — by careful
+//! adversarial scheduling — to a contradiction with safety or liveness.
+//! This crate turns that proof technique into executable machinery:
+//!
+//! * [`explore`] — exhaustive enumeration of all runs of a protocol on one
+//!   input up to a horizon (every adversary choice branches), yielding
+//!   *exact* run universes for the knowledge machinery on small systems;
+//! * [`refute`] — the certificate hunters:
+//!   [`refute::find_fair_cycle`] exhibits a *fair* adversary loop under
+//!   which a run makes no progress (a liveness violation no fairness
+//!   caveat can excuse), and [`refute::find_indistinguishable_conflict`]
+//!   exhibits two runs with different inputs whose receiver histories the
+//!   adversary can keep equal forever — the executable core of the
+//!   dup-decisive / del-decisive tuple arguments;
+//! * [`capacity`] — the counting side of the bound: the codomain of any
+//!   valid encoding has exactly `α(m)` elements, and exhaustive enumeration
+//!   confirms on small alphabets that *no* over-capacity prefix-closed
+//!   family embeds.
+//!
+//! The searches are sound (a returned certificate is a genuine
+//! counterexample, checkable by replaying its script through the
+//! simulator) and — over the bounded horizon and the mirrored-adversary
+//! class they explore — complete enough to refute every over-capacity
+//! family in the experiment suite while exonerating the tight protocol at
+//! capacity.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod boundedness;
+pub mod capacity;
+pub mod explore;
+pub mod protospace;
+pub mod refute;
+
+pub use boundedness::min_recovery_steps;
+pub use capacity::{encoding_capacity, exhaustive_prefix_closed_check};
+pub use protospace::{search_two_state_receivers, ProtoSpaceReport};
+pub use explore::{explore_runs, ExploreConfig};
+pub use refute::{
+    find_fair_cycle, find_indistinguishable_conflict, verify_conflict, ConflictCertificate,
+    CycleCertificate,
+};

@@ -1,0 +1,257 @@
+//! Exhaustive protocol-space search at `m = 1`.
+//!
+//! Theorem 1 quantifies over *all* protocols — including non-uniform
+//! sender families — so no finite search can cover it in general. But at
+//! `m = |M^S| = 1` the receiver's observable world collapses to *delivery
+//! timing patterns* of the single message, and the theorem's core becomes
+//! exhaustively checkable over a concrete protocol class:
+//!
+//! Over a duplicating channel, once the sender has sent its one message at
+//! least once, **every** delivery pattern is realizable by the adversary —
+//! regardless of which input the sender holds. Hence for the family
+//! `X = {⟨⟩, ⟨0⟩, ⟨0,0⟩}` (size 3 > α(1) = 2), any receiver `ρ` is
+//! refuted by a dichotomy on its own pattern-response function:
+//!
+//! * if some pattern makes `ρ` write **2+** items, that same pattern is
+//!   consistent with input `⟨0⟩` (whose sender sent the message once) —
+//!   safety breaks there;
+//! * otherwise no pattern ever produces 2 writes — liveness breaks on
+//!   `⟨0,0⟩` (and if no pattern produces even 1 write, on `⟨0⟩` too).
+//!
+//! [`search_two_state_receivers`] enumerates **all** deterministic
+//! two-state Mealy receivers over the `m = 1` alphabets (8 choices per
+//! table entry × 6 entries = 262,144 machines), simulates each against
+//! every delivery pattern up to a horizon, and classifies its refutation.
+//! The expected result — every machine refuted, none missing — is an
+//! exhaustive machine verification of Theorem 1 on this class.
+
+use stp_core::alphabet::{Alphabet, RMsg};
+use stp_core::data::DataItem;
+use stp_core::proto::{Receiver, ReceiverEvent, ReceiverOutput};
+
+/// Event index used by the transition table: Init = 0, Tick = 1,
+/// Deliver = 2.
+const EVENTS: usize = 3;
+/// Number of local states.
+const STATES: usize = 2;
+
+/// One transition: `(next_state, send the ack?, write the item?)`.
+type Entry = (u8, bool, bool);
+
+/// A deterministic two-state Mealy receiver over the `m = 1` alphabets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MealyReceiver {
+    table: [[Entry; EVENTS]; STATES],
+    state: u8,
+    written: usize,
+}
+
+impl MealyReceiver {
+    /// Builds the `idx`-th machine in the enumeration (`idx < 8^6`).
+    pub fn nth(idx: u32) -> Self {
+        let mut table = [[(0u8, false, false); EVENTS]; STATES];
+        let mut rem = idx;
+        for row in table.iter_mut() {
+            for entry in row.iter_mut() {
+                let code = rem % 8;
+                rem /= 8;
+                *entry = (
+                    (code & 1) as u8,
+                    code & 2 != 0,
+                    code & 4 != 0,
+                );
+            }
+        }
+        MealyReceiver {
+            table,
+            state: 0,
+            written: 0,
+        }
+    }
+
+    /// Total number of machines in the enumeration.
+    pub fn count() -> u32 {
+        8u32.pow((EVENTS * STATES) as u32)
+    }
+
+    fn apply(&mut self, event: usize) -> ReceiverOutput {
+        let (next, send, write) = self.table[self.state as usize][event];
+        self.state = next;
+        let mut out = ReceiverOutput::idle();
+        if send {
+            out.send.push(RMsg(0));
+        }
+        if write {
+            self.written += 1;
+            out.write.push(DataItem(0));
+        }
+        out
+    }
+
+    /// Simulates the machine against a delivery pattern: bit `k` of
+    /// `pattern` decides whether step `k + 1` delivers the message (step 0
+    /// is Init). Returns the total number of writes.
+    pub fn writes_under(mut self, pattern: u32, horizon: u32) -> usize {
+        self.apply(0); // Init
+        for k in 0..horizon {
+            let ev = if pattern & (1 << k) != 0 { 2 } else { 1 };
+            self.apply(ev);
+        }
+        self.written
+    }
+}
+
+impl Receiver for MealyReceiver {
+    fn alphabet(&self) -> Alphabet {
+        Alphabet::new(1)
+    }
+
+    fn on_event(&mut self, ev: ReceiverEvent) -> ReceiverOutput {
+        let idx = match ev {
+            ReceiverEvent::Init => 0,
+            ReceiverEvent::Tick => 1,
+            ReceiverEvent::Deliver(_) => 2,
+        };
+        self.apply(idx)
+    }
+
+    fn box_clone(&self) -> Box<dyn Receiver> {
+        Box::new(self.clone())
+    }
+}
+
+/// How a machine was refuted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Refutation {
+    /// Some delivery pattern yields ≥ 2 writes ⇒ safety fails on `⟨0⟩`.
+    SafetyOnShortInput,
+    /// No pattern yields ≥ 2 writes ⇒ liveness fails on `⟨0,0⟩`.
+    LivenessOnLongInput,
+    /// No pattern yields any write ⇒ liveness already fails on `⟨0⟩`.
+    LivenessOnShortInput,
+}
+
+/// Aggregate outcome of the search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoSpaceReport {
+    /// Machines enumerated.
+    pub machines: u32,
+    /// The horizon (pattern length) used.
+    pub horizon: u32,
+    /// Machines refuted via safety on `⟨0⟩`.
+    pub safety_refuted: u32,
+    /// Machines refuted via liveness on `⟨0,0⟩`.
+    pub liveness_long_refuted: u32,
+    /// Machines refuted via liveness on `⟨0⟩`.
+    pub liveness_short_refuted: u32,
+}
+
+impl ProtoSpaceReport {
+    /// Whether every machine was refuted (Theorem 1 verified on the
+    /// class).
+    pub fn all_refuted(&self) -> bool {
+        self.safety_refuted + self.liveness_long_refuted + self.liveness_short_refuted
+            == self.machines
+    }
+}
+
+/// Classifies one machine by scanning all `2^horizon` delivery patterns.
+pub fn classify_machine(idx: u32, horizon: u32) -> Refutation {
+    let mut max_writes = 0usize;
+    for pattern in 0..(1u32 << horizon) {
+        let w = MealyReceiver::nth(idx).writes_under(pattern, horizon);
+        max_writes = max_writes.max(w);
+        if max_writes >= 2 {
+            return Refutation::SafetyOnShortInput;
+        }
+    }
+    if max_writes == 1 {
+        Refutation::LivenessOnLongInput
+    } else {
+        Refutation::LivenessOnShortInput
+    }
+}
+
+/// Enumerates every two-state receiver and classifies its refutation.
+pub fn search_two_state_receivers(horizon: u32) -> ProtoSpaceReport {
+    let machines = MealyReceiver::count();
+    let mut report = ProtoSpaceReport {
+        machines,
+        horizon,
+        safety_refuted: 0,
+        liveness_long_refuted: 0,
+        liveness_short_refuted: 0,
+    };
+    for idx in 0..machines {
+        match classify_machine(idx, horizon) {
+            Refutation::SafetyOnShortInput => report.safety_refuted += 1,
+            Refutation::LivenessOnLongInput => report.liveness_long_refuted += 1,
+            Refutation::LivenessOnShortInput => report.liveness_short_refuted += 1,
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_enumeration_is_exhaustive_and_distinct() {
+        assert_eq!(MealyReceiver::count(), 262_144);
+        // Spot-check distinctness at the extremes and in the middle.
+        let a = MealyReceiver::nth(0);
+        let b = MealyReceiver::nth(MealyReceiver::count() - 1);
+        let c = MealyReceiver::nth(123_456);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn writes_under_counts_deterministically() {
+        // Machine that writes on every Deliver from state 0 and stays:
+        // entry(0, Deliver) = (0, false, true) → code 4 at slot (0,2).
+        // Slot order: (0,Init)=digit0, (0,Tick)=digit1, (0,Deliver)=digit2.
+        let idx = 4 * 8u32.pow(2);
+        let m = MealyReceiver::nth(idx);
+        assert_eq!(m.clone().writes_under(0b0000, 4), 0);
+        assert_eq!(m.clone().writes_under(0b0101, 4), 2);
+        assert_eq!(m.writes_under(0b1111, 4), 4);
+    }
+
+    #[test]
+    fn writer_machines_are_safety_refuted() {
+        let idx = 4 * 8u32.pow(2); // write on every delivery
+        assert_eq!(classify_machine(idx, 5), Refutation::SafetyOnShortInput);
+    }
+
+    #[test]
+    fn silent_machines_are_liveness_refuted() {
+        // All-zero table: never writes anything.
+        assert_eq!(classify_machine(0, 5), Refutation::LivenessOnShortInput);
+    }
+
+    #[test]
+    fn exhaustive_search_refutes_every_two_state_receiver() {
+        // The E2 protocol-space verification: Theorem 1 at m = 1, over the
+        // complete class of deterministic two-state receivers.
+        let report = search_two_state_receivers(5);
+        assert!(report.all_refuted(), "{report:?}");
+        // All three refutation modes genuinely occur.
+        assert!(report.safety_refuted > 0);
+        assert!(report.liveness_long_refuted > 0);
+        assert!(report.liveness_short_refuted > 0);
+        assert_eq!(report.machines, 262_144);
+    }
+
+    #[test]
+    fn mealy_receiver_implements_the_receiver_trait() {
+        use stp_core::alphabet::SMsg;
+        let mut r = MealyReceiver::nth(4 * 8u32.pow(2));
+        r.on_event(ReceiverEvent::Init);
+        let out = r.on_event(ReceiverEvent::Deliver(SMsg(0)));
+        assert_eq!(out.write, vec![DataItem(0)]);
+        assert_eq!(r.alphabet().size(), 1);
+    }
+}

@@ -1,0 +1,108 @@
+//! The impossibility engine at work: refute an over-capacity protocol.
+//!
+//! `NaiveFamily` claims to transmit **all** sequences of length ≤ 2 over a
+//! 2-item domain — seven of them, two more than `α(2) = 5` allows. The
+//! refuter finds the decisive-tuple certificate the paper's Theorem 1
+//! promises: two runs with different inputs whose receiver histories the
+//! adversary keeps equal forever.
+//!
+//! ```text
+//! cargo run -p stp-examples --bin adversary_demo
+//! ```
+
+use stp_channel::{DelChannel, DupChannel};
+use stp_core::alpha::alpha;
+use stp_protocols::{NaiveFamily, ProtocolFamily, ResendPolicy, TightFamily};
+use stp_verify::refute::{find_conflict_with_budget, ConflictKind};
+use stp_verify::{find_fair_cycle, find_indistinguishable_conflict, verify_conflict};
+
+fn main() {
+    let naive = NaiveFamily::new(2, 2);
+    let claimed = naive.claimed_family();
+    println!(
+        "naive family claims |X| = {} over m = 2 messages; α(2) = {}",
+        claimed.len(),
+        alpha(2).unwrap()
+    );
+
+    // 1. A single run that a fair adversary stalls forever.
+    let stuck = claimed
+        .iter()
+        .find_map(|x| find_fair_cycle(&naive, x, || Box::new(DupChannel::new()), 300))
+        .expect("some sequence must stall");
+    println!(
+        "\n[fair-cycle] input {} stalls at {} of {} items: a fair loop of {} steps \
+         from step {} makes no progress",
+        stuck.input,
+        stuck.written,
+        stuck.input.len(),
+        stuck.cycle_len,
+        stuck.entry_step
+    );
+
+    // 2. The epistemic certificate: two inputs the receiver can never
+    //    tell apart.
+    let cert = find_indistinguishable_conflict(&naive, || Box::new(DupChannel::new()), 6, 200)
+        .expect("Theorem 1 guarantees a conflict");
+    println!(
+        "\n[decisive tuple] runs on {} and {} are receiver-indistinguishable;",
+        cert.x1, cert.x2
+    );
+    match cert.kind {
+        ConflictKind::SafetyViolation { at_step } => {
+            println!("  the shared output violates safety at step {at_step}")
+        }
+        ConflictKind::LivenessCycle {
+            entry_step,
+            cycle_len,
+        } => println!(
+            "  a fair mirrored loop (len {cycle_len}) from step {entry_step} freezes the output \
+             at {} item(s) — one of the runs can never finish",
+            cert.written
+        ),
+        ConflictKind::BoundedConfusion { budget } => {
+            println!("  bounded confusion with budget {budget}")
+        }
+    }
+
+    // The certificate is independently checkable: replay its embedded
+    // mirrored schedule through two fresh simulator runs.
+    assert!(verify_conflict(&cert, &naive, || Box::new(DupChannel::new())));
+    println!(
+        "  certificate verified by replay: {} scripted steps reproduce equal receiver histories",
+        cert.script.len()
+    );
+
+    // 3. The deletion-channel variant (Theorem 2): escalating budgets.
+    let naive_del = NaiveFamily::resending(1, 2);
+    println!(
+        "\n[deletion channels] naive-del claims |X| = {} over m = 1; α(1) = {}",
+        naive_del.claimed_family().len(),
+        alpha(1).unwrap()
+    );
+    for budget in [2u64, 4, 8] {
+        let cert = find_conflict_with_budget(
+            &naive_del,
+            || Box::new(DelChannel::new()),
+            6 + 2 * budget,
+            0,
+            budget,
+        )
+        .expect("Theorem 2 guarantees a certificate at every budget");
+        println!(
+            "  budget f(i) = {budget}: defeated — stockpile of {} in-flight copies mirrors \
+             any learning extension ({} vs {})",
+            cert.stockpile, cert.x1, cert.x2
+        );
+    }
+
+    // 4. Control: the tight protocol at capacity is not refutable.
+    let tight = TightFamily::new(2, ResendPolicy::Once);
+    assert!(
+        find_indistinguishable_conflict(&tight, || Box::new(DupChannel::new()), 5, 150).is_none()
+    );
+    println!(
+        "\n[control] tight protocol at |X| = α(2) = {}: no certificate exists — the bound is tight",
+        alpha(2).unwrap()
+    );
+}

@@ -1,0 +1,35 @@
+//! The α table: the paper's bound as a function, with the `e`-convergence
+//! column and the enumeration cross-check.
+//!
+//! ```text
+//! cargo run -p stp-examples --bin alpha_table
+//! ```
+
+use stp_core::alpha::{alpha, alpha_over_factorial, max_representable_m, RepetitionFreeSeqs};
+
+fn main() {
+    println!("α(m) = m!·Σ 1/k!  —  the tight bound on |X| for X-STP(dup) and bounded X-STP(del)\n");
+    println!("{:>3}  {:>28}  {:>18}  {:>12}  {:>10}", "m", "alpha(m)", "alpha/m!", "e - ratio", "enumerated");
+    for m in 0..=20u32 {
+        let a = alpha(m).expect("fits for m <= 33");
+        let ratio = alpha_over_factorial(m).unwrap();
+        let enumerated = if m <= 7 {
+            RepetitionFreeSeqs::new(m as u16).count().to_string()
+        } else {
+            "-".to_string()
+        };
+        println!(
+            "{:>3}  {:>28}  {:>18.15}  {:>12.3e}  {:>10}",
+            m,
+            a,
+            ratio,
+            std::f64::consts::E - ratio,
+            enumerated
+        );
+    }
+    println!(
+        "\nlargest m with α(m) representable in u128: {} (α = {})",
+        max_representable_m(),
+        alpha(max_representable_m()).unwrap()
+    );
+}

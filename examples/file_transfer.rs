@@ -1,0 +1,120 @@
+//! A data-link-layer scenario: transfer a byte payload with three
+//! protocols on their respective channels and compare the bill.
+//!
+//! * **ABP** over a lossy FIFO link — the classical setting;
+//! * **Stenning (mod 8)** over the same link;
+//! * **tight-del** over a deleting *reordering* channel — the paper's
+//!   setting, where neither baseline is sound. Byte framing caps each
+//!   chunk at α-capacity: a repetition-free sequence over the byte domain,
+//!   so chunks must avoid repeating a byte; we dedup-frame accordingly.
+//!
+//! ```text
+//! cargo run -p stp-examples --bin file_transfer
+//! ```
+
+use bytes::Bytes;
+use stp_channel::{DelChannel, DropHeavyScheduler, LossyFifoChannel};
+use stp_core::data::{DataItem, DataSeq};
+use stp_examples::{bytes_to_seq, seq_to_bytes};
+use stp_protocols::{
+    AbpReceiver, AbpSender, ResendPolicy, StenningReceiver, StenningSender, TightReceiver,
+    TightSender,
+};
+use stp_sim::{RunStats, World};
+
+/// Frames a payload into repetition-free chunks (greedy: cut whenever a
+/// byte would repeat within the current chunk) — the framing the tight
+/// protocol's allowable set demands.
+fn repetition_free_chunks(payload: &Bytes) -> Vec<DataSeq> {
+    let mut chunks = Vec::new();
+    let mut current = DataSeq::new();
+    let mut seen = std::collections::HashSet::new();
+    for &b in payload.iter() {
+        if !seen.insert(b) {
+            chunks.push(std::mem::take(&mut current));
+            seen.clear();
+            seen.insert(b);
+        }
+        current.push(DataItem(b as u16));
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+fn main() {
+    let payload = Bytes::from_static(
+        b"The data link layer attempts to solve STP under a particular set of assumptions.",
+    );
+    println!("payload: {} bytes\n", payload.len());
+
+    // --- ABP over lossy FIFO -----------------------------------------
+    let input = bytes_to_seq(&payload);
+    let mut abp = World::new(
+        input.clone(),
+        Box::new(AbpSender::new(input.clone(), 256)),
+        Box::new(AbpReceiver::new(256)),
+        Box::new(LossyFifoChannel::new()),
+        Box::new(DropHeavyScheduler::new(11, 0.2, 0.8)),
+    );
+    let trace = abp
+        .run_to_completion(2_000_000)
+        .expect("ABP completes over lossy FIFO");
+    assert_eq!(seq_to_bytes(&trace.output()), payload);
+    let s = RunStats::of(&trace);
+    println!(
+        "abp/lossy-fifo        : {} steps, {:.2} msgs/byte (alphabet 512+2)",
+        s.steps,
+        s.sends_per_item().unwrap_or(0.0)
+    );
+
+    // --- Stenning mod 8 over lossy FIFO ------------------------------
+    let mut sten = World::new(
+        input.clone(),
+        Box::new(StenningSender::new(input.clone(), 256, 8)),
+        Box::new(StenningReceiver::new(256, 8)),
+        Box::new(LossyFifoChannel::new()),
+        Box::new(DropHeavyScheduler::new(11, 0.2, 0.8)),
+    );
+    let trace = sten
+        .run_to_completion(2_000_000)
+        .expect("Stenning completes over lossy FIFO");
+    assert_eq!(seq_to_bytes(&trace.output()), payload);
+    let s = RunStats::of(&trace);
+    println!(
+        "stenning-8/lossy-fifo : {} steps, {:.2} msgs/byte (alphabet 2048+8)",
+        s.steps,
+        s.sends_per_item().unwrap_or(0.0)
+    );
+
+    // --- tight-del over a deleting reordering channel -----------------
+    let chunks = repetition_free_chunks(&payload);
+    let mut total_steps = 0u64;
+    let mut total_sends = 0usize;
+    let mut rebuilt = Vec::new();
+    for chunk in &chunks {
+        let mut w = World::new(
+            chunk.clone(),
+            Box::new(TightSender::new(chunk.clone(), 256, ResendPolicy::EveryTick)),
+            Box::new(TightReceiver::new(256, ResendPolicy::EveryTick)),
+            Box::new(DelChannel::new()),
+            Box::new(DropHeavyScheduler::new(11, 0.2, 0.8)),
+        );
+        let trace = w
+            .run_to_completion(2_000_000)
+            .expect("tight-del completes over reorder+delete");
+        let s = RunStats::of(&trace);
+        total_steps += s.steps;
+        total_sends += s.total_sends();
+        rebuilt.extend(seq_to_bytes(&trace.output()));
+    }
+    assert_eq!(Bytes::from(rebuilt), payload);
+    println!(
+        "tight-del/reorder+del : {} steps, {:.2} msgs/byte across {} repetition-free chunks (alphabet 256)",
+        total_steps,
+        total_sends as f64 / payload.len() as f64,
+        chunks.len()
+    );
+    println!("\nall three transfers reconstructed the payload byte-for-byte");
+}

@@ -1,0 +1,61 @@
+//! Shared helpers for the example binaries.
+//!
+//! The examples themselves live at the package root (`quickstart.rs`,
+//! `file_transfer.rs`, `adversary_demo.rs`, `knowledge_explorer.rs`,
+//! `alpha_table.rs`) and are ordinary `cargo run -p stp-examples --bin …`
+//! targets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use bytes::Bytes;
+use stp_core::data::{DataItem, DataSeq};
+
+/// Chunks a byte payload into data items over a domain of size 256 — the
+/// natural "data link layer" framing where each item is one byte.
+///
+/// ```
+/// use stp_examples::bytes_to_seq;
+/// use bytes::Bytes;
+///
+/// let seq = bytes_to_seq(&Bytes::from_static(b"hi"));
+/// assert_eq!(seq.len(), 2);
+/// ```
+pub fn bytes_to_seq(payload: &Bytes) -> DataSeq {
+    payload.iter().map(|&b| DataItem(b as u16)).collect()
+}
+
+/// Reassembles a byte payload from a written output tape.
+///
+/// # Panics
+///
+/// Panics if an item exceeds the byte domain — outputs of byte-framed
+/// transfers never do.
+pub fn seq_to_bytes(seq: &DataSeq) -> Bytes {
+    seq.items()
+        .iter()
+        .map(|d| {
+            u8::try_from(d.0).expect("byte-framed transfers stay within the byte domain")
+        })
+        .collect::<Vec<u8>>()
+        .into()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_round_trip() {
+        let payload = Bytes::from_static(b"\x00\x01\xfehello");
+        let seq = bytes_to_seq(&payload);
+        assert_eq!(seq.len(), payload.len());
+        assert_eq!(seq_to_bytes(&seq), payload);
+    }
+
+    #[test]
+    fn empty_payload() {
+        let payload = Bytes::new();
+        assert_eq!(seq_to_bytes(&bytes_to_seq(&payload)), payload);
+    }
+}

@@ -1,0 +1,7 @@
+//! Integration-test crate for the STP workspace.
+//!
+//! The crate body is intentionally empty; the tests live in `tests/` and
+//! exercise the public APIs of every workspace crate together — full
+//! protocol × channel × adversary grids, the impossibility engine against
+//! both correct and incorrect families, and the agreement between the
+//! knowledge machinery and the simulator.

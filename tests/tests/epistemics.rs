@@ -1,0 +1,137 @@
+//! The theorems restated in the paper's own fact language and model
+//! checked over exact run universes.
+
+use stp_channel::DupChannel;
+use stp_core::data::DataItem;
+use stp_core::event::ProcessId;
+use stp_knowledge::{Formula, Universe};
+use stp_protocols::{NaiveFamily, ProtocolFamily, ResendPolicy, TightFamily};
+use stp_verify::{explore_runs, ExploreConfig};
+
+fn exact_universe(family: &dyn ProtocolFamily, horizon: u64) -> Universe {
+    let cfg = ExploreConfig {
+        horizon,
+        max_runs: 500_000,
+    };
+    let mut traces = Vec::new();
+    for x in family.claimed_family().iter() {
+        traces.extend(explore_runs(family, x, || Box::new(DupChannel::new()), &cfg));
+    }
+    Universe::new(traces)
+}
+
+#[test]
+fn safety_is_common_knowledge_material() {
+    // "Y is a prefix of X" is a basic fact that holds at every point of
+    // every run — and therefore both processors always *know* it.
+    let u = exact_universe(&TightFamily::new(2, ResendPolicy::Once), 5);
+    for run in 0..u.len() {
+        for t in 0..=5 {
+            assert!(Formula::OutputIsPrefix.eval(&u, run, t));
+            for p in [ProcessId::Sender, ProcessId::Receiver] {
+                assert!(
+                    Formula::knows(p, Formula::OutputIsPrefix).eval(&u, run, t),
+                    "run {run}, t={t}, {p}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem1_epistemically_r_can_never_know_the_repeated_item() {
+    // The knowledge form of the impossibility: in the naive over-capacity
+    // family's exact universe, no point of any ⟨d,d⟩ run satisfies
+    // K_R(x₂) — the value of the second item is never knowledge, at any
+    // recorded time, under any schedule.
+    let family = NaiveFamily::new(2, 2);
+    let u = exact_universe(&family, 6);
+    let mut checked_points = 0usize;
+    for run in 0..u.len() {
+        let input = u.trace(run).input();
+        if input.len() == 2 && input.get(0) == input.get(1) {
+            for t in 0..=6 {
+                let f = Formula::knows_value(ProcessId::Receiver, 2, 2);
+                assert!(
+                    !f.eval(&u, run, t),
+                    "run {run} ({input}) at t={t}: K_R(x₂) must never hold"
+                );
+                checked_points += 1;
+            }
+        }
+    }
+    assert!(checked_points > 50, "the assertion must have real coverage");
+}
+
+#[test]
+fn tight_protocol_eventually_gives_knowledge_on_some_schedule() {
+    // Achievability, epistemically: for every member of the tight family,
+    // some run reaches ⋀ K_R(x_i) within the horizon.
+    let family = TightFamily::new(2, ResendPolicy::Once);
+    let u = exact_universe(&family, 6);
+    for x in family.claimed_family().iter() {
+        let n = x.len();
+        let all_known = (1..=n).fold(Formula::OutputIsPrefix, |acc, i| {
+            Formula::and(acc, Formula::knows_value(ProcessId::Receiver, i, 2))
+        });
+        let witnessed = (0..u.len())
+            .any(|run| u.trace(run).input() == x && all_known.eval(&u, run, 6));
+        assert!(witnessed, "no run of {x} reaches full receiver knowledge");
+    }
+}
+
+#[test]
+fn sender_learns_that_receiver_knows_via_the_ack() {
+    // The ack round-trip is exactly what upgrades S's state to
+    // K_S K_R(x₁): find a run where the formula flips from false to true,
+    // and check the flip coincides with an ack delivery to S.
+    let family = TightFamily::new(2, ResendPolicy::Once);
+    let u = exact_universe(&family, 6);
+    let f = |i: usize| {
+        Formula::knows(
+            ProcessId::Sender,
+            Formula::knows_value(ProcessId::Receiver, i, 2),
+        )
+    };
+    let mut found_flip = false;
+    for run in 0..u.len() {
+        if u.trace(run).input().len() != 1 {
+            continue;
+        }
+        let vals: Vec<bool> = (0..=6).map(|t| f(1).eval(&u, run, t)).collect();
+        if let Some(flip_at) = vals.windows(2).position(|w| !w[0] && w[1]) {
+            found_flip = true;
+            // The step that produced the flip must contain a delivery to S.
+            let t = flip_at as u64; // knowledge at t+1 reflects step t
+            let got_ack = u
+                .trace(run)
+                .events_at(t)
+                .any(|e| matches!(e.event, stp_core::event::Event::DeliverToS { .. }));
+            assert!(
+                got_ack,
+                "run {run}: K_S K_R(x₁) flipped at {t} without an ack delivery"
+            );
+        }
+    }
+    assert!(found_flip, "some run must exhibit the knowledge upgrade");
+}
+
+#[test]
+fn knows_value_requires_the_right_value() {
+    let u = exact_universe(&TightFamily::new(2, ResendPolicy::Once), 4);
+    // Wherever K_R(x₁ = d) holds, the input really starts with d (truth
+    // axiom in its concrete form).
+    for run in 0..u.len() {
+        for t in 0..=4 {
+            for d in 0..2u16 {
+                let k = Formula::knows(
+                    ProcessId::Receiver,
+                    Formula::item_is(1, DataItem(d)),
+                );
+                if k.eval(&u, run, t) {
+                    assert_eq!(u.trace(run).input().get(0), Some(DataItem(d)));
+                }
+            }
+        }
+    }
+}

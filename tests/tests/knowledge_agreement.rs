@@ -1,0 +1,136 @@
+//! The knowledge machinery against the simulator and the exhaustive
+//! explorer: sampled and exact universes agree where both apply, writes
+//! track knowledge, and the refuter's verdicts match the epistemic view.
+
+use stp_channel::{DupChannel, DupStormScheduler, EagerScheduler};
+use stp_knowledge::{sample_universe, LearningProfile, Universe};
+use stp_protocols::{NaiveFamily, ProtocolFamily, ResendPolicy, TightFamily};
+use stp_verify::{explore_runs, ExploreConfig};
+
+fn exact_universe(family: &dyn ProtocolFamily, horizon: u64) -> Universe {
+    let cfg = ExploreConfig {
+        horizon,
+        max_runs: 500_000,
+    };
+    let mut traces = Vec::new();
+    for x in family.claimed_family().iter() {
+        traces.extend(explore_runs(family, x, || Box::new(DupChannel::new()), &cfg));
+    }
+    Universe::new(traces)
+}
+
+#[test]
+fn exact_universe_confirms_sampled_ignorance() {
+    // Whenever the *sampled* universe says "R does not know", the exact
+    // universe must agree (sampling only removes confusers, never adds).
+    let family = TightFamily::new(2, ResendPolicy::Once);
+    let exact = exact_universe(&family, 5);
+    let sampled = sample_universe(
+        &family,
+        &[0, 1],
+        5,
+        || Box::new(DupChannel::new()),
+        |s| Box::new(DupStormScheduler::new(s, 0.8)),
+    );
+    for s_run in 0..sampled.len() {
+        let input = sampled.trace(s_run).input().clone();
+        let n = input.len();
+        // Find the matching exact run with the same receiver history.
+        for t in 0..=5u64 {
+            for i in 1..=n {
+                if sampled.knows_item(s_run, t, i).is_none() {
+                    // Some exact run of the same input with the same
+                    // history must also fail to know (the sampled
+                    // confuser is itself an exact run).
+                    let confirmed = (0..exact.len()).any(|e_run| {
+                        exact.trace(e_run).input() == &input
+                            && exact.knows_item(e_run, t, i).is_none()
+                    });
+                    assert!(confirmed, "input {input}, t={t}, i={i}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn writes_imply_knowledge_in_the_exact_universe() {
+    // In the tight protocol the receiver writes item i exactly when it
+    // receives a new message — and at that very point it *knows* the item
+    // (in the exact universe, every confuser is gone).
+    let family = TightFamily::new(2, ResendPolicy::Once);
+    let u = exact_universe(&family, 6);
+    for run in 0..u.len() {
+        let profile = LearningProfile::of(&u, run);
+        for (i, &w) in profile.write_steps.iter().enumerate() {
+            let t = profile.t[i].unwrap_or_else(|| {
+                panic!("run {run}: item {} written but never known", i + 1)
+            });
+            assert!(
+                t <= w + 1,
+                "run {run}: item {} written at {w} but known only at {t}",
+                i + 1
+            );
+        }
+    }
+}
+
+#[test]
+fn overcapacity_family_has_permanently_unknown_items() {
+    // The epistemic face of Theorem 1: in the naive family's exact
+    // universe, some run never learns some item within any horizon we
+    // enumerate — the indistinguishable twin keeps pace forever.
+    let family = NaiveFamily::new(2, 2);
+    let u = exact_universe(&family, 6);
+    let mut found_unknown_forever = false;
+    for run in 0..u.len() {
+        let input = u.trace(run).input();
+        if !input.is_repetition_free() {
+            let lt = u.learning_times(run);
+            if lt.iter().any(Option::is_none) {
+                found_unknown_forever = true;
+            }
+        }
+    }
+    assert!(
+        found_unknown_forever,
+        "some repetition-carrying input must stay partially unknown"
+    );
+}
+
+#[test]
+fn tight_family_learns_everything_on_cooperative_schedules() {
+    // Dual of the previous test: at capacity, the eager schedule teaches R
+    // the entire input for every member.
+    let family = TightFamily::new(2, ResendPolicy::Once);
+    let exact = exact_universe(&family, 6);
+    for x in family.claimed_family().iter() {
+        // The eagerly-driven run of x exists inside the exact universe;
+        // find any run of x that learnt everything.
+        let learnt = (0..exact.len()).any(|run| {
+            exact.trace(run).input() == x
+                && exact.learning_times(run).iter().all(Option::is_some)
+        });
+        assert!(learnt, "input {x} never fully learnt at horizon 6");
+    }
+}
+
+#[test]
+fn sampled_universe_from_eager_schedule_matches_simulator_output() {
+    let family = TightFamily::new(3, ResendPolicy::Once);
+    let u = sample_universe(
+        &family,
+        &[0],
+        40,
+        || Box::new(DupChannel::new()),
+        |_| Box::new(EagerScheduler::new()),
+    );
+    for run in 0..u.len() {
+        let trace = u.trace(run);
+        assert_eq!(
+            trace.output(),
+            *trace.input(),
+            "eager runs deliver everything"
+        );
+    }
+}

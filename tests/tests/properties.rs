@@ -1,0 +1,158 @@
+//! Cross-crate property-based tests: randomized inputs, adversaries and
+//! seeds against the workspace invariants.
+
+use proptest::prelude::*;
+use stp_channel::{
+    DelChannel, DropHeavyScheduler, DupChannel, DupStormScheduler, RandomScheduler,
+};
+use stp_core::alpha::{alpha, rank, unrank};
+use stp_core::data::{DataItem, DataSeq};
+use stp_core::require::check_safety;
+use stp_protocols::{ResendPolicy, TightReceiver, TightSender};
+use stp_sim::{RunStats, World};
+
+/// A random repetition-free sequence over `d` items.
+fn rep_free_seq(d: u16) -> impl Strategy<Value = DataSeq> {
+    proptest::sample::subsequence((0..d).collect::<Vec<u16>>(), 0..=d as usize)
+        .prop_shuffle()
+        .prop_map(DataSeq::from_indices)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorem 1 achievability, randomized: any repetition-free sequence,
+    /// any storm seed — complete and safe.
+    #[test]
+    fn prop_tight_dup_delivers_any_repetition_free_input(
+        x in rep_free_seq(5),
+        seed in 0u64..1_000,
+    ) {
+        let mut w = World::new(
+            x.clone(),
+            Box::new(TightSender::new(x.clone(), 5, ResendPolicy::Once)),
+            Box::new(TightReceiver::new(5, ResendPolicy::Once)),
+            Box::new(DupChannel::new()),
+            Box::new(DupStormScheduler::new(seed, 0.85)),
+        );
+        let t = w.run_to_completion(30_000).expect("completes");
+        prop_assert_eq!(t.output(), x);
+    }
+
+    /// Theorem 2 achievability, randomized over deletion channels.
+    #[test]
+    fn prop_tight_del_delivers_under_random_drops(
+        x in rep_free_seq(4),
+        seed in 0u64..1_000,
+    ) {
+        let mut w = World::new(
+            x.clone(),
+            Box::new(TightSender::new(x.clone(), 4, ResendPolicy::EveryTick)),
+            Box::new(TightReceiver::new(4, ResendPolicy::EveryTick)),
+            Box::new(DelChannel::new()),
+            Box::new(DropHeavyScheduler::new(seed, 0.35, 0.55)),
+        );
+        let t = w.run_to_completion(60_000).expect("completes");
+        prop_assert_eq!(t.output(), x);
+    }
+
+    /// Safety holds under arbitrary (possibly unfair) adversaries, always.
+    #[test]
+    fn prop_safety_is_unconditional(
+        x in rep_free_seq(4),
+        seed in 0u64..1_000,
+        p in 0.0f64..1.0,
+        steps in 1u64..400,
+    ) {
+        let mut w = World::new(
+            x.clone(),
+            Box::new(TightSender::new(x.clone(), 4, ResendPolicy::Once)),
+            Box::new(TightReceiver::new(4, ResendPolicy::Once)),
+            Box::new(DupChannel::new()),
+            Box::new(RandomScheduler::new(seed, p)),
+        );
+        w.run(steps);
+        prop_assert!(check_safety(w.trace()).is_ok());
+        // Output is always a prefix of the input.
+        prop_assert!(w.trace().output().is_prefix_of(&x));
+    }
+
+    /// The simulator is deterministic: same seed, same trace; and stats
+    /// are internally consistent.
+    #[test]
+    fn prop_determinism_and_stats_consistency(
+        x in rep_free_seq(4),
+        seed in 0u64..200,
+    ) {
+        let run = |seed| {
+            let mut w = World::new(
+                x.clone(),
+                Box::new(TightSender::new(x.clone(), 4, ResendPolicy::EveryTick)),
+                Box::new(TightReceiver::new(4, ResendPolicy::EveryTick)),
+                Box::new(DelChannel::new()),
+                Box::new(DropHeavyScheduler::new(seed, 0.2, 0.7)),
+            );
+            w.run(300).clone()
+        };
+        let a = run(seed);
+        let b = run(seed);
+        prop_assert_eq!(&a, &b);
+        let s = RunStats::of(&a);
+        prop_assert_eq!(s.written, a.output().len());
+        prop_assert!(s.deliveries_r <= s.sends_s);
+        prop_assert!(s.deliveries_s <= s.sends_r);
+        prop_assert_eq!(s.write_steps.len(), s.written);
+    }
+
+    /// rank/unrank stay inverse bijections across the whole range.
+    #[test]
+    fn prop_rank_bijection(m in 1u16..7, k in 0u64..20_000) {
+        let total = alpha(m as u32).unwrap();
+        let r = (k as u128) % total;
+        let s = unrank(m, r).unwrap();
+        prop_assert_eq!(rank(m, &s).unwrap(), r);
+        prop_assert!(s.len() <= m as usize);
+    }
+
+    /// Trace output reconstruction is consistent with incremental
+    /// `output_at` queries.
+    #[test]
+    fn prop_output_at_is_monotone(
+        x in rep_free_seq(4),
+        seed in 0u64..100,
+    ) {
+        let mut w = World::new(
+            x.clone(),
+            Box::new(TightSender::new(x.clone(), 4, ResendPolicy::Once)),
+            Box::new(TightReceiver::new(4, ResendPolicy::Once)),
+            Box::new(DupChannel::new()),
+            Box::new(RandomScheduler::new(seed, 0.6)),
+        );
+        w.run(120);
+        let t = w.trace();
+        let mut prev = DataSeq::new();
+        for step in 0..=t.steps() {
+            let now = t.output_at(step);
+            prop_assert!(prev.is_prefix_of(&now));
+            prev = now;
+        }
+        prop_assert_eq!(prev, t.output());
+    }
+}
+
+#[test]
+fn random_item_sequences_with_repetitions_break_the_once_tight_pair() {
+    // Deterministic negative control for the property suite: a repetition
+    // makes the tight pair lose an item (that is Theorem 1's point).
+    let x = DataSeq::from(vec![DataItem(1), DataItem(1)]);
+    let mut w = World::new(
+        x.clone(),
+        Box::new(stp_protocols::NaiveSender::new(x, 2, ResendPolicy::Once)),
+        Box::new(TightReceiver::new(2, ResendPolicy::Once)),
+        Box::new(DupChannel::new()),
+        Box::new(stp_channel::EagerScheduler::new()),
+    );
+    w.run(500);
+    assert!(check_safety(w.trace()).is_ok(), "still safe");
+    assert!(w.trace().output().len() < 2, "but never complete");
+}
