@@ -1,0 +1,18 @@
+//! Criterion bench for E11: envelope probing and campaign shrinking.
+use criterion::{criterion_group, criterion_main, Criterion};
+use stp_bench::e11;
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("e11_envelope_n8", |b| {
+        b.iter(|| e11::run_envelopes(&[8], 0).len())
+    });
+    c.bench_function("e11_composite_n8", |b| {
+        b.iter(|| e11::run_composite(8).steps)
+    });
+    c.bench_function("e11_shrink_witness", |b| {
+        b.iter(|| e11::run_shrink_demo().witness.plan.clauses.len())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -10,9 +10,7 @@ fn bench(c: &mut Criterion) {
         let family = SequenceFamily::all_up_to(3, 3);
         b.iter(|| random_codebook(&family, 8, 7).len())
     });
-    c.bench_function("e9_sweep_m5", |b| {
-        b.iter(|| e9::run(2, 2, &[5], 2).len())
-    });
+    c.bench_function("e9_sweep_m5", |b| b.iter(|| e9::run(2, 2, &[5], 2).len()));
 }
 
 criterion_group!(benches, bench);

@@ -3,5 +3,8 @@ fn main() {
     let rows = stp_bench::e10::run(&[8, 16, 24], 6);
     println!("E10 — boundedness probe: fresh-only recovery extensions within budget");
     println!("{}", stp_bench::e10::render(&rows));
-    println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&rows).expect("serializable")
+    );
 }

@@ -1,0 +1,19 @@
+//! E11 — fault campaigns: recovery envelopes, composite-campaign
+//! survival, and a shrunk replayable witness.
+fn main() {
+    println!("E11a — recovery envelopes (silence window fired by OnWrite after item 0)");
+    println!(
+        "{}",
+        stp_bench::e11::render_envelopes(&stp_bench::e11::run_envelopes(&[4, 8, 16, 32], 0))
+    );
+    println!("E11b — composite campaign survival (tight-del, DelChannel)");
+    println!(
+        "{}",
+        stp_bench::e11::render_composite(&stp_bench::e11::run_composite(8))
+    );
+    println!("E11c — shrunk safety-violation witness (naive over-capacity, DupChannel)");
+    println!(
+        "{}",
+        stp_bench::e11::render_shrink(&stp_bench::e11::run_shrink_demo())
+    );
+}

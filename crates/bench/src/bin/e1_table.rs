@@ -3,5 +3,8 @@ fn main() {
     let rows = stp_bench::e1::run(5, 3);
     println!("E1 — tight protocol over reorder+duplicate channels (Theorem 1, achievability)");
     println!("{}", stp_bench::e1::render(&rows));
-    println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&rows).expect("serializable")
+    );
 }

@@ -1,7 +1,12 @@
 //! Prints the E2 table (Theorem 1 impossibility).
 fn main() {
     let rows = stp_bench::e2::run(3);
-    println!("E2 — over-capacity families are unsolvable over dup channels (Theorem 1, impossibility)");
+    println!(
+        "E2 — over-capacity families are unsolvable over dup channels (Theorem 1, impossibility)"
+    );
     println!("{}", stp_bench::e2::render(&rows));
-    println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&rows).expect("serializable")
+    );
 }

@@ -6,5 +6,8 @@ fn main() {
     let r = stp_bench::e3::run_recovery(8);
     println!("E3b — recovery after a one-shot fault (bounded: flat in i)");
     println!("{}", stp_bench::e3::render_recovery(&r));
-    println!("{}", serde_json::to_string_pretty(&r).expect("serializable"));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&r).expect("serializable")
+    );
 }

@@ -3,5 +3,8 @@ fn main() {
     let rows = stp_bench::e4::run(&[2, 4, 6, 8]);
     println!("E4 — bounded-confusion certificates over del channels (Theorem 2, impossibility)");
     println!("{}", stp_bench::e4::render(&rows));
-    println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&rows).expect("serializable")
+    );
 }

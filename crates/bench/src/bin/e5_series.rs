@@ -3,5 +3,8 @@ fn main() {
     let rows = stp_bench::e5::run(&[4, 8, 16, 32, 64]);
     println!("E5 — single-fault recovery latency vs |X| (Section 5)");
     println!("{}", stp_bench::e5::render(&rows));
-    println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&rows).expect("serializable")
+    );
 }

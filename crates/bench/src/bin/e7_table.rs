@@ -3,5 +3,8 @@ fn main() {
     let rows = stp_bench::e7::run(42);
     println!("E7 — protocol cost comparison (messages and steps per delivered item)");
     println!("{}", stp_bench::e7::render(&rows));
-    println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&rows).expect("serializable")
+    );
 }

@@ -3,7 +3,10 @@ fn main() {
     let (rows, classes) = stp_bench::e8::run(2, 6);
     println!("E8 — knowledge analysis on the exact run universe (tight-dup, m = 2)");
     println!("{}", stp_bench::e8::render(&rows));
-    println!("indistinguishability classes per step: {:?}", classes.classes_per_step);
+    println!(
+        "indistinguishability classes per step: {:?}",
+        classes.classes_per_step
+    );
     let h = stp_bench::e8::knowledge_hierarchy(2, 6);
     println!(
         "knowledge hierarchy over {} runs: mean t[K_R(x1)] = {:.2}, mean t[K_S K_R(x1)] = {:.2} (ack trip = {:.2} steps)",

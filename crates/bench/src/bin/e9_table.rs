@@ -3,5 +3,8 @@ fn main() {
     let rows = stp_bench::e9::run(2, 3, &[4, 5, 6, 7], 8);
     println!("E9 — probabilistic codebooks beyond alpha(m): failure probability vs code space");
     println!("{}", stp_bench::e9::render(&rows));
-    println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&rows).expect("serializable")
+    );
 }

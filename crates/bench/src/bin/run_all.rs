@@ -6,13 +6,25 @@ fn main() {
     println!("E2 — Theorem 1 impossibility");
     println!("{}", stp_bench::e2::render(&stp_bench::e2::run(3)));
     println!("E3a — tight-del completeness");
-    println!("{}", stp_bench::e3::render_completeness(&stp_bench::e3::run_completeness(4, 3)));
+    println!(
+        "{}",
+        stp_bench::e3::render_completeness(&stp_bench::e3::run_completeness(4, 3))
+    );
     println!("E3b — bounded recovery profile");
-    println!("{}", stp_bench::e3::render_recovery(&stp_bench::e3::run_recovery(8)));
+    println!(
+        "{}",
+        stp_bench::e3::render_recovery(&stp_bench::e3::run_recovery(8))
+    );
     println!("E4 — Theorem 2 impossibility");
-    println!("{}", stp_bench::e4::render(&stp_bench::e4::run(&[2, 4, 6, 8])));
+    println!(
+        "{}",
+        stp_bench::e4::render(&stp_bench::e4::run(&[2, 4, 6, 8]))
+    );
     println!("E5 — weak boundedness (recovery vs |X|)");
-    println!("{}", stp_bench::e5::render(&stp_bench::e5::run(&[4, 8, 16, 32, 64])));
+    println!(
+        "{}",
+        stp_bench::e5::render(&stp_bench::e5::run(&[4, 8, 16, 32, 64]))
+    );
     println!("E6 — the alpha function");
     println!("{}", stp_bench::e6::render(&stp_bench::e6::run(25, 7)));
     println!("E7 — protocol cost grid");
@@ -20,10 +32,34 @@ fn main() {
     println!("E8 — knowledge analysis (exact universe, m = 2)");
     let (rows, classes) = stp_bench::e8::run(2, 6);
     println!("{}", stp_bench::e8::render(&rows));
-    println!("indistinguishability classes per step: {:?}", classes.classes_per_step);
+    println!(
+        "indistinguishability classes per step: {:?}",
+        classes.classes_per_step
+    );
     println!();
     println!("E9 — probabilistic codebooks beyond alpha(m)");
-    println!("{}", stp_bench::e9::render(&stp_bench::e9::run(2, 3, &[4, 5, 6, 7], 8)));
+    println!(
+        "{}",
+        stp_bench::e9::render(&stp_bench::e9::run(2, 3, &[4, 5, 6, 7], 8))
+    );
     println!("E10 — boundedness probe (Definition 2)");
-    println!("{}", stp_bench::e10::render(&stp_bench::e10::run(&[8, 16, 24], 6)));
+    println!(
+        "{}",
+        stp_bench::e10::render(&stp_bench::e10::run(&[8, 16, 24], 6))
+    );
+    println!("E11a — recovery envelopes (OnWrite-triggered silence)");
+    println!(
+        "{}",
+        stp_bench::e11::render_envelopes(&stp_bench::e11::run_envelopes(&[4, 8, 16, 32], 0))
+    );
+    println!("E11b — composite campaign survival");
+    println!(
+        "{}",
+        stp_bench::e11::render_composite(&stp_bench::e11::run_composite(8))
+    );
+    println!("E11c — shrunk safety-violation witness");
+    println!(
+        "{}",
+        stp_bench::e11::render_shrink(&stp_bench::e11::run_shrink_demo())
+    );
 }

@@ -27,6 +27,7 @@ pub struct E1Row {
 }
 
 /// The adversaries E1 sweeps.
+#[allow(clippy::type_complexity)]
 fn adversaries() -> Vec<(&'static str, Box<dyn Fn(u64) -> Box<dyn Scheduler>>)> {
     vec![
         (
@@ -76,7 +77,14 @@ pub fn run(max_m: u16, seeds_per_case: u64) -> Vec<E1Row> {
 /// Renders the table.
 pub fn render(rows: &[E1Row]) -> String {
     crate::table::render(
-        &["m", "alpha(m)", "adversary", "runs", "complete", "sends/item"],
+        &[
+            "m",
+            "alpha(m)",
+            "adversary",
+            "runs",
+            "complete",
+            "sends/item",
+        ],
         &rows
             .iter()
             .map(|r| {

@@ -10,9 +10,7 @@ use serde::{Deserialize, Serialize};
 use stp_channel::{DelChannel, EagerScheduler, TimedChannel};
 use stp_core::data::DataSeq;
 use stp_core::event::Step;
-use stp_protocols::{
-    HybridReceiver, HybridSender, ResendPolicy, TightReceiver, TightSender,
-};
+use stp_protocols::{HybridReceiver, HybridSender, ResendPolicy, TightReceiver, TightSender};
 use stp_sim::{FaultInjector, World};
 use stp_verify::min_recovery_steps;
 
@@ -61,7 +59,11 @@ pub fn run(sizes: &[usize], budget: Step) -> Vec<E10Row> {
         let input: DataSeq = DataSeq::from_indices(0..n as u16);
         let w = World::new(
             input.clone(),
-            Box::new(TightSender::new(input.clone(), n as u16, ResendPolicy::EveryTick)),
+            Box::new(TightSender::new(
+                input.clone(),
+                n as u16,
+                ResendPolicy::EveryTick,
+            )),
             Box::new(TightReceiver::new(n as u16, ResendPolicy::EveryTick)),
             Box::new(DelChannel::new()),
             Box::new(FaultInjector::new(Box::new(EagerScheduler::new()), 4, 2)),
@@ -101,7 +103,14 @@ pub fn run(sizes: &[usize], budget: Step) -> Vec<E10Row> {
 /// Renders the table.
 pub fn render(rows: &[E10Row]) -> String {
     crate::table::render(
-        &["protocol", "|X|", "budget B", "points", "bounded points", "worst f(i) witness"],
+        &[
+            "protocol",
+            "|X|",
+            "budget B",
+            "points",
+            "bounded points",
+            "worst f(i) witness",
+        ],
         &rows
             .iter()
             .map(|r| {

@@ -46,12 +46,7 @@ pub fn run(max_m: u16) -> Vec<E2Row> {
     for m in 1..=max_m {
         let naive = NaiveFamily::minimal_overcapacity(m, ResendPolicy::Once);
         let claimed = naive.claimed_family().len();
-        let cert = find_indistinguishable_conflict(
-            &naive,
-            || Box::new(DupChannel::new()),
-            6,
-            200,
-        );
+        let cert = find_indistinguishable_conflict(&naive, || Box::new(DupChannel::new()), 6, 200);
         let certificate = match cert {
             Some(c) => match c.kind {
                 ConflictKind::SafetyViolation { at_step } => {
@@ -83,13 +78,9 @@ pub fn run(max_m: u16) -> Vec<E2Row> {
             (0, 0)
         };
         let tight = TightFamily::new(m, ResendPolicy::Once);
-        let tight_refuted = find_indistinguishable_conflict(
-            &tight,
-            || Box::new(DupChannel::new()),
-            4,
-            100,
-        )
-        .is_some();
+        let tight_refuted =
+            find_indistinguishable_conflict(&tight, || Box::new(DupChannel::new()), 4, 100)
+                .is_some();
         rows.push(E2Row {
             m,
             capacity: encoding_capacity(m as u32).expect("small m"),
@@ -146,8 +137,16 @@ mod tests {
     fn e2_refutes_overcapacity_and_exonerates_tight() {
         let rows = run(2);
         for r in &rows {
-            assert!(r.claimed as u128 > r.capacity, "family must be over capacity");
-            assert!(!r.certificate.contains("NONE"), "m={}: {}", r.m, r.certificate);
+            assert!(
+                r.claimed as u128 > r.capacity,
+                "family must be over capacity"
+            );
+            assert!(
+                !r.certificate.contains("NONE"),
+                "m={}: {}",
+                r.m,
+                r.certificate
+            );
             assert!(!r.tight_refuted, "m={}", r.m);
             assert_eq!(r.exhaustive_embeddable, 0);
             assert!(r.exhaustive_families > 0);

@@ -67,7 +67,14 @@ pub fn run(budgets: &[u64]) -> Vec<E4Row> {
 /// Renders the table.
 pub fn render(rows: &[E4Row]) -> String {
     crate::table::render(
-        &["m", "claimed |X|", "budget f(i)", "refuted", "stockpile", "tight refuted?"],
+        &[
+            "m",
+            "claimed |X|",
+            "budget f(i)",
+            "refuted",
+            "stockpile",
+            "tight refuted?",
+        ],
         &rows
             .iter()
             .map(|r| {

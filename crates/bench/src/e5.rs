@@ -10,9 +10,7 @@ use serde::{Deserialize, Serialize};
 use stp_channel::{DelChannel, EagerScheduler, TimedChannel};
 use stp_core::data::DataSeq;
 use stp_core::event::Step;
-use stp_protocols::{
-    HybridReceiver, HybridSender, ResendPolicy, TightReceiver, TightSender,
-};
+use stp_protocols::{HybridReceiver, HybridSender, ResendPolicy, TightReceiver, TightSender};
 use stp_sim::{FaultInjector, World};
 
 /// One row of the E5 series.
@@ -95,7 +93,12 @@ pub fn run(sizes: &[usize]) -> Vec<E5Row> {
     let mut rows = Vec::new();
     for &n in sizes {
         let hybrid_input: DataSeq = DataSeq::from_indices((0..n).map(|i| (i % 2) as u16));
-        rows.push(measure("hybrid-weakly-bounded", n, hybrid_world, hybrid_input));
+        rows.push(measure(
+            "hybrid-weakly-bounded",
+            n,
+            hybrid_world,
+            hybrid_input,
+        ));
         let tight_input: DataSeq = DataSeq::from_indices(0..n as u16);
         rows.push(measure("tight-del (bounded)", n, tight_world, tight_input));
     }
@@ -105,7 +108,13 @@ pub fn run(sizes: &[usize]) -> Vec<E5Row> {
 /// Renders the series table.
 pub fn render(rows: &[E5Row]) -> String {
     crate::table::render(
-        &["protocol", "|X|", "fault at", "steps to next item", "steps to completion"],
+        &[
+            "protocol",
+            "|X|",
+            "fault at",
+            "steps to next item",
+            "steps to completion",
+        ],
         &rows
             .iter()
             .map(|r| {

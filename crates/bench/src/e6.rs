@@ -29,8 +29,8 @@ pub fn run(max_m: u32, enumerate_up_to: u32) -> Vec<E6Row> {
         .map(|m| {
             let a = alpha(m).expect("within u128 range");
             let ratio = alpha_over_factorial(m).expect("within range");
-            let enumerated = (m <= enumerate_up_to)
-                .then(|| RepetitionFreeSeqs::new(m as u16).count() as u128);
+            let enumerated =
+                (m <= enumerate_up_to).then(|| RepetitionFreeSeqs::new(m as u16).count() as u128);
             E6Row {
                 m,
                 alpha: a,

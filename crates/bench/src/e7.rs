@@ -39,6 +39,7 @@ pub struct E7Row {
 
 const N: usize = 8;
 
+#[allow(clippy::too_many_arguments)]
 fn run_one(
     protocol: &str,
     channel_label: &str,
@@ -174,7 +175,15 @@ pub fn run(seed: u64) -> Vec<E7Row> {
 /// Renders the cost table.
 pub fn render(rows: &[E7Row]) -> String {
     crate::table::render(
-        &["protocol", "channel", "faults", "complete", "safe", "sends/item", "steps/item"],
+        &[
+            "protocol",
+            "channel",
+            "faults",
+            "complete",
+            "safe",
+            "sends/item",
+            "steps/item",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -199,9 +208,10 @@ mod tests {
     #[test]
     fn e7_home_channels_complete() {
         let rows = run(7);
-        for r in rows.iter().filter(|r| {
-            !(r.protocol == "abp" && r.channel == "reorder+dup")
-        }) {
+        for r in rows
+            .iter()
+            .filter(|r| !(r.protocol == "abp" && r.channel == "reorder+dup"))
+        {
             assert!(r.complete, "{} on {} ({})", r.protocol, r.channel, r.faults);
         }
     }
@@ -253,6 +263,9 @@ mod tests {
         assert!(abp[0].sends_per_item <= abp[2].sends_per_item * 1.5 + 5.0);
         // Loss can only make things more expensive on average; allow noise
         // but insist the lossless run is no more costly than the worst.
-        assert!(abp[0].sends_per_item <= abp.iter().map(|r| r.sends_per_item).fold(0.0, f64::max) + f64::EPSILON);
+        assert!(
+            abp[0].sends_per_item
+                <= abp.iter().map(|r| r.sends_per_item).fold(0.0, f64::max) + f64::EPSILON
+        );
     }
 }

@@ -77,9 +77,7 @@ pub fn run(m: u16, horizon: Step) -> (Vec<E8Row>, E8Classes) {
         for &run in runs {
             let n = u.trace(run).input().len();
             let profile = LearningProfile::of(&u, run);
-            if profile.t.iter().all(Option::is_some) && n > 0 {
-                fully += 1;
-            } else if n == 0 {
+            if n == 0 || profile.t.iter().all(Option::is_some) {
                 fully += 1;
             }
             for g in profile.learning_gaps().into_iter().flatten() {
@@ -178,7 +176,14 @@ pub fn knowledge_hierarchy(m: u16, horizon: Step) -> E8Hierarchy {
 /// Renders the per-input table.
 pub fn render(rows: &[E8Row]) -> String {
     crate::table::render(
-        &["input", "runs", "fully learnt", "mean gap", "stability", "knowledge first"],
+        &[
+            "input",
+            "runs",
+            "fully learnt",
+            "mean gap",
+            "stability",
+            "knowledge first",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -214,7 +219,10 @@ mod tests {
         let (_, classes) = run(2, 6);
         let c = &classes.classes_per_step;
         assert_eq!(c[0], 1, "all runs indistinguishable at t=0");
-        assert!(c[c.len() - 1] > 1, "information must eventually separate runs");
+        assert!(
+            c[c.len() - 1] > 1,
+            "information must eventually separate runs"
+        );
         for w in c.windows(2) {
             assert!(w[1] >= w[0], "classes only ever split");
         }

@@ -75,7 +75,15 @@ pub fn run(d: u16, max_len: usize, ms: &[u16], seeds: u64) -> Vec<E9Row> {
 /// Renders the table.
 pub fn render(rows: &[E9Row]) -> String {
     crate::table::render(
-        &["m", "alpha(m)", "codes m!", "claimed N", "seeds", "measured P(fail)", "analytic P(fail)"],
+        &[
+            "m",
+            "alpha(m)",
+            "codes m!",
+            "claimed N",
+            "seeds",
+            "measured P(fail)",
+            "analytic P(fail)",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -124,6 +132,9 @@ mod tests {
         // 7 sequences, 6 codes: collisions are likely; measured and
         // analytic should be within a generous tolerance of each other.
         assert!(r.measured_failure > 0.2, "{r:?}");
-        assert!((r.measured_failure - r.analytic_failure).abs() < 0.45, "{r:?}");
+        assert!(
+            (r.measured_failure - r.analytic_failure).abs() < 0.45,
+            "{r:?}"
+        );
     }
 }

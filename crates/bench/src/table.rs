@@ -31,10 +31,7 @@ pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
         out.push('\n');
     };
     line(&mut out, header.iter().map(|s| s.to_string()).collect());
-    line(
-        &mut out,
-        widths.iter().map(|w| "-".repeat(*w)).collect(),
-    );
+    line(&mut out, widths.iter().map(|w| "-".repeat(*w)).collect());
     for row in rows {
         line(&mut out, row.clone());
     }

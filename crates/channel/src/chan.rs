@@ -1,8 +1,8 @@
 //! The object-safe [`Channel`] trait shared by every channel model.
 
 use crate::error::ChannelError;
-use stp_core::alphabet::{RMsg, SMsg};
 use std::fmt;
+use stp_core::alphabet::{RMsg, SMsg};
 
 /// The fault class of a channel, mirroring the paper's taxonomy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

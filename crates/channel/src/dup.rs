@@ -107,7 +107,10 @@ impl Channel for DupChannel {
     }
 
     fn state_key(&self) -> String {
-        format!("dup r:{:?} s:{:?}", self.ever_sent_to_r, self.ever_sent_to_s)
+        format!(
+            "dup r:{:?} s:{:?}",
+            self.ever_sent_to_r, self.ever_sent_to_s
+        )
     }
 
     fn box_clone(&self) -> Box<dyn Channel> {

@@ -1,7 +1,7 @@
 //! Channel-layer errors.
 
-use stp_core::alphabet::{RMsg, SMsg};
 use std::fmt;
+use stp_core::alphabet::{RMsg, SMsg};
 
 /// Errors raised by channel operations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod chan;
 pub mod del;
 pub mod dup;
@@ -47,6 +48,7 @@ pub mod multiset;
 pub mod sched;
 pub mod timed;
 
+pub use campaign::{CampaignScheduler, Direction, FaultAction, FaultClause, FaultPlan, Trigger};
 pub use chan::{Channel, ChannelKind};
 pub use del::DelChannel;
 pub use dup::DupChannel;

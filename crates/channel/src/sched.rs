@@ -9,12 +9,13 @@
 use crate::chan::Channel;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use stp_core::alphabet::{RMsg, SMsg};
 use stp_core::event::Step;
 
 /// What the adversary does in one global step.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct StepDecision {
     /// Sender message to deliver to `R` this step (at most one).
     pub deliver_to_r: Option<SMsg>,
@@ -39,6 +40,13 @@ pub trait Scheduler: fmt::Debug {
     /// Decides the adversary's actions for `step`, given the current
     /// channel state.
     fn decide(&mut self, step: Step, chan: &dyn Channel) -> StepDecision;
+
+    /// Observation hook: the executor reports, once per step before
+    /// [`Scheduler::decide`], how many output items the receiver has
+    /// written so far. Lets adversaries react to protocol *progress*
+    /// (e.g. [`crate::campaign::Trigger::OnWrite`] campaign triggers).
+    /// The default does nothing.
+    fn note_progress(&mut self, _step: Step, _written: usize) {}
 
     /// Clones the scheduler state behind a box (object-safe `Clone`).
     fn box_clone(&self) -> Box<dyn Scheduler>;
@@ -310,10 +318,7 @@ impl TargetedScheduler {
     /// Panics if either probability is not within `[0, 1]`.
     pub fn new(seed: u64, p_target: f64, p_deliver: f64) -> Self {
         assert!((0.0..=1.0).contains(&p_target), "probability out of range");
-        assert!(
-            (0.0..=1.0).contains(&p_deliver),
-            "probability out of range"
-        );
+        assert!((0.0..=1.0).contains(&p_deliver), "probability out of range");
         TargetedScheduler {
             rng: ChaCha8Rng::seed_from_u64(seed),
             p_target,
@@ -415,6 +420,10 @@ impl Scheduler for StarveScheduler {
         } else {
             self.inner.decide(step, chan)
         }
+    }
+
+    fn note_progress(&mut self, step: Step, written: usize) {
+        self.inner.note_progress(step, written);
     }
 
     fn box_clone(&self) -> Box<dyn Scheduler> {

@@ -46,9 +46,7 @@ use crate::error::{Error, Result};
 pub fn factorial(m: u32) -> Result<u128> {
     let mut acc: u128 = 1;
     for k in 1..=m as u128 {
-        acc = acc
-            .checked_mul(k)
-            .ok_or(Error::AlphaOverflow { m })?;
+        acc = acc.checked_mul(k).ok_or(Error::AlphaOverflow { m })?;
     }
     Ok(acc)
 }
@@ -240,8 +238,7 @@ impl RepetitionFreeSeqs {
                 return false;
             }
             pos -= 1;
-            let used: std::collections::HashSet<u16> =
-                word[..pos].iter().copied().collect();
+            let used: std::collections::HashSet<u16> = word[..pos].iter().copied().collect();
             // Next letter after word[pos] that is unused in the prefix.
             let mut cand = word[pos] + 1;
             while cand < m && used.contains(&cand) {
@@ -252,12 +249,12 @@ impl RepetitionFreeSeqs {
                 // Fill the suffix with the smallest unused letters.
                 let mut used: std::collections::HashSet<u16> =
                     word[..=pos].iter().copied().collect();
-                for i in pos + 1..len {
+                for slot in word.iter_mut().take(len).skip(pos + 1) {
                     let mut c = 0;
                     while used.contains(&c) {
                         c += 1;
                     }
-                    word[i] = c;
+                    *slot = c;
                     used.insert(c);
                 }
                 return true;
@@ -337,7 +334,7 @@ pub fn rank(m: u16, seq: &SMsgSeq) -> Result<u128> {
     let mut used: Vec<bool> = vec![false; m as usize];
     for (i, msg) in seq.msgs().iter().enumerate() {
         let smaller_unused = (0..msg.0).filter(|&c| !used[c as usize]).count() as u128;
-        let remaining_positions = (len - 1 - i as u32) as u32;
+        let remaining_positions = len - 1 - i as u32;
         let weight = falling_factorial(m32 - 1 - i as u32, remaining_positions)?;
         r = smaller_unused
             .checked_mul(weight)

@@ -330,10 +330,7 @@ mod tests {
         let rep = DataSeq::from_indices([0, 1, 0]);
         assert!(!rep.is_repetition_free());
         assert_eq!(rep.first_repetition(), Some(2));
-        assert_eq!(
-            DataSeq::from_indices([7, 7]).first_repetition(),
-            Some(1)
-        );
+        assert_eq!(DataSeq::from_indices([7, 7]).first_repetition(), Some(1));
     }
 
     #[test]

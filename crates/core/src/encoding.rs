@@ -109,7 +109,10 @@ impl Encoding {
                     continue;
                 }
                 if ci.is_prefix_of(cj) && !xi.is_prefix_of(xj) {
-                    return Err(Error::PrefixMonotonicityViolated { first: i, second: j });
+                    return Err(Error::PrefixMonotonicityViolated {
+                        first: i,
+                        second: j,
+                    });
                 }
             }
         }
@@ -322,7 +325,10 @@ mod tests {
         let e = Encoding::from_pairs([(seq(&[0]), code(&[1])), (seq(&[1]), code(&[1]))]);
         assert_eq!(
             e.validate(Alphabet::new(2)),
-            Err(Error::EncodingNotInjective { first: 0, second: 1 })
+            Err(Error::EncodingNotInjective {
+                first: 0,
+                second: 1
+            })
         );
     }
 
@@ -333,7 +339,10 @@ mod tests {
         let e = Encoding::from_pairs([(seq(&[0]), code(&[0])), (seq(&[1, 2]), code(&[0, 1]))]);
         assert_eq!(
             e.validate(Alphabet::new(2)),
-            Err(Error::PrefixMonotonicityViolated { first: 0, second: 1 })
+            Err(Error::PrefixMonotonicityViolated {
+                first: 0,
+                second: 1
+            })
         );
     }
 
@@ -391,10 +400,7 @@ mod tests {
         assert_eq!(e.len(), 6);
         e.validate(Alphabet::new(3)).unwrap();
         // One more sequence overflows m!.
-        let y = SequenceFamily::from_seqs(
-            x.iter().cloned().chain([seq(&[6, 6, 6])]),
-        )
-        .unwrap();
+        let y = SequenceFamily::from_seqs(x.iter().cloned().chain([seq(&[6, 6, 6])])).unwrap();
         assert_eq!(
             Encoding::full_permutation(&y, Alphabet::new(3)),
             Err(Error::CapacityExceeded {

@@ -159,13 +159,22 @@ mod tests {
                 alphabet: 3,
             },
             Error::RepetitionInSequence { position: 2 },
-            Error::PrefixMonotonicityViolated { first: 0, second: 1 },
-            Error::EncodingNotInjective { first: 3, second: 5 },
+            Error::PrefixMonotonicityViolated {
+                first: 0,
+                second: 1,
+            },
+            Error::EncodingNotInjective {
+                first: 3,
+                second: 5,
+            },
             Error::CapacityExceeded {
                 requested: 10,
                 capacity: 5,
             },
-            Error::RankOutOfRange { rank: 99, count: 16 },
+            Error::RankOutOfRange {
+                rank: 99,
+                count: 16,
+            },
             Error::TapeExhausted { len: 4 },
             Error::SafetyViolated {
                 step: 17,

@@ -96,15 +96,15 @@ impl Event {
     /// processor's local history under the complete-history
     /// interpretation).
     pub fn visible_to(&self, p: ProcessId) -> bool {
-        match (self, p) {
-            (Event::SendS { .. }, ProcessId::Sender) => true,
-            (Event::SendR { .. }, ProcessId::Receiver) => true,
-            (Event::DeliverToR { .. }, ProcessId::Receiver) => true,
-            (Event::DeliverToS { .. }, ProcessId::Sender) => true,
-            (Event::Read { .. }, ProcessId::Sender) => true,
-            (Event::Write { .. }, ProcessId::Receiver) => true,
-            _ => false,
-        }
+        matches!(
+            (self, p),
+            (Event::SendS { .. }, ProcessId::Sender)
+                | (Event::SendR { .. }, ProcessId::Receiver)
+                | (Event::DeliverToR { .. }, ProcessId::Receiver)
+                | (Event::DeliverToS { .. }, ProcessId::Sender)
+                | (Event::Read { .. }, ProcessId::Sender)
+                | (Event::Write { .. }, ProcessId::Receiver)
+        )
     }
 }
 
@@ -177,7 +177,7 @@ impl Trace {
     /// recorded event — traces are append-only in time order.
     pub fn record(&mut self, step: Step, event: Event) {
         debug_assert!(
-            self.events.last().map_or(true, |e| e.step <= step),
+            self.events.last().is_none_or(|e| e.step <= step),
             "events must be recorded in step order"
         );
         self.events.push(TimedEvent { step, event });
@@ -281,9 +281,7 @@ impl Trace {
         for e in self.events.iter().filter(|e| e.step < step) {
             match e.event {
                 Event::SendS { msg } if (msg.0 as usize) < v.len() => v[msg.0 as usize] += 1,
-                Event::DeliverToR { msg } if (msg.0 as usize) < v.len() => {
-                    v[msg.0 as usize] -= 1
-                }
+                Event::DeliverToR { msg } if (msg.0 as usize) < v.len() => v[msg.0 as usize] -= 1,
                 _ => {}
             }
         }
@@ -348,16 +346,40 @@ mod tests {
 
     fn sample_trace() -> Trace {
         let mut t = Trace::new(DataSeq::from_indices([1, 0]));
-        t.record(0, Event::Read { item: DataItem(1), pos: 0 });
+        t.record(
+            0,
+            Event::Read {
+                item: DataItem(1),
+                pos: 0,
+            },
+        );
         t.record(0, Event::SendS { msg: SMsg(1) });
         t.record(1, Event::DeliverToR { msg: SMsg(1) });
-        t.record(1, Event::Write { item: DataItem(1), pos: 0 });
+        t.record(
+            1,
+            Event::Write {
+                item: DataItem(1),
+                pos: 0,
+            },
+        );
         t.record(1, Event::SendR { msg: RMsg(1) });
         t.record(2, Event::DeliverToS { msg: RMsg(1) });
-        t.record(2, Event::Read { item: DataItem(0), pos: 1 });
+        t.record(
+            2,
+            Event::Read {
+                item: DataItem(0),
+                pos: 1,
+            },
+        );
         t.record(2, Event::SendS { msg: SMsg(0) });
         t.record(3, Event::DeliverToR { msg: SMsg(0) });
-        t.record(3, Event::Write { item: DataItem(0), pos: 1 });
+        t.record(
+            3,
+            Event::Write {
+                item: DataItem(0),
+                pos: 1,
+            },
+        );
         t.set_steps(4);
         t
     }
@@ -377,10 +399,26 @@ mod tests {
         assert!(!SendS { msg: SMsg(0) }.visible_to(Receiver));
         assert!(DeliverToR { msg: SMsg(0) }.visible_to(Receiver));
         assert!(!DeliverToR { msg: SMsg(0) }.visible_to(Sender));
-        assert!(Read { item: DataItem(0), pos: 0 }.visible_to(Sender));
-        assert!(Write { item: DataItem(0), pos: 0 }.visible_to(Receiver));
-        assert!(!ChannelDrop { to: Receiver, msg: 0 }.visible_to(Receiver));
-        assert!(!ChannelDrop { to: Receiver, msg: 0 }.visible_to(Sender));
+        assert!(Read {
+            item: DataItem(0),
+            pos: 0
+        }
+        .visible_to(Sender));
+        assert!(Write {
+            item: DataItem(0),
+            pos: 0
+        }
+        .visible_to(Receiver));
+        assert!(!ChannelDrop {
+            to: Receiver,
+            msg: 0
+        }
+        .visible_to(Receiver));
+        assert!(!ChannelDrop {
+            to: Receiver,
+            msg: 0
+        }
+        .visible_to(Sender));
     }
 
     #[test]

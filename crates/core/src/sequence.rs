@@ -118,9 +118,9 @@ impl SequenceFamily {
     /// Whether the family is prefix-closed (every prefix of a member is a
     /// member).
     pub fn is_prefix_closed(&self) -> bool {
-        self.seqs.iter().all(|s| {
-            (0..s.len()).all(|k| self.contains(&s.prefix(k)))
-        })
+        self.seqs
+            .iter()
+            .all(|s| (0..s.len()).all(|k| self.contains(&s.prefix(k))))
     }
 
     /// The longest sequence length in the family (0 for an empty family).
@@ -348,7 +348,10 @@ mod tests {
         let r = SequenceFamily::from_seqs([seq(&[0]), seq(&[1]), seq(&[0])]);
         assert_eq!(
             r,
-            Err(Error::EncodingNotInjective { first: 0, second: 2 })
+            Err(Error::EncodingNotInjective {
+                first: 0,
+                second: 2
+            })
         );
     }
 

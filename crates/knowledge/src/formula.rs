@@ -151,10 +151,7 @@ mod tests {
             t.set_steps(6);
             t
         };
-        Universe::new(vec![
-            mk(&[5, 1], &[9, 0], &[0]),
-            mk(&[5, 2], &[9, 1], &[0]),
-        ])
+        Universe::new(vec![mk(&[5, 1], &[9, 0], &[0]), mk(&[5, 2], &[9, 1], &[0])])
     }
 
     #[test]
@@ -163,7 +160,10 @@ mod tests {
         assert!(Formula::item_is(1, DataItem(5)).eval(&u, 0, 0));
         assert!(!Formula::item_is(1, DataItem(4)).eval(&u, 0, 0));
         assert!(Formula::item_is(2, DataItem(1)).eval(&u, 0, 0));
-        assert!(!Formula::item_is(3, DataItem(0)).eval(&u, 0, 0), "no third item");
+        assert!(
+            !Formula::item_is(3, DataItem(0)).eval(&u, 0, 0),
+            "no third item"
+        );
         assert!(Formula::OutputLenAtLeast(0).eval(&u, 0, 0));
         assert!(!Formula::OutputLenAtLeast(1).eval(&u, 0, 5));
         assert!(Formula::OutputIsPrefix.eval(&u, 0, 5));
@@ -176,11 +176,8 @@ mod tests {
             for t in 0..=6 {
                 for i in 1..=2usize {
                     let via_formula = (0..10).any(|d| {
-                        Formula::knows(
-                            ProcessId::Receiver,
-                            Formula::item_is(i, DataItem(d)),
-                        )
-                        .eval(&u, run, t)
+                        Formula::knows(ProcessId::Receiver, Formula::item_is(i, DataItem(d)))
+                            .eval(&u, run, t)
                             && u.trace(run).input().get(i - 1) == Some(DataItem(d))
                     });
                     assert_eq!(
@@ -261,9 +258,7 @@ mod tests {
         assert!(s_knows_r_knows.eval(&u, 0, 3));
         // At t = 2, R does not know — and S knows that R does not know.
         assert!(!r_knows.eval(&u, 0, 2));
-        assert!(
-            Formula::knows(ProcessId::Sender, Formula::not(r_knows)).eval(&u, 0, 2)
-        );
+        assert!(Formula::knows(ProcessId::Sender, Formula::not(r_knows)).eval(&u, 0, 2));
     }
 
     #[test]

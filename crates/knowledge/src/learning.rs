@@ -39,13 +39,10 @@ impl LearningProfile {
     /// visible from `w + 1` on (local histories cover *completed* steps),
     /// so the check is `t_i ≤ w_i + 1`.
     pub fn knowledge_precedes_writes(&self) -> bool {
-        self.t
-            .iter()
-            .zip(&self.write_steps)
-            .all(|(t, &w)| match t {
-                Some(t) => *t <= w + 1,
-                None => false,
-            })
+        self.t.iter().zip(&self.write_steps).all(|(t, &w)| match t {
+            Some(t) => *t <= w + 1,
+            None => false,
+        })
     }
 
     /// Gaps `t_i − t_{i−1}` between consecutive learning times (`None`

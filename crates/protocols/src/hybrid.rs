@@ -34,9 +34,7 @@
 
 use stp_core::alphabet::{Alphabet, RMsg, SMsg};
 use stp_core::data::{DataItem, DataSeq};
-use stp_core::proto::{
-    Receiver, ReceiverEvent, ReceiverOutput, Sender, SenderEvent, SenderOutput,
-};
+use stp_core::proto::{Receiver, ReceiverEvent, ReceiverOutput, Sender, SenderEvent, SenderOutput};
 
 const ACK_START: u16 = 4;
 const ACK_DONE: u16 = 5;
@@ -411,7 +409,12 @@ mod tests {
 
     /// Drives sender and receiver over a perfect 1-step-delay pipe,
     /// optionally swallowing the `drop_nth` sender→receiver message.
-    fn drive(input: &[u16], domain: u16, drop_nth: Option<usize>, steps: usize) -> (HybridSender, HybridReceiver, Vec<DataItem>) {
+    fn drive(
+        input: &[u16],
+        domain: u16,
+        drop_nth: Option<usize>,
+        steps: usize,
+    ) -> (HybridSender, HybridReceiver, Vec<DataItem>) {
         let mut s = HybridSender::new(seq(input), domain, 2);
         let mut r = HybridReceiver::new(domain);
         let mut written = Vec::new();

@@ -109,7 +109,10 @@ mod tests {
     fn works_by_luck_on_repetition_free_inputs() {
         let mut s = NaiveSender::new(seq(&[1, 0]), 2, ResendPolicy::Once);
         assert_eq!(s.on_event(SenderEvent::Init).send, vec![SMsg(1)]);
-        assert_eq!(s.on_event(SenderEvent::Deliver(RMsg(1))).send, vec![SMsg(0)]);
+        assert_eq!(
+            s.on_event(SenderEvent::Deliver(RMsg(1))).send,
+            vec![SMsg(0)]
+        );
         s.on_event(SenderEvent::Deliver(RMsg(0)));
         assert!(s.is_done());
     }

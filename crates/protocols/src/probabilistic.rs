@@ -27,9 +27,7 @@ use std::hash::{Hash, Hasher};
 use stp_core::alphabet::{Alphabet, RMsg, SMsg, SMsgSeq};
 use stp_core::data::DataSeq;
 use stp_core::encoding::nth_permutation;
-use stp_core::proto::{
-    Receiver, ReceiverEvent, ReceiverOutput, Sender, SenderEvent, SenderOutput,
-};
+use stp_core::proto::{Receiver, ReceiverEvent, ReceiverOutput, Sender, SenderEvent, SenderOutput};
 use stp_core::sequence::SequenceFamily;
 
 /// Assigns every sequence of `family` a (seeded) random full permutation
@@ -61,10 +59,7 @@ pub fn colliding_members(codebook: &[(DataSeq, SMsgSeq)]) -> usize {
     for (_, code) in codebook {
         *counts.entry(code).or_insert(0) += 1;
     }
-    codebook
-        .iter()
-        .filter(|(_, code)| counts[code] > 1)
-        .count()
+    codebook.iter().filter(|(_, code)| counts[code] > 1).count()
 }
 
 /// The sender: transmits its assigned permutation with the tight
@@ -123,7 +118,11 @@ impl Sender for CodebookSender {
             SenderEvent::Init => self.advance(),
             SenderEvent::Deliver(ack) => {
                 // Awaiting the ack of letter (next - 1).
-                match self.next.checked_sub(1).and_then(|i| self.code.msgs().get(i)) {
+                match self
+                    .next
+                    .checked_sub(1)
+                    .and_then(|i| self.code.msgs().get(i))
+                {
                     Some(prev) if ack.0 == prev.0 => self.advance(),
                     _ => SenderOutput::idle(),
                 }

@@ -222,8 +222,14 @@ mod tests {
         // Wrong ack: ignored.
         assert_eq!(s.on_event(SenderEvent::Deliver(RMsg(1))).send, vec![]);
         // Matching ack: next item.
-        assert_eq!(s.on_event(SenderEvent::Deliver(RMsg(2))).send, vec![SMsg(0)]);
-        assert_eq!(s.on_event(SenderEvent::Deliver(RMsg(0))).send, vec![SMsg(1)]);
+        assert_eq!(
+            s.on_event(SenderEvent::Deliver(RMsg(2))).send,
+            vec![SMsg(0)]
+        );
+        assert_eq!(
+            s.on_event(SenderEvent::Deliver(RMsg(0))).send,
+            vec![SMsg(1)]
+        );
         assert_eq!(s.on_event(SenderEvent::Deliver(RMsg(1))).send, vec![]);
         assert!(s.is_done());
         assert_eq!(s.reads(), 3);
@@ -251,7 +257,10 @@ mod tests {
         s.on_event(SenderEvent::Init);
         assert_eq!(s.on_event(SenderEvent::Tick).send, vec![SMsg(1)]);
         // A stale ack also triggers a retransmission slot.
-        assert_eq!(s.on_event(SenderEvent::Deliver(RMsg(0))).send, vec![SMsg(1)]);
+        assert_eq!(
+            s.on_event(SenderEvent::Deliver(RMsg(0))).send,
+            vec![SMsg(1)]
+        );
         s.on_event(SenderEvent::Deliver(RMsg(1)));
         assert!(s.is_done());
         assert_eq!(s.on_event(SenderEvent::Tick), SenderOutput::idle());

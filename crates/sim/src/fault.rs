@@ -2,72 +2,85 @@
 //! experiments (E3, E5).
 //!
 //! [`FaultInjector`] wraps an inner scheduler and, at a chosen global step,
-//! destroys in-flight copies (on deleting/lossy channels). Everything else
-//! is delegated. Injecting exactly one fault right after the receiver
-//! learns item `i` is how we measure a protocol's recovery profile: the
-//! paper's Definition-2 *bounded* protocols recover in time `f(i)`
-//! independent of the input length, while the Section-5 hybrid needs time
-//! proportional to the whole remaining sequence.
+//! destroys in-flight copies (on deleting/lossy channels) and suppresses
+//! that step's deliveries. Everything else is delegated. Injecting exactly
+//! one fault right after the receiver learns item `i` is how we measure a
+//! protocol's recovery profile: the paper's Definition-2 *bounded*
+//! protocols recover in time `f(i)` independent of the input length, while
+//! the Section-5 hybrid needs time proportional to the whole remaining
+//! sequence.
+//!
+//! # Migration
+//!
+//! `FaultInjector` predates the composable campaign engine and is now a
+//! thin veneer over [`CampaignScheduler`]: `FaultInjector::new(inner, at,
+//! copies)` is exactly the two-clause plan
+//!
+//! ```text
+//! FaultPlan::new(0)
+//!     .with(FaultClause::new(FaultAction::DeletionBurst { copies }, Trigger::AtStep(at)))
+//!     .with(FaultClause::new(FaultAction::SilenceWindow,           Trigger::AtStep(at)))
+//! ```
+//!
+//! New code that needs anything richer — multiple strikes, windows,
+//! write-triggered faults, randomized storms — should build a
+//! [`FaultPlan`](stp_channel::campaign::FaultPlan) and use
+//! [`CampaignScheduler`] directly (or the measurement helpers in
+//! [`crate::slo`]). The historical wart that an injector could not be
+//! reused across [`World`](crate::World) runs (its `fired` latch stayed
+//! set) is gone: [`FaultInjector::reset`] rewinds it.
 
+use stp_channel::campaign::{CampaignScheduler, FaultAction, FaultClause, FaultPlan, Trigger};
 use stp_channel::{Channel, Scheduler, StepDecision};
 use stp_core::event::Step;
 
 /// A scheduler wrapper that injects a single deletion burst at a fixed
-/// step.
+/// step. Compatibility veneer over [`CampaignScheduler`]; see the module
+/// docs for migration guidance.
 #[derive(Debug, Clone)]
 pub struct FaultInjector {
-    inner: Box<dyn Scheduler>,
-    /// Step at which to strike.
-    at: Step,
-    /// Maximum copies to destroy in each direction (usually 1).
-    copies: usize,
-    /// Whether the strike also suppresses that step's deliveries.
-    suppress_delivery: bool,
-    fired: bool,
+    campaign: CampaignScheduler,
 }
 
 impl FaultInjector {
     /// Wraps `inner`, deleting up to `copies` in-flight copies per
-    /// direction at step `at` and suppressing that step's deliveries.
+    /// direction at the first decision with `step >= at` and suppressing
+    /// that step's deliveries.
     pub fn new(inner: Box<dyn Scheduler>, at: Step, copies: usize) -> Self {
+        let plan = FaultPlan::new(0)
+            .with(FaultClause::new(
+                FaultAction::DeletionBurst { copies },
+                Trigger::AtStep(at),
+            ))
+            .with(FaultClause::new(
+                FaultAction::SilenceWindow,
+                Trigger::AtStep(at),
+            ));
         FaultInjector {
-            inner,
-            at,
-            copies,
-            suppress_delivery: true,
-            fired: false,
+            campaign: CampaignScheduler::new(inner, plan),
         }
     }
 
     /// Whether the fault has fired yet.
     pub fn fired(&self) -> bool {
-        self.fired
+        self.campaign.any_fired()
+    }
+
+    /// Rewinds the injector so it can drive a fresh run: the fault will
+    /// fire again at its configured step. The inner scheduler is not
+    /// reset.
+    pub fn reset(&mut self) {
+        self.campaign.reset();
     }
 }
 
 impl Scheduler for FaultInjector {
     fn decide(&mut self, step: Step, chan: &dyn Channel) -> StepDecision {
-        let mut d = self.inner.decide(step, chan);
-        if !self.fired && step >= self.at {
-            self.fired = true;
-            if chan.can_delete() {
-                d.delete_to_r = chan
-                    .deliverable_to_r()
-                    .into_iter()
-                    .take(self.copies)
-                    .collect();
-                d.delete_to_s = chan
-                    .deliverable_to_s()
-                    .into_iter()
-                    .take(self.copies)
-                    .collect();
-            }
-            if self.suppress_delivery {
-                d.deliver_to_r = None;
-                d.deliver_to_s = None;
-            }
-        }
-        d
+        self.campaign.decide(step, chan)
+    }
+
+    fn note_progress(&mut self, step: Step, written: usize) {
+        self.campaign.note_progress(step, written);
     }
 
     fn box_clone(&self) -> Box<dyn Scheduler> {
@@ -109,6 +122,7 @@ mod tests {
         let mut f = FaultInjector::new(Box::new(EagerScheduler::new()), 0, 1);
         let d = f.decide(0, &ch);
         assert!(d.delete_to_r.is_empty(), "dup channels cannot lose copies");
+        assert!(d.deliver_to_r.is_none(), "delivery still suppressed");
         assert!(f.fired(), "the strike step still counts as fired");
     }
 
@@ -118,6 +132,20 @@ mod tests {
         let mut f = FaultInjector::new(Box::new(EagerScheduler::new()), 2, 1);
         // Jump straight past the configured step.
         let _ = f.decide(10, &ch);
+        assert!(f.fired());
+    }
+
+    #[test]
+    fn reset_rearms_the_fault_for_a_fresh_run() {
+        let mut ch = DelChannel::new();
+        ch.send_s(SMsg(0));
+        let mut f = FaultInjector::new(Box::new(EagerScheduler::new()), 1, 1);
+        let _ = f.decide(1, &ch);
+        assert!(f.fired());
+        f.reset();
+        assert!(!f.fired(), "reset clears the latch");
+        let d = f.decide(1, &ch);
+        assert_eq!(d.delete_to_r.len(), 1, "the fault fires again");
         assert!(f.fired());
     }
 }

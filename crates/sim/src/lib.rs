@@ -30,17 +30,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod fault;
 pub mod metrics;
 pub mod replay;
 pub mod runner;
+pub mod shrink;
+pub mod slo;
 pub mod threaded;
 pub mod world;
 
+pub use error::SimError;
 pub use fault::FaultInjector;
 pub use metrics::RunStats;
 pub use replay::{replay, script_from_trace};
 pub use runner::{
     run_family_member, sweep_family, sweep_family_parallel, FamilyRunConfig, SweepOutcome,
+};
+pub use shrink::{
+    classify, is_one_minimal, shrink_plan, shrink_to_witness, CampaignJudge, Violation, Witness,
+};
+pub use slo::{
+    probe_recovery, recovery_envelope, run_campaign, run_with_plan, RecoveryEnvelope,
+    RecoveryProbe, SloConfig,
 };
 pub use world::World;

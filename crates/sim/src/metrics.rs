@@ -103,7 +103,13 @@ mod tests {
         let mut t = Trace::new(DataSeq::from_indices([1, 0]));
         t.record(0, Event::SendS { msg: SMsg(1) });
         t.record(1, Event::DeliverToR { msg: SMsg(1) });
-        t.record(1, Event::Write { item: DataItem(1), pos: 0 });
+        t.record(
+            1,
+            Event::Write {
+                item: DataItem(1),
+                pos: 0,
+            },
+        );
         t.record(1, Event::SendR { msg: RMsg(1) });
         t.record(
             2,
@@ -114,7 +120,13 @@ mod tests {
         );
         t.record(3, Event::SendS { msg: SMsg(0) });
         t.record(5, Event::DeliverToR { msg: SMsg(0) });
-        t.record(5, Event::Write { item: DataItem(0), pos: 1 });
+        t.record(
+            5,
+            Event::Write {
+                item: DataItem(0),
+                pos: 1,
+            },
+        );
         t.set_steps(6);
         t
     }
@@ -155,7 +167,13 @@ mod tests {
     #[test]
     fn unsafe_runs_are_flagged() {
         let mut t = Trace::new(DataSeq::from_indices([1]));
-        t.record(0, Event::Write { item: DataItem(0), pos: 0 });
+        t.record(
+            0,
+            Event::Write {
+                item: DataItem(0),
+                pos: 0,
+            },
+        );
         let s = RunStats::of(&t);
         assert!(!s.safe);
         assert!(!s.is_complete());

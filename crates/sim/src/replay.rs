@@ -8,11 +8,11 @@
 //! [`replay`] re-runs it, producing a bit-identical trace. This is how
 //! certificates and bug reports travel: a trace *is* a replayable witness.
 
+use crate::world::World;
 use stp_channel::{Channel, ScriptedScheduler, StepDecision};
 use stp_core::alphabet::{RMsg, SMsg};
 use stp_core::event::{Event, ProcessId, Trace};
 use stp_core::proto::{Receiver, Sender};
-use crate::world::World;
 
 /// Extracts the per-step adversary decisions from a recorded trace.
 pub fn script_from_trace(trace: &Trace) -> Vec<StepDecision> {

@@ -1,0 +1,419 @@
+//! Shrinking failing fault campaigns into minimal, replayable witnesses.
+//!
+//! When a campaign drives a run into a safety violation (the receiver
+//! writes something that is not a prefix of the input) or a liveness
+//! stall (the transfer never finishes), the interesting artefact is not
+//! the original kitchen-sink plan but the *smallest* plan that still
+//! fails. [`shrink_plan`] minimizes a failing [`FaultPlan`] by
+//! delta-debugging its clauses to a 1-minimal subset and then shrinking
+//! each surviving clause's numeric parameters. The result is packaged by
+//! [`Witness`]: the input, the minimal plan, and the exact per-step
+//! adversary script extracted from the failing trace — which replays
+//! bit-identically through [`ScriptedScheduler`], with no campaign
+//! machinery needed, so a bug report is self-contained JSON.
+
+use crate::replay::script_from_trace;
+use crate::slo::run_with_plan;
+use crate::world::World;
+use serde::{Deserialize, Serialize};
+use stp_channel::campaign::FaultPlan;
+use stp_channel::{Channel, Scheduler, ScriptedScheduler, StepDecision};
+use stp_core::data::DataSeq;
+use stp_core::event::{Step, Trace};
+use stp_core::proto::{Receiver, Sender};
+use stp_core::require::check_safety;
+use stp_protocols::ProtocolFamily;
+
+/// What went wrong in a campaign run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Violation {
+    /// The receiver's output stopped being a prefix of the input.
+    Safety {
+        /// Step of the offending write.
+        step: Step,
+        /// Output position of the offending write.
+        position: usize,
+    },
+    /// The transfer did not complete within the step budget.
+    Stall {
+        /// Items actually written.
+        written: usize,
+        /// Items expected.
+        expected: usize,
+    },
+}
+
+impl Violation {
+    /// The violation's kind, used to decide whether a shrunk candidate
+    /// still exhibits "the same" failure.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Violation::Safety { .. } => "safety",
+            Violation::Stall { .. } => "stall",
+        }
+    }
+}
+
+/// Classifies a finished run: safety violations take precedence over
+/// stalls; a safe, complete run returns `None`.
+pub fn classify(trace: &Trace, expected: usize) -> Option<Violation> {
+    if let Err(stp_core::error::Error::SafetyViolated { step, position }) = check_safety(trace) {
+        return Some(Violation::Safety { step, position });
+    }
+    let written = trace.output().len();
+    if written < expected {
+        return Some(Violation::Stall { written, expected });
+    }
+    None
+}
+
+/// A reusable judge: runs a family under a candidate plan and classifies
+/// the outcome. Runs are deterministic (fresh channel and inner scheduler
+/// per candidate, campaign seeded from the plan), so judging is pure.
+pub struct CampaignJudge<'a> {
+    /// Protocol family under test.
+    pub family: &'a dyn ProtocolFamily,
+    /// Input sequence.
+    pub input: &'a DataSeq,
+    /// Fresh-channel constructor.
+    pub mk_channel: &'a dyn Fn() -> Box<dyn Channel>,
+    /// Fresh inner-scheduler constructor.
+    pub mk_inner: &'a dyn Fn() -> Box<dyn Scheduler>,
+    /// Step budget per candidate run.
+    pub max_steps: Step,
+}
+
+impl CampaignJudge<'_> {
+    /// Runs `plan` to its trace.
+    pub fn run(&self, plan: &FaultPlan) -> Trace {
+        run_with_plan(
+            self.family,
+            self.input,
+            (self.mk_channel)(),
+            (self.mk_inner)(),
+            plan,
+            self.max_steps,
+        )
+    }
+
+    /// Runs `plan` and classifies the outcome.
+    pub fn judge(&self, plan: &FaultPlan) -> Option<Violation> {
+        classify(&self.run(plan), self.input.len())
+    }
+}
+
+fn still_fails(judge: &CampaignJudge<'_>, plan: &FaultPlan, kind: &str) -> Option<Violation> {
+    judge.judge(plan).filter(|v| v.kind() == kind)
+}
+
+/// Shrinks a clause's numeric parameters while `keep` accepts the
+/// candidate plan.
+fn shrink_clause_params(
+    judge: &CampaignJudge<'_>,
+    plan: &mut FaultPlan,
+    idx: usize,
+    kind: &str,
+) -> Option<Violation> {
+    use stp_channel::campaign::FaultAction::*;
+    let mut best = None;
+    // Halve the window toward 1.
+    loop {
+        let cur = plan.clauses[idx].duration;
+        if cur <= 1 {
+            break;
+        }
+        let mut cand = plan.clone();
+        cand.clauses[idx].duration = (cur / 2).max(1);
+        match still_fails(judge, &cand, kind) {
+            Some(v) => {
+                *plan = cand;
+                best = Some(v);
+            }
+            None => break,
+        }
+    }
+    // Halve the copy count toward 1.
+    while let DeletionBurst { copies: cur } | TargetedStrike { copies: cur } =
+        plan.clauses[idx].action
+    {
+        if cur <= 1 {
+            break;
+        }
+        let mut cand = plan.clone();
+        let next = (cur / 2).max(1);
+        match &mut cand.clauses[idx].action {
+            DeletionBurst { copies } | TargetedStrike { copies } => *copies = next,
+            _ => unreachable!(),
+        }
+        match still_fails(judge, &cand, kind) {
+            Some(v) => {
+                *plan = cand;
+                best = Some(v);
+            }
+            None => break,
+        }
+    }
+    // Cap an unlimited or generous firing budget at 1.
+    if plan.clauses[idx].max_firings != 1 {
+        let mut cand = plan.clone();
+        cand.clauses[idx].max_firings = 1;
+        if let Some(v) = still_fails(judge, &cand, kind) {
+            *plan = cand;
+            best = Some(v);
+        }
+    }
+    best
+}
+
+/// Minimizes a failing plan: repeatedly drops clauses whose removal
+/// preserves the violation kind (to a fixpoint, so the result is
+/// 1-minimal in its clause set), then shrinks each surviving clause's
+/// window, copy count and firing budget. Returns `None` if `plan` does
+/// not fail in the first place.
+pub fn shrink_plan(judge: &CampaignJudge<'_>, plan: &FaultPlan) -> Option<(FaultPlan, Violation)> {
+    let mut violation = judge.judge(plan)?;
+    let kind = violation.kind();
+    let mut current = plan.clone();
+    // Clause-set minimization to a fixpoint.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let mut i = 0;
+        while i < current.clauses.len() {
+            let mut cand = current.clone();
+            cand.clauses.remove(i);
+            if let Some(v) = still_fails(judge, &cand, kind) {
+                current = cand;
+                violation = v;
+                changed = true;
+            } else {
+                i += 1;
+            }
+        }
+    }
+    // Parameter shrinking per surviving clause.
+    for i in 0..current.clauses.len() {
+        if let Some(v) = shrink_clause_params(judge, &mut current, i, kind) {
+            violation = v;
+        }
+    }
+    Some((current, violation))
+}
+
+/// Checks 1-minimality of a plan's clause set: removing any single clause
+/// must make the violation kind disappear. Trivially true for empty
+/// plans.
+pub fn is_one_minimal(judge: &CampaignJudge<'_>, plan: &FaultPlan, kind: &str) -> bool {
+    (0..plan.clauses.len()).all(|i| {
+        let mut cand = plan.clone();
+        cand.clauses.remove(i);
+        still_fails(judge, &cand, kind).is_none()
+    })
+}
+
+/// A self-contained, replayable failure report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Witness {
+    /// Protocol family name.
+    pub protocol: String,
+    /// The input sequence of the failing run.
+    pub input: DataSeq,
+    /// The minimal failing plan (documentation: *why* the adversary acted).
+    pub plan: FaultPlan,
+    /// The exact per-step adversary script of the failing run
+    /// (mechanism: *what* the adversary did) — replayable on its own.
+    pub script: Vec<StepDecision>,
+    /// Steps the failing run took.
+    pub steps: Step,
+    /// The violation exhibited.
+    pub violation: Violation,
+}
+
+impl Witness {
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("witness serializes")
+    }
+
+    /// Parses from JSON.
+    pub fn from_json(s: &str) -> Result<Witness, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Re-executes the witness script against fresh protocol and channel
+    /// instances, returning the reproduced trace and its classification.
+    /// A valid witness reproduces its recorded violation exactly.
+    pub fn replay(
+        &self,
+        sender: Box<dyn Sender>,
+        receiver: Box<dyn Receiver>,
+        channel: Box<dyn Channel>,
+    ) -> (Trace, Option<Violation>) {
+        let mut world = World::new(
+            self.input.clone(),
+            sender,
+            receiver,
+            channel,
+            Box::new(ScriptedScheduler::new(self.script.clone())),
+        );
+        world.run(self.steps);
+        let trace = world.into_trace();
+        let violation = classify(&trace, self.input.len());
+        (trace, violation)
+    }
+}
+
+/// End-to-end shrink: minimizes `plan` under `judge`, re-runs the minimal
+/// plan, and packages the failing run as a [`Witness`]. Returns `None` if
+/// `plan` does not fail.
+pub fn shrink_to_witness(judge: &CampaignJudge<'_>, plan: &FaultPlan) -> Option<Witness> {
+    let (minimal, violation) = shrink_plan(judge, plan)?;
+    let trace = judge.run(&minimal);
+    Some(Witness {
+        protocol: judge.family.name().to_string(),
+        input: judge.input.clone(),
+        plan: minimal,
+        script: script_from_trace(&trace),
+        steps: trace.steps(),
+        violation,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stp_channel::campaign::{Direction, FaultAction, FaultClause, Trigger};
+    use stp_channel::DupChannel;
+    use stp_protocols::NaiveFamily;
+
+    fn seq(v: &[u16]) -> DataSeq {
+        DataSeq::from_indices(v.iter().copied())
+    }
+
+    /// An inner scheduler that does nothing: all deliveries come from the
+    /// campaign, so the plan is the entire adversary.
+    fn idle() -> Box<dyn Scheduler> {
+        Box::new(ScriptedScheduler::new(Vec::new()))
+    }
+
+    /// The deliberately failing setup: the over-capacity naive family on
+    /// input ⟨0,1,0,2⟩. A duplication storm towards the sender replays the
+    /// stale ack of the first `0` while the *third* item (also `0`) is
+    /// outstanding; the sender skips it and transmits `2`, which the
+    /// receiver writes at position 2 — output ⟨0,1,2⟩, not a prefix of the
+    /// input. A concrete instance of the paper's Theorem-1 impossibility.
+    fn failing_plan() -> FaultPlan {
+        FaultPlan::new(11)
+            .with(
+                FaultClause::new(FaultAction::DuplicationStorm, Trigger::AtStep(0))
+                    .lasting(400)
+                    .direction(Direction::Both),
+            )
+            // Decoys the shrinker should strip:
+            .with(
+                FaultClause::new(
+                    FaultAction::ReorderFlood,
+                    Trigger::EveryK {
+                        period: 13,
+                        offset: 5,
+                    },
+                )
+                .lasting(3)
+                .repeats(0)
+                .direction(Direction::ToReceiver),
+            )
+            .with(FaultClause::new(FaultAction::SilenceWindow, Trigger::AtStep(37)).lasting(2))
+    }
+
+    fn judge_parts() -> (NaiveFamily, DataSeq) {
+        (NaiveFamily::new(4, 4), seq(&[0, 1, 0, 2]))
+    }
+
+    #[test]
+    fn storm_campaign_produces_a_real_safety_violation() {
+        let (fam, input) = judge_parts();
+        let judge = CampaignJudge {
+            family: &fam,
+            input: &input,
+            mk_channel: &|| Box::new(DupChannel::new()),
+            mk_inner: &idle,
+            max_steps: 400,
+        };
+        let v = judge.judge(&failing_plan()).expect("campaign fails");
+        assert_eq!(v.kind(), "safety", "got {v:?}");
+        assert!(
+            judge
+                .judge(&FaultPlan::new(11))
+                .map(|v| v.kind().to_string())
+                != Some("safety".into()),
+            "without the campaign there is no safety violation"
+        );
+    }
+
+    #[test]
+    fn shrinker_strips_decoys_and_stays_one_minimal() {
+        let (fam, input) = judge_parts();
+        let judge = CampaignJudge {
+            family: &fam,
+            input: &input,
+            mk_channel: &|| Box::new(DupChannel::new()),
+            mk_inner: &idle,
+            max_steps: 400,
+        };
+        let (minimal, violation) = shrink_plan(&judge, &failing_plan()).expect("fails");
+        assert_eq!(violation.kind(), "safety");
+        assert_eq!(minimal.clauses.len(), 1, "decoys stripped: {minimal:?}");
+        assert!(matches!(
+            minimal.clauses[0].action,
+            FaultAction::DuplicationStorm
+        ));
+        assert!(is_one_minimal(&judge, &minimal, "safety"));
+        assert_eq!(minimal.clauses[0].max_firings, 1);
+    }
+
+    #[test]
+    fn witness_replays_bit_identically_and_round_trips_json() {
+        let (fam, input) = judge_parts();
+        let judge = CampaignJudge {
+            family: &fam,
+            input: &input,
+            mk_channel: &|| Box::new(DupChannel::new()),
+            mk_inner: &idle,
+            max_steps: 400,
+        };
+        let witness = shrink_to_witness(&judge, &failing_plan()).expect("fails");
+        assert_eq!(witness.violation.kind(), "safety");
+
+        // The JSON round-trip is lossless.
+        let json = witness.to_json();
+        let back = Witness::from_json(&json).expect("parses");
+        assert_eq!(back, witness);
+
+        // The script replays to the same violation and the same script —
+        // the witness is bit-identical under replay.
+        let (trace, violation) = back.replay(
+            fam.sender_for(&input),
+            fam.receiver(),
+            Box::new(DupChannel::new()),
+        );
+        assert_eq!(violation, Some(witness.violation.clone()));
+        assert_eq!(script_from_trace(&trace), witness.script);
+        assert_eq!(trace.steps(), witness.steps);
+    }
+
+    #[test]
+    fn complete_runs_classify_as_none() {
+        use stp_protocols::{ResendPolicy, TightFamily};
+        let fam = TightFamily::new(4, ResendPolicy::Once);
+        let input = seq(&[2, 0, 1]);
+        let judge = CampaignJudge {
+            family: &fam,
+            input: &input,
+            mk_channel: &|| Box::new(DupChannel::new()),
+            mk_inner: &|| Box::new(stp_channel::EagerScheduler::new()),
+            max_steps: 2_000,
+        };
+        assert_eq!(judge.judge(&FaultPlan::new(0)), None);
+        assert!(shrink_plan(&judge, &FaultPlan::new(0)).is_none());
+    }
+}

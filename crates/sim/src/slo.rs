@@ -1,0 +1,319 @@
+//! Recovery-SLO measurement: how long a protocol takes to make progress
+//! again after a mid-run fault campaign strikes.
+//!
+//! The paper's Definition 2 calls a protocol *bounded* when there is a
+//! function `f` such that, from any point of any run extended by any
+//! adversary, the receiver learns item `i` within `f(i)` further steps —
+//! crucially, `f` may depend on `i` but **not** on the input sequence.
+//! A *weakly bounded* protocol only guarantees recovery within
+//! `f(i, |X|)`. This module turns that distinction into a measurement:
+//! inject the same fault right after item `i` is written (via a
+//! [`Trigger::OnWrite`] campaign clause), then count the steps until the
+//! next write and until completion. Sweeping the input length while
+//! holding `i` fixed produces a *recovery envelope*; bounded protocols
+//! have flat envelopes, weakly bounded ones grow with the input.
+
+use crate::world::World;
+use serde::{Deserialize, Serialize};
+use stp_channel::campaign::{
+    CampaignScheduler, Direction, FaultAction, FaultClause, FaultPlan, Trigger,
+};
+use stp_channel::{Channel, Scheduler};
+use stp_core::data::DataSeq;
+use stp_core::event::Step;
+use stp_core::proto::{Receiver, Sender};
+use stp_protocols::ProtocolFamily;
+
+/// How a recovery probe strikes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SloConfig {
+    /// The fault injected at each probe point.
+    pub action: FaultAction,
+    /// How many consecutive steps the fault stays active.
+    pub duration: Step,
+    /// Which channel direction is struck.
+    pub direction: Direction,
+    /// Seed for the campaign's randomized choices.
+    pub seed: u64,
+    /// Step budget per probe run.
+    pub max_steps: Step,
+}
+
+impl SloConfig {
+    /// A deletion burst wiping every in-flight copy for `duration` steps —
+    /// the harshest strike a deleting channel admits.
+    pub fn wipeout(duration: Step, max_steps: Step) -> Self {
+        SloConfig {
+            action: FaultAction::DeletionBurst { copies: usize::MAX },
+            duration,
+            direction: Direction::Both,
+            seed: 0,
+            max_steps,
+        }
+    }
+
+    /// A silence window (delivery suppression) — the strike that trips a
+    /// timed channel's deadline and forces the Section-5 hybrid into its
+    /// recovery phase.
+    pub fn silence(duration: Step, max_steps: Step) -> Self {
+        SloConfig {
+            action: FaultAction::SilenceWindow,
+            duration,
+            direction: Direction::Both,
+            seed: 0,
+            max_steps,
+        }
+    }
+}
+
+/// The measured recovery behaviour after one fault at one probe point.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryProbe {
+    /// Index `i` of the item whose write triggered the fault.
+    pub index: usize,
+    /// Step at which the fault clause fired.
+    pub fault_step: Step,
+    /// Steps from the fault until the receiver's next write, if it ever
+    /// wrote again within the budget.
+    pub steps_to_next_write: Option<Step>,
+    /// Steps from the fault until the whole input was written, if the run
+    /// completed within the budget.
+    pub steps_to_completion: Option<Step>,
+}
+
+/// The recovery envelope of one protocol on one input: probes for every
+/// index that could be struck.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryEnvelope {
+    /// Protocol family name.
+    pub protocol: String,
+    /// Input length.
+    pub input_len: usize,
+    /// One probe per struck index, in index order.
+    pub probes: Vec<RecoveryProbe>,
+}
+
+impl RecoveryEnvelope {
+    /// Largest observed steps-to-next-write, the envelope's height.
+    /// `None` when no probe recovered.
+    pub fn max_next_write(&self) -> Option<Step> {
+        self.probes
+            .iter()
+            .filter_map(|p| p.steps_to_next_write)
+            .max()
+    }
+
+    /// Whether every probe recovered within the budget — to the next
+    /// write, or (for the final index, which has no next write) to
+    /// completion.
+    pub fn fully_recovered(&self) -> bool {
+        !self.probes.is_empty()
+            && self
+                .probes
+                .iter()
+                .all(|p| p.steps_to_next_write.is_some() || p.steps_to_completion.is_some())
+    }
+}
+
+/// Measures one probe: runs `family` on `input` with `cfg`'s fault fired
+/// right after item `index` is written, returning `None` if the run never
+/// reached the probe point.
+pub fn probe_recovery(
+    family: &dyn ProtocolFamily,
+    input: &DataSeq,
+    mk_channel: &dyn Fn() -> Box<dyn Channel>,
+    mk_inner: &dyn Fn() -> Box<dyn Scheduler>,
+    cfg: &SloConfig,
+    index: usize,
+) -> Option<RecoveryProbe> {
+    let clause = FaultClause::new(cfg.action.clone(), Trigger::OnWrite { index })
+        .direction(cfg.direction)
+        .lasting(cfg.duration);
+    let plan = FaultPlan::single(cfg.seed.wrapping_add(index as u64), clause);
+    let trace = run_with_plan(
+        family,
+        input,
+        mk_channel(),
+        mk_inner(),
+        &plan,
+        cfg.max_steps,
+    );
+    let writes = trace.write_steps();
+    if writes.len() <= index {
+        return None;
+    }
+    // OnWrite{index} fires at the first decision after the write of item
+    // `index` lands, i.e. at step write_steps[index] + 1 (progress is
+    // reported to the scheduler at the top of each step).
+    let fault_step = writes[index] + 1;
+    let steps_to_next_write = writes.get(index + 1).map(|&s| s.saturating_sub(fault_step));
+    let steps_to_completion = if writes.len() >= input.len() {
+        writes.last().map(|&s| s.saturating_sub(fault_step))
+    } else {
+        None
+    };
+    Some(RecoveryProbe {
+        index,
+        fault_step,
+        steps_to_next_write,
+        steps_to_completion,
+    })
+}
+
+/// Measures the full envelope: one probe per index `0..input.len()`.
+pub fn recovery_envelope(
+    family: &dyn ProtocolFamily,
+    input: &DataSeq,
+    mk_channel: &dyn Fn() -> Box<dyn Channel>,
+    mk_inner: &dyn Fn() -> Box<dyn Scheduler>,
+    cfg: &SloConfig,
+) -> RecoveryEnvelope {
+    let probes = (0..input.len())
+        .filter_map(|i| probe_recovery(family, input, mk_channel, mk_inner, cfg, i))
+        .collect();
+    RecoveryEnvelope {
+        protocol: family.name().to_string(),
+        input_len: input.len(),
+        probes,
+    }
+}
+
+/// Runs `family` on `input` under `plan` compiled over a fresh inner
+/// scheduler, for at most `max_steps` steps or until completion.
+pub fn run_with_plan(
+    family: &dyn ProtocolFamily,
+    input: &DataSeq,
+    channel: Box<dyn Channel>,
+    inner: Box<dyn Scheduler>,
+    plan: &FaultPlan,
+    max_steps: Step,
+) -> stp_core::event::Trace {
+    run_campaign(
+        input,
+        family.sender_for(input),
+        family.receiver(),
+        channel,
+        inner,
+        plan,
+        max_steps,
+    )
+}
+
+/// Runs an explicit protocol pair under `plan`, for at most `max_steps`
+/// steps or until completion.
+pub fn run_campaign(
+    input: &DataSeq,
+    sender: Box<dyn Sender>,
+    receiver: Box<dyn Receiver>,
+    channel: Box<dyn Channel>,
+    inner: Box<dyn Scheduler>,
+    plan: &FaultPlan,
+    max_steps: Step,
+) -> stp_core::event::Trace {
+    let scheduler = CampaignScheduler::new(inner, plan.clone());
+    let mut world = World::new(
+        input.clone(),
+        sender,
+        receiver,
+        channel,
+        Box::new(scheduler),
+    );
+    world.run_until(max_steps, World::is_complete);
+    world.into_trace()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stp_channel::{DelChannel, EagerScheduler, TimedChannel};
+    use stp_protocols::{HybridFamily, ResendPolicy, TightFamily};
+
+    fn seq(n: u16) -> DataSeq {
+        DataSeq::from_indices(0..n)
+    }
+
+    #[test]
+    fn tight_del_recovers_from_a_wipeout() {
+        let fam = TightFamily::new(8, ResendPolicy::EveryTick);
+        let input = seq(6);
+        let cfg = SloConfig::wipeout(3, 20_000);
+        let env = recovery_envelope(
+            &fam,
+            &input,
+            &|| Box::new(DelChannel::new()),
+            &|| Box::new(EagerScheduler::new()),
+            &cfg,
+        );
+        assert_eq!(env.probes.len(), 6);
+        assert!(env.fully_recovered(), "probes: {:?}", env.probes);
+    }
+
+    #[test]
+    fn probe_records_a_plausible_fault_step() {
+        let fam = TightFamily::new(4, ResendPolicy::EveryTick);
+        let input = seq(3);
+        let cfg = SloConfig::wipeout(2, 5_000);
+        let p = probe_recovery(
+            &fam,
+            &input,
+            &|| Box::new(DelChannel::new()),
+            &|| Box::new(EagerScheduler::new()),
+            &cfg,
+            1,
+        )
+        .expect("item 1 is written");
+        assert_eq!(p.index, 1);
+        assert!(p.fault_step >= 1);
+        assert!(p.steps_to_next_write.unwrap() >= 1, "the fault costs time");
+    }
+
+    #[test]
+    fn hybrid_envelope_grows_with_input_while_tight_stays_flat() {
+        // The separation the module exists to exhibit: strike right after
+        // item 0, sweep the input length. The tight protocol's recovery
+        // depends only on the index struck; the hybrid re-sends the whole
+        // remaining sequence, so its recovery grows with the input.
+        let cfg = SloConfig::silence(8, 50_000);
+        let probe_first = |n: u16| -> (Step, Step) {
+            let input = seq(n);
+            let tight = TightFamily::new(32, ResendPolicy::EveryTick);
+            let t = probe_recovery(
+                &tight,
+                &input,
+                &|| Box::new(DelChannel::new()),
+                &|| Box::new(EagerScheduler::new()),
+                &cfg,
+                0,
+            )
+            .expect("tight writes item 0");
+            let hybrid = HybridFamily::new(32, 4, n as usize);
+            let h = probe_recovery(
+                &hybrid,
+                &input,
+                &|| Box::new(TimedChannel::new(4)),
+                &|| Box::new(EagerScheduler::new()),
+                &cfg,
+                0,
+            )
+            .expect("hybrid writes item 0");
+            (
+                t.steps_to_next_write.expect("tight recovers"),
+                h.steps_to_next_write.expect("hybrid recovers"),
+            )
+        };
+        let (t_small, h_small) = probe_first(4);
+        let (t_big, h_big) = probe_first(16);
+        assert!(
+            t_big <= t_small + 2,
+            "tight recovery must not grow with input: {t_small} -> {t_big}"
+        );
+        assert!(
+            h_big > h_small,
+            "hybrid recovery should grow with input: {h_small} -> {h_big}"
+        );
+        assert!(
+            h_big > t_big,
+            "hybrid should recover slower than tight at the same size"
+        );
+    }
+}

@@ -7,20 +7,25 @@
 //! protocols under real concurrency (Send bounds, cross-thread moves,
 //! backpressure) without giving up replayability, and provides a shared
 //! [`Progress`] handle a monitoring thread can poll.
+//!
+//! A dead worker (panicked or hung up) is reported as
+//! [`SimError::WorkerDied`] rather than panicking the coordinator: the
+//! proxies raise a failure flag, the coordinator checks it every step,
+//! and the run returns `Err` with the step it had reached.
 
+use crate::error::SimError;
 use crate::world::World;
 use crossbeam::channel::{bounded, Receiver as CbReceiver, Sender as CbSender};
 use parking_lot::Mutex;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use stp_channel::{Channel, Scheduler};
 use stp_core::alphabet::Alphabet;
 use stp_core::data::DataSeq;
 use stp_core::event::{Step, Trace};
-use stp_core::proto::{
-    Receiver, ReceiverEvent, ReceiverOutput, Sender, SenderEvent, SenderOutput,
-};
+use stp_core::proto::{Receiver, ReceiverEvent, ReceiverOutput, Sender, SenderEvent, SenderOutput};
 
 /// Live progress of a threaded run, updated by the coordinator each step.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -47,6 +52,7 @@ struct ProxySender {
     rx: CbReceiver<SenderReply>,
     reads: usize,
     done: bool,
+    failed: Arc<AtomicBool>,
 }
 
 impl fmt::Debug for ProxySender {
@@ -64,11 +70,21 @@ impl Sender for ProxySender {
     }
 
     fn on_event(&mut self, ev: SenderEvent) -> SenderOutput {
-        self.tx.send(ev).expect("sender worker alive");
-        let reply = self.rx.recv().expect("sender worker replies");
-        self.reads = reply.reads;
-        self.done = reply.done;
-        reply.out
+        if self.tx.send(ev).is_err() {
+            self.failed.store(true, Ordering::SeqCst);
+            return SenderOutput::idle();
+        }
+        match self.rx.recv() {
+            Ok(reply) => {
+                self.reads = reply.reads;
+                self.done = reply.done;
+                reply.out
+            }
+            Err(_) => {
+                self.failed.store(true, Ordering::SeqCst);
+                SenderOutput::idle()
+            }
+        }
     }
 
     fn reads(&self) -> usize {
@@ -98,6 +114,7 @@ struct ProxyReceiver {
     alphabet: Alphabet,
     tx: CbSender<ReceiverEvent>,
     rx: CbReceiver<ReceiverReply>,
+    failed: Arc<AtomicBool>,
 }
 
 impl fmt::Debug for ProxyReceiver {
@@ -112,8 +129,17 @@ impl Receiver for ProxyReceiver {
     }
 
     fn on_event(&mut self, ev: ReceiverEvent) -> ReceiverOutput {
-        self.tx.send(ev).expect("receiver worker alive");
-        self.rx.recv().expect("receiver worker replies").out
+        if self.tx.send(ev).is_err() {
+            self.failed.store(true, Ordering::SeqCst);
+            return ReceiverOutput::idle();
+        }
+        match self.rx.recv() {
+            Ok(reply) => reply.out,
+            Err(_) => {
+                self.failed.store(true, Ordering::SeqCst);
+                ReceiverOutput::idle()
+            }
+        }
     }
 
     /// # Panics
@@ -148,6 +174,7 @@ fn spawn_sender(mut sender: Box<dyn Sender + Send>) -> (ProxySender, JoinHandle<
             rx: re_rx,
             reads: 0,
             done: false,
+            failed: Arc::new(AtomicBool::new(false)),
         },
         handle,
     )
@@ -170,6 +197,7 @@ fn spawn_receiver(mut receiver: Box<dyn Receiver + Send>) -> (ProxyReceiver, Joi
             alphabet,
             tx: ev_tx,
             rx: re_rx,
+            failed: Arc::new(AtomicBool::new(false)),
         },
         handle,
     )
@@ -178,6 +206,11 @@ fn spawn_receiver(mut receiver: Box<dyn Receiver + Send>) -> (ProxyReceiver, Joi
 /// Runs a protocol pair on worker threads until completion or `max_steps`,
 /// returning the recorded trace. Semantically identical to driving a
 /// [`World`] directly — and the tests assert exactly that.
+///
+/// # Errors
+///
+/// Returns [`SimError::WorkerDied`] if a worker thread panics or hangs up
+/// mid-run, with the step the coordinator had reached.
 pub fn run_threaded(
     input: DataSeq,
     sender: Box<dyn Sender + Send>,
@@ -186,9 +219,11 @@ pub fn run_threaded(
     scheduler: Box<dyn Scheduler>,
     max_steps: Step,
     progress: Option<Arc<Mutex<Progress>>>,
-) -> Trace {
+) -> Result<Trace, SimError> {
     let (s_proxy, s_handle) = spawn_sender(sender);
     let (r_proxy, r_handle) = spawn_receiver(receiver);
+    let s_failed = s_proxy.failed.clone();
+    let r_failed = r_proxy.failed.clone();
     let mut world = World::new(
         input,
         Box::new(s_proxy),
@@ -196,8 +231,29 @@ pub fn run_threaded(
         channel,
         scheduler,
     );
+    let worker_down = |step: Step| -> Option<SimError> {
+        if s_failed.load(Ordering::SeqCst) {
+            Some(SimError::WorkerDied {
+                role: "sender",
+                step,
+            })
+        } else if r_failed.load(Ordering::SeqCst) {
+            Some(SimError::WorkerDied {
+                role: "receiver",
+                step,
+            })
+        } else {
+            None
+        }
+    };
     while world.step_count() < max_steps && !world.is_complete() {
         world.step();
+        if let Some(err) = worker_down(world.step_count()) {
+            if let Some(p) = &progress {
+                p.lock().done = true;
+            }
+            return Err(err);
+        }
         if let Some(p) = &progress {
             let mut p = p.lock();
             p.steps = world.step_count();
@@ -207,12 +263,23 @@ pub fn run_threaded(
     if let Some(p) = &progress {
         p.lock().done = true;
     }
+    let steps = world.step_count();
     let trace = world.into_trace();
     // Dropping the world drops the proxies, closing the event channels and
     // letting the workers exit.
-    s_handle.join().expect("sender worker exits cleanly");
-    r_handle.join().expect("receiver worker exits cleanly");
-    trace
+    if s_handle.join().is_err() {
+        return Err(SimError::WorkerDied {
+            role: "sender",
+            step: steps,
+        });
+    }
+    if r_handle.join().is_err() {
+        return Err(SimError::WorkerDied {
+            role: "receiver",
+            step: steps,
+        });
+    }
+    Ok(trace)
 }
 
 #[cfg(test)]
@@ -236,7 +303,8 @@ mod tests {
             Box::new(DupStormScheduler::new(5, 0.9)),
             5_000,
             None,
-        );
+        )
+        .expect("workers stay alive");
         assert_eq!(trace.output(), input);
     }
 
@@ -252,7 +320,8 @@ mod tests {
             mk_sched(),
             20_000,
             None,
-        );
+        )
+        .expect("workers stay alive");
         let mut world = World::new(
             input.clone(),
             Box::new(TightSender::new(input.clone(), 4, ResendPolicy::EveryTick)),
@@ -276,7 +345,8 @@ mod tests {
             Box::new(stp_channel::EagerScheduler::new()),
             1_000,
             Some(progress.clone()),
-        );
+        )
+        .expect("workers stay alive");
         let p = progress.lock();
         assert!(p.done);
         assert_eq!(p.written, 2);
@@ -293,7 +363,72 @@ mod tests {
             Box::new(stp_channel::EagerScheduler::new()),
             100,
             None,
-        );
+        )
+        .expect("workers stay alive");
         assert_eq!(trace.output(), seq(&[]));
+    }
+
+    /// A sender that panics when asked to handle its `n`-th event.
+    #[derive(Debug, Clone)]
+    struct PanickySender {
+        inner: TightSender,
+        events_left: usize,
+    }
+
+    impl Sender for PanickySender {
+        fn alphabet(&self) -> Alphabet {
+            self.inner.alphabet()
+        }
+
+        fn on_event(&mut self, ev: SenderEvent) -> SenderOutput {
+            if self.events_left == 0 {
+                panic!("injected worker crash");
+            }
+            self.events_left -= 1;
+            self.inner.on_event(ev)
+        }
+
+        fn reads(&self) -> usize {
+            self.inner.reads()
+        }
+
+        fn is_done(&self) -> bool {
+            self.inner.is_done()
+        }
+
+        fn box_clone(&self) -> Box<dyn Sender> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn dead_worker_is_an_error_not_a_panic() {
+        let input = seq(&[2, 0, 1]);
+        let crashy = PanickySender {
+            inner: TightSender::new(input.clone(), 3, ResendPolicy::Once),
+            events_left: 2,
+        };
+        // Silence the worker's panic message; restore the hook after.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = run_threaded(
+            input,
+            Box::new(crashy),
+            Box::new(TightReceiver::new(3, ResendPolicy::Once)),
+            Box::new(DupChannel::new()),
+            Box::new(stp_channel::EagerScheduler::new()),
+            1_000,
+            None,
+        );
+        std::panic::set_hook(prev);
+        match result {
+            Err(SimError::WorkerDied {
+                role: "sender",
+                step,
+            }) => {
+                assert!(step >= 2, "crash surfaced at step {step}");
+            }
+            other => panic!("expected a sender WorkerDied error, got {other:?}"),
+        }
     }
 }

@@ -100,14 +100,8 @@ impl World {
     /// written)` — so an analysis (e.g. the boundedness prober in
     /// `stp-verify`) can explore hypothetical extensions of this exact
     /// point without disturbing the run.
-    pub fn fork_parts(
-        &self,
-    ) -> (
-        Box<dyn Sender>,
-        Box<dyn Receiver>,
-        Box<dyn Channel>,
-        usize,
-    ) {
+    #[allow(clippy::type_complexity)]
+    pub fn fork_parts(&self) -> (Box<dyn Sender>, Box<dyn Receiver>, Box<dyn Channel>, usize) {
         (
             self.sender.box_clone(),
             self.receiver.box_clone(),
@@ -125,6 +119,7 @@ impl World {
     /// Executes one global step.
     pub fn step(&mut self) {
         let t = self.step;
+        self.scheduler.note_progress(t, self.written);
         let decision = self.scheduler.decide(t, &*self.channel);
 
         // Adversarial deletions first (they model in-transit loss).
@@ -391,7 +386,7 @@ mod tests {
     fn run_until_condition() {
         let input = seq(&[1, 0]);
         let mut w = World::tight_dup(input, 2);
-        let reached = w.run_until(1_000, |w| w.trace().output().len() >= 1);
+        let reached = w.run_until(1_000, |w| !w.trace().output().is_empty());
         assert!(reached);
         assert!(w.step_count() < 1_000);
         let never = w.run_until(w.step_count() + 5, |w| w.trace().output().len() >= 99);

@@ -169,9 +169,7 @@ mod tests {
     use super::*;
     use stp_channel::{DelChannel, EagerScheduler, TimedChannel};
     use stp_core::data::DataSeq;
-    use stp_protocols::{
-        HybridReceiver, HybridSender, ResendPolicy, TightReceiver, TightSender,
-    };
+    use stp_protocols::{HybridReceiver, HybridSender, ResendPolicy, TightReceiver, TightSender};
     use stp_sim::{FaultInjector, World};
 
     fn seq_n(n: u16) -> DataSeq {
@@ -224,9 +222,7 @@ mod tests {
         );
         // Run until the receiver has buffered some recovered suffix items
         // but written only the first item.
-        let entered_recovery = w.run_until(500, |w| {
-            w.written() == 1 && w.step_count() > 25
-        });
+        let entered_recovery = w.run_until(500, |w| w.written() == 1 && w.step_count() > 25);
         assert!(entered_recovery, "should be mid-recovery");
         let (s, r, c, wr) = w.fork_parts();
         assert_eq!(wr, 1);

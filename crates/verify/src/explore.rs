@@ -8,8 +8,8 @@
 //! (and hence every knowledge fact) is unaffected while the branching
 //! factor stays manageable.
 
-use std::collections::HashSet;
 use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
 use stp_channel::Channel;
 use stp_core::data::DataSeq;

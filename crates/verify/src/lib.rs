@@ -39,8 +39,8 @@ pub mod refute;
 
 pub use boundedness::min_recovery_steps;
 pub use capacity::{encoding_capacity, exhaustive_prefix_closed_check};
-pub use protospace::{search_two_state_receivers, ProtoSpaceReport};
 pub use explore::{explore_runs, ExploreConfig};
+pub use protospace::{search_two_state_receivers, ProtoSpaceReport};
 pub use refute::{
     find_fair_cycle, find_indistinguishable_conflict, verify_conflict, ConflictCertificate,
     CycleCertificate,

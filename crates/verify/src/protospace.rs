@@ -55,11 +55,7 @@ impl MealyReceiver {
             for entry in row.iter_mut() {
                 let code = rem % 8;
                 rem /= 8;
-                *entry = (
-                    (code & 1) as u8,
-                    code & 2 != 0,
-                    code & 4 != 0,
-                );
+                *entry = ((code & 1) as u8, code & 2 != 0, code & 4 != 0);
             }
         }
         MealyReceiver {

@@ -360,6 +360,7 @@ impl JointNode {
     /// Runs the mirrored fair driver for up to `budget` steps, looking for
     /// a repeated no-progress state with fairness intact. Returns
     /// `(entry, len, stockpile, driver schedule)` on success.
+    #[allow(clippy::type_complexity)]
     fn mirrored_fair_cycle(
         &self,
         budget: Step,
@@ -451,6 +452,7 @@ fn reachable_send_values(
 }
 
 /// Per-value pending copy count on a deleting channel, probed via a clone.
+#[allow(clippy::borrowed_box)]
 fn pending_count(chan: &Box<dyn Channel>, msg: SMsg) -> u64 {
     let mut probe = chan.clone();
     let mut n = 0u64;
@@ -464,6 +466,7 @@ fn pending_count(chan: &Box<dyn Channel>, msg: SMsg) -> u64 {
 /// the direction "extensions of the run on `x_live` are mirrored by the
 /// channel of the other run". Returns the certificate stockpile when the
 /// condition holds.
+#[allow(clippy::borrowed_box)]
 fn bounded_confusion_stockpile(
     live_sender: &dyn Sender,
     live_chan: &Box<dyn Channel>,
@@ -757,13 +760,8 @@ mod tests {
     #[test]
     fn conflict_certificate_found_for_overcapacity_dup_family() {
         let family = NaiveFamily::new(2, 2);
-        let cert = find_indistinguishable_conflict(
-            &family,
-            || Box::new(DupChannel::new()),
-            6,
-            200,
-        )
-        .expect("Theorem 1: an over-capacity family must exhibit a conflict");
+        let cert = find_indistinguishable_conflict(&family, || Box::new(DupChannel::new()), 6, 200)
+            .expect("Theorem 1: an over-capacity family must exhibit a conflict");
         assert_ne!(cert.x1, cert.x2);
         match cert.kind {
             ConflictKind::LivenessCycle { cycle_len, .. } => assert!(cycle_len >= 1),
@@ -777,13 +775,8 @@ mod tests {
     #[test]
     fn certificates_replay_and_verify_independently() {
         let family = NaiveFamily::new(2, 2);
-        let cert = find_indistinguishable_conflict(
-            &family,
-            || Box::new(DupChannel::new()),
-            6,
-            200,
-        )
-        .expect("certificate");
+        let cert = find_indistinguishable_conflict(&family, || Box::new(DupChannel::new()), 6, 200)
+            .expect("certificate");
         assert!(
             verify_conflict(&cert, &family, || Box::new(DupChannel::new())),
             "the embedded script must reproduce equal receiver histories"
@@ -791,21 +784,19 @@ mod tests {
         // Tampering with the pair breaks verification.
         let mut bogus = cert.clone();
         bogus.x2 = seq(&[1, 0]);
-        assert!(!verify_conflict(&bogus, &family, || Box::new(DupChannel::new())));
+        assert!(!verify_conflict(&bogus, &family, || Box::new(
+            DupChannel::new()
+        )));
     }
 
     #[test]
     fn del_certificates_replay_too() {
         let family = NaiveFamily::resending(1, 2);
-        let cert = find_conflict_with_budget(
-            &family,
-            || Box::new(DelChannel::new()),
-            12,
-            0,
-            4,
-        )
-        .expect("certificate");
-        assert!(verify_conflict(&cert, &family, || Box::new(DelChannel::new())));
+        let cert = find_conflict_with_budget(&family, || Box::new(DelChannel::new()), 12, 0, 4)
+            .expect("certificate");
+        assert!(verify_conflict(&cert, &family, || Box::new(
+            DelChannel::new()
+        )));
     }
 
     #[test]
@@ -825,14 +816,8 @@ mod tests {
         // copies pile up, and the certificate's stockpile is the Lemma-4
         // adversary budget that defeats any f with f(i) ≤ budget.
         let family = NaiveFamily::resending(1, 2);
-        let cert = find_conflict_with_budget(
-            &family,
-            || Box::new(DelChannel::new()),
-            12,
-            0,
-            4,
-        )
-        .expect("over-capacity del family must exhibit a bounded confusion");
+        let cert = find_conflict_with_budget(&family, || Box::new(DelChannel::new()), 12, 0, 4)
+            .expect("over-capacity del family must exhibit a bounded confusion");
         assert_ne!(cert.x1, cert.x2);
         assert_eq!(cert.kind, ConflictKind::BoundedConfusion { budget: 4 });
         assert!(cert.stockpile >= 4);
@@ -861,8 +846,7 @@ mod tests {
     fn conflict_search_exonerates_tight_del_at_capacity() {
         let family = TightFamily::new(2, ResendPolicy::EveryTick);
         assert!(
-            find_conflict_with_budget(&family, || Box::new(DelChannel::new()), 5, 120, 3)
-                .is_none()
+            find_conflict_with_budget(&family, || Box::new(DelChannel::new()), 5, 120, 3).is_none()
         );
     }
 }

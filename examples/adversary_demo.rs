@@ -67,7 +67,9 @@ fn main() {
 
     // The certificate is independently checkable: replay its embedded
     // mirrored schedule through two fresh simulator runs.
-    assert!(verify_conflict(&cert, &naive, || Box::new(DupChannel::new())));
+    assert!(verify_conflict(&cert, &naive, || Box::new(
+        DupChannel::new()
+    )));
     println!(
         "  certificate verified by replay: {} scripted steps reproduce equal receiver histories",
         cert.script.len()

@@ -9,7 +9,10 @@ use stp_core::alpha::{alpha, alpha_over_factorial, max_representable_m, Repetiti
 
 fn main() {
     println!("α(m) = m!·Σ 1/k!  —  the tight bound on |X| for X-STP(dup) and bounded X-STP(del)\n");
-    println!("{:>3}  {:>28}  {:>18}  {:>12}  {:>10}", "m", "alpha(m)", "alpha/m!", "e - ratio", "enumerated");
+    println!(
+        "{:>3}  {:>28}  {:>18}  {:>12}  {:>10}",
+        "m", "alpha(m)", "alpha/m!", "e - ratio", "enumerated"
+    );
     for m in 0..=20u32 {
         let a = alpha(m).expect("fits for m <= 33");
         let ratio = alpha_over_factorial(m).unwrap();

@@ -51,12 +51,22 @@ fn main() {
     let input: DataSeq = DataSeq::from_indices(0..n as u16);
     let tight = World::new(
         input.clone(),
-        Box::new(TightSender::new(input.clone(), n as u16, ResendPolicy::EveryTick)),
+        Box::new(TightSender::new(
+            input.clone(),
+            n as u16,
+            ResendPolicy::EveryTick,
+        )),
         Box::new(TightReceiver::new(n as u16, ResendPolicy::EveryTick)),
         Box::new(DelChannel::new()),
         Box::new(FaultInjector::new(Box::new(EagerScheduler::new()), 4, 2)),
     );
-    probe("tight-del (the paper's bounded protocol)", tight, n, budget, 400);
+    probe(
+        "tight-del (the paper's bounded protocol)",
+        tight,
+        n,
+        budget,
+        400,
+    );
 
     let input: DataSeq = DataSeq::from_indices((0..n).map(|i| (i % 2) as u16));
     let hybrid = World::new(

@@ -96,7 +96,11 @@ fn main() {
     for chunk in &chunks {
         let mut w = World::new(
             chunk.clone(),
-            Box::new(TightSender::new(chunk.clone(), 256, ResendPolicy::EveryTick)),
+            Box::new(TightSender::new(
+                chunk.clone(),
+                256,
+                ResendPolicy::EveryTick,
+            )),
             Box::new(TightReceiver::new(256, ResendPolicy::EveryTick)),
             Box::new(DelChannel::new()),
             Box::new(DropHeavyScheduler::new(11, 0.2, 0.8)),

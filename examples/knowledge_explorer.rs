@@ -26,7 +26,12 @@ fn main() {
     };
     let mut traces = Vec::new();
     for x in family.claimed_family().iter() {
-        traces.extend(explore_runs(&family, x, || Box::new(DupChannel::new()), &cfg));
+        traces.extend(explore_runs(
+            &family,
+            x,
+            || Box::new(DupChannel::new()),
+            &cfg,
+        ));
     }
     let universe = Universe::new(traces);
     println!(

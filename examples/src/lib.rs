@@ -34,9 +34,7 @@ pub fn bytes_to_seq(payload: &Bytes) -> DataSeq {
 pub fn seq_to_bytes(seq: &DataSeq) -> Bytes {
     seq.items()
         .iter()
-        .map(|d| {
-            u8::try_from(d.0).expect("byte-framed transfers stay within the byte domain")
-        })
+        .map(|d| u8::try_from(d.0).expect("byte-framed transfers stay within the byte domain"))
         .collect::<Vec<u8>>()
         .into()
 }

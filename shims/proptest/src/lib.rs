@@ -1,0 +1,488 @@
+//! A minimal, offline stand-in for `proptest`: the same macro and
+//! strategy surface this workspace uses (`proptest!`, `prop_assert!`,
+//! integer/float range strategies, `collection::vec`,
+//! `sample::subsequence`, `prop_map`, `prop_shuffle`, tuple strategies,
+//! `ProptestConfig::with_cases`), implemented as plain seeded random
+//! sampling. There is **no shrinking** — a failing case panics with the
+//! sampled values in the assertion message instead of a minimized
+//! counterexample. Runs are deterministic per test binary.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use crate::test_runner::TestRng;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of values this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Randomly permutes generated collections (only available when
+        /// `Self::Value` is a `Vec`).
+        fn prop_shuffle(self) -> Shuffle<Self>
+        where
+            Self: Sized,
+        {
+            Shuffle { inner: self }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_shuffle`].
+    pub struct Shuffle<S> {
+        inner: S,
+    }
+
+    impl<T, S: Strategy<Value = Vec<T>>> Strategy for Shuffle<S> {
+        type Value = Vec<T>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<T> {
+            let mut v = self.inner.sample(rng);
+            rng.shuffle_len(v.len(), |a, b| v.swap(a, b));
+            v
+        }
+    }
+
+    macro_rules! impl_uint_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_uint_range!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_int_range!(i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty strategy range");
+                    self.start + (self.end - self.start) * (rng.unit_f64() as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_float_range!(f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($n:tt $s:ident),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$n.sample(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    impl_tuple_strategy! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+    }
+}
+
+pub mod test_runner {
+    //! Run configuration and the deterministic RNG behind sampling.
+
+    /// How many cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of sampled cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` samples.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; a leaner default keeps the
+            // hermetic suite fast while still exercising the space.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// SplitMix64 — small, seedable, and deterministic across platforms.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// The fixed-seed generator `proptest!` uses; every run of a test
+        /// binary sees the same case sequence.
+        pub fn deterministic() -> Self {
+            TestRng {
+                state: 0x5354_505f_5052_4f50, // "STP_PROP"
+            }
+        }
+
+        /// Next raw 64-bit draw.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below(0)");
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+
+        /// Uniform draw in `[0, 1)` with 53 bits of precision.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Fisher–Yates over indices `0..len`, swapping through `swap`.
+        pub fn shuffle_len(&mut self, len: usize, mut swap: impl FnMut(usize, usize)) {
+            for i in (1..len).rev() {
+                let j = self.below(i as u64 + 1) as usize;
+                swap(i, j);
+            }
+        }
+    }
+
+    /// A size specification accepted by collection strategies.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        /// Smallest size, inclusive.
+        pub min: usize,
+        /// Largest size, inclusive.
+        pub max: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl SizeRange {
+        /// Draws a size uniformly from the range.
+        pub fn sample(&self, rng: &mut TestRng) -> usize {
+            self.min + rng.below((self.max - self.min + 1) as u64) as usize
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::{SizeRange, TestRng};
+
+    /// Strategy producing `Vec`s of values from `element`, with lengths
+    /// drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling from fixed collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::{SizeRange, TestRng};
+
+    /// Strategy producing order-preserving subsequences of `values`, with
+    /// lengths drawn from `size` (clamped to the source length).
+    pub fn subsequence<T: Clone>(
+        values: Vec<T>,
+        size: impl Into<SizeRange>,
+    ) -> SubsequenceStrategy<T> {
+        SubsequenceStrategy {
+            values,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`subsequence`].
+    pub struct SubsequenceStrategy<T> {
+        values: Vec<T>,
+        size: SizeRange,
+    }
+
+    impl<T: Clone> Strategy for SubsequenceStrategy<T> {
+        type Value = Vec<T>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<T> {
+            let max = self.size.max.min(self.values.len());
+            let min = self.size.min.min(max);
+            let want = SizeRange { min, max }.sample(rng);
+            // Reservoir-free selection: shuffle indices, keep the first
+            // `want`, restore source order.
+            let mut idx: Vec<usize> = (0..self.values.len()).collect();
+            rng.shuffle_len(idx.len(), |a, b| idx.swap(a, b));
+            idx.truncate(want);
+            idx.sort_unstable();
+            idx.into_iter().map(|i| self.values[i].clone()).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy producing uniform booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniformly random `bool`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Upstream-compatible alias so `prop::bool::ANY` etc. resolve.
+    pub use crate as prop;
+}
+
+/// Asserts a condition inside a property; failure panics with the message
+/// (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Binds `name in strategy` argument lists inside generated test bodies.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident; $arg:ident in $strat:expr, $($rest:tt)*) => {
+        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $arg:ident in $strat:expr) => {
+        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+    };
+    ($rng:ident;) => {};
+}
+
+/// Expands each property into a plain test function running `cases`
+/// sampled iterations.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ($cfg:expr;) => {};
+    (
+        $cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($args:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::deterministic();
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $crate::__proptest_bind!(__rng; $($args)*);
+                $body
+            }
+        }
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+}
+
+/// The `proptest!` block: declares property tests with `arg in strategy`
+/// parameters and an optional `#![proptest_config(...)]` header.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(
+            $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn evens() -> impl Strategy<Value = u32> {
+        (0u32..50).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..9, p in 0.0f64..1.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0.0..1.0).contains(&p));
+        }
+
+        #[test]
+        fn map_applies(x in evens()) {
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(
+            v in prop::collection::vec((0u16..4, prop::bool::ANY), 0..10),
+        ) {
+            prop_assert!(v.len() < 10);
+            for (n, _b) in v {
+                prop_assert!(n < 4);
+            }
+        }
+
+        #[test]
+        fn subsequence_preserves_relative_order(
+            s in prop::sample::subsequence(vec![1u8, 2, 3, 4, 5], 0..=5),
+        ) {
+            let mut sorted = s.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(&s, &sorted);
+        }
+
+        #[test]
+        fn shuffle_keeps_elements(
+            s in prop::sample::subsequence(vec![1u8, 2, 3, 4], 0..=4).prop_shuffle(),
+        ) {
+            prop_assert!(s.len() <= 4);
+            for x in &s {
+                prop_assert!((1..=4).contains(x));
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_is_used_without_header(x in 0u8..2) {
+            prop_assert!(x < 2);
+        }
+    }
+}

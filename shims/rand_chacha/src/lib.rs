@@ -1,0 +1,157 @@
+//! A minimal, offline stand-in for `rand_chacha`, exposing
+//! [`ChaCha8Rng`] over the vendored `rand` trait shim.
+//!
+//! The core is a genuine ChaCha8 block function (8 rounds), so streams
+//! have the usual statistical quality and are fully deterministic per
+//! seed. `seed_from_u64` expands the seed with SplitMix64 rather than
+//! upstream's scheme, so streams are **not** bit-compatible with the real
+//! crate — experiment tables derived from seeded runs are regenerated,
+//! not compared against historical output.
+
+#![forbid(unsafe_code)]
+
+pub use rand::{RngCore, SeedableRng};
+
+/// A deterministic ChaCha-8 random number generator.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// The 16-word ChaCha input state (constants, key, counter, nonce).
+    state: [u32; 16],
+    /// Current output block.
+    block: [u32; 16],
+    /// Next unread word index in `block`; 16 means exhausted.
+    word: usize,
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl ChaCha8Rng {
+    /// Builds a generator from a full 32-byte key.
+    pub fn from_key(key: [u8; 32]) -> Self {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        // Words 12..16 are the block counter and nonce, starting at zero.
+        ChaCha8Rng {
+            state,
+            block: [0; 16],
+            word: 16,
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..4 {
+            // 8 rounds = 4 double-rounds.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (i, out) in self.block.iter_mut().enumerate() {
+            *out = working[i].wrapping_add(self.state[i]);
+        }
+        // 64-bit counter across words 12 and 13.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.word = 0;
+    }
+
+    #[inline]
+    fn next_word(&mut self) -> u32 {
+        if self.word >= 16 {
+            self.refill();
+        }
+        let w = self.block[self.word];
+        self.word += 1;
+        w
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        (hi << 32) | lo
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut key = [0u8; 32];
+        for chunk in key.chunks_exact_mut(8) {
+            chunk.copy_from_slice(&splitmix64(&mut sm).to_le_bytes());
+        }
+        ChaCha8Rng::from_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn clone_preserves_stream_position() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..10 {
+            a.next_u64();
+        }
+        let mut b = a.clone();
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn counter_advances_across_blocks() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        // More than one 16-word block worth of draws.
+        let draws: Vec<u64> = (0..40).map(|_| a.next_u64()).collect();
+        let distinct: std::collections::HashSet<_> = draws.iter().collect();
+        assert!(distinct.len() > 30, "stream should not cycle early");
+    }
+}

@@ -1,0 +1,312 @@
+//! Fault campaigns end-to-end: every run a campaign produces — however
+//! adversarial the plan — must be replayable bit-identically from its
+//! trace, each fault action must be survivable by the tight protocol, and
+//! shrunk failing campaigns must stay failing and 1-minimal.
+
+use proptest::prelude::*;
+use stp_channel::campaign::{
+    CampaignScheduler, Direction, FaultAction, FaultClause, FaultPlan, Trigger,
+};
+use stp_channel::{DelChannel, DupChannel, EagerScheduler, Scheduler, ScriptedScheduler};
+use stp_core::data::DataSeq;
+use stp_core::event::Step;
+use stp_protocols::{NaiveFamily, ProtocolFamily, ResendPolicy, TightReceiver, TightSender};
+use stp_sim::{
+    is_one_minimal, replay, run_campaign, script_from_trace, shrink_plan, shrink_to_witness,
+    CampaignJudge, World,
+};
+
+fn seq(v: &[u16]) -> DataSeq {
+    DataSeq::from_indices(v.iter().copied())
+}
+
+/// Decodes one clause from raw sampled integers.
+fn clause_from(
+    (kind, copies, dir): (usize, usize, usize),
+    (trig, t, dur): (usize, u64, u64),
+    firings: u32,
+) -> FaultClause {
+    let action = match kind {
+        0 => FaultAction::DeletionBurst { copies },
+        1 => FaultAction::TargetedStrike { copies },
+        2 => FaultAction::DuplicationStorm,
+        3 => FaultAction::ReorderFlood,
+        _ => FaultAction::SilenceWindow,
+    };
+    let trigger = match trig {
+        0 => Trigger::AtStep(t),
+        1 => Trigger::EveryK {
+            period: t.max(1),
+            offset: t / 2,
+        },
+        _ => Trigger::OnWrite {
+            index: (t % 4) as usize,
+        },
+    };
+    let direction = match dir {
+        0 => Direction::ToReceiver,
+        1 => Direction::ToSender,
+        _ => Direction::Both,
+    };
+    FaultClause::new(action, trigger)
+        .direction(direction)
+        .lasting(dur)
+        .repeats(firings)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole round-trip: an arbitrary FaultPlan drives a campaign
+    /// run; the adversary's decisions extracted from the trace replay to a
+    /// bit-identical trace through ScriptedScheduler — no campaign
+    /// machinery needed on the replay side.
+    #[test]
+    fn campaign_runs_replay_bit_identically(
+        raw in proptest::collection::vec(
+            ((0usize..5, 1usize..4, 0usize..3), (0usize..3, 0u64..40, 1u64..8), 0u32..4),
+            0..4,
+        ),
+        seed in 0u64..1_000,
+    ) {
+        let mut plan = FaultPlan::new(seed);
+        for (a, b, c) in raw {
+            plan = plan.with(clause_from(a, b, c));
+        }
+        let input = seq(&[2, 0, 3, 1]);
+        let trace = run_campaign(
+            &input,
+            Box::new(TightSender::new(input.clone(), 4, ResendPolicy::EveryTick)),
+            Box::new(TightReceiver::new(4, ResendPolicy::EveryTick)),
+            Box::new(DelChannel::new()),
+            Box::new(EagerScheduler::new()),
+            &plan,
+            3_000,
+        );
+        let replayed = replay(
+            &trace,
+            Box::new(TightSender::new(input.clone(), 4, ResendPolicy::EveryTick)),
+            Box::new(TightReceiver::new(4, ResendPolicy::EveryTick)),
+            Box::new(DelChannel::new()),
+        );
+        prop_assert_eq!(replayed, trace);
+    }
+
+    /// Campaigns are deterministic: the same plan produces the same trace.
+    #[test]
+    fn campaign_runs_are_deterministic(seed in 0u64..500) {
+        let plan = FaultPlan::new(seed)
+            .with(FaultClause::new(FaultAction::DuplicationStorm, Trigger::AtStep(0)).lasting(60))
+            .with(
+                FaultClause::new(FaultAction::DeletionBurst { copies: 1 }, Trigger::EveryK { period: 9, offset: 2 })
+                    .repeats(4),
+            );
+        let input = seq(&[1, 3, 0, 2]);
+        let run = || run_campaign(
+            &input,
+            Box::new(TightSender::new(input.clone(), 4, ResendPolicy::EveryTick)),
+            Box::new(TightReceiver::new(4, ResendPolicy::EveryTick)),
+            Box::new(DelChannel::new()),
+            Box::new(EagerScheduler::new()),
+            &plan,
+            3_000,
+        );
+        prop_assert_eq!(run(), run());
+    }
+}
+
+/// Each fault action, fired with a finite budget, leaves the tight-del
+/// pair able to finish the transfer safely on a deleting channel.
+#[test]
+fn tight_del_survives_every_fault_action() {
+    let input = seq(&[0, 2, 1, 3]);
+    let actions = [
+        FaultAction::DeletionBurst { copies: 2 },
+        FaultAction::TargetedStrike { copies: 2 },
+        FaultAction::DuplicationStorm,
+        FaultAction::ReorderFlood,
+        FaultAction::SilenceWindow,
+    ];
+    for action in actions {
+        let label = format!("{action:?}");
+        let plan = FaultPlan::single(
+            7,
+            FaultClause::new(
+                action,
+                Trigger::EveryK {
+                    period: 11,
+                    offset: 3,
+                },
+            )
+            .lasting(3)
+            .repeats(6),
+        );
+        let trace = run_campaign(
+            &input,
+            Box::new(TightSender::new(input.clone(), 4, ResendPolicy::EveryTick)),
+            Box::new(TightReceiver::new(4, ResendPolicy::EveryTick)),
+            Box::new(DelChannel::new()),
+            Box::new(EagerScheduler::new()),
+            &plan,
+            50_000,
+        );
+        assert_eq!(trace.output(), input, "under {label}");
+    }
+}
+
+/// A campaign of four distinct fault actions — the acceptance scenario —
+/// completes safely against the tight pair on a deleting channel.
+#[test]
+fn tight_del_survives_a_composite_campaign() {
+    let input = seq(&[4, 0, 2, 5, 1, 3]);
+    let plan = FaultPlan::new(99)
+        .with(
+            FaultClause::new(
+                FaultAction::DeletionBurst { copies: 1 },
+                Trigger::EveryK {
+                    period: 20,
+                    offset: 4,
+                },
+            )
+            .repeats(0),
+        )
+        .with(
+            FaultClause::new(
+                FaultAction::TargetedStrike { copies: 1 },
+                Trigger::OnWrite { index: 1 },
+            )
+            .direction(Direction::ToReceiver),
+        )
+        .with(
+            FaultClause::new(
+                FaultAction::SilenceWindow,
+                Trigger::EveryK {
+                    period: 33,
+                    offset: 9,
+                },
+            )
+            .lasting(4)
+            .repeats(4),
+        )
+        .with(
+            FaultClause::new(FaultAction::ReorderFlood, Trigger::AtStep(0))
+                .lasting(12)
+                .repeats(2),
+        );
+    let trace = run_campaign(
+        &input,
+        Box::new(TightSender::new(input.clone(), 6, ResendPolicy::EveryTick)),
+        Box::new(TightReceiver::new(6, ResendPolicy::EveryTick)),
+        Box::new(DelChannel::new()),
+        Box::new(EagerScheduler::new()),
+        &plan,
+        100_000,
+    );
+    assert_eq!(trace.output(), input);
+    assert!(stp_core::require::check_complete(&trace).is_ok());
+}
+
+/// A CampaignScheduler can be reused across World runs after reset() —
+/// the wart the one-shot injector used to have.
+#[test]
+fn campaign_scheduler_reset_supports_world_reuse() {
+    let input = seq(&[1, 0, 2]);
+    let plan = FaultPlan::single(
+        5,
+        FaultClause::new(FaultAction::DeletionBurst { copies: 2 }, Trigger::AtStep(4)).lasting(2),
+    );
+    let run_once = |sched: Box<dyn Scheduler>| {
+        let mut w = World::new(
+            input.clone(),
+            Box::new(TightSender::new(input.clone(), 3, ResendPolicy::EveryTick)),
+            Box::new(TightReceiver::new(3, ResendPolicy::EveryTick)),
+            Box::new(DelChannel::new()),
+            sched,
+        );
+        w.run_to_completion(10_000).unwrap()
+    };
+    let mut campaign = CampaignScheduler::new(Box::new(EagerScheduler::new()), plan);
+    let first = run_once(campaign.box_clone());
+    campaign.reset();
+    let second = run_once(Box::new(campaign));
+    assert_eq!(first, second, "reset gives a fresh, identical campaign");
+}
+
+fn idle() -> Box<dyn Scheduler> {
+    Box::new(ScriptedScheduler::new(Vec::new()))
+}
+
+fn storm_clause() -> FaultClause {
+    FaultClause::new(FaultAction::DuplicationStorm, Trigger::AtStep(0))
+        .lasting(400)
+        .direction(Direction::Both)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Shrinker invariant: whatever decoys surround the storm clause, the
+    /// shrunk plan still fails with the same violation kind and is
+    /// 1-minimal (removing any clause kills the violation).
+    #[test]
+    fn shrinking_preserves_failure_and_is_one_minimal(
+        decoys in proptest::collection::vec(
+            ((0usize..5, 1usize..4, 0usize..3), (0usize..2, 1u64..60, 1u64..6), 0u32..3),
+            0..3,
+        ),
+    ) {
+        let fam = NaiveFamily::new(4, 4);
+        let input = seq(&[0, 1, 0, 2]);
+        let judge = CampaignJudge {
+            family: &fam,
+            input: &input,
+            mk_channel: &|| Box::new(DupChannel::new()),
+            mk_inner: &idle,
+            max_steps: 400,
+        };
+        let mut plan = FaultPlan::new(11).with(storm_clause());
+        for (a, b, c) in decoys {
+            plan = plan.with(clause_from(a, b, c));
+        }
+        // The storm alone must fail; decoys may or may not contribute.
+        if let Some((minimal, violation)) = shrink_plan(&judge, &plan) {
+            prop_assert_eq!(violation.kind(), "safety");
+            prop_assert!(!minimal.clauses.is_empty());
+            prop_assert!(minimal.clauses.len() <= plan.clauses.len());
+            prop_assert!(is_one_minimal(&judge, &minimal, "safety"));
+        } else {
+            // The decoys can only ADD faults; the storm-bearing plan must
+            // keep failing.
+            prop_assert!(false, "plan with the storm clause stopped failing");
+        }
+    }
+}
+
+/// A shrunk witness survives a JSON round-trip and replays to the exact
+/// same script, steps, and violation — the bug-report format works.
+#[test]
+fn witness_json_round_trips_and_replays() {
+    let fam = NaiveFamily::new(4, 4);
+    let input = seq(&[0, 1, 0, 2]);
+    let judge = CampaignJudge {
+        family: &fam,
+        input: &input,
+        mk_channel: &|| Box::new(DupChannel::new()),
+        mk_inner: &idle,
+        max_steps: 400,
+    };
+    let plan = FaultPlan::new(11)
+        .with(storm_clause())
+        .with(FaultClause::new(FaultAction::SilenceWindow, Trigger::AtStep(50)).lasting(3));
+    let w = shrink_to_witness(&judge, &plan).expect("storm violates safety");
+    let back = stp_sim::Witness::from_json(&w.to_json()).expect("parses");
+    assert_eq!(back, w);
+    let (trace, violation) = back.replay(
+        fam.sender_for(&input),
+        fam.receiver(),
+        Box::new(DupChannel::new()),
+    );
+    assert_eq!(violation.as_ref(), Some(&w.violation));
+    assert_eq!(script_from_trace(&trace), w.script);
+    assert_eq!(trace.steps() as Step, w.steps);
+}

@@ -15,7 +15,12 @@ fn exact_universe(family: &dyn ProtocolFamily, horizon: u64) -> Universe {
     };
     let mut traces = Vec::new();
     for x in family.claimed_family().iter() {
-        traces.extend(explore_runs(family, x, || Box::new(DupChannel::new()), &cfg));
+        traces.extend(explore_runs(
+            family,
+            x,
+            || Box::new(DupChannel::new()),
+            &cfg,
+        ));
     }
     Universe::new(traces)
 }
@@ -74,8 +79,8 @@ fn tight_protocol_eventually_gives_knowledge_on_some_schedule() {
         let all_known = (1..=n).fold(Formula::OutputIsPrefix, |acc, i| {
             Formula::and(acc, Formula::knows_value(ProcessId::Receiver, i, 2))
         });
-        let witnessed = (0..u.len())
-            .any(|run| u.trace(run).input() == x && all_known.eval(&u, run, 6));
+        let witnessed =
+            (0..u.len()).any(|run| u.trace(run).input() == x && all_known.eval(&u, run, 6));
         assert!(witnessed, "no run of {x} reaches full receiver knowledge");
     }
 }
@@ -124,10 +129,7 @@ fn knows_value_requires_the_right_value() {
     for run in 0..u.len() {
         for t in 0..=4 {
             for d in 0..2u16 {
-                let k = Formula::knows(
-                    ProcessId::Receiver,
-                    Formula::item_is(1, DataItem(d)),
-                );
+                let k = Formula::knows(ProcessId::Receiver, Formula::item_is(1, DataItem(d)));
                 if k.eval(&u, run, t) {
                     assert_eq!(u.trace(run).input().get(0), Some(DataItem(d)));
                 }

@@ -19,6 +19,7 @@ fn seq(v: &[u16]) -> DataSeq {
 }
 
 #[test]
+#[allow(clippy::type_complexity)]
 fn tight_dup_grid_all_sequences_all_adversaries() {
     let family = TightFamily::new(3, ResendPolicy::Once);
     let cfg = FamilyRunConfig {
@@ -125,6 +126,7 @@ fn hybrid_over_timed_channel_faultless() {
 }
 
 #[test]
+#[allow(clippy::type_complexity)]
 fn every_family_is_safe_even_under_hostile_starvation() {
     // Liveness may fail under unfair schedulers, but safety never may.
     let fams: Vec<Box<dyn ProtocolFamily>> = vec![

@@ -14,7 +14,12 @@ fn exact_universe(family: &dyn ProtocolFamily, horizon: u64) -> Universe {
     };
     let mut traces = Vec::new();
     for x in family.claimed_family().iter() {
-        traces.extend(explore_runs(family, x, || Box::new(DupChannel::new()), &cfg));
+        traces.extend(explore_runs(
+            family,
+            x,
+            || Box::new(DupChannel::new()),
+            &cfg,
+        ));
     }
     Universe::new(traces)
 }
@@ -63,9 +68,8 @@ fn writes_imply_knowledge_in_the_exact_universe() {
     for run in 0..u.len() {
         let profile = LearningProfile::of(&u, run);
         for (i, &w) in profile.write_steps.iter().enumerate() {
-            let t = profile.t[i].unwrap_or_else(|| {
-                panic!("run {run}: item {} written but never known", i + 1)
-            });
+            let t = profile.t[i]
+                .unwrap_or_else(|| panic!("run {run}: item {} written but never known", i + 1));
             assert!(
                 t <= w + 1,
                 "run {run}: item {} written at {w} but known only at {t}",
@@ -108,8 +112,7 @@ fn tight_family_learns_everything_on_cooperative_schedules() {
         // The eagerly-driven run of x exists inside the exact universe;
         // find any run of x that learnt everything.
         let learnt = (0..exact.len()).any(|run| {
-            exact.trace(run).input() == x
-                && exact.learning_times(run).iter().all(Option::is_some)
+            exact.trace(run).input() == x && exact.learning_times(run).iter().all(Option::is_some)
         });
         assert!(learnt, "input {x} never fully learnt at horizon 6");
     }

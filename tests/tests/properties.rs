@@ -2,9 +2,7 @@
 //! seeds against the workspace invariants.
 
 use proptest::prelude::*;
-use stp_channel::{
-    DelChannel, DropHeavyScheduler, DupChannel, DupStormScheduler, RandomScheduler,
-};
+use stp_channel::{DelChannel, DropHeavyScheduler, DupChannel, DupStormScheduler, RandomScheduler};
 use stp_core::alpha::{alpha, rank, unrank};
 use stp_core::data::{DataItem, DataSeq};
 use stp_core::require::check_safety;
