@@ -1,26 +1,22 @@
 //! Criterion bench for E1: full tight-dup sweeps at increasing alphabet
 //! sizes under a duplication storm.
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use stp_channel::{DupChannel, DupStormScheduler};
+use stp_channel::{ChannelSpec, SchedulerSpec};
+use stp_core::event::TraceMode;
 use stp_protocols::{ResendPolicy, TightFamily};
-use stp_sim::{sweep_family, FamilyRunConfig};
+use stp_sim::{sweep_family, SweepSpec};
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e1_dup_achievability");
     for m in [2u16, 3, 4] {
         g.bench_with_input(BenchmarkId::new("sweep_alpha_m", m), &m, |b, &m| {
             let family = TightFamily::new(m, ResendPolicy::Once);
-            let cfg = FamilyRunConfig {
-                max_steps: 4_000,
-                seeds: vec![0],
-            };
+            let spec = SweepSpec::new(ChannelSpec::Dup, SchedulerSpec::DupStorm { p_deliver: 0.9 })
+                .max_steps(4_000)
+                .seeds([0])
+                .trace_mode(TraceMode::Off);
             b.iter(|| {
-                let out = sweep_family(
-                    &family,
-                    &cfg,
-                    || Box::new(DupChannel::new()),
-                    |seed| Box::new(DupStormScheduler::new(seed, 0.9)),
-                );
+                let out = sweep_family(&family, &spec);
                 assert!(out.all_complete());
                 out.len()
             })

@@ -1,0 +1,163 @@
+//! Sweep-engine throughput benchmark: the pooled
+//! [`SweepEngine`] with tracing off versus the
+//! sweep path this repository shipped before the engine existed.
+//!
+//! The baseline below is the pre-engine `sweep_family_parallel`
+//! transcribed verbatim: a crossbeam work queue and result channel, a
+//! brand-new world (four boxed components) per grid cell, a full event
+//! trace per run, per-run statistics derived by walking that trace, and
+//! a final index sort. The engine runs the identical E1 grid — same
+//! family, same adversaries, same seeds, same thread count — with pooled
+//! worlds and [`TraceMode::Off`]. Writes `BENCH_sweep.json` in the
+//! current directory.
+
+use serde::Serialize;
+use std::time::Instant;
+use stp_bench::e1;
+use stp_channel::ChannelSpec;
+use stp_core::data::DataSeq;
+use stp_core::event::TraceMode;
+use stp_protocols::{ProtocolFamily, ResendPolicy, TightFamily};
+use stp_sim::{run_family_member, RunStats, SweepEngine, SweepSpec};
+
+/// One baseline result row (the old `MemberRun` shape).
+struct LegacyRun {
+    #[allow(dead_code)]
+    input: DataSeq,
+    #[allow(dead_code)]
+    seed: u64,
+    stats: RunStats,
+}
+
+/// The pre-engine `sweep_family_parallel`, kept bit-for-bit: fresh boxes
+/// per cell, full tracing, trace-derived stats, channel-based fan-out.
+fn legacy_sweep_family_parallel(
+    family: &(dyn ProtocolFamily + Sync),
+    spec: &SweepSpec,
+    scheduler: usize,
+    threads: usize,
+) -> Vec<LegacyRun> {
+    let claimed = family.claimed_family();
+    let work: Vec<(usize, DataSeq, u64)> = claimed
+        .iter()
+        .flat_map(|x| spec.seeds.iter().map(move |&s| (x.clone(), s)))
+        .enumerate()
+        .map(|(i, (x, s))| (i, x, s))
+        .collect();
+    let (work_tx, work_rx) = crossbeam::channel::unbounded::<(usize, DataSeq, u64)>();
+    let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, LegacyRun)>();
+    for item in work {
+        work_tx.send(item).expect("queue open");
+    }
+    drop(work_tx);
+    let max_steps = spec.max_steps;
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let work_rx = work_rx.clone();
+            let res_tx = res_tx.clone();
+            let spec = &*spec;
+            scope.spawn(move || {
+                while let Ok((idx, x, seed)) = work_rx.recv() {
+                    let trace = run_family_member(
+                        family,
+                        &x,
+                        spec.channel.build(),
+                        spec.schedulers[scheduler].build(seed),
+                        max_steps,
+                    );
+                    let run = LegacyRun {
+                        input: x,
+                        seed,
+                        stats: RunStats::of(&trace),
+                    };
+                    if res_tx.send((idx, run)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+    });
+    let mut indexed: Vec<(usize, LegacyRun)> = res_rx.iter().collect();
+    indexed.sort_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[derive(Debug, Serialize)]
+struct SweepBenchReport {
+    grid: String,
+    runs_per_sweep: usize,
+    sweeps_timed: usize,
+    threads: usize,
+    legacy_secs: f64,
+    legacy_runs_per_sec: f64,
+    engine_secs: f64,
+    engine_runs_per_sec: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let m = 4u16;
+    let family = TightFamily::new(m, ResendPolicy::Once);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let seeds: Vec<u64> = (0..8).collect();
+
+    // The E1 adversary panel, shared by both sides.
+    let adversaries = e1::adversaries();
+    let mut spec = SweepSpec::new(ChannelSpec::Dup, adversaries[0].1.clone())
+        .max_steps(4_000 * m as u64)
+        .seeds(seeds.iter().copied())
+        .threads(threads);
+    for (_, sched) in adversaries.iter().skip(1) {
+        spec = spec.also_scheduler(sched.clone());
+    }
+    let engine = SweepEngine::new(spec.clone().trace_mode(TraceMode::Off));
+    let runs_per_sweep = spec.grid_size(&family);
+    let reps = 40usize;
+
+    // Warm-up and sanity: both sides agree on completion.
+    let pooled = engine.run(&family);
+    assert_eq!(pooled.len(), runs_per_sweep);
+    assert!(pooled.all_complete());
+    for s in 0..spec.schedulers.len() {
+        let legacy = legacy_sweep_family_parallel(&family, &spec, s, threads);
+        assert!(legacy.iter().all(|r| r.stats.is_complete()));
+    }
+
+    // Interleave the two sides rep by rep so slow clock / thermal drift
+    // lands on both equally instead of biasing whichever ran second.
+    let mut legacy_secs = 0.0;
+    let mut engine_secs = 0.0;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let mut total = 0;
+        for s in 0..spec.schedulers.len() {
+            total += legacy_sweep_family_parallel(&family, &spec, s, threads).len();
+        }
+        legacy_secs += t.elapsed().as_secs_f64();
+        assert_eq!(total, runs_per_sweep);
+
+        let t = Instant::now();
+        let out = engine.run(&family);
+        engine_secs += t.elapsed().as_secs_f64();
+        assert_eq!(out.len(), runs_per_sweep);
+    }
+
+    let total_runs = (runs_per_sweep * reps) as f64;
+    let report = SweepBenchReport {
+        grid: format!("E1: tight-dup m={m} x {{dup-storm, reorder-max, random-0.5}} x 8 seeds"),
+        runs_per_sweep,
+        sweeps_timed: reps,
+        threads,
+        legacy_secs,
+        legacy_runs_per_sec: total_runs / legacy_secs,
+        engine_secs,
+        engine_runs_per_sec: total_runs / engine_secs,
+        speedup: legacy_secs / engine_secs,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_sweep.json", &json).expect("BENCH_sweep.json written");
+    println!("{json}");
+}

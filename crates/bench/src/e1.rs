@@ -4,10 +4,11 @@
 //! and random adversaries.
 
 use serde::{Deserialize, Serialize};
-use stp_channel::{DupChannel, DupStormScheduler, RandomScheduler, ReorderScheduler, Scheduler};
+use stp_channel::{ChannelSpec, SchedulerSpec};
 use stp_core::alpha::alpha;
+use stp_core::event::TraceMode;
 use stp_protocols::{ResendPolicy, TightFamily};
-use stp_sim::{sweep_family, FamilyRunConfig};
+use stp_sim::{sweep_family, SweepSpec};
 
 /// One row of the E1 table.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -27,22 +28,21 @@ pub struct E1Row {
 }
 
 /// The adversaries E1 sweeps.
-#[allow(clippy::type_complexity)]
-fn adversaries() -> Vec<(&'static str, Box<dyn Fn(u64) -> Box<dyn Scheduler>>)> {
+pub fn adversaries() -> Vec<(&'static str, SchedulerSpec)> {
     vec![
-        (
-            "dup-storm",
-            Box::new(|seed| Box::new(DupStormScheduler::new(seed, 0.9)) as Box<dyn Scheduler>),
-        ),
-        (
-            "reorder-max",
-            Box::new(|_| Box::new(ReorderScheduler::new()) as Box<dyn Scheduler>),
-        ),
-        (
-            "random-0.5",
-            Box::new(|seed| Box::new(RandomScheduler::new(seed, 0.5)) as Box<dyn Scheduler>),
-        ),
+        ("dup-storm", SchedulerSpec::DupStorm { p_deliver: 0.9 }),
+        ("reorder-max", SchedulerSpec::Reorder),
+        ("random-0.5", SchedulerSpec::Random { p_deliver: 0.5 }),
     ]
+}
+
+/// The sweep spec E1 uses for alphabet size `m` under one adversary.
+/// Stats-only: the table needs counters, not event traces.
+pub fn spec_for(m: u16, seeds_per_case: u64, scheduler: SchedulerSpec) -> SweepSpec {
+    SweepSpec::new(ChannelSpec::Dup, scheduler)
+        .max_steps(4_000 * m as u64)
+        .seeds(0..seeds_per_case)
+        .trace_mode(TraceMode::Off)
 }
 
 /// Runs E1 for `m = 1..=max_m` with `seeds_per_case` seeds per adversary.
@@ -50,17 +50,8 @@ pub fn run(max_m: u16, seeds_per_case: u64) -> Vec<E1Row> {
     let mut rows = Vec::new();
     for m in 1..=max_m {
         let family = TightFamily::new(m, ResendPolicy::Once);
-        for (label, mk) in adversaries() {
-            let cfg = FamilyRunConfig {
-                max_steps: 4_000 * m as u64,
-                seeds: (0..seeds_per_case).collect(),
-            };
-            let outcome = sweep_family(
-                &family,
-                &cfg,
-                || Box::new(DupChannel::new()),
-                |seed| mk(seed),
-            );
+        for (label, scheduler) in adversaries() {
+            let outcome = sweep_family(&family, &spec_for(m, seeds_per_case, scheduler));
             rows.push(E1Row {
                 m,
                 alpha: alpha(m as u32).expect("small m"),

@@ -57,17 +57,24 @@ pub fn run(sizes: &[usize], budget: Step) -> Vec<E10Row> {
     for &n in sizes {
         // tight-del with a mid-run fault.
         let input: DataSeq = DataSeq::from_indices(0..n as u16);
-        let w = World::new(
-            input.clone(),
-            Box::new(TightSender::new(
+        let w = World::builder(input.clone())
+            .sender(Box::new(TightSender::new(
                 input.clone(),
                 n as u16,
                 ResendPolicy::EveryTick,
-            )),
-            Box::new(TightReceiver::new(n as u16, ResendPolicy::EveryTick)),
-            Box::new(DelChannel::new()),
-            Box::new(FaultInjector::new(Box::new(EagerScheduler::new()), 4, 2)),
-        );
+            )))
+            .receiver(Box::new(TightReceiver::new(
+                n as u16,
+                ResendPolicy::EveryTick,
+            )))
+            .channel(Box::new(DelChannel::new()))
+            .scheduler(Box::new(FaultInjector::new(
+                Box::new(EagerScheduler::new()),
+                4,
+                2,
+            )))
+            .build()
+            .expect("all components supplied");
         let (points, bounded, worst) = probe_world(w, n, budget, 400);
         rows.push(E10Row {
             protocol: "tight-del (bounded)".into(),
@@ -80,13 +87,17 @@ pub fn run(sizes: &[usize], budget: Step) -> Vec<E10Row> {
 
         // hybrid with a fault after the first item.
         let input: DataSeq = DataSeq::from_indices((0..n).map(|i| (i % 2) as u16));
-        let w = World::new(
-            input.clone(),
-            Box::new(HybridSender::new(input.clone(), 2, 3)),
-            Box::new(HybridReceiver::new(2)),
-            Box::new(TimedChannel::new(3)),
-            Box::new(FaultInjector::new(Box::new(EagerScheduler::new()), 3, 1)),
-        );
+        let w = World::builder(input.clone())
+            .sender(Box::new(HybridSender::new(input.clone(), 2, 3)))
+            .receiver(Box::new(HybridReceiver::new(2)))
+            .channel(Box::new(TimedChannel::new(3)))
+            .scheduler(Box::new(FaultInjector::new(
+                Box::new(EagerScheduler::new()),
+                3,
+                1,
+            )))
+            .build()
+            .expect("all components supplied");
         let (points, bounded, worst) = probe_world(w, n, budget, 2_000);
         rows.push(E10Row {
             protocol: "hybrid-weakly-bounded".into(),

@@ -18,7 +18,7 @@
 
 use serde::{Deserialize, Serialize};
 use stp_channel::campaign::{Direction, FaultAction, FaultClause, FaultPlan, Trigger};
-use stp_channel::{DelChannel, DupChannel, EagerScheduler, ScriptedScheduler, TimedChannel};
+use stp_channel::{ChannelSpec, DelChannel, DupChannel, EagerScheduler, SchedulerSpec};
 use stp_core::data::DataSeq;
 use stp_core::event::Step;
 use stp_protocols::{HybridFamily, NaiveFamily, ProtocolFamily, ResendPolicy, TightFamily};
@@ -54,8 +54,8 @@ pub fn run_envelopes(sizes: &[usize], index: usize) -> Vec<E11Row> {
         let p = probe_recovery(
             &tight,
             &input,
-            &|| Box::new(DelChannel::new()),
-            &|| Box::new(EagerScheduler::new()),
+            &ChannelSpec::Del,
+            &SchedulerSpec::Eager,
             &cfg,
             index,
         );
@@ -72,8 +72,8 @@ pub fn run_envelopes(sizes: &[usize], index: usize) -> Vec<E11Row> {
         let p = probe_recovery(
             &hybrid,
             &input,
-            &|| Box::new(TimedChannel::new(4)),
-            &|| Box::new(EagerScheduler::new()),
+            &ChannelSpec::Timed { deadline: 4 },
+            &SchedulerSpec::Eager,
             &cfg,
             index,
         );
@@ -257,13 +257,11 @@ pub fn failing_plan() -> FaultPlan {
 pub fn run_shrink_demo() -> ShrinkDemo {
     let fam = NaiveFamily::new(4, 4);
     let input = DataSeq::from_indices([0u16, 1, 0, 2]);
-    let idle =
-        || -> Box<dyn stp_channel::Scheduler> { Box::new(ScriptedScheduler::new(Vec::new())) };
     let judge = CampaignJudge {
         family: &fam,
         input: &input,
-        mk_channel: &|| Box::new(DupChannel::new()),
-        mk_inner: &idle,
+        channel: ChannelSpec::Dup,
+        inner: SchedulerSpec::idle(),
         max_steps: 400,
     };
     let original = failing_plan();

@@ -9,11 +9,11 @@
 //!   empirical `f(i)` witness for Definition 2.
 
 use serde::{Deserialize, Serialize};
-use stp_channel::{DelChannel, DropHeavyScheduler, EagerScheduler};
+use stp_channel::{ChannelSpec, DelChannel, EagerScheduler, SchedulerSpec};
 use stp_core::data::DataSeq;
-use stp_core::event::Step;
+use stp_core::event::{Step, TraceMode};
 use stp_protocols::{ResendPolicy, TightFamily, TightReceiver, TightSender};
-use stp_sim::{sweep_family, FamilyRunConfig, FaultInjector, World};
+use stp_sim::{sweep_family, FaultInjector, SweepSpec, World};
 
 /// One row of the E3 completeness table.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -44,16 +44,17 @@ pub fn run_completeness(max_m: u16, seeds: u64) -> Vec<E3CompletenessRow> {
     let mut rows = Vec::new();
     for m in 1..=max_m {
         let family = TightFamily::new(m, ResendPolicy::EveryTick);
-        let cfg = FamilyRunConfig {
-            max_steps: 30_000,
-            seeds: (0..seeds).collect(),
-        };
-        let outcome = sweep_family(
-            &family,
-            &cfg,
-            || Box::new(DelChannel::new()),
-            |seed| Box::new(DropHeavyScheduler::new(seed, 0.3, 0.6)),
-        );
+        let spec = SweepSpec::new(
+            ChannelSpec::Del,
+            SchedulerSpec::DropHeavy {
+                p_drop: 0.3,
+                p_deliver: 0.6,
+            },
+        )
+        .max_steps(30_000)
+        .seeds(0..seeds)
+        .trace_mode(TraceMode::Off);
+        let outcome = sweep_family(&family, &spec);
         rows.push(E3CompletenessRow {
             m,
             runs: outcome.len(),
@@ -71,13 +72,17 @@ fn perm_world(m: u16, fault_at: Option<Step>) -> World {
         Some(at) => Box::new(FaultInjector::new(Box::new(EagerScheduler::new()), at, 1)),
         None => Box::new(EagerScheduler::new()),
     };
-    World::new(
-        input.clone(),
-        Box::new(TightSender::new(input, m, ResendPolicy::EveryTick)),
-        Box::new(TightReceiver::new(m, ResendPolicy::EveryTick)),
-        Box::new(DelChannel::new()),
-        sched,
-    )
+    World::builder(input.clone())
+        .sender(Box::new(TightSender::new(
+            input,
+            m,
+            ResendPolicy::EveryTick,
+        )))
+        .receiver(Box::new(TightReceiver::new(m, ResendPolicy::EveryTick)))
+        .channel(Box::new(DelChannel::new()))
+        .scheduler(sched)
+        .build()
+        .expect("all components supplied")
 }
 
 /// Measures recovery after a fault following each item `i` of the identity

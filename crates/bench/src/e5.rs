@@ -35,13 +35,13 @@ fn hybrid_world(input: DataSeq, fault_at: Option<Step>) -> World {
         Some(at) => Box::new(FaultInjector::new(Box::new(EagerScheduler::new()), at, 1)),
         None => Box::new(EagerScheduler::new()),
     };
-    World::new(
-        input.clone(),
-        Box::new(HybridSender::new(input, 2, DEADLINE)),
-        Box::new(HybridReceiver::new(2)),
-        Box::new(TimedChannel::new(DEADLINE)),
-        sched,
-    )
+    World::builder(input.clone())
+        .sender(Box::new(HybridSender::new(input, 2, DEADLINE)))
+        .receiver(Box::new(HybridReceiver::new(2)))
+        .channel(Box::new(TimedChannel::new(DEADLINE)))
+        .scheduler(sched)
+        .build()
+        .expect("all components supplied")
 }
 
 fn tight_world(input: DataSeq, fault_at: Option<Step>) -> World {
@@ -52,13 +52,17 @@ fn tight_world(input: DataSeq, fault_at: Option<Step>) -> World {
         Some(at) => Box::new(FaultInjector::new(Box::new(EagerScheduler::new()), at, 1)),
         None => Box::new(EagerScheduler::new()),
     };
-    World::new(
-        input.clone(),
-        Box::new(TightSender::new(input, d, ResendPolicy::EveryTick)),
-        Box::new(TightReceiver::new(d, ResendPolicy::EveryTick)),
-        Box::new(DelChannel::new()),
-        sched,
-    )
+    World::builder(input.clone())
+        .sender(Box::new(TightSender::new(
+            input,
+            d,
+            ResendPolicy::EveryTick,
+        )))
+        .receiver(Box::new(TightReceiver::new(d, ResendPolicy::EveryTick)))
+        .channel(Box::new(DelChannel::new()))
+        .scheduler(sched)
+        .build()
+        .expect("all components supplied")
 }
 
 fn measure(

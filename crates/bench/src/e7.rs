@@ -50,7 +50,13 @@ fn run_one(
     channel: Box<dyn Channel>,
     scheduler: Box<dyn Scheduler>,
 ) -> E7Row {
-    let mut w = World::new(input, sender, receiver, channel, scheduler);
+    let mut w = World::builder(input)
+        .sender(sender)
+        .receiver(receiver)
+        .channel(channel)
+        .scheduler(scheduler)
+        .build()
+        .expect("all components supplied");
     w.run_until(200_000, World::is_complete);
     let stats = RunStats::of(w.trace());
     E7Row {

@@ -290,10 +290,20 @@ impl CampaignScheduler {
             FaultAction::DeletionBurst { copies } => {
                 if chan.can_delete() {
                     if dir.hits_r() {
-                        d.delete_to_r = chan.deliverable_to_r().into_iter().take(copies).collect();
+                        d.delete_to_r = chan
+                            .deliverable_to_r()
+                            .iter()
+                            .copied()
+                            .take(copies)
+                            .collect();
                     }
                     if dir.hits_s() {
-                        d.delete_to_s = chan.deliverable_to_s().into_iter().take(copies).collect();
+                        d.delete_to_s = chan
+                            .deliverable_to_s()
+                            .iter()
+                            .copied()
+                            .take(copies)
+                            .collect();
                     }
                     // A burst also suppresses that step's deliveries: the
                     // strike wipes the step, like the one-shot injector
@@ -309,15 +319,13 @@ impl CampaignScheduler {
             FaultAction::TargetedStrike { copies } => {
                 if chan.can_delete() {
                     if dir.hits_r() {
-                        let mut v = chan.deliverable_to_r();
-                        v.reverse();
-                        d.delete_to_r = v.into_iter().take(copies).collect();
+                        let v = chan.deliverable_to_r();
+                        d.delete_to_r = v.iter().rev().copied().take(copies).collect();
                         d.deliver_to_r = None;
                     }
                     if dir.hits_s() {
-                        let mut v = chan.deliverable_to_s();
-                        v.reverse();
-                        d.delete_to_s = v.into_iter().take(copies).collect();
+                        let v = chan.deliverable_to_s();
+                        d.delete_to_s = v.iter().rev().copied().take(copies).collect();
                         d.deliver_to_s = None;
                     }
                 }
@@ -386,6 +394,15 @@ impl Scheduler for CampaignScheduler {
     fn note_progress(&mut self, step: Step, written: usize) {
         self.written = written;
         self.inner.note_progress(step, written);
+    }
+
+    /// Rewinds the campaign (via [`CampaignScheduler::reset`]) *and* the
+    /// inner scheduler, so a pooled run replays fully deterministically.
+    /// Note the campaign RNG is re-derived from the plan's own seed, not
+    /// `seed` — the plan is part of the experiment's identity.
+    fn reset(&mut self, seed: u64) {
+        CampaignScheduler::reset(self);
+        self.inner.reset(seed);
     }
 
     fn box_clone(&self) -> Box<dyn Scheduler> {

@@ -56,12 +56,15 @@ pub trait Channel: fmt::Debug {
     fn send_r(&mut self, msg: RMsg);
 
     /// The *distinct* sender messages that could be delivered to `R` right
-    /// now (for FIFO models: at most the head).
-    fn deliverable_to_r(&self) -> Vec<SMsg>;
+    /// now (for FIFO models: at most the head). The slice borrows the
+    /// channel's internal state — schedulers query it every step, so
+    /// implementations must keep it contiguous rather than allocate.
+    fn deliverable_to_r(&self) -> &[SMsg];
 
     /// The *distinct* receiver messages that could be delivered to `S`
-    /// right now.
-    fn deliverable_to_s(&self) -> Vec<RMsg>;
+    /// right now. Borrows the channel's internal state; see
+    /// [`Channel::deliverable_to_r`].
+    fn deliverable_to_s(&self) -> &[RMsg];
 
     /// Delivers one copy of `msg` to `R`.
     ///
@@ -118,6 +121,12 @@ pub trait Channel: fmt::Debug {
     /// timed model uses this; the default is a no-op).
     fn tick(&mut self) {}
 
+    /// Empties the channel and zeroes its statistics counters, exactly as
+    /// if it had been newly constructed. Construction-time configuration
+    /// (e.g. a timed channel's deadline) is preserved. Pooled executors
+    /// call this between runs instead of re-boxing the channel.
+    fn reset(&mut self);
+
     /// A canonical rendering of the channel's *forward-relevant* state —
     /// in-flight content only, excluding monotone statistics counters — so
     /// that cycle detectors can recognize repeated states. Two channels
@@ -155,11 +164,11 @@ mod tests {
             }
             fn send_s(&mut self, _msg: SMsg) {}
             fn send_r(&mut self, _msg: RMsg) {}
-            fn deliverable_to_r(&self) -> Vec<SMsg> {
-                Vec::new()
+            fn deliverable_to_r(&self) -> &[SMsg] {
+                &[]
             }
-            fn deliverable_to_s(&self) -> Vec<RMsg> {
-                Vec::new()
+            fn deliverable_to_s(&self) -> &[RMsg] {
+                &[]
             }
             fn deliver_to_r(&mut self, msg: SMsg) -> Result<(), ChannelError> {
                 Err(ChannelError::NotDeliverableToR { msg })
@@ -173,6 +182,7 @@ mod tests {
             fn pending_to_s(&self) -> u64 {
                 0
             }
+            fn reset(&mut self) {}
             fn state_key(&self) -> String {
                 "nop".to_string()
             }

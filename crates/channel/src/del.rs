@@ -79,12 +79,12 @@ impl Channel for DelChannel {
         self.sent_to_s += 1;
     }
 
-    fn deliverable_to_r(&self) -> Vec<SMsg> {
-        self.to_r.values().copied().collect()
+    fn deliverable_to_r(&self) -> &[SMsg] {
+        self.to_r.as_slice()
     }
 
-    fn deliverable_to_s(&self) -> Vec<RMsg> {
-        self.to_s.values().copied().collect()
+    fn deliverable_to_s(&self) -> &[RMsg] {
+        self.to_s.as_slice()
     }
 
     fn deliver_to_r(&mut self, msg: SMsg) -> Result<(), ChannelError> {
@@ -133,6 +133,19 @@ impl Channel for DelChannel {
 
     fn pending_to_s(&self) -> u64 {
         self.to_s.total()
+    }
+
+    fn reset(&mut self) {
+        // Clear rather than replace, keeping the multisets' capacity for
+        // the next pooled run.
+        self.to_r.clear();
+        self.to_s.clear();
+        self.sent_to_r = 0;
+        self.sent_to_s = 0;
+        self.delivered_to_r = 0;
+        self.delivered_to_s = 0;
+        self.deleted_to_r = 0;
+        self.deleted_to_s = 0;
     }
 
     fn state_key(&self) -> String {

@@ -8,7 +8,6 @@
 
 use crate::chan::{Channel, ChannelKind};
 use crate::error::ChannelError;
-use std::collections::BTreeSet;
 use stp_core::alphabet::{RMsg, SMsg};
 
 /// A bidirectional reorder + duplicate channel.
@@ -26,8 +25,11 @@ use stp_core::alphabet::{RMsg, SMsg};
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct DupChannel {
-    ever_sent_to_r: BTreeSet<SMsg>,
-    ever_sent_to_s: BTreeSet<RMsg>,
+    // Sorted, deduplicated. Kept contiguous so `deliverable_*` can hand
+    // schedulers a borrowed slice instead of allocating every step; the
+    // ascending order is what scheduler RNG indexing is defined against.
+    ever_sent_to_r: Vec<SMsg>,
+    ever_sent_to_s: Vec<RMsg>,
     deliveries_to_r: u64,
     deliveries_to_s: u64,
 }
@@ -38,13 +40,15 @@ impl DupChannel {
         DupChannel::default()
     }
 
-    /// The paper's `dlvrble_R` vector restricted to ever-sent messages.
-    pub fn ever_sent_to_r(&self) -> &BTreeSet<SMsg> {
+    /// The paper's `dlvrble_R` vector restricted to ever-sent messages,
+    /// in ascending order.
+    pub fn ever_sent_to_r(&self) -> &[SMsg] {
         &self.ever_sent_to_r
     }
 
-    /// The paper's `dlvrble_S` vector restricted to ever-sent messages.
-    pub fn ever_sent_to_s(&self) -> &BTreeSet<RMsg> {
+    /// The paper's `dlvrble_S` vector restricted to ever-sent messages,
+    /// in ascending order.
+    pub fn ever_sent_to_s(&self) -> &[RMsg] {
         &self.ever_sent_to_s
     }
 
@@ -65,23 +69,27 @@ impl Channel for DupChannel {
     }
 
     fn send_s(&mut self, msg: SMsg) {
-        self.ever_sent_to_r.insert(msg);
+        if let Err(i) = self.ever_sent_to_r.binary_search(&msg) {
+            self.ever_sent_to_r.insert(i, msg);
+        }
     }
 
     fn send_r(&mut self, msg: RMsg) {
-        self.ever_sent_to_s.insert(msg);
+        if let Err(i) = self.ever_sent_to_s.binary_search(&msg) {
+            self.ever_sent_to_s.insert(i, msg);
+        }
     }
 
-    fn deliverable_to_r(&self) -> Vec<SMsg> {
-        self.ever_sent_to_r.iter().copied().collect()
+    fn deliverable_to_r(&self) -> &[SMsg] {
+        &self.ever_sent_to_r
     }
 
-    fn deliverable_to_s(&self) -> Vec<RMsg> {
-        self.ever_sent_to_s.iter().copied().collect()
+    fn deliverable_to_s(&self) -> &[RMsg] {
+        &self.ever_sent_to_s
     }
 
     fn deliver_to_r(&mut self, msg: SMsg) -> Result<(), ChannelError> {
-        if self.ever_sent_to_r.contains(&msg) {
+        if self.ever_sent_to_r.binary_search(&msg).is_ok() {
             self.deliveries_to_r += 1;
             Ok(())
         } else {
@@ -90,7 +98,7 @@ impl Channel for DupChannel {
     }
 
     fn deliver_to_s(&mut self, msg: RMsg) -> Result<(), ChannelError> {
-        if self.ever_sent_to_s.contains(&msg) {
+        if self.ever_sent_to_s.binary_search(&msg).is_ok() {
             self.deliveries_to_s += 1;
             Ok(())
         } else {
@@ -104,6 +112,15 @@ impl Channel for DupChannel {
 
     fn pending_to_s(&self) -> u64 {
         self.ever_sent_to_s.len() as u64
+    }
+
+    fn reset(&mut self) {
+        // Clear rather than replace: pooled executors reset between every
+        // run, and keeping the buffers' capacity makes that allocation-free.
+        self.ever_sent_to_r.clear();
+        self.ever_sent_to_s.clear();
+        self.deliveries_to_r = 0;
+        self.deliveries_to_s = 0;
     }
 
     fn state_key(&self) -> String {

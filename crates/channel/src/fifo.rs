@@ -21,11 +21,22 @@ struct FifoCore {
 }
 
 impl FifoCore {
-    fn deliverable_to_r(&self) -> Vec<SMsg> {
-        self.to_r.front().copied().into_iter().collect()
+    // Clear rather than replace, keeping the queues' capacity for the
+    // next pooled run.
+    fn clear(&mut self) {
+        self.to_r.clear();
+        self.to_s.clear();
+        self.deleted_to_r = 0;
+        self.deleted_to_s = 0;
     }
-    fn deliverable_to_s(&self) -> Vec<RMsg> {
-        self.to_s.front().copied().into_iter().collect()
+    // Only the head is deliverable; it always lives at the start of the
+    // deque's first contiguous segment, so a ≤1-element borrowed slice
+    // suffices and no per-step allocation is needed.
+    fn deliverable_to_r(&self) -> &[SMsg] {
+        self.to_r.as_slices().0.get(..1).unwrap_or(&[])
+    }
+    fn deliverable_to_s(&self) -> &[RMsg] {
+        self.to_s.as_slices().0.get(..1).unwrap_or(&[])
     }
     fn deliver_to_r(&mut self, msg: SMsg) -> Result<(), ChannelError> {
         if self.to_r.front() == Some(&msg) {
@@ -90,10 +101,10 @@ impl Channel for FifoChannel {
     fn send_r(&mut self, msg: RMsg) {
         self.core.to_s.push_back(msg);
     }
-    fn deliverable_to_r(&self) -> Vec<SMsg> {
+    fn deliverable_to_r(&self) -> &[SMsg] {
         self.core.deliverable_to_r()
     }
-    fn deliverable_to_s(&self) -> Vec<RMsg> {
+    fn deliverable_to_s(&self) -> &[RMsg] {
         self.core.deliverable_to_s()
     }
     fn deliver_to_r(&mut self, msg: SMsg) -> Result<(), ChannelError> {
@@ -107,6 +118,9 @@ impl Channel for FifoChannel {
     }
     fn pending_to_s(&self) -> u64 {
         self.core.to_s.len() as u64
+    }
+    fn reset(&mut self) {
+        self.core.clear();
     }
     fn state_key(&self) -> String {
         format!("fifo r:{:?} s:{:?}", self.core.to_r, self.core.to_s)
@@ -146,10 +160,10 @@ impl Channel for LossyFifoChannel {
     fn send_r(&mut self, msg: RMsg) {
         self.core.to_s.push_back(msg);
     }
-    fn deliverable_to_r(&self) -> Vec<SMsg> {
+    fn deliverable_to_r(&self) -> &[SMsg] {
         self.core.deliverable_to_r()
     }
-    fn deliverable_to_s(&self) -> Vec<RMsg> {
+    fn deliverable_to_s(&self) -> &[RMsg] {
         self.core.deliverable_to_s()
     }
     fn deliver_to_r(&mut self, msg: SMsg) -> Result<(), ChannelError> {
@@ -172,6 +186,9 @@ impl Channel for LossyFifoChannel {
     }
     fn pending_to_s(&self) -> u64 {
         self.core.to_s.len() as u64
+    }
+    fn reset(&mut self) {
+        self.core.clear();
     }
     fn state_key(&self) -> String {
         format!("lossy-fifo r:{:?} s:{:?}", self.core.to_r, self.core.to_s)
@@ -207,10 +224,10 @@ impl Channel for PerfectChannel {
     fn send_r(&mut self, msg: RMsg) {
         self.inner.send_r(msg);
     }
-    fn deliverable_to_r(&self) -> Vec<SMsg> {
+    fn deliverable_to_r(&self) -> &[SMsg] {
         self.inner.deliverable_to_r()
     }
-    fn deliverable_to_s(&self) -> Vec<RMsg> {
+    fn deliverable_to_s(&self) -> &[RMsg] {
         self.inner.deliverable_to_s()
     }
     fn deliver_to_r(&mut self, msg: SMsg) -> Result<(), ChannelError> {
@@ -224,6 +241,9 @@ impl Channel for PerfectChannel {
     }
     fn pending_to_s(&self) -> u64 {
         self.inner.pending_to_s()
+    }
+    fn reset(&mut self) {
+        self.inner.reset();
     }
     fn state_key(&self) -> String {
         self.inner.state_key()

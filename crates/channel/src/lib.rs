@@ -46,6 +46,7 @@ pub mod fairness;
 pub mod fifo;
 pub mod multiset;
 pub mod sched;
+pub mod spec;
 pub mod timed;
 
 pub use campaign::{CampaignScheduler, Direction, FaultAction, FaultClause, FaultPlan, Trigger};
@@ -58,4 +59,5 @@ pub use sched::{
     DropHeavyScheduler, DupStormScheduler, EagerScheduler, RandomScheduler, ReorderScheduler,
     Scheduler, ScriptedScheduler, StarveScheduler, StepDecision, TargetedScheduler,
 };
+pub use spec::{ChannelSpec, SchedulerSpec};
 pub use timed::TimedChannel;

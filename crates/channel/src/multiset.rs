@@ -1,8 +1,12 @@
 //! A small counting multiset used by the deleting channel models.
 
-use std::collections::BTreeMap;
-
 /// A multiset with `u64` multiplicities over an ordered element type.
+///
+/// Distinct values are kept in a sorted contiguous buffer (with a parallel
+/// buffer of multiplicities) so channels can expose their deliverable set
+/// as a borrowed slice via [`Multiset::as_slice`] — the sets involved are
+/// tiny (a handful of distinct protocol messages), where sorted-`Vec`
+/// lookups also beat a tree.
 ///
 /// ```
 /// use stp_channel::multiset::Multiset;
@@ -16,7 +20,8 @@ use std::collections::BTreeMap;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Multiset<T: Ord> {
-    counts: BTreeMap<T, u64>,
+    values: Vec<T>,
+    counts: Vec<u64>,
     total: u64,
 }
 
@@ -24,15 +29,15 @@ impl<T: Ord + Clone> Multiset<T> {
     /// Creates an empty multiset.
     pub fn new() -> Self {
         Multiset {
-            counts: BTreeMap::new(),
+            values: Vec::new(),
+            counts: Vec::new(),
             total: 0,
         }
     }
 
     /// Adds one copy of `value`.
     pub fn insert(&mut self, value: T) {
-        *self.counts.entry(value).or_insert(0) += 1;
-        self.total += 1;
+        self.insert_n(value, 1);
     }
 
     /// Adds `n` copies of `value`.
@@ -40,29 +45,39 @@ impl<T: Ord + Clone> Multiset<T> {
         if n == 0 {
             return;
         }
-        *self.counts.entry(value).or_insert(0) += n;
+        match self.values.binary_search(&value) {
+            Ok(i) => self.counts[i] += n,
+            Err(i) => {
+                self.values.insert(i, value);
+                self.counts.insert(i, n);
+            }
+        }
         self.total += n;
     }
 
     /// Removes one copy of `value`; returns `false` (without modifying the
     /// set) when no copy is present.
     pub fn remove(&mut self, value: &T) -> bool {
-        match self.counts.get_mut(value) {
-            Some(c) if *c > 0 => {
-                *c -= 1;
+        match self.values.binary_search(value) {
+            Ok(i) => {
+                self.counts[i] -= 1;
                 self.total -= 1;
-                if *c == 0 {
-                    self.counts.remove(value);
+                if self.counts[i] == 0 {
+                    self.values.remove(i);
+                    self.counts.remove(i);
                 }
                 true
             }
-            _ => false,
+            Err(_) => false,
         }
     }
 
     /// Multiplicity of `value`.
     pub fn count(&self, value: &T) -> u64 {
-        self.counts.get(value).copied().unwrap_or(0)
+        match self.values.binary_search(value) {
+            Ok(i) => self.counts[i],
+            Err(_) => 0,
+        }
     }
 
     /// Total number of copies across all values.
@@ -77,21 +92,28 @@ impl<T: Ord + Clone> Multiset<T> {
 
     /// Number of *distinct* values present.
     pub fn distinct(&self) -> usize {
-        self.counts.len()
+        self.values.len()
+    }
+
+    /// The distinct values present (count ≥ 1), sorted ascending, as a
+    /// borrowed slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.values
     }
 
     /// Iterates over distinct values present (count ≥ 1), in order.
     pub fn values(&self) -> impl Iterator<Item = &T> {
-        self.counts.keys()
+        self.values.iter()
     }
 
     /// Iterates over `(value, count)` pairs, in value order.
     pub fn iter(&self) -> impl Iterator<Item = (&T, u64)> {
-        self.counts.iter().map(|(v, &c)| (v, c))
+        self.values.iter().zip(self.counts.iter().copied())
     }
 
     /// Removes every copy of every value.
     pub fn clear(&mut self) {
+        self.values.clear();
         self.counts.clear();
         self.total = 0;
     }

@@ -48,6 +48,13 @@ pub trait Scheduler: fmt::Debug {
     /// The default does nothing.
     fn note_progress(&mut self, _step: Step, _written: usize) {}
 
+    /// Rewinds the scheduler for a fresh run, re-deriving any randomized
+    /// state from `seed` — exactly as if it had been newly constructed
+    /// with that seed. Deterministic schedulers (eager, reorder, scripted)
+    /// ignore the seed; wrappers forward it to their inner scheduler.
+    /// Pooled executors call this between runs instead of re-boxing.
+    fn reset(&mut self, seed: u64);
+
     /// Clones the scheduler state behind a box (object-safe `Clone`).
     fn box_clone(&self) -> Box<dyn Scheduler>;
 }
@@ -75,14 +82,14 @@ impl EagerScheduler {
 
 impl Scheduler for EagerScheduler {
     fn decide(&mut self, step: Step, chan: &dyn Channel) -> StepDecision {
-        let pick_s = |v: Vec<SMsg>| {
+        let pick_s = |v: &[SMsg]| {
             if v.is_empty() {
                 None
             } else {
                 Some(v[step as usize % v.len()])
             }
         };
-        let pick_r = |v: Vec<RMsg>| {
+        let pick_r = |v: &[RMsg]| {
             if v.is_empty() {
                 None
             } else {
@@ -95,6 +102,8 @@ impl Scheduler for EagerScheduler {
             ..StepDecision::idle()
         }
     }
+
+    fn reset(&mut self, _seed: u64) {}
 
     fn box_clone(&self) -> Box<dyn Scheduler> {
         Box::new(self.clone())
@@ -138,6 +147,10 @@ impl Scheduler for RandomScheduler {
             d.deliver_to_s = Some(to_s[self.rng.gen_range(0..to_s.len())]);
         }
         d
+    }
+
+    fn reset(&mut self, seed: u64) {
+        self.rng = ChaCha8Rng::seed_from_u64(seed);
     }
 
     fn box_clone(&self) -> Box<dyn Scheduler> {
@@ -190,6 +203,10 @@ impl Scheduler for DupStormScheduler {
             d.deliver_to_s = Some(to_s[idx]);
         }
         d
+    }
+
+    fn reset(&mut self, seed: u64) {
+        self.rng = ChaCha8Rng::seed_from_u64(seed);
     }
 
     fn box_clone(&self) -> Box<dyn Scheduler> {
@@ -251,6 +268,10 @@ impl Scheduler for DropHeavyScheduler {
         d
     }
 
+    fn reset(&mut self, seed: u64) {
+        self.rng = ChaCha8Rng::seed_from_u64(seed);
+    }
+
     fn box_clone(&self) -> Box<dyn Scheduler> {
         Box::new(self.clone())
     }
@@ -272,14 +293,14 @@ impl ReorderScheduler {
 
 impl Scheduler for ReorderScheduler {
     fn decide(&mut self, step: Step, chan: &dyn Channel) -> StepDecision {
-        let pick_s = |v: Vec<SMsg>| {
+        let pick_s = |v: &[SMsg]| {
             if v.is_empty() {
                 None
             } else {
                 Some(v[v.len() - 1 - (step as usize % v.len())])
             }
         };
-        let pick_r = |v: Vec<RMsg>| {
+        let pick_r = |v: &[RMsg]| {
             if v.is_empty() {
                 None
             } else {
@@ -292,6 +313,8 @@ impl Scheduler for ReorderScheduler {
             ..StepDecision::idle()
         }
     }
+
+    fn reset(&mut self, _seed: u64) {}
 
     fn box_clone(&self) -> Box<dyn Scheduler> {
         Box::new(self.clone())
@@ -354,6 +377,10 @@ impl Scheduler for TargetedScheduler {
         d
     }
 
+    fn reset(&mut self, seed: u64) {
+        self.rng = ChaCha8Rng::seed_from_u64(seed);
+    }
+
     fn box_clone(&self) -> Box<dyn Scheduler> {
         Box::new(self.clone())
     }
@@ -392,6 +419,8 @@ impl Scheduler for ScriptedScheduler {
             .unwrap_or_else(StepDecision::idle)
     }
 
+    fn reset(&mut self, _seed: u64) {}
+
     fn box_clone(&self) -> Box<dyn Scheduler> {
         Box::new(self.clone())
     }
@@ -424,6 +453,10 @@ impl Scheduler for StarveScheduler {
 
     fn note_progress(&mut self, step: Step, written: usize) {
         self.inner.note_progress(step, written);
+    }
+
+    fn reset(&mut self, seed: u64) {
+        self.inner.reset(seed);
     }
 
     fn box_clone(&self) -> Box<dyn Scheduler> {
@@ -573,6 +606,22 @@ mod tests {
             assert_eq!(s.decide(t, &ch), StepDecision::idle());
         }
         assert_eq!(s.decide(10, &ch).deliver_to_r, Some(SMsg(4)));
+    }
+
+    #[test]
+    fn reset_restores_seeded_determinism() {
+        let mut ch = DupChannel::new();
+        for i in 0..4 {
+            ch.send_s(SMsg(i));
+        }
+        let mut s = RandomScheduler::new(42, 0.7);
+        let first: Vec<_> = (0..20).map(|t| s.decide(t, &ch)).collect();
+        s.reset(42);
+        let again: Vec<_> = (0..20).map(|t| s.decide(t, &ch)).collect();
+        assert_eq!(first, again, "reset(seed) replays the same run");
+        s.reset(43);
+        let other: Vec<_> = (0..20).map(|t| s.decide(t, &ch)).collect();
+        assert_ne!(first, other, "a different seed gives a different run");
     }
 
     #[test]

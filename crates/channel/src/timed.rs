@@ -12,13 +12,6 @@ use crate::error::ChannelError;
 use std::collections::VecDeque;
 use stp_core::alphabet::{RMsg, SMsg};
 
-/// A message with its remaining time-to-live.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct InFlight<M> {
-    msg: M,
-    ttl: u32,
-}
-
 /// A lossy FIFO channel with a known delivery deadline.
 ///
 /// ```
@@ -36,8 +29,16 @@ struct InFlight<M> {
 #[derive(Debug, Clone)]
 pub struct TimedChannel {
     deadline: u32,
-    to_r: VecDeque<InFlight<SMsg>>,
-    to_s: VecDeque<InFlight<RMsg>>,
+    // Messages and their remaining time-to-live as parallel deques: the
+    // message queue stays a contiguous run of bare messages, so the
+    // deliverable head can be handed out as a borrowed slice. Every
+    // message enters with the same initial TTL and only ages or leaves,
+    // so TTLs are non-decreasing from front to back and expiry is always
+    // a pop from the front.
+    to_r: VecDeque<SMsg>,
+    ttl_r: VecDeque<u32>,
+    to_s: VecDeque<RMsg>,
+    ttl_s: VecDeque<u32>,
     expired_to_r: u64,
     expired_to_s: u64,
     deleted_to_r: u64,
@@ -58,7 +59,9 @@ impl TimedChannel {
         TimedChannel {
             deadline,
             to_r: VecDeque::new(),
+            ttl_r: VecDeque::new(),
             to_s: VecDeque::new(),
+            ttl_s: VecDeque::new(),
             expired_to_r: 0,
             expired_to_s: 0,
             deleted_to_r: 0,
@@ -88,30 +91,27 @@ impl Channel for TimedChannel {
     }
 
     fn send_s(&mut self, msg: SMsg) {
-        self.to_r.push_back(InFlight {
-            msg,
-            ttl: self.deadline,
-        });
+        self.to_r.push_back(msg);
+        self.ttl_r.push_back(self.deadline);
     }
 
     fn send_r(&mut self, msg: RMsg) {
-        self.to_s.push_back(InFlight {
-            msg,
-            ttl: self.deadline,
-        });
+        self.to_s.push_back(msg);
+        self.ttl_s.push_back(self.deadline);
     }
 
-    fn deliverable_to_r(&self) -> Vec<SMsg> {
-        self.to_r.front().map(|m| m.msg).into_iter().collect()
+    fn deliverable_to_r(&self) -> &[SMsg] {
+        self.to_r.as_slices().0.get(..1).unwrap_or(&[])
     }
 
-    fn deliverable_to_s(&self) -> Vec<RMsg> {
-        self.to_s.front().map(|m| m.msg).into_iter().collect()
+    fn deliverable_to_s(&self) -> &[RMsg] {
+        self.to_s.as_slices().0.get(..1).unwrap_or(&[])
     }
 
     fn deliver_to_r(&mut self, msg: SMsg) -> Result<(), ChannelError> {
-        if self.to_r.front().map(|m| m.msg) == Some(msg) {
+        if self.to_r.front() == Some(&msg) {
             self.to_r.pop_front();
+            self.ttl_r.pop_front();
             Ok(())
         } else {
             Err(ChannelError::NotDeliverableToR { msg })
@@ -119,8 +119,9 @@ impl Channel for TimedChannel {
     }
 
     fn deliver_to_s(&mut self, msg: RMsg) -> Result<(), ChannelError> {
-        if self.to_s.front().map(|m| m.msg) == Some(msg) {
+        if self.to_s.front() == Some(&msg) {
             self.to_s.pop_front();
+            self.ttl_s.pop_front();
             Ok(())
         } else {
             Err(ChannelError::NotDeliverableToS { msg })
@@ -132,9 +133,10 @@ impl Channel for TimedChannel {
     }
 
     fn delete_to_r(&mut self, msg: SMsg) -> Result<(), ChannelError> {
-        match self.to_r.iter().position(|m| m.msg == msg) {
+        match self.to_r.iter().position(|&m| m == msg) {
             Some(i) => {
                 self.to_r.remove(i);
+                self.ttl_r.remove(i);
                 self.deleted_to_r += 1;
                 Ok(())
             }
@@ -143,9 +145,10 @@ impl Channel for TimedChannel {
     }
 
     fn delete_to_s(&mut self, msg: RMsg) -> Result<(), ChannelError> {
-        match self.to_s.iter().position(|m| m.msg == msg) {
+        match self.to_s.iter().position(|&m| m == msg) {
             Some(i) => {
                 self.to_s.remove(i);
+                self.ttl_s.remove(i);
                 self.deleted_to_s += 1;
                 Ok(())
             }
@@ -162,22 +165,44 @@ impl Channel for TimedChannel {
     }
 
     fn tick(&mut self) {
-        for m in self.to_r.iter_mut() {
-            m.ttl -= 1;
+        for t in self.ttl_r.iter_mut() {
+            *t -= 1;
         }
-        for m in self.to_s.iter_mut() {
-            m.ttl -= 1;
+        while self.ttl_r.front() == Some(&0) {
+            self.ttl_r.pop_front();
+            self.to_r.pop_front();
+            self.expired_to_r += 1;
         }
-        let before_r = self.to_r.len();
-        self.to_r.retain(|m| m.ttl > 0);
-        self.expired_to_r += (before_r - self.to_r.len()) as u64;
-        let before_s = self.to_s.len();
-        self.to_s.retain(|m| m.ttl > 0);
-        self.expired_to_s += (before_s - self.to_s.len()) as u64;
+        for t in self.ttl_s.iter_mut() {
+            *t -= 1;
+        }
+        while self.ttl_s.front() == Some(&0) {
+            self.ttl_s.pop_front();
+            self.to_s.pop_front();
+            self.expired_to_s += 1;
+        }
+    }
+
+    fn reset(&mut self) {
+        // Clear rather than replace, keeping the queues' capacity for the
+        // next pooled run; the configured deadline is preserved.
+        self.to_r.clear();
+        self.ttl_r.clear();
+        self.to_s.clear();
+        self.ttl_s.clear();
+        self.expired_to_r = 0;
+        self.expired_to_s = 0;
+        self.deleted_to_r = 0;
+        self.deleted_to_s = 0;
     }
 
     fn state_key(&self) -> String {
-        format!("timed r:{:?} s:{:?}", self.to_r, self.to_s)
+        // TTLs are forward-relevant: identical contents at different ages
+        // behave differently, so both deques go into the key.
+        format!(
+            "timed r:{:?}@{:?} s:{:?}@{:?}",
+            self.to_r, self.ttl_r, self.to_s, self.ttl_s
+        )
     }
 
     fn box_clone(&self) -> Box<dyn Channel> {

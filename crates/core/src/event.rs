@@ -122,6 +122,44 @@ impl fmt::Display for Event {
     }
 }
 
+/// How much of a run an executor records into its [`Trace`].
+///
+/// Sweeps that only consume aggregate statistics pay for event
+/// allocation they never read; this knob lets them opt out. The contract:
+///
+/// * [`TraceMode::Full`] — every event is recorded; the trace is a complete
+///   replayable witness (the default, and the only mode under which traces
+///   from different executors can be compared bit-for-bit).
+/// * [`TraceMode::WritesOnly`] — only `Write` events are recorded; the
+///   trace still supports output/write-step queries but is not replayable.
+/// * [`TraceMode::Off`] — no events are recorded at all; the trace retains
+///   the input sequence and the step count, nothing else.
+///
+/// The mode never changes *which* steps are executed — only what is
+/// remembered about them, so statistics kept incrementally by the executor
+/// are identical across modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum TraceMode {
+    /// Record every event (replayable witness).
+    #[default]
+    Full,
+    /// Record only `Write` events (output queries stay available).
+    WritesOnly,
+    /// Record no events (stats-only sweeps).
+    Off,
+}
+
+impl TraceMode {
+    /// Whether `event` should be recorded under this mode.
+    pub fn records(self, event: &Event) -> bool {
+        match self {
+            TraceMode::Full => true,
+            TraceMode::WritesOnly => matches!(event, Event::Write { .. }),
+            TraceMode::Off => false,
+        }
+    }
+}
+
 /// A time-stamped event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TimedEvent {
@@ -162,6 +200,18 @@ impl Trace {
             events: Vec::new(),
             steps: 0,
         }
+    }
+
+    /// Rewinds the trace for a fresh run on `input`, as if newly created —
+    /// but keeping the event buffer's allocation, and cloning `input` only
+    /// when it differs from the current one. Sweep grids run many seeds
+    /// per sequence, so the common rewind is allocation-free.
+    pub fn reset(&mut self, input: &DataSeq) {
+        if &self.input != input {
+            self.input = input.clone();
+        }
+        self.events.clear();
+        self.steps = 0;
     }
 
     /// The input sequence `X` of the run.
@@ -483,6 +533,25 @@ mod tests {
         // Requesting beyond the trace clamps.
         let h9 = t.local_history(ProcessId::Receiver, 9);
         assert_eq!(h9.len(), 4);
+    }
+
+    #[test]
+    fn trace_mode_records_matrix() {
+        let write = Event::Write {
+            item: DataItem(0),
+            pos: 0,
+        };
+        let send = Event::SendS { msg: SMsg(0) };
+        assert!(TraceMode::Full.records(&write));
+        assert!(TraceMode::Full.records(&send));
+        assert!(TraceMode::WritesOnly.records(&write));
+        assert!(!TraceMode::WritesOnly.records(&send));
+        assert!(!TraceMode::Off.records(&write));
+        assert!(!TraceMode::Off.records(&send));
+        assert_eq!(TraceMode::default(), TraceMode::Full);
+        let json = serde_json::to_string(&TraceMode::Off).unwrap();
+        let back: TraceMode = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, TraceMode::Off);
     }
 
     #[test]

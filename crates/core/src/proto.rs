@@ -165,6 +165,16 @@ pub trait Sender: fmt::Debug {
         false
     }
 
+    /// Rewinds the sender to its initial state for a fresh run on `input`,
+    /// exactly as if it had been newly constructed for that sequence.
+    /// Construction-time configuration (domain size, policies, timeouts)
+    /// is preserved; all run state (tape cursor, outstanding messages,
+    /// phase, completion latches) is discarded.
+    ///
+    /// Pooled executors call this between runs instead of re-boxing the
+    /// protocol, so implementations must leave no residue.
+    fn reset(&mut self, input: &DataSeq);
+
     /// Clones the protocol state behind a box (object-safe `Clone`).
     fn box_clone(&self) -> Box<dyn Sender>;
 
@@ -192,6 +202,11 @@ pub trait Receiver: fmt::Debug {
 
     /// Processes one event and returns the step's actions.
     fn on_event(&mut self, ev: ReceiverEvent) -> ReceiverOutput;
+
+    /// Rewinds the receiver to its initial state for a fresh run, exactly
+    /// as if newly constructed (the receiver is input-independent, so no
+    /// argument is needed). See [`Sender::reset`] for the contract.
+    fn reset(&mut self);
 
     /// Clones the protocol state behind a box (object-safe `Clone`).
     fn box_clone(&self) -> Box<dyn Receiver>;
@@ -229,6 +244,7 @@ impl Sender for SilentSender {
     fn is_done(&self) -> bool {
         true
     }
+    fn reset(&mut self, _input: &DataSeq) {}
     fn box_clone(&self) -> Box<dyn Sender> {
         Box::new(self.clone())
     }
@@ -245,6 +261,7 @@ impl Receiver for SilentReceiver {
     fn on_event(&mut self, _ev: ReceiverEvent) -> ReceiverOutput {
         ReceiverOutput::idle()
     }
+    fn reset(&mut self) {}
     fn box_clone(&self) -> Box<dyn Receiver> {
         Box::new(self.clone())
     }
@@ -312,6 +329,9 @@ mod tests {
             }
             fn reads(&self) -> usize {
                 0
+            }
+            fn reset(&mut self, _input: &DataSeq) {
+                self.0 = 0;
             }
             fn box_clone(&self) -> Box<dyn Sender> {
                 Box::new(self.clone())

@@ -110,6 +110,13 @@ impl Sender for AbpSender {
         self.done
     }
 
+    fn reset(&mut self, input: &DataSeq) {
+        self.tape = InputTape::new(input.clone());
+        self.bit = 0;
+        self.outstanding = None;
+        self.done = false;
+    }
+
     fn box_clone(&self) -> Box<dyn Sender> {
         Box::new(self.clone())
     }
@@ -165,6 +172,11 @@ impl Receiver for AbpReceiver {
                 }
             }
         }
+    }
+
+    fn reset(&mut self) {
+        self.expected = 0;
+        self.written = 0;
     }
 
     fn box_clone(&self) -> Box<dyn Receiver> {

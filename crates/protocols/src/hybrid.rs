@@ -253,6 +253,19 @@ impl Sender for HybridSender {
         self.phase == SPhase::Done
     }
 
+    fn reset(&mut self, input: &DataSeq) {
+        debug_assert!(input.items().iter().all(|it| it.0 < self.domain));
+        self.input = input.clone();
+        self.phase = SPhase::Abp;
+        self.acked = 0;
+        self.bit = 0;
+        self.now = 0;
+        self.deadline_at = u64::MAX;
+        self.remaining.clear();
+        self.rec_bit = 0;
+        self.faults = 0;
+    }
+
     fn box_clone(&self) -> Box<dyn Sender> {
         Box::new(self.clone())
     }
@@ -392,6 +405,14 @@ impl Receiver for HybridReceiver {
             // leftovers after DONE, out-of-phase traffic) is ignored.
             _ => ReceiverOutput::idle(),
         }
+    }
+
+    fn reset(&mut self) {
+        self.phase = RPhase::Abp;
+        self.expected_bit = 0;
+        self.written = 0;
+        self.rec_expected_bit = 0;
+        self.buffer.clear();
     }
 
     fn box_clone(&self) -> Box<dyn Receiver> {

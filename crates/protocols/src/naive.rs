@@ -89,6 +89,12 @@ impl Sender for NaiveSender {
         self.done
     }
 
+    fn reset(&mut self, input: &DataSeq) {
+        self.tape = InputTape::new(input.clone());
+        self.outstanding = None;
+        self.done = false;
+    }
+
     fn box_clone(&self) -> Box<dyn Sender> {
         Box::new(self.clone())
     }

@@ -66,6 +66,9 @@ pub fn colliding_members(codebook: &[(DataSeq, SMsgSeq)]) -> usize {
 /// handshake (send a letter, await the matching acknowledgement).
 #[derive(Debug, Clone)]
 pub struct CodebookSender {
+    /// The shared codebook, kept so [`Sender::reset`] can re-encode a new
+    /// input without rebuilding the sender.
+    codebook: Vec<(DataSeq, SMsgSeq)>,
     code: SMsgSeq,
     alphabet: Alphabet,
     next: usize,
@@ -86,6 +89,7 @@ impl CodebookSender {
             .map(|(_, c)| c.clone())
             .expect("input must be an allowable sequence");
         CodebookSender {
+            codebook: codebook.to_vec(),
             code,
             alphabet: Alphabet::new(m),
             next: 0,
@@ -139,6 +143,18 @@ impl Sender for CodebookSender {
 
     fn is_done(&self) -> bool {
         self.done
+    }
+
+    fn reset(&mut self, input: &DataSeq) {
+        self.code = self
+            .codebook
+            .iter()
+            .find(|(x, _)| x == input)
+            .map(|(_, c)| c.clone())
+            .expect("input must be an allowable sequence");
+        self.next = 0;
+        self.input_len = input.len();
+        self.done = false;
     }
 
     fn box_clone(&self) -> Box<dyn Sender> {
@@ -202,6 +218,11 @@ impl Receiver for CodebookReceiver {
                 out
             }
         }
+    }
+
+    fn reset(&mut self) {
+        self.seen.clear();
+        self.decoded = false;
     }
 
     fn box_clone(&self) -> Box<dyn Receiver> {

@@ -112,6 +112,13 @@ impl Sender for StenningSender {
         self.done
     }
 
+    fn reset(&mut self, input: &DataSeq) {
+        self.tape = InputTape::new(input.clone());
+        self.seq = 0;
+        self.outstanding = None;
+        self.done = false;
+    }
+
     fn box_clone(&self) -> Box<dyn Sender> {
         Box::new(self.clone())
     }
@@ -176,6 +183,11 @@ impl Receiver for StenningReceiver {
                 }
             }
         }
+    }
+
+    fn reset(&mut self) {
+        self.expected = 0;
+        self.written = 0;
     }
 
     fn box_clone(&self) -> Box<dyn Receiver> {

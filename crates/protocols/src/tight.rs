@@ -137,6 +137,14 @@ impl Sender for TightSender {
         self.done
     }
 
+    fn reset(&mut self, input: &stp_core::data::DataSeq) {
+        debug_assert!(input.is_repetition_free(), "X must be repetition-free");
+        self.tape = InputTape::new(input.clone());
+        self.outstanding = None;
+        self.sent_current = false;
+        self.done = false;
+    }
+
     fn box_clone(&self) -> Box<dyn Sender> {
         Box::new(self.clone())
     }
@@ -197,6 +205,11 @@ impl Receiver for TightReceiver {
                 _ => ReceiverOutput::idle(),
             },
         }
+    }
+
+    fn reset(&mut self) {
+        self.seen.clear();
+        self.written = 0;
     }
 
     fn box_clone(&self) -> Box<dyn Receiver> {

@@ -164,6 +164,15 @@ impl Sender for GoBackNSender {
         self.done
     }
 
+    fn reset(&mut self, input: &DataSeq) {
+        self.tape = InputTape::new(input.clone());
+        self.base = 0;
+        self.pending.clear();
+        self.transmitted = 0;
+        self.ticks_since_send = 0;
+        self.done = false;
+    }
+
     fn box_clone(&self) -> Box<dyn Sender> {
         Box::new(self.clone())
     }
@@ -223,6 +232,10 @@ impl Receiver for GoBackNReceiver {
                 }
             }
         }
+    }
+
+    fn reset(&mut self) {
+        self.written = 0;
     }
 
     fn box_clone(&self) -> Box<dyn Receiver> {

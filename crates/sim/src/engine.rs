@@ -1,0 +1,383 @@
+//! The high-throughput sweep engine: one declarative [`SweepSpec`], a
+//! pool of persistent worker [`World`]s, and a lock-free merge.
+//!
+//! The legacy sweep path boxed four fresh trait objects per grid cell
+//! (sender, receiver, channel, scheduler) and recorded a full event trace
+//! even when only the final statistics were wanted. [`SweepEngine`]
+//! removes both costs:
+//!
+//! * **Pooled worlds** — each worker thread assembles one [`World`] per
+//!   scheduler recipe the first time it meets it, then
+//!   [`World::reset`]s it between runs. The reset contract (every
+//!   component behaves as freshly constructed) makes this exactly
+//!   equivalent to re-boxing, without the allocations.
+//! * **Optional tracing** — the spec carries a
+//!   [`TraceMode`]; under [`TraceMode::Off`] the run
+//!   allocates no events at all and statistics come from the world's
+//!   incremental counters.
+//! * **Lock-free merge** — workers pull cells off a shared
+//!   [`AtomicUsize`] cursor and keep their results in a private vector;
+//!   the merge is a post-join sort, so no lock is ever contended.
+//!
+//! The grid itself is the cartesian product *schedulers × claimed
+//! sequences × seeds*, flattened scheduler-major so a single-scheduler
+//! spec reproduces the legacy sweep order bit-for-bit.
+
+use crate::metrics::RunStats;
+use crate::runner::{MemberRun, SweepOutcome};
+use crate::slo::SloConfig;
+use crate::world::World;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use stp_channel::{ChannelSpec, SchedulerSpec};
+use stp_core::data::DataSeq;
+use stp_core::event::{Step, TraceMode};
+use stp_protocols::ProtocolFamily;
+
+/// A declarative description of an entire sweep: the grid, the channel
+/// and adversary recipes, the tracing policy and the thread count. It is
+/// plain serde data, so a spec can travel in a JSON config file or a bug
+/// report and reproduce the sweep exactly.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Step budget per run.
+    pub max_steps: Step,
+    /// Adversary seeds to try per sequence.
+    pub seeds: Vec<u64>,
+    /// What each run's trace remembers. Defaults to [`TraceMode::Full`];
+    /// stats-only sweeps should use [`TraceMode::Off`].
+    #[serde(default)]
+    pub trace_mode: TraceMode,
+    /// Worker threads. `0` (the default) means one per available core;
+    /// `1` forces the serial path.
+    #[serde(default)]
+    pub threads: usize,
+    /// Channel recipe, rebuilt once per pooled world.
+    pub channel: ChannelSpec,
+    /// Adversary recipes; the grid runs every sequence × seed under each.
+    pub schedulers: Vec<SchedulerSpec>,
+    /// Optional recovery-SLO probe configuration riding along with the
+    /// sweep (consumed by the E11 harness, ignored by the engine proper).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub slo: Option<SloConfig>,
+}
+
+impl SweepSpec {
+    /// A spec with the legacy defaults (10 000 steps, seeds `[0, 1, 2]`,
+    /// full tracing, auto threads) over one channel and one adversary.
+    pub fn new(channel: ChannelSpec, scheduler: SchedulerSpec) -> Self {
+        SweepSpec {
+            max_steps: 10_000,
+            seeds: vec![0, 1, 2],
+            trace_mode: TraceMode::default(),
+            threads: 0,
+            channel,
+            schedulers: vec![scheduler],
+            slo: None,
+        }
+    }
+
+    /// Replaces the step budget.
+    pub fn max_steps(mut self, max_steps: Step) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// Replaces the seed list.
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Replaces the tracing policy.
+    pub fn trace_mode(mut self, mode: TraceMode) -> Self {
+        self.trace_mode = mode;
+        self
+    }
+
+    /// Replaces the worker-thread count (`0` = one per core).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Adds another adversary recipe to the grid.
+    pub fn also_scheduler(mut self, scheduler: SchedulerSpec) -> Self {
+        self.schedulers.push(scheduler);
+        self
+    }
+
+    /// Attaches a recovery-SLO probe configuration.
+    pub fn slo(mut self, slo: SloConfig) -> Self {
+        self.slo = Some(slo);
+        self
+    }
+
+    /// The number of grid cells this spec describes for `family`.
+    pub fn grid_size(&self, family: &dyn ProtocolFamily) -> usize {
+        self.schedulers.len() * family.claimed_family().len() * self.seeds.len()
+    }
+
+    fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        SweepSpec::new(ChannelSpec::Dup, SchedulerSpec::Eager)
+    }
+}
+
+/// The engine: owns a [`SweepSpec`] and runs protocol families through
+/// it. Construction is free; all work happens in [`SweepEngine::run`].
+#[derive(Debug, Clone)]
+pub struct SweepEngine {
+    spec: SweepSpec,
+}
+
+/// One grid cell: scheduler index, index into the family's claimed
+/// sequences, adversary seed. Indices rather than owned sequences keep
+/// the work list allocation-free however large the grid.
+type Cell = (usize, usize, u64);
+
+impl SweepEngine {
+    /// Wraps a spec.
+    pub fn new(spec: SweepSpec) -> Self {
+        SweepEngine { spec }
+    }
+
+    /// The spec this engine runs.
+    pub fn spec(&self) -> &SweepSpec {
+        &self.spec
+    }
+
+    /// Flattens the grid scheduler-major, then sequence, then seed — the
+    /// legacy sweep order within each scheduler block.
+    fn work_list(&self, claimed: &[DataSeq]) -> Vec<Cell> {
+        let mut work =
+            Vec::with_capacity(self.spec.schedulers.len() * claimed.len() * self.spec.seeds.len());
+        for sched in 0..self.spec.schedulers.len() {
+            for xi in 0..claimed.len() {
+                for &seed in &self.spec.seeds {
+                    work.push((sched, xi, seed));
+                }
+            }
+        }
+        work
+    }
+
+    /// Runs the whole grid across the spec's worker threads, pooling one
+    /// world per (worker, scheduler recipe). Results are returned in grid
+    /// order, identical to [`SweepEngine::run_serial`].
+    pub fn run(&self, family: &(dyn ProtocolFamily + Sync)) -> SweepOutcome {
+        let threads = self.spec.resolved_threads();
+        if threads <= 1 {
+            return self.run_serial(family);
+        }
+        let claimed = family.claimed_family();
+        let work = self.work_list(claimed.seqs());
+        let cursor = AtomicUsize::new(0);
+        let spec = &self.spec;
+        let claimed = &claimed;
+        let work = &work;
+        let cursor = &cursor;
+        let buckets: Vec<Vec<(usize, MemberRun)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(move || {
+                        // The pool: one lazily built world per scheduler
+                        // recipe, reset between cells. Worlds never cross
+                        // threads, so no Send bound is needed on the
+                        // boxed components.
+                        let mut worlds: Vec<Option<World>> =
+                            (0..spec.schedulers.len()).map(|_| None).collect();
+                        let mut out = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= work.len() {
+                                break;
+                            }
+                            let (sched, xi, seed) = work[i];
+                            out.push((
+                                i,
+                                run_cell(
+                                    &mut worlds,
+                                    family,
+                                    spec,
+                                    sched,
+                                    &claimed.seqs()[xi],
+                                    seed,
+                                ),
+                            ));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep worker panicked"))
+                .collect()
+        });
+        let mut indexed: Vec<(usize, MemberRun)> = buckets.into_iter().flatten().collect();
+        indexed.sort_unstable_by_key(|(i, _)| *i);
+        SweepOutcome::from_runs(indexed.into_iter().map(|(_, r)| r).collect())
+    }
+
+    /// Runs the whole grid on the calling thread with one pooled world
+    /// per scheduler recipe.
+    pub fn run_serial(&self, family: &dyn ProtocolFamily) -> SweepOutcome {
+        let mut worlds: Vec<Option<World>> =
+            (0..self.spec.schedulers.len()).map(|_| None).collect();
+        let claimed = family.claimed_family();
+        let runs = self
+            .work_list(claimed.seqs())
+            .into_iter()
+            .map(|(sched, xi, seed)| {
+                run_cell(
+                    &mut worlds,
+                    family,
+                    &self.spec,
+                    sched,
+                    &claimed.seqs()[xi],
+                    seed,
+                )
+            })
+            .collect();
+        SweepOutcome::from_runs(runs)
+    }
+}
+
+/// Executes one grid cell on a pooled world, building it on first use and
+/// resetting it otherwise. The reset path and the fresh-build path are
+/// behaviourally identical by the component reset contract — the parity
+/// test in `tests/parity.rs` pins this down against the legacy runner.
+fn run_cell(
+    worlds: &mut [Option<World>],
+    family: &dyn ProtocolFamily,
+    spec: &SweepSpec,
+    sched: usize,
+    x: &DataSeq,
+    seed: u64,
+) -> MemberRun {
+    let slot = &mut worlds[sched];
+    let world = match slot {
+        Some(w) => {
+            w.reset(x, seed);
+            w
+        }
+        None => slot.insert(
+            World::builder(x.clone())
+                .sender(family.sender_for(x))
+                .receiver(family.receiver())
+                .channel(spec.channel.build())
+                .scheduler(spec.schedulers[sched].build(seed))
+                .mode(spec.trace_mode)
+                .build()
+                .expect("engine supplies every component"),
+        ),
+    };
+    world.run_until(spec.max_steps, World::is_complete);
+    let stats: RunStats = world.stats();
+    let trace = if spec.trace_mode == TraceMode::Off {
+        None
+    } else {
+        Some(world.trace().clone())
+    };
+    MemberRun {
+        input: x.clone(),
+        seed,
+        scheduler: sched,
+        stats,
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stp_protocols::{ResendPolicy, TightFamily};
+
+    fn storm_spec() -> SweepSpec {
+        SweepSpec::new(ChannelSpec::Dup, SchedulerSpec::DupStorm { p_deliver: 0.9 })
+            .max_steps(5_000)
+            .seeds([0, 7])
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = storm_spec()
+            .trace_mode(TraceMode::WritesOnly)
+            .threads(3)
+            .also_scheduler(SchedulerSpec::Reorder)
+            .slo(SloConfig::wipeout(3, 20_000));
+        let json = serde_json::to_string_pretty(&spec).expect("serializes");
+        let back: SweepSpec = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn spec_defaults_apply_when_fields_are_omitted() {
+        // trace_mode, threads and slo are optional in the wire format.
+        let json = r#"{
+            "max_steps": 100,
+            "seeds": [4],
+            "channel": "Del",
+            "schedulers": ["Eager"]
+        }"#;
+        let spec: SweepSpec = serde_json::from_str(json).expect("parses");
+        assert_eq!(spec.trace_mode, TraceMode::Full);
+        assert_eq!(spec.threads, 0);
+        assert_eq!(spec.slo, None);
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_run() {
+        let family = TightFamily::new(3, ResendPolicy::Once);
+        let engine = SweepEngine::new(storm_spec().threads(4));
+        let serial = engine.run_serial(&family);
+        let parallel = engine.run(&family);
+        assert_eq!(serial.runs, parallel.runs);
+        assert!(parallel.all_complete(), "failures: {:?}", parallel.failures);
+    }
+
+    #[test]
+    fn multi_scheduler_grids_tag_runs_with_their_recipe_index() {
+        let family = TightFamily::new(2, ResendPolicy::EveryTick);
+        let spec = SweepSpec::new(ChannelSpec::Del, SchedulerSpec::Eager)
+            .also_scheduler(SchedulerSpec::DropHeavy {
+                p_drop: 0.3,
+                p_deliver: 0.6,
+            })
+            .max_steps(20_000)
+            .seeds([3])
+            .threads(1);
+        let outcome = SweepEngine::new(spec).run_serial(&family);
+        let grid = family.claimed_family().len();
+        assert_eq!(outcome.len(), grid * 2);
+        assert!(outcome.runs[..grid].iter().all(|r| r.scheduler == 0));
+        assert!(outcome.runs[grid..].iter().all(|r| r.scheduler == 1));
+        assert!(outcome.all_complete(), "failures: {:?}", outcome.failures);
+    }
+
+    #[test]
+    fn off_mode_runs_carry_no_trace_but_full_stats() {
+        let family = TightFamily::new(3, ResendPolicy::Once);
+        let engine = SweepEngine::new(storm_spec().trace_mode(TraceMode::Off).threads(1));
+        let with_trace = SweepEngine::new(storm_spec().threads(1)).run_serial(&family);
+        let without = engine.run_serial(&family);
+        assert_eq!(with_trace.len(), without.len());
+        for (a, b) in with_trace.runs.iter().zip(&without.runs) {
+            assert!(a.trace.is_some());
+            assert!(b.trace.is_none());
+            assert_eq!(a.stats, b.stats, "tracing must not change behaviour");
+        }
+    }
+}

@@ -14,6 +14,13 @@ pub enum SimError {
         /// The step the coordinator had reached when the death surfaced.
         step: Step,
     },
+    /// A [`WorldBuilder`](crate::world::WorldBuilder) was finalized without
+    /// one of its required parts.
+    MissingComponent {
+        /// Which part: `"sender"`, `"receiver"`, `"channel"` or
+        /// `"scheduler"`.
+        component: &'static str,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -21,6 +28,9 @@ impl fmt::Display for SimError {
         match self {
             SimError::WorkerDied { role, step } => {
                 write!(f, "{role} worker thread died at step {step}")
+            }
+            SimError::MissingComponent { component } => {
+                write!(f, "world builder is missing its {component}")
             }
         }
     }
@@ -39,5 +49,13 @@ mod tests {
             step: 17,
         };
         assert_eq!(e.to_string(), "sender worker thread died at step 17");
+    }
+
+    #[test]
+    fn display_names_the_missing_component() {
+        let e = SimError::MissingComponent {
+            component: "channel",
+        };
+        assert_eq!(e.to_string(), "world builder is missing its channel");
     }
 }

@@ -24,7 +24,7 @@
 //!
 //! New code that needs anything richer — multiple strikes, windows,
 //! write-triggered faults, randomized storms — should build a
-//! [`FaultPlan`](stp_channel::campaign::FaultPlan) and use
+//! [`FaultPlan`] and use
 //! [`CampaignScheduler`] directly (or the measurement helpers in
 //! [`crate::slo`]). The historical wart that an injector could not be
 //! reused across [`World`](crate::World) runs (its `fired` latch stayed
@@ -81,6 +81,12 @@ impl Scheduler for FaultInjector {
 
     fn note_progress(&mut self, step: Step, written: usize) {
         self.campaign.note_progress(step, written);
+    }
+
+    fn reset(&mut self, seed: u64) {
+        // UFCS: the campaign's inherent `reset()` (which does not touch the
+        // inner scheduler) would otherwise shadow the trait method.
+        Scheduler::reset(&mut self.campaign, seed);
     }
 
     fn box_clone(&self) -> Box<dyn Scheduler> {

@@ -30,9 +30,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod metrics;
+pub mod prelude;
 pub mod replay;
 pub mod runner;
 pub mod shrink;
@@ -40,13 +42,12 @@ pub mod slo;
 pub mod threaded;
 pub mod world;
 
+pub use engine::{SweepEngine, SweepSpec};
 pub use error::SimError;
 pub use fault::FaultInjector;
 pub use metrics::RunStats;
 pub use replay::{replay, script_from_trace};
-pub use runner::{
-    run_family_member, sweep_family, sweep_family_parallel, FamilyRunConfig, SweepOutcome,
-};
+pub use runner::{run_family_member, sweep_family, sweep_family_parallel, MemberRun, SweepOutcome};
 pub use shrink::{
     classify, is_one_minimal, shrink_plan, shrink_to_witness, CampaignJudge, Violation, Witness,
 };
@@ -54,4 +55,4 @@ pub use slo::{
     probe_recovery, recovery_envelope, run_campaign, run_with_plan, RecoveryEnvelope,
     RecoveryProbe, SloConfig,
 };
-pub use world::World;
+pub use world::{World, WorldBuilder};

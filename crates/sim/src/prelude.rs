@@ -1,0 +1,29 @@
+//! One-stop imports for driving simulations and sweeps.
+//!
+//! ```
+//! use stp_sim::prelude::*;
+//!
+//! let spec = SweepSpec::new(ChannelSpec::Dup, SchedulerSpec::DupStorm { p_deliver: 0.9 })
+//!     .max_steps(2_000)
+//!     .seeds([0])
+//!     .trace_mode(TraceMode::Off);
+//! let outcome = SweepEngine::new(spec)
+//!     .run_serial(&stp_protocols::TightFamily::new(2, stp_protocols::ResendPolicy::Once));
+//! assert!(outcome.all_complete());
+//! ```
+
+pub use crate::engine::{SweepEngine, SweepSpec};
+pub use crate::metrics::RunStats;
+pub use crate::runner::{
+    run_family_member, sweep_family, sweep_family_parallel, MemberRun, SweepOutcome,
+};
+pub use crate::shrink::{shrink_plan, shrink_to_witness, CampaignJudge, Violation, Witness};
+pub use crate::slo::{
+    probe_recovery, recovery_envelope, RecoveryEnvelope, RecoveryProbe, SloConfig,
+};
+pub use crate::world::{World, WorldBuilder};
+pub use stp_channel::campaign::{
+    CampaignScheduler, Direction, FaultAction, FaultClause, FaultPlan, Trigger,
+};
+pub use stp_channel::{ChannelSpec, SchedulerSpec};
+pub use stp_core::event::TraceMode;

@@ -45,13 +45,13 @@ pub fn replay(
 ) -> Trace {
     let script = script_from_trace(trace);
     let steps = script.len() as u64;
-    let mut world = World::new(
-        trace.input().clone(),
-        sender,
-        receiver,
-        channel,
-        Box::new(ScriptedScheduler::new(script)),
-    );
+    let mut world = World::builder(trace.input().clone())
+        .sender(sender)
+        .receiver(receiver)
+        .channel(channel)
+        .scheduler(Box::new(ScriptedScheduler::new(script)))
+        .build()
+        .expect("all components supplied");
     world.run(steps);
     world.into_trace()
 }
@@ -70,13 +70,17 @@ mod tests {
     #[test]
     fn replay_reproduces_a_dup_storm_run_exactly() {
         let input = seq(&[2, 0, 1]);
-        let mut w = World::new(
-            input.clone(),
-            Box::new(TightSender::new(input.clone(), 3, ResendPolicy::Once)),
-            Box::new(TightReceiver::new(3, ResendPolicy::Once)),
-            Box::new(DupChannel::new()),
-            Box::new(DupStormScheduler::new(99, 0.8)),
-        );
+        let mut w = World::builder(input.clone())
+            .sender(Box::new(TightSender::new(
+                input.clone(),
+                3,
+                ResendPolicy::Once,
+            )))
+            .receiver(Box::new(TightReceiver::new(3, ResendPolicy::Once)))
+            .channel(Box::new(DupChannel::new()))
+            .scheduler(Box::new(DupStormScheduler::new(99, 0.8)))
+            .build()
+            .unwrap();
         w.run(120);
         let original = w.into_trace();
         let replayed = replay(
@@ -91,13 +95,17 @@ mod tests {
     #[test]
     fn replay_reproduces_deletions_too() {
         let input = seq(&[1, 0]);
-        let mut w = World::new(
-            input.clone(),
-            Box::new(TightSender::new(input.clone(), 2, ResendPolicy::EveryTick)),
-            Box::new(TightReceiver::new(2, ResendPolicy::EveryTick)),
-            Box::new(DelChannel::new()),
-            Box::new(DropHeavyScheduler::new(5, 0.4, 0.5)),
-        );
+        let mut w = World::builder(input.clone())
+            .sender(Box::new(TightSender::new(
+                input.clone(),
+                2,
+                ResendPolicy::EveryTick,
+            )))
+            .receiver(Box::new(TightReceiver::new(2, ResendPolicy::EveryTick)))
+            .channel(Box::new(DelChannel::new()))
+            .scheduler(Box::new(DropHeavyScheduler::new(5, 0.4, 0.5)))
+            .build()
+            .unwrap();
         w.run(200);
         let original = w.into_trace();
         assert!(

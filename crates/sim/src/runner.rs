@@ -1,6 +1,13 @@
 //! Sweeping a protocol family over its claimed sequence set — the
 //! workhorse behind the achievability experiments (E1, E3).
+//!
+//! The sweeps here are thin fronts over the pooled
+//! [`SweepEngine`]: describe the grid with a
+//! [`SweepSpec`], then call [`sweep_family`]
+//! (serial) or [`sweep_family_parallel`] (worker pool). Both produce the
+//! same [`SweepOutcome`] in the same order.
 
+use crate::engine::{SweepEngine, SweepSpec};
 use crate::metrics::RunStats;
 use crate::world::World;
 use stp_channel::{Channel, Scheduler};
@@ -8,45 +15,43 @@ use stp_core::data::DataSeq;
 use stp_core::event::{Step, Trace};
 use stp_protocols::ProtocolFamily;
 
-/// Parameters of a sweep.
-#[derive(Debug, Clone)]
-pub struct FamilyRunConfig {
-    /// Step budget per run.
-    pub max_steps: Step,
-    /// Adversary seeds to try per sequence.
-    pub seeds: Vec<u64>,
-}
-
-impl Default for FamilyRunConfig {
-    fn default() -> Self {
-        FamilyRunConfig {
-            max_steps: 10_000,
-            seeds: vec![0, 1, 2],
-        }
-    }
-}
-
-/// One run of one family member under one seed.
-#[derive(Debug, Clone)]
+/// One run of one grid cell: a family member under one adversary recipe
+/// and one seed.
+#[derive(Debug, Clone, PartialEq)]
 pub struct MemberRun {
     /// The input sequence of the run.
     pub input: DataSeq,
     /// The adversary seed.
     pub seed: u64,
+    /// Index into the spec's scheduler list that drove this run.
+    pub scheduler: usize,
     /// The run's statistics.
     pub stats: RunStats,
+    /// The recorded trace — `None` when the sweep ran with
+    /// [`TraceMode::Off`](stp_core::event::TraceMode::Off).
+    pub trace: Option<Trace>,
 }
 
 /// The aggregate outcome of a sweep.
 #[derive(Debug, Clone)]
 pub struct SweepOutcome {
-    /// Per-(sequence, seed) results.
+    /// Per-(scheduler, sequence, seed) results in grid order.
     pub runs: Vec<MemberRun>,
     /// Sequences that failed to complete under some seed.
     pub failures: Vec<(DataSeq, u64)>,
 }
 
 impl SweepOutcome {
+    /// Packages finished runs, deriving the failure list.
+    pub fn from_runs(runs: Vec<MemberRun>) -> Self {
+        let failures = runs
+            .iter()
+            .filter(|r| !r.stats.is_complete())
+            .map(|r| (r.input.clone(), r.seed))
+            .collect();
+        SweepOutcome { runs, failures }
+    }
+
     /// Whether every member completed safely under every seed.
     pub fn all_complete(&self) -> bool {
         self.failures.is_empty()
@@ -90,135 +95,48 @@ pub fn run_family_member(
     scheduler: Box<dyn Scheduler>,
     max_steps: Step,
 ) -> Trace {
-    let mut world = World::new(
-        x.clone(),
-        family.sender_for(x),
-        family.receiver(),
-        channel,
-        scheduler,
-    );
+    let mut world = World::builder(x.clone())
+        .sender(family.sender_for(x))
+        .receiver(family.receiver())
+        .channel(channel)
+        .scheduler(scheduler)
+        .build()
+        .expect("all components supplied");
     world.run_until(max_steps, World::is_complete);
     world.into_trace()
 }
 
-/// Sweeps `family` over every sequence it claims, across the configured
-/// seeds, with fresh channel/scheduler instances per run.
-pub fn sweep_family(
-    family: &dyn ProtocolFamily,
-    cfg: &FamilyRunConfig,
-    make_channel: impl Fn() -> Box<dyn Channel>,
-    make_scheduler: impl Fn(u64) -> Box<dyn Scheduler>,
-) -> SweepOutcome {
-    let mut runs = Vec::new();
-    let mut failures = Vec::new();
-    for x in family.claimed_family().iter() {
-        for &seed in &cfg.seeds {
-            let trace = run_family_member(
-                family,
-                x,
-                make_channel(),
-                make_scheduler(seed),
-                cfg.max_steps,
-            );
-            let stats = RunStats::of(&trace);
-            if !stats.is_complete() {
-                failures.push((x.clone(), seed));
-            }
-            runs.push(MemberRun {
-                input: x.clone(),
-                seed,
-                stats,
-            });
-        }
-    }
-    SweepOutcome { runs, failures }
+/// Sweeps `family` over every sequence it claims, across the spec's
+/// schedulers and seeds, serially on the calling thread.
+pub fn sweep_family(family: &dyn ProtocolFamily, spec: &SweepSpec) -> SweepOutcome {
+    SweepEngine::new(spec.clone()).run_serial(family)
 }
 
-/// The multi-threaded variant of [`sweep_family`]: the same work grid,
-/// fanned out over `threads` workers through a crossbeam channel. Results
-/// are identical to the serial sweep (each run is independent and seeded),
-/// and the output order is normalized so the two are comparable directly.
+/// The multi-threaded variant of [`sweep_family`]: the same grid, fanned
+/// out over the spec's worker pool. Results are identical to the serial
+/// sweep (each run is independent and seeded) and arrive in the same
+/// order.
 pub fn sweep_family_parallel(
     family: &(dyn ProtocolFamily + Sync),
-    cfg: &FamilyRunConfig,
-    make_channel: impl Fn() -> Box<dyn Channel> + Sync,
-    make_scheduler: impl Fn(u64) -> Box<dyn Scheduler> + Sync,
-    threads: usize,
+    spec: &SweepSpec,
 ) -> SweepOutcome {
-    let threads = threads.max(1);
-    let claimed = family.claimed_family();
-    let work: Vec<(usize, DataSeq, u64)> = claimed
-        .iter()
-        .flat_map(|x| cfg.seeds.iter().map(move |&s| (x.clone(), s)))
-        .enumerate()
-        .map(|(i, (x, s))| (i, x, s))
-        .collect();
-    let (work_tx, work_rx) = crossbeam::channel::unbounded::<(usize, DataSeq, u64)>();
-    let (res_tx, res_rx) = crossbeam::channel::unbounded::<(usize, MemberRun)>();
-    for item in work {
-        work_tx.send(item).expect("queue open");
-    }
-    drop(work_tx);
-    let max_steps = cfg.max_steps;
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let work_rx = work_rx.clone();
-            let res_tx = res_tx.clone();
-            let make_channel = &make_channel;
-            let make_scheduler = &make_scheduler;
-            scope.spawn(move || {
-                while let Ok((idx, x, seed)) = work_rx.recv() {
-                    let trace = run_family_member(
-                        family,
-                        &x,
-                        make_channel(),
-                        make_scheduler(seed),
-                        max_steps,
-                    );
-                    let run = MemberRun {
-                        input: x,
-                        seed,
-                        stats: RunStats::of(&trace),
-                    };
-                    if res_tx.send((idx, run)).is_err() {
-                        break;
-                    }
-                }
-            });
-        }
-        drop(res_tx);
-    });
-    let mut indexed: Vec<(usize, MemberRun)> = res_rx.iter().collect();
-    indexed.sort_by_key(|(i, _)| *i);
-    let runs: Vec<MemberRun> = indexed.into_iter().map(|(_, r)| r).collect();
-    let failures = runs
-        .iter()
-        .filter(|r| !r.stats.is_complete())
-        .map(|r| (r.input.clone(), r.seed))
-        .collect();
-    SweepOutcome { runs, failures }
+    SweepEngine::new(spec.clone()).run(family)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stp_channel::{DelChannel, DropHeavyScheduler, DupChannel, DupStormScheduler};
+    use stp_channel::{ChannelSpec, SchedulerSpec};
     use stp_core::alpha::alpha;
     use stp_protocols::{NaiveFamily, ResendPolicy, TightFamily};
 
     #[test]
     fn tight_dup_sweep_is_fully_complete_under_storms() {
         let family = TightFamily::new(3, ResendPolicy::Once);
-        let cfg = FamilyRunConfig {
-            max_steps: 5_000,
-            seeds: vec![0, 7, 42],
-        };
-        let outcome = sweep_family(
-            &family,
-            &cfg,
-            || Box::new(DupChannel::new()),
-            |seed| Box::new(DupStormScheduler::new(seed, 0.9)),
-        );
+        let spec = SweepSpec::new(ChannelSpec::Dup, SchedulerSpec::DupStorm { p_deliver: 0.9 })
+            .max_steps(5_000)
+            .seeds([0, 7, 42]);
+        let outcome = sweep_family(&family, &spec);
         assert!(outcome.all_complete(), "failures: {:?}", outcome.failures);
         assert_eq!(outcome.len() as u128, alpha(3).unwrap() * 3);
         assert!(outcome.mean_sends_per_item().unwrap() >= 1.0);
@@ -227,16 +145,16 @@ mod tests {
     #[test]
     fn tight_del_sweep_is_fully_complete_under_drops() {
         let family = TightFamily::new(2, ResendPolicy::EveryTick);
-        let cfg = FamilyRunConfig {
-            max_steps: 20_000,
-            seeds: vec![3, 4],
-        };
-        let outcome = sweep_family(
-            &family,
-            &cfg,
-            || Box::new(DelChannel::new()),
-            |seed| Box::new(DropHeavyScheduler::new(seed, 0.3, 0.6)),
-        );
+        let spec = SweepSpec::new(
+            ChannelSpec::Del,
+            SchedulerSpec::DropHeavy {
+                p_drop: 0.3,
+                p_deliver: 0.6,
+            },
+        )
+        .max_steps(20_000)
+        .seeds([3, 4]);
+        let outcome = sweep_family(&family, &spec);
         assert!(outcome.all_complete(), "failures: {:?}", outcome.failures);
         assert!(outcome.worst_gap().is_some());
     }
@@ -246,16 +164,10 @@ mod tests {
         // Theorem 1 in action: the claimed family exceeds α(m), so some
         // sequence must fail even under a *friendly* adversary.
         let family = NaiveFamily::new(2, 2);
-        let cfg = FamilyRunConfig {
-            max_steps: 2_000,
-            seeds: vec![0],
-        };
-        let outcome = sweep_family(
-            &family,
-            &cfg,
-            || Box::new(DupChannel::new()),
-            |seed| Box::new(DupStormScheduler::new(seed, 0.9)),
-        );
+        let spec = SweepSpec::new(ChannelSpec::Dup, SchedulerSpec::DupStorm { p_deliver: 0.9 })
+            .max_steps(2_000)
+            .seeds([0]);
+        let outcome = sweep_family(&family, &spec);
         assert!(
             !outcome.all_complete(),
             "an over-capacity family cannot complete everywhere"
@@ -270,30 +182,15 @@ mod tests {
     #[test]
     fn parallel_sweep_matches_serial_sweep() {
         let family = TightFamily::new(3, ResendPolicy::Once);
-        let cfg = FamilyRunConfig {
-            max_steps: 5_000,
-            seeds: vec![0, 1],
-        };
-        let serial = sweep_family(
-            &family,
-            &cfg,
-            || Box::new(DupChannel::new()),
-            |seed| Box::new(DupStormScheduler::new(seed, 0.9)),
-        );
-        let parallel = sweep_family_parallel(
-            &family,
-            &cfg,
-            || Box::new(DupChannel::new()),
-            |seed| Box::new(DupStormScheduler::new(seed, 0.9)),
-            4,
-        );
+        let spec = SweepSpec::new(ChannelSpec::Dup, SchedulerSpec::DupStorm { p_deliver: 0.9 })
+            .max_steps(5_000)
+            .seeds([0, 1])
+            .threads(4);
+        let serial = sweep_family(&family, &spec);
+        let parallel = sweep_family_parallel(&family, &spec);
         assert_eq!(serial.len(), parallel.len());
         assert!(parallel.all_complete());
-        for (a, b) in serial.runs.iter().zip(&parallel.runs) {
-            assert_eq!(a.input, b.input);
-            assert_eq!(a.seed, b.seed);
-            assert_eq!(a.stats, b.stats);
-        }
+        assert_eq!(serial.runs, parallel.runs);
     }
 
     #[test]
@@ -303,7 +200,7 @@ mod tests {
         let trace = run_family_member(
             &family,
             &x,
-            Box::new(DupChannel::new()),
+            Box::new(stp_channel::DupChannel::new()),
             Box::new(stp_channel::EagerScheduler::new()),
             1_000,
         );

@@ -17,7 +17,7 @@ use crate::slo::run_with_plan;
 use crate::world::World;
 use serde::{Deserialize, Serialize};
 use stp_channel::campaign::FaultPlan;
-use stp_channel::{Channel, Scheduler, ScriptedScheduler, StepDecision};
+use stp_channel::{Channel, ChannelSpec, SchedulerSpec, ScriptedScheduler, StepDecision};
 use stp_core::data::DataSeq;
 use stp_core::event::{Step, Trace};
 use stp_core::proto::{Receiver, Sender};
@@ -68,17 +68,18 @@ pub fn classify(trace: &Trace, expected: usize) -> Option<Violation> {
 }
 
 /// A reusable judge: runs a family under a candidate plan and classifies
-/// the outcome. Runs are deterministic (fresh channel and inner scheduler
-/// per candidate, campaign seeded from the plan), so judging is pure.
+/// the outcome. Runs are deterministic (channel and inner scheduler are
+/// rebuilt from their specs per candidate, the inner scheduler and the
+/// campaign both seeded from the plan), so judging is pure.
 pub struct CampaignJudge<'a> {
     /// Protocol family under test.
     pub family: &'a dyn ProtocolFamily,
     /// Input sequence.
     pub input: &'a DataSeq,
-    /// Fresh-channel constructor.
-    pub mk_channel: &'a dyn Fn() -> Box<dyn Channel>,
-    /// Fresh inner-scheduler constructor.
-    pub mk_inner: &'a dyn Fn() -> Box<dyn Scheduler>,
+    /// Channel recipe, rebuilt fresh per candidate run.
+    pub channel: ChannelSpec,
+    /// Inner-scheduler recipe, rebuilt fresh per candidate run.
+    pub inner: SchedulerSpec,
     /// Step budget per candidate run.
     pub max_steps: Step,
 }
@@ -89,8 +90,8 @@ impl CampaignJudge<'_> {
         run_with_plan(
             self.family,
             self.input,
-            (self.mk_channel)(),
-            (self.mk_inner)(),
+            self.channel.build(),
+            self.inner.build(plan.seed),
             plan,
             self.max_steps,
         )
@@ -249,13 +250,13 @@ impl Witness {
         receiver: Box<dyn Receiver>,
         channel: Box<dyn Channel>,
     ) -> (Trace, Option<Violation>) {
-        let mut world = World::new(
-            self.input.clone(),
-            sender,
-            receiver,
-            channel,
-            Box::new(ScriptedScheduler::new(self.script.clone())),
-        );
+        let mut world = World::builder(self.input.clone())
+            .sender(sender)
+            .receiver(receiver)
+            .channel(channel)
+            .scheduler(Box::new(ScriptedScheduler::new(self.script.clone())))
+            .build()
+            .expect("all components supplied");
         world.run(self.steps);
         let trace = world.into_trace();
         let violation = classify(&trace, self.input.len());
@@ -288,12 +289,6 @@ mod tests {
 
     fn seq(v: &[u16]) -> DataSeq {
         DataSeq::from_indices(v.iter().copied())
-    }
-
-    /// An inner scheduler that does nothing: all deliveries come from the
-    /// campaign, so the plan is the entire adversary.
-    fn idle() -> Box<dyn Scheduler> {
-        Box::new(ScriptedScheduler::new(Vec::new()))
     }
 
     /// The deliberately failing setup: the over-capacity naive family on
@@ -335,8 +330,10 @@ mod tests {
         let judge = CampaignJudge {
             family: &fam,
             input: &input,
-            mk_channel: &|| Box::new(DupChannel::new()),
-            mk_inner: &idle,
+            // An idle inner scheduler: all deliveries come from the
+            // campaign, so the plan is the entire adversary.
+            channel: ChannelSpec::Dup,
+            inner: SchedulerSpec::idle(),
             max_steps: 400,
         };
         let v = judge.judge(&failing_plan()).expect("campaign fails");
@@ -356,8 +353,10 @@ mod tests {
         let judge = CampaignJudge {
             family: &fam,
             input: &input,
-            mk_channel: &|| Box::new(DupChannel::new()),
-            mk_inner: &idle,
+            // An idle inner scheduler: all deliveries come from the
+            // campaign, so the plan is the entire adversary.
+            channel: ChannelSpec::Dup,
+            inner: SchedulerSpec::idle(),
             max_steps: 400,
         };
         let (minimal, violation) = shrink_plan(&judge, &failing_plan()).expect("fails");
@@ -377,8 +376,10 @@ mod tests {
         let judge = CampaignJudge {
             family: &fam,
             input: &input,
-            mk_channel: &|| Box::new(DupChannel::new()),
-            mk_inner: &idle,
+            // An idle inner scheduler: all deliveries come from the
+            // campaign, so the plan is the entire adversary.
+            channel: ChannelSpec::Dup,
+            inner: SchedulerSpec::idle(),
             max_steps: 400,
         };
         let witness = shrink_to_witness(&judge, &failing_plan()).expect("fails");
@@ -409,8 +410,8 @@ mod tests {
         let judge = CampaignJudge {
             family: &fam,
             input: &input,
-            mk_channel: &|| Box::new(DupChannel::new()),
-            mk_inner: &|| Box::new(stp_channel::EagerScheduler::new()),
+            channel: ChannelSpec::Dup,
+            inner: SchedulerSpec::Eager,
             max_steps: 2_000,
         };
         assert_eq!(judge.judge(&FaultPlan::new(0)), None);

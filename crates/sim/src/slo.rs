@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 use stp_channel::campaign::{
     CampaignScheduler, Direction, FaultAction, FaultClause, FaultPlan, Trigger,
 };
-use stp_channel::{Channel, Scheduler};
+use stp_channel::{Channel, ChannelSpec, Scheduler, SchedulerSpec};
 use stp_core::data::DataSeq;
 use stp_core::event::Step;
 use stp_core::proto::{Receiver, Sender};
@@ -121,20 +121,21 @@ impl RecoveryEnvelope {
 pub fn probe_recovery(
     family: &dyn ProtocolFamily,
     input: &DataSeq,
-    mk_channel: &dyn Fn() -> Box<dyn Channel>,
-    mk_inner: &dyn Fn() -> Box<dyn Scheduler>,
+    channel: &ChannelSpec,
+    inner: &SchedulerSpec,
     cfg: &SloConfig,
     index: usize,
 ) -> Option<RecoveryProbe> {
     let clause = FaultClause::new(cfg.action.clone(), Trigger::OnWrite { index })
         .direction(cfg.direction)
         .lasting(cfg.duration);
-    let plan = FaultPlan::single(cfg.seed.wrapping_add(index as u64), clause);
+    let probe_seed = cfg.seed.wrapping_add(index as u64);
+    let plan = FaultPlan::single(probe_seed, clause);
     let trace = run_with_plan(
         family,
         input,
-        mk_channel(),
-        mk_inner(),
+        channel.build(),
+        inner.build(probe_seed),
         &plan,
         cfg.max_steps,
     );
@@ -164,12 +165,12 @@ pub fn probe_recovery(
 pub fn recovery_envelope(
     family: &dyn ProtocolFamily,
     input: &DataSeq,
-    mk_channel: &dyn Fn() -> Box<dyn Channel>,
-    mk_inner: &dyn Fn() -> Box<dyn Scheduler>,
+    channel: &ChannelSpec,
+    inner: &SchedulerSpec,
     cfg: &SloConfig,
 ) -> RecoveryEnvelope {
     let probes = (0..input.len())
-        .filter_map(|i| probe_recovery(family, input, mk_channel, mk_inner, cfg, i))
+        .filter_map(|i| probe_recovery(family, input, channel, inner, cfg, i))
         .collect();
     RecoveryEnvelope {
         protocol: family.name().to_string(),
@@ -211,13 +212,13 @@ pub fn run_campaign(
     max_steps: Step,
 ) -> stp_core::event::Trace {
     let scheduler = CampaignScheduler::new(inner, plan.clone());
-    let mut world = World::new(
-        input.clone(),
-        sender,
-        receiver,
-        channel,
-        Box::new(scheduler),
-    );
+    let mut world = World::builder(input.clone())
+        .sender(sender)
+        .receiver(receiver)
+        .channel(channel)
+        .scheduler(Box::new(scheduler))
+        .build()
+        .expect("all components supplied");
     world.run_until(max_steps, World::is_complete);
     world.into_trace()
 }
@@ -225,7 +226,6 @@ pub fn run_campaign(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stp_channel::{DelChannel, EagerScheduler, TimedChannel};
     use stp_protocols::{HybridFamily, ResendPolicy, TightFamily};
 
     fn seq(n: u16) -> DataSeq {
@@ -237,13 +237,7 @@ mod tests {
         let fam = TightFamily::new(8, ResendPolicy::EveryTick);
         let input = seq(6);
         let cfg = SloConfig::wipeout(3, 20_000);
-        let env = recovery_envelope(
-            &fam,
-            &input,
-            &|| Box::new(DelChannel::new()),
-            &|| Box::new(EagerScheduler::new()),
-            &cfg,
-        );
+        let env = recovery_envelope(&fam, &input, &ChannelSpec::Del, &SchedulerSpec::Eager, &cfg);
         assert_eq!(env.probes.len(), 6);
         assert!(env.fully_recovered(), "probes: {:?}", env.probes);
     }
@@ -256,8 +250,8 @@ mod tests {
         let p = probe_recovery(
             &fam,
             &input,
-            &|| Box::new(DelChannel::new()),
-            &|| Box::new(EagerScheduler::new()),
+            &ChannelSpec::Del,
+            &SchedulerSpec::Eager,
             &cfg,
             1,
         )
@@ -280,8 +274,8 @@ mod tests {
             let t = probe_recovery(
                 &tight,
                 &input,
-                &|| Box::new(DelChannel::new()),
-                &|| Box::new(EagerScheduler::new()),
+                &ChannelSpec::Del,
+                &SchedulerSpec::Eager,
                 &cfg,
                 0,
             )
@@ -290,8 +284,8 @@ mod tests {
             let h = probe_recovery(
                 &hybrid,
                 &input,
-                &|| Box::new(TimedChannel::new(4)),
-                &|| Box::new(EagerScheduler::new()),
+                &ChannelSpec::Timed { deadline: 4 },
+                &SchedulerSpec::Eager,
                 &cfg,
                 0,
             )

@@ -97,6 +97,14 @@ impl Sender for ProxySender {
 
     /// # Panics
     ///
+    /// Thread-backed proxies cannot be reset; the threaded harness builds
+    /// fresh workers per run.
+    fn reset(&mut self, _input: &DataSeq) {
+        unreachable!("ProxySender is not resettable")
+    }
+
+    /// # Panics
+    ///
     /// Thread-backed proxies cannot be cloned; the threaded harness never
     /// clones its processors.
     fn box_clone(&self) -> Box<dyn Sender> {
@@ -140,6 +148,13 @@ impl Receiver for ProxyReceiver {
                 ReceiverOutput::idle()
             }
         }
+    }
+
+    /// # Panics
+    ///
+    /// Thread-backed proxies cannot be reset.
+    fn reset(&mut self) {
+        unreachable!("ProxyReceiver is not resettable")
     }
 
     /// # Panics
@@ -224,13 +239,13 @@ pub fn run_threaded(
     let (r_proxy, r_handle) = spawn_receiver(receiver);
     let s_failed = s_proxy.failed.clone();
     let r_failed = r_proxy.failed.clone();
-    let mut world = World::new(
-        input,
-        Box::new(s_proxy),
-        Box::new(r_proxy),
-        channel,
-        scheduler,
-    );
+    let mut world = World::builder(input)
+        .sender(Box::new(s_proxy))
+        .receiver(Box::new(r_proxy))
+        .channel(channel)
+        .scheduler(scheduler)
+        .build()
+        .expect("all components supplied");
     let worker_down = |step: Step| -> Option<SimError> {
         if s_failed.load(Ordering::SeqCst) {
             Some(SimError::WorkerDied {
@@ -322,13 +337,17 @@ mod tests {
             None,
         )
         .expect("workers stay alive");
-        let mut world = World::new(
-            input.clone(),
-            Box::new(TightSender::new(input.clone(), 4, ResendPolicy::EveryTick)),
-            Box::new(TightReceiver::new(4, ResendPolicy::EveryTick)),
-            Box::new(DelChannel::new()),
-            mk_sched(),
-        );
+        let mut world = World::builder(input.clone())
+            .sender(Box::new(TightSender::new(
+                input.clone(),
+                4,
+                ResendPolicy::EveryTick,
+            )))
+            .receiver(Box::new(TightReceiver::new(4, ResendPolicy::EveryTick)))
+            .channel(Box::new(DelChannel::new()))
+            .scheduler(mk_sched())
+            .build()
+            .unwrap();
         world.run_until(20_000, World::is_complete);
         assert_eq!(threaded, world.into_trace());
     }
@@ -394,6 +413,10 @@ mod tests {
 
         fn is_done(&self) -> bool {
             self.inner.is_done()
+        }
+
+        fn reset(&mut self, input: &DataSeq) {
+            self.inner.reset(input);
         }
 
         fn box_clone(&self) -> Box<dyn Sender> {

@@ -181,13 +181,21 @@ mod tests {
         // Walk a faulted tight-del run; at every point past t_1, a
         // fresh-only recovery within a small constant exists.
         let input = seq_n(6);
-        let mut w = World::new(
-            input.clone(),
-            Box::new(TightSender::new(input.clone(), 6, ResendPolicy::EveryTick)),
-            Box::new(TightReceiver::new(6, ResendPolicy::EveryTick)),
-            Box::new(DelChannel::new()),
-            Box::new(FaultInjector::new(Box::new(EagerScheduler::new()), 4, 2)),
-        );
+        let mut w = World::builder(input.clone())
+            .sender(Box::new(TightSender::new(
+                input.clone(),
+                6,
+                ResendPolicy::EveryTick,
+            )))
+            .receiver(Box::new(TightReceiver::new(6, ResendPolicy::EveryTick)))
+            .channel(Box::new(DelChannel::new()))
+            .scheduler(Box::new(FaultInjector::new(
+                Box::new(EagerScheduler::new()),
+                4,
+                2,
+            )))
+            .build()
+            .expect("all components supplied");
         let mut probes = 0;
         while !w.is_complete() && w.step_count() < 100 {
             w.step();
@@ -213,13 +221,17 @@ mod tests {
         // next item (it only arrives with the final DONE commit).
         let n = 12u16;
         let input: DataSeq = DataSeq::from_indices((0..n).map(|i| i % 2));
-        let mut w = World::new(
-            input.clone(),
-            Box::new(HybridSender::new(input.clone(), 2, 3)),
-            Box::new(HybridReceiver::new(2)),
-            Box::new(TimedChannel::new(3)),
-            Box::new(FaultInjector::new(Box::new(EagerScheduler::new()), 3, 1)),
-        );
+        let mut w = World::builder(input.clone())
+            .sender(Box::new(HybridSender::new(input.clone(), 2, 3)))
+            .receiver(Box::new(HybridReceiver::new(2)))
+            .channel(Box::new(TimedChannel::new(3)))
+            .scheduler(Box::new(FaultInjector::new(
+                Box::new(EagerScheduler::new()),
+                3,
+                1,
+            )))
+            .build()
+            .expect("all components supplied");
         // Run until the receiver has buffered some recovered suffix items
         // but written only the first item.
         let entered_recovery = w.run_until(500, |w| w.written() == 1 && w.step_count() > 25);

@@ -166,9 +166,9 @@ pub fn explore_runs(
         let mut next = Vec::new();
         for node in frontier {
             let mut to_r: Vec<Option<stp_core::alphabet::SMsg>> = vec![None];
-            to_r.extend(node.channel.deliverable_to_r().into_iter().map(Some));
+            to_r.extend(node.channel.deliverable_to_r().iter().copied().map(Some));
             let mut to_s: Vec<Option<stp_core::alphabet::RMsg>> = vec![None];
-            to_s.extend(node.channel.deliverable_to_s().into_iter().map(Some));
+            to_s.extend(node.channel.deliverable_to_s().iter().copied().map(Some));
             for &dr in &to_r {
                 for &ds in &to_s {
                     let child = node.advance(dr, ds);

@@ -111,6 +111,11 @@ impl Receiver for MealyReceiver {
         self.apply(idx)
     }
 
+    fn reset(&mut self) {
+        self.state = 0;
+        self.written = 0;
+    }
+
     fn box_clone(&self) -> Box<dyn Receiver> {
         Box::new(self.clone())
     }

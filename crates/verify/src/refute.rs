@@ -123,14 +123,14 @@ impl SingleNode {
     /// policy inlined, so the driver and executor cannot drift apart).
     fn drive(&mut self) {
         let t = self.step;
-        let pick_s = |v: Vec<SMsg>| {
+        let pick_s = |v: &[SMsg]| {
             if v.is_empty() {
                 None
             } else {
                 Some(v[t as usize % v.len()])
             }
         };
-        let pick_r = |v: Vec<RMsg>| {
+        let pick_r = |v: &[RMsg]| {
             if v.is_empty() {
                 None
             } else {
@@ -249,20 +249,22 @@ impl JointNode {
 
     /// Messages deliverable to `R` in *both* runs (mirrorable values).
     fn common_to_r(&self) -> Vec<SMsg> {
-        let a: HashSet<SMsg> = self.chan1.deliverable_to_r().into_iter().collect();
+        let a: HashSet<SMsg> = self.chan1.deliverable_to_r().iter().copied().collect();
         self.chan2
             .deliverable_to_r()
-            .into_iter()
+            .iter()
+            .copied()
             .filter(|m| a.contains(m))
             .collect()
     }
 
     /// Acks deliverable to `S` in both runs.
     fn common_to_s(&self) -> Vec<RMsg> {
-        let a: HashSet<RMsg> = self.chan1.deliverable_to_s().into_iter().collect();
+        let a: HashSet<RMsg> = self.chan1.deliverable_to_s().iter().copied().collect();
         self.chan2
             .deliverable_to_s()
-            .into_iter()
+            .iter()
+            .copied()
             .filter(|m| a.contains(m))
             .collect()
     }
@@ -270,10 +272,10 @@ impl JointNode {
     /// Whether the per-direction deliverable sets agree across the two
     /// runs — the condition under which a mirrored loop is *fair* for both.
     fn deliverables_agree(&self) -> bool {
-        let r1: HashSet<SMsg> = self.chan1.deliverable_to_r().into_iter().collect();
-        let r2: HashSet<SMsg> = self.chan2.deliverable_to_r().into_iter().collect();
-        let s1: HashSet<RMsg> = self.chan1.deliverable_to_s().into_iter().collect();
-        let s2: HashSet<RMsg> = self.chan2.deliverable_to_s().into_iter().collect();
+        let r1: HashSet<SMsg> = self.chan1.deliverable_to_r().iter().copied().collect();
+        let r2: HashSet<SMsg> = self.chan2.deliverable_to_r().iter().copied().collect();
+        let s1: HashSet<RMsg> = self.chan1.deliverable_to_s().iter().copied().collect();
+        let s2: HashSet<RMsg> = self.chan2.deliverable_to_s().iter().copied().collect();
         r1 == r2 && s1 == s2
     }
 
@@ -287,7 +289,7 @@ impl JointNode {
         }
         let mut min = u64::MAX;
         for ch in [&self.chan1, &self.chan2] {
-            for m in ch.deliverable_to_r() {
+            for &m in ch.deliverable_to_r() {
                 // Counting per value: DelChannel reports total pending via
                 // pending counts; approximate per-message by probing clones.
                 let mut probe = ch.clone();
@@ -479,10 +481,10 @@ fn bounded_confusion_stockpile(
     }
     // Values the live run could put in front of R within the budget:
     // fresh sends of its sender plus copies already in flight.
-    let ack_values: Vec<RMsg> = live_chan.deliverable_to_s();
+    let ack_values: Vec<RMsg> = live_chan.deliverable_to_s().to_vec();
     let mut required: HashSet<u16> =
         reachable_send_values(live_sender, &ack_values, budget, pre_init);
-    for m in live_chan.deliverable_to_r() {
+    for &m in live_chan.deliverable_to_r() {
         required.insert(m.0);
     }
     let mut stockpile = u64::MAX;
@@ -695,13 +697,13 @@ pub fn verify_conflict(
         .collect();
     let steps = script.len() as Step;
     let run = |x: &DataSeq| {
-        let mut world = stp_sim::World::new(
-            x.clone(),
-            family.sender_for(x),
-            family.receiver(),
-            make_channel(),
-            Box::new(ScriptedScheduler::new(script.clone())),
-        );
+        let mut world = stp_sim::World::builder(x.clone())
+            .sender(family.sender_for(x))
+            .receiver(family.receiver())
+            .channel(make_channel())
+            .scheduler(Box::new(ScriptedScheduler::new(script.clone())))
+            .build()
+            .expect("all components supplied");
         world.run(steps);
         world.into_trace()
     };

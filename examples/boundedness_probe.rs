@@ -49,17 +49,24 @@ fn main() {
     );
 
     let input: DataSeq = DataSeq::from_indices(0..n as u16);
-    let tight = World::new(
-        input.clone(),
-        Box::new(TightSender::new(
+    let tight = World::builder(input.clone())
+        .sender(Box::new(TightSender::new(
             input.clone(),
             n as u16,
             ResendPolicy::EveryTick,
-        )),
-        Box::new(TightReceiver::new(n as u16, ResendPolicy::EveryTick)),
-        Box::new(DelChannel::new()),
-        Box::new(FaultInjector::new(Box::new(EagerScheduler::new()), 4, 2)),
-    );
+        )))
+        .receiver(Box::new(TightReceiver::new(
+            n as u16,
+            ResendPolicy::EveryTick,
+        )))
+        .channel(Box::new(DelChannel::new()))
+        .scheduler(Box::new(FaultInjector::new(
+            Box::new(EagerScheduler::new()),
+            4,
+            2,
+        )))
+        .build()
+        .expect("all components supplied");
     probe(
         "tight-del (the paper's bounded protocol)",
         tight,
@@ -69,13 +76,17 @@ fn main() {
     );
 
     let input: DataSeq = DataSeq::from_indices((0..n).map(|i| (i % 2) as u16));
-    let hybrid = World::new(
-        input.clone(),
-        Box::new(HybridSender::new(input.clone(), 2, 3)),
-        Box::new(HybridReceiver::new(2)),
-        Box::new(TimedChannel::new(3)),
-        Box::new(FaultInjector::new(Box::new(EagerScheduler::new()), 3, 1)),
-    );
+    let hybrid = World::builder(input.clone())
+        .sender(Box::new(HybridSender::new(input.clone(), 2, 3)))
+        .receiver(Box::new(HybridReceiver::new(2)))
+        .channel(Box::new(TimedChannel::new(3)))
+        .scheduler(Box::new(FaultInjector::new(
+            Box::new(EagerScheduler::new()),
+            3,
+            1,
+        )))
+        .build()
+        .expect("all components supplied");
     probe(
         "hybrid (Section 5: weakly bounded, not bounded)",
         hybrid,

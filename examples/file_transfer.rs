@@ -51,13 +51,13 @@ fn main() {
 
     // --- ABP over lossy FIFO -----------------------------------------
     let input = bytes_to_seq(&payload);
-    let mut abp = World::new(
-        input.clone(),
-        Box::new(AbpSender::new(input.clone(), 256)),
-        Box::new(AbpReceiver::new(256)),
-        Box::new(LossyFifoChannel::new()),
-        Box::new(DropHeavyScheduler::new(11, 0.2, 0.8)),
-    );
+    let mut abp = World::builder(input.clone())
+        .sender(Box::new(AbpSender::new(input.clone(), 256)))
+        .receiver(Box::new(AbpReceiver::new(256)))
+        .channel(Box::new(LossyFifoChannel::new()))
+        .scheduler(Box::new(DropHeavyScheduler::new(11, 0.2, 0.8)))
+        .build()
+        .expect("all components supplied");
     let trace = abp
         .run_to_completion(2_000_000)
         .expect("ABP completes over lossy FIFO");
@@ -70,13 +70,13 @@ fn main() {
     );
 
     // --- Stenning mod 8 over lossy FIFO ------------------------------
-    let mut sten = World::new(
-        input.clone(),
-        Box::new(StenningSender::new(input.clone(), 256, 8)),
-        Box::new(StenningReceiver::new(256, 8)),
-        Box::new(LossyFifoChannel::new()),
-        Box::new(DropHeavyScheduler::new(11, 0.2, 0.8)),
-    );
+    let mut sten = World::builder(input.clone())
+        .sender(Box::new(StenningSender::new(input.clone(), 256, 8)))
+        .receiver(Box::new(StenningReceiver::new(256, 8)))
+        .channel(Box::new(LossyFifoChannel::new()))
+        .scheduler(Box::new(DropHeavyScheduler::new(11, 0.2, 0.8)))
+        .build()
+        .expect("all components supplied");
     let trace = sten
         .run_to_completion(2_000_000)
         .expect("Stenning completes over lossy FIFO");
@@ -94,17 +94,17 @@ fn main() {
     let mut total_sends = 0usize;
     let mut rebuilt = Vec::new();
     for chunk in &chunks {
-        let mut w = World::new(
-            chunk.clone(),
-            Box::new(TightSender::new(
+        let mut w = World::builder(chunk.clone())
+            .sender(Box::new(TightSender::new(
                 chunk.clone(),
                 256,
                 ResendPolicy::EveryTick,
-            )),
-            Box::new(TightReceiver::new(256, ResendPolicy::EveryTick)),
-            Box::new(DelChannel::new()),
-            Box::new(DropHeavyScheduler::new(11, 0.2, 0.8)),
-        );
+            )))
+            .receiver(Box::new(TightReceiver::new(256, ResendPolicy::EveryTick)))
+            .channel(Box::new(DelChannel::new()))
+            .scheduler(Box::new(DropHeavyScheduler::new(11, 0.2, 0.8)))
+            .build()
+            .expect("all components supplied");
         let trace = w
             .run_to_completion(2_000_000)
             .expect("tight-del completes over reorder+delete");

@@ -19,13 +19,17 @@ fn main() {
 
     // A duplicating reordering channel with a storm adversary: stale
     // messages keep arriving, out of order, forever.
-    let mut world = World::new(
-        input.clone(),
-        Box::new(TightSender::new(input.clone(), d, ResendPolicy::Once)),
-        Box::new(TightReceiver::new(d, ResendPolicy::Once)),
-        Box::new(DupChannel::new()),
-        Box::new(DupStormScheduler::new(7, 0.9)),
-    );
+    let mut world = World::builder(input.clone())
+        .sender(Box::new(TightSender::new(
+            input.clone(),
+            d,
+            ResendPolicy::Once,
+        )))
+        .receiver(Box::new(TightReceiver::new(d, ResendPolicy::Once)))
+        .channel(Box::new(DupChannel::new()))
+        .scheduler(Box::new(DupStormScheduler::new(7, 0.9)))
+        .build()
+        .expect("all components supplied");
 
     let trace = world
         .run_to_completion(10_000)

@@ -18,7 +18,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 enum Shape {
     NamedStruct {
         name: String,
-        fields: Vec<String>,
+        fields: Vec<Field>,
     },
     TupleStruct {
         name: String,
@@ -30,11 +30,20 @@ enum Shape {
     },
 }
 
+/// A named field plus the one field attribute the shim honours:
+/// `#[serde(default)]` (a missing key deserializes via `Default::default()`
+/// instead of being fed `Content::Null`).
+#[derive(Debug)]
+struct Field {
+    name: String,
+    default: bool,
+}
+
 #[derive(Debug)]
 enum VariantKind {
     Unit,
     Tuple(usize),
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 #[derive(Debug)]
@@ -101,6 +110,26 @@ fn strip_prefix(tokens: &[TokenTree]) -> &[TokenTree] {
     &tokens[i..]
 }
 
+/// Whether an (un-stripped) field segment carries `#[serde(default)]` —
+/// possibly alongside other serde arguments, which the shim ignores.
+fn has_serde_default(segment: &[TokenTree]) -> bool {
+    segment.windows(2).any(|w| {
+        matches!(&w[0], TokenTree::Punct(p) if p.as_char() == '#')
+            && matches!(&w[1], TokenTree::Group(attr) if {
+                let toks: Vec<TokenTree> = attr.stream().into_iter().collect();
+                matches!(toks.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde")
+                    && matches!(toks.get(1), Some(TokenTree::Group(args)) if {
+                        split_commas(&args.stream().into_iter().collect::<Vec<_>>())
+                            .iter()
+                            .any(|arg| matches!(
+                                (arg.first(), arg.len()),
+                                (Some(TokenTree::Ident(id)), 1) if id.to_string() == "default"
+                            ))
+                    })
+            })
+    })
+}
+
 /// The first identifier of a (stripped) field segment, i.e. the field name.
 fn field_name(segment: &[TokenTree]) -> Option<String> {
     let segment = strip_prefix(segment);
@@ -110,10 +139,15 @@ fn field_name(segment: &[TokenTree]) -> Option<String> {
     }
 }
 
-fn parse_named_fields(group_tokens: &[TokenTree]) -> Vec<String> {
+fn parse_named_fields(group_tokens: &[TokenTree]) -> Vec<Field> {
     split_commas(group_tokens)
         .iter()
-        .filter_map(|seg| field_name(seg))
+        .filter_map(|seg| {
+            field_name(seg).map(|name| Field {
+                name,
+                default: has_serde_default(seg),
+            })
+        })
         .collect()
 }
 
@@ -193,11 +227,21 @@ fn parse_shape(input: TokenStream) -> Result<Shape, String> {
     }
 }
 
-fn field_lookup(field: &str, source: &str) -> String {
-    format!(
-        "::serde::Deserialize::from_content({source}.iter().find(|(k, _)| k == \"{field}\")\
-         .map(|(_, v)| v).unwrap_or(&::serde::Content::Null))?"
-    )
+fn field_lookup(field: &Field, source: &str) -> String {
+    let name = &field.name;
+    if field.default {
+        format!(
+            "match {source}.iter().find(|(k, _)| k == \"{name}\") {{\
+                 Some((_, v)) => ::serde::Deserialize::from_content(v)?,\
+                 None => ::std::default::Default::default(),\
+             }}"
+        )
+    } else {
+        format!(
+            "::serde::Deserialize::from_content({source}.iter().find(|(k, _)| k == \"{name}\")\
+             .map(|(_, v)| v).unwrap_or(&::serde::Content::Null))?"
+        )
+    }
 }
 
 fn emit_serialize(shape: &Shape) -> String {
@@ -206,6 +250,7 @@ fn emit_serialize(shape: &Shape) -> String {
             let entries: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!("(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f}))")
                 })
                 .collect();
@@ -262,10 +307,15 @@ fn emit_serialize(shape: &Shape) -> String {
                             )
                         }
                         VariantKind::Named(fields) => {
-                            let binds = fields.join(", ");
+                            let binds = fields
+                                .iter()
+                                .map(|f| f.name.clone())
+                                .collect::<Vec<_>>()
+                                .join(", ");
                             let entries: Vec<String> = fields
                                 .iter()
                                 .map(|f| {
+                                    let f = &f.name;
                                     format!(
                                         "(\"{f}\".to_string(), ::serde::Serialize::to_content({f}))"
                                     )
@@ -297,7 +347,7 @@ fn emit_deserialize(shape: &Shape) -> String {
         Shape::NamedStruct { name, fields } => {
             let inits: Vec<String> = fields
                 .iter()
-                .map(|f| format!("{f}: {},", field_lookup(f, "entries")))
+                .map(|f| format!("{}: {},", f.name, field_lookup(f, "entries")))
                 .collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
@@ -375,7 +425,7 @@ fn emit_deserialize(shape: &Shape) -> String {
                         VariantKind::Named(fields) => {
                             let inits: Vec<String> = fields
                                 .iter()
-                                .map(|f| format!("{f}: {},", field_lookup(f, "fields")))
+                                .map(|f| format!("{}: {},", f.name, field_lookup(f, "fields")))
                                 .collect();
                             Some(format!(
                                 "\"{vname}\" => match v {{\n\

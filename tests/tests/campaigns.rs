@@ -7,7 +7,7 @@ use proptest::prelude::*;
 use stp_channel::campaign::{
     CampaignScheduler, Direction, FaultAction, FaultClause, FaultPlan, Trigger,
 };
-use stp_channel::{DelChannel, DupChannel, EagerScheduler, Scheduler, ScriptedScheduler};
+use stp_channel::{ChannelSpec, DelChannel, DupChannel, EagerScheduler, Scheduler, SchedulerSpec};
 use stp_core::data::DataSeq;
 use stp_core::event::Step;
 use stp_protocols::{NaiveFamily, ProtocolFamily, ResendPolicy, TightReceiver, TightSender};
@@ -216,13 +216,17 @@ fn campaign_scheduler_reset_supports_world_reuse() {
         FaultClause::new(FaultAction::DeletionBurst { copies: 2 }, Trigger::AtStep(4)).lasting(2),
     );
     let run_once = |sched: Box<dyn Scheduler>| {
-        let mut w = World::new(
-            input.clone(),
-            Box::new(TightSender::new(input.clone(), 3, ResendPolicy::EveryTick)),
-            Box::new(TightReceiver::new(3, ResendPolicy::EveryTick)),
-            Box::new(DelChannel::new()),
-            sched,
-        );
+        let mut w = World::builder(input.clone())
+            .sender(Box::new(TightSender::new(
+                input.clone(),
+                3,
+                ResendPolicy::EveryTick,
+            )))
+            .receiver(Box::new(TightReceiver::new(3, ResendPolicy::EveryTick)))
+            .channel(Box::new(DelChannel::new()))
+            .scheduler(sched)
+            .build()
+            .expect("all components supplied");
         w.run_to_completion(10_000).unwrap()
     };
     let mut campaign = CampaignScheduler::new(Box::new(EagerScheduler::new()), plan);
@@ -230,10 +234,6 @@ fn campaign_scheduler_reset_supports_world_reuse() {
     campaign.reset();
     let second = run_once(Box::new(campaign));
     assert_eq!(first, second, "reset gives a fresh, identical campaign");
-}
-
-fn idle() -> Box<dyn Scheduler> {
-    Box::new(ScriptedScheduler::new(Vec::new()))
 }
 
 fn storm_clause() -> FaultClause {
@@ -260,8 +260,9 @@ proptest! {
         let judge = CampaignJudge {
             family: &fam,
             input: &input,
-            mk_channel: &|| Box::new(DupChannel::new()),
-            mk_inner: &idle,
+            channel: ChannelSpec::Dup,
+            // An idle inner scheduler: all deliveries come from the campaign.
+            inner: SchedulerSpec::idle(),
             max_steps: 400,
         };
         let mut plan = FaultPlan::new(11).with(storm_clause());
@@ -291,8 +292,8 @@ fn witness_json_round_trips_and_replays() {
     let judge = CampaignJudge {
         family: &fam,
         input: &input,
-        mk_channel: &|| Box::new(DupChannel::new()),
-        mk_inner: &idle,
+        channel: ChannelSpec::Dup,
+        inner: SchedulerSpec::idle(),
         max_steps: 400,
     };
     let plan = FaultPlan::new(11)

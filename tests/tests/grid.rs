@@ -3,8 +3,8 @@
 //! across many seeds.
 
 use stp_channel::{
-    Channel, DelChannel, DropHeavyScheduler, DupChannel, DupStormScheduler, EagerScheduler,
-    FifoChannel, LossyFifoChannel, RandomScheduler, ReorderScheduler, Scheduler, TimedChannel,
+    Channel, ChannelSpec, DelChannel, DropHeavyScheduler, DupChannel, EagerScheduler, FifoChannel,
+    LossyFifoChannel, RandomScheduler, SchedulerSpec, TimedChannel,
 };
 use stp_core::data::DataSeq;
 use stp_core::require::{check_complete, check_safety};
@@ -12,34 +12,26 @@ use stp_protocols::{
     AbpReceiver, AbpSender, HybridReceiver, HybridSender, ProtocolFamily, ResendPolicy,
     StenningReceiver, StenningSender, TightFamily,
 };
-use stp_sim::{run_family_member, sweep_family, FamilyRunConfig, World};
+use stp_sim::{run_family_member, sweep_family, SweepSpec, World};
 
 fn seq(v: &[u16]) -> DataSeq {
     DataSeq::from_indices(v.iter().copied())
 }
 
 #[test]
-#[allow(clippy::type_complexity)]
 fn tight_dup_grid_all_sequences_all_adversaries() {
     let family = TightFamily::new(3, ResendPolicy::Once);
-    let cfg = FamilyRunConfig {
-        max_steps: 10_000,
-        seeds: (0..5).collect(),
-    };
-    let adversaries: Vec<(&str, Box<dyn Fn(u64) -> Box<dyn Scheduler>>)> = vec![
-        ("eager", Box::new(|_| Box::new(EagerScheduler::new()))),
-        (
-            "storm",
-            Box::new(|s| Box::new(DupStormScheduler::new(s, 0.8))),
-        ),
-        ("reorder", Box::new(|_| Box::new(ReorderScheduler::new()))),
-        (
-            "random",
-            Box::new(|s| Box::new(RandomScheduler::new(s, 0.6))),
-        ),
+    let adversaries = [
+        ("eager", SchedulerSpec::Eager),
+        ("storm", SchedulerSpec::DupStorm { p_deliver: 0.8 }),
+        ("reorder", SchedulerSpec::Reorder),
+        ("random", SchedulerSpec::Random { p_deliver: 0.6 }),
     ];
-    for (name, mk) in adversaries {
-        let out = sweep_family(&family, &cfg, || Box::new(DupChannel::new()), |s| mk(s));
+    for (name, sched) in adversaries {
+        let spec = SweepSpec::new(ChannelSpec::Dup, sched)
+            .max_steps(10_000)
+            .seeds(0..5);
+        let out = sweep_family(&family, &spec);
         assert!(out.all_complete(), "adversary {name}: {:?}", out.failures);
     }
 }
@@ -48,16 +40,16 @@ fn tight_dup_grid_all_sequences_all_adversaries() {
 fn tight_del_grid_all_sequences_drop_rates() {
     let family = TightFamily::new(2, ResendPolicy::EveryTick);
     for p_drop in [0.1, 0.3, 0.5] {
-        let cfg = FamilyRunConfig {
-            max_steps: 50_000,
-            seeds: (0..5).collect(),
-        };
-        let out = sweep_family(
-            &family,
-            &cfg,
-            || Box::new(DelChannel::new()),
-            |s| Box::new(DropHeavyScheduler::new(s, p_drop, 0.6)),
-        );
+        let spec = SweepSpec::new(
+            ChannelSpec::Del,
+            SchedulerSpec::DropHeavy {
+                p_drop,
+                p_deliver: 0.6,
+            },
+        )
+        .max_steps(50_000)
+        .seeds(0..5);
+        let out = sweep_family(&family, &spec);
         assert!(out.all_complete(), "p_drop={p_drop}: {:?}", out.failures);
     }
 }
@@ -66,13 +58,13 @@ fn tight_del_grid_all_sequences_drop_rates() {
 fn abp_over_lossy_fifo_many_seeds() {
     let input = seq(&[1, 1, 0, 1, 0, 0, 1, 1]);
     for s in 0..10 {
-        let mut w = World::new(
-            input.clone(),
-            Box::new(AbpSender::new(input.clone(), 2)),
-            Box::new(AbpReceiver::new(2)),
-            Box::new(LossyFifoChannel::new()),
-            Box::new(DropHeavyScheduler::new(s, 0.3, 0.7)),
-        );
+        let mut w = World::builder(input.clone())
+            .sender(Box::new(AbpSender::new(input.clone(), 2)))
+            .receiver(Box::new(AbpReceiver::new(2)))
+            .channel(Box::new(LossyFifoChannel::new()))
+            .scheduler(Box::new(DropHeavyScheduler::new(s, 0.3, 0.7)))
+            .build()
+            .expect("all components supplied");
         let t = w.run_to_completion(200_000).unwrap();
         assert_eq!(t.output(), input, "seed {s}");
     }
@@ -81,13 +73,13 @@ fn abp_over_lossy_fifo_many_seeds() {
 #[test]
 fn abp_over_reliable_fifo_is_cheap() {
     let input = seq(&[0, 1, 0, 1]);
-    let mut w = World::new(
-        input.clone(),
-        Box::new(AbpSender::new(input.clone(), 2)),
-        Box::new(AbpReceiver::new(2)),
-        Box::new(FifoChannel::new()),
-        Box::new(EagerScheduler::new()),
-    );
+    let mut w = World::builder(input.clone())
+        .sender(Box::new(AbpSender::new(input.clone(), 2)))
+        .receiver(Box::new(AbpReceiver::new(2)))
+        .channel(Box::new(FifoChannel::new()))
+        .scheduler(Box::new(EagerScheduler::new()))
+        .build()
+        .expect("all components supplied");
     let t = w.run_to_completion(1_000).unwrap();
     // Stop-and-wait on a prompt reliable link: ~2 steps per item.
     assert!(t.steps() <= 4 * input.len() as u64 + 4, "{}", t.steps());
@@ -98,13 +90,13 @@ fn stenning_over_lossy_fifo_various_moduli() {
     let input = seq(&[1, 0, 0, 1, 1, 0]);
     for modulus in [2u16, 3, 4, 8] {
         for s in 0..5 {
-            let mut w = World::new(
-                input.clone(),
-                Box::new(StenningSender::new(input.clone(), 2, modulus)),
-                Box::new(StenningReceiver::new(2, modulus)),
-                Box::new(LossyFifoChannel::new()),
-                Box::new(DropHeavyScheduler::new(s, 0.25, 0.7)),
-            );
+            let mut w = World::builder(input.clone())
+                .sender(Box::new(StenningSender::new(input.clone(), 2, modulus)))
+                .receiver(Box::new(StenningReceiver::new(2, modulus)))
+                .channel(Box::new(LossyFifoChannel::new()))
+                .scheduler(Box::new(DropHeavyScheduler::new(s, 0.25, 0.7)))
+                .build()
+                .expect("all components supplied");
             let t = w.run_to_completion(200_000).unwrap();
             assert_eq!(t.output(), input, "modulus {modulus} seed {s}");
         }
@@ -114,13 +106,13 @@ fn stenning_over_lossy_fifo_various_moduli() {
 #[test]
 fn hybrid_over_timed_channel_faultless() {
     let input = seq(&[1, 0, 1, 1, 0, 0]);
-    let mut w = World::new(
-        input.clone(),
-        Box::new(HybridSender::new(input.clone(), 2, 3)),
-        Box::new(HybridReceiver::new(2)),
-        Box::new(TimedChannel::new(3)),
-        Box::new(EagerScheduler::new()),
-    );
+    let mut w = World::builder(input.clone())
+        .sender(Box::new(HybridSender::new(input.clone(), 2, 3)))
+        .receiver(Box::new(HybridReceiver::new(2)))
+        .channel(Box::new(TimedChannel::new(3)))
+        .scheduler(Box::new(EagerScheduler::new()))
+        .build()
+        .expect("all components supplied");
     let t = w.run_to_completion(10_000).unwrap();
     assert_eq!(t.output(), input);
 }

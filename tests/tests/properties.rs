@@ -26,13 +26,13 @@ proptest! {
         x in rep_free_seq(5),
         seed in 0u64..1_000,
     ) {
-        let mut w = World::new(
-            x.clone(),
-            Box::new(TightSender::new(x.clone(), 5, ResendPolicy::Once)),
-            Box::new(TightReceiver::new(5, ResendPolicy::Once)),
-            Box::new(DupChannel::new()),
-            Box::new(DupStormScheduler::new(seed, 0.85)),
-        );
+        let mut w = World::builder(x.clone())
+            .sender(Box::new(TightSender::new(x.clone(), 5, ResendPolicy::Once)))
+            .receiver(Box::new(TightReceiver::new(5, ResendPolicy::Once)))
+            .channel(Box::new(DupChannel::new()))
+            .scheduler(Box::new(DupStormScheduler::new(seed, 0.85)))
+            .build()
+            .expect("all components supplied");
         let t = w.run_to_completion(30_000).expect("completes");
         prop_assert_eq!(t.output(), x);
     }
@@ -43,13 +43,13 @@ proptest! {
         x in rep_free_seq(4),
         seed in 0u64..1_000,
     ) {
-        let mut w = World::new(
-            x.clone(),
-            Box::new(TightSender::new(x.clone(), 4, ResendPolicy::EveryTick)),
-            Box::new(TightReceiver::new(4, ResendPolicy::EveryTick)),
-            Box::new(DelChannel::new()),
-            Box::new(DropHeavyScheduler::new(seed, 0.35, 0.55)),
-        );
+        let mut w = World::builder(x.clone())
+            .sender(Box::new(TightSender::new(x.clone(), 4, ResendPolicy::EveryTick)))
+            .receiver(Box::new(TightReceiver::new(4, ResendPolicy::EveryTick)))
+            .channel(Box::new(DelChannel::new()))
+            .scheduler(Box::new(DropHeavyScheduler::new(seed, 0.35, 0.55)))
+            .build()
+            .expect("all components supplied");
         let t = w.run_to_completion(60_000).expect("completes");
         prop_assert_eq!(t.output(), x);
     }
@@ -62,13 +62,13 @@ proptest! {
         p in 0.0f64..1.0,
         steps in 1u64..400,
     ) {
-        let mut w = World::new(
-            x.clone(),
-            Box::new(TightSender::new(x.clone(), 4, ResendPolicy::Once)),
-            Box::new(TightReceiver::new(4, ResendPolicy::Once)),
-            Box::new(DupChannel::new()),
-            Box::new(RandomScheduler::new(seed, p)),
-        );
+        let mut w = World::builder(x.clone())
+            .sender(Box::new(TightSender::new(x.clone(), 4, ResendPolicy::Once)))
+            .receiver(Box::new(TightReceiver::new(4, ResendPolicy::Once)))
+            .channel(Box::new(DupChannel::new()))
+            .scheduler(Box::new(RandomScheduler::new(seed, p)))
+            .build()
+            .expect("all components supplied");
         w.run(steps);
         prop_assert!(check_safety(w.trace()).is_ok());
         // Output is always a prefix of the input.
@@ -83,13 +83,13 @@ proptest! {
         seed in 0u64..200,
     ) {
         let run = |seed| {
-            let mut w = World::new(
-                x.clone(),
-                Box::new(TightSender::new(x.clone(), 4, ResendPolicy::EveryTick)),
-                Box::new(TightReceiver::new(4, ResendPolicy::EveryTick)),
-                Box::new(DelChannel::new()),
-                Box::new(DropHeavyScheduler::new(seed, 0.2, 0.7)),
-            );
+            let mut w = World::builder(x.clone())
+                .sender(Box::new(TightSender::new(x.clone(), 4, ResendPolicy::EveryTick)))
+                .receiver(Box::new(TightReceiver::new(4, ResendPolicy::EveryTick)))
+                .channel(Box::new(DelChannel::new()))
+                .scheduler(Box::new(DropHeavyScheduler::new(seed, 0.2, 0.7)))
+                .build()
+                .expect("all components supplied");
             w.run(300).clone()
         };
         let a = run(seed);
@@ -119,13 +119,13 @@ proptest! {
         x in rep_free_seq(4),
         seed in 0u64..100,
     ) {
-        let mut w = World::new(
-            x.clone(),
-            Box::new(TightSender::new(x.clone(), 4, ResendPolicy::Once)),
-            Box::new(TightReceiver::new(4, ResendPolicy::Once)),
-            Box::new(DupChannel::new()),
-            Box::new(RandomScheduler::new(seed, 0.6)),
-        );
+        let mut w = World::builder(x.clone())
+            .sender(Box::new(TightSender::new(x.clone(), 4, ResendPolicy::Once)))
+            .receiver(Box::new(TightReceiver::new(4, ResendPolicy::Once)))
+            .channel(Box::new(DupChannel::new()))
+            .scheduler(Box::new(RandomScheduler::new(seed, 0.6)))
+            .build()
+            .expect("all components supplied");
         w.run(120);
         let t = w.trace();
         let mut prev = DataSeq::new();
@@ -143,13 +143,17 @@ fn random_item_sequences_with_repetitions_break_the_once_tight_pair() {
     // Deterministic negative control for the property suite: a repetition
     // makes the tight pair lose an item (that is Theorem 1's point).
     let x = DataSeq::from(vec![DataItem(1), DataItem(1)]);
-    let mut w = World::new(
-        x.clone(),
-        Box::new(stp_protocols::NaiveSender::new(x, 2, ResendPolicy::Once)),
-        Box::new(TightReceiver::new(2, ResendPolicy::Once)),
-        Box::new(DupChannel::new()),
-        Box::new(stp_channel::EagerScheduler::new()),
-    );
+    let mut w = World::builder(x.clone())
+        .sender(Box::new(stp_protocols::NaiveSender::new(
+            x,
+            2,
+            ResendPolicy::Once,
+        )))
+        .receiver(Box::new(TightReceiver::new(2, ResendPolicy::Once)))
+        .channel(Box::new(DupChannel::new()))
+        .scheduler(Box::new(stp_channel::EagerScheduler::new()))
+        .build()
+        .expect("all components supplied");
     w.run(500);
     assert!(check_safety(w.trace()).is_ok(), "still safe");
     assert!(w.trace().output().len() < 2, "but never complete");

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 use stp_channel::{
-    DelChannel, DupChannel, DupStormScheduler, EagerScheduler, TargetedScheduler, TimedChannel,
+    ChannelSpec, DelChannel, EagerScheduler, SchedulerSpec, TargetedScheduler, TimedChannel,
 };
 use stp_core::data::DataSeq;
 use stp_core::event::Trace;
@@ -11,7 +11,7 @@ use stp_core::require::check_safety;
 use stp_protocols::{
     HybridReceiver, HybridSender, ProbabilisticFamily, ResendPolicy, TightReceiver, TightSender,
 };
-use stp_sim::{replay, sweep_family_parallel, FamilyRunConfig, FaultInjector, World};
+use stp_sim::{replay, sweep_family_parallel, FaultInjector, SweepSpec, World};
 
 fn seq(v: &[u16]) -> DataSeq {
     DataSeq::from_indices(v.iter().copied())
@@ -24,13 +24,17 @@ fn tight_del_survives_the_targeted_adversary() {
     // Retransmission still wins.
     let input = seq(&[0, 3, 1, 2]);
     for s in 0..10 {
-        let mut w = World::new(
-            input.clone(),
-            Box::new(TightSender::new(input.clone(), 4, ResendPolicy::EveryTick)),
-            Box::new(TightReceiver::new(4, ResendPolicy::EveryTick)),
-            Box::new(DelChannel::new()),
-            Box::new(TargetedScheduler::new(s, 0.5, 0.6)),
-        );
+        let mut w = World::builder(input.clone())
+            .sender(Box::new(TightSender::new(
+                input.clone(),
+                4,
+                ResendPolicy::EveryTick,
+            )))
+            .receiver(Box::new(TightReceiver::new(4, ResendPolicy::EveryTick)))
+            .channel(Box::new(DelChannel::new()))
+            .scheduler(Box::new(TargetedScheduler::new(s, 0.5, 0.6)))
+            .build()
+            .expect("all components supplied");
         let t = w.run_to_completion(100_000).unwrap();
         assert_eq!(t.output(), input, "seed {s}");
     }
@@ -44,17 +48,11 @@ fn parallel_sweep_handles_probabilistic_families() {
         .map(|s| ProbabilisticFamily::new(2, 2, 6, s))
         .find(|f| f.colliding_members() == 0)
         .expect("collision-free seed exists");
-    let cfg = FamilyRunConfig {
-        max_steps: 5_000,
-        seeds: vec![0, 1],
-    };
-    let out = sweep_family_parallel(
-        &family,
-        &cfg,
-        || Box::new(DupChannel::new()),
-        |s| Box::new(DupStormScheduler::new(s, 0.9)),
-        4,
-    );
+    let spec = SweepSpec::new(ChannelSpec::Dup, SchedulerSpec::DupStorm { p_deliver: 0.9 })
+        .max_steps(5_000)
+        .seeds([0, 1])
+        .threads(4);
+    let out = sweep_family_parallel(&family, &spec);
     assert!(out.all_complete(), "{:?}", out.failures);
 }
 
@@ -64,17 +62,17 @@ fn hybrid_completes_for_every_fault_step() {
     // recovers and delivers the full input.
     let input = seq(&[1, 0, 0, 1, 1]);
     for fault_at in 0..30 {
-        let mut w = World::new(
-            input.clone(),
-            Box::new(HybridSender::new(input.clone(), 2, 3)),
-            Box::new(HybridReceiver::new(2)),
-            Box::new(TimedChannel::new(3)),
-            Box::new(FaultInjector::new(
+        let mut w = World::builder(input.clone())
+            .sender(Box::new(HybridSender::new(input.clone(), 2, 3)))
+            .receiver(Box::new(HybridReceiver::new(2)))
+            .channel(Box::new(TimedChannel::new(3)))
+            .scheduler(Box::new(FaultInjector::new(
                 Box::new(EagerScheduler::new()),
                 fault_at,
                 1,
-            )),
-        );
+            )))
+            .build()
+            .expect("all components supplied");
         let t = w
             .run_to_completion(10_000)
             .unwrap_or_else(|e| panic!("fault at {fault_at}: {e}"));
@@ -98,13 +96,17 @@ fn replayed_faulty_runs_are_bit_identical_across_channel_types() {
     let input = seq(&[1, 2, 0]);
     let mk_sender = || Box::new(TightSender::new(input.clone(), 3, ResendPolicy::EveryTick));
     let mk_receiver = || Box::new(TightReceiver::new(3, ResendPolicy::EveryTick));
-    let mut w = World::new(
-        input.clone(),
-        mk_sender(),
-        mk_receiver(),
-        Box::new(DelChannel::new()),
-        Box::new(FaultInjector::new(Box::new(EagerScheduler::new()), 3, 2)),
-    );
+    let mut w = World::builder(input.clone())
+        .sender(mk_sender())
+        .receiver(mk_receiver())
+        .channel(Box::new(DelChannel::new()))
+        .scheduler(Box::new(FaultInjector::new(
+            Box::new(EagerScheduler::new()),
+            3,
+            2,
+        )))
+        .build()
+        .expect("all components supplied");
     w.run_until(10_000, World::is_complete);
     let original = w.into_trace();
     let replayed = replay(
@@ -127,13 +129,13 @@ proptest! {
         fault_at in 0u64..60,
     ) {
         let input = DataSeq::from_indices(bits);
-        let mut w = World::new(
-            input.clone(),
-            Box::new(HybridSender::new(input.clone(), 2, 3)),
-            Box::new(HybridReceiver::new(2)),
-            Box::new(TimedChannel::new(3)),
-            Box::new(FaultInjector::new(Box::new(EagerScheduler::new()), fault_at, 1)),
-        );
+        let mut w = World::builder(input.clone())
+            .sender(Box::new(HybridSender::new(input.clone(), 2, 3)))
+            .receiver(Box::new(HybridReceiver::new(2)))
+            .channel(Box::new(TimedChannel::new(3)))
+            .scheduler(Box::new(FaultInjector::new(Box::new(EagerScheduler::new()), fault_at, 1)))
+            .build()
+            .expect("all components supplied");
         w.run(600);
         prop_assert!(check_safety(w.trace()).is_ok());
         prop_assert!(w.trace().output().is_prefix_of(&input));
@@ -146,13 +148,13 @@ proptest! {
         fault_at in 0u64..40,
     ) {
         let input = DataSeq::from_indices(bits);
-        let mut w = World::new(
-            input.clone(),
-            Box::new(HybridSender::new(input.clone(), 2, 3)),
-            Box::new(HybridReceiver::new(2)),
-            Box::new(TimedChannel::new(3)),
-            Box::new(FaultInjector::new(Box::new(EagerScheduler::new()), fault_at, 1)),
-        );
+        let mut w = World::builder(input.clone())
+            .sender(Box::new(HybridSender::new(input.clone(), 2, 3)))
+            .receiver(Box::new(HybridReceiver::new(2)))
+            .channel(Box::new(TimedChannel::new(3)))
+            .scheduler(Box::new(FaultInjector::new(Box::new(EagerScheduler::new()), fault_at, 1)))
+            .build()
+            .expect("all components supplied");
         let done = w.run_until(5_000, World::is_complete);
         prop_assert!(done, "fault at {fault_at} on {input}");
         prop_assert_eq!(w.trace().output(), input);
@@ -166,13 +168,13 @@ proptest! {
         p in 0.0f64..1.0,
     ) {
         let input = DataSeq::from_indices(x);
-        let mut w = World::new(
-            input.clone(),
-            Box::new(TightSender::new(input.clone(), 4, ResendPolicy::EveryTick)),
-            Box::new(TightReceiver::new(4, ResendPolicy::EveryTick)),
-            Box::new(DelChannel::new()),
-            Box::new(TargetedScheduler::new(seed, p, 0.5)),
-        );
+        let mut w = World::builder(input.clone())
+            .sender(Box::new(TightSender::new(input.clone(), 4, ResendPolicy::EveryTick)))
+            .receiver(Box::new(TightReceiver::new(4, ResendPolicy::EveryTick)))
+            .channel(Box::new(DelChannel::new()))
+            .scheduler(Box::new(TargetedScheduler::new(seed, p, 0.5)))
+            .build()
+            .expect("all components supplied");
         w.run(400);
         prop_assert!(check_safety(w.trace()).is_ok());
     }

@@ -1,13 +1,13 @@
 //! The paper's theorems, end to end: achievability sweeps meet the
 //! impossibility engine, with capacity arithmetic as the referee.
 
-use stp_channel::{DelChannel, DropHeavyScheduler, DupChannel, DupStormScheduler};
+use stp_channel::{ChannelSpec, DelChannel, DupChannel, SchedulerSpec};
 use stp_core::alpha::alpha;
 use stp_core::alphabet::Alphabet;
 use stp_core::encoding::Encoding;
 use stp_core::sequence::SequenceFamily;
 use stp_protocols::{NaiveFamily, ProtocolFamily, ResendPolicy, TightFamily};
-use stp_sim::{sweep_family, FamilyRunConfig};
+use stp_sim::{sweep_family, SweepSpec};
 use stp_verify::refute::{find_conflict_with_budget, find_indistinguishable_conflict};
 use stp_verify::{encoding_capacity, exhaustive_prefix_closed_check, find_fair_cycle};
 
@@ -21,16 +21,10 @@ fn theorem1_achievability_alpha_m_sequences_transmit() {
             family.claimed_family().len() as u128,
             alpha(m as u32).unwrap()
         );
-        let cfg = FamilyRunConfig {
-            max_steps: 20_000,
-            seeds: vec![0, 1],
-        };
-        let out = sweep_family(
-            &family,
-            &cfg,
-            || Box::new(DupChannel::new()),
-            |s| Box::new(DupStormScheduler::new(s, 0.9)),
-        );
+        let spec = SweepSpec::new(ChannelSpec::Dup, SchedulerSpec::DupStorm { p_deliver: 0.9 })
+            .max_steps(20_000)
+            .seeds([0, 1]);
+        let out = sweep_family(&family, &spec);
         assert!(out.all_complete(), "m={m}: {:?}", out.failures);
     }
 }
@@ -73,16 +67,16 @@ fn theorem1_tightness_no_certificate_at_capacity() {
 fn theorem2_achievability_bounded_del_protocol() {
     for m in 1..=3u16 {
         let family = TightFamily::new(m, ResendPolicy::EveryTick);
-        let cfg = FamilyRunConfig {
-            max_steps: 50_000,
-            seeds: vec![0, 1, 2],
-        };
-        let out = sweep_family(
-            &family,
-            &cfg,
-            || Box::new(DelChannel::new()),
-            |s| Box::new(DropHeavyScheduler::new(s, 0.3, 0.6)),
-        );
+        let spec = SweepSpec::new(
+            ChannelSpec::Del,
+            SchedulerSpec::DropHeavy {
+                p_drop: 0.3,
+                p_deliver: 0.6,
+            },
+        )
+        .max_steps(50_000)
+        .seeds([0, 1, 2]);
+        let out = sweep_family(&family, &spec);
         assert!(out.all_complete(), "m={m}: {:?}", out.failures);
     }
 }
