@@ -94,6 +94,9 @@ struct SweepBenchReport {
     engine_secs: f64,
     engine_runs_per_sec: f64,
     speedup: f64,
+    probed_secs: f64,
+    probed_runs_per_sec: f64,
+    probe_overhead: f64,
 }
 
 fn main() {
@@ -114,22 +117,29 @@ fn main() {
         spec = spec.also_scheduler(sched.clone());
     }
     let engine = SweepEngine::new(spec.clone().trace_mode(TraceMode::Off));
+    let probed_engine = SweepEngine::new(spec.clone().trace_mode(TraceMode::Off).probe(true));
     let runs_per_sweep = spec.grid_size(&family);
     let reps = 40usize;
 
-    // Warm-up and sanity: both sides agree on completion.
+    // Warm-up and sanity: all sides agree on completion, and the probed
+    // lane's runs are bit-identical to the bare engine's (same stats,
+    // collected streamingly instead of from counters).
     let pooled = engine.run(&family);
     assert_eq!(pooled.len(), runs_per_sweep);
     assert!(pooled.all_complete());
+    let probed = probed_engine.run(&family);
+    assert_eq!(probed.runs, pooled.runs, "probes must not perturb results");
+    assert_eq!(probed.report, pooled.report);
     for s in 0..spec.schedulers.len() {
         let legacy = legacy_sweep_family_parallel(&family, &spec, s, threads);
         assert!(legacy.iter().all(|r| r.stats.is_complete()));
     }
 
-    // Interleave the two sides rep by rep so slow clock / thermal drift
-    // lands on both equally instead of biasing whichever ran second.
+    // Interleave the three lanes rep by rep so slow clock / thermal drift
+    // lands on all equally instead of biasing whichever ran last.
     let mut legacy_secs = 0.0;
     let mut engine_secs = 0.0;
+    let mut probed_secs = 0.0;
     for _ in 0..reps {
         let t = Instant::now();
         let mut total = 0;
@@ -143,9 +153,15 @@ fn main() {
         let out = engine.run(&family);
         engine_secs += t.elapsed().as_secs_f64();
         assert_eq!(out.len(), runs_per_sweep);
+
+        let t = Instant::now();
+        let out = probed_engine.run(&family);
+        probed_secs += t.elapsed().as_secs_f64();
+        assert_eq!(out.len(), runs_per_sweep);
     }
 
     let total_runs = (runs_per_sweep * reps) as f64;
+    let probe_overhead = probed_secs / engine_secs - 1.0;
     let report = SweepBenchReport {
         grid: format!("E1: tight-dup m={m} x {{dup-storm, reorder-max, random-0.5}} x 8 seeds"),
         runs_per_sweep,
@@ -156,8 +172,12 @@ fn main() {
         engine_secs,
         engine_runs_per_sec: total_runs / engine_secs,
         speedup: legacy_secs / engine_secs,
+        probed_secs,
+        probed_runs_per_sec: total_runs / probed_secs,
+        probe_overhead,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_sweep.json", &json).expect("BENCH_sweep.json written");
     println!("{json}");
+    stp_bench::telemetry::export_summary("bench_sweep", 1, probe_overhead <= 0.10);
 }

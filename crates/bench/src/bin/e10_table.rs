@@ -7,4 +7,9 @@ fn main() {
         "{}",
         serde_json::to_string_pretty(&rows).expect("serializable")
     );
+    // The headline claim is a separation: some protocol is bounded at
+    // every probed point, some other is not.
+    let ok = rows.iter().any(|r| r.bounded_points == r.points)
+        && rows.iter().any(|r| r.bounded_points < r.points);
+    stp_bench::telemetry::export_summary("e10", rows.len(), ok);
 }

@@ -7,4 +7,6 @@ fn main() {
         "{}",
         serde_json::to_string_pretty(&rows).expect("serializable")
     );
+    let ok = rows.iter().all(|r| r.complete == r.runs);
+    stp_bench::telemetry::export_summary("e1", rows.len(), ok);
 }

@@ -9,4 +9,6 @@ fn main() {
         "{}",
         serde_json::to_string_pretty(&rows).expect("serializable")
     );
+    let ok = rows.iter().all(|r| r.tight_refuted);
+    stp_bench::telemetry::export_summary("e2", rows.len(), ok);
 }

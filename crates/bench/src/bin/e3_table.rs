@@ -10,4 +10,6 @@ fn main() {
         "{}",
         serde_json::to_string_pretty(&r).expect("serializable")
     );
+    let ok = c.iter().all(|row| row.complete == row.runs);
+    stp_bench::telemetry::export_summary("e3", c.len() + r.len(), ok);
 }

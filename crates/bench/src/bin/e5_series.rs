@@ -7,4 +7,6 @@ fn main() {
         "{}",
         serde_json::to_string_pretty(&rows).expect("serializable")
     );
+    let ok = rows.iter().all(|r| r.recovery_steps > 0);
+    stp_bench::telemetry::export_summary("e5", rows.len(), ok);
 }

@@ -3,4 +3,8 @@ fn main() {
     let rows = stp_bench::e6::run(25, 7);
     println!("E6 — the alpha function: values, enumeration cross-check, convergence to e");
     println!("{}", stp_bench::e6::render(&rows));
+    let ok = rows
+        .iter()
+        .all(|r| r.enumerated.is_none_or(|n| n == r.alpha));
+    stp_bench::telemetry::export_summary("e6", rows.len(), ok);
 }

@@ -7,4 +7,11 @@ fn main() {
         "{}",
         serde_json::to_string_pretty(&rows).expect("serializable")
     );
+    // The grid deliberately includes a dishonest cell (ABP on a reorder
+    // channel), so "ok" here means every *honest* placement stayed safe.
+    let ok = rows
+        .iter()
+        .filter(|r| !(r.protocol == "abp" && r.channel == "reorder+dup"))
+        .all(|r| r.safe);
+    stp_bench::telemetry::export_summary("e7", rows.len(), ok);
 }

@@ -12,4 +12,6 @@ fn main() {
         "knowledge hierarchy over {} runs: mean t[K_R(x1)] = {:.2}, mean t[K_S K_R(x1)] = {:.2} (ack trip = {:.2} steps)",
         h.runs_measured, h.mean_t_kr, h.mean_t_kskr, h.mean_gap
     );
+    let ok = rows.iter().all(|r| r.fully_learnt == r.runs) && h.mean_gap > 0.0;
+    stp_bench::telemetry::export_summary("e8", rows.len(), ok);
 }

@@ -7,4 +7,6 @@ fn main() {
         "{}",
         serde_json::to_string_pretty(&rows).expect("serializable")
     );
+    let ok = rows.iter().all(|r| r.claimed as u128 > r.alpha);
+    stp_bench::telemetry::export_summary("e9", rows.len(), ok);
 }

@@ -1,34 +1,57 @@
 //! Runs every experiment and prints every table — the one-shot
 //! reproduction driver behind EXPERIMENTS.md.
+//!
+//! With `STP_TELEMETRY` set, every experiment additionally appends its
+//! JSONL telemetry (per-run records and sweep reports where a harness
+//! sweeps, one `{"summary": …}` digest per experiment always) to the
+//! shared sink; the printed tables are unaffected.
+
+use stp_bench::telemetry::export_summary;
+
 fn main() {
     println!("E1 — tight protocol over reorder+duplicate channels");
-    println!("{}", stp_bench::e1::render(&stp_bench::e1::run(5, 3)));
+    let e1 = stp_bench::e1::run(5, 3);
+    println!("{}", stp_bench::e1::render(&e1));
+    export_summary("e1", e1.len(), e1.iter().all(|r| r.complete == r.runs));
     println!("E2 — Theorem 1 impossibility");
-    println!("{}", stp_bench::e2::render(&stp_bench::e2::run(3)));
+    let e2 = stp_bench::e2::run(3);
+    println!("{}", stp_bench::e2::render(&e2));
+    export_summary("e2", e2.len(), e2.iter().all(|r| r.tight_refuted));
     println!("E3a — tight-del completeness");
-    println!(
-        "{}",
-        stp_bench::e3::render_completeness(&stp_bench::e3::run_completeness(4, 3))
-    );
+    let e3a = stp_bench::e3::run_completeness(4, 3);
+    println!("{}", stp_bench::e3::render_completeness(&e3a));
     println!("E3b — bounded recovery profile");
-    println!(
-        "{}",
-        stp_bench::e3::render_recovery(&stp_bench::e3::run_recovery(8))
+    let e3b = stp_bench::e3::run_recovery(8);
+    println!("{}", stp_bench::e3::render_recovery(&e3b));
+    export_summary(
+        "e3",
+        e3a.len() + e3b.len(),
+        e3a.iter().all(|r| r.complete == r.runs),
     );
     println!("E4 — Theorem 2 impossibility");
-    println!(
-        "{}",
-        stp_bench::e4::render(&stp_bench::e4::run(&[2, 4, 6, 8]))
-    );
+    let e4 = stp_bench::e4::run(&[2, 4, 6, 8]);
+    println!("{}", stp_bench::e4::render(&e4));
+    export_summary("e4", e4.len(), e4.iter().all(|r| r.refuted));
     println!("E5 — weak boundedness (recovery vs |X|)");
-    println!(
-        "{}",
-        stp_bench::e5::render(&stp_bench::e5::run(&[4, 8, 16, 32, 64]))
-    );
+    let e5 = stp_bench::e5::run(&[4, 8, 16, 32, 64]);
+    println!("{}", stp_bench::e5::render(&e5));
+    export_summary("e5", e5.len(), e5.iter().all(|r| r.recovery_steps > 0));
     println!("E6 — the alpha function");
-    println!("{}", stp_bench::e6::render(&stp_bench::e6::run(25, 7)));
+    let e6 = stp_bench::e6::run(25, 7);
+    println!("{}", stp_bench::e6::render(&e6));
+    export_summary(
+        "e6",
+        e6.len(),
+        e6.iter().all(|r| r.enumerated.is_none_or(|n| n == r.alpha)),
+    );
     println!("E7 — protocol cost grid");
-    println!("{}", stp_bench::e7::render(&stp_bench::e7::run(42)));
+    let e7 = stp_bench::e7::run(42);
+    println!("{}", stp_bench::e7::render(&e7));
+    let e7_ok = e7
+        .iter()
+        .filter(|r| !(r.protocol == "abp" && r.channel == "reorder+dup"))
+        .all(|r| r.safe);
+    export_summary("e7", e7.len(), e7_ok);
     println!("E8 — knowledge analysis (exact universe, m = 2)");
     let (rows, classes) = stp_bench::e8::run(2, 6);
     println!("{}", stp_bench::e8::render(&rows));
@@ -37,29 +60,39 @@ fn main() {
         classes.classes_per_step
     );
     println!();
+    export_summary(
+        "e8",
+        rows.len(),
+        rows.iter().all(|r| r.fully_learnt == r.runs),
+    );
     println!("E9 — probabilistic codebooks beyond alpha(m)");
-    println!(
-        "{}",
-        stp_bench::e9::render(&stp_bench::e9::run(2, 3, &[4, 5, 6, 7], 8))
+    let e9 = stp_bench::e9::run(2, 3, &[4, 5, 6, 7], 8);
+    println!("{}", stp_bench::e9::render(&e9));
+    export_summary(
+        "e9",
+        e9.len(),
+        e9.iter().all(|r| r.claimed as u128 > r.alpha),
     );
     println!("E10 — boundedness probe (Definition 2)");
-    println!(
-        "{}",
-        stp_bench::e10::render(&stp_bench::e10::run(&[8, 16, 24], 6))
-    );
+    let e10 = stp_bench::e10::run(&[8, 16, 24], 6);
+    println!("{}", stp_bench::e10::render(&e10));
+    let e10_ok = e10.iter().any(|r| r.bounded_points == r.points)
+        && e10.iter().any(|r| r.bounded_points < r.points);
+    export_summary("e10", e10.len(), e10_ok);
     println!("E11a — recovery envelopes (OnWrite-triggered silence)");
-    println!(
-        "{}",
-        stp_bench::e11::render_envelopes(&stp_bench::e11::run_envelopes(&[4, 8, 16, 32], 0))
-    );
+    let meter = stp_bench::telemetry::progress();
+    let e11a = stp_bench::e11::run_envelopes_observed(&[4, 8, 16, 32], 0, &meter);
+    println!("{}", stp_bench::e11::render_envelopes(&e11a));
     println!("E11b — composite campaign survival");
-    println!(
-        "{}",
-        stp_bench::e11::render_composite(&stp_bench::e11::run_composite(8))
-    );
+    let e11b = stp_bench::e11::run_composite(8);
+    println!("{}", stp_bench::e11::render_composite(&e11b));
     println!("E11c — shrunk safety-violation witness");
-    println!(
-        "{}",
-        stp_bench::e11::render_shrink(&stp_bench::e11::run_shrink_demo())
-    );
+    let e11c = stp_bench::e11::run_shrink_demo();
+    println!("{}", stp_bench::e11::render_shrink(&e11c));
+    let e11_ok = e11a.iter().all(|r| r.recovery.is_some())
+        && e11b.completed
+        && e11b.safe
+        && e11c.one_minimal
+        && e11c.replay_identical;
+    export_summary("e11", e11a.len() + 2, e11_ok);
 }

@@ -1,0 +1,80 @@
+//! Validates a JSONL telemetry file: every line must parse as one of the
+//! wire forms ([`TelemetryLine`]) and survive a serialize → parse round
+//! trip unchanged. Exits nonzero on the first malformed file, so CI can
+//! gate on the schema actually holding for freshly exported telemetry.
+//!
+//! Usage: `validate_telemetry <file.jsonl>` (defaults to
+//! `telemetry.jsonl` in the current directory).
+
+use std::process::ExitCode;
+use stp_sim::telemetry::{ReportLine, RunLine, SummaryLine};
+use stp_sim::TelemetryLine;
+
+fn round_trips(line: &TelemetryLine) -> Result<bool, serde_json::Error> {
+    let reserialized = match line {
+        TelemetryLine::Run(r) => serde_json::to_string(&RunLine { run: r.clone() })?,
+        TelemetryLine::Report(r) => serde_json::to_string(&ReportLine {
+            report: r.as_ref().clone(),
+        })?,
+        TelemetryLine::Summary(s) => serde_json::to_string(&SummaryLine { summary: s.clone() })?,
+    };
+    Ok(TelemetryLine::parse(&reserialized)? == *line)
+}
+
+fn main() -> ExitCode {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "telemetry.jsonl".to_string());
+    let body = match std::fs::read_to_string(&path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("validate_telemetry: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (mut runs, mut reports, mut summaries) = (0usize, 0usize, 0usize);
+    for (no, line) in body.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let parsed = match TelemetryLine::parse(line) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!(
+                    "validate_telemetry: {path}:{}: unparseable line: {e}",
+                    no + 1
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        match round_trips(&parsed) {
+            Ok(true) => {}
+            Ok(false) => {
+                eprintln!(
+                    "validate_telemetry: {path}:{}: line does not round-trip",
+                    no + 1
+                );
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!(
+                    "validate_telemetry: {path}:{}: reserialization failed: {e}",
+                    no + 1
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+        match parsed {
+            TelemetryLine::Run(_) => runs += 1,
+            TelemetryLine::Report(_) => reports += 1,
+            TelemetryLine::Summary(_) => summaries += 1,
+        }
+    }
+    let total = runs + reports + summaries;
+    if total == 0 {
+        eprintln!("validate_telemetry: {path} contains no telemetry lines");
+        return ExitCode::FAILURE;
+    }
+    println!("{path}: {total} lines valid ({runs} runs, {reports} reports, {summaries} summaries)");
+    ExitCode::SUCCESS
+}

@@ -37,12 +37,14 @@ pub fn adversaries() -> Vec<(&'static str, SchedulerSpec)> {
 }
 
 /// The sweep spec E1 uses for alphabet size `m` under one adversary.
-/// Stats-only: the table needs counters, not event traces.
+/// Stats-only: the table needs counters, not event traces, so the sweep
+/// runs trace-free with a streaming [`MetricsProbe`](stp_sim::MetricsProbe).
 pub fn spec_for(m: u16, seeds_per_case: u64, scheduler: SchedulerSpec) -> SweepSpec {
     SweepSpec::new(ChannelSpec::Dup, scheduler)
         .max_steps(4_000 * m as u64)
         .seeds(0..seeds_per_case)
         .trace_mode(TraceMode::Off)
+        .probe(true)
 }
 
 /// Runs E1 for `m = 1..=max_m` with `seeds_per_case` seeds per adversary.
@@ -52,6 +54,7 @@ pub fn run(max_m: u16, seeds_per_case: u64) -> Vec<E1Row> {
         let family = TightFamily::new(m, ResendPolicy::Once);
         for (label, scheduler) in adversaries() {
             let outcome = sweep_family(&family, &spec_for(m, seeds_per_case, scheduler));
+            crate::telemetry::export_sweep("e1", &outcome);
             rows.push(E1Row {
                 m,
                 alpha: alpha(m as u32).expect("small m"),

@@ -53,8 +53,10 @@ pub fn run_completeness(max_m: u16, seeds: u64) -> Vec<E3CompletenessRow> {
         )
         .max_steps(30_000)
         .seeds(0..seeds)
-        .trace_mode(TraceMode::Off);
+        .trace_mode(TraceMode::Off)
+        .probe(true);
         let outcome = sweep_family(&family, &spec);
+        crate::telemetry::export_sweep("e3", &outcome);
         rows.push(E3CompletenessRow {
             m,
             runs: outcome.len(),

@@ -39,3 +39,4 @@ pub mod e7;
 pub mod e8;
 pub mod e9;
 pub mod table;
+pub mod telemetry;

@@ -121,6 +121,20 @@ pub trait Channel: fmt::Debug {
     /// timed model uses this; the default is a no-op).
     fn tick(&mut self) {}
 
+    /// Drains the copies the channel *itself* destroyed since the last
+    /// call — TTL expiries on timed channels — appending them to `to_r`
+    /// and `to_s`. Adversary deletions do **not** flow through here: the
+    /// executor applies those itself via [`Channel::delete_to_r`] /
+    /// [`Channel::delete_to_s`] and already observes them. Executors call
+    /// this once per global step, right after [`Channel::tick`], and
+    /// record each drained message as a `ChannelExpire` event so that
+    /// channel-initiated loss is counted exactly like adversarial loss.
+    /// The default (for channels that never lose on their own) drains
+    /// nothing.
+    fn take_expirations(&mut self, to_r: &mut Vec<SMsg>, to_s: &mut Vec<RMsg>) {
+        let _ = (to_r, to_s);
+    }
+
     /// Empties the channel and zeroes its statistics counters, exactly as
     /// if it had been newly constructed. Construction-time configuration
     /// (e.g. a timed channel's deadline) is preserved. Pooled executors

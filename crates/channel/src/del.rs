@@ -6,6 +6,13 @@
 //! delivered — is exactly the multiset count here. Duplication is
 //! impossible: total deliveries of `μ` can never exceed total sends of `μ`,
 //! a property the tests pin down.
+//!
+//! Every loss here is an *adversary* deletion, already recorded by the
+//! executor as a `ChannelDrop` event; the channel itself never destroys a
+//! copy, so the default no-op
+//! [`take_expirations`](crate::Channel::take_expirations) is exact here.
+//! (Contrast [`TimedChannel`](crate::TimedChannel), whose TTL expiries
+//! surface through that hook as `ChannelExpire`.)
 
 use crate::chan::{Channel, ChannelKind};
 use crate::error::ChannelError;

@@ -4,7 +4,9 @@
 //! times — the paper models this with the boolean vector
 //! `dlvrble_R(r,t)[μ] = 1` iff `μ` was sent to `R` before `(r,t)`. Nothing
 //! is ever lost (Property 1(c)), so the channel state in each direction is
-//! simply the *set* of ever-sent messages.
+//! simply the *set* of ever-sent messages — and the channel never destroys
+//! a copy on its own, so the default no-op
+//! [`take_expirations`](crate::Channel::take_expirations) is exact here.
 
 use crate::chan::{Channel, ChannelKind};
 use crate::error::ChannelError;

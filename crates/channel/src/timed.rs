@@ -43,6 +43,11 @@ pub struct TimedChannel {
     expired_to_s: u64,
     deleted_to_r: u64,
     deleted_to_s: u64,
+    // Messages expired since the last `take_expirations` drain, so the
+    // executor can record them as `ChannelExpire` events. Not part of the
+    // forward-relevant state (excluded from `state_key`).
+    expiry_log_r: Vec<SMsg>,
+    expiry_log_s: Vec<RMsg>,
 }
 
 impl TimedChannel {
@@ -66,6 +71,8 @@ impl TimedChannel {
             expired_to_s: 0,
             deleted_to_r: 0,
             deleted_to_s: 0,
+            expiry_log_r: Vec::new(),
+            expiry_log_s: Vec::new(),
         }
     }
 
@@ -170,7 +177,8 @@ impl Channel for TimedChannel {
         }
         while self.ttl_r.front() == Some(&0) {
             self.ttl_r.pop_front();
-            self.to_r.pop_front();
+            let msg = self.to_r.pop_front().expect("parallel deques agree");
+            self.expiry_log_r.push(msg);
             self.expired_to_r += 1;
         }
         for t in self.ttl_s.iter_mut() {
@@ -178,9 +186,15 @@ impl Channel for TimedChannel {
         }
         while self.ttl_s.front() == Some(&0) {
             self.ttl_s.pop_front();
-            self.to_s.pop_front();
+            let msg = self.to_s.pop_front().expect("parallel deques agree");
+            self.expiry_log_s.push(msg);
             self.expired_to_s += 1;
         }
+    }
+
+    fn take_expirations(&mut self, to_r: &mut Vec<SMsg>, to_s: &mut Vec<RMsg>) {
+        to_r.append(&mut self.expiry_log_r);
+        to_s.append(&mut self.expiry_log_s);
     }
 
     fn reset(&mut self) {
@@ -194,6 +208,8 @@ impl Channel for TimedChannel {
         self.expired_to_s = 0;
         self.deleted_to_r = 0;
         self.deleted_to_s = 0;
+        self.expiry_log_r.clear();
+        self.expiry_log_s.clear();
     }
 
     fn state_key(&self) -> String {
@@ -261,6 +277,41 @@ mod tests {
         assert_eq!(ch.deleted(), (1, 1));
         assert_eq!(ch.expired(), (0, 0));
         assert_eq!(ch.delete_to_r(SMsg(1)), Err(ChannelError::NothingToDelete));
+    }
+
+    #[test]
+    fn expirations_are_drained_once() {
+        let mut ch = TimedChannel::new(1);
+        ch.send_s(SMsg(3));
+        ch.send_r(RMsg(1));
+        ch.tick();
+        let (mut r, mut s) = (Vec::new(), Vec::new());
+        ch.take_expirations(&mut r, &mut s);
+        assert_eq!(r, vec![SMsg(3)]);
+        assert_eq!(s, vec![RMsg(1)]);
+        // The drain empties the log: a second call appends nothing.
+        r.clear();
+        s.clear();
+        ch.take_expirations(&mut r, &mut s);
+        assert!(r.is_empty() && s.is_empty());
+        // Adversary deletions never appear in the expiry log.
+        ch.send_s(SMsg(0));
+        ch.delete_to_r(SMsg(0)).unwrap();
+        ch.take_expirations(&mut r, &mut s);
+        assert!(r.is_empty() && s.is_empty());
+        assert_eq!(ch.deleted(), (1, 0));
+    }
+
+    #[test]
+    fn reset_clears_undrained_expirations() {
+        let mut ch = TimedChannel::new(1);
+        ch.send_s(SMsg(2));
+        ch.tick();
+        ch.reset();
+        let (mut r, mut s) = (Vec::new(), Vec::new());
+        ch.take_expirations(&mut r, &mut s);
+        assert!(r.is_empty() && s.is_empty());
+        assert_eq!(ch.expired(), (0, 0));
     }
 
     #[test]

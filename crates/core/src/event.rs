@@ -89,6 +89,18 @@ pub enum Event {
         /// Raw index of the deleted message within its alphabet.
         msg: u16,
     },
+    /// The channel itself destroyed an in-flight copy without adversary
+    /// involvement — a timed channel's TTL expiry. Kept distinct from
+    /// [`Event::ChannelDrop`] because replay reconstructs `ChannelDrop`s
+    /// as scripted adversary deletions, whereas expiries recur
+    /// deterministically from the channel's own clock and must *not* be
+    /// re-injected. Invisible to both processors.
+    ChannelExpire {
+        /// Which processor the expired copy was addressed to.
+        to: ProcessId,
+        /// Raw index of the expired message within its alphabet.
+        msg: u16,
+    },
 }
 
 impl Event {
@@ -118,8 +130,47 @@ impl fmt::Display for Event {
             Event::Read { item, pos } => write!(f, "read[{pos}]={}", item.0),
             Event::Write { item, pos } => write!(f, "write[{pos}]={}", item.0),
             Event::ChannelDrop { to, msg } => write!(f, "drop {msg}→{to}"),
+            Event::ChannelExpire { to, msg } => write!(f, "expire {msg}→{to}"),
         }
     }
+}
+
+/// An observer that executors feed every event of a run, *regardless* of
+/// the active [`TraceMode`] — the streaming counterpart of a recorded
+/// [`Trace`]. A probe computes whatever it wants online (statistics,
+/// invariant checks, exports) without the executor allocating or retaining
+/// events on its behalf.
+///
+/// The contract, which the executor upholds in every trace mode:
+///
+/// 1. [`Probe::on_run_start`] is called once before any event of a run —
+///    at world assembly and again on every pooled reset — and must leave
+///    the probe as if freshly constructed (probes are pooled along with
+///    their worlds; implementations should retain buffer capacity).
+/// 2. [`Probe::on_event`] is called for every event, in execution order,
+///    with non-decreasing `step`s — the exact sequence a
+///    [`TraceMode::Full`] trace would record.
+/// 3. [`Probe::on_step_end`] is called once per global step after all of
+///    that step's events, so the probe can track elapsed steps even when
+///    the tail of a run produces no events.
+pub trait Probe: fmt::Debug {
+    /// A new run on `input` is starting; reset all derived state.
+    fn on_run_start(&mut self, input: &DataSeq);
+
+    /// `event` occurred at `step`.
+    fn on_event(&mut self, step: Step, event: &Event);
+
+    /// Global step `step` finished (steps are numbered from 0, so after
+    /// this call the run spans `step + 1` steps).
+    fn on_step_end(&mut self, step: Step);
+
+    /// The probe as [`Any`](std::any::Any), so a harness that attached a
+    /// concrete probe to a pooled world can recover it (e.g. to read a
+    /// `MetricsProbe`'s statistics back out).
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Mutable [`Any`](std::any::Any) access; see [`Probe::as_any`].
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
 }
 
 /// How much of a run an executor records into its [`Trace`].
@@ -373,7 +424,7 @@ impl Trace {
                 Event::DeliverToS { msg } => slot.received.push(msg.0),
                 Event::Read { item, .. } => slot.tape.push(item),
                 Event::Write { item, .. } => slot.tape.push(item),
-                Event::ChannelDrop { .. } => {}
+                Event::ChannelDrop { .. } | Event::ChannelExpire { .. } => {}
             }
         }
         hist
@@ -560,5 +611,73 @@ mod tests {
         let s = t.to_string();
         assert!(s.contains("write[0]=1"));
         assert!(s.contains("S!1"));
+    }
+
+    #[test]
+    fn expiry_events_are_invisible_and_round_trip() {
+        let e = Event::ChannelExpire {
+            to: ProcessId::Receiver,
+            msg: 2,
+        };
+        assert!(!e.visible_to(ProcessId::Sender));
+        assert!(!e.visible_to(ProcessId::Receiver));
+        assert_eq!(e.to_string(), "expire 2→R");
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+        // Full traces record expiries; writes-only and off traces do not.
+        assert!(TraceMode::Full.records(&e));
+        assert!(!TraceMode::WritesOnly.records(&e));
+        assert!(!TraceMode::Off.records(&e));
+    }
+
+    /// A minimal probe that counts its callbacks, exercising the trait's
+    /// object-safety and the `as_any` recovery path.
+    #[derive(Debug, Default)]
+    struct CountingProbe {
+        starts: usize,
+        events: usize,
+        steps: Step,
+    }
+
+    impl Probe for CountingProbe {
+        fn on_run_start(&mut self, _input: &DataSeq) {
+            self.starts += 1;
+            self.events = 0;
+            self.steps = 0;
+        }
+        fn on_event(&mut self, _step: Step, _event: &Event) {
+            self.events += 1;
+        }
+        fn on_step_end(&mut self, step: Step) {
+            self.steps = step + 1;
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    #[test]
+    fn probe_trait_is_object_safe_and_recoverable() {
+        let mut boxed: Box<dyn Probe> = Box::new(CountingProbe::default());
+        boxed.on_run_start(&DataSeq::from_indices([1, 0]));
+        boxed.on_event(0, &Event::SendS { msg: SMsg(1) });
+        boxed.on_step_end(0);
+        boxed.on_step_end(1);
+        let concrete = boxed
+            .as_any()
+            .downcast_ref::<CountingProbe>()
+            .expect("probe recovers its concrete type");
+        assert_eq!(concrete.starts, 1);
+        assert_eq!(concrete.events, 1);
+        assert_eq!(concrete.steps, 2);
+        boxed
+            .as_any_mut()
+            .downcast_mut::<CountingProbe>()
+            .expect("mutable recovery works")
+            .events = 0;
     }
 }

@@ -23,9 +23,10 @@
 //! sequences × seeds*, flattened scheduler-major so a single-scheduler
 //! spec reproduces the legacy sweep order bit-for-bit.
 
-use crate::metrics::RunStats;
+use crate::metrics::{MetricsProbe, RunStats};
 use crate::runner::{MemberRun, SweepOutcome};
 use crate::slo::SloConfig;
+use crate::telemetry::ProgressMeter;
 use crate::world::World;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -52,6 +53,12 @@ pub struct SweepSpec {
     /// `1` forces the serial path.
     #[serde(default)]
     pub threads: usize,
+    /// Attach a streaming [`MetricsProbe`] to every pooled world and
+    /// source each run's statistics from it (default `false`). With
+    /// [`TraceMode::Off`] this is the cheapest configuration that still
+    /// yields full per-run [`RunStats`].
+    #[serde(default)]
+    pub probe: bool,
     /// Channel recipe, rebuilt once per pooled world.
     pub channel: ChannelSpec,
     /// Adversary recipes; the grid runs every sequence × seed under each.
@@ -71,6 +78,7 @@ impl SweepSpec {
             seeds: vec![0, 1, 2],
             trace_mode: TraceMode::default(),
             threads: 0,
+            probe: false,
             channel,
             schedulers: vec![scheduler],
             slo: None,
@@ -98,6 +106,12 @@ impl SweepSpec {
     /// Replaces the worker-thread count (`0` = one per core).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Toggles the streaming [`MetricsProbe`] on every pooled world.
+    pub fn probe(mut self, probe: bool) -> Self {
+        self.probe = probe;
         self
     }
 
@@ -177,12 +191,27 @@ impl SweepEngine {
     /// world per (worker, scheduler recipe). Results are returned in grid
     /// order, identical to [`SweepEngine::run_serial`].
     pub fn run(&self, family: &(dyn ProtocolFamily + Sync)) -> SweepOutcome {
+        self.run_observed(family, None)
+    }
+
+    /// [`SweepEngine::run`] with optional live progress: the meter is
+    /// armed for the grid size and ticked once per finished run; workers
+    /// announce themselves so liveness shows in every snapshot. Progress
+    /// observation never changes the results.
+    pub fn run_observed(
+        &self,
+        family: &(dyn ProtocolFamily + Sync),
+        meter: Option<&ProgressMeter>,
+    ) -> SweepOutcome {
         let threads = self.spec.resolved_threads();
         if threads <= 1 {
-            return self.run_serial(family);
+            return self.run_serial_observed(family, meter);
         }
         let claimed = family.claimed_family();
         let work = self.work_list(claimed.seqs());
+        if let Some(m) = meter {
+            m.begin(work.len());
+        }
         let cursor = AtomicUsize::new(0);
         let spec = &self.spec;
         let claimed = &claimed;
@@ -196,6 +225,9 @@ impl SweepEngine {
                         // recipe, reset between cells. Worlds never cross
                         // threads, so no Send bound is needed on the
                         // boxed components.
+                        if let Some(m) = meter {
+                            m.worker_started();
+                        }
                         let mut worlds: Vec<Option<World>> =
                             (0..spec.schedulers.len()).map(|_| None).collect();
                         let mut out = Vec::new();
@@ -216,6 +248,12 @@ impl SweepEngine {
                                     seed,
                                 ),
                             ));
+                            if let Some(m) = meter {
+                                m.record_done(1);
+                            }
+                        }
+                        if let Some(m) = meter {
+                            m.worker_finished();
                         }
                         out
                     })
@@ -228,30 +266,56 @@ impl SweepEngine {
         });
         let mut indexed: Vec<(usize, MemberRun)> = buckets.into_iter().flatten().collect();
         indexed.sort_unstable_by_key(|(i, _)| *i);
-        SweepOutcome::from_runs(indexed.into_iter().map(|(_, r)| r).collect())
+        let outcome = SweepOutcome::from_runs(indexed.into_iter().map(|(_, r)| r).collect());
+        if let Some(m) = meter {
+            m.finish();
+        }
+        outcome
     }
 
     /// Runs the whole grid on the calling thread with one pooled world
     /// per scheduler recipe.
     pub fn run_serial(&self, family: &dyn ProtocolFamily) -> SweepOutcome {
+        self.run_serial_observed(family, None)
+    }
+
+    /// [`SweepEngine::run_serial`] with optional live progress.
+    pub fn run_serial_observed(
+        &self,
+        family: &dyn ProtocolFamily,
+        meter: Option<&ProgressMeter>,
+    ) -> SweepOutcome {
         let mut worlds: Vec<Option<World>> =
             (0..self.spec.schedulers.len()).map(|_| None).collect();
         let claimed = family.claimed_family();
-        let runs = self
-            .work_list(claimed.seqs())
+        let work = self.work_list(claimed.seqs());
+        if let Some(m) = meter {
+            m.begin(work.len());
+            m.worker_started();
+        }
+        let runs = work
             .into_iter()
             .map(|(sched, xi, seed)| {
-                run_cell(
+                let run = run_cell(
                     &mut worlds,
                     family,
                     &self.spec,
                     sched,
                     &claimed.seqs()[xi],
                     seed,
-                )
+                );
+                if let Some(m) = meter {
+                    m.record_done(1);
+                }
+                run
             })
             .collect();
-        SweepOutcome::from_runs(runs)
+        let outcome = SweepOutcome::from_runs(runs);
+        if let Some(m) = meter {
+            m.worker_finished();
+            m.finish();
+        }
+        outcome
     }
 }
 
@@ -273,19 +337,27 @@ fn run_cell(
             w.reset(x, seed);
             w
         }
-        None => slot.insert(
-            World::builder(x.clone())
+        None => {
+            let mut builder = World::builder(x.clone())
                 .sender(family.sender_for(x))
                 .receiver(family.receiver())
                 .channel(spec.channel.build())
                 .scheduler(spec.schedulers[sched].build(seed))
-                .mode(spec.trace_mode)
-                .build()
-                .expect("engine supplies every component"),
-        ),
+                .mode(spec.trace_mode);
+            if spec.probe {
+                builder = builder.probe(Box::new(MetricsProbe::new()));
+            }
+            slot.insert(builder.build().expect("engine supplies every component"))
+        }
     };
     world.run_until(spec.max_steps, World::is_complete);
-    let stats: RunStats = world.stats();
+    // With a probe attached, statistics come from the streaming path —
+    // the parity tests pin this to the world's incremental counters and
+    // to trace-derived stats.
+    let stats: RunStats = match world.probe_of::<MetricsProbe>() {
+        Some(p) => p.stats(),
+        None => world.stats(),
+    };
     let trace = if spec.trace_mode == TraceMode::Off {
         None
     } else {
@@ -335,7 +407,53 @@ mod tests {
         let spec: SweepSpec = serde_json::from_str(json).expect("parses");
         assert_eq!(spec.trace_mode, TraceMode::Full);
         assert_eq!(spec.threads, 0);
+        assert!(!spec.probe);
         assert_eq!(spec.slo, None);
+    }
+
+    #[test]
+    fn probed_off_mode_matches_traced_stats_bit_for_bit() {
+        // The satellite-3 guarantee: attaching probes changes nothing
+        // about the results, and the cheapest configuration (Off + probe)
+        // yields the same per-run stats and aggregate report as a fully
+        // traced sweep.
+        let family = TightFamily::new(3, ResendPolicy::Once);
+        let traced = SweepEngine::new(storm_spec().threads(1)).run_serial(&family);
+        let probed = SweepEngine::new(
+            storm_spec()
+                .trace_mode(TraceMode::Off)
+                .probe(true)
+                .threads(4),
+        )
+        .run(&family);
+        assert_eq!(traced.len(), probed.len());
+        for (a, b) in traced.runs.iter().zip(&probed.runs) {
+            assert_eq!(a.stats, b.stats, "probe path must match trace path");
+            assert!(b.trace.is_none());
+        }
+        assert_eq!(traced.report, probed.report);
+    }
+
+    #[test]
+    fn observed_run_reports_progress_without_changing_results() {
+        use crate::telemetry::ProgressMeter;
+        use std::sync::atomic::AtomicUsize;
+        use std::sync::Arc;
+        let family = TightFamily::new(3, ResendPolicy::Once);
+        let engine = SweepEngine::new(storm_spec().threads(2));
+        let ticks = Arc::new(AtomicUsize::new(0));
+        let seen = ticks.clone();
+        let meter = ProgressMeter::new(std::time::Duration::ZERO, move |snap| {
+            seen.fetch_add(1, Ordering::Relaxed);
+            assert!(snap.done <= snap.total);
+        });
+        let observed = engine.run_observed(&family, Some(&meter));
+        let plain = engine.run(&family);
+        assert_eq!(observed.runs, plain.runs);
+        assert!(ticks.load(Ordering::Relaxed) > 0, "meter must fire");
+        let final_snap = meter.snapshot();
+        assert_eq!(final_snap.done, observed.len());
+        assert_eq!(final_snap.workers_alive, 0);
     }
 
     #[test]

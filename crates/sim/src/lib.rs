@@ -39,20 +39,28 @@ pub mod replay;
 pub mod runner;
 pub mod shrink;
 pub mod slo;
+pub mod telemetry;
 pub mod threaded;
 pub mod world;
 
 pub use engine::{SweepEngine, SweepSpec};
 pub use error::SimError;
 pub use fault::FaultInjector;
-pub use metrics::RunStats;
+pub use metrics::{Histogram, MetricsProbe, RunStats, SweepReport};
 pub use replay::{replay, script_from_trace};
-pub use runner::{run_family_member, sweep_family, sweep_family_parallel, MemberRun, SweepOutcome};
+pub use runner::{
+    run_family_member, sweep_family, sweep_family_parallel, sweep_family_parallel_observed,
+    MemberRun, SweepOutcome,
+};
 pub use shrink::{
     classify, is_one_minimal, shrink_plan, shrink_to_witness, CampaignJudge, Violation, Witness,
 };
 pub use slo::{
-    probe_recovery, recovery_envelope, run_campaign, run_with_plan, RecoveryEnvelope,
-    RecoveryProbe, SloConfig,
+    probe_recovery, recovery_envelope, recovery_envelope_observed, run_campaign, run_with_plan,
+    RecoveryEnvelope, RecoveryProbe, SloConfig,
+};
+pub use telemetry::{
+    ExperimentSummary, MemorySink, ProgressMeter, ProgressSnapshot, RunRecord, Sink, TelemetryLine,
+    TelemetryWriter,
 };
 pub use world::{World, WorldBuilder};

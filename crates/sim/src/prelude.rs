@@ -13,13 +13,19 @@
 //! ```
 
 pub use crate::engine::{SweepEngine, SweepSpec};
-pub use crate::metrics::RunStats;
+pub use crate::metrics::{Histogram, MetricsProbe, RunStats, SweepReport};
 pub use crate::runner::{
-    run_family_member, sweep_family, sweep_family_parallel, MemberRun, SweepOutcome,
+    run_family_member, sweep_family, sweep_family_parallel, sweep_family_parallel_observed,
+    MemberRun, SweepOutcome,
 };
 pub use crate::shrink::{shrink_plan, shrink_to_witness, CampaignJudge, Violation, Witness};
 pub use crate::slo::{
-    probe_recovery, recovery_envelope, RecoveryEnvelope, RecoveryProbe, SloConfig,
+    probe_recovery, recovery_envelope, recovery_envelope_observed, RecoveryEnvelope, RecoveryProbe,
+    SloConfig,
+};
+pub use crate::telemetry::{
+    ExperimentSummary, MemorySink, ProgressMeter, ProgressSnapshot, RunRecord, Sink, TelemetryLine,
+    TelemetryWriter,
 };
 pub use crate::world::{World, WorldBuilder};
 pub use stp_channel::campaign::{

@@ -8,7 +8,8 @@
 //! same [`SweepOutcome`] in the same order.
 
 use crate::engine::{SweepEngine, SweepSpec};
-use crate::metrics::RunStats;
+use crate::metrics::{RunStats, SweepReport};
+use crate::telemetry::ProgressMeter;
 use crate::world::World;
 use stp_channel::{Channel, Scheduler};
 use stp_core::data::DataSeq;
@@ -39,17 +40,28 @@ pub struct SweepOutcome {
     pub runs: Vec<MemberRun>,
     /// Sequences that failed to complete under some seed.
     pub failures: Vec<(DataSeq, u64)>,
+    /// Sweep-wide distributions folded from every run's statistics.
+    pub report: SweepReport,
 }
 
 impl SweepOutcome {
-    /// Packages finished runs, deriving the failure list.
+    /// Packages finished runs, deriving the failure list and the
+    /// aggregate [`SweepReport`].
     pub fn from_runs(runs: Vec<MemberRun>) -> Self {
         let failures = runs
             .iter()
             .filter(|r| !r.stats.is_complete())
             .map(|r| (r.input.clone(), r.seed))
             .collect();
-        SweepOutcome { runs, failures }
+        let mut report = SweepReport::new();
+        for r in &runs {
+            report.observe(&r.stats);
+        }
+        SweepOutcome {
+            runs,
+            failures,
+            report,
+        }
     }
 
     /// Whether every member completed safely under every seed.
@@ -121,6 +133,17 @@ pub fn sweep_family_parallel(
     spec: &SweepSpec,
 ) -> SweepOutcome {
     SweepEngine::new(spec.clone()).run(family)
+}
+
+/// [`sweep_family_parallel`] with live progress: the meter is armed for
+/// the grid size, fed one tick per finished run by every worker, and
+/// flushed with a final report when the merge completes.
+pub fn sweep_family_parallel_observed(
+    family: &(dyn ProtocolFamily + Sync),
+    spec: &SweepSpec,
+    meter: &ProgressMeter,
+) -> SweepOutcome {
+    SweepEngine::new(spec.clone()).run_observed(family, Some(meter))
 }
 
 #[cfg(test)]

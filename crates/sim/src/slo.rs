@@ -179,6 +179,36 @@ pub fn recovery_envelope(
     }
 }
 
+/// [`recovery_envelope`] with live progress: each probe run (one full
+/// fault-injected execution) ticks the meter, which matters because SLO
+/// envelopes are the slowest harness in the workspace — E11 runs
+/// hundreds of probes back to back.
+pub fn recovery_envelope_observed(
+    family: &dyn ProtocolFamily,
+    input: &DataSeq,
+    channel: &ChannelSpec,
+    inner: &SchedulerSpec,
+    cfg: &SloConfig,
+    meter: &crate::telemetry::ProgressMeter,
+) -> RecoveryEnvelope {
+    meter.begin(input.len());
+    meter.worker_started();
+    let probes = (0..input.len())
+        .filter_map(|i| {
+            let p = probe_recovery(family, input, channel, inner, cfg, i);
+            meter.record_done(1);
+            p
+        })
+        .collect();
+    meter.worker_finished();
+    meter.finish();
+    RecoveryEnvelope {
+        protocol: family.name().to_string(),
+        input_len: input.len(),
+        probes,
+    }
+}
+
 /// Runs `family` on `input` under `plan` compiled over a fresh inner
 /// scheduler, for at most `max_steps` steps or until completion.
 pub fn run_with_plan(

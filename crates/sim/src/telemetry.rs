@@ -1,0 +1,655 @@
+//! JSONL telemetry export and live sweep progress.
+//!
+//! Two independent facilities:
+//!
+//! * **Export** — [`TelemetryWriter`] serializes per-run records
+//!   ([`RunRecord`]) and sweep-wide [`SweepReport`]s as JSON Lines
+//!   through a pluggable [`Sink`] (file, stdout, in-memory). Each line is
+//!   one self-describing object — `{"run": …}` or `{"report": …}` — so a
+//!   consumer can dispatch without a schema registry. The writer is
+//!   opt-in via the `STP_TELEMETRY` environment variable
+//!   ([`TelemetryWriter::from_env`]), which keeps the experiment
+//!   binaries' stdout byte-identical when telemetry is off.
+//! * **Progress** — [`ProgressMeter`] is a thread-safe runs-done /
+//!   runs-total counter with a throttled reporting callback (default:
+//!   one line to *stderr* per interval) that the sweep engine and the
+//!   SLO harness drive while a grid is in flight.
+
+use crate::metrics::{RunStats, SweepReport};
+use crate::runner::{MemberRun, SweepOutcome};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+use stp_core::data::DataSeq;
+
+/// Where telemetry lines go. Implementations are line-oriented: one call,
+/// one complete JSON document, no partial writes observable by a reader
+/// of the finished stream.
+pub trait Sink: Send {
+    /// Appends one line (the trailing newline is the sink's job).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    fn write_line(&mut self, line: &str) -> io::Result<()>;
+
+    /// Flushes buffered lines to the backing store.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    fn flush(&mut self) -> io::Result<()>;
+}
+
+/// A buffered append-mode file sink. Append (rather than truncate) lets
+/// several experiment binaries share one telemetry file in sequence, as
+/// `run_all` does.
+#[derive(Debug)]
+pub struct FileSink {
+    writer: BufWriter<File>,
+}
+
+impl FileSink {
+    /// Opens (creating if needed) `path` for appending.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<FileSink> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(FileSink {
+            writer: BufWriter::new(file),
+        })
+    }
+}
+
+impl Sink for FileSink {
+    fn write_line(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+}
+
+/// Writes lines to standard output (for piping into `jq` and friends).
+#[derive(Debug, Default)]
+pub struct StdoutSink;
+
+impl Sink for StdoutSink {
+    fn write_line(&mut self, line: &str) -> io::Result<()> {
+        let mut out = io::stdout().lock();
+        out.write_all(line.as_bytes())?;
+        out.write_all(b"\n")
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        io::stdout().lock().flush()
+    }
+}
+
+/// Collects lines in memory — the test double, and a convenient buffer
+/// when a harness wants to post-process its own telemetry.
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    lines: std::sync::Arc<Mutex<Vec<String>>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> MemorySink {
+        MemorySink::default()
+    }
+
+    /// A clone of every line written so far. The handle is shared: clone
+    /// the sink before boxing it into a writer, then read lines back here.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().clone()
+    }
+}
+
+impl Sink for MemorySink {
+    fn write_line(&mut self, line: &str) -> io::Result<()> {
+        self.lines.lock().push(line.to_string());
+        Ok(())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// One run of one grid cell, flattened for export: what `MemberRun`
+/// knows minus the trace, plus an experiment tag so lines from different
+/// harnesses can share a file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Which harness produced this line (e.g. `"e1"`); empty when untagged.
+    #[serde(default)]
+    pub experiment: String,
+    /// The input sequence of the run.
+    pub input: DataSeq,
+    /// The adversary seed.
+    pub seed: u64,
+    /// Index into the sweep's scheduler list.
+    pub scheduler: usize,
+    /// The run's statistics.
+    pub stats: RunStats,
+}
+
+impl RunRecord {
+    /// Flattens a [`MemberRun`] under an experiment tag.
+    pub fn of(experiment: &str, run: &MemberRun) -> RunRecord {
+        RunRecord {
+            experiment: experiment.to_string(),
+            input: run.input.clone(),
+            seed: run.seed,
+            scheduler: run.scheduler,
+            stats: run.stats.clone(),
+        }
+    }
+}
+
+/// The wire form of a per-run line: `{"run": {…}}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunLine {
+    /// The record.
+    pub run: RunRecord,
+}
+
+/// The wire form of an aggregate line: `{"report": {…}}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReportLine {
+    /// The sweep-wide aggregation.
+    pub report: SweepReport,
+}
+
+/// A one-line digest of a whole experiment harness — the form every
+/// E-bin emits even when it has no sweep to export (impossibility
+/// certificates, exact-universe analyses, witness shrinking).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSummary {
+    /// Which harness produced this line (e.g. `"e4"`).
+    pub experiment: String,
+    /// Result rows the harness produced.
+    pub rows: usize,
+    /// Whether the harness's headline claim held on every row.
+    pub ok: bool,
+}
+
+/// The wire form of a digest line: `{"summary": {…}}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SummaryLine {
+    /// The digest.
+    pub summary: ExperimentSummary,
+}
+
+/// A parsed telemetry line — what [`TelemetryLine::parse`] dispatches to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TelemetryLine {
+    /// A per-run record.
+    Run(RunRecord),
+    /// A sweep-wide report (boxed: it carries four histograms and would
+    /// otherwise dwarf the other variants).
+    Report(Box<SweepReport>),
+    /// An experiment digest.
+    Summary(ExperimentSummary),
+}
+
+impl TelemetryLine {
+    /// Parses one JSONL line, dispatching on its single top-level key.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying JSON error when the line is none of the
+    /// `{"run": …}` / `{"report": …}` / `{"summary": …}` documents.
+    pub fn parse(line: &str) -> Result<TelemetryLine, serde_json::Error> {
+        if let Ok(l) = serde_json::from_str::<RunLine>(line) {
+            return Ok(TelemetryLine::Run(l.run));
+        }
+        if let Ok(l) = serde_json::from_str::<SummaryLine>(line) {
+            return Ok(TelemetryLine::Summary(l.summary));
+        }
+        serde_json::from_str::<ReportLine>(line).map(|l| TelemetryLine::Report(Box::new(l.report)))
+    }
+}
+
+/// The environment variable that switches telemetry export on:
+/// unset/empty = off, `-` = stdout, anything else = append to that file.
+pub const TELEMETRY_ENV: &str = "STP_TELEMETRY";
+
+/// Serializes runs and reports as JSON Lines into a [`Sink`].
+pub struct TelemetryWriter {
+    sink: Box<dyn Sink>,
+}
+
+impl fmt::Debug for TelemetryWriter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TelemetryWriter").finish_non_exhaustive()
+    }
+}
+
+impl TelemetryWriter {
+    /// Wraps a sink.
+    pub fn new(sink: Box<dyn Sink>) -> TelemetryWriter {
+        TelemetryWriter { sink }
+    }
+
+    /// Builds a writer from [`TELEMETRY_ENV`], or `None` when the
+    /// variable is unset or empty (the default: no telemetry, stdout
+    /// untouched).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the named file cannot be opened.
+    pub fn from_env() -> io::Result<Option<TelemetryWriter>> {
+        match std::env::var(TELEMETRY_ENV) {
+            Ok(v) if v == "-" => Ok(Some(TelemetryWriter::new(Box::new(StdoutSink)))),
+            Ok(v) if !v.is_empty() => Ok(Some(TelemetryWriter::new(Box::new(FileSink::open(v)?)))),
+            _ => Ok(None),
+        }
+    }
+
+    /// Emits one per-run line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization or sink I/O errors.
+    pub fn emit_run(&mut self, record: &RunRecord) -> io::Result<()> {
+        let line = serde_json::to_string(&RunLine {
+            run: record.clone(),
+        })
+        .map_err(io::Error::other)?;
+        self.sink.write_line(&line)
+    }
+
+    /// Emits one aggregate line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization or sink I/O errors.
+    pub fn emit_report(&mut self, report: &SweepReport) -> io::Result<()> {
+        let line = serde_json::to_string(&ReportLine {
+            report: report.clone(),
+        })
+        .map_err(io::Error::other)?;
+        self.sink.write_line(&line)
+    }
+
+    /// Emits one experiment digest line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization or sink I/O errors.
+    pub fn emit_summary(&mut self, summary: &ExperimentSummary) -> io::Result<()> {
+        let line = serde_json::to_string(&SummaryLine {
+            summary: summary.clone(),
+        })
+        .map_err(io::Error::other)?;
+        self.sink.write_line(&line)
+    }
+
+    /// Exports a whole sweep under an experiment tag: one line per run,
+    /// then the aggregate report, then a flush.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization or sink I/O errors.
+    pub fn export_outcome(&mut self, experiment: &str, outcome: &SweepOutcome) -> io::Result<()> {
+        for run in &outcome.runs {
+            self.emit_run(&RunRecord::of(experiment, run))?;
+        }
+        self.emit_report(&outcome.report)?;
+        self.flush()
+    }
+
+    /// Flushes the sink.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.sink.flush()
+    }
+}
+
+/// A point-in-time view of sweep progress, handed to the meter's
+/// reporting callback.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ProgressSnapshot {
+    /// Runs finished so far.
+    pub done: usize,
+    /// Runs in the grid.
+    pub total: usize,
+    /// Worker threads currently alive.
+    pub workers_alive: usize,
+    /// Seconds since the sweep began.
+    pub elapsed_secs: f64,
+    /// Observed throughput, runs per second (`0.0` until time has passed).
+    pub runs_per_sec: f64,
+    /// Estimated seconds to completion (`0.0` when done or unknowable).
+    pub eta_secs: f64,
+}
+
+impl fmt::Display for ProgressSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let pct = if self.total == 0 {
+            100.0
+        } else {
+            100.0 * self.done as f64 / self.total as f64
+        };
+        write!(
+            f,
+            "sweep {}/{} ({pct:.1}%) · {:.0} runs/s · ETA {:.1}s · {} workers",
+            self.done, self.total, self.runs_per_sec, self.eta_secs, self.workers_alive
+        )
+    }
+}
+
+/// A thread-safe progress counter with a throttled reporting callback.
+///
+/// Workers call [`ProgressMeter::worker_started`] /
+/// [`ProgressMeter::worker_finished`] around their lifetime and
+/// [`ProgressMeter::record_done`] per finished run; the meter invokes the
+/// callback at most once per interval (plus once at
+/// [`ProgressMeter::finish`]), so per-run overhead is an atomic increment
+/// and a clock read.
+pub struct ProgressMeter {
+    total: AtomicUsize,
+    done: AtomicUsize,
+    workers: AtomicUsize,
+    interval: Duration,
+    clock: Mutex<MeterClock>,
+    callback: Box<dyn Fn(&ProgressSnapshot) + Send + Sync>,
+}
+
+#[derive(Debug)]
+struct MeterClock {
+    started: Instant,
+    last_report: Option<Instant>,
+}
+
+impl fmt::Debug for ProgressMeter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProgressMeter")
+            .field("done", &self.done.load(Ordering::Relaxed))
+            .field("total", &self.total.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl ProgressMeter {
+    /// A meter that invokes `callback` at most once per `interval`.
+    pub fn new(
+        interval: Duration,
+        callback: impl Fn(&ProgressSnapshot) + Send + Sync + 'static,
+    ) -> ProgressMeter {
+        ProgressMeter {
+            total: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            workers: AtomicUsize::new(0),
+            interval,
+            clock: Mutex::new(MeterClock {
+                started: Instant::now(),
+                last_report: None,
+            }),
+            callback: Box::new(callback),
+        }
+    }
+
+    /// A meter that prints one line per interval to *stderr* (stdout is
+    /// reserved for experiment tables and telemetry).
+    pub fn stderr(interval: Duration) -> ProgressMeter {
+        ProgressMeter::new(interval, |snap| eprintln!("{snap}"))
+    }
+
+    /// Arms the meter for a grid of `total` runs, zeroing the counters
+    /// and restarting the clock. Call once before handing the meter to
+    /// workers; a meter can be re-armed for a subsequent sweep.
+    pub fn begin(&self, total: usize) {
+        self.total.store(total, Ordering::Relaxed);
+        self.done.store(0, Ordering::Relaxed);
+        let mut clock = self.clock.lock();
+        clock.started = Instant::now();
+        clock.last_report = None;
+    }
+
+    /// A worker thread came up.
+    pub fn worker_started(&self) {
+        self.workers.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker thread exited.
+    pub fn worker_finished(&self) {
+        self.workers.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` finished runs and reports if the interval elapsed.
+    pub fn record_done(&self, n: usize) {
+        self.done.fetch_add(n, Ordering::Relaxed);
+        self.maybe_report(false);
+    }
+
+    /// Forces a final report (e.g. after the merge).
+    pub fn finish(&self) {
+        self.maybe_report(true);
+    }
+
+    /// The current progress, computed from the atomics and the clock.
+    pub fn snapshot(&self) -> ProgressSnapshot {
+        let elapsed = self.clock.lock().started.elapsed();
+        self.snapshot_at(elapsed)
+    }
+
+    fn snapshot_at(&self, elapsed: Duration) -> ProgressSnapshot {
+        let done = self.done.load(Ordering::Relaxed);
+        let total = self.total.load(Ordering::Relaxed);
+        let elapsed_secs = elapsed.as_secs_f64();
+        let runs_per_sec = if elapsed_secs > 0.0 {
+            done as f64 / elapsed_secs
+        } else {
+            0.0
+        };
+        let remaining = total.saturating_sub(done);
+        let eta_secs = if remaining == 0 || runs_per_sec <= 0.0 {
+            0.0
+        } else {
+            remaining as f64 / runs_per_sec
+        };
+        ProgressSnapshot {
+            done,
+            total,
+            workers_alive: self.workers.load(Ordering::Relaxed),
+            elapsed_secs,
+            runs_per_sec,
+            eta_secs,
+        }
+    }
+
+    fn maybe_report(&self, force: bool) {
+        // The critical section is two clock reads; workers contend here
+        // only once per finished run.
+        let mut clock = self.clock.lock();
+        let due = match clock.last_report {
+            None => true,
+            Some(at) => at.elapsed() >= self.interval,
+        };
+        if force || due {
+            clock.last_report = Some(Instant::now());
+            let elapsed = clock.started.elapsed();
+            drop(clock);
+            (self.callback)(&self.snapshot_at(elapsed));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize as TestCounter;
+    use std::sync::Arc;
+    use stp_core::event::Step;
+
+    fn stats(steps: Step, written: usize) -> RunStats {
+        RunStats {
+            steps,
+            sends_s: written * 2,
+            sends_r: written,
+            deliveries_r: written,
+            deliveries_s: written,
+            drops: 1,
+            written,
+            input_len: written,
+            safe: true,
+            write_steps: (1..=written as Step).collect(),
+        }
+    }
+
+    fn member(seed: u64) -> MemberRun {
+        MemberRun {
+            input: DataSeq::from_indices([1, 0]),
+            seed,
+            scheduler: 0,
+            stats: stats(10, 2),
+            trace: None,
+        }
+    }
+
+    #[test]
+    fn run_lines_round_trip() {
+        let rec = RunRecord::of("e1", &member(3));
+        let sink = MemorySink::new();
+        let mut w = TelemetryWriter::new(Box::new(sink.clone()));
+        w.emit_run(&rec).unwrap();
+        w.flush().unwrap();
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 1);
+        match TelemetryLine::parse(&lines[0]).unwrap() {
+            TelemetryLine::Run(back) => assert_eq!(back, rec),
+            other => panic!("expected a run line, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn report_lines_round_trip() {
+        let mut report = SweepReport::new();
+        report.observe(&stats(10, 2));
+        let sink = MemorySink::new();
+        let mut w = TelemetryWriter::new(Box::new(sink.clone()));
+        w.emit_report(&report).unwrap();
+        match TelemetryLine::parse(&sink.lines()[0]).unwrap() {
+            TelemetryLine::Report(back) => assert_eq!(*back, report),
+            other => panic!("expected a report line, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn export_outcome_writes_runs_then_report() {
+        let outcome = SweepOutcome::from_runs(vec![member(0), member(1)]);
+        let sink = MemorySink::new();
+        let mut w = TelemetryWriter::new(Box::new(sink.clone()));
+        w.export_outcome("e9", &outcome).unwrap();
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 3);
+        let parsed: Vec<TelemetryLine> = lines
+            .iter()
+            .map(|l| TelemetryLine::parse(l).unwrap())
+            .collect();
+        assert!(matches!(&parsed[0], TelemetryLine::Run(r) if r.seed == 0 && r.experiment == "e9"));
+        assert!(matches!(&parsed[1], TelemetryLine::Run(r) if r.seed == 1));
+        match &parsed[2] {
+            TelemetryLine::Report(r) => assert_eq!(**r, outcome.report),
+            other => panic!("expected the aggregate report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn summary_lines_round_trip() {
+        let summary = ExperimentSummary {
+            experiment: "e4".to_string(),
+            rows: 4,
+            ok: true,
+        };
+        let sink = MemorySink::new();
+        let mut w = TelemetryWriter::new(Box::new(sink.clone()));
+        w.emit_summary(&summary).unwrap();
+        match TelemetryLine::parse(&sink.lines()[0]).unwrap() {
+            TelemetryLine::Summary(back) => assert_eq!(back, summary),
+            other => panic!("expected a summary line, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_lines_fail_to_parse() {
+        assert!(TelemetryLine::parse("{\"neither\": 1}").is_err());
+        assert!(TelemetryLine::parse("not json").is_err());
+    }
+
+    #[test]
+    fn file_sink_appends_across_writers() {
+        let dir = std::env::temp_dir().join(format!("stp-telemetry-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("runs.jsonl");
+        let _ = std::fs::remove_file(&path);
+        for seed in 0..2 {
+            let mut w = TelemetryWriter::new(Box::new(FileSink::open(&path).unwrap()));
+            w.emit_run(&RunRecord::of("e1", &member(seed))).unwrap();
+            w.flush().unwrap();
+        }
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body.lines().count(), 2, "append mode accumulates");
+        for line in body.lines() {
+            TelemetryLine::parse(line).unwrap();
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn progress_meter_counts_and_estimates() {
+        let reports = Arc::new(TestCounter::new(0));
+        let seen = reports.clone();
+        let meter = ProgressMeter::new(Duration::from_secs(3600), move |_| {
+            seen.fetch_add(1, Ordering::Relaxed);
+        });
+        meter.begin(10);
+        meter.worker_started();
+        meter.record_done(4); // first report is always due
+        assert_eq!(reports.load(Ordering::Relaxed), 1);
+        meter.record_done(1); // throttled: interval not elapsed
+        assert_eq!(reports.load(Ordering::Relaxed), 1);
+        let snap = meter.snapshot();
+        assert_eq!(snap.done, 5);
+        assert_eq!(snap.total, 10);
+        assert_eq!(snap.workers_alive, 1);
+        meter.worker_finished();
+        meter.finish(); // forced
+        assert_eq!(reports.load(Ordering::Relaxed), 2);
+        assert_eq!(meter.snapshot().workers_alive, 0);
+        // Re-arming zeroes the counters.
+        meter.begin(3);
+        assert_eq!(meter.snapshot().done, 0);
+    }
+
+    #[test]
+    fn snapshot_display_is_human_readable() {
+        let snap = ProgressSnapshot {
+            done: 3,
+            total: 12,
+            workers_alive: 4,
+            elapsed_secs: 1.5,
+            runs_per_sec: 2.0,
+            eta_secs: 4.5,
+        };
+        let s = snap.to_string();
+        assert!(s.contains("3/12"), "{s}");
+        assert!(s.contains("25.0%"), "{s}");
+        assert!(s.contains("4 workers"), "{s}");
+    }
+}

@@ -14,6 +14,7 @@
 //! and the run returns `Err` with the step it had reached.
 
 use crate::error::SimError;
+use crate::metrics::{MetricsProbe, RunStats};
 use crate::world::World;
 use crossbeam::channel::{bounded, Receiver as CbReceiver, Sender as CbSender};
 use parking_lot::Mutex;
@@ -235,17 +236,60 @@ pub fn run_threaded(
     max_steps: Step,
     progress: Option<Arc<Mutex<Progress>>>,
 ) -> Result<Trace, SimError> {
+    run_threaded_inner(
+        input, sender, receiver, channel, scheduler, max_steps, progress, false,
+    )
+    .map(|(trace, _)| trace)
+}
+
+/// [`run_threaded`] with a streaming [`MetricsProbe`] attached: the run's
+/// [`RunStats`] come back computed online, so threaded harnesses get
+/// statistics at the same cost as the pooled engine — no trace scan.
+///
+/// # Errors
+///
+/// Returns [`SimError::WorkerDied`] if a worker thread panics or hangs up
+/// mid-run, with the step the coordinator had reached.
+#[allow(clippy::too_many_arguments)]
+pub fn run_threaded_probed(
+    input: DataSeq,
+    sender: Box<dyn Sender + Send>,
+    receiver: Box<dyn Receiver + Send>,
+    channel: Box<dyn Channel>,
+    scheduler: Box<dyn Scheduler>,
+    max_steps: Step,
+    progress: Option<Arc<Mutex<Progress>>>,
+) -> Result<(Trace, RunStats), SimError> {
+    run_threaded_inner(
+        input, sender, receiver, channel, scheduler, max_steps, progress, true,
+    )
+    .map(|(trace, stats)| (trace, stats.expect("probe was attached")))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_threaded_inner(
+    input: DataSeq,
+    sender: Box<dyn Sender + Send>,
+    receiver: Box<dyn Receiver + Send>,
+    channel: Box<dyn Channel>,
+    scheduler: Box<dyn Scheduler>,
+    max_steps: Step,
+    progress: Option<Arc<Mutex<Progress>>>,
+    probed: bool,
+) -> Result<(Trace, Option<RunStats>), SimError> {
     let (s_proxy, s_handle) = spawn_sender(sender);
     let (r_proxy, r_handle) = spawn_receiver(receiver);
     let s_failed = s_proxy.failed.clone();
     let r_failed = r_proxy.failed.clone();
-    let mut world = World::builder(input)
+    let mut builder = World::builder(input)
         .sender(Box::new(s_proxy))
         .receiver(Box::new(r_proxy))
         .channel(channel)
-        .scheduler(scheduler)
-        .build()
-        .expect("all components supplied");
+        .scheduler(scheduler);
+    if probed {
+        builder = builder.probe(Box::new(MetricsProbe::new()));
+    }
+    let mut world = builder.build().expect("all components supplied");
     let worker_down = |step: Step| -> Option<SimError> {
         if s_failed.load(Ordering::SeqCst) {
             Some(SimError::WorkerDied {
@@ -279,6 +323,7 @@ pub fn run_threaded(
         p.lock().done = true;
     }
     let steps = world.step_count();
+    let stats = world.probe_of::<MetricsProbe>().map(MetricsProbe::stats);
     let trace = world.into_trace();
     // Dropping the world drops the proxies, closing the event channels and
     // letting the workers exit.
@@ -294,7 +339,7 @@ pub fn run_threaded(
             step: steps,
         });
     }
-    Ok(trace)
+    Ok((trace, stats))
 }
 
 #[cfg(test)]
@@ -370,6 +415,23 @@ mod tests {
         assert!(p.done);
         assert_eq!(p.written, 2);
         assert_eq!(p.steps, trace.steps());
+    }
+
+    #[test]
+    fn probed_threaded_run_streams_its_stats() {
+        let input = seq(&[1, 3, 0, 2]);
+        let (trace, stats) = run_threaded_probed(
+            input.clone(),
+            Box::new(TightSender::new(input.clone(), 4, ResendPolicy::EveryTick)),
+            Box::new(TightReceiver::new(4, ResendPolicy::EveryTick)),
+            Box::new(DelChannel::new()),
+            Box::new(DropHeavyScheduler::new(9, 0.3, 0.6)),
+            20_000,
+            None,
+        )
+        .expect("workers stay alive");
+        assert_eq!(stats, crate::metrics::RunStats::of(&trace));
+        assert!(stats.is_complete());
     }
 
     #[test]

@@ -3,8 +3,9 @@
 use crate::error::SimError;
 use crate::metrics::RunStats;
 use stp_channel::{Channel, DelChannel, DupChannel, EagerScheduler, Scheduler};
+use stp_core::alphabet::{RMsg, SMsg};
 use stp_core::data::DataSeq;
-use stp_core::event::{Event, ProcessId, Step, Trace, TraceMode};
+use stp_core::event::{Event, Probe, ProcessId, Step, Trace, TraceMode};
 use stp_core::proto::{Receiver, ReceiverEvent, Sender, SenderEvent};
 use stp_core::require;
 use stp_protocols::{ResendPolicy, TightReceiver, TightSender};
@@ -25,6 +26,7 @@ pub struct World {
     scheduler: Box<dyn Scheduler>,
     trace: Trace,
     mode: TraceMode,
+    probe: Option<Box<dyn Probe>>,
     step: Step,
     written: usize,
     reads_seen: usize,
@@ -37,6 +39,10 @@ pub struct World {
     drops: usize,
     write_steps: Vec<Step>,
     safe: bool,
+    // Scratch buffers for draining channel-initiated expiries once per
+    // step without allocating.
+    expiry_scratch_r: Vec<SMsg>,
+    expiry_scratch_s: Vec<RMsg>,
 }
 
 /// Fluent assembly of a [`World`].
@@ -65,6 +71,7 @@ pub struct WorldBuilder {
     channel: Option<Box<dyn Channel>>,
     scheduler: Option<Box<dyn Scheduler>>,
     mode: TraceMode,
+    probe: Option<Box<dyn Probe>>,
 }
 
 impl WorldBuilder {
@@ -98,6 +105,15 @@ impl WorldBuilder {
         self
     }
 
+    /// Attaches a streaming [`Probe`], which observes every event of every
+    /// run regardless of the trace mode (default: none). The world calls
+    /// `Probe::on_run_start` at assembly and on every [`World::reset`];
+    /// recover the concrete probe afterwards with [`World::probe_of`].
+    pub fn probe(mut self, probe: Box<dyn Probe>) -> Self {
+        self.probe = Some(probe);
+        self
+    }
+
     /// Assembles the world.
     ///
     /// # Errors
@@ -106,14 +122,19 @@ impl WorldBuilder {
     /// that was never supplied.
     pub fn build(self) -> Result<World, SimError> {
         let missing = |component| SimError::MissingComponent { component };
-        Ok(World::assemble(
+        let mut world = World::assemble(
             self.input,
             self.sender.ok_or_else(|| missing("sender"))?,
             self.receiver.ok_or_else(|| missing("receiver"))?,
             self.channel.ok_or_else(|| missing("channel"))?,
             self.scheduler.ok_or_else(|| missing("scheduler"))?,
             self.mode,
-        ))
+        );
+        world.probe = self.probe;
+        if let Some(p) = world.probe.as_deref_mut() {
+            p.on_run_start(world.trace.input());
+        }
+        Ok(world)
     }
 }
 
@@ -127,6 +148,7 @@ impl World {
             channel: None,
             scheduler: None,
             mode: TraceMode::default(),
+            probe: None,
         }
     }
 
@@ -145,6 +167,7 @@ impl World {
             scheduler,
             trace: Trace::new(input),
             mode,
+            probe: None,
             step: 0,
             written: 0,
             reads_seen: 0,
@@ -155,6 +178,8 @@ impl World {
             drops: 0,
             write_steps: Vec::new(),
             safe: true,
+            expiry_scratch_r: Vec::new(),
+            expiry_scratch_s: Vec::new(),
         }
     }
 
@@ -221,6 +246,11 @@ impl World {
         self.drops = 0;
         self.write_steps.clear();
         self.safe = true;
+        self.expiry_scratch_r.clear();
+        self.expiry_scratch_s.clear();
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.on_run_start(self.trace.input());
+        }
     }
 
     /// The trace-recording mode this world was assembled with.
@@ -298,7 +328,29 @@ impl World {
         self.sender.is_done() && self.written >= self.trace.input().len()
     }
 
+    /// The attached probe's concrete type, if a probe of type `P` is
+    /// attached — how a harness reads a `MetricsProbe`'s statistics back
+    /// out of a pooled world.
+    pub fn probe_of<P: Probe + 'static>(&self) -> Option<&P> {
+        self.probe
+            .as_deref()
+            .and_then(|p| p.as_any().downcast_ref())
+    }
+
+    /// Mutable access to the attached probe's concrete type; see
+    /// [`World::probe_of`].
+    pub fn probe_of_mut<P: Probe + 'static>(&mut self) -> Option<&mut P> {
+        self.probe
+            .as_deref_mut()
+            .and_then(|p| p.as_any_mut().downcast_mut())
+    }
+
     fn record(&mut self, step: Step, event: Event) {
+        // The probe sees every event, in execution order, regardless of
+        // what the trace mode keeps.
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.on_event(step, &event);
+        }
         if self.mode.records(&event) {
             self.trace.record(step, event);
         }
@@ -412,11 +464,43 @@ impl World {
             self.record(t, Event::SendR { msg: m });
         }
 
-        // Channel clock (timed channels expire messages here).
+        // Channel clock (timed channels expire messages here), then the
+        // expiry drain: copies the channel itself destroyed this step are
+        // counted — and evented — exactly like adversarial loss, except as
+        // `ChannelExpire` so replay does not re-inject them.
         self.channel.tick();
+        self.channel
+            .take_expirations(&mut self.expiry_scratch_r, &mut self.expiry_scratch_s);
+        for i in 0..self.expiry_scratch_r.len() {
+            let msg = self.expiry_scratch_r[i];
+            self.drops += 1;
+            self.record(
+                t,
+                Event::ChannelExpire {
+                    to: ProcessId::Receiver,
+                    msg: msg.0,
+                },
+            );
+        }
+        for i in 0..self.expiry_scratch_s.len() {
+            let msg = self.expiry_scratch_s[i];
+            self.drops += 1;
+            self.record(
+                t,
+                Event::ChannelExpire {
+                    to: ProcessId::Sender,
+                    msg: msg.0,
+                },
+            );
+        }
+        self.expiry_scratch_r.clear();
+        self.expiry_scratch_s.clear();
 
         self.step += 1;
         self.trace.set_steps(self.step);
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.on_step_end(t);
+        }
     }
 
     /// Runs exactly `steps` global steps and returns the trace.
@@ -661,6 +745,94 @@ mod tests {
             .events()
             .iter()
             .all(|e| matches!(e.event, Event::Write { .. })));
+    }
+
+    #[test]
+    fn probe_stats_match_trace_and_counters() {
+        use crate::metrics::MetricsProbe;
+        let input = seq(&[1, 3, 0, 2]);
+        for s in 0..8 {
+            let mut w = tight(&input, 4, ResendPolicy::EveryTick)
+                .channel(Box::new(DelChannel::new()))
+                .scheduler(Box::new(DropHeavyScheduler::new(s, 0.3, 0.6)))
+                .probe(Box::new(MetricsProbe::new()))
+                .build()
+                .unwrap();
+            w.run_until(20_000, World::is_complete);
+            let probe_stats = w.probe_of::<MetricsProbe>().unwrap().stats();
+            assert_eq!(probe_stats, w.stats(), "seed={s}");
+            assert_eq!(probe_stats, RunStats::of(w.trace()), "seed={s}");
+        }
+    }
+
+    #[test]
+    fn probe_works_with_trace_off() {
+        use crate::metrics::MetricsProbe;
+        let input = seq(&[2, 0, 1]);
+        let mut w = tight(&input, 3, ResendPolicy::Once)
+            .channel(Box::new(DupChannel::new()))
+            .scheduler(Box::new(DupStormScheduler::new(7, 0.9)))
+            .mode(TraceMode::Off)
+            .probe(Box::new(MetricsProbe::new()))
+            .build()
+            .unwrap();
+        w.run_until(5_000, World::is_complete);
+        assert!(w.trace().events().is_empty());
+        let probe_stats = w.probe_of::<MetricsProbe>().unwrap().stats();
+        assert_eq!(probe_stats, w.stats());
+        assert!(probe_stats.is_complete());
+    }
+
+    #[test]
+    fn probe_resets_with_the_world() {
+        use crate::metrics::MetricsProbe;
+        let input_a = seq(&[1, 2, 0]);
+        let input_b = seq(&[0, 2]);
+        let mut pooled = tight(&input_a, 3, ResendPolicy::EveryTick)
+            .channel(Box::new(DelChannel::new()))
+            .scheduler(Box::new(DropHeavyScheduler::new(5, 0.3, 0.6)))
+            .probe(Box::new(MetricsProbe::new()))
+            .build()
+            .unwrap();
+        pooled.run(400);
+        pooled.reset(&input_b, 9);
+        pooled.run(400);
+        let mut fresh = tight(&input_b, 3, ResendPolicy::EveryTick)
+            .channel(Box::new(DelChannel::new()))
+            .scheduler(Box::new(DropHeavyScheduler::new(9, 0.3, 0.6)))
+            .probe(Box::new(MetricsProbe::new()))
+            .build()
+            .unwrap();
+        fresh.run(400);
+        assert_eq!(
+            pooled.probe_of::<MetricsProbe>().unwrap().stats(),
+            fresh.probe_of::<MetricsProbe>().unwrap().stats()
+        );
+        assert_eq!(pooled.stats(), fresh.stats());
+    }
+
+    #[test]
+    fn timed_expiries_are_counted_and_evented_as_drops() {
+        use stp_channel::TimedChannel;
+        // A scheduler that never delivers: on a deadline-1 timed channel
+        // every send expires at the end of its sending step.
+        let input = seq(&[1, 0]);
+        let mut w = tight(&input, 2, ResendPolicy::EveryTick)
+            .channel(Box::new(TimedChannel::new(1)))
+            .scheduler(Box::new(RandomScheduler::new(0, 0.0)))
+            .build()
+            .unwrap();
+        w.run(50);
+        let stats = w.stats();
+        assert!(stats.drops > 0, "expiries must register as drops");
+        let expire_events = w
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| matches!(e.event, Event::ChannelExpire { .. }))
+            .count();
+        assert_eq!(stats.drops, expire_events);
+        assert_eq!(stats, RunStats::of(w.trace()));
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Probe parity: a streaming [`MetricsProbe`] must reproduce
+//! trace-derived [`RunStats::of`] field-for-field on every channel model.
+//!
+//! Seeds 0..32 over a mixed dup/del/timed grid — duplication storms,
+//! deletion-heavy adversaries, and a lossy timed channel whose TTL
+//! expiries must land in `drops` exactly like adversarial deletions. A
+//! second pass pins the cheap configuration: the same run at
+//! [`TraceMode::Off`] with only the probe attached yields identical
+//! statistics to its fully traced twin.
+
+use stp_channel::{ChannelSpec, SchedulerSpec};
+use stp_core::data::DataSeq;
+use stp_core::event::{Event, TraceMode};
+use stp_protocols::{ResendPolicy, TightReceiver, TightSender};
+use stp_sim::{MetricsProbe, RunStats, World};
+
+struct GridCell {
+    channel: ChannelSpec,
+    scheduler: SchedulerSpec,
+    policy: ResendPolicy,
+    max_steps: u64,
+}
+
+fn grid() -> Vec<GridCell> {
+    vec![
+        GridCell {
+            channel: ChannelSpec::Dup,
+            scheduler: SchedulerSpec::DupStorm { p_deliver: 0.9 },
+            policy: ResendPolicy::Once,
+            max_steps: 5_000,
+        },
+        GridCell {
+            channel: ChannelSpec::Del,
+            scheduler: SchedulerSpec::DropHeavy {
+                p_drop: 0.3,
+                p_deliver: 0.6,
+            },
+            policy: ResendPolicy::EveryTick,
+            max_steps: 20_000,
+        },
+        GridCell {
+            channel: ChannelSpec::Timed { deadline: 2 },
+            scheduler: SchedulerSpec::Random { p_deliver: 0.5 },
+            policy: ResendPolicy::EveryTick,
+            max_steps: 20_000,
+        },
+    ]
+}
+
+fn build(cell: &GridCell, input: &DataSeq, seed: u64, mode: TraceMode, probed: bool) -> World {
+    let d = input.len() as u16 + 2;
+    let mut builder = World::builder(input.clone())
+        .sender(Box::new(TightSender::new(input.clone(), d, cell.policy)))
+        .receiver(Box::new(TightReceiver::new(d, cell.policy)))
+        .channel(cell.channel.build())
+        .scheduler(cell.scheduler.build(seed))
+        .mode(mode);
+    if probed {
+        builder = builder.probe(Box::new(MetricsProbe::new()));
+    }
+    builder.build().expect("all components supplied")
+}
+
+#[test]
+fn probe_stats_equal_trace_stats_across_the_mixed_grid() {
+    let input = DataSeq::from_indices([1, 3, 0, 2]);
+    let mut timed_expiries = 0usize;
+    for cell in grid() {
+        for seed in 0..32 {
+            let mut w = build(&cell, &input, seed, TraceMode::Full, true);
+            w.run_until(cell.max_steps, World::is_complete);
+            let probe_stats = w
+                .probe_of::<MetricsProbe>()
+                .expect("probe attached")
+                .stats();
+            let trace_stats = RunStats::of(w.trace());
+            assert_eq!(
+                probe_stats, trace_stats,
+                "probe diverged from trace on {:?} seed {seed}",
+                cell.channel
+            );
+            assert_eq!(
+                probe_stats,
+                w.stats(),
+                "probe diverged from incremental counters on {:?} seed {seed}",
+                cell.channel
+            );
+            if matches!(cell.channel, ChannelSpec::Timed { .. }) {
+                timed_expiries += w
+                    .trace()
+                    .events()
+                    .iter()
+                    .filter(|e| matches!(e.event, Event::ChannelExpire { .. }))
+                    .count();
+            }
+        }
+    }
+    assert!(
+        timed_expiries > 0,
+        "the timed grid must actually exercise TTL expiry"
+    );
+}
+
+#[test]
+fn off_mode_probe_matches_fully_traced_twin() {
+    let input = DataSeq::from_indices([2, 0, 3, 1]);
+    for cell in grid() {
+        for seed in 0..32 {
+            let mut traced = build(&cell, &input, seed, TraceMode::Full, false);
+            traced.run_until(cell.max_steps, World::is_complete);
+            let mut cheap = build(&cell, &input, seed, TraceMode::Off, true);
+            cheap.run_until(cell.max_steps, World::is_complete);
+            assert!(cheap.trace().events().is_empty(), "Off records nothing");
+            assert_eq!(
+                cheap
+                    .probe_of::<MetricsProbe>()
+                    .expect("probe attached")
+                    .stats(),
+                RunStats::of(traced.trace()),
+                "cheap path diverged on {:?} seed {seed}",
+                cell.channel
+            );
+        }
+    }
+}
