@@ -7,7 +7,7 @@
 //! `telemetry.jsonl` in the current directory).
 
 use std::process::ExitCode;
-use stp_sim::telemetry::{ReportLine, RunLine, SummaryLine};
+use stp_sim::telemetry::{FrontierLine, ReportLine, RunLine, SpanLine, SummaryLine};
 use stp_sim::TelemetryLine;
 
 fn round_trips(line: &TelemetryLine) -> Result<bool, serde_json::Error> {
@@ -17,6 +17,10 @@ fn round_trips(line: &TelemetryLine) -> Result<bool, serde_json::Error> {
             report: r.as_ref().clone(),
         })?,
         TelemetryLine::Summary(s) => serde_json::to_string(&SummaryLine { summary: s.clone() })?,
+        TelemetryLine::Span(s) => serde_json::to_string(&SpanLine { span: s.clone() })?,
+        TelemetryLine::Frontier(f) => serde_json::to_string(&FrontierLine {
+            frontier: f.clone(),
+        })?,
     };
     Ok(TelemetryLine::parse(&reserialized)? == *line)
 }
@@ -33,6 +37,7 @@ fn main() -> ExitCode {
         }
     };
     let (mut runs, mut reports, mut summaries) = (0usize, 0usize, 0usize);
+    let (mut spans, mut frontiers) = (0usize, 0usize);
     for (no, line) in body.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -68,13 +73,18 @@ fn main() -> ExitCode {
             TelemetryLine::Run(_) => runs += 1,
             TelemetryLine::Report(_) => reports += 1,
             TelemetryLine::Summary(_) => summaries += 1,
+            TelemetryLine::Span(_) => spans += 1,
+            TelemetryLine::Frontier(_) => frontiers += 1,
         }
     }
-    let total = runs + reports + summaries;
+    let total = runs + reports + summaries + spans + frontiers;
     if total == 0 {
         eprintln!("validate_telemetry: {path} contains no telemetry lines");
         return ExitCode::FAILURE;
     }
-    println!("{path}: {total} lines valid ({runs} runs, {reports} reports, {summaries} summaries)");
+    println!(
+        "{path}: {total} lines valid ({runs} runs, {reports} reports, {summaries} summaries, \
+         {spans} spans, {frontiers} frontiers)"
+    );
     ExitCode::SUCCESS
 }

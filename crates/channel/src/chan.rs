@@ -3,6 +3,7 @@
 use crate::error::ChannelError;
 use std::fmt;
 use stp_core::alphabet::{RMsg, SMsg};
+use stp_core::event::MsgId;
 
 /// The fault class of a channel, mirroring the paper's taxonomy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -87,6 +88,15 @@ pub trait Channel: fmt::Debug {
         false
     }
 
+    /// Whether the channel may destroy copies on its own (i.e. whether
+    /// [`Channel::take_expirations`] can ever drain anything). Executors
+    /// use this to skip per-step loss bookkeeping on channels that never
+    /// lose; like [`Channel::can_delete`], the answer is a constant of
+    /// the channel type.
+    fn can_expire(&self) -> bool {
+        false
+    }
+
     /// Irrevocably destroys one in-flight copy of `msg` addressed to `R`.
     ///
     /// # Errors
@@ -132,6 +142,76 @@ pub trait Channel: fmt::Debug {
     /// The default (for channels that never lose on their own) drains
     /// nothing.
     fn take_expirations(&mut self, to_r: &mut Vec<SMsg>, to_s: &mut Vec<RMsg>) {
+        let _ = (to_r, to_s);
+    }
+
+    /// Switches per-copy provenance tracking on or off. Executors enable
+    /// it *before* any send of a run (and it survives [`Channel::reset`]);
+    /// flipping it mid-run leaves the id bookkeeping unspecified. The
+    /// default — for channels without provenance support — ignores the
+    /// request, keeping untracked channels zero-cost.
+    fn set_provenance(&mut self, enabled: bool) {
+        let _ = enabled;
+    }
+
+    /// Whether per-copy provenance tracking is currently active.
+    fn provenance_enabled(&self) -> bool {
+        false
+    }
+
+    /// Records that the copy just enqueued by [`Channel::send_s`] carries
+    /// id `id` (the executor calls this immediately after the send, with a
+    /// fresh id per physical send). Returns the id the copy was *filed*
+    /// under: on duplicating channels a re-send of an ever-sent value adds
+    /// no new copy and returns the original carrier's id; consuming
+    /// channels always return `id`. No-op echo when provenance is off.
+    fn note_send_s(&mut self, msg: SMsg, id: MsgId) -> MsgId {
+        let _ = msg;
+        id
+    }
+
+    /// Records provenance for the copy just enqueued by
+    /// [`Channel::send_r`]; see [`Channel::note_send_s`].
+    fn note_send_r(&mut self, msg: RMsg, id: MsgId) -> MsgId {
+        let _ = msg;
+        id
+    }
+
+    /// The id of the copy consumed by the most recent successful
+    /// [`Channel::deliver_to_r`], taken at most once per delivery. `None`
+    /// when provenance is off or the channel cannot attribute the copy.
+    fn take_delivered_id_to_r(&mut self) -> Option<MsgId> {
+        None
+    }
+
+    /// The id behind the most recent [`Channel::deliver_to_s`]; see
+    /// [`Channel::take_delivered_id_to_r`].
+    fn take_delivered_id_to_s(&mut self) -> Option<MsgId> {
+        None
+    }
+
+    /// The id of the copy destroyed by the most recent successful
+    /// [`Channel::delete_to_r`], taken at most once per deletion.
+    fn take_deleted_id_to_r(&mut self) -> Option<MsgId> {
+        None
+    }
+
+    /// The id behind the most recent [`Channel::delete_to_s`]; see
+    /// [`Channel::take_deleted_id_to_r`].
+    fn take_deleted_id_to_s(&mut self) -> Option<MsgId> {
+        None
+    }
+
+    /// Drains the provenance ids of the copies reported by the matching
+    /// [`Channel::take_expirations`] call, appended index-aligned with the
+    /// messages that call produced (executors call this immediately after
+    /// it). The default — exact for channels that never expire anything —
+    /// drains nothing.
+    fn take_expiration_ids(
+        &mut self,
+        to_r: &mut Vec<Option<MsgId>>,
+        to_s: &mut Vec<Option<MsgId>>,
+    ) {
         let _ = (to_r, to_s);
     }
 
@@ -217,5 +297,56 @@ mod tests {
         c.tick(); // default no-op
         let b: Box<dyn Channel> = c.box_clone();
         let _b2 = b.clone();
+    }
+
+    #[test]
+    fn default_provenance_is_inert() {
+        #[derive(Debug, Clone)]
+        struct Nop;
+        impl Channel for Nop {
+            fn kind(&self) -> ChannelKind {
+                ChannelKind::Perfect
+            }
+            fn send_s(&mut self, _msg: SMsg) {}
+            fn send_r(&mut self, _msg: RMsg) {}
+            fn deliverable_to_r(&self) -> &[SMsg] {
+                &[]
+            }
+            fn deliverable_to_s(&self) -> &[RMsg] {
+                &[]
+            }
+            fn deliver_to_r(&mut self, msg: SMsg) -> Result<(), ChannelError> {
+                Err(ChannelError::NotDeliverableToR { msg })
+            }
+            fn deliver_to_s(&mut self, msg: RMsg) -> Result<(), ChannelError> {
+                Err(ChannelError::NotDeliverableToS { msg })
+            }
+            fn pending_to_r(&self) -> u64 {
+                0
+            }
+            fn pending_to_s(&self) -> u64 {
+                0
+            }
+            fn reset(&mut self) {}
+            fn state_key(&self) -> String {
+                "nop".to_string()
+            }
+            fn box_clone(&self) -> Box<dyn Channel> {
+                Box::new(self.clone())
+            }
+        }
+        let mut c = Nop;
+        c.set_provenance(true); // ignored by the default impl
+        assert!(!c.provenance_enabled());
+        // note_send_* echoes the fresh id (no coalescing).
+        assert_eq!(c.note_send_s(SMsg(0), MsgId(5)), MsgId(5));
+        assert_eq!(c.note_send_r(RMsg(0), MsgId(6)), MsgId(6));
+        assert_eq!(c.take_delivered_id_to_r(), None);
+        assert_eq!(c.take_delivered_id_to_s(), None);
+        assert_eq!(c.take_deleted_id_to_r(), None);
+        assert_eq!(c.take_deleted_id_to_s(), None);
+        let (mut r, mut s) = (Vec::new(), Vec::new());
+        c.take_expiration_ids(&mut r, &mut s);
+        assert!(r.is_empty() && s.is_empty());
     }
 }

@@ -17,7 +17,46 @@
 use crate::chan::{Channel, ChannelKind};
 use crate::error::ChannelError;
 use crate::multiset::Multiset;
+use std::collections::VecDeque;
 use stp_core::alphabet::{RMsg, SMsg};
+use stp_core::event::MsgId;
+
+/// Per-value FIFO queues of send ids, mirroring a [`Multiset`]'s counts.
+///
+/// Same-value copies are physically indistinguishable, so when a delivery
+/// or deletion consumes "one copy of `μ`" the provenance layer needs a
+/// *canonical* choice of which send that was: we always attribute the
+/// oldest outstanding send of the value. The queues stay aligned with the
+/// multiset as long as provenance is enabled before the first send of a
+/// run, which is the executor's contract.
+#[derive(Debug, Clone, Default)]
+struct IdQueues<T: Ord + Copy> {
+    entries: Vec<(T, VecDeque<MsgId>)>,
+}
+
+impl<T: Ord + Copy> IdQueues<T> {
+    fn push(&mut self, value: T, id: MsgId) {
+        match self.entries.binary_search_by_key(&value, |&(v, _)| v) {
+            Ok(i) => self.entries[i].1.push_back(id),
+            Err(i) => self.entries.insert(i, (value, VecDeque::from([id]))),
+        }
+    }
+
+    fn pop(&mut self, value: &T) -> Option<MsgId> {
+        self.entries
+            .binary_search_by_key(value, |&(v, _)| v)
+            .ok()
+            .and_then(|i| self.entries[i].1.pop_front())
+    }
+
+    // Keeps the (tiny, alphabet-bounded) entry table and its queue
+    // allocations for the next pooled run.
+    fn clear(&mut self) {
+        for (_, q) in &mut self.entries {
+            q.clear();
+        }
+    }
+}
 
 /// A bidirectional reorder + delete channel.
 ///
@@ -41,6 +80,13 @@ pub struct DelChannel {
     delivered_to_s: u64,
     deleted_to_r: u64,
     deleted_to_s: u64,
+    prov: bool,
+    ids_to_r: IdQueues<SMsg>,
+    ids_to_s: IdQueues<RMsg>,
+    last_delivered_r: Option<MsgId>,
+    last_delivered_s: Option<MsgId>,
+    last_deleted_r: Option<MsgId>,
+    last_deleted_s: Option<MsgId>,
 }
 
 impl DelChannel {
@@ -97,6 +143,9 @@ impl Channel for DelChannel {
     fn deliver_to_r(&mut self, msg: SMsg) -> Result<(), ChannelError> {
         if self.to_r.remove(&msg) {
             self.delivered_to_r += 1;
+            if self.prov {
+                self.last_delivered_r = self.ids_to_r.pop(&msg);
+            }
             Ok(())
         } else {
             Err(ChannelError::NotDeliverableToR { msg })
@@ -106,6 +155,9 @@ impl Channel for DelChannel {
     fn deliver_to_s(&mut self, msg: RMsg) -> Result<(), ChannelError> {
         if self.to_s.remove(&msg) {
             self.delivered_to_s += 1;
+            if self.prov {
+                self.last_delivered_s = self.ids_to_s.pop(&msg);
+            }
             Ok(())
         } else {
             Err(ChannelError::NotDeliverableToS { msg })
@@ -119,6 +171,9 @@ impl Channel for DelChannel {
     fn delete_to_r(&mut self, msg: SMsg) -> Result<(), ChannelError> {
         if self.to_r.remove(&msg) {
             self.deleted_to_r += 1;
+            if self.prov {
+                self.last_deleted_r = self.ids_to_r.pop(&msg);
+            }
             Ok(())
         } else {
             Err(ChannelError::NothingToDelete)
@@ -128,10 +183,51 @@ impl Channel for DelChannel {
     fn delete_to_s(&mut self, msg: RMsg) -> Result<(), ChannelError> {
         if self.to_s.remove(&msg) {
             self.deleted_to_s += 1;
+            if self.prov {
+                self.last_deleted_s = self.ids_to_s.pop(&msg);
+            }
             Ok(())
         } else {
             Err(ChannelError::NothingToDelete)
         }
+    }
+
+    fn set_provenance(&mut self, enabled: bool) {
+        self.prov = enabled;
+    }
+
+    fn provenance_enabled(&self) -> bool {
+        self.prov
+    }
+
+    fn note_send_s(&mut self, msg: SMsg, id: MsgId) -> MsgId {
+        if self.prov {
+            self.ids_to_r.push(msg, id);
+        }
+        id
+    }
+
+    fn note_send_r(&mut self, msg: RMsg, id: MsgId) -> MsgId {
+        if self.prov {
+            self.ids_to_s.push(msg, id);
+        }
+        id
+    }
+
+    fn take_delivered_id_to_r(&mut self) -> Option<MsgId> {
+        self.last_delivered_r.take()
+    }
+
+    fn take_delivered_id_to_s(&mut self) -> Option<MsgId> {
+        self.last_delivered_s.take()
+    }
+
+    fn take_deleted_id_to_r(&mut self) -> Option<MsgId> {
+        self.last_deleted_r.take()
+    }
+
+    fn take_deleted_id_to_s(&mut self) -> Option<MsgId> {
+        self.last_deleted_s.take()
     }
 
     fn pending_to_r(&self) -> u64 {
@@ -153,6 +249,12 @@ impl Channel for DelChannel {
         self.delivered_to_s = 0;
         self.deleted_to_r = 0;
         self.deleted_to_s = 0;
+        self.ids_to_r.clear();
+        self.ids_to_s.clear();
+        self.last_delivered_r = None;
+        self.last_delivered_s = None;
+        self.last_deleted_r = None;
+        self.last_deleted_s = None;
     }
 
     fn state_key(&self) -> String {
@@ -222,6 +324,46 @@ mod tests {
         ch.send_r(RMsg(1));
         assert_eq!(ch.pending_to_r(), 1);
         assert_eq!(ch.pending_to_s(), 2);
+    }
+
+    #[test]
+    fn provenance_attributes_the_oldest_copy_first() {
+        let mut ch = DelChannel::new();
+        ch.set_provenance(true);
+        ch.send_s(SMsg(1));
+        ch.note_send_s(SMsg(1), MsgId(0));
+        ch.send_s(SMsg(1));
+        ch.note_send_s(SMsg(1), MsgId(1));
+        ch.send_s(SMsg(2));
+        ch.note_send_s(SMsg(2), MsgId(2));
+        // Deleting one copy of 1 consumes the oldest send of that value.
+        ch.delete_to_r(SMsg(1)).unwrap();
+        assert_eq!(ch.take_deleted_id_to_r(), Some(MsgId(0)));
+        assert_eq!(ch.take_deleted_id_to_r(), None);
+        // The remaining copy of 1 is the second send.
+        ch.deliver_to_r(SMsg(1)).unwrap();
+        assert_eq!(ch.take_delivered_id_to_r(), Some(MsgId(1)));
+        ch.deliver_to_r(SMsg(2)).unwrap();
+        assert_eq!(ch.take_delivered_id_to_r(), Some(MsgId(2)));
+    }
+
+    #[test]
+    fn provenance_reverse_direction_and_reset() {
+        let mut ch = DelChannel::new();
+        ch.set_provenance(true);
+        ch.send_r(RMsg(3));
+        ch.note_send_r(RMsg(3), MsgId(0));
+        ch.deliver_to_s(RMsg(3)).unwrap();
+        assert_eq!(ch.take_delivered_id_to_s(), Some(MsgId(0)));
+        ch.send_r(RMsg(3));
+        ch.note_send_r(RMsg(3), MsgId(1));
+        ch.reset();
+        assert!(ch.provenance_enabled());
+        // Old ids are gone after the reset: a fresh run restarts at #0.
+        ch.send_r(RMsg(3));
+        ch.note_send_r(RMsg(3), MsgId(0));
+        ch.delete_to_s(RMsg(3)).unwrap();
+        assert_eq!(ch.take_deleted_id_to_s(), Some(MsgId(0)));
     }
 
     proptest! {

@@ -11,6 +11,7 @@
 use crate::chan::{Channel, ChannelKind};
 use crate::error::ChannelError;
 use stp_core::alphabet::{RMsg, SMsg};
+use stp_core::event::MsgId;
 
 /// A bidirectional reorder + duplicate channel.
 ///
@@ -34,6 +35,15 @@ pub struct DupChannel {
     ever_sent_to_s: Vec<RMsg>,
     deliveries_to_r: u64,
     deliveries_to_s: u64,
+    // Provenance (active only under `prov`): the id of the *first* send of
+    // each value — the carrier every later re-send coalesces into and
+    // every delivery of that value fans out from. Sorted by value,
+    // independently of `ever_sent_*`, so note-order never matters.
+    prov: bool,
+    origin_r: Vec<(SMsg, MsgId)>,
+    origin_s: Vec<(RMsg, MsgId)>,
+    last_delivered_r: Option<MsgId>,
+    last_delivered_s: Option<MsgId>,
 }
 
 impl DupChannel {
@@ -93,6 +103,13 @@ impl Channel for DupChannel {
     fn deliver_to_r(&mut self, msg: SMsg) -> Result<(), ChannelError> {
         if self.ever_sent_to_r.binary_search(&msg).is_ok() {
             self.deliveries_to_r += 1;
+            if self.prov {
+                self.last_delivered_r = self
+                    .origin_r
+                    .binary_search_by_key(&msg, |&(m, _)| m)
+                    .ok()
+                    .map(|i| self.origin_r[i].1);
+            }
             Ok(())
         } else {
             Err(ChannelError::NotDeliverableToR { msg })
@@ -102,10 +119,59 @@ impl Channel for DupChannel {
     fn deliver_to_s(&mut self, msg: RMsg) -> Result<(), ChannelError> {
         if self.ever_sent_to_s.binary_search(&msg).is_ok() {
             self.deliveries_to_s += 1;
+            if self.prov {
+                self.last_delivered_s = self
+                    .origin_s
+                    .binary_search_by_key(&msg, |&(m, _)| m)
+                    .ok()
+                    .map(|i| self.origin_s[i].1);
+            }
             Ok(())
         } else {
             Err(ChannelError::NotDeliverableToS { msg })
         }
+    }
+
+    fn set_provenance(&mut self, enabled: bool) {
+        self.prov = enabled;
+    }
+
+    fn provenance_enabled(&self) -> bool {
+        self.prov
+    }
+
+    fn note_send_s(&mut self, msg: SMsg, id: MsgId) -> MsgId {
+        if !self.prov {
+            return id;
+        }
+        match self.origin_r.binary_search_by_key(&msg, |&(m, _)| m) {
+            Ok(i) => self.origin_r[i].1,
+            Err(i) => {
+                self.origin_r.insert(i, (msg, id));
+                id
+            }
+        }
+    }
+
+    fn note_send_r(&mut self, msg: RMsg, id: MsgId) -> MsgId {
+        if !self.prov {
+            return id;
+        }
+        match self.origin_s.binary_search_by_key(&msg, |&(m, _)| m) {
+            Ok(i) => self.origin_s[i].1,
+            Err(i) => {
+                self.origin_s.insert(i, (msg, id));
+                id
+            }
+        }
+    }
+
+    fn take_delivered_id_to_r(&mut self) -> Option<MsgId> {
+        self.last_delivered_r.take()
+    }
+
+    fn take_delivered_id_to_s(&mut self) -> Option<MsgId> {
+        self.last_delivered_s.take()
     }
 
     fn pending_to_r(&self) -> u64 {
@@ -123,6 +189,12 @@ impl Channel for DupChannel {
         self.ever_sent_to_s.clear();
         self.deliveries_to_r = 0;
         self.deliveries_to_s = 0;
+        // Provenance stays enabled across pooled resets; only the
+        // per-run id bookkeeping is wiped.
+        self.origin_r.clear();
+        self.origin_s.clear();
+        self.last_delivered_r = None;
+        self.last_delivered_s = None;
     }
 
     fn state_key(&self) -> String {
@@ -209,6 +281,51 @@ mod tests {
         c2.deliver_to_r(SMsg(4)).unwrap();
         assert_eq!(ch.deliveries_to_r(), 0);
         assert_eq!(c2.deliveries_to_r(), 1);
+    }
+
+    #[test]
+    fn provenance_coalesces_resends_into_the_first_carrier() {
+        let mut ch = DupChannel::new();
+        ch.set_provenance(true);
+        assert!(ch.provenance_enabled());
+        ch.send_s(SMsg(2));
+        assert_eq!(ch.note_send_s(SMsg(2), MsgId(0)), MsgId(0));
+        ch.send_s(SMsg(2));
+        // Re-sending an ever-sent value files the copy under the original.
+        assert_eq!(ch.note_send_s(SMsg(2), MsgId(1)), MsgId(0));
+        // Every delivery of the value fans out from the original carrier.
+        for _ in 0..3 {
+            ch.deliver_to_r(SMsg(2)).unwrap();
+            assert_eq!(ch.take_delivered_id_to_r(), Some(MsgId(0)));
+        }
+        // The id is consumed by the take.
+        assert_eq!(ch.take_delivered_id_to_r(), None);
+    }
+
+    #[test]
+    fn provenance_tracks_directions_independently_and_resets() {
+        let mut ch = DupChannel::new();
+        ch.set_provenance(true);
+        ch.send_s(SMsg(0));
+        ch.note_send_s(SMsg(0), MsgId(0));
+        ch.send_r(RMsg(1));
+        assert_eq!(ch.note_send_r(RMsg(1), MsgId(1)), MsgId(1));
+        ch.deliver_to_s(RMsg(1)).unwrap();
+        assert_eq!(ch.take_delivered_id_to_s(), Some(MsgId(1)));
+        ch.reset();
+        // The flag survives the pooled reset; the id tables do not.
+        assert!(ch.provenance_enabled());
+        ch.send_s(SMsg(0));
+        assert_eq!(ch.note_send_s(SMsg(0), MsgId(0)), MsgId(0));
+    }
+
+    #[test]
+    fn provenance_off_is_free_and_unattributed() {
+        let mut ch = DupChannel::new();
+        ch.send_s(SMsg(1));
+        assert_eq!(ch.note_send_s(SMsg(1), MsgId(7)), MsgId(7));
+        ch.deliver_to_r(SMsg(1)).unwrap();
+        assert_eq!(ch.take_delivered_id_to_r(), None);
     }
 
     proptest! {

@@ -10,6 +10,7 @@ use crate::chan::{Channel, ChannelKind};
 use crate::error::ChannelError;
 use std::collections::VecDeque;
 use stp_core::alphabet::{RMsg, SMsg};
+use stp_core::event::MsgId;
 
 /// Shared queue mechanics for the FIFO family.
 #[derive(Debug, Clone, Default)]
@@ -18,16 +19,44 @@ struct FifoCore {
     to_s: VecDeque<RMsg>,
     deleted_to_r: u64,
     deleted_to_s: u64,
+    // Provenance (active only under `prov`): send ids as parallel deques,
+    // consumed in lockstep with the message queues.
+    prov: bool,
+    ids_to_r: VecDeque<MsgId>,
+    ids_to_s: VecDeque<MsgId>,
+    last_delivered_r: Option<MsgId>,
+    last_delivered_s: Option<MsgId>,
+    last_deleted_r: Option<MsgId>,
+    last_deleted_s: Option<MsgId>,
 }
 
 impl FifoCore {
     // Clear rather than replace, keeping the queues' capacity for the
-    // next pooled run.
+    // next pooled run. The provenance flag survives, matching the
+    // executor contract that `reset` preserves configuration.
     fn clear(&mut self) {
         self.to_r.clear();
         self.to_s.clear();
         self.deleted_to_r = 0;
         self.deleted_to_s = 0;
+        self.ids_to_r.clear();
+        self.ids_to_s.clear();
+        self.last_delivered_r = None;
+        self.last_delivered_s = None;
+        self.last_deleted_r = None;
+        self.last_deleted_s = None;
+    }
+    fn note_send_s(&mut self, id: MsgId) -> MsgId {
+        if self.prov {
+            self.ids_to_r.push_back(id);
+        }
+        id
+    }
+    fn note_send_r(&mut self, id: MsgId) -> MsgId {
+        if self.prov {
+            self.ids_to_s.push_back(id);
+        }
+        id
     }
     // Only the head is deliverable; it always lives at the start of the
     // deque's first contiguous segment, so a ≤1-element borrowed slice
@@ -41,6 +70,9 @@ impl FifoCore {
     fn deliver_to_r(&mut self, msg: SMsg) -> Result<(), ChannelError> {
         if self.to_r.front() == Some(&msg) {
             self.to_r.pop_front();
+            if self.prov {
+                self.last_delivered_r = self.ids_to_r.pop_front();
+            }
             Ok(())
         } else {
             Err(ChannelError::NotDeliverableToR { msg })
@@ -49,6 +81,9 @@ impl FifoCore {
     fn deliver_to_s(&mut self, msg: RMsg) -> Result<(), ChannelError> {
         if self.to_s.front() == Some(&msg) {
             self.to_s.pop_front();
+            if self.prov {
+                self.last_delivered_s = self.ids_to_s.pop_front();
+            }
             Ok(())
         } else {
             Err(ChannelError::NotDeliverableToS { msg })
@@ -58,6 +93,9 @@ impl FifoCore {
         match self.to_r.iter().position(|&m| m == msg) {
             Some(i) => {
                 self.to_r.remove(i);
+                if self.prov {
+                    self.last_deleted_r = self.ids_to_r.remove(i);
+                }
                 self.deleted_to_r += 1;
                 Ok(())
             }
@@ -68,6 +106,9 @@ impl FifoCore {
         match self.to_s.iter().position(|&m| m == msg) {
             Some(i) => {
                 self.to_s.remove(i);
+                if self.prov {
+                    self.last_deleted_s = self.ids_to_s.remove(i);
+                }
                 self.deleted_to_s += 1;
                 Ok(())
             }
@@ -118,6 +159,24 @@ impl Channel for FifoChannel {
     }
     fn pending_to_s(&self) -> u64 {
         self.core.to_s.len() as u64
+    }
+    fn set_provenance(&mut self, enabled: bool) {
+        self.core.prov = enabled;
+    }
+    fn provenance_enabled(&self) -> bool {
+        self.core.prov
+    }
+    fn note_send_s(&mut self, _msg: SMsg, id: MsgId) -> MsgId {
+        self.core.note_send_s(id)
+    }
+    fn note_send_r(&mut self, _msg: RMsg, id: MsgId) -> MsgId {
+        self.core.note_send_r(id)
+    }
+    fn take_delivered_id_to_r(&mut self) -> Option<MsgId> {
+        self.core.last_delivered_r.take()
+    }
+    fn take_delivered_id_to_s(&mut self) -> Option<MsgId> {
+        self.core.last_delivered_s.take()
     }
     fn reset(&mut self) {
         self.core.clear();
@@ -187,6 +246,30 @@ impl Channel for LossyFifoChannel {
     fn pending_to_s(&self) -> u64 {
         self.core.to_s.len() as u64
     }
+    fn set_provenance(&mut self, enabled: bool) {
+        self.core.prov = enabled;
+    }
+    fn provenance_enabled(&self) -> bool {
+        self.core.prov
+    }
+    fn note_send_s(&mut self, _msg: SMsg, id: MsgId) -> MsgId {
+        self.core.note_send_s(id)
+    }
+    fn note_send_r(&mut self, _msg: RMsg, id: MsgId) -> MsgId {
+        self.core.note_send_r(id)
+    }
+    fn take_delivered_id_to_r(&mut self) -> Option<MsgId> {
+        self.core.last_delivered_r.take()
+    }
+    fn take_delivered_id_to_s(&mut self) -> Option<MsgId> {
+        self.core.last_delivered_s.take()
+    }
+    fn take_deleted_id_to_r(&mut self) -> Option<MsgId> {
+        self.core.last_deleted_r.take()
+    }
+    fn take_deleted_id_to_s(&mut self) -> Option<MsgId> {
+        self.core.last_deleted_s.take()
+    }
     fn reset(&mut self) {
         self.core.clear();
     }
@@ -241,6 +324,24 @@ impl Channel for PerfectChannel {
     }
     fn pending_to_s(&self) -> u64 {
         self.inner.pending_to_s()
+    }
+    fn set_provenance(&mut self, enabled: bool) {
+        self.inner.set_provenance(enabled);
+    }
+    fn provenance_enabled(&self) -> bool {
+        self.inner.provenance_enabled()
+    }
+    fn note_send_s(&mut self, msg: SMsg, id: MsgId) -> MsgId {
+        self.inner.note_send_s(msg, id)
+    }
+    fn note_send_r(&mut self, msg: RMsg, id: MsgId) -> MsgId {
+        self.inner.note_send_r(msg, id)
+    }
+    fn take_delivered_id_to_r(&mut self) -> Option<MsgId> {
+        self.inner.take_delivered_id_to_r()
+    }
+    fn take_delivered_id_to_s(&mut self) -> Option<MsgId> {
+        self.inner.take_delivered_id_to_s()
     }
     fn reset(&mut self) {
         self.inner.reset();
@@ -330,6 +431,33 @@ mod tests {
         assert!(!ch.can_delete());
         assert_eq!(ch.pending_to_r(), 2);
         assert_eq!(ch.pending_to_s(), 0);
+    }
+
+    #[test]
+    fn provenance_follows_queue_order_across_the_family() {
+        let mut ch = LossyFifoChannel::new();
+        ch.set_provenance(true);
+        for (v, id) in [(1u16, 0u64), (2, 1), (1, 2)] {
+            ch.send_s(SMsg(v));
+            ch.note_send_s(SMsg(v), MsgId(id));
+        }
+        // Deleting the head copy of 1 drops send #0; 2 then 1 remain.
+        ch.delete_to_r(SMsg(1)).unwrap();
+        assert_eq!(ch.take_deleted_id_to_r(), Some(MsgId(0)));
+        ch.deliver_to_r(SMsg(2)).unwrap();
+        assert_eq!(ch.take_delivered_id_to_r(), Some(MsgId(1)));
+        ch.deliver_to_r(SMsg(1)).unwrap();
+        assert_eq!(ch.take_delivered_id_to_r(), Some(MsgId(2)));
+        assert_eq!(ch.take_delivered_id_to_r(), None);
+
+        // The perfect channel delegates provenance to its inner FIFO.
+        let mut p = PerfectChannel::new();
+        p.set_provenance(true);
+        assert!(p.provenance_enabled());
+        p.send_r(RMsg(3));
+        assert_eq!(p.note_send_r(RMsg(3), MsgId(0)), MsgId(0));
+        p.deliver_to_s(RMsg(3)).unwrap();
+        assert_eq!(p.take_delivered_id_to_s(), Some(MsgId(0)));
     }
 
     #[test]

@@ -11,6 +11,7 @@ use crate::chan::{Channel, ChannelKind};
 use crate::error::ChannelError;
 use std::collections::VecDeque;
 use stp_core::alphabet::{RMsg, SMsg};
+use stp_core::event::MsgId;
 
 /// A lossy FIFO channel with a known delivery deadline.
 ///
@@ -48,6 +49,18 @@ pub struct TimedChannel {
     // forward-relevant state (excluded from `state_key`).
     expiry_log_r: Vec<SMsg>,
     expiry_log_s: Vec<RMsg>,
+    // Provenance (active only under `prov`): send ids as further parallel
+    // deques, popped/removed in lockstep with the message queues, plus an
+    // expiry id log index-aligned with `expiry_log_*`.
+    prov: bool,
+    ids_r: VecDeque<MsgId>,
+    ids_s: VecDeque<MsgId>,
+    expiry_ids_r: Vec<MsgId>,
+    expiry_ids_s: Vec<MsgId>,
+    last_delivered_r: Option<MsgId>,
+    last_delivered_s: Option<MsgId>,
+    last_deleted_r: Option<MsgId>,
+    last_deleted_s: Option<MsgId>,
 }
 
 impl TimedChannel {
@@ -73,6 +86,15 @@ impl TimedChannel {
             deleted_to_s: 0,
             expiry_log_r: Vec::new(),
             expiry_log_s: Vec::new(),
+            prov: false,
+            ids_r: VecDeque::new(),
+            ids_s: VecDeque::new(),
+            expiry_ids_r: Vec::new(),
+            expiry_ids_s: Vec::new(),
+            last_delivered_r: None,
+            last_delivered_s: None,
+            last_deleted_r: None,
+            last_deleted_s: None,
         }
     }
 
@@ -119,6 +141,9 @@ impl Channel for TimedChannel {
         if self.to_r.front() == Some(&msg) {
             self.to_r.pop_front();
             self.ttl_r.pop_front();
+            if self.prov {
+                self.last_delivered_r = self.ids_r.pop_front();
+            }
             Ok(())
         } else {
             Err(ChannelError::NotDeliverableToR { msg })
@@ -129,6 +154,9 @@ impl Channel for TimedChannel {
         if self.to_s.front() == Some(&msg) {
             self.to_s.pop_front();
             self.ttl_s.pop_front();
+            if self.prov {
+                self.last_delivered_s = self.ids_s.pop_front();
+            }
             Ok(())
         } else {
             Err(ChannelError::NotDeliverableToS { msg })
@@ -139,11 +167,18 @@ impl Channel for TimedChannel {
         true
     }
 
+    fn can_expire(&self) -> bool {
+        true
+    }
+
     fn delete_to_r(&mut self, msg: SMsg) -> Result<(), ChannelError> {
         match self.to_r.iter().position(|&m| m == msg) {
             Some(i) => {
                 self.to_r.remove(i);
                 self.ttl_r.remove(i);
+                if self.prov {
+                    self.last_deleted_r = self.ids_r.remove(i);
+                }
                 self.deleted_to_r += 1;
                 Ok(())
             }
@@ -156,6 +191,9 @@ impl Channel for TimedChannel {
             Some(i) => {
                 self.to_s.remove(i);
                 self.ttl_s.remove(i);
+                if self.prov {
+                    self.last_deleted_s = self.ids_s.remove(i);
+                }
                 self.deleted_to_s += 1;
                 Ok(())
             }
@@ -178,6 +216,10 @@ impl Channel for TimedChannel {
         while self.ttl_r.front() == Some(&0) {
             self.ttl_r.pop_front();
             let msg = self.to_r.pop_front().expect("parallel deques agree");
+            if self.prov {
+                let id = self.ids_r.pop_front().expect("parallel deques agree");
+                self.expiry_ids_r.push(id);
+            }
             self.expiry_log_r.push(msg);
             self.expired_to_r += 1;
         }
@@ -187,6 +229,10 @@ impl Channel for TimedChannel {
         while self.ttl_s.front() == Some(&0) {
             self.ttl_s.pop_front();
             let msg = self.to_s.pop_front().expect("parallel deques agree");
+            if self.prov {
+                let id = self.ids_s.pop_front().expect("parallel deques agree");
+                self.expiry_ids_s.push(id);
+            }
             self.expiry_log_s.push(msg);
             self.expired_to_s += 1;
         }
@@ -195,6 +241,55 @@ impl Channel for TimedChannel {
     fn take_expirations(&mut self, to_r: &mut Vec<SMsg>, to_s: &mut Vec<RMsg>) {
         to_r.append(&mut self.expiry_log_r);
         to_s.append(&mut self.expiry_log_s);
+    }
+
+    fn set_provenance(&mut self, enabled: bool) {
+        self.prov = enabled;
+    }
+
+    fn provenance_enabled(&self) -> bool {
+        self.prov
+    }
+
+    fn note_send_s(&mut self, msg: SMsg, id: MsgId) -> MsgId {
+        let _ = msg;
+        if self.prov {
+            self.ids_r.push_back(id);
+        }
+        id
+    }
+
+    fn note_send_r(&mut self, msg: RMsg, id: MsgId) -> MsgId {
+        let _ = msg;
+        if self.prov {
+            self.ids_s.push_back(id);
+        }
+        id
+    }
+
+    fn take_delivered_id_to_r(&mut self) -> Option<MsgId> {
+        self.last_delivered_r.take()
+    }
+
+    fn take_delivered_id_to_s(&mut self) -> Option<MsgId> {
+        self.last_delivered_s.take()
+    }
+
+    fn take_deleted_id_to_r(&mut self) -> Option<MsgId> {
+        self.last_deleted_r.take()
+    }
+
+    fn take_deleted_id_to_s(&mut self) -> Option<MsgId> {
+        self.last_deleted_s.take()
+    }
+
+    fn take_expiration_ids(
+        &mut self,
+        to_r: &mut Vec<Option<MsgId>>,
+        to_s: &mut Vec<Option<MsgId>>,
+    ) {
+        to_r.extend(self.expiry_ids_r.drain(..).map(Some));
+        to_s.extend(self.expiry_ids_s.drain(..).map(Some));
     }
 
     fn reset(&mut self) {
@@ -210,6 +305,14 @@ impl Channel for TimedChannel {
         self.deleted_to_s = 0;
         self.expiry_log_r.clear();
         self.expiry_log_s.clear();
+        self.ids_r.clear();
+        self.ids_s.clear();
+        self.expiry_ids_r.clear();
+        self.expiry_ids_s.clear();
+        self.last_delivered_r = None;
+        self.last_delivered_s = None;
+        self.last_deleted_r = None;
+        self.last_deleted_s = None;
     }
 
     fn state_key(&self) -> String {
@@ -312,6 +415,66 @@ mod tests {
         ch.take_expirations(&mut r, &mut s);
         assert!(r.is_empty() && s.is_empty());
         assert_eq!(ch.expired(), (0, 0));
+    }
+
+    #[test]
+    fn provenance_follows_fifo_order_and_expiry() {
+        let mut ch = TimedChannel::new(2);
+        ch.set_provenance(true);
+        ch.send_s(SMsg(1));
+        ch.note_send_s(SMsg(1), MsgId(0));
+        ch.send_s(SMsg(2));
+        ch.note_send_s(SMsg(2), MsgId(1));
+        ch.tick();
+        ch.deliver_to_r(SMsg(1)).unwrap();
+        assert_eq!(ch.take_delivered_id_to_r(), Some(MsgId(0)));
+        ch.tick(); // #1 expires
+        let (mut r, mut s) = (Vec::new(), Vec::new());
+        ch.take_expirations(&mut r, &mut s);
+        assert_eq!(r, vec![SMsg(2)]);
+        let (mut ir, mut is) = (Vec::new(), Vec::new());
+        ch.take_expiration_ids(&mut ir, &mut is);
+        assert_eq!(ir, vec![Some(MsgId(1))]);
+        assert!(is.is_empty());
+    }
+
+    #[test]
+    fn deleted_copies_never_surface_as_expirations() {
+        // Regression guard for the drop/expire double-surface risk: once
+        // the adversary deletes a copy, neither its value nor its id may
+        // later come back out of the expiry drain.
+        let mut ch = TimedChannel::new(1);
+        ch.set_provenance(true);
+        ch.send_s(SMsg(4));
+        ch.note_send_s(SMsg(4), MsgId(0));
+        ch.delete_to_r(SMsg(4)).unwrap();
+        assert_eq!(ch.take_deleted_id_to_r(), Some(MsgId(0)));
+        ch.tick(); // would have expired this tick had it not been deleted
+        let (mut r, mut s) = (Vec::new(), Vec::new());
+        ch.take_expirations(&mut r, &mut s);
+        let (mut ir, mut is) = (Vec::new(), Vec::new());
+        ch.take_expiration_ids(&mut ir, &mut is);
+        assert!(r.is_empty() && s.is_empty());
+        assert!(ir.is_empty() && is.is_empty());
+        assert_eq!(ch.expired(), (0, 0));
+        assert_eq!(ch.deleted(), (1, 0));
+    }
+
+    #[test]
+    fn provenance_delete_from_queue_middle_keeps_alignment() {
+        let mut ch = TimedChannel::new(10);
+        ch.set_provenance(true);
+        for (v, id) in [(1u16, 0u64), (2, 1), (3, 2)] {
+            ch.send_s(SMsg(v));
+            ch.note_send_s(SMsg(v), MsgId(id));
+        }
+        ch.delete_to_s(RMsg(0)).unwrap_err();
+        ch.delete_to_r(SMsg(2)).unwrap();
+        assert_eq!(ch.take_deleted_id_to_r(), Some(MsgId(1)));
+        ch.deliver_to_r(SMsg(1)).unwrap();
+        assert_eq!(ch.take_delivered_id_to_r(), Some(MsgId(0)));
+        ch.deliver_to_r(SMsg(3)).unwrap();
+        assert_eq!(ch.take_delivered_id_to_r(), Some(MsgId(2)));
     }
 
     #[test]

@@ -135,6 +135,134 @@ impl fmt::Display for Event {
     }
 }
 
+/// The identity of one physical send within a single run.
+///
+/// Executors assign ids densely from `0` in send order, restarting at `0`
+/// on every run (including pooled-world resets), so a `(seed, MsgId)` pair
+/// names one injection reproducibly across re-runs of the same cell.
+/// Channel provenance threads the id from the send through every later
+/// delivery, adversary deletion or TTL expiry of that copy, which is what
+/// lets a [`Probe`] reconstruct per-message lifecycles causally instead of
+/// guessing from value-level aggregate counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MsgId(pub u64);
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A provenance-carrying lifecycle event: the causal counterpart of
+/// [`Event`], emitted alongside it to probes that opted in via
+/// [`Probe::wants_provenance`].
+///
+/// Kept separate from [`Event`] on purpose: traces, replay scripts and all
+/// committed experiment output serialize `Event`, and widening that enum
+/// would silently change every witness file. `MsgEvent` is a parallel
+/// stream that exists only while a provenance-hungry probe is attached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MsgEvent {
+    /// A processor performed a physical send. On duplicating channels a
+    /// re-send of an ever-sent value adds no new channel copy; the fresh id
+    /// is then recorded as coalesced into the original carrier's id, and
+    /// all future deliveries of that value fan out from the original.
+    Sent {
+        /// The fresh id of this physical send.
+        id: MsgId,
+        /// Which processor the message is addressed to.
+        to: ProcessId,
+        /// Raw index of the message within its alphabet.
+        msg: u16,
+        /// On duplicating channels: the id of the earlier send this one
+        /// merged into (`None` for the first send of a value, and always
+        /// `None` on consuming channels).
+        coalesced_into: Option<MsgId>,
+    },
+    /// The channel delivered a copy. `id` is the originating send
+    /// (`None` when the channel cannot attribute the copy).
+    Delivered {
+        /// The id of the send this copy originated from.
+        id: Option<MsgId>,
+        /// The processor it was delivered to.
+        to: ProcessId,
+        /// Raw index of the delivered message.
+        msg: u16,
+    },
+    /// The adversary irrevocably deleted an in-flight copy.
+    Dropped {
+        /// The id of the deleted copy's originating send.
+        id: Option<MsgId>,
+        /// The processor the copy was addressed to.
+        to: ProcessId,
+        /// Raw index of the deleted message.
+        msg: u16,
+    },
+    /// The channel itself destroyed a copy (TTL expiry on timed channels).
+    Expired {
+        /// The id of the expired copy's originating send.
+        id: Option<MsgId>,
+        /// The processor the copy was addressed to.
+        to: ProcessId,
+        /// Raw index of the expired message.
+        msg: u16,
+    },
+}
+
+impl MsgEvent {
+    /// The provenance id the event carries, if the channel attributed one.
+    pub fn id(&self) -> Option<MsgId> {
+        match *self {
+            MsgEvent::Sent { id, .. } => Some(id),
+            MsgEvent::Delivered { id, .. }
+            | MsgEvent::Dropped { id, .. }
+            | MsgEvent::Expired { id, .. } => id,
+        }
+    }
+
+    /// The direction of the copy: which processor it was addressed to.
+    pub fn to(&self) -> ProcessId {
+        match *self {
+            MsgEvent::Sent { to, .. }
+            | MsgEvent::Delivered { to, .. }
+            | MsgEvent::Dropped { to, .. }
+            | MsgEvent::Expired { to, .. } => to,
+        }
+    }
+
+    /// Raw alphabet index of the message the event concerns.
+    pub fn msg(&self) -> u16 {
+        match *self {
+            MsgEvent::Sent { msg, .. }
+            | MsgEvent::Delivered { msg, .. }
+            | MsgEvent::Dropped { msg, .. }
+            | MsgEvent::Expired { msg, .. } => msg,
+        }
+    }
+}
+
+impl fmt::Display for MsgEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn opt(id: &Option<MsgId>) -> String {
+            id.map_or_else(|| "#?".to_string(), |i| i.to_string())
+        }
+        match self {
+            MsgEvent::Sent {
+                id,
+                to,
+                msg,
+                coalesced_into: Some(orig),
+            } => write!(f, "sent {id} {msg}→{to} (coalesced into {orig})"),
+            MsgEvent::Sent { id, to, msg, .. } => write!(f, "sent {id} {msg}→{to}"),
+            MsgEvent::Delivered { id, to, msg } => {
+                write!(f, "delivered {} {msg}→{to}", opt(id))
+            }
+            MsgEvent::Dropped { id, to, msg } => write!(f, "dropped {} {msg}→{to}", opt(id)),
+            MsgEvent::Expired { id, to, msg } => write!(f, "expired {} {msg}→{to}", opt(id)),
+        }
+    }
+}
+
 /// An observer that executors feed every event of a run, *regardless* of
 /// the active [`TraceMode`] — the streaming counterpart of a recorded
 /// [`Trace`]. A probe computes whatever it wants online (statistics,
@@ -171,6 +299,34 @@ pub trait Probe: fmt::Debug {
 
     /// Mutable [`Any`](std::any::Any) access; see [`Probe::as_any`].
     fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
+
+    /// Whether this probe consumes [`MsgEvent`]s. Executors only switch
+    /// channel provenance tracking on (and pay its bookkeeping cost) when
+    /// at least one attached probe answers `true`; the default keeps
+    /// existing probes zero-cost.
+    fn wants_provenance(&self) -> bool {
+        false
+    }
+
+    /// Whether this probe consumes plain [`Event`]s via
+    /// [`Probe::on_event`]. Executors may skip the per-event dispatch for
+    /// probes that answer `false` — the opt-out a provenance-only probe
+    /// (one that lives entirely off [`MsgEvent`]s and
+    /// [`Probe::on_step_end`]) uses to stay off the hot path. The answer
+    /// must be constant for the probe's lifetime, like
+    /// [`Probe::wants_provenance`]'s.
+    fn wants_events(&self) -> bool {
+        true
+    }
+
+    /// A provenance-carrying lifecycle event occurred at `step`. Called
+    /// only when provenance tracking is active, interleaved with
+    /// [`Probe::on_event`] in execution order: each `MsgEvent` arrives
+    /// immediately after the [`Event`] it annotates. The default ignores
+    /// it.
+    fn on_msg_event(&mut self, step: Step, event: &MsgEvent) {
+        let _ = (step, event);
+    }
 }
 
 /// How much of a run an executor records into its [`Trace`].
@@ -658,6 +814,72 @@ mod tests {
         fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
             self
         }
+    }
+
+    #[test]
+    fn msg_ids_order_and_display() {
+        assert!(MsgId(0) < MsgId(1));
+        assert_eq!(MsgId(17).to_string(), "#17");
+        let json = serde_json::to_string(&MsgId(3)).unwrap();
+        let back: MsgId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, MsgId(3));
+    }
+
+    #[test]
+    fn msg_event_accessors_and_round_trip() {
+        let sent = MsgEvent::Sent {
+            id: MsgId(4),
+            to: ProcessId::Receiver,
+            msg: 2,
+            coalesced_into: Some(MsgId(1)),
+        };
+        assert_eq!(sent.id(), Some(MsgId(4)));
+        assert_eq!(sent.to(), ProcessId::Receiver);
+        assert_eq!(sent.msg(), 2);
+        assert!(sent.to_string().contains("coalesced into #1"));
+        let dropped = MsgEvent::Dropped {
+            id: None,
+            to: ProcessId::Sender,
+            msg: 0,
+        };
+        assert_eq!(dropped.id(), None);
+        assert!(dropped.to_string().contains("#?"));
+        for e in [
+            sent,
+            dropped,
+            MsgEvent::Delivered {
+                id: Some(MsgId(9)),
+                to: ProcessId::Receiver,
+                msg: 5,
+            },
+            MsgEvent::Expired {
+                id: Some(MsgId(0)),
+                to: ProcessId::Sender,
+                msg: 1,
+            },
+        ] {
+            let json = serde_json::to_string(&e).unwrap();
+            let back: MsgEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, e);
+        }
+    }
+
+    #[test]
+    fn probe_provenance_hooks_default_to_off() {
+        // CountingProbe does not override the provenance hooks: the
+        // defaults must report "no provenance wanted" and ignore events.
+        let mut p = CountingProbe::default();
+        assert!(!Probe::wants_provenance(&p));
+        p.on_msg_event(
+            0,
+            &MsgEvent::Sent {
+                id: MsgId(0),
+                to: ProcessId::Receiver,
+                msg: 0,
+                coalesced_into: None,
+            },
+        );
+        assert_eq!(p.events, 0);
     }
 
     #[test]

@@ -33,9 +33,11 @@
 #![warn(missing_docs)]
 
 pub mod formula;
+pub mod frontier;
 pub mod learning;
 pub mod universe;
 
 pub use formula::Formula;
+pub use frontier::{FrontierPoint, FrontierProbe};
 pub use learning::{empirical_write_steps, sample_universe, LearningProfile};
 pub use universe::Universe;

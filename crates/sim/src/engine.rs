@@ -59,6 +59,13 @@ pub struct SweepSpec {
     /// yields full per-run [`RunStats`].
     #[serde(default)]
     pub probe: bool,
+    /// Attach a causal [`TraceProbe`](crate::trace::TraceProbe) to every
+    /// pooled world (default `false`). This switches the channel's
+    /// provenance bookkeeping on, so every run's per-message lifecycle is
+    /// reconstructed — the most expensive observability configuration,
+    /// benchmarked by `bench_sweep`'s traced lane.
+    #[serde(default)]
+    pub traced: bool,
     /// Channel recipe, rebuilt once per pooled world.
     pub channel: ChannelSpec,
     /// Adversary recipes; the grid runs every sequence × seed under each.
@@ -79,6 +86,7 @@ impl SweepSpec {
             trace_mode: TraceMode::default(),
             threads: 0,
             probe: false,
+            traced: false,
             channel,
             schedulers: vec![scheduler],
             slo: None,
@@ -112,6 +120,13 @@ impl SweepSpec {
     /// Toggles the streaming [`MetricsProbe`] on every pooled world.
     pub fn probe(mut self, probe: bool) -> Self {
         self.probe = probe;
+        self
+    }
+
+    /// Toggles the causal [`TraceProbe`](crate::trace::TraceProbe) on
+    /// every pooled world.
+    pub fn traced(mut self, traced: bool) -> Self {
+        self.traced = traced;
         self
     }
 
@@ -347,6 +362,9 @@ fn run_cell(
             if spec.probe {
                 builder = builder.probe(Box::new(MetricsProbe::new()));
             }
+            if spec.traced {
+                builder = builder.probe(Box::new(crate::trace::TraceProbe::new()));
+            }
             slot.insert(builder.build().expect("engine supplies every component"))
         }
     };
@@ -408,7 +426,46 @@ mod tests {
         assert_eq!(spec.trace_mode, TraceMode::Full);
         assert_eq!(spec.threads, 0);
         assert!(!spec.probe);
+        assert!(!spec.traced);
         assert_eq!(spec.slo, None);
+    }
+
+    #[test]
+    fn traced_sweeps_reconcile_and_change_no_stats() {
+        use crate::trace::TraceProbe;
+        let family = TightFamily::new(3, ResendPolicy::Once);
+        let plain = SweepEngine::new(storm_spec().threads(1)).run_serial(&family);
+        let traced_spec = storm_spec()
+            .trace_mode(TraceMode::Off)
+            .probe(true)
+            .traced(true)
+            .threads(1);
+        let traced = SweepEngine::new(traced_spec.clone()).run_serial(&family);
+        assert_eq!(plain.len(), traced.len());
+        for (a, b) in plain.runs.iter().zip(&traced.runs) {
+            assert_eq!(a.stats, b.stats, "tracing must not change behaviour");
+        }
+        // The flag survives the wire format.
+        let json = serde_json::to_string(&traced_spec).expect("serializes");
+        let back: SweepSpec = serde_json::from_str(&json).expect("parses");
+        assert!(back.traced);
+        // And a traced world really carries a reconciling TraceProbe.
+        let mut worlds: Vec<Option<World>> = vec![None];
+        // A non-empty sequence, so the run actually exercises the channel.
+        let claimed = family.claimed_family();
+        let x = claimed
+            .seqs()
+            .iter()
+            .max_by_key(|s| s.len())
+            .unwrap()
+            .clone();
+        let run = run_cell(&mut worlds, &family, &traced_spec, 0, &x, 0);
+        let world = worlds[0].as_ref().unwrap();
+        let probe = world
+            .probe_of::<TraceProbe>()
+            .expect("trace probe attached");
+        probe.reconcile(&run.stats).expect("spans reconcile");
+        assert!(!probe.spans().is_empty());
     }
 
     #[test]

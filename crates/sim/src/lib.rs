@@ -41,6 +41,7 @@ pub mod shrink;
 pub mod slo;
 pub mod telemetry;
 pub mod threaded;
+pub mod trace;
 pub mod world;
 
 pub use engine::{SweepEngine, SweepSpec};
@@ -60,7 +61,11 @@ pub use slo::{
     RecoveryEnvelope, RecoveryProbe, SloConfig,
 };
 pub use telemetry::{
-    ExperimentSummary, MemorySink, ProgressMeter, ProgressSnapshot, RunRecord, Sink, TelemetryLine,
-    TelemetryWriter,
+    ExperimentSummary, FrontierRecord, MemorySink, ProgressMeter, ProgressSnapshot, RunRecord,
+    Sink, SpanRecord, TelemetryLine, TelemetryWriter,
+};
+pub use trace::{
+    chrome_trace_json, write_chrome_trace, CounterTrack, LifecycleCounts, MsgFate, MsgSpan,
+    TraceProbe,
 };
 pub use world::{World, WorldBuilder};

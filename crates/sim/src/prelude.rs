@@ -24,8 +24,12 @@ pub use crate::slo::{
     SloConfig,
 };
 pub use crate::telemetry::{
-    ExperimentSummary, MemorySink, ProgressMeter, ProgressSnapshot, RunRecord, Sink, TelemetryLine,
-    TelemetryWriter,
+    ExperimentSummary, FrontierRecord, MemorySink, ProgressMeter, ProgressSnapshot, RunRecord,
+    Sink, SpanRecord, TelemetryLine, TelemetryWriter,
+};
+pub use crate::trace::{
+    chrome_trace_json, write_chrome_trace, CounterTrack, LifecycleCounts, MsgFate, MsgSpan,
+    TraceProbe,
 };
 pub use crate::world::{World, WorldBuilder};
 pub use stp_channel::campaign::{

@@ -3,10 +3,12 @@
 //! Two independent facilities:
 //!
 //! * **Export** — [`TelemetryWriter`] serializes per-run records
-//!   ([`RunRecord`]) and sweep-wide [`SweepReport`]s as JSON Lines
-//!   through a pluggable [`Sink`] (file, stdout, in-memory). Each line is
-//!   one self-describing object — `{"run": …}` or `{"report": …}` — so a
-//!   consumer can dispatch without a schema registry. The writer is
+//!   ([`RunRecord`]), per-message lifecycle spans ([`SpanRecord`]),
+//!   knowledge-frontier samples ([`FrontierRecord`]) and sweep-wide
+//!   [`SweepReport`]s as JSON Lines through a pluggable [`Sink`] (file,
+//!   stdout, in-memory). Each line is one self-describing object —
+//!   `{"run": …}`, `{"span": …}`, `{"frontier": …}` or `{"report": …}` —
+//!   so a consumer can dispatch without a schema registry. The writer is
 //!   opt-in via the `STP_TELEMETRY` environment variable
 //!   ([`TelemetryWriter::from_env`]), which keeps the experiment
 //!   binaries' stdout byte-identical when telemetry is off.
@@ -26,6 +28,7 @@ use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 use stp_core::data::DataSeq;
+use stp_core::event::{ProcessId, Step};
 
 /// Where telemetry lines go. Implementations are line-oriented: one call,
 /// one complete JSON document, no partial writes observable by a reader
@@ -191,6 +194,81 @@ pub struct SummaryLine {
     pub summary: ExperimentSummary,
 }
 
+/// The wire form of one per-message lifecycle span — the flattened
+/// `MsgSpan` a `TraceProbe` reconstructs, tagged with its run context so
+/// span lines from many runs can share a file. Step fields mirror the
+/// span: `delivered_at` holds every delivery (duplicate fan-out ⇒ more
+/// than one), `dropped_at`/`expired_at` the terminal loss if any, and
+/// `coalesced_into` the origin span a duplicate re-send merged into.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Which harness produced this line; empty when untagged.
+    #[serde(default)]
+    pub experiment: String,
+    /// The adversary seed of the run.
+    pub seed: u64,
+    /// The send's `MsgId` (dense from 0 in send order within the run).
+    pub id: u64,
+    /// The processor the message was addressed to.
+    pub to: ProcessId,
+    /// Raw alphabet index of the message value.
+    pub msg: u16,
+    /// The step the send happened at.
+    pub sent_at: Step,
+    /// On duplicating channels: the earlier span this send merged into.
+    #[serde(default)]
+    pub coalesced_into: Option<u64>,
+    /// Every step a copy of this span was delivered.
+    #[serde(default)]
+    pub delivered_at: Vec<Step>,
+    /// The step the adversary deleted the copy, if it was.
+    #[serde(default)]
+    pub dropped_at: Option<Step>,
+    /// The step the channel expired the copy, if it did.
+    #[serde(default)]
+    pub expired_at: Option<Step>,
+    /// The resolved fate, as its display form (`"delivered"`, `"dropped"`,
+    /// `"expired"`, `"in-flight"`, `"coalesced"`).
+    pub fate: String,
+}
+
+/// The wire form of a span line: `{"span": {…}}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanLine {
+    /// The span.
+    pub span: SpanRecord,
+}
+
+/// One knowledge-frontier sample: how much each side knows at a step.
+/// The receiver's knowledge is the number of candidate continuations
+/// compatible with what it has seen (`candidates`, the α-style count);
+/// the sender's is how many items it knows to be acknowledged
+/// (`s_ack_depth`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrontierRecord {
+    /// Which harness produced this line; empty when untagged.
+    #[serde(default)]
+    pub experiment: String,
+    /// The adversary seed of the run.
+    pub seed: u64,
+    /// The step the sample was taken at.
+    pub step: Step,
+    /// Items the receiver has safely written (its learned prefix).
+    pub r_written: usize,
+    /// Candidate sequences still compatible with the receiver's knowledge
+    /// (`u128`: the α-style counts overflow `u64` near `m = 20`).
+    pub candidates: u128,
+    /// Items the sender knows the receiver has learned.
+    pub s_ack_depth: usize,
+}
+
+/// The wire form of a frontier line: `{"frontier": {…}}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrontierLine {
+    /// The sample.
+    pub frontier: FrontierRecord,
+}
+
 /// A parsed telemetry line — what [`TelemetryLine::parse`] dispatches to.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TelemetryLine {
@@ -201,6 +279,10 @@ pub enum TelemetryLine {
     Report(Box<SweepReport>),
     /// An experiment digest.
     Summary(ExperimentSummary),
+    /// A per-message lifecycle span.
+    Span(SpanRecord),
+    /// A knowledge-frontier sample.
+    Frontier(FrontierRecord),
 }
 
 impl TelemetryLine {
@@ -209,10 +291,17 @@ impl TelemetryLine {
     /// # Errors
     ///
     /// Returns the underlying JSON error when the line is none of the
-    /// `{"run": …}` / `{"report": …}` / `{"summary": …}` documents.
+    /// `{"run": …}` / `{"span": …}` / `{"frontier": …}` / `{"summary": …}`
+    /// / `{"report": …}` documents.
     pub fn parse(line: &str) -> Result<TelemetryLine, serde_json::Error> {
         if let Ok(l) = serde_json::from_str::<RunLine>(line) {
             return Ok(TelemetryLine::Run(l.run));
+        }
+        if let Ok(l) = serde_json::from_str::<SpanLine>(line) {
+            return Ok(TelemetryLine::Span(l.span));
+        }
+        if let Ok(l) = serde_json::from_str::<FrontierLine>(line) {
+            return Ok(TelemetryLine::Frontier(l.frontier));
         }
         if let Ok(l) = serde_json::from_str::<SummaryLine>(line) {
             return Ok(TelemetryLine::Summary(l.summary));
@@ -296,6 +385,30 @@ impl TelemetryWriter {
         self.sink.write_line(&line)
     }
 
+    /// Emits one message-lifecycle span line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization or sink I/O errors.
+    pub fn emit_span(&mut self, span: &SpanRecord) -> io::Result<()> {
+        let line =
+            serde_json::to_string(&SpanLine { span: span.clone() }).map_err(io::Error::other)?;
+        self.sink.write_line(&line)
+    }
+
+    /// Emits one knowledge-frontier sample line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization or sink I/O errors.
+    pub fn emit_frontier(&mut self, frontier: &FrontierRecord) -> io::Result<()> {
+        let line = serde_json::to_string(&FrontierLine {
+            frontier: frontier.clone(),
+        })
+        .map_err(io::Error::other)?;
+        self.sink.write_line(&line)
+    }
+
     /// Exports a whole sweep under an experiment tag: one line per run,
     /// then the aggregate report, then a flush.
     ///
@@ -374,6 +487,9 @@ pub struct ProgressMeter {
 struct MeterClock {
     started: Instant,
     last_report: Option<Instant>,
+    // Runs done as of the last report, so the throttled line can show the
+    // *recent* throughput rather than the lifetime average.
+    last_done: usize,
 }
 
 impl fmt::Debug for ProgressMeter {
@@ -399,6 +515,7 @@ impl ProgressMeter {
             clock: Mutex::new(MeterClock {
                 started: Instant::now(),
                 last_report: None,
+                last_done: 0,
             }),
             callback: Box::new(callback),
         }
@@ -419,6 +536,7 @@ impl ProgressMeter {
         let mut clock = self.clock.lock();
         clock.started = Instant::now();
         clock.last_report = None;
+        clock.last_done = 0;
     }
 
     /// A worker thread came up.
@@ -482,10 +600,33 @@ impl ProgressMeter {
             Some(at) => at.elapsed() >= self.interval,
         };
         if force || due {
+            let done = self.done.load(Ordering::Relaxed);
+            // Throughput over the window since the previous report —
+            // tracks ramp-up and tail-off better than the lifetime
+            // average. The first report (no previous window) and a
+            // zero-width window (forced report right after a throttled
+            // one) fall back to the cumulative rate, which `snapshot_at`
+            // guards against zero elapsed time itself.
+            let window_rate = clock.last_report.and_then(|at| {
+                let width = at.elapsed().as_secs_f64();
+                let delta = done.saturating_sub(clock.last_done);
+                (width > 0.0).then(|| delta as f64 / width)
+            });
             clock.last_report = Some(Instant::now());
+            clock.last_done = done;
             let elapsed = clock.started.elapsed();
             drop(clock);
-            (self.callback)(&self.snapshot_at(elapsed));
+            let mut snap = self.snapshot_at(elapsed);
+            if let Some(rate) = window_rate {
+                snap.runs_per_sec = rate;
+                let remaining = snap.total.saturating_sub(snap.done);
+                snap.eta_secs = if remaining == 0 || rate <= 0.0 {
+                    0.0
+                } else {
+                    remaining as f64 / rate
+                };
+            }
+            (self.callback)(&snap);
         }
     }
 }
@@ -587,6 +728,54 @@ mod tests {
     }
 
     #[test]
+    fn span_lines_round_trip() {
+        let rec = SpanRecord {
+            experiment: "e1".to_string(),
+            seed: 7,
+            id: 3,
+            to: ProcessId::Receiver,
+            msg: 2,
+            sent_at: 10,
+            coalesced_into: Some(1),
+            delivered_at: vec![12, 19],
+            dropped_at: None,
+            expired_at: None,
+            fate: "coalesced".to_string(),
+        };
+        let sink = MemorySink::new();
+        let mut w = TelemetryWriter::new(Box::new(sink.clone()));
+        w.emit_span(&rec).unwrap();
+        let line = &sink.lines()[0];
+        assert!(line.contains("\"span\""), "{line}");
+        match TelemetryLine::parse(line).unwrap() {
+            TelemetryLine::Span(back) => assert_eq!(back, rec),
+            other => panic!("expected a span line, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frontier_lines_round_trip_with_u128_candidates() {
+        let rec = FrontierRecord {
+            experiment: "e1".to_string(),
+            seed: 7,
+            step: 42,
+            r_written: 1,
+            // Larger than any u64: exercises the exact-decimal number path.
+            candidates: u128::from(u64::MAX) + 17,
+            s_ack_depth: 1,
+        };
+        let sink = MemorySink::new();
+        let mut w = TelemetryWriter::new(Box::new(sink.clone()));
+        w.emit_frontier(&rec).unwrap();
+        let line = &sink.lines()[0];
+        assert!(line.contains("\"frontier\""), "{line}");
+        match TelemetryLine::parse(line).unwrap() {
+            TelemetryLine::Frontier(back) => assert_eq!(back, rec),
+            other => panic!("expected a frontier line, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn garbage_lines_fail_to_parse() {
         assert!(TelemetryLine::parse("{\"neither\": 1}").is_err());
         assert!(TelemetryLine::parse("not json").is_err());
@@ -635,6 +824,33 @@ mod tests {
         // Re-arming zeroes the counters.
         meter.begin(3);
         assert_eq!(meter.snapshot().done, 0);
+    }
+
+    #[test]
+    fn progress_reports_stay_finite_from_the_first_tick() {
+        let snaps = Arc::new(Mutex::new(Vec::new()));
+        let seen = snaps.clone();
+        let meter = ProgressMeter::new(Duration::from_secs(0), move |s| {
+            seen.lock().push(s.clone());
+        });
+        meter.begin(8);
+        // First tick: no previous report window, elapsed possibly ~0.
+        meter.record_done(1);
+        std::thread::sleep(Duration::from_millis(5));
+        // Second tick: windowed rate over the 5ms window.
+        meter.record_done(7);
+        meter.finish();
+        let snaps = snaps.lock();
+        assert!(snaps.len() >= 2);
+        for s in snaps.iter() {
+            assert!(s.runs_per_sec.is_finite(), "{s:?}");
+            assert!(s.runs_per_sec >= 0.0, "{s:?}");
+            assert!(s.eta_secs.is_finite(), "{s:?}");
+            assert!(s.eta_secs >= 0.0, "{s:?}");
+        }
+        let last = snaps.last().unwrap();
+        assert_eq!(last.done, 8);
+        assert_eq!(last.eta_secs, 0.0, "nothing remains");
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::metrics::RunStats;
 use stp_channel::{Channel, DelChannel, DupChannel, EagerScheduler, Scheduler};
 use stp_core::alphabet::{RMsg, SMsg};
 use stp_core::data::DataSeq;
-use stp_core::event::{Event, Probe, ProcessId, Step, Trace, TraceMode};
+use stp_core::event::{Event, MsgEvent, MsgId, Probe, ProcessId, Step, Trace, TraceMode};
 use stp_core::proto::{Receiver, ReceiverEvent, Sender, SenderEvent};
 use stp_core::require;
 use stp_protocols::{ResendPolicy, TightReceiver, TightSender};
@@ -26,7 +26,27 @@ pub struct World {
     scheduler: Box<dyn Scheduler>,
     trace: Trace,
     mode: TraceMode,
-    probe: Option<Box<dyn Probe>>,
+    probes: Vec<Box<dyn Probe>>,
+    // Whether any attached probe asked for per-message provenance; decides
+    // both the channel's id bookkeeping and `MsgEvent` emission.
+    provenance: bool,
+    // Indices into `probes` of the provenance-wanting (resp. plain-event-
+    // wanting) ones, precomputed at build time so the per-event fan-outs
+    // make one direct call per subscriber instead of asking every probe on
+    // every event.
+    prov_probes: Vec<usize>,
+    event_probes: Vec<usize>,
+    // Fast-path flag: every attached probe wants plain events (the common
+    // case), so `record` can fan out with a direct slice walk instead of
+    // the indexed one.
+    all_want_events: bool,
+    // Provenance is on AND the channel can actually lose copies (delete
+    // or expire) — the only case the per-step loss-id bookkeeping has
+    // anything to track.
+    prov_loss: bool,
+    // Ids are assigned densely from 0 per run, so `(seed, MsgId)` is
+    // stable across pooled resets and re-runs of the same cell.
+    next_msg_id: u64,
     step: Step,
     written: usize,
     reads_seen: usize,
@@ -43,6 +63,12 @@ pub struct World {
     // step without allocating.
     expiry_scratch_r: Vec<SMsg>,
     expiry_scratch_s: Vec<RMsg>,
+    expiry_id_scratch_r: Vec<Option<MsgId>>,
+    expiry_id_scratch_s: Vec<Option<MsgId>>,
+    // Ids the adversary deleted during the current step, kept (under
+    // provenance) to assert that the expiry drain never re-surfaces a copy
+    // already reported dropped in the same step.
+    deleted_ids_step: Vec<MsgId>,
 }
 
 /// Fluent assembly of a [`World`].
@@ -71,7 +97,7 @@ pub struct WorldBuilder {
     channel: Option<Box<dyn Channel>>,
     scheduler: Option<Box<dyn Scheduler>>,
     mode: TraceMode,
-    probe: Option<Box<dyn Probe>>,
+    probes: Vec<Box<dyn Probe>>,
 }
 
 impl WorldBuilder {
@@ -106,11 +132,16 @@ impl WorldBuilder {
     }
 
     /// Attaches a streaming [`Probe`], which observes every event of every
-    /// run regardless of the trace mode (default: none). The world calls
-    /// `Probe::on_run_start` at assembly and on every [`World::reset`];
-    /// recover the concrete probe afterwards with [`World::probe_of`].
+    /// run regardless of the trace mode (default: none). Call repeatedly
+    /// to attach several probes — they are driven in attachment order. The
+    /// world calls `Probe::on_run_start` at assembly and on every
+    /// [`World::reset`]; recover a concrete probe afterwards with
+    /// [`World::probe_of`]. If any attached probe answers
+    /// [`Probe::wants_provenance`], the world enables the channel's
+    /// per-copy id tracking and feeds every provenance-aware probe a
+    /// [`MsgEvent`] stream alongside the plain events.
     pub fn probe(mut self, probe: Box<dyn Probe>) -> Self {
-        self.probe = Some(probe);
+        self.probes.push(probe);
         self
     }
 
@@ -130,8 +161,29 @@ impl WorldBuilder {
             self.scheduler.ok_or_else(|| missing("scheduler"))?,
             self.mode,
         );
-        world.probe = self.probe;
-        if let Some(p) = world.probe.as_deref_mut() {
+        world.probes = self.probes;
+        world.prov_probes = world
+            .probes
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.wants_provenance())
+            .map(|(i, _)| i)
+            .collect();
+        world.provenance = !world.prov_probes.is_empty();
+        world.event_probes = world
+            .probes
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.wants_events())
+            .map(|(i, _)| i)
+            .collect();
+        world.all_want_events = world.event_probes.len() == world.probes.len();
+        // Provenance must be switched on before the first send of the run;
+        // the flag survives channel resets, so this is a build-time choice.
+        world.channel.set_provenance(world.provenance);
+        world.prov_loss =
+            world.provenance && (world.channel.can_delete() || world.channel.can_expire());
+        for p in &mut world.probes {
             p.on_run_start(world.trace.input());
         }
         Ok(world)
@@ -148,7 +200,7 @@ impl World {
             channel: None,
             scheduler: None,
             mode: TraceMode::default(),
-            probe: None,
+            probes: Vec::new(),
         }
     }
 
@@ -167,7 +219,13 @@ impl World {
             scheduler,
             trace: Trace::new(input),
             mode,
-            probe: None,
+            probes: Vec::new(),
+            provenance: false,
+            prov_probes: Vec::new(),
+            event_probes: Vec::new(),
+            all_want_events: true,
+            prov_loss: false,
+            next_msg_id: 0,
             step: 0,
             written: 0,
             reads_seen: 0,
@@ -180,6 +238,9 @@ impl World {
             safe: true,
             expiry_scratch_r: Vec::new(),
             expiry_scratch_s: Vec::new(),
+            expiry_id_scratch_r: Vec::new(),
+            expiry_id_scratch_s: Vec::new(),
+            deleted_ids_step: Vec::new(),
         }
     }
 
@@ -236,6 +297,7 @@ impl World {
         self.channel.reset();
         self.scheduler.reset(seed);
         self.trace.reset(input);
+        self.next_msg_id = 0;
         self.step = 0;
         self.written = 0;
         self.reads_seen = 0;
@@ -248,7 +310,10 @@ impl World {
         self.safe = true;
         self.expiry_scratch_r.clear();
         self.expiry_scratch_s.clear();
-        if let Some(p) = self.probe.as_deref_mut() {
+        self.expiry_id_scratch_r.clear();
+        self.expiry_id_scratch_s.clear();
+        self.deleted_ids_step.clear();
+        for p in &mut self.probes {
             p.on_run_start(self.trace.input());
         }
     }
@@ -328,31 +393,47 @@ impl World {
         self.sender.is_done() && self.written >= self.trace.input().len()
     }
 
-    /// The attached probe's concrete type, if a probe of type `P` is
-    /// attached — how a harness reads a `MetricsProbe`'s statistics back
-    /// out of a pooled world.
+    /// The first attached probe of concrete type `P`, if one is attached —
+    /// how a harness reads a `MetricsProbe`'s statistics back out of a
+    /// pooled world.
     pub fn probe_of<P: Probe + 'static>(&self) -> Option<&P> {
-        self.probe
-            .as_deref()
-            .and_then(|p| p.as_any().downcast_ref())
+        self.probes.iter().find_map(|p| p.as_any().downcast_ref())
     }
 
-    /// Mutable access to the attached probe's concrete type; see
-    /// [`World::probe_of`].
+    /// Mutable access to the first attached probe of concrete type `P`;
+    /// see [`World::probe_of`].
     pub fn probe_of_mut<P: Probe + 'static>(&mut self) -> Option<&mut P> {
-        self.probe
-            .as_deref_mut()
-            .and_then(|p| p.as_any_mut().downcast_mut())
+        self.probes
+            .iter_mut()
+            .find_map(|p| p.as_any_mut().downcast_mut())
+    }
+
+    /// Whether per-message provenance tracking is active for this world
+    /// (at least one attached probe asked for it).
+    pub fn provenance_enabled(&self) -> bool {
+        self.provenance
     }
 
     fn record(&mut self, step: Step, event: Event) {
-        // The probe sees every event, in execution order, regardless of
-        // what the trace mode keeps.
-        if let Some(p) = self.probe.as_deref_mut() {
-            p.on_event(step, &event);
+        // Subscribed probes see every event, in execution order,
+        // regardless of what the trace mode keeps.
+        if self.all_want_events {
+            for p in &mut self.probes {
+                p.on_event(step, &event);
+            }
+        } else {
+            for &i in &self.event_probes {
+                self.probes[i].on_event(step, &event);
+            }
         }
         if self.mode.records(&event) {
             self.trace.record(step, event);
+        }
+    }
+
+    fn emit_msg(&mut self, step: Step, event: MsgEvent) {
+        for &i in &self.prov_probes {
+            self.probes[i].on_msg_event(step, &event);
         }
     }
 
@@ -361,6 +442,9 @@ impl World {
         let t = self.step;
         self.scheduler.note_progress(t, self.written);
         let decision = self.scheduler.decide(t, &*self.channel);
+        if self.prov_loss {
+            self.deleted_ids_step.clear();
+        }
 
         // Adversarial deletions first (they model in-transit loss).
         for i in 0..decision.delete_to_r.len() {
@@ -374,6 +458,18 @@ impl World {
                         msg: msg.0,
                     },
                 );
+                if self.provenance {
+                    let id = self.channel.take_deleted_id_to_r();
+                    self.deleted_ids_step.extend(id);
+                    self.emit_msg(
+                        t,
+                        MsgEvent::Dropped {
+                            id,
+                            to: ProcessId::Receiver,
+                            msg: msg.0,
+                        },
+                    );
+                }
             }
         }
         for i in 0..decision.delete_to_s.len() {
@@ -387,6 +483,18 @@ impl World {
                         msg: msg.0,
                     },
                 );
+                if self.provenance {
+                    let id = self.channel.take_deleted_id_to_s();
+                    self.deleted_ids_step.extend(id);
+                    self.emit_msg(
+                        t,
+                        MsgEvent::Dropped {
+                            id,
+                            to: ProcessId::Sender,
+                            msg: msg.0,
+                        },
+                    );
+                }
             }
         }
 
@@ -398,6 +506,17 @@ impl World {
         if let Some(m) = delivered_to_s {
             self.deliveries_s += 1;
             self.record(t, Event::DeliverToS { msg: m });
+            if self.provenance {
+                let id = self.channel.take_delivered_id_to_s();
+                self.emit_msg(
+                    t,
+                    MsgEvent::Delivered {
+                        id,
+                        to: ProcessId::Sender,
+                        msg: m.0,
+                    },
+                );
+            }
         }
         let delivered_to_r = decision
             .deliver_to_r
@@ -405,6 +524,17 @@ impl World {
         if let Some(m) = delivered_to_r {
             self.deliveries_r += 1;
             self.record(t, Event::DeliverToR { msg: m });
+            if self.provenance {
+                let id = self.channel.take_delivered_id_to_r();
+                self.emit_msg(
+                    t,
+                    MsgEvent::Delivered {
+                        id,
+                        to: ProcessId::Receiver,
+                        msg: m.0,
+                    },
+                );
+            }
         }
 
         // Processor steps.
@@ -457,11 +587,39 @@ impl World {
             self.channel.send_s(m);
             self.sends_s += 1;
             self.record(t, Event::SendS { msg: m });
+            if self.provenance {
+                let id = MsgId(self.next_msg_id);
+                self.next_msg_id += 1;
+                let filed = self.channel.note_send_s(m, id);
+                self.emit_msg(
+                    t,
+                    MsgEvent::Sent {
+                        id,
+                        to: ProcessId::Receiver,
+                        msg: m.0,
+                        coalesced_into: (filed != id).then_some(filed),
+                    },
+                );
+            }
         }
         for m in r_out.send {
             self.channel.send_r(m);
             self.sends_r += 1;
             self.record(t, Event::SendR { msg: m });
+            if self.provenance {
+                let id = MsgId(self.next_msg_id);
+                self.next_msg_id += 1;
+                let filed = self.channel.note_send_r(m, id);
+                self.emit_msg(
+                    t,
+                    MsgEvent::Sent {
+                        id,
+                        to: ProcessId::Sender,
+                        msg: m.0,
+                        coalesced_into: (filed != id).then_some(filed),
+                    },
+                );
+            }
         }
 
         // Channel clock (timed channels expire messages here), then the
@@ -471,6 +629,21 @@ impl World {
         self.channel.tick();
         self.channel
             .take_expirations(&mut self.expiry_scratch_r, &mut self.expiry_scratch_s);
+        if self.prov_loss {
+            self.channel
+                .take_expiration_ids(&mut self.expiry_id_scratch_r, &mut self.expiry_id_scratch_s);
+            // A copy the adversary already deleted this step left the
+            // channel then — it must never re-surface through the expiry
+            // drain, or drops would be double-counted.
+            debug_assert!(
+                self.expiry_id_scratch_r
+                    .iter()
+                    .chain(self.expiry_id_scratch_s.iter())
+                    .flatten()
+                    .all(|id| !self.deleted_ids_step.contains(id)),
+                "take_expirations yielded a copy already reported dropped this step"
+            );
+        }
         for i in 0..self.expiry_scratch_r.len() {
             let msg = self.expiry_scratch_r[i];
             self.drops += 1;
@@ -481,6 +654,17 @@ impl World {
                     msg: msg.0,
                 },
             );
+            if self.provenance {
+                let id = self.expiry_id_scratch_r.get(i).copied().flatten();
+                self.emit_msg(
+                    t,
+                    MsgEvent::Expired {
+                        id,
+                        to: ProcessId::Receiver,
+                        msg: msg.0,
+                    },
+                );
+            }
         }
         for i in 0..self.expiry_scratch_s.len() {
             let msg = self.expiry_scratch_s[i];
@@ -492,13 +676,26 @@ impl World {
                     msg: msg.0,
                 },
             );
+            if self.provenance {
+                let id = self.expiry_id_scratch_s.get(i).copied().flatten();
+                self.emit_msg(
+                    t,
+                    MsgEvent::Expired {
+                        id,
+                        to: ProcessId::Sender,
+                        msg: msg.0,
+                    },
+                );
+            }
         }
         self.expiry_scratch_r.clear();
         self.expiry_scratch_s.clear();
+        self.expiry_id_scratch_r.clear();
+        self.expiry_id_scratch_s.clear();
 
         self.step += 1;
         self.trace.set_steps(self.step);
-        if let Some(p) = self.probe.as_deref_mut() {
+        for p in &mut self.probes {
             p.on_step_end(t);
         }
     }
