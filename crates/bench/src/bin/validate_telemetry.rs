@@ -1,14 +1,34 @@
 //! Validates a JSONL telemetry file: every line must parse as one of the
 //! wire forms ([`TelemetryLine`]) and survive a serialize → parse round
-//! trip unchanged. Exits nonzero on the first malformed file, so CI can
-//! gate on the schema actually holding for freshly exported telemetry.
+//! trip unchanged. Exits nonzero on the first malformed file, naming the
+//! offending line number and the kind the line claims to be (its
+//! self-describing top-level key), so CI can gate on the schema actually
+//! holding for freshly exported telemetry — conformance ledgers included.
 //!
 //! Usage: `validate_telemetry <file.jsonl>` (defaults to
 //! `telemetry.jsonl` in the current directory).
 
 use std::process::ExitCode;
-use stp_sim::telemetry::{FrontierLine, ReportLine, RunLine, SpanLine, SummaryLine};
+use stp_sim::telemetry::{FrontierLine, ReportLine, RunLine, SpanLine, SummaryLine, VerdictLine};
 use stp_sim::TelemetryLine;
+
+/// The self-describing kind tag of a JSONL line — its first top-level
+/// key — for diagnostics. Lines too broken to expose one report as
+/// `"unrecognized"`.
+fn claimed_kind(line: &str) -> String {
+    let open = match line.find('{') {
+        Some(i) => i + 1,
+        None => return "unrecognized".to_string(),
+    };
+    let rest = &line[open..];
+    match rest.find('"').and_then(|start| {
+        let key = &rest[start + 1..];
+        key.find('"').map(|end| &key[..end])
+    }) {
+        Some(key) if !key.is_empty() => key.to_string(),
+        _ => "unrecognized".to_string(),
+    }
+}
 
 fn round_trips(line: &TelemetryLine) -> Result<bool, serde_json::Error> {
     let reserialized = match line {
@@ -21,6 +41,7 @@ fn round_trips(line: &TelemetryLine) -> Result<bool, serde_json::Error> {
         TelemetryLine::Frontier(f) => serde_json::to_string(&FrontierLine {
             frontier: f.clone(),
         })?,
+        TelemetryLine::Verdict(v) => serde_json::to_string(&VerdictLine { verdict: v.clone() })?,
     };
     Ok(TelemetryLine::parse(&reserialized)? == *line)
 }
@@ -37,16 +58,17 @@ fn main() -> ExitCode {
         }
     };
     let (mut runs, mut reports, mut summaries) = (0usize, 0usize, 0usize);
-    let (mut spans, mut frontiers) = (0usize, 0usize);
+    let (mut spans, mut frontiers, mut verdicts) = (0usize, 0usize, 0usize);
     for (no, line) in body.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
         }
+        let kind = claimed_kind(line);
         let parsed = match TelemetryLine::parse(line) {
             Ok(p) => p,
             Err(e) => {
                 eprintln!(
-                    "validate_telemetry: {path}:{}: unparseable line: {e}",
+                    "validate_telemetry: {path}:{}: unparseable '{kind}' line: {e}",
                     no + 1
                 );
                 return ExitCode::FAILURE;
@@ -56,14 +78,14 @@ fn main() -> ExitCode {
             Ok(true) => {}
             Ok(false) => {
                 eprintln!(
-                    "validate_telemetry: {path}:{}: line does not round-trip",
+                    "validate_telemetry: {path}:{}: '{kind}' line does not round-trip",
                     no + 1
                 );
                 return ExitCode::FAILURE;
             }
             Err(e) => {
                 eprintln!(
-                    "validate_telemetry: {path}:{}: reserialization failed: {e}",
+                    "validate_telemetry: {path}:{}: '{kind}' reserialization failed: {e}",
                     no + 1
                 );
                 return ExitCode::FAILURE;
@@ -75,16 +97,17 @@ fn main() -> ExitCode {
             TelemetryLine::Summary(_) => summaries += 1,
             TelemetryLine::Span(_) => spans += 1,
             TelemetryLine::Frontier(_) => frontiers += 1,
+            TelemetryLine::Verdict(_) => verdicts += 1,
         }
     }
-    let total = runs + reports + summaries + spans + frontiers;
+    let total = runs + reports + summaries + spans + frontiers + verdicts;
     if total == 0 {
         eprintln!("validate_telemetry: {path} contains no telemetry lines");
         return ExitCode::FAILURE;
     }
     println!(
         "{path}: {total} lines valid ({runs} runs, {reports} reports, {summaries} summaries, \
-         {spans} spans, {frontiers} frontiers)"
+         {spans} spans, {frontiers} frontiers, {verdicts} verdicts)"
     );
     ExitCode::SUCCESS
 }

@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod conformance;
 pub mod e1;
 pub mod e10;
 pub mod e11;

@@ -40,6 +40,8 @@
 //!   machines) shared by every protocol and by the simulator/verifier.
 //! * [`event`] — the observable event vocabulary of a run.
 //! * [`require`] — executable safety/liveness requirement checkers.
+//! * [`schema`] — shared wire-schema types for the certificate subsystem
+//!   (schema version, verdicts, the conformance-ledger record).
 //! * [`error`] — the crate's error type.
 //!
 //! ## Quick start
@@ -66,6 +68,7 @@ pub mod error;
 pub mod event;
 pub mod proto;
 pub mod require;
+pub mod schema;
 pub mod sequence;
 
 pub use alphabet::{Alphabet, RMsg, SMsg};
@@ -75,3 +78,4 @@ pub use event::{Event, MsgEvent, MsgId, ProcessId, Step, Trace};
 pub use proto::{
     InputTape, Receiver, ReceiverEvent, ReceiverOutput, Sender, SenderEvent, SenderOutput,
 };
+pub use schema::{ConformanceVerdict, Verdict, CERT_SCHEMA_VERSION};

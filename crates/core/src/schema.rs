@@ -1,0 +1,114 @@
+//! Shared wire-schema types for the certificate subsystem.
+//!
+//! The verification gate spans three crates: `stp-verify` emits versioned
+//! witnesses, its independent checker replays them through `stp-sim`, and
+//! `stp-bench`'s `conformance` bin records one verdict per grid cell into
+//! a JSONL ledger riding the telemetry sink. The types every layer must
+//! agree on — the schema version, the verdict vocabulary and the ledger
+//! record — live here, at the bottom of the dependency graph, so no layer
+//! can drift from another without failing to compile.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Version of the certificate wire schema. Bump on any incompatible
+/// change to a witness type; the checker rejects certificates whose
+/// embedded version differs, so stale artifacts fail loudly instead of
+/// being misinterpreted.
+pub const CERT_SCHEMA_VERSION: u32 = 1;
+
+/// What a conformance-grid cell concluded about its protocol family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The family solves its cell: an achievability witness (capacity
+    /// embedding or bounded recovery) was emitted and checked.
+    Achieved,
+    /// The family was refuted: an impossibility witness (fair cycle,
+    /// indistinguishability conflict or bounded confusion) was emitted
+    /// and checked.
+    Refuted,
+    /// The search returned nothing — neither a refutation nor an
+    /// achievability witness. Always unexpected in the grid.
+    Indeterminate,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Verdict::Achieved => "achieved",
+            Verdict::Refuted => "refuted",
+            Verdict::Indeterminate => "indeterminate",
+        })
+    }
+}
+
+/// One line of the conformance ledger: a grid cell, the verdict the
+/// searches produced, the certificate backing it, and the independent
+/// checker's judgement of that certificate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConformanceVerdict {
+    /// The certificate schema version the cell's artifact was written at.
+    pub schema_version: u32,
+    /// Sender alphabet size `m` of the cell.
+    pub m: u16,
+    /// Family under test (`"tight"` at capacity, `"over"` above it).
+    pub family: String,
+    /// Channel model of the cell (`"dup"`, `"del"`, `"timed"`).
+    pub channel: String,
+    /// The verdict the theorems predict for this cell.
+    pub expected: Verdict,
+    /// The verdict the searches actually produced.
+    pub verdict: Verdict,
+    /// Kind of the emitted certificate (`"fair-cycle"`, `"conflict"`,
+    /// `"capacity"`, `"recovery"`), or empty when none was produced.
+    #[serde(default)]
+    pub cert_kind: String,
+    /// File the certificate was written to, relative to the ledger.
+    #[serde(default)]
+    pub cert_file: String,
+    /// The independent checker's judgement: `"accepted"`, or
+    /// `"rejected: <error>"`.
+    pub checker: String,
+    /// Whether the cell conforms: verdict matches expectation *and* the
+    /// checker accepted the certificate.
+    pub ok: bool,
+}
+
+impl ConformanceVerdict {
+    /// Whether the checker accepted the cell's certificate.
+    pub fn checker_accepted(&self) -> bool {
+        self.checker == "accepted"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdicts_display_lowercase() {
+        assert_eq!(Verdict::Achieved.to_string(), "achieved");
+        assert_eq!(Verdict::Refuted.to_string(), "refuted");
+        assert_eq!(Verdict::Indeterminate.to_string(), "indeterminate");
+    }
+
+    #[test]
+    fn ledger_records_round_trip() {
+        let v = ConformanceVerdict {
+            schema_version: CERT_SCHEMA_VERSION,
+            m: 2,
+            family: "over".into(),
+            channel: "dup".into(),
+            expected: Verdict::Refuted,
+            verdict: Verdict::Refuted,
+            cert_kind: "conflict".into(),
+            cert_file: "m2-over-dup.json".into(),
+            checker: "accepted".into(),
+            ok: true,
+        };
+        let json = serde_json::to_string(&v).unwrap();
+        let back: ConformanceVerdict = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, v);
+        assert!(back.checker_accepted());
+    }
+}

@@ -285,6 +285,65 @@ impl ProtocolFamily for HybridFamily {
     }
 }
 
+/// A serializable recipe for the two families the conformance grid and the
+/// certificate checker must be able to rebuild from a JSON witness: the
+/// paper's tight protocol at capacity, and the over-capacity naive variant
+/// the impossibility engine refutes.
+///
+/// Certificates carry a `FamilySpec` instead of a protocol name so the
+/// independent checker can re-instantiate the *exact* sender/receiver pair
+/// the search ran, without trusting anything beyond the spec itself.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum FamilySpec {
+    /// [`TightFamily`] — `|X| = α(d)` repetition-free sequences.
+    Tight {
+        /// Domain (= alphabet) size.
+        d: u16,
+        /// Retransmission policy.
+        policy: ResendPolicy,
+    },
+    /// [`NaiveFamily`] — all sequences up to `max_len`, over capacity once
+    /// `max_len ≥ 2`.
+    Naive {
+        /// Domain (= alphabet) size.
+        d: u16,
+        /// Maximum claimed sequence length.
+        max_len: usize,
+        /// Retransmission policy.
+        policy: ResendPolicy,
+    },
+}
+
+impl FamilySpec {
+    /// Instantiates the family the spec describes.
+    pub fn build(&self) -> Box<dyn ProtocolFamily> {
+        match *self {
+            FamilySpec::Tight { d, policy } => Box::new(TightFamily::new(d, policy)),
+            FamilySpec::Naive { d, max_len, policy } => {
+                Box::new(NaiveFamily { d, max_len, policy })
+            }
+        }
+    }
+
+    /// Sender alphabet size `m` of the described family.
+    pub fn m(&self) -> u16 {
+        match *self {
+            FamilySpec::Tight { d, .. } | FamilySpec::Naive { d, .. } => d,
+        }
+    }
+}
+
+impl fmt::Display for FamilySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FamilySpec::Tight { d, policy } => write!(f, "tight(d={d}, {policy:?})"),
+            FamilySpec::Naive { d, max_len, policy } => {
+                write!(f, "naive(d={d}, max_len={max_len}, {policy:?})")
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

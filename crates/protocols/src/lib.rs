@@ -48,7 +48,7 @@ pub mod window;
 
 pub use abp::{AbpReceiver, AbpSender};
 pub use family::{
-    AbpFamily, HybridFamily, NaiveFamily, ProtocolFamily, StenningFamily, TightFamily,
+    AbpFamily, FamilySpec, HybridFamily, NaiveFamily, ProtocolFamily, StenningFamily, TightFamily,
 };
 pub use hybrid::{HybridReceiver, HybridSender};
 pub use naive::NaiveSender;

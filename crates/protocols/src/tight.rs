@@ -30,7 +30,7 @@ use stp_core::proto::{
 };
 
 /// Retransmission behaviour of the tight protocol.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum ResendPolicy {
     /// Transmit each item (and acknowledgement) exactly once — optimal for
     /// duplicating channels, where the channel itself retransmits forever.

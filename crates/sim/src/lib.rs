@@ -48,7 +48,7 @@ pub use engine::{SweepEngine, SweepSpec};
 pub use error::SimError;
 pub use fault::FaultInjector;
 pub use metrics::{Histogram, MetricsProbe, RunStats, SweepReport};
-pub use replay::{replay, script_from_trace};
+pub use replay::{replay, script_from_trace, scripted_world};
 pub use runner::{
     run_family_member, sweep_family, sweep_family_parallel, sweep_family_parallel_observed,
     MemberRun, SweepOutcome,

@@ -33,6 +33,27 @@ pub fn script_from_trace(trace: &Trace) -> Vec<StepDecision> {
     script
 }
 
+/// Builds a [`World`] that will re-execute a recorded adversary script via
+/// a [`ScriptedScheduler`] — the replay hook certificate checkers use to
+/// re-run a witness without touching any search internals. The caller
+/// decides how far to run it (typically `script.len()` steps, possibly
+/// with fingerprint probes along the way).
+pub fn scripted_world(
+    input: stp_core::data::DataSeq,
+    sender: Box<dyn Sender>,
+    receiver: Box<dyn Receiver>,
+    channel: Box<dyn Channel>,
+    script: Vec<StepDecision>,
+) -> World {
+    World::builder(input)
+        .sender(sender)
+        .receiver(receiver)
+        .channel(channel)
+        .scheduler(Box::new(ScriptedScheduler::new(script)))
+        .build()
+        .expect("all components supplied")
+}
+
 /// Re-executes a recorded trace against fresh protocol and channel
 /// instances, returning the reproduced trace. With the same deterministic
 /// processors and an equivalent empty channel, the result equals the
@@ -45,13 +66,7 @@ pub fn replay(
 ) -> Trace {
     let script = script_from_trace(trace);
     let steps = script.len() as u64;
-    let mut world = World::builder(trace.input().clone())
-        .sender(sender)
-        .receiver(receiver)
-        .channel(channel)
-        .scheduler(Box::new(ScriptedScheduler::new(script)))
-        .build()
-        .expect("all components supplied");
+    let mut world = scripted_world(trace.input().clone(), sender, receiver, channel, script);
     world.run(steps);
     world.into_trace()
 }

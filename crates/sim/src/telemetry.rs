@@ -269,6 +269,15 @@ pub struct FrontierLine {
     pub frontier: FrontierRecord,
 }
 
+/// The wire form of a conformance-ledger line: `{"verdict": {…}}` — one
+/// grid cell of the certificate gate, carrying the cell's expected and
+/// observed verdicts plus the independent checker's judgement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerdictLine {
+    /// The ledger record.
+    pub verdict: stp_core::schema::ConformanceVerdict,
+}
+
 /// A parsed telemetry line — what [`TelemetryLine::parse`] dispatches to.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TelemetryLine {
@@ -283,6 +292,8 @@ pub enum TelemetryLine {
     Span(SpanRecord),
     /// A knowledge-frontier sample.
     Frontier(FrontierRecord),
+    /// A conformance-ledger verdict.
+    Verdict(stp_core::schema::ConformanceVerdict),
 }
 
 impl TelemetryLine {
@@ -292,10 +303,13 @@ impl TelemetryLine {
     ///
     /// Returns the underlying JSON error when the line is none of the
     /// `{"run": …}` / `{"span": …}` / `{"frontier": …}` / `{"summary": …}`
-    /// / `{"report": …}` documents.
+    /// / `{"verdict": …}` / `{"report": …}` documents.
     pub fn parse(line: &str) -> Result<TelemetryLine, serde_json::Error> {
         if let Ok(l) = serde_json::from_str::<RunLine>(line) {
             return Ok(TelemetryLine::Run(l.run));
+        }
+        if let Ok(l) = serde_json::from_str::<VerdictLine>(line) {
+            return Ok(TelemetryLine::Verdict(l.verdict));
         }
         if let Ok(l) = serde_json::from_str::<SpanLine>(line) {
             return Ok(TelemetryLine::Span(l.span));
@@ -393,6 +407,22 @@ impl TelemetryWriter {
     pub fn emit_span(&mut self, span: &SpanRecord) -> io::Result<()> {
         let line =
             serde_json::to_string(&SpanLine { span: span.clone() }).map_err(io::Error::other)?;
+        self.sink.write_line(&line)
+    }
+
+    /// Emits one conformance-ledger verdict line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization or sink I/O errors.
+    pub fn emit_verdict(
+        &mut self,
+        verdict: &stp_core::schema::ConformanceVerdict,
+    ) -> io::Result<()> {
+        let line = serde_json::to_string(&VerdictLine {
+            verdict: verdict.clone(),
+        })
+        .map_err(io::Error::other)?;
         self.sink.write_line(&line)
     }
 
@@ -772,6 +802,32 @@ mod tests {
         match TelemetryLine::parse(line).unwrap() {
             TelemetryLine::Frontier(back) => assert_eq!(back, rec),
             other => panic!("expected a frontier line, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn verdict_lines_round_trip() {
+        use stp_core::schema::{ConformanceVerdict, Verdict, CERT_SCHEMA_VERSION};
+        let rec = ConformanceVerdict {
+            schema_version: CERT_SCHEMA_VERSION,
+            m: 2,
+            family: "tight".to_string(),
+            channel: "del".to_string(),
+            expected: Verdict::Achieved,
+            verdict: Verdict::Achieved,
+            cert_kind: "recovery".to_string(),
+            cert_file: "m2-tight-del.json".to_string(),
+            checker: "accepted".to_string(),
+            ok: true,
+        };
+        let sink = MemorySink::new();
+        let mut w = TelemetryWriter::new(Box::new(sink.clone()));
+        w.emit_verdict(&rec).unwrap();
+        let line = &sink.lines()[0];
+        assert!(line.contains("\"verdict\""), "{line}");
+        match TelemetryLine::parse(line).unwrap() {
+            TelemetryLine::Verdict(back) => assert_eq!(back, rec),
+            other => panic!("expected a verdict line, got {other:?}"),
         }
     }
 

@@ -373,6 +373,22 @@ impl World {
         self.written
     }
 
+    /// A hash of the live system state — sender and receiver fingerprints,
+    /// the channel's canonical state key, and the output length. Two worlds
+    /// with equal fingerprints are (up to hash collision) in the same
+    /// global state, so a run revisiting a fingerprint has entered a cycle.
+    /// This is what the certificate checker compares when replaying a
+    /// fair-cycle witness.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.sender.fingerprint().hash(&mut h);
+        self.receiver.fingerprint().hash(&mut h);
+        self.channel.state_key().hash(&mut h);
+        self.written.hash(&mut h);
+        h.finish()
+    }
+
     /// Clones the live parts of the system — `(sender, receiver, channel,
     /// written)` — so an analysis (e.g. the boundedness prober in
     /// `stp-verify`) can explore hypothetical extensions of this exact

@@ -33,6 +33,10 @@ struct ProbeNode {
     fresh_to_r: HashMap<u16, u64>,
     fresh_to_s: HashMap<u16, u64>,
     written: usize,
+    /// The adversary deliveries that reached this node from the probed
+    /// point, one `(to_r, to_s)` pair per step — the replayable recovery
+    /// schedule a certificate embeds.
+    path: Vec<(Option<SMsg>, Option<RMsg>)>,
 }
 
 impl ProbeNode {
@@ -58,6 +62,7 @@ impl ProbeNode {
         let mut fresh_to_r = self.fresh_to_r.clone();
         let mut fresh_to_s = self.fresh_to_s.clone();
         let mut written = self.written;
+        let mut path = self.path.clone();
 
         let delivered_r = to_r.filter(|m| {
             fresh_to_r.get(&m.0).copied().unwrap_or(0) > 0 && channel.deliver_to_r(*m).is_ok()
@@ -71,6 +76,7 @@ impl ProbeNode {
         if let Some(m) = delivered_s {
             *fresh_to_s.get_mut(&m.0).expect("checked above") -= 1;
         }
+        path.push((delivered_r, delivered_s));
 
         let s_out = sender.on_event(match delivered_s {
             Some(m) => SenderEvent::Deliver(m),
@@ -98,24 +104,26 @@ impl ProbeNode {
             fresh_to_r,
             fresh_to_s,
             written,
+            path,
         }
     }
 }
 
-/// Searches all fresh-only adversary schedules from the given system
-/// point for the fastest extension in which the receiver writes its next
-/// item. Returns the minimal number of steps, or `None` if no extension of
-/// length ≤ `budget` exists.
-///
-/// Take the parts from a live run via
-/// [`World::fork_parts`](stp_sim::World::fork_parts).
-pub fn min_recovery_steps(
+/// Like [`min_recovery_steps`], but returns the witnessing adversary
+/// schedule itself: the per-step fresh deliveries of a fastest extension
+/// in which the receiver writes its next item. The schedule's length is
+/// the minimal recovery step count, and replaying it from the same system
+/// point (deliveries only — the fresh-only restriction is a property of
+/// the schedule, checkable against the replay trace) reproduces the
+/// write. `None` if no extension of length ≤ `budget` exists.
+#[allow(clippy::type_complexity)]
+pub fn min_recovery_schedule(
     sender: Box<dyn Sender>,
     receiver: Box<dyn Receiver>,
     channel: Box<dyn Channel>,
     written: usize,
     budget: Step,
-) -> Option<Step> {
+) -> Option<Vec<(Option<SMsg>, Option<RMsg>)>> {
     let root = ProbeNode {
         sender,
         receiver,
@@ -123,11 +131,12 @@ pub fn min_recovery_steps(
         fresh_to_r: HashMap::new(),
         fresh_to_s: HashMap::new(),
         written,
+        path: Vec::new(),
     };
     let target = written + 1;
     let mut frontier = vec![root];
     let mut seen: HashSet<u64> = HashSet::new();
-    for depth in 1..=budget {
+    for _depth in 1..=budget {
         let mut next = Vec::new();
         for node in &frontier {
             let mut to_r: Vec<Option<SMsg>> = vec![None];
@@ -148,7 +157,7 @@ pub fn min_recovery_steps(
                 for &ds in &to_s {
                     let child = node.advance(dr, ds);
                     if child.written >= target {
-                        return Some(depth);
+                        return Some(child.path);
                     }
                     if seen.insert(child.key()) {
                         next.push(child);
@@ -162,6 +171,24 @@ pub fn min_recovery_steps(
         }
     }
     None
+}
+
+/// Searches all fresh-only adversary schedules from the given system
+/// point for the fastest extension in which the receiver writes its next
+/// item. Returns the minimal number of steps, or `None` if no extension of
+/// length ≤ `budget` exists.
+///
+/// Take the parts from a live run via
+/// [`World::fork_parts`](stp_sim::World::fork_parts).
+pub fn min_recovery_steps(
+    sender: Box<dyn Sender>,
+    receiver: Box<dyn Receiver>,
+    channel: Box<dyn Channel>,
+    written: usize,
+    budget: Step,
+) -> Option<Step> {
+    min_recovery_schedule(sender, receiver, channel, written, budget)
+        .map(|schedule| schedule.len() as Step)
 }
 
 #[cfg(test)]

@@ -41,6 +41,10 @@ pub struct ExhaustiveCheck {
     /// Control: number of size-`α(m)` families enumerated that do embed
     /// (at least one must, namely the repetition-free family itself).
     pub control_embeddable: usize,
+    /// One concrete size-`α(m)` family that embeds — the achievability
+    /// witness a certificate checker can re-validate through the public
+    /// prefix-tree API without re-running the enumeration.
+    pub control_example: Option<Vec<DataSeq>>,
 }
 
 /// Enumerates every prefix-closed family over a domain of `domain` items
@@ -58,6 +62,7 @@ pub fn exhaustive_prefix_closed_check(m: u16, domain: u16, max_depth: usize) -> 
     let mut families_checked = 0usize;
     let mut embeddable = 0usize;
     let mut control_embeddable = 0usize;
+    let mut control_example: Option<Vec<DataSeq>> = None;
     // Enumerate prefix-closed families by growing them one leaf at a time:
     // a prefix-closed family is exactly a subtree of the |domain|-ary tree
     // containing the root. We enumerate such trees up to `target` nodes by
@@ -84,6 +89,9 @@ pub fn exhaustive_prefix_closed_check(m: u16, domain: u16, max_depth: usize) -> 
                 }
             } else if embeds {
                 control_embeddable += 1;
+                if control_example.is_none() {
+                    control_example = Some(fam.clone());
+                }
             }
         }
         if fam.len() >= target {
@@ -110,6 +118,7 @@ pub fn exhaustive_prefix_closed_check(m: u16, domain: u16, max_depth: usize) -> 
         families_checked,
         embeddable,
         control_embeddable,
+        control_example,
     }
 }
 
@@ -133,6 +142,10 @@ mod tests {
         assert!(r.families_checked > 0);
         assert_eq!(r.embeddable, 0, "Theorem 1 falsified at m=1?!");
         assert!(r.control_embeddable > 0, "achievability control failed");
+        let example = r.control_example.expect("an embedding control is recorded");
+        assert_eq!(example.len() as u128, alpha(1).unwrap());
+        let family = SequenceFamily::from_seqs(example).expect("duplicate-free");
+        assert!(family.prefix_tree().embeds_in_repetition_free(1));
     }
 
     #[test]

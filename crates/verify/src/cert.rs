@@ -1,0 +1,524 @@
+//! Versioned, serde-backed certificates for every verification verdict.
+//!
+//! Following the untrusted-engine / trusted-checker pattern, the searches
+//! in [`refute`](crate::refute), [`capacity`](crate::capacity) and
+//! [`boundedness`](crate::boundedness) are treated as *untrusted*: each
+//! verdict ships as a [`Certificate`] — plain JSON data carrying the
+//! specs needed to rebuild the exact system under test plus a replayable
+//! adversary script — and the independent checker in
+//! [`check`](crate::check) validates the claim by re-executing the script
+//! through `stp-sim`, never by trusting the search that produced it.
+//!
+//! The wire schema is versioned ([`stp_core::CERT_SCHEMA_VERSION`]): a
+//! checker rejects certificates written at any other version, so stale
+//! artifacts in a CI ledger fail loudly instead of being misread.
+//!
+//! Five witness kinds cover the paper's verification surface:
+//!
+//! * [`FairCycleWitness`] — a fair no-progress loop of a single run
+//!   (liveness refutation, [`refute::find_fair_cycle`]); replayed with the
+//!   fair round-robin scheduler, no script needed.
+//! * [`ConflictWitness`] — a decisive-tuple conflict over a pair of
+//!   inputs ([`refute::find_indistinguishable_conflict`]); carries the
+//!   mirrored delivery script.
+//! * [`CapacityWitness`] — the α(m) counting claim
+//!   ([`capacity::exhaustive_prefix_closed_check`]) plus an explicit
+//!   embedding control family the checker re-validates.
+//! * [`RecoveryWitness`] — a Definition-2 boundedness probe
+//!   ([`boundedness::min_recovery_schedule`]): the faulted prefix script
+//!   and the fresh-only recovery schedule.
+//! * [`ViolationWitness`] — the bridge from `stp-sim`'s shrunken
+//!   campaign witnesses ([`stp_sim::Witness`]) into the same envelope, so
+//!   chaos-campaign bug reports ride the identical checker.
+
+use crate::boundedness::min_recovery_schedule;
+use crate::capacity::{encoding_capacity, exhaustive_prefix_closed_check, ExhaustiveCheck};
+use crate::refute::{
+    find_conflict_with_budget, find_fair_cycle, ConflictCertificate, ConflictKind, CycleCertificate,
+};
+use serde::{Deserialize, Serialize};
+use stp_channel::{ChannelSpec, StepDecision};
+use stp_core::alphabet::{RMsg, SMsg};
+use stp_core::data::DataSeq;
+use stp_core::event::Step;
+use stp_core::CERT_SCHEMA_VERSION;
+use stp_protocols::FamilySpec;
+use stp_sim::shrink::{Violation, Witness};
+use stp_sim::World;
+
+/// One step of a mirrored or recovery adversary schedule: at most one
+/// delivery per direction. A named struct (rather than a bare tuple) so
+/// the JSON stays self-describing — `{"to_r": 1, "to_s": null}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MirrorStep {
+    /// Message delivered to the receiver this step, if any.
+    #[serde(default)]
+    pub to_r: Option<SMsg>,
+    /// Message delivered to the sender this step, if any.
+    #[serde(default)]
+    pub to_s: Option<RMsg>,
+}
+
+impl MirrorStep {
+    /// Converts from the search-internal pair form.
+    pub fn of(pair: (Option<SMsg>, Option<RMsg>)) -> MirrorStep {
+        MirrorStep {
+            to_r: pair.0,
+            to_s: pair.1,
+        }
+    }
+
+    /// The [`StepDecision`] replaying this step (deliveries only).
+    pub fn decision(&self) -> StepDecision {
+        StepDecision {
+            deliver_to_r: self.to_r,
+            deliver_to_s: self.to_s,
+            ..StepDecision::idle()
+        }
+    }
+}
+
+/// Converts a search-internal schedule into the wire form.
+pub fn mirror_script(pairs: &[(Option<SMsg>, Option<RMsg>)]) -> Vec<MirrorStep> {
+    pairs.iter().map(|&p| MirrorStep::of(p)).collect()
+}
+
+/// What a [`ConflictWitness`] claims its mirrored runs exhibit — the
+/// serde twin of [`ConflictKind`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConflictClaim {
+    /// The shared output violates the prefix property of one input.
+    Safety {
+        /// The step at which the offending write happened.
+        at_step: Step,
+    },
+    /// The mirrored runs close a fair no-progress loop.
+    Liveness {
+        /// Steps executed before the loop state was first seen
+        /// (`entry_step + cycle_len == script.len()`).
+        entry_step: Step,
+        /// Length of the fair mirrored loop.
+        cycle_len: Step,
+    },
+    /// Theorem-2 bounded confusion: the runs' next items disagree and one
+    /// channel's stockpile can mimic any continuation of the other run
+    /// for `budget` steps.
+    Confusion {
+        /// The defeated per-item step budget.
+        budget: u64,
+    },
+}
+
+impl ConflictClaim {
+    /// Converts from the search result.
+    pub fn of(kind: &ConflictKind) -> ConflictClaim {
+        match *kind {
+            ConflictKind::SafetyViolation { at_step } => ConflictClaim::Safety { at_step },
+            ConflictKind::LivenessCycle {
+                entry_step,
+                cycle_len,
+            } => ConflictClaim::Liveness {
+                entry_step,
+                cycle_len,
+            },
+            ConflictKind::BoundedConfusion { budget } => ConflictClaim::Confusion { budget },
+        }
+    }
+}
+
+/// A fair no-progress loop of a single run — the liveness refutation of
+/// [`refute::find_fair_cycle`]. No script is embedded: the loop arises
+/// under the deterministic fair round-robin driver
+/// ([`stp_channel::EagerScheduler`]), so the checker re-derives the whole
+/// run from `(family, channel, input)` alone and probes fingerprints at
+/// `entry_step`, `entry_step + cycle_len` and `entry_step + 2·cycle_len`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FairCycleWitness {
+    /// The family the loop refutes.
+    pub family: FamilySpec,
+    /// The channel model of the run.
+    pub channel: ChannelSpec,
+    /// The input sequence of the stuck run.
+    pub input: DataSeq,
+    /// Steps executed before the repeated state was first seen.
+    pub entry_step: Step,
+    /// Length of the fair loop.
+    pub cycle_len: Step,
+    /// Items written when the run got stuck (constant over the loop,
+    /// strictly less than `input.len()`).
+    pub written: usize,
+}
+
+/// A decisive-tuple conflict over a pair of inputs — the refutation of
+/// [`refute::find_indistinguishable_conflict`], with the mirrored
+/// adversary schedule embedded for replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConflictWitness {
+    /// The family the conflict refutes.
+    pub family: FamilySpec,
+    /// The channel model of both runs.
+    pub channel: ChannelSpec,
+    /// First input (the paper's `X^r`).
+    pub x1: DataSeq,
+    /// Second input, receiver-indistinguishable from the first.
+    pub x2: DataSeq,
+    /// What the mirrored runs exhibit.
+    pub claim: ConflictClaim,
+    /// Items the shared receiver has written once the script has fully
+    /// replayed (script-end semantics — what the checker verifies).
+    pub written: usize,
+    /// On deletion channels: the in-flight copy budget backing a
+    /// [`ConflictClaim::Confusion`] claim.
+    pub stockpile: u64,
+    /// The mirrored adversary schedule, applied identically to both runs.
+    pub script: Vec<MirrorStep>,
+}
+
+/// The α(m) counting claim of
+/// [`capacity::exhaustive_prefix_closed_check`], plus one explicit
+/// embedding control family the checker re-validates through the public
+/// prefix-tree API.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapacityWitness {
+    /// Alphabet size checked.
+    pub m: u16,
+    /// Domain size the enumeration ranged over.
+    pub domain: u16,
+    /// Depth bound of the enumeration.
+    pub max_depth: usize,
+    /// The claimed capacity — α(m), which the checker recomputes
+    /// independently via the recurrence `α(n) = n·α(n−1) + 1`.
+    pub claimed_capacity: u128,
+    /// Number of size-`α(m)+1` prefix-closed families enumerated.
+    pub families_checked: usize,
+    /// How many of them (wrongly) embedded — must be zero.
+    pub embeddable: usize,
+    /// How many size-`α(m)` control families embedded — must be ≥ 1.
+    pub control_embeddable: usize,
+    /// One concrete size-`α(m)` family that embeds.
+    pub control_example: Vec<DataSeq>,
+}
+
+/// A Definition-2 boundedness probe: from the system point reached by
+/// replaying `prefix`, the `recovery` schedule delivers only fresh
+/// messages and makes the receiver write item `written_at_fork + 1`
+/// within `claimed_steps` steps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryWitness {
+    /// The family under test.
+    pub family: FamilySpec,
+    /// The channel model of the run.
+    pub channel: ChannelSpec,
+    /// The input sequence.
+    pub input: DataSeq,
+    /// The full adversary script of the (possibly faulted) run up to the
+    /// probed point, including deletions.
+    pub prefix: Vec<StepDecision>,
+    /// Items written at the probed point.
+    pub written_at_fork: usize,
+    /// The fresh-only recovery schedule from the probed point.
+    pub recovery: Vec<MirrorStep>,
+    /// The claimed recovery step count — the `f(i)` value; must equal
+    /// `recovery.len()`.
+    pub claimed_steps: Step,
+}
+
+/// A shrunken chaos-campaign failure ([`stp_sim::Witness`]) re-packaged
+/// into the certificate envelope, so campaign bug reports ride the same
+/// independent checker as the impossibility searches.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ViolationWitness {
+    /// The family the failing run used.
+    pub family: FamilySpec,
+    /// The channel model of the failing run.
+    pub channel: ChannelSpec,
+    /// The input sequence of the failing run.
+    pub input: DataSeq,
+    /// The exact per-step adversary script of the failing run.
+    pub script: Vec<StepDecision>,
+    /// Steps the failing run took.
+    pub steps: Step,
+    /// The violation the replay must reproduce.
+    pub violation: Violation,
+}
+
+/// The witness payload of a [`Certificate`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WitnessKind {
+    /// A single-run fair no-progress loop.
+    FairCycle(FairCycleWitness),
+    /// A paired decisive-tuple conflict.
+    Conflict(ConflictWitness),
+    /// The α(m) counting claim.
+    Capacity(CapacityWitness),
+    /// A bounded-recovery probe.
+    Recovery(RecoveryWitness),
+    /// A replayable campaign failure.
+    Violation(ViolationWitness),
+}
+
+/// A versioned, self-contained verification certificate: everything an
+/// independent checker needs to re-validate a verdict by replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Certificate {
+    /// The wire-schema version the certificate was written at.
+    pub version: u32,
+    /// The witness payload.
+    pub witness: WitnessKind,
+}
+
+impl Certificate {
+    /// Wraps a witness at the current schema version.
+    pub fn new(witness: WitnessKind) -> Certificate {
+        Certificate {
+            version: CERT_SCHEMA_VERSION,
+            witness,
+        }
+    }
+
+    /// The witness kind's ledger tag.
+    pub fn kind(&self) -> &'static str {
+        match self.witness {
+            WitnessKind::FairCycle(_) => "fair-cycle",
+            WitnessKind::Conflict(_) => "conflict",
+            WitnessKind::Capacity(_) => "capacity",
+            WitnessKind::Recovery(_) => "recovery",
+            WitnessKind::Violation(_) => "violation",
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("certificates serialize")
+    }
+
+    /// Parses from JSON. The schema version is *not* validated here — the
+    /// checker does that, so a stale certificate is rejected with a
+    /// version error rather than a parse error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying JSON error on malformed input.
+    pub fn from_json(s: &str) -> Result<Certificate, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Bridges a shrunken campaign [`Witness`] into the envelope. The
+    /// shrink witness carries only a protocol *name*, so the caller must
+    /// supply the buildable family and channel specs of the failing run.
+    pub fn from_shrink_witness(
+        family: FamilySpec,
+        channel: ChannelSpec,
+        w: &Witness,
+    ) -> Certificate {
+        Certificate::new(WitnessKind::Violation(ViolationWitness {
+            family,
+            channel,
+            input: w.input.clone(),
+            script: w.script.clone(),
+            steps: w.steps,
+            violation: w.violation.clone(),
+        }))
+    }
+}
+
+/// Runs [`find_fair_cycle`] and wraps a found loop as a certificate.
+pub fn fair_cycle_certificate(
+    family: &FamilySpec,
+    channel: &ChannelSpec,
+    x: &DataSeq,
+    horizon: Step,
+) -> Option<Certificate> {
+    let fam = family.build();
+    let cert: CycleCertificate = find_fair_cycle(&*fam, x, || channel.build(), horizon)?;
+    Some(Certificate::new(WitnessKind::FairCycle(FairCycleWitness {
+        family: family.clone(),
+        channel: channel.clone(),
+        input: cert.input,
+        entry_step: cert.entry_step,
+        cycle_len: cert.cycle_len,
+        written: cert.written,
+    })))
+}
+
+/// Runs [`find_conflict_with_budget`] and wraps a found conflict as a
+/// certificate (`del_budget = 0` for the plain Theorem-1 search).
+pub fn conflict_certificate(
+    family: &FamilySpec,
+    channel: &ChannelSpec,
+    explore_horizon: Step,
+    driver_budget: Step,
+    del_budget: u64,
+) -> Option<Certificate> {
+    let fam = family.build();
+    let cert: ConflictCertificate = find_conflict_with_budget(
+        &*fam,
+        || channel.build(),
+        explore_horizon,
+        driver_budget,
+        del_budget,
+    )?;
+    // The search records `written` at the *detection* node, but for
+    // liveness claims the script continues through the mirrored cycle.
+    // Normalize the wire field to script-end semantics (what the checker
+    // replays to) by running the script once.
+    let script: Vec<StepDecision> = cert
+        .script
+        .iter()
+        .map(|&(to_r, to_s)| StepDecision {
+            deliver_to_r: to_r,
+            deliver_to_s: to_s,
+            ..StepDecision::idle()
+        })
+        .collect();
+    let steps = script.len() as Step;
+    let mut world = stp_sim::scripted_world(
+        cert.x1.clone(),
+        fam.sender_for(&cert.x1),
+        fam.receiver(),
+        channel.build(),
+        script,
+    );
+    world.run(steps);
+    let written = world.written();
+    Some(Certificate::new(WitnessKind::Conflict(ConflictWitness {
+        family: family.clone(),
+        channel: channel.clone(),
+        x1: cert.x1,
+        x2: cert.x2,
+        claim: ConflictClaim::of(&cert.kind),
+        written,
+        stockpile: cert.stockpile,
+        script: mirror_script(&cert.script),
+    })))
+}
+
+/// Runs [`exhaustive_prefix_closed_check`] and wraps the result — the
+/// α(m) claim plus the recorded embedding control — as a certificate.
+/// Returns `None` only when the enumeration recorded no control example
+/// (which the theorem rules out for sensible parameters).
+pub fn capacity_certificate(m: u16, domain: u16, max_depth: usize) -> Option<Certificate> {
+    let check: ExhaustiveCheck = exhaustive_prefix_closed_check(m, domain, max_depth);
+    let control_example = check.control_example?;
+    Some(Certificate::new(WitnessKind::Capacity(CapacityWitness {
+        m,
+        domain,
+        max_depth,
+        claimed_capacity: encoding_capacity(m as u32).expect("small m"),
+        families_checked: check.families_checked,
+        embeddable: check.embeddable,
+        control_embeddable: check.control_embeddable,
+        control_example,
+    })))
+}
+
+/// Probes the live point of `world` with
+/// [`min_recovery_schedule`] and, when a fresh-only recovery within
+/// `budget` exists, packages it with the run's own adversary script as a
+/// replayable certificate. The world must record a full trace (the
+/// default [`TraceMode`](stp_core::event::TraceMode)).
+pub fn recovery_certificate(
+    family: &FamilySpec,
+    channel: &ChannelSpec,
+    world: &World,
+    budget: Step,
+) -> Option<Certificate> {
+    let (sender, receiver, chan, written) = world.fork_parts();
+    let schedule = min_recovery_schedule(sender, receiver, chan, written, budget)?;
+    Some(Certificate::new(WitnessKind::Recovery(RecoveryWitness {
+        family: family.clone(),
+        channel: channel.clone(),
+        input: world.trace().input().clone(),
+        prefix: stp_sim::script_from_trace(world.trace()),
+        written_at_fork: written,
+        claimed_steps: schedule.len() as Step,
+        recovery: mirror_script(&schedule),
+    })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stp_protocols::tight::ResendPolicy;
+
+    #[test]
+    fn certificates_round_trip_json() {
+        let cert = Certificate::new(WitnessKind::FairCycle(FairCycleWitness {
+            family: FamilySpec::Naive {
+                d: 2,
+                max_len: 2,
+                policy: ResendPolicy::Once,
+            },
+            channel: ChannelSpec::Dup,
+            input: DataSeq::from_indices([0, 0]),
+            entry_step: 3,
+            cycle_len: 12,
+            written: 1,
+        }));
+        assert_eq!(cert.version, CERT_SCHEMA_VERSION);
+        assert_eq!(cert.kind(), "fair-cycle");
+        let back = Certificate::from_json(&cert.to_json()).expect("parses");
+        assert_eq!(back, cert);
+    }
+
+    #[test]
+    fn conflict_wire_form_round_trips_with_script() {
+        let cert = Certificate::new(WitnessKind::Conflict(ConflictWitness {
+            family: FamilySpec::Naive {
+                d: 2,
+                max_len: 2,
+                policy: ResendPolicy::Once,
+            },
+            channel: ChannelSpec::Dup,
+            x1: DataSeq::from_indices([0]),
+            x2: DataSeq::from_indices([0, 0]),
+            claim: ConflictClaim::Liveness {
+                entry_step: 2,
+                cycle_len: 4,
+            },
+            written: 1,
+            stockpile: 0,
+            script: vec![
+                MirrorStep {
+                    to_r: Some(SMsg(0)),
+                    to_s: None,
+                },
+                MirrorStep {
+                    to_r: None,
+                    to_s: Some(RMsg(1)),
+                },
+            ],
+        }));
+        assert_eq!(cert.kind(), "conflict");
+        let back = Certificate::from_json(&cert.to_json()).expect("parses");
+        assert_eq!(back, cert);
+    }
+
+    #[test]
+    fn capacity_certificate_carries_the_control_example() {
+        let cert = capacity_certificate(1, 2, 2).expect("control recorded");
+        assert_eq!(cert.kind(), "capacity");
+        match &cert.witness {
+            WitnessKind::Capacity(w) => {
+                assert_eq!(w.claimed_capacity, 2);
+                assert_eq!(w.embeddable, 0);
+                assert_eq!(w.control_example.len(), 2);
+            }
+            other => panic!("expected a capacity witness, got {other:?}"),
+        }
+        let back = Certificate::from_json(&cert.to_json()).expect("parses");
+        assert_eq!(back, cert);
+    }
+
+    #[test]
+    fn mirror_steps_convert_to_decisions() {
+        let step = MirrorStep {
+            to_r: Some(SMsg(3)),
+            to_s: None,
+        };
+        let d = step.decision();
+        assert_eq!(d.deliver_to_r, Some(SMsg(3)));
+        assert_eq!(d.deliver_to_s, None);
+        assert!(d.delete_to_r.is_empty() && d.delete_to_s.is_empty());
+    }
+}

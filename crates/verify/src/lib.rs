@@ -19,7 +19,13 @@
 //! * [`capacity`] — the counting side of the bound: the codomain of any
 //!   valid encoding has exactly `α(m)` elements, and exhaustive enumeration
 //!   confirms on small alphabets that *no* over-capacity prefix-closed
-//!   family embeds.
+//!   family embeds;
+//! * [`cert`] — versioned, serde-backed certificates wrapping every
+//!   verdict the searches produce, each carrying the specs and adversary
+//!   script needed to re-validate it from scratch;
+//! * [`check`] — the independent checker: replays certificates through
+//!   `stp-sim`'s executor alone (never the search code) and rejects
+//!   tampered or stale-version certificates with a named [`CheckError`].
 //!
 //! The searches are sound (a returned certificate is a genuine
 //! counterexample, checkable by replaying its script through the
@@ -33,12 +39,19 @@
 
 pub mod boundedness;
 pub mod capacity;
+pub mod cert;
+pub mod check;
 pub mod explore;
 pub mod protospace;
 pub mod refute;
 
-pub use boundedness::min_recovery_steps;
+pub use boundedness::{min_recovery_schedule, min_recovery_steps};
 pub use capacity::{encoding_capacity, exhaustive_prefix_closed_check};
+pub use cert::{
+    capacity_certificate, conflict_certificate, fair_cycle_certificate, recovery_certificate,
+    Certificate, WitnessKind,
+};
+pub use check::{check_certificate, CheckError};
 pub use explore::{explore_runs, ExploreConfig};
 pub use protospace::{search_two_state_receivers, ProtoSpaceReport};
 pub use refute::{

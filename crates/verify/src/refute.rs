@@ -640,8 +640,11 @@ pub fn conflict_for_pair(
                     return Some(ConflictCertificate {
                         x1: x1.clone(),
                         x2: x2.clone(),
+                        // `entry` is already absolute: the mirrored driver
+                        // starts from a clone that keeps this node's step
+                        // count, so entry_step + cycle_len == script.len().
                         kind: ConflictKind::LivenessCycle {
-                            entry_step: node.step + entry,
+                            entry_step: entry,
                             cycle_len: len.max(1),
                         },
                         written: node.written,
