@@ -14,7 +14,8 @@
 use serde::Serialize;
 use std::time::Instant;
 use stp_bench::e1;
-use stp_channel::ChannelSpec;
+use stp_channel::campaign::FaultPlan;
+use stp_channel::{ChannelSpec, SchedulerSpec};
 use stp_core::data::DataSeq;
 use stp_core::event::TraceMode;
 use stp_protocols::{ProtocolFamily, ResendPolicy, TightFamily};
@@ -102,6 +103,9 @@ struct SweepBenchReport {
     traced_secs: f64,
     traced_runs_per_sec: f64,
     traced_overhead: f64,
+    unarmed_secs: f64,
+    unarmed_runs_per_sec: f64,
+    unarmed_overhead: f64,
 }
 
 fn main() {
@@ -128,6 +132,20 @@ fn main() {
     // is the probed lane's number; stats still come from the world's
     // incremental counters).
     let traced_engine = SweepEngine::new(spec.clone().trace_mode(TraceMode::Off).traced(true));
+    // The unarmed lane prices the corruption machinery itself: every
+    // adversary wrapped in a campaign whose plan has no clauses, so the
+    // scheduler indirection and per-step clause scan run but no fault
+    // (and no corruption hook) ever fires.
+    let mut unarmed_spec = spec.clone().trace_mode(TraceMode::Off);
+    unarmed_spec.schedulers = unarmed_spec
+        .schedulers
+        .iter()
+        .map(|s| SchedulerSpec::Campaign {
+            inner: Box::new(s.clone()),
+            plan: FaultPlan::new(0),
+        })
+        .collect();
+    let unarmed_engine = SweepEngine::new(unarmed_spec);
     let runs_per_sweep = spec.grid_size(&family);
     // Enough reps that every lane gets several preemption-free shots; the
     // minimum estimator below only sharpens with more samples.
@@ -145,6 +163,12 @@ fn main() {
     let traced = traced_engine.run(&family);
     assert_eq!(traced.runs, pooled.runs, "tracing must not perturb results");
     assert_eq!(traced.report, pooled.report);
+    let unarmed = unarmed_engine.run(&family);
+    assert_eq!(
+        unarmed.runs, pooled.runs,
+        "an unarmed campaign must not perturb results"
+    );
+    assert_eq!(unarmed.report, pooled.report);
     for s in 0..spec.schedulers.len() {
         let legacy = legacy_sweep_family_parallel(&family, &spec, s, threads);
         assert!(legacy.iter().all(|r| r.stats.is_complete()));
@@ -161,6 +185,7 @@ fn main() {
     let mut engine_reps = Vec::with_capacity(reps);
     let mut probed_reps = Vec::with_capacity(reps);
     let mut traced_reps = Vec::with_capacity(reps);
+    let mut unarmed_reps = Vec::with_capacity(reps);
     for _ in 0..reps {
         let t = Instant::now();
         let mut total = 0;
@@ -184,6 +209,11 @@ fn main() {
         let out = traced_engine.run(&family);
         traced_reps.push(t.elapsed().as_secs_f64());
         assert_eq!(out.len(), runs_per_sweep);
+
+        let t = Instant::now();
+        let out = unarmed_engine.run(&family);
+        unarmed_reps.push(t.elapsed().as_secs_f64());
+        assert_eq!(out.len(), runs_per_sweep);
     }
 
     fn fastest(samples: &[f64]) -> f64 {
@@ -194,8 +224,10 @@ fn main() {
     let engine_secs = fastest(&engine_reps);
     let probed_secs = fastest(&probed_reps);
     let traced_secs = fastest(&traced_reps);
+    let unarmed_secs = fastest(&unarmed_reps);
     let probe_overhead = probed_secs / engine_secs - 1.0;
     let traced_overhead = traced_secs / engine_secs - 1.0;
+    let unarmed_overhead = unarmed_secs / engine_secs - 1.0;
     let report = SweepBenchReport {
         grid: format!("E1: tight-dup m={m} x {{dup-storm, reorder-max, random-0.5}} x 8 seeds"),
         runs_per_sweep,
@@ -212,15 +244,19 @@ fn main() {
         traced_secs,
         traced_runs_per_sec: sweep_runs / traced_secs,
         traced_overhead,
+        unarmed_secs,
+        unarmed_runs_per_sec: sweep_runs / unarmed_secs,
+        unarmed_overhead,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_sweep.json", &json).expect("BENCH_sweep.json written");
     println!("{json}");
     // Budget gates: streaming metrics stay within 10% of the bare engine,
-    // full causal tracing within 25%.
+    // full causal tracing within 25%, and an unarmed fault campaign —
+    // the corruption machinery with nothing to fire — within 10%.
     stp_bench::telemetry::export_summary(
         "bench_sweep",
         1,
-        probe_overhead <= 0.10 && traced_overhead <= 0.25,
+        probe_overhead <= 0.10 && traced_overhead <= 0.25 && unarmed_overhead <= 0.10,
     );
 }

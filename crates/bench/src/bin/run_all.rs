@@ -132,6 +132,18 @@ fn main() -> ExitCode {
         && e11c.one_minimal
         && e11c.replay_identical;
     export_summary("e11", e11a.len() + 2, check("e11", e11_ok));
+    println!("E12a — classical protocols under transient state corruption");
+    let e12a = stp_bench::e12::run_fragility(4);
+    println!("{}", stp_bench::e12::render_fragility(&e12a));
+    println!("E12b — certified stabilization bounds");
+    let e12b = stp_bench::e12::run_stabilization_grid();
+    println!("{}", stp_bench::e12::render_stabilization(&e12b));
+    stp_bench::telemetry::export_stabilizations(
+        "e12",
+        &stp_bench::e12::stabilization_records(&e12b),
+    );
+    let e12_ok = e12a.iter().any(|r| !r.reconverged) && e12b.iter().all(|r| r.cert_ok);
+    export_summary("e12", e12a.len() + e12b.len(), check("e12", e12_ok));
     if failed.is_empty() {
         ExitCode::SUCCESS
     } else {

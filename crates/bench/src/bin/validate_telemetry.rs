@@ -9,7 +9,9 @@
 //! `telemetry.jsonl` in the current directory).
 
 use std::process::ExitCode;
-use stp_sim::telemetry::{FrontierLine, ReportLine, RunLine, SpanLine, SummaryLine, VerdictLine};
+use stp_sim::telemetry::{
+    FrontierLine, ReportLine, RunLine, SpanLine, StabilizationLine, SummaryLine, VerdictLine,
+};
 use stp_sim::TelemetryLine;
 
 /// The self-describing kind tag of a JSONL line — its first top-level
@@ -42,6 +44,9 @@ fn round_trips(line: &TelemetryLine) -> Result<bool, serde_json::Error> {
             frontier: f.clone(),
         })?,
         TelemetryLine::Verdict(v) => serde_json::to_string(&VerdictLine { verdict: v.clone() })?,
+        TelemetryLine::Stabilization(s) => serde_json::to_string(&StabilizationLine {
+            stabilization: s.clone(),
+        })?,
     };
     Ok(TelemetryLine::parse(&reserialized)? == *line)
 }
@@ -59,6 +64,7 @@ fn main() -> ExitCode {
     };
     let (mut runs, mut reports, mut summaries) = (0usize, 0usize, 0usize);
     let (mut spans, mut frontiers, mut verdicts) = (0usize, 0usize, 0usize);
+    let mut stabilizations = 0usize;
     for (no, line) in body.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -98,16 +104,18 @@ fn main() -> ExitCode {
             TelemetryLine::Span(_) => spans += 1,
             TelemetryLine::Frontier(_) => frontiers += 1,
             TelemetryLine::Verdict(_) => verdicts += 1,
+            TelemetryLine::Stabilization(_) => stabilizations += 1,
         }
     }
-    let total = runs + reports + summaries + spans + frontiers + verdicts;
+    let total = runs + reports + summaries + spans + frontiers + verdicts + stabilizations;
     if total == 0 {
         eprintln!("validate_telemetry: {path} contains no telemetry lines");
         return ExitCode::FAILURE;
     }
     println!(
         "{path}: {total} lines valid ({runs} runs, {reports} reports, {summaries} summaries, \
-         {spans} spans, {frontiers} frontiers, {verdicts} verdicts)"
+         {spans} spans, {frontiers} frontiers, {verdicts} verdicts, \
+         {stabilizations} stabilizations)"
     );
     ExitCode::SUCCESS
 }

@@ -13,15 +13,16 @@
 //! the search verdict matches the prediction **and** the checker accepts
 //! the certificate by replay.
 
-use stp_channel::{ChannelSpec, EagerScheduler};
+use stp_channel::campaign::{Direction, FaultAction, FaultClause, FaultPlan, Trigger};
+use stp_channel::{CampaignScheduler, ChannelSpec, EagerScheduler, SchedulerSpec};
 use stp_core::data::DataSeq;
 use stp_core::schema::{ConformanceVerdict, Verdict};
 use stp_core::CERT_SCHEMA_VERSION;
 use stp_protocols::{FamilySpec, ResendPolicy};
-use stp_sim::{FaultInjector, World};
+use stp_sim::{burst_plan, World};
 use stp_verify::{
     capacity_certificate, check_certificate, conflict_certificate, fair_cycle_certificate,
-    recovery_certificate, Certificate,
+    recovery_certificate, stabilization_certificate, Certificate,
 };
 
 /// One cell of the conformance grid: the coordinates the ledger reports.
@@ -29,7 +30,9 @@ use stp_verify::{
 pub struct Cell {
     /// Sender alphabet size `m`.
     pub m: u16,
-    /// `"tight"` (at capacity) or `"over"` (above it).
+    /// `"tight"` (at capacity), `"over"` (above it), or a
+    /// `"stab-<kind>"` label naming the corruption kind a stabilizing
+    /// cell certifies recovery from.
     pub family: &'static str,
     /// `"dup"`, `"del"` or `"timed"`.
     pub channel: &'static str,
@@ -68,6 +71,34 @@ fn over(m: u16, policy: ResendPolicy) -> FamilySpec {
     }
 }
 
+/// Emits a stabilization certificate for one corruption kind against the
+/// stabilizing family. The first seed whose strike both lands and leaves
+/// a certifiable run wins; the scan skips seeds whose scramble draw lands
+/// the receiver counter exactly on the input length (the absorbing blind
+/// spot of DESIGN.md §13, indistinguishable from completion) as well as
+/// strikes the run shrugged off without a recorded corruption event.
+fn stabilization_outcome(
+    d: u16,
+    action: FaultAction,
+    channel: &ChannelSpec,
+) -> Option<Certificate> {
+    let family = FamilySpec::Stabilizing { d, max_len: 6 };
+    let input = DataSeq::from_indices((0..4u16).map(|i| (i + 1) % d));
+    let clause =
+        FaultClause::new(action, Trigger::OnWrite { index: 1 }).direction(Direction::ToReceiver);
+    (0..64u64).find_map(|seed| {
+        stabilization_certificate(
+            &family,
+            channel,
+            &input,
+            &FaultPlan::single(seed, clause.clone()),
+            &SchedulerSpec::Eager,
+            20_000,
+            5_000,
+        )
+    })
+}
+
 /// Runs a faulted tight-family world to its first written item and probes
 /// the point for a fresh-only bounded recovery, certificate included.
 fn recovery_outcome(
@@ -81,10 +112,9 @@ fn recovery_outcome(
         .sender(fam.sender_for(&input))
         .receiver(fam.receiver())
         .channel(channel.build())
-        .scheduler(Box::new(FaultInjector::new(
+        .scheduler(Box::new(CampaignScheduler::new(
             Box::new(EagerScheduler::new()),
-            4,
-            2,
+            burst_plan(4, 2),
         )))
         .build()
         .expect("all components supplied");
@@ -179,6 +209,25 @@ pub fn run_grid() -> Vec<CellOutcome> {
             certificate: cert,
         });
     }
+    // Stabilizing × {dup, del} × corruption kind: the self-stabilizing
+    // variant must recover from every transient state corruption within a
+    // certified bound (DESIGN.md §13), checked by campaign replay.
+    for d in [2u16, 3] {
+        for (action, tag) in [
+            (FaultAction::StateScramble, "stab-scramble"),
+            (FaultAction::CounterDesync, "stab-desync"),
+            (FaultAction::InjectNoise, "stab-inject"),
+        ] {
+            for (channel, chan_tag) in [(ChannelSpec::Dup, "dup"), (ChannelSpec::Del, "del")] {
+                let cert = stabilization_outcome(d, action.clone(), &channel);
+                outcomes.push(CellOutcome {
+                    cell: cell(d, tag, chan_tag, Verdict::Achieved),
+                    verdict: achieved(cert.clone()),
+                    certificate: cert,
+                });
+            }
+        }
+    }
     outcomes
 }
 
@@ -222,7 +271,7 @@ mod tests {
     #[test]
     fn every_grid_cell_conforms() {
         let outcomes = run_grid();
-        assert_eq!(outcomes.len(), 8, "the grid has eight cells");
+        assert_eq!(outcomes.len(), 20, "the grid has twenty cells");
         for outcome in &outcomes {
             let record = judge(outcome, &outcome.cell.artifact_name());
             assert!(

@@ -7,11 +7,11 @@
 //! "weakly bounded but not bounded", point by point.
 
 use serde::{Deserialize, Serialize};
-use stp_channel::{DelChannel, EagerScheduler, TimedChannel};
+use stp_channel::{CampaignScheduler, DelChannel, EagerScheduler, TimedChannel};
 use stp_core::data::DataSeq;
 use stp_core::event::Step;
 use stp_protocols::{HybridReceiver, HybridSender, ResendPolicy, TightReceiver, TightSender};
-use stp_sim::{FaultInjector, World};
+use stp_sim::{burst_plan, World};
 use stp_verify::min_recovery_steps;
 
 /// One row of the E10 table (one protocol × input length, aggregated over
@@ -68,10 +68,9 @@ pub fn run(sizes: &[usize], budget: Step) -> Vec<E10Row> {
                 ResendPolicy::EveryTick,
             )))
             .channel(Box::new(DelChannel::new()))
-            .scheduler(Box::new(FaultInjector::new(
+            .scheduler(Box::new(CampaignScheduler::new(
                 Box::new(EagerScheduler::new()),
-                4,
-                2,
+                burst_plan(4, 2),
             )))
             .build()
             .expect("all components supplied");
@@ -91,10 +90,9 @@ pub fn run(sizes: &[usize], budget: Step) -> Vec<E10Row> {
             .sender(Box::new(HybridSender::new(input.clone(), 2, 3)))
             .receiver(Box::new(HybridReceiver::new(2)))
             .channel(Box::new(TimedChannel::new(3)))
-            .scheduler(Box::new(FaultInjector::new(
+            .scheduler(Box::new(CampaignScheduler::new(
                 Box::new(EagerScheduler::new()),
-                3,
-                1,
+                burst_plan(3, 1),
             )))
             .build()
             .expect("all components supplied");

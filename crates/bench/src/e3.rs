@@ -9,11 +9,11 @@
 //!   empirical `f(i)` witness for Definition 2.
 
 use serde::{Deserialize, Serialize};
-use stp_channel::{ChannelSpec, DelChannel, EagerScheduler, SchedulerSpec};
+use stp_channel::{CampaignScheduler, ChannelSpec, DelChannel, EagerScheduler, SchedulerSpec};
 use stp_core::data::DataSeq;
 use stp_core::event::{Step, TraceMode};
 use stp_protocols::{ResendPolicy, TightFamily, TightReceiver, TightSender};
-use stp_sim::{sweep_family, FaultInjector, SweepSpec, World};
+use stp_sim::{burst_plan, sweep_family, SweepSpec, World};
 
 /// One row of the E3 completeness table.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -71,7 +71,10 @@ pub fn run_completeness(max_m: u16, seeds: u64) -> Vec<E3CompletenessRow> {
 fn perm_world(m: u16, fault_at: Option<Step>) -> World {
     let input: DataSeq = DataSeq::from_indices(0..m);
     let sched: Box<dyn stp_channel::Scheduler> = match fault_at {
-        Some(at) => Box::new(FaultInjector::new(Box::new(EagerScheduler::new()), at, 1)),
+        Some(at) => Box::new(CampaignScheduler::new(
+            Box::new(EagerScheduler::new()),
+            burst_plan(at, 1),
+        )),
         None => Box::new(EagerScheduler::new()),
     };
     World::builder(input.clone())

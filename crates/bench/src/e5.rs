@@ -7,11 +7,11 @@
 //! recovers in constant time.
 
 use serde::{Deserialize, Serialize};
-use stp_channel::{DelChannel, EagerScheduler, TimedChannel};
+use stp_channel::{CampaignScheduler, DelChannel, EagerScheduler, TimedChannel};
 use stp_core::data::DataSeq;
 use stp_core::event::Step;
 use stp_protocols::{HybridReceiver, HybridSender, ResendPolicy, TightReceiver, TightSender};
-use stp_sim::{FaultInjector, World};
+use stp_sim::{burst_plan, World};
 
 /// One row of the E5 series.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -32,7 +32,10 @@ const DEADLINE: u32 = 3;
 
 fn hybrid_world(input: DataSeq, fault_at: Option<Step>) -> World {
     let sched: Box<dyn stp_channel::Scheduler> = match fault_at {
-        Some(at) => Box::new(FaultInjector::new(Box::new(EagerScheduler::new()), at, 1)),
+        Some(at) => Box::new(CampaignScheduler::new(
+            Box::new(EagerScheduler::new()),
+            burst_plan(at, 1),
+        )),
         None => Box::new(EagerScheduler::new()),
     };
     World::builder(input.clone())
@@ -49,7 +52,10 @@ fn tight_world(input: DataSeq, fault_at: Option<Step>) -> World {
     // 0..n as the data sequence, so the domain is n.
     let d = input.len() as u16;
     let sched: Box<dyn stp_channel::Scheduler> = match fault_at {
-        Some(at) => Box::new(FaultInjector::new(Box::new(EagerScheduler::new()), at, 1)),
+        Some(at) => Box::new(CampaignScheduler::new(
+            Box::new(EagerScheduler::new()),
+            burst_plan(at, 1),
+        )),
         None => Box::new(EagerScheduler::new()),
     };
     World::builder(input.clone())

@@ -17,6 +17,7 @@
 //! | [`e9`] | Probabilistic `X`-STP beyond `α(m)` (§6 future work): measured vs analytic failure probability. |
 //! | [`e10`] | Definition 2 probed point-by-point: the tight protocol is bounded everywhere, the hybrid is not. |
 //! | [`e11`] | Fault campaigns: recovery envelopes under `OnWrite` strikes, composite-campaign survival, and shrunk replayable witnesses. |
+//! | [`e12`] | Transient state corruption: classical protocols diverge, the self-stabilizing variant reconverges within checker-certified bounds. |
 //!
 //! Every experiment returns serde-serializable rows; the `src/bin`
 //! binaries print them as aligned text tables and (optionally) JSON, and
@@ -31,6 +32,7 @@ pub mod conformance;
 pub mod e1;
 pub mod e10;
 pub mod e11;
+pub mod e12;
 pub mod e2;
 pub mod e3;
 pub mod e4;

@@ -9,7 +9,9 @@
 //! is an observer, not a participant.
 
 use std::time::Duration;
-use stp_sim::{ExperimentSummary, ProgressMeter, SweepOutcome, TelemetryWriter};
+use stp_sim::{
+    ExperimentSummary, ProgressMeter, StabilizationRecord, SweepOutcome, TelemetryWriter,
+};
 
 /// The writer configured by `STP_TELEMETRY`, or `None` when telemetry is
 /// off or the sink failed to open (reported on stderr).
@@ -44,6 +46,20 @@ pub fn export_summary(experiment: &str, rows: usize, ok: bool) {
         };
         if let Err(e) = w.emit_summary(&summary).and_then(|()| w.flush()) {
             eprintln!("telemetry: summary export failed for {experiment}: {e}");
+        }
+    }
+}
+
+/// Exports stabilization probe records — one `{"stabilization": …}` line
+/// per certified grid cell.
+pub fn export_stabilizations(experiment: &str, records: &[StabilizationRecord]) {
+    if let Some(mut w) = writer() {
+        let result = records
+            .iter()
+            .try_for_each(|r| w.emit_stabilization(r))
+            .and_then(|()| w.flush());
+        if let Err(e) = result {
+            eprintln!("telemetry: stabilization export failed for {experiment}: {e}");
         }
     }
 }

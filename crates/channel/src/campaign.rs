@@ -35,11 +35,11 @@
 //! ```
 
 use crate::chan::Channel;
-use crate::sched::{Scheduler, StepDecision};
-use rand::{Rng, SeedableRng};
+use crate::sched::{CorruptionCommand, Scheduler, StepDecision};
+use rand::{Rng, RngCore, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
-use stp_core::event::Step;
+use stp_core::event::{CorruptionKind, Step};
 
 /// Which channel direction a clause strikes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -88,6 +88,29 @@ pub enum FaultAction {
     ReorderFlood,
     /// Suppress all deliveries in the targeted directions.
     SilenceWindow,
+    /// Scramble a processor's volatile protocol state. The direction
+    /// selects the victim: `ToSender` scrambles `S`, `ToReceiver`
+    /// scrambles `R`, `Both` scrambles both. Each strike carries a fresh
+    /// draw from the campaign RNG; the processor's `scramble` hook maps
+    /// the draw onto its state space. Protocols that do not opt in
+    /// absorb the strike silently.
+    StateScramble,
+    /// Desynchronize a processor's sequencing counters (the
+    /// alternation bit, window base, or expected index) without
+    /// touching the rest of its state — the classic transient fault of
+    /// the self-stabilization literature. Direction selects the victim
+    /// as for [`FaultAction::StateScramble`].
+    CounterDesync,
+    /// Forge a fresh message onto the channel as if the peer had sent
+    /// it. `ToReceiver` injects an `S → R` message, `ToSender` an
+    /// `R → S` one. The payload is drawn from the campaign RNG and
+    /// reduced modulo the victim alphabet by the executor.
+    InjectNoise,
+    /// Garble an in-flight message: on deleting channels one deliverable
+    /// victim (picked by the campaign RNG) is destroyed and a forged
+    /// replacement injected in its place; on non-deleting channels the
+    /// original survives and the garbled copy rides alongside as noise.
+    GarbleInFlight,
 }
 
 /// When a clause fires.
@@ -376,6 +399,87 @@ impl CampaignScheduler {
                     d.deliver_to_s = None;
                 }
             }
+            FaultAction::StateScramble => {
+                // `hits_s` reads "the R → S side", i.e. the sender is
+                // the victim; `hits_r` targets the receiver. Draws are
+                // taken here, in clause order, so a run is a pure
+                // function of (plan, inner, channel) and the scripted
+                // replay can carry the concrete commands verbatim.
+                if dir.hits_s() {
+                    d.corruptions.push(CorruptionCommand {
+                        kind: CorruptionKind::ScrambleSender,
+                        draw: self.rng.next_u64(),
+                    });
+                }
+                if dir.hits_r() {
+                    d.corruptions.push(CorruptionCommand {
+                        kind: CorruptionKind::ScrambleReceiver,
+                        draw: self.rng.next_u64(),
+                    });
+                }
+            }
+            FaultAction::CounterDesync => {
+                if dir.hits_s() {
+                    d.corruptions.push(CorruptionCommand {
+                        kind: CorruptionKind::DesyncSender,
+                        draw: self.rng.next_u64(),
+                    });
+                }
+                if dir.hits_r() {
+                    d.corruptions.push(CorruptionCommand {
+                        kind: CorruptionKind::DesyncReceiver,
+                        draw: self.rng.next_u64(),
+                    });
+                }
+            }
+            FaultAction::InjectNoise => {
+                if dir.hits_r() {
+                    d.corruptions.push(CorruptionCommand {
+                        kind: CorruptionKind::InjectToR,
+                        draw: self.rng.next_u64(),
+                    });
+                }
+                if dir.hits_s() {
+                    d.corruptions.push(CorruptionCommand {
+                        kind: CorruptionKind::InjectToS,
+                        draw: self.rng.next_u64(),
+                    });
+                }
+            }
+            FaultAction::GarbleInFlight => {
+                if dir.hits_r() {
+                    let v = chan.deliverable_to_r();
+                    if !v.is_empty() {
+                        if chan.can_delete() {
+                            let victim = v[self.rng.gen_range(0..v.len())];
+                            d.delete_to_r.push(victim);
+                            if d.deliver_to_r == Some(victim) {
+                                d.deliver_to_r = None;
+                            }
+                        }
+                        d.corruptions.push(CorruptionCommand {
+                            kind: CorruptionKind::InjectToR,
+                            draw: self.rng.next_u64(),
+                        });
+                    }
+                }
+                if dir.hits_s() {
+                    let v = chan.deliverable_to_s();
+                    if !v.is_empty() {
+                        if chan.can_delete() {
+                            let victim = v[self.rng.gen_range(0..v.len())];
+                            d.delete_to_s.push(victim);
+                            if d.deliver_to_s == Some(victim) {
+                                d.deliver_to_s = None;
+                            }
+                        }
+                        d.corruptions.push(CorruptionCommand {
+                            kind: CorruptionKind::InjectToS,
+                            draw: self.rng.next_u64(),
+                        });
+                    }
+                }
+            }
         }
     }
 }
@@ -595,6 +699,118 @@ mod tests {
     }
 
     #[test]
+    fn corruption_actions_map_direction_to_victim() {
+        let ch = loaded_del();
+        for (action, s_kind, r_kind) in [
+            (
+                FaultAction::StateScramble,
+                CorruptionKind::ScrambleSender,
+                CorruptionKind::ScrambleReceiver,
+            ),
+            (
+                FaultAction::CounterDesync,
+                CorruptionKind::DesyncSender,
+                CorruptionKind::DesyncReceiver,
+            ),
+        ] {
+            let plan = FaultPlan::single(
+                1,
+                FaultClause::new(action.clone(), Trigger::AtStep(0)).direction(Direction::ToSender),
+            );
+            let mut s = CampaignScheduler::new(Box::new(EagerScheduler::new()), plan);
+            let d = s.decide(0, &ch);
+            assert_eq!(d.corruptions.len(), 1, "{action:?} to-sender");
+            assert_eq!(d.corruptions[0].kind, s_kind);
+
+            let plan = FaultPlan::single(1, FaultClause::new(action.clone(), Trigger::AtStep(0)));
+            let mut s = CampaignScheduler::new(Box::new(EagerScheduler::new()), plan);
+            let kinds: Vec<_> = s
+                .decide(0, &ch)
+                .corruptions
+                .iter()
+                .map(|c| c.kind)
+                .collect();
+            assert_eq!(kinds, vec![s_kind, r_kind], "{action:?} both");
+        }
+    }
+
+    #[test]
+    fn inject_noise_forges_toward_the_targeted_direction() {
+        let ch = DupChannel::new();
+        let plan = FaultPlan::single(
+            1,
+            FaultClause::new(FaultAction::InjectNoise, Trigger::AtStep(0))
+                .direction(Direction::ToReceiver),
+        );
+        let mut s = CampaignScheduler::new(Box::new(EagerScheduler::new()), plan);
+        let d = s.decide(0, &ch);
+        assert_eq!(d.corruptions.len(), 1);
+        assert_eq!(d.corruptions[0].kind, CorruptionKind::InjectToR);
+        assert!(d.delete_to_r.is_empty(), "pure injection deletes nothing");
+    }
+
+    #[test]
+    fn garble_deletes_a_victim_only_on_deleting_channels() {
+        let ch = loaded_del();
+        let plan = FaultPlan::single(
+            5,
+            FaultClause::new(FaultAction::GarbleInFlight, Trigger::AtStep(0))
+                .direction(Direction::ToReceiver),
+        );
+        let mut s = CampaignScheduler::new(Box::new(EagerScheduler::new()), plan.clone());
+        let d = s.decide(0, &ch);
+        assert_eq!(d.delete_to_r.len(), 1, "one victim destroyed");
+        assert_eq!(d.corruptions.len(), 1);
+        assert_eq!(d.corruptions[0].kind, CorruptionKind::InjectToR);
+        assert_ne!(
+            d.deliver_to_r,
+            Some(d.delete_to_r[0]),
+            "the destroyed victim cannot also be delivered"
+        );
+
+        let mut dup = DupChannel::new();
+        dup.send_s(SMsg(0));
+        let mut s = CampaignScheduler::new(Box::new(EagerScheduler::new()), plan);
+        let d = s.decide(0, &dup);
+        assert!(d.delete_to_r.is_empty(), "dup channels never delete");
+        assert_eq!(d.corruptions.len(), 1, "the garbled copy still injects");
+
+        let empty = DelChannel::new();
+        let plan = FaultPlan::single(
+            5,
+            FaultClause::new(FaultAction::GarbleInFlight, Trigger::AtStep(0)),
+        );
+        let mut s = CampaignScheduler::new(Box::new(EagerScheduler::new()), plan);
+        let d = s.decide(0, &empty);
+        assert!(
+            d.corruptions.is_empty(),
+            "nothing in flight, nothing to garble"
+        );
+    }
+
+    #[test]
+    fn corruption_draws_are_deterministic_per_seed() {
+        let ch = loaded_del();
+        let plan = FaultPlan::single(
+            99,
+            FaultClause::new(FaultAction::StateScramble, Trigger::AtStep(0))
+                .lasting(10)
+                .repeats(0),
+        );
+        let run = |plan: FaultPlan| -> Vec<StepDecision> {
+            let mut s = CampaignScheduler::new(Box::new(EagerScheduler::new()), plan);
+            (0..10).map(|t| s.decide(t, &ch)).collect()
+        };
+        let a = run(plan.clone());
+        assert_eq!(a, run(plan), "same seed, same draws");
+        let draws: std::collections::HashSet<u64> = a
+            .iter()
+            .flat_map(|d| d.corruptions.iter().map(|c| c.draw))
+            .collect();
+        assert!(draws.len() > 1, "fresh draw per strike, not a constant");
+    }
+
+    #[test]
     fn plans_round_trip_through_json() {
         let plan = FaultPlan::new(3)
             .with(
@@ -615,6 +831,14 @@ mod tests {
             .with(FaultClause::new(
                 FaultAction::SilenceWindow,
                 Trigger::OnWrite { index: 3 },
+            ))
+            .with(
+                FaultClause::new(FaultAction::StateScramble, Trigger::AtStep(9))
+                    .direction(Direction::ToSender),
+            )
+            .with(FaultClause::new(
+                FaultAction::GarbleInFlight,
+                Trigger::OnWrite { index: 1 },
             ));
         let json = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();

@@ -56,8 +56,9 @@ pub use dup::DupChannel;
 pub use error::ChannelError;
 pub use fifo::{FifoChannel, LossyFifoChannel, PerfectChannel};
 pub use sched::{
-    DropHeavyScheduler, DupStormScheduler, EagerScheduler, RandomScheduler, ReorderScheduler,
-    Scheduler, ScriptedScheduler, StarveScheduler, StepDecision, TargetedScheduler,
+    CorruptionCommand, DropHeavyScheduler, DupStormScheduler, EagerScheduler, RandomScheduler,
+    ReorderScheduler, Scheduler, ScriptedScheduler, StarveScheduler, StepDecision,
+    TargetedScheduler,
 };
 pub use spec::{ChannelSpec, SchedulerSpec};
 pub use timed::TimedChannel;

@@ -12,7 +12,20 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use stp_core::alphabet::{RMsg, SMsg};
-use stp_core::event::Step;
+use stp_core::event::{CorruptionKind, Step};
+
+/// One transient state-corruption command, scheduled by the adversary and
+/// executed by the world. The `draw` is taken from the campaign's seeded
+/// PRNG at scheduling time, so the command is a self-contained value: a
+/// scripted replay carries the exact same draws and perturbs the exact
+/// same state, with no campaign machinery in the loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CorruptionCommand {
+    /// What to corrupt.
+    pub kind: CorruptionKind,
+    /// The PRNG draw parameterizing the perturbation.
+    pub draw: u64,
+}
 
 /// What the adversary does in one global step.
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -26,6 +39,12 @@ pub struct StepDecision {
     pub delete_to_r: Vec<SMsg>,
     /// In-flight copies addressed to `S` to destroy.
     pub delete_to_s: Vec<RMsg>,
+    /// Transient state corruptions to apply this step, in order. Almost
+    /// always empty — worlds gate the entire corruption path on
+    /// `corruptions.is_empty()` — and defaulted on deserialization so
+    /// pre-corruption witnesses and specs parse unchanged.
+    #[serde(default)]
+    pub corruptions: Vec<CorruptionCommand>,
 }
 
 impl StepDecision {
@@ -479,6 +498,23 @@ mod tests {
         assert_eq!(d.deliver_to_r, Some(SMsg(0)));
         assert_eq!(d.deliver_to_s, None);
         assert!(d.delete_to_r.is_empty());
+    }
+
+    #[test]
+    fn step_decisions_without_corruptions_parse_and_stay_compact() {
+        // Pre-corruption witness JSON (no `corruptions` key) must parse.
+        let legacy =
+            r#"{"deliver_to_r":null,"deliver_to_s":null,"delete_to_r":[],"delete_to_s":[]}"#;
+        let d: StepDecision = serde_json::from_str(legacy).unwrap();
+        assert_eq!(d, StepDecision::idle());
+        // A populated one round-trips.
+        let mut d = StepDecision::idle();
+        d.corruptions.push(CorruptionCommand {
+            kind: CorruptionKind::ScrambleSender,
+            draw: 99,
+        });
+        let back: StepDecision = serde_json::from_str(&serde_json::to_string(&d).unwrap()).unwrap();
+        assert_eq!(back, d);
     }
 
     #[test]

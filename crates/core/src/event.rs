@@ -43,6 +43,43 @@ impl fmt::Display for ProcessId {
     }
 }
 
+/// The kind of a transient state-corruption fault.
+///
+/// Corruption campaigns perturb *local state* — the volatile variables of
+/// a processor, or the in-flight contents of the channel — rather than the
+/// channel's delivery behaviour (which the scheduler vocabulary already
+/// covers). Each firing carries a PRNG `draw` so the perturbation is a
+/// deterministic function of `(state, draw)` and replays bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CorruptionKind {
+    /// Scramble the sender's volatile state.
+    ScrambleSender,
+    /// Scramble the receiver's volatile state.
+    ScrambleReceiver,
+    /// Desynchronize the sender's sequence/progress counters.
+    DesyncSender,
+    /// Desynchronize the receiver's sequence/progress counters.
+    DesyncReceiver,
+    /// Forge a sender-alphabet message into the channel, addressed to `R`.
+    InjectToR,
+    /// Forge a receiver-alphabet message into the channel, addressed to `S`.
+    InjectToS,
+}
+
+impl fmt::Display for CorruptionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CorruptionKind::ScrambleSender => "scramble-S",
+            CorruptionKind::ScrambleReceiver => "scramble-R",
+            CorruptionKind::DesyncSender => "desync-S",
+            CorruptionKind::DesyncReceiver => "desync-R",
+            CorruptionKind::InjectToR => "inject→R",
+            CorruptionKind::InjectToS => "inject→S",
+        };
+        write!(f, "{s}")
+    }
+}
+
 /// An observable event of a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Event {
@@ -101,6 +138,18 @@ pub enum Event {
         /// Raw index of the expired message within its alphabet.
         msg: u16,
     },
+    /// A transient state-corruption fault fired and *took effect* (a
+    /// processor that does not implement the corruption hooks absorbs the
+    /// command silently and records nothing). Like [`Event::ChannelDrop`],
+    /// the event is an adversary action: replay reconstructs it into the
+    /// scripted decision stream so a corrupted run replays bit-identically.
+    /// Invisible to both processors — faults are not observations.
+    Corruption {
+        /// What was corrupted.
+        kind: CorruptionKind,
+        /// The seeded PRNG draw that parameterized the perturbation.
+        draw: u64,
+    },
 }
 
 impl Event {
@@ -131,6 +180,7 @@ impl fmt::Display for Event {
             Event::Write { item, pos } => write!(f, "write[{pos}]={}", item.0),
             Event::ChannelDrop { to, msg } => write!(f, "drop {msg}→{to}"),
             Event::ChannelExpire { to, msg } => write!(f, "expire {msg}→{to}"),
+            Event::Corruption { kind, draw } => write!(f, "corrupt {kind} (draw {draw})"),
         }
     }
 }
@@ -580,7 +630,9 @@ impl Trace {
                 Event::DeliverToS { msg } => slot.received.push(msg.0),
                 Event::Read { item, .. } => slot.tape.push(item),
                 Event::Write { item, .. } => slot.tape.push(item),
-                Event::ChannelDrop { .. } | Event::ChannelExpire { .. } => {}
+                Event::ChannelDrop { .. }
+                | Event::ChannelExpire { .. }
+                | Event::Corruption { .. } => {}
             }
         }
         hist
@@ -785,6 +837,45 @@ mod tests {
         assert!(TraceMode::Full.records(&e));
         assert!(!TraceMode::WritesOnly.records(&e));
         assert!(!TraceMode::Off.records(&e));
+    }
+
+    #[test]
+    fn corruption_events_are_invisible_and_round_trip() {
+        for kind in [
+            CorruptionKind::ScrambleSender,
+            CorruptionKind::ScrambleReceiver,
+            CorruptionKind::DesyncSender,
+            CorruptionKind::DesyncReceiver,
+            CorruptionKind::InjectToR,
+            CorruptionKind::InjectToS,
+        ] {
+            let e = Event::Corruption { kind, draw: 42 };
+            assert!(!e.visible_to(ProcessId::Sender));
+            assert!(!e.visible_to(ProcessId::Receiver));
+            let json = serde_json::to_string(&e).unwrap();
+            let back: Event = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, e);
+            // Full traces record corruptions (they are part of the
+            // replayable witness); stats-only traces do not.
+            assert!(TraceMode::Full.records(&e));
+            assert!(!TraceMode::WritesOnly.records(&e));
+            assert!(!TraceMode::Off.records(&e));
+        }
+        // Display strings are distinct per kind.
+        let mut shown: Vec<String> = [
+            CorruptionKind::ScrambleSender,
+            CorruptionKind::ScrambleReceiver,
+            CorruptionKind::DesyncSender,
+            CorruptionKind::DesyncReceiver,
+            CorruptionKind::InjectToR,
+            CorruptionKind::InjectToS,
+        ]
+        .iter()
+        .map(|k| k.to_string())
+        .collect();
+        shown.sort();
+        shown.dedup();
+        assert_eq!(shown.len(), 6);
     }
 
     /// A minimal probe that counts its callbacks, exercising the trait's

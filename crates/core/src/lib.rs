@@ -74,7 +74,7 @@ pub mod sequence;
 pub use alphabet::{Alphabet, RMsg, SMsg};
 pub use data::{DataItem, DataSeq, Domain};
 pub use error::{Error, Result};
-pub use event::{Event, MsgEvent, MsgId, ProcessId, Step, Trace};
+pub use event::{CorruptionKind, Event, MsgEvent, MsgId, ProcessId, Step, Trace};
 pub use proto::{
     InputTape, Receiver, ReceiverEvent, ReceiverOutput, Sender, SenderEvent, SenderOutput,
 };

@@ -165,6 +165,27 @@ pub trait Sender: fmt::Debug {
         false
     }
 
+    /// A transient fault scrambles the sender's volatile state. The
+    /// perturbation must be a deterministic pure function of the current
+    /// state and `draw` (so corrupted runs replay bit-identically), and
+    /// must leave construction-time configuration (domain size, policies)
+    /// untouched — only run state is volatile. Returns `true` iff the
+    /// corruption took effect; the default opts out (`false`), so existing
+    /// protocols are untouched until they implement the hook.
+    fn scramble(&mut self, draw: u64) -> bool {
+        let _ = draw;
+        false
+    }
+
+    /// A transient fault desynchronizes the sender's sequence/progress
+    /// counters — a narrower perturbation than [`Sender::scramble`], for
+    /// campaigns that target bookkeeping rather than whole-state chaos.
+    /// Same determinism contract and opt-in default as `scramble`.
+    fn desync(&mut self, draw: u64) -> bool {
+        let _ = draw;
+        false
+    }
+
     /// Rewinds the sender to its initial state for a fresh run on `input`,
     /// exactly as if it had been newly constructed for that sequence.
     /// Construction-time configuration (domain size, policies, timeouts)
@@ -202,6 +223,21 @@ pub trait Receiver: fmt::Debug {
 
     /// Processes one event and returns the step's actions.
     fn on_event(&mut self, ev: ReceiverEvent) -> ReceiverOutput;
+
+    /// A transient fault scrambles the receiver's volatile state. See
+    /// [`Sender::scramble`] for the determinism contract; the default opts
+    /// out.
+    fn scramble(&mut self, draw: u64) -> bool {
+        let _ = draw;
+        false
+    }
+
+    /// A transient fault desynchronizes the receiver's counters. See
+    /// [`Sender::desync`]; the default opts out.
+    fn desync(&mut self, draw: u64) -> bool {
+        let _ = draw;
+        false
+    }
 
     /// Rewinds the receiver to its initial state for a fresh run, exactly
     /// as if newly constructed (the receiver is input-independent, so no
@@ -288,6 +324,16 @@ mod tests {
     fn tape_full_view() {
         let t = InputTape::new(DataSeq::from_indices([1, 2, 3]));
         assert_eq!(t.full(), &DataSeq::from_indices([1, 2, 3]));
+    }
+
+    #[test]
+    fn corruption_hooks_default_to_opted_out() {
+        let mut s = SilentSender;
+        assert!(!s.scramble(7));
+        assert!(!Sender::desync(&mut s, 7));
+        let mut r = SilentReceiver;
+        assert!(!r.scramble(7));
+        assert!(!Receiver::desync(&mut r, 7));
     }
 
     #[test]

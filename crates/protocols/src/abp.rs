@@ -110,6 +110,20 @@ impl Sender for AbpSender {
         self.done
     }
 
+    fn scramble(&mut self, draw: u64) -> bool {
+        let before = (self.bit, self.done);
+        self.bit = (draw & 1) as u8;
+        self.done = false;
+        before != (self.bit, self.done)
+    }
+
+    fn desync(&mut self, _draw: u64) -> bool {
+        // The alternation bit is ABP's entire sequencing state; flipping
+        // it makes every retransmission carry the wrong tag.
+        self.bit ^= 1;
+        true
+    }
+
     fn reset(&mut self, input: &DataSeq) {
         self.tape = InputTape::new(input.clone());
         self.bit = 0;
@@ -172,6 +186,20 @@ impl Receiver for AbpReceiver {
                 }
             }
         }
+    }
+
+    fn scramble(&mut self, draw: u64) -> bool {
+        let b = (draw & 1) as u8;
+        let changed = b != self.expected;
+        self.expected = b;
+        changed
+    }
+
+    fn desync(&mut self, _draw: u64) -> bool {
+        // An expectation flip re-accepts the previous item (a duplicate
+        // write, breaking safety) or rejects the next one (a stall).
+        self.expected ^= 1;
+        true
     }
 
     fn reset(&mut self) {

@@ -10,6 +10,7 @@
 use crate::abp::{AbpReceiver, AbpSender};
 use crate::hybrid::{HybridReceiver, HybridSender};
 use crate::naive::NaiveSender;
+use crate::stabilizing::{StabilizingReceiver, StabilizingSender};
 use crate::stenning::{StenningReceiver, StenningSender};
 use crate::tight::{ResendPolicy, TightReceiver, TightSender};
 use std::fmt;
@@ -241,6 +242,49 @@ impl ProtocolFamily for StenningFamily {
     }
 }
 
+/// The self-stabilizing variant as a family over all bounded-length
+/// sequences: unlike every other family here it additionally tolerates
+/// arbitrary transient state corruption, reconverging to an exact suffix
+/// of the input within a bounded number of steps (experiment E12
+/// measures the bound; `stp-verify` certifies it).
+#[derive(Debug, Clone)]
+pub struct StabilizingFamily {
+    /// Data domain size.
+    pub d: u16,
+    /// Maximum claimed sequence length (also sizes the frame-index space
+    /// and the reserved RESET message).
+    pub max_len: u16,
+}
+
+impl StabilizingFamily {
+    /// Creates the family.
+    pub fn new(d: u16, max_len: u16) -> Self {
+        StabilizingFamily { d, max_len }
+    }
+}
+
+impl ProtocolFamily for StabilizingFamily {
+    fn name(&self) -> &'static str {
+        "stabilizing"
+    }
+
+    fn claimed_family(&self) -> SequenceFamily {
+        SequenceFamily::all_up_to(self.d, self.max_len as usize)
+    }
+
+    fn sender_alphabet_size(&self) -> u16 {
+        self.max_len * self.d + 1
+    }
+
+    fn sender_for(&self, x: &DataSeq) -> Box<dyn Sender> {
+        Box::new(StabilizingSender::new(x.clone(), self.d, self.max_len))
+    }
+
+    fn receiver(&self) -> Box<dyn Receiver> {
+        Box::new(StabilizingReceiver::new(self.d, self.max_len))
+    }
+}
+
 /// The Section-5 hybrid as a family over a timed channel.
 #[derive(Debug, Clone)]
 pub struct HybridFamily {
@@ -312,6 +356,14 @@ pub enum FamilySpec {
         /// Retransmission policy.
         policy: ResendPolicy,
     },
+    /// [`StabilizingFamily`] — the self-stabilizing variant, the family
+    /// stabilization certificates are issued against.
+    Stabilizing {
+        /// Domain (= alphabet) size.
+        d: u16,
+        /// Maximum claimed sequence length.
+        max_len: u16,
+    },
 }
 
 impl FamilySpec {
@@ -322,6 +374,7 @@ impl FamilySpec {
             FamilySpec::Naive { d, max_len, policy } => {
                 Box::new(NaiveFamily { d, max_len, policy })
             }
+            FamilySpec::Stabilizing { d, max_len } => Box::new(StabilizingFamily::new(d, max_len)),
         }
     }
 
@@ -329,6 +382,7 @@ impl FamilySpec {
     pub fn m(&self) -> u16 {
         match *self {
             FamilySpec::Tight { d, .. } | FamilySpec::Naive { d, .. } => d,
+            FamilySpec::Stabilizing { d, max_len } => max_len * d + 1,
         }
     }
 }
@@ -339,6 +393,9 @@ impl fmt::Display for FamilySpec {
             FamilySpec::Tight { d, policy } => write!(f, "tight(d={d}, {policy:?})"),
             FamilySpec::Naive { d, max_len, policy } => {
                 write!(f, "naive(d={d}, max_len={max_len}, {policy:?})")
+            }
+            FamilySpec::Stabilizing { d, max_len } => {
+                write!(f, "stabilizing(d={d}, max_len={max_len})")
             }
         }
     }
@@ -378,6 +435,7 @@ mod tests {
             Box::new(AbpFamily::new(3, 4)),
             Box::new(StenningFamily::new(3, 4, 4)),
             Box::new(HybridFamily::new(3, 2, 4)),
+            Box::new(StabilizingFamily::new(3, 4)),
         ];
         for f in &fams {
             let x = f
@@ -415,5 +473,19 @@ mod tests {
         assert_eq!(AbpFamily::new(2, 2).name(), "abp");
         assert_eq!(StenningFamily::new(2, 2, 2).name(), "stenning");
         assert_eq!(HybridFamily::new(2, 2, 2).name(), "hybrid-weakly-bounded");
+        assert_eq!(StabilizingFamily::new(2, 4).name(), "stabilizing");
+    }
+
+    #[test]
+    fn stabilizing_spec_round_trips_and_builds() {
+        let spec = FamilySpec::Stabilizing { d: 3, max_len: 5 };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: FamilySpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+        let fam = spec.build();
+        assert_eq!(fam.name(), "stabilizing");
+        assert_eq!(fam.sender_alphabet_size(), 16);
+        assert_eq!(spec.m(), 16);
+        assert_eq!(spec.to_string(), "stabilizing(d=3, max_len=5)");
     }
 }

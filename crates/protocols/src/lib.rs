@@ -26,6 +26,12 @@
 //!   arbitrary (repetition-containing) sequences with the tight encoding;
 //!   the verifier's decisive-tuple engine refutes it, reproducing the
 //!   impossibility argument concretely.
+//! * [`StabilizingSender`] / [`StabilizingReceiver`] — a self-stabilizing
+//!   variant (after Dolev, Dubois, Potop-Butucaru & Tixeuil): indexed
+//!   frames broadcast cyclically against a continuously acknowledged
+//!   receiver counter, plus a reserved RESET message, so the pair
+//!   reconverges from *arbitrary* transient state corruption within a
+//!   bounded number of steps (experiment E12).
 //!
 //! Every protocol is a deterministic state machine implementing the
 //! [`Sender`](stp_core::proto::Sender) / [`Receiver`](stp_core::proto::Receiver)
@@ -42,17 +48,20 @@ pub mod family;
 pub mod hybrid;
 pub mod naive;
 pub mod probabilistic;
+pub mod stabilizing;
 pub mod stenning;
 pub mod tight;
 pub mod window;
 
 pub use abp::{AbpReceiver, AbpSender};
 pub use family::{
-    AbpFamily, FamilySpec, HybridFamily, NaiveFamily, ProtocolFamily, StenningFamily, TightFamily,
+    AbpFamily, FamilySpec, HybridFamily, NaiveFamily, ProtocolFamily, StabilizingFamily,
+    StenningFamily, TightFamily,
 };
 pub use hybrid::{HybridReceiver, HybridSender};
 pub use naive::NaiveSender;
 pub use probabilistic::{CodebookReceiver, CodebookSender, ProbabilisticFamily};
+pub use stabilizing::{StabilizingReceiver, StabilizingSender};
 pub use stenning::{StenningReceiver, StenningSender};
 pub use tight::{ResendPolicy, TightReceiver, TightSender};
 pub use window::{GoBackNFamily, GoBackNReceiver, GoBackNSender};

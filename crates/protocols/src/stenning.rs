@@ -112,6 +112,20 @@ impl Sender for StenningSender {
         self.done
     }
 
+    fn scramble(&mut self, draw: u64) -> bool {
+        let before = (self.seq, self.done);
+        self.seq = (draw % u64::from(self.modulus)) as u16;
+        self.done = false;
+        before != (self.seq, self.done)
+    }
+
+    fn desync(&mut self, _draw: u64) -> bool {
+        // A one-slot slip: retransmissions now carry a wrong sequence
+        // number, and the awaited ack can never arrive.
+        self.seq = (self.seq + 1) % self.modulus;
+        true
+    }
+
     fn reset(&mut self, input: &DataSeq) {
         self.tape = InputTape::new(input.clone());
         self.seq = 0;
@@ -183,6 +197,18 @@ impl Receiver for StenningReceiver {
                 }
             }
         }
+    }
+
+    fn scramble(&mut self, draw: u64) -> bool {
+        let v = (draw % u64::from(self.modulus)) as u16;
+        let changed = v != self.expected;
+        self.expected = v;
+        changed
+    }
+
+    fn desync(&mut self, _draw: u64) -> bool {
+        self.expected = (self.expected + 1) % self.modulus;
+        true
     }
 
     fn reset(&mut self) {

@@ -137,6 +137,29 @@ impl Sender for TightSender {
         self.done
     }
 
+    fn scramble(&mut self, draw: u64) -> bool {
+        // Arbitrary transient fault: the sender suddenly believes some
+        // alphabet value is outstanding — the tape cursor is ROM, but the
+        // volatile latch and flags are fair game.
+        let m = self.alphabet.size();
+        if m == 0 {
+            return false;
+        }
+        let before = (self.outstanding, self.sent_current, self.done);
+        self.outstanding = Some(DataItem((draw % u64::from(m)) as u16));
+        self.sent_current = draw & 1 == 1;
+        self.done = false;
+        before != (self.outstanding, self.sent_current, self.done)
+    }
+
+    fn desync(&mut self, _draw: u64) -> bool {
+        // Losing the outstanding latch mid-transfer deadlocks the
+        // handshake: no item to retransmit, no ack will ever match.
+        let had = self.outstanding.is_some();
+        self.outstanding = None;
+        had
+    }
+
     fn reset(&mut self, input: &stp_core::data::DataSeq) {
         debug_assert!(input.is_repetition_free(), "X must be repetition-free");
         self.tape = InputTape::new(input.clone());
@@ -205,6 +228,33 @@ impl Receiver for TightReceiver {
                 _ => ReceiverOutput::idle(),
             },
         }
+    }
+
+    fn scramble(&mut self, draw: u64) -> bool {
+        // A phantom entry in the seen-set makes a future genuine arrival
+        // of that value look like a duplicate: the receiver re-acks it
+        // without writing, the sender advances, and the output skips an
+        // item — the tight protocol's correctness rests entirely on this
+        // set, so corrupting it breaks safety, not just liveness.
+        let m = self.alphabet.size();
+        if m == 0 {
+            return false;
+        }
+        let v = (draw % u64::from(m)) as u16;
+        if self.seen.contains(&v) {
+            false
+        } else {
+            self.seen.push(v);
+            true
+        }
+    }
+
+    fn desync(&mut self, _draw: u64) -> bool {
+        // Forgetting the seen-set replays history: old duplicates become
+        // "new" again and get rewritten at fresh positions.
+        let had = !self.seen.is_empty();
+        self.seen.clear();
+        had
     }
 
     fn reset(&mut self) {

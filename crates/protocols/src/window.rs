@@ -164,6 +164,26 @@ impl Sender for GoBackNSender {
         self.done
     }
 
+    fn scramble(&mut self, draw: u64) -> bool {
+        // Garble one buffered frame and force a full go-back, so the
+        // corrupted value actually goes out on the wire.
+        if self.pending.is_empty() {
+            return false;
+        }
+        let j = (draw >> 8) as usize % self.pending.len();
+        self.pending[j] = DataItem((draw % u64::from(self.domain.max(1))) as u16);
+        self.transmitted = 0;
+        true
+    }
+
+    fn desync(&mut self, draw: u64) -> bool {
+        // Window-base slip: frames get wrong sequence numbers and the
+        // cumulative-ack arithmetic confirms the wrong frames.
+        let shift = 1 + (draw as usize) % (self.modulus as usize - 1);
+        self.base += shift;
+        true
+    }
+
     fn reset(&mut self, input: &DataSeq) {
         self.tape = InputTape::new(input.clone());
         self.base = 0;
@@ -232,6 +252,26 @@ impl Receiver for GoBackNReceiver {
                 }
             }
         }
+    }
+
+    fn scramble(&mut self, draw: u64) -> bool {
+        let shift = (draw % u64::from(self.modulus)) as usize;
+        if shift == 0 {
+            return false;
+        }
+        self.written += shift;
+        true
+    }
+
+    fn desync(&mut self, _draw: u64) -> bool {
+        // Slipping the in-order counter re-accepts the previous frame (a
+        // duplicate write) or, from zero, expects one never sent.
+        if self.written > 0 {
+            self.written -= 1;
+        } else {
+            self.written += 1;
+        }
+        true
     }
 
     fn reset(&mut self) {

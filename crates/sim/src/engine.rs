@@ -543,6 +543,73 @@ mod tests {
     }
 
     #[test]
+    fn campaign_reset_survives_pooled_reuse_bit_identically() {
+        // Regression guard for the pooled-world path: a CampaignScheduler
+        // carries per-clause firing state, an OnWrite progress latch and a
+        // PRNG cursor, all of which must be fully rewound by reset() when
+        // the SweepEngine reuses a world across cells. A second lap over
+        // 32 seeds must be bit-identical, and every pooled cell must match
+        // a world built fresh for that cell.
+        use stp_channel::campaign::{Direction, FaultAction, FaultClause, FaultPlan, Trigger};
+        let family = TightFamily::new(3, ResendPolicy::EveryTick);
+        let plan = FaultPlan::new(11)
+            .with(
+                FaultClause::new(FaultAction::StateScramble, Trigger::OnWrite { index: 1 })
+                    .direction(Direction::ToReceiver),
+            )
+            .with(
+                FaultClause::new(
+                    FaultAction::DeletionBurst { copies: 1 },
+                    Trigger::EveryK {
+                        period: 7,
+                        offset: 3,
+                    },
+                )
+                .repeats(3),
+            );
+        let spec = SweepSpec::new(
+            ChannelSpec::Del,
+            SchedulerSpec::Campaign {
+                inner: Box::new(SchedulerSpec::Eager),
+                plan,
+            },
+        )
+        .max_steps(5_000)
+        .seeds(0..32)
+        .threads(1);
+        let engine = SweepEngine::new(spec.clone());
+        let first = engine.run_serial(&family);
+        let second = engine.run_serial(&family);
+        assert_eq!(first.runs, second.runs, "second lap diverged");
+        // The scramble clause must actually have fired somewhere, or this
+        // test guards nothing.
+        assert!(
+            first.runs.iter().any(|r| r.trace.as_ref().is_some_and(|t| t
+                .events()
+                .iter()
+                .any(|e| matches!(e.event, stp_core::event::Event::Corruption { .. })))),
+            "no corruption fired anywhere in the sweep"
+        );
+        for run in &first.runs {
+            let mut w = World::builder(run.input.clone())
+                .sender(family.sender_for(&run.input))
+                .receiver(family.receiver())
+                .channel(spec.channel.build())
+                .scheduler(spec.schedulers[0].build(run.seed))
+                .build()
+                .expect("all components supplied");
+            w.run_until(spec.max_steps, World::is_complete);
+            assert_eq!(&w.stats(), &run.stats, "seed {}: stats", run.seed);
+            assert_eq!(
+                Some(w.trace()),
+                run.trace.as_ref(),
+                "seed {}: trace",
+                run.seed
+            );
+        }
+    }
+
+    #[test]
     fn off_mode_runs_carry_no_trace_but_full_stats() {
         let family = TightFamily::new(3, ResendPolicy::Once);
         let engine = SweepEngine::new(storm_spec().trace_mode(TraceMode::Off).threads(1));

@@ -34,6 +34,27 @@ use stp_channel::campaign::{CampaignScheduler, FaultAction, FaultClause, FaultPl
 use stp_channel::{Channel, Scheduler, StepDecision};
 use stp_core::event::Step;
 
+/// The two-clause [`FaultPlan`] behind the historical
+/// `FaultInjector::new(inner, at, copies)`: one deletion burst of up to
+/// `copies` in-flight copies per direction at the first decision with
+/// `step >= at`, with that step's deliveries suppressed.
+///
+/// This is the migration target for the deprecated
+/// [`FaultInjector::new`]: compile the plan onto any inner scheduler with
+/// [`CampaignScheduler::new`], or build richer single-clause plans
+/// directly with [`FaultPlan::single`].
+pub fn burst_plan(at: Step, copies: usize) -> FaultPlan {
+    FaultPlan::new(0)
+        .with(FaultClause::new(
+            FaultAction::DeletionBurst { copies },
+            Trigger::AtStep(at),
+        ))
+        .with(FaultClause::new(
+            FaultAction::SilenceWindow,
+            Trigger::AtStep(at),
+        ))
+}
+
 /// A scheduler wrapper that injects a single deletion burst at a fixed
 /// step. Compatibility veneer over [`CampaignScheduler`]; see the module
 /// docs for migration guidance.
@@ -46,18 +67,15 @@ impl FaultInjector {
     /// Wraps `inner`, deleting up to `copies` in-flight copies per
     /// direction at the first decision with `step >= at` and suppressing
     /// that step's deliveries.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use CampaignScheduler::new(inner, burst_plan(at, copies)), or build a \
+                FaultPlan::single(..) directly — FaultInjector adds nothing over the \
+                campaign engine"
+    )]
     pub fn new(inner: Box<dyn Scheduler>, at: Step, copies: usize) -> Self {
-        let plan = FaultPlan::new(0)
-            .with(FaultClause::new(
-                FaultAction::DeletionBurst { copies },
-                Trigger::AtStep(at),
-            ))
-            .with(FaultClause::new(
-                FaultAction::SilenceWindow,
-                Trigger::AtStep(at),
-            ));
         FaultInjector {
-            campaign: CampaignScheduler::new(inner, plan),
+            campaign: CampaignScheduler::new(inner, burst_plan(at, copies)),
         }
     }
 
@@ -95,6 +113,7 @@ impl Scheduler for FaultInjector {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use stp_channel::{DelChannel, DupChannel, EagerScheduler};

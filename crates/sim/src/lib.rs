@@ -46,7 +46,7 @@ pub mod world;
 
 pub use engine::{SweepEngine, SweepSpec};
 pub use error::SimError;
-pub use fault::FaultInjector;
+pub use fault::{burst_plan, FaultInjector};
 pub use metrics::{Histogram, MetricsProbe, RunStats, SweepReport};
 pub use replay::{replay, script_from_trace, scripted_world};
 pub use runner::{
@@ -57,12 +57,14 @@ pub use shrink::{
     classify, is_one_minimal, shrink_plan, shrink_to_witness, CampaignJudge, Violation, Witness,
 };
 pub use slo::{
-    probe_recovery, recovery_envelope, recovery_envelope_observed, run_campaign, run_with_plan,
-    RecoveryEnvelope, RecoveryProbe, SloConfig,
+    last_corruption_step, probe_recovery, probe_stabilization, recovery_envelope,
+    recovery_envelope_observed, run_campaign, run_with_plan, stabilization_envelope,
+    stabilization_point, RecoveryEnvelope, RecoveryProbe, SloConfig, StabilizationEnvelope,
+    StabilizationProbe,
 };
 pub use telemetry::{
     ExperimentSummary, FrontierRecord, MemorySink, ProgressMeter, ProgressSnapshot, RunRecord,
-    Sink, SpanRecord, TelemetryLine, TelemetryWriter,
+    Sink, SpanRecord, StabilizationRecord, TelemetryLine, TelemetryWriter,
 };
 pub use trace::{
     chrome_trace_json, write_chrome_trace, CounterTrack, LifecycleCounts, MsgFate, MsgSpan,

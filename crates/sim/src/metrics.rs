@@ -79,7 +79,9 @@ impl RunStats {
                     s.write_steps.push(e.step);
                     s.written += 1;
                 }
-                Event::Read { .. } => {}
+                // Corruption strikes are adversary bookkeeping, not
+                // message traffic — nothing to count here.
+                Event::Read { .. } | Event::Corruption { .. } => {}
             }
         }
         s
@@ -220,7 +222,7 @@ impl Probe for MetricsProbe {
                 self.write_steps.push(step);
                 self.written += 1;
             }
-            Event::Read { .. } => {}
+            Event::Read { .. } | Event::Corruption { .. } => {}
         }
     }
 

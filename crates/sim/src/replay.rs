@@ -9,7 +9,7 @@
 //! certificates and bug reports travel: a trace *is* a replayable witness.
 
 use crate::world::World;
-use stp_channel::{Channel, ScriptedScheduler, StepDecision};
+use stp_channel::{Channel, CorruptionCommand, ScriptedScheduler, StepDecision};
 use stp_core::alphabet::{RMsg, SMsg};
 use stp_core::event::{Event, ProcessId, Trace};
 use stp_core::proto::{Receiver, Sender};
@@ -27,6 +27,12 @@ pub fn script_from_trace(trace: &Trace) -> Vec<StepDecision> {
                 ProcessId::Receiver => d.delete_to_r.push(SMsg(msg)),
                 ProcessId::Sender => d.delete_to_s.push(RMsg(msg)),
             },
+            // Corruption strikes that took effect are replayed verbatim;
+            // `ChannelExpire` stays excluded (the channel re-expires on
+            // its own during replay).
+            Event::Corruption { kind, draw } => {
+                d.corruptions.push(CorruptionCommand { kind, draw });
+            }
             _ => {}
         }
     }
@@ -136,6 +142,53 @@ mod tests {
             Box::new(TightReceiver::new(2, ResendPolicy::EveryTick)),
             Box::new(DelChannel::new()),
         );
+        assert_eq!(original, replayed);
+    }
+
+    #[test]
+    fn replay_reproduces_a_corrupted_run_exactly() {
+        use stp_channel::campaign::{FaultAction, FaultClause, FaultPlan, Trigger};
+        use stp_channel::{CampaignScheduler, EagerScheduler};
+        use stp_protocols::{StabilizingReceiver, StabilizingSender};
+
+        let input = seq(&[2, 0, 1, 2]);
+        let plan = FaultPlan::new(17)
+            .with(
+                FaultClause::new(FaultAction::StateScramble, Trigger::OnWrite { index: 1 })
+                    .direction(stp_channel::campaign::Direction::ToReceiver),
+            )
+            .with(
+                FaultClause::new(FaultAction::InjectNoise, Trigger::AtStep(9))
+                    .direction(stp_channel::campaign::Direction::ToReceiver),
+            );
+        let build_pair = || {
+            (
+                Box::new(StabilizingSender::new(input.clone(), 3, 6)),
+                Box::new(StabilizingReceiver::new(3, 6)),
+            )
+        };
+        let (s, r) = build_pair();
+        let mut w = World::builder(input.clone())
+            .sender(s)
+            .receiver(r)
+            .channel(Box::new(DelChannel::new()))
+            .scheduler(Box::new(CampaignScheduler::new(
+                Box::new(EagerScheduler::new()),
+                plan,
+            )))
+            .build()
+            .unwrap();
+        w.run(400);
+        let original = w.into_trace();
+        assert!(
+            original
+                .events()
+                .iter()
+                .any(|e| matches!(e.event, Event::Corruption { .. })),
+            "a corruption strike should have taken effect"
+        );
+        let (s, r) = build_pair();
+        let replayed = replay(&original, s, r, Box::new(DelChannel::new()));
         assert_eq!(original, replayed);
     }
 

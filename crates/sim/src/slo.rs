@@ -20,7 +20,7 @@ use stp_channel::campaign::{
 };
 use stp_channel::{Channel, ChannelSpec, Scheduler, SchedulerSpec};
 use stp_core::data::DataSeq;
-use stp_core::event::Step;
+use stp_core::event::{Event, Step, Trace};
 use stp_core::proto::{Receiver, Sender};
 use stp_protocols::ProtocolFamily;
 
@@ -60,6 +60,20 @@ impl SloConfig {
             action: FaultAction::SilenceWindow,
             duration,
             direction: Direction::Both,
+            seed: 0,
+            max_steps,
+        }
+    }
+
+    /// A single-step transient state-corruption strike — one of the
+    /// corruption [`FaultAction`]s, aimed at the processor(s) selected by
+    /// `direction`. The workhorse config for stabilization envelopes
+    /// (experiment E12).
+    pub fn corruption(action: FaultAction, direction: Direction, max_steps: Step) -> Self {
+        SloConfig {
+            action,
+            duration: 1,
+            direction,
             seed: 0,
             max_steps,
         }
@@ -209,6 +223,173 @@ pub fn recovery_envelope_observed(
     }
 }
 
+/// The step at which the **last** corruption command took effect in
+/// `trace`, or `None` if no corruption event was recorded. This is the
+/// point `c` from which stabilization is measured: a self-stabilizing
+/// protocol must reconverge within a bounded number of steps after the
+/// transient faults stop.
+pub fn last_corruption_step(trace: &Trace) -> Option<Step> {
+    trace
+        .events()
+        .iter()
+        .filter(|e| matches!(e.event, Event::Corruption { .. }))
+        .map(|e| e.step)
+        .next_back()
+}
+
+/// The stabilization point of `trace`: the earliest step `T` such that
+/// the writes at steps `>= T` are **exactly** `x[p..n)` for some `p` — an
+/// in-order run of input items ending at the input's end. Returns `None`
+/// when no such step exists (the run stalled short of the final item, or
+/// its tail contains corrupted values).
+///
+/// The output tape is append-only, so transient corruption can leave
+/// garbage or duplicates permanently on the tape; what a self-stabilizing
+/// protocol guarantees (DESIGN.md §13) is that the tape's *tail* becomes a
+/// clean in-order suffix of the input, reaching the input's end. For an
+/// uncorrupted run this degenerates to the step of the first write
+/// (`p = 0`). For an empty input any write-free run stabilizes at step 0.
+pub fn stabilization_point(trace: &Trace) -> Option<Step> {
+    let input = trace.input().items().to_vec();
+    let n = input.len();
+    let writes: Vec<(Step, stp_core::data::DataItem)> = trace
+        .events()
+        .iter()
+        .filter_map(|e| match e.event {
+            Event::Write { item, .. } => Some((e.step, item)),
+            _ => None,
+        })
+        .collect();
+    if n == 0 {
+        // Nothing to transmit: stabilized once (garbage) writes stop.
+        return Some(writes.last().map_or(0, |w| w.0 + 1));
+    }
+    let w = writes.len();
+    // Longest trailing run of writes equal to a suffix of the input that
+    // ends at the input's end.
+    let mut k = 0usize;
+    while k < w && k < n && writes[w - 1 - k].1 == input[n - 1 - k] {
+        k += 1;
+    }
+    if k == 0 {
+        return None;
+    }
+    Some(writes[w - k].0)
+}
+
+/// The measured outcome of one corruption strike at one probe point.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StabilizationProbe {
+    /// Index `i` of the item whose write triggered the corruption.
+    pub index: usize,
+    /// Step of the last corruption command that took effect.
+    pub fault_end: Step,
+    /// How many corruption commands took effect.
+    pub corruption_events: usize,
+    /// The stabilization point `T` (see [`stabilization_point`]), if the
+    /// run's write tail reconverged to a clean input suffix within the
+    /// budget.
+    pub stabilized_at: Option<Step>,
+    /// `stabilized_at - fault_end`, saturating at zero when the tail was
+    /// already clean before the strike ended.
+    pub steps_to_stabilize: Option<Step>,
+}
+
+/// The stabilization envelope of one protocol on one input: one corruption
+/// strike per index, mirroring [`RecoveryEnvelope`] for transient state
+/// corruption instead of channel faults.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StabilizationEnvelope {
+    /// Protocol family name.
+    pub protocol: String,
+    /// Input length.
+    pub input_len: usize,
+    /// One probe per struck index, in index order.
+    pub probes: Vec<StabilizationProbe>,
+}
+
+impl StabilizationEnvelope {
+    /// Largest observed steps-to-stabilize — the envelope's height, and
+    /// the empirical stabilization bound a certificate claims. `None`
+    /// when no probe stabilized.
+    pub fn max_steps_to_stabilize(&self) -> Option<Step> {
+        self.probes
+            .iter()
+            .filter_map(|p| p.steps_to_stabilize)
+            .max()
+    }
+
+    /// Whether every probe reconverged within the budget. A protocol
+    /// whose envelope is not fully stabilized is flagged *divergent*
+    /// under this corruption plan.
+    pub fn fully_stabilized(&self) -> bool {
+        !self.probes.is_empty() && self.probes.iter().all(|p| p.stabilized_at.is_some())
+    }
+}
+
+/// Measures one stabilization probe: runs `family` on `input` with
+/// `cfg`'s corruption fired right after item `index` is written. Returns
+/// `None` if the run never reached the probe point or no corruption
+/// command took effect (e.g. the hook found nothing to perturb).
+pub fn probe_stabilization(
+    family: &dyn ProtocolFamily,
+    input: &DataSeq,
+    channel: &ChannelSpec,
+    inner: &SchedulerSpec,
+    cfg: &SloConfig,
+    index: usize,
+) -> Option<StabilizationProbe> {
+    let clause = FaultClause::new(cfg.action.clone(), Trigger::OnWrite { index })
+        .direction(cfg.direction)
+        .lasting(cfg.duration);
+    let probe_seed = cfg.seed.wrapping_add(index as u64);
+    let plan = FaultPlan::single(probe_seed, clause);
+    let trace = run_with_plan(
+        family,
+        input,
+        channel.build(),
+        inner.build(probe_seed),
+        &plan,
+        cfg.max_steps,
+    );
+    let fault_end = last_corruption_step(&trace)?;
+    let corruption_events = trace
+        .events()
+        .iter()
+        .filter(|e| matches!(e.event, Event::Corruption { .. }))
+        .count();
+    // A tail that began before the strike still counts: it means the
+    // corruption left the clean suffix intact (otherwise the tail match
+    // would have broken), so the protocol stabilized instantly.
+    let stabilized_at = stabilization_point(&trace);
+    Some(StabilizationProbe {
+        index,
+        fault_end,
+        corruption_events,
+        steps_to_stabilize: stabilized_at.map(|t| t.saturating_sub(fault_end)),
+        stabilized_at,
+    })
+}
+
+/// Measures the full stabilization envelope: one corruption strike per
+/// index `0..input.len()`.
+pub fn stabilization_envelope(
+    family: &dyn ProtocolFamily,
+    input: &DataSeq,
+    channel: &ChannelSpec,
+    inner: &SchedulerSpec,
+    cfg: &SloConfig,
+) -> StabilizationEnvelope {
+    let probes = (0..input.len())
+        .filter_map(|i| probe_stabilization(family, input, channel, inner, cfg, i))
+        .collect();
+    StabilizationEnvelope {
+        protocol: family.name().to_string(),
+        input_len: input.len(),
+        probes,
+    }
+}
+
 /// Runs `family` on `input` under `plan` compiled over a fresh inner
 /// scheduler, for at most `max_steps` steps or until completion.
 pub fn run_with_plan(
@@ -256,10 +437,66 @@ pub fn run_campaign(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stp_protocols::{HybridFamily, ResendPolicy, TightFamily};
+    use stp_protocols::{HybridFamily, ResendPolicy, StabilizingFamily, TightFamily};
 
     fn seq(n: u16) -> DataSeq {
         DataSeq::from_indices(0..n)
+    }
+
+    #[test]
+    fn stabilization_point_of_a_clean_run_is_its_first_write() {
+        let fam = TightFamily::new(8, ResendPolicy::EveryTick);
+        let input = seq(4);
+        let trace = run_with_plan(
+            &fam,
+            &input,
+            ChannelSpec::Dup.build(),
+            SchedulerSpec::Eager.build(0),
+            &FaultPlan::new(0),
+            5_000,
+        );
+        let writes = trace.write_steps();
+        assert_eq!(writes.len(), 4);
+        assert_eq!(stabilization_point(&trace), Some(writes[0]));
+        assert_eq!(last_corruption_step(&trace), None);
+    }
+
+    #[test]
+    fn stabilizing_family_reconverges_from_receiver_scrambles() {
+        let fam = StabilizingFamily::new(4, 6);
+        let input = seq(4);
+        // Seed chosen so no scramble draw lands the receiver counter on
+        // exactly `n` — the documented blind spot where corruption is
+        // indistinguishable from genuine completion (DESIGN.md §13).
+        let mut cfg =
+            SloConfig::corruption(FaultAction::StateScramble, Direction::ToReceiver, 50_000);
+        cfg.seed = 22;
+        let env =
+            stabilization_envelope(&fam, &input, &ChannelSpec::Del, &SchedulerSpec::Eager, &cfg);
+        assert!(!env.probes.is_empty(), "some strikes must land");
+        assert!(env.fully_stabilized(), "probes: {:?}", env.probes);
+        let bound = env.max_steps_to_stabilize().unwrap();
+        assert!(bound < 50_000);
+    }
+
+    #[test]
+    fn tight_sender_desync_is_flagged_divergent() {
+        // CounterDesync clears the tight sender's outstanding item: the
+        // handshake deadlocks mid-transfer, the final item is never
+        // written, and no clean input suffix ever forms.
+        let fam = TightFamily::new(8, ResendPolicy::EveryTick);
+        let input = seq(5);
+        let cfg = SloConfig::corruption(FaultAction::CounterDesync, Direction::ToSender, 5_000);
+        let p = probe_stabilization(
+            &fam,
+            &input,
+            &ChannelSpec::Del,
+            &SchedulerSpec::Eager,
+            &cfg,
+            1,
+        )
+        .expect("the strike lands after item 1");
+        assert_eq!(p.stabilized_at, None, "probe: {p:?}");
     }
 
     #[test]

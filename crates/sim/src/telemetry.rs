@@ -269,6 +269,45 @@ pub struct FrontierLine {
     pub frontier: FrontierRecord,
 }
 
+/// One stabilization probe, flattened for export: a corruption strike at
+/// one write index and how the run recovered from it (or didn't). The
+/// optional fields mirror [`StabilizationProbe`](crate::slo::StabilizationProbe):
+/// `stabilized_at` absent means the run diverged — its write tail never
+/// became a clean in-order input suffix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StabilizationRecord {
+    /// Which harness produced this line (e.g. `"e12"`); empty when untagged.
+    #[serde(default)]
+    pub experiment: String,
+    /// The protocol family name (e.g. `"stabilizing"`).
+    pub protocol: String,
+    /// The channel tag of the run (e.g. `"del"`).
+    pub channel: String,
+    /// The corruption kind of the strike (e.g. `"state-scramble"`).
+    pub kind: String,
+    /// The campaign seed.
+    pub seed: u64,
+    /// The write index the strike was triggered on.
+    pub index: usize,
+    /// The step of the last corruption event.
+    pub fault_end: Step,
+    /// How many corruption events the campaign landed.
+    pub corruption_events: usize,
+    /// The stabilization point, when the run reconverged.
+    #[serde(default)]
+    pub stabilized_at: Option<Step>,
+    /// `stabilized_at − fault_end`, when the run reconverged.
+    #[serde(default)]
+    pub steps_to_stabilize: Option<Step>,
+}
+
+/// The wire form of a stabilization line: `{"stabilization": {…}}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StabilizationLine {
+    /// The probe record.
+    pub stabilization: StabilizationRecord,
+}
+
 /// The wire form of a conformance-ledger line: `{"verdict": {…}}` — one
 /// grid cell of the certificate gate, carrying the cell's expected and
 /// observed verdicts plus the independent checker's judgement.
@@ -294,6 +333,8 @@ pub enum TelemetryLine {
     Frontier(FrontierRecord),
     /// A conformance-ledger verdict.
     Verdict(stp_core::schema::ConformanceVerdict),
+    /// A stabilization probe under state corruption.
+    Stabilization(StabilizationRecord),
 }
 
 impl TelemetryLine {
@@ -303,13 +344,17 @@ impl TelemetryLine {
     ///
     /// Returns the underlying JSON error when the line is none of the
     /// `{"run": …}` / `{"span": …}` / `{"frontier": …}` / `{"summary": …}`
-    /// / `{"verdict": …}` / `{"report": …}` documents.
+    /// / `{"verdict": …}` / `{"stabilization": …}` / `{"report": …}`
+    /// documents.
     pub fn parse(line: &str) -> Result<TelemetryLine, serde_json::Error> {
         if let Ok(l) = serde_json::from_str::<RunLine>(line) {
             return Ok(TelemetryLine::Run(l.run));
         }
         if let Ok(l) = serde_json::from_str::<VerdictLine>(line) {
             return Ok(TelemetryLine::Verdict(l.verdict));
+        }
+        if let Ok(l) = serde_json::from_str::<StabilizationLine>(line) {
+            return Ok(TelemetryLine::Stabilization(l.stabilization));
         }
         if let Ok(l) = serde_json::from_str::<SpanLine>(line) {
             return Ok(TelemetryLine::Span(l.span));
@@ -421,6 +466,19 @@ impl TelemetryWriter {
     ) -> io::Result<()> {
         let line = serde_json::to_string(&VerdictLine {
             verdict: verdict.clone(),
+        })
+        .map_err(io::Error::other)?;
+        self.sink.write_line(&line)
+    }
+
+    /// Emits one stabilization-probe line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization or sink I/O errors.
+    pub fn emit_stabilization(&mut self, record: &StabilizationRecord) -> io::Result<()> {
+        let line = serde_json::to_string(&StabilizationLine {
+            stabilization: record.clone(),
         })
         .map_err(io::Error::other)?;
         self.sink.write_line(&line)
@@ -828,6 +886,42 @@ mod tests {
         match TelemetryLine::parse(line).unwrap() {
             TelemetryLine::Verdict(back) => assert_eq!(back, rec),
             other => panic!("expected a verdict line, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stabilization_lines_round_trip() {
+        let rec = StabilizationRecord {
+            experiment: "e12".to_string(),
+            protocol: "stabilizing".to_string(),
+            channel: "del".to_string(),
+            kind: "state-scramble".to_string(),
+            seed: 23,
+            index: 1,
+            fault_end: 10,
+            corruption_events: 1,
+            stabilized_at: Some(12),
+            steps_to_stabilize: Some(2),
+        };
+        let sink = MemorySink::new();
+        let mut w = TelemetryWriter::new(Box::new(sink.clone()));
+        w.emit_stabilization(&rec).unwrap();
+        let line = &sink.lines()[0];
+        assert!(line.contains("\"stabilization\""), "{line}");
+        match TelemetryLine::parse(line).unwrap() {
+            TelemetryLine::Stabilization(back) => assert_eq!(back, rec),
+            other => panic!("expected a stabilization line, got {other:?}"),
+        }
+        // A divergent probe (no stabilization point) round-trips too.
+        let divergent = StabilizationRecord {
+            stabilized_at: None,
+            steps_to_stabilize: None,
+            ..rec
+        };
+        w.emit_stabilization(&divergent).unwrap();
+        match TelemetryLine::parse(&sink.lines()[1]).unwrap() {
+            TelemetryLine::Stabilization(back) => assert_eq!(back, divergent),
+            other => panic!("expected a stabilization line, got {other:?}"),
         }
     }
 

@@ -3,7 +3,7 @@
 //! Aggregate [`RunStats`] answer "how many messages were lost"; they cannot
 //! answer "*which* send was lost, and did that matter". [`TraceProbe`]
 //! closes that gap: it subscribes to the executor's provenance stream
-//! ([`MsgEvent`](stp_core::event::MsgEvent)) and folds it into one
+//! ([`MsgEvent`]) and folds it into one
 //! [`MsgSpan`] per physical send — sent → in-flight →
 //! delivered/dropped/expired, with duplicate fan-out recorded as multiple
 //! delivery timestamps on the originating span. The spans reconcile

@@ -2,10 +2,12 @@
 
 use crate::error::SimError;
 use crate::metrics::RunStats;
-use stp_channel::{Channel, DelChannel, DupChannel, EagerScheduler, Scheduler};
+use stp_channel::{Channel, CorruptionCommand, DelChannel, DupChannel, EagerScheduler, Scheduler};
 use stp_core::alphabet::{RMsg, SMsg};
 use stp_core::data::DataSeq;
-use stp_core::event::{Event, MsgEvent, MsgId, Probe, ProcessId, Step, Trace, TraceMode};
+use stp_core::event::{
+    CorruptionKind, Event, MsgEvent, MsgId, Probe, ProcessId, Step, Trace, TraceMode,
+};
 use stp_core::proto::{Receiver, ReceiverEvent, Sender, SenderEvent};
 use stp_core::require;
 use stp_protocols::{ResendPolicy, TightReceiver, TightSender};
@@ -453,6 +455,83 @@ impl World {
         }
     }
 
+    /// Applies one step's corruption commands. Scramble/desync strikes
+    /// call the processors' opt-in hooks (a protocol that does not
+    /// implement them absorbs the strike silently); injections forge a
+    /// message onto the channel as if the peer had sent it, with the
+    /// payload reduced modulo the victim's alphabet. Forged copies are
+    /// *not* recorded as `SendS`/`SendR` — that would misattribute them
+    /// to a processor in the local-history projections and double-send
+    /// on replay — but they do get provenance ids so message-lifecycle
+    /// probes can follow them.
+    fn apply_corruptions(&mut self, t: Step, commands: &[CorruptionCommand]) {
+        for cmd in commands {
+            let applied = match cmd.kind {
+                CorruptionKind::ScrambleSender => self.sender.scramble(cmd.draw),
+                CorruptionKind::ScrambleReceiver => self.receiver.scramble(cmd.draw),
+                CorruptionKind::DesyncSender => self.sender.desync(cmd.draw),
+                CorruptionKind::DesyncReceiver => self.receiver.desync(cmd.draw),
+                CorruptionKind::InjectToR => {
+                    let size = self.sender.alphabet().size();
+                    if size == 0 {
+                        false
+                    } else {
+                        let m = SMsg((cmd.draw % u64::from(size)) as u16);
+                        self.channel.send_s(m);
+                        if self.provenance {
+                            let id = MsgId(self.next_msg_id);
+                            self.next_msg_id += 1;
+                            let filed = self.channel.note_send_s(m, id);
+                            self.emit_msg(
+                                t,
+                                MsgEvent::Sent {
+                                    id,
+                                    to: ProcessId::Receiver,
+                                    msg: m.0,
+                                    coalesced_into: (filed != id).then_some(filed),
+                                },
+                            );
+                        }
+                        true
+                    }
+                }
+                CorruptionKind::InjectToS => {
+                    let size = self.receiver.alphabet().size();
+                    if size == 0 {
+                        false
+                    } else {
+                        let m = RMsg((cmd.draw % u64::from(size)) as u16);
+                        self.channel.send_r(m);
+                        if self.provenance {
+                            let id = MsgId(self.next_msg_id);
+                            self.next_msg_id += 1;
+                            let filed = self.channel.note_send_r(m, id);
+                            self.emit_msg(
+                                t,
+                                MsgEvent::Sent {
+                                    id,
+                                    to: ProcessId::Sender,
+                                    msg: m.0,
+                                    coalesced_into: (filed != id).then_some(filed),
+                                },
+                            );
+                        }
+                        true
+                    }
+                }
+            };
+            if applied {
+                self.record(
+                    t,
+                    Event::Corruption {
+                        kind: cmd.kind,
+                        draw: cmd.draw,
+                    },
+                );
+            }
+        }
+    }
+
     /// Executes one global step.
     pub fn step(&mut self) {
         let t = self.step;
@@ -512,6 +591,15 @@ impl World {
                     );
                 }
             }
+        }
+
+        // Transient corruption strikes land between loss and delivery:
+        // state scrambles and counter desyncs call the processors' opt-in
+        // hooks, injections forge messages onto the channel. A strike is
+        // recorded (as `Event::Corruption`) only when it took effect, so
+        // a scripted replay re-applies exactly the strikes that mattered.
+        if !decision.corruptions.is_empty() {
+            self.apply_corruptions(t, &decision.corruptions);
         }
 
         // Deliveries (against the post-deletion state; infeasible choices

@@ -194,10 +194,10 @@ pub fn min_recovery_steps(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stp_channel::{DelChannel, EagerScheduler, TimedChannel};
+    use stp_channel::{CampaignScheduler, DelChannel, EagerScheduler, TimedChannel};
     use stp_core::data::DataSeq;
     use stp_protocols::{HybridReceiver, HybridSender, ResendPolicy, TightReceiver, TightSender};
-    use stp_sim::{FaultInjector, World};
+    use stp_sim::{burst_plan, World};
 
     fn seq_n(n: u16) -> DataSeq {
         DataSeq::from_indices(0..n)
@@ -216,10 +216,9 @@ mod tests {
             )))
             .receiver(Box::new(TightReceiver::new(6, ResendPolicy::EveryTick)))
             .channel(Box::new(DelChannel::new()))
-            .scheduler(Box::new(FaultInjector::new(
+            .scheduler(Box::new(CampaignScheduler::new(
                 Box::new(EagerScheduler::new()),
-                4,
-                2,
+                burst_plan(4, 2),
             )))
             .build()
             .expect("all components supplied");
@@ -252,10 +251,9 @@ mod tests {
             .sender(Box::new(HybridSender::new(input.clone(), 2, 3)))
             .receiver(Box::new(HybridReceiver::new(2)))
             .channel(Box::new(TimedChannel::new(3)))
-            .scheduler(Box::new(FaultInjector::new(
+            .scheduler(Box::new(CampaignScheduler::new(
                 Box::new(EagerScheduler::new()),
-                3,
-                1,
+                burst_plan(3, 1),
             )))
             .build()
             .expect("all components supplied");

@@ -13,23 +13,28 @@
 //! checker rejects certificates written at any other version, so stale
 //! artifacts in a CI ledger fail loudly instead of being misread.
 //!
-//! Five witness kinds cover the paper's verification surface:
+//! Six witness kinds cover the paper's verification surface:
 //!
 //! * [`FairCycleWitness`] — a fair no-progress loop of a single run
-//!   (liveness refutation, [`refute::find_fair_cycle`]); replayed with the
+//!   (liveness refutation, [`crate::refute::find_fair_cycle`]); replayed with the
 //!   fair round-robin scheduler, no script needed.
 //! * [`ConflictWitness`] — a decisive-tuple conflict over a pair of
-//!   inputs ([`refute::find_indistinguishable_conflict`]); carries the
+//!   inputs ([`crate::refute::find_indistinguishable_conflict`]); carries the
 //!   mirrored delivery script.
 //! * [`CapacityWitness`] — the α(m) counting claim
-//!   ([`capacity::exhaustive_prefix_closed_check`]) plus an explicit
+//!   ([`crate::capacity::exhaustive_prefix_closed_check`]) plus an explicit
 //!   embedding control family the checker re-validates.
 //! * [`RecoveryWitness`] — a Definition-2 boundedness probe
-//!   ([`boundedness::min_recovery_schedule`]): the faulted prefix script
+//!   ([`crate::boundedness::min_recovery_schedule`]): the faulted prefix script
 //!   and the fresh-only recovery schedule.
 //! * [`ViolationWitness`] — the bridge from `stp-sim`'s shrunken
 //!   campaign witnesses ([`stp_sim::Witness`]) into the same envelope, so
 //!   chaos-campaign bug reports ride the identical checker.
+//! * [`StabilizationWitness`] — a self-stabilization bound (DESIGN.md
+//!   §13): a corruption campaign against the stabilizing family together
+//!   with the claimed last-strike step, stabilization point and
+//!   steps-to-stabilize bound, all of which the checker re-derives by
+//!   replaying the campaign.
 
 use crate::boundedness::min_recovery_schedule;
 use crate::capacity::{encoding_capacity, exhaustive_prefix_closed_check, ExhaustiveCheck};
@@ -37,7 +42,8 @@ use crate::refute::{
     find_conflict_with_budget, find_fair_cycle, ConflictCertificate, ConflictKind, CycleCertificate,
 };
 use serde::{Deserialize, Serialize};
-use stp_channel::{ChannelSpec, StepDecision};
+use stp_channel::campaign::FaultPlan;
+use stp_channel::{ChannelSpec, SchedulerSpec, StepDecision};
 use stp_core::alphabet::{RMsg, SMsg};
 use stp_core::data::DataSeq;
 use stp_core::event::Step;
@@ -127,7 +133,7 @@ impl ConflictClaim {
 }
 
 /// A fair no-progress loop of a single run — the liveness refutation of
-/// [`refute::find_fair_cycle`]. No script is embedded: the loop arises
+/// [`crate::refute::find_fair_cycle`]. No script is embedded: the loop arises
 /// under the deterministic fair round-robin driver
 /// ([`stp_channel::EagerScheduler`]), so the checker re-derives the whole
 /// run from `(family, channel, input)` alone and probes fingerprints at
@@ -150,7 +156,7 @@ pub struct FairCycleWitness {
 }
 
 /// A decisive-tuple conflict over a pair of inputs — the refutation of
-/// [`refute::find_indistinguishable_conflict`], with the mirrored
+/// [`crate::refute::find_indistinguishable_conflict`], with the mirrored
 /// adversary schedule embedded for replay.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ConflictWitness {
@@ -175,7 +181,7 @@ pub struct ConflictWitness {
 }
 
 /// The α(m) counting claim of
-/// [`capacity::exhaustive_prefix_closed_check`], plus one explicit
+/// [`crate::capacity::exhaustive_prefix_closed_check`], plus one explicit
 /// embedding control family the checker re-validates through the public
 /// prefix-tree API.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -242,6 +248,37 @@ pub struct ViolationWitness {
     pub violation: Violation,
 }
 
+/// A self-stabilization bound: replaying `plan` over `inner` (seeded from
+/// the plan, exactly as the campaign helpers do) against the stabilizing
+/// family must land at least one corruption strike, the last at
+/// `fault_end`, and the run's write tail must become a clean in-order
+/// input suffix from step `stabilized_at` on, with
+/// `stabilized_at − fault_end ≤ claimed_bound`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StabilizationWitness {
+    /// The family under test — must be the stabilizing one; no other
+    /// family in the workspace claims self-stabilization.
+    pub family: FamilySpec,
+    /// The channel model of the run.
+    pub channel: ChannelSpec,
+    /// The input sequence.
+    pub input: DataSeq,
+    /// The corruption campaign (clauses + the seed driving both the
+    /// campaign RNG and the inner scheduler).
+    pub plan: FaultPlan,
+    /// The inner scheduler the campaign wraps.
+    pub inner: SchedulerSpec,
+    /// The step budget of the replay.
+    pub max_steps: Step,
+    /// The claimed step of the last corruption strike.
+    pub fault_end: Step,
+    /// The claimed stabilization point
+    /// ([`stp_sim::stabilization_point`]).
+    pub stabilized_at: Step,
+    /// The claimed bound on `stabilized_at − fault_end`.
+    pub claimed_bound: Step,
+}
+
 /// The witness payload of a [`Certificate`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum WitnessKind {
@@ -255,6 +292,8 @@ pub enum WitnessKind {
     Recovery(RecoveryWitness),
     /// A replayable campaign failure.
     Violation(ViolationWitness),
+    /// A certified self-stabilization bound.
+    Stabilization(StabilizationWitness),
 }
 
 /// A versioned, self-contained verification certificate: everything an
@@ -284,6 +323,7 @@ impl Certificate {
             WitnessKind::Capacity(_) => "capacity",
             WitnessKind::Recovery(_) => "recovery",
             WitnessKind::Violation(_) => "violation",
+            WitnessKind::Stabilization(_) => "stabilization",
         }
     }
 
@@ -436,6 +476,53 @@ pub fn recovery_certificate(
     })))
 }
 
+/// Runs the corruption campaign `plan` against `family` and, when at
+/// least one strike lands and the run stabilizes (its write tail becomes
+/// a clean in-order input suffix, [`stp_sim::stabilization_point`])
+/// within `max_bound` steps of the last strike, packages the measured
+/// bound as a certificate. The emitted `claimed_bound` is the *measured*
+/// `stabilized_at − fault_end`, so the certificate claims a tight bound,
+/// not the cap. Returns `None` when no strike lands, the run never
+/// stabilizes, or the measured bound exceeds `max_bound`.
+pub fn stabilization_certificate(
+    family: &FamilySpec,
+    channel: &ChannelSpec,
+    input: &DataSeq,
+    plan: &FaultPlan,
+    inner: &SchedulerSpec,
+    max_steps: Step,
+    max_bound: Step,
+) -> Option<Certificate> {
+    let fam = family.build();
+    let trace = stp_sim::run_with_plan(
+        &*fam,
+        input,
+        channel.build(),
+        inner.build(plan.seed),
+        plan,
+        max_steps,
+    );
+    let fault_end = stp_sim::last_corruption_step(&trace)?;
+    let stabilized_at = stp_sim::stabilization_point(&trace)?;
+    let bound = stabilized_at.saturating_sub(fault_end);
+    if bound > max_bound {
+        return None;
+    }
+    Some(Certificate::new(WitnessKind::Stabilization(
+        StabilizationWitness {
+            family: family.clone(),
+            channel: channel.clone(),
+            input: input.clone(),
+            plan: plan.clone(),
+            inner: inner.clone(),
+            max_steps,
+            fault_end,
+            stabilized_at,
+            claimed_bound: bound,
+        },
+    )))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -506,6 +593,27 @@ mod tests {
             }
             other => panic!("expected a capacity witness, got {other:?}"),
         }
+        let back = Certificate::from_json(&cert.to_json()).expect("parses");
+        assert_eq!(back, cert);
+    }
+
+    #[test]
+    fn stabilization_wire_form_round_trips() {
+        use stp_channel::campaign::{Direction, FaultAction, FaultClause, Trigger};
+        let clause = FaultClause::new(FaultAction::StateScramble, Trigger::OnWrite { index: 1 })
+            .direction(Direction::ToReceiver);
+        let cert = Certificate::new(WitnessKind::Stabilization(StabilizationWitness {
+            family: FamilySpec::Stabilizing { d: 4, max_len: 6 },
+            channel: ChannelSpec::Del,
+            input: DataSeq::from_indices([2u16, 0, 1, 3]),
+            plan: FaultPlan::single(23, clause),
+            inner: SchedulerSpec::Eager,
+            max_steps: 20_000,
+            fault_end: 10,
+            stabilized_at: 12,
+            claimed_bound: 2,
+        }));
+        assert_eq!(cert.kind(), "stabilization");
         let back = Certificate::from_json(&cert.to_json()).expect("parses");
         assert_eq!(back, cert);
     }

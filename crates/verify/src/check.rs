@@ -34,7 +34,7 @@ use std::fmt;
 
 use crate::cert::{
     CapacityWitness, Certificate, ConflictClaim, ConflictWitness, FairCycleWitness, MirrorStep,
-    RecoveryWitness, ViolationWitness, WitnessKind,
+    RecoveryWitness, StabilizationWitness, ViolationWitness, WitnessKind,
 };
 use stp_channel::{Channel, EagerScheduler, StepDecision};
 use stp_core::alpha::alpha_recurrence_step;
@@ -151,6 +151,39 @@ pub enum CheckError {
         /// What the replay classified as (`"none"` for a clean run).
         replayed: String,
     },
+    /// A stabilization claim over a family that does not self-stabilize.
+    StabilizingFamilyRequired {
+        /// The family the witness named.
+        family: String,
+    },
+    /// A stabilization claim whose campaign replay landed no corruption
+    /// strike — there is nothing to stabilize from.
+    NoCorruptionFired,
+    /// The replayed campaign's last corruption strike landed at a
+    /// different step than claimed.
+    FaultEndMismatch {
+        /// The certificate's claim.
+        claimed: Step,
+        /// The replay's last strike step.
+        replayed: Step,
+    },
+    /// The replayed run never stabilized: its write tail is not a clean
+    /// in-order input suffix reaching the input's end.
+    NotStabilized,
+    /// The replay stabilized at a different step than claimed.
+    StabilizedAtMismatch {
+        /// The certificate's claim.
+        claimed: Step,
+        /// The replay's stabilization point.
+        replayed: Step,
+    },
+    /// The replayed steps-to-stabilize exceed the certified bound.
+    StabilizationBoundExceeded {
+        /// The certified bound.
+        claimed_bound: Step,
+        /// The replay's `stabilized_at − fault_end`.
+        actual: Step,
+    },
 }
 
 impl fmt::Display for CheckError {
@@ -263,6 +296,42 @@ impl fmt::Display for CheckError {
                     "claimed violation '{claimed}', replay exhibits '{replayed}'"
                 )
             }
+            CheckError::StabilizingFamilyRequired { family } => {
+                write!(
+                    f,
+                    "stabilization claimed for '{family}', which does not self-stabilize"
+                )
+            }
+            CheckError::NoCorruptionFired => {
+                write!(f, "campaign replay landed no corruption strike")
+            }
+            CheckError::FaultEndMismatch { claimed, replayed } => {
+                write!(
+                    f,
+                    "claimed last strike at step {claimed}, replay struck last at {replayed}"
+                )
+            }
+            CheckError::NotStabilized => {
+                write!(
+                    f,
+                    "replayed write tail never becomes a clean in-order input suffix"
+                )
+            }
+            CheckError::StabilizedAtMismatch { claimed, replayed } => {
+                write!(
+                    f,
+                    "claimed stabilization at step {claimed}, replay stabilizes at {replayed}"
+                )
+            }
+            CheckError::StabilizationBoundExceeded {
+                claimed_bound,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "certified stabilization bound {claimed_bound}, replay needed {actual} steps"
+                )
+            }
         }
     }
 }
@@ -290,6 +359,7 @@ pub fn check_certificate(cert: &Certificate) -> Result<(), CheckError> {
         WitnessKind::Capacity(w) => check_capacity(w),
         WitnessKind::Recovery(w) => check_recovery(w),
         WitnessKind::Violation(w) => check_violation(w),
+        WitnessKind::Stabilization(w) => check_stabilization(w),
     }
 }
 
@@ -718,6 +788,59 @@ fn check_recovery(w: &RecoveryWitness) -> Result<(), CheckError> {
 }
 
 // ---------------------------------------------------------------------------
+// stabilization bounds
+// ---------------------------------------------------------------------------
+
+fn check_stabilization(w: &StabilizationWitness) -> Result<(), CheckError> {
+    // Only the stabilizing family claims self-stabilization; a witness
+    // naming any other family is asserting a guarantee its protocol never
+    // made, however its replay happens to look.
+    if !matches!(w.family, stp_protocols::FamilySpec::Stabilizing { .. }) {
+        return Err(CheckError::StabilizingFamilyRequired {
+            family: w.family.to_string(),
+        });
+    }
+    // Re-run the campaign exactly as the emitters and slo probes do: the
+    // campaign RNG and the inner scheduler are both derived from the
+    // plan's seed, so the replay is bit-identical to the claimed run.
+    let fam = w.family.build();
+    let trace = stp_sim::run_with_plan(
+        &*fam,
+        &w.input,
+        w.channel.build(),
+        w.inner.build(w.plan.seed),
+        &w.plan,
+        w.max_steps,
+    );
+    let Some(fault_end) = stp_sim::last_corruption_step(&trace) else {
+        return Err(CheckError::NoCorruptionFired);
+    };
+    if fault_end != w.fault_end {
+        return Err(CheckError::FaultEndMismatch {
+            claimed: w.fault_end,
+            replayed: fault_end,
+        });
+    }
+    let Some(stabilized_at) = stp_sim::stabilization_point(&trace) else {
+        return Err(CheckError::NotStabilized);
+    };
+    if stabilized_at != w.stabilized_at {
+        return Err(CheckError::StabilizedAtMismatch {
+            claimed: w.stabilized_at,
+            replayed: stabilized_at,
+        });
+    }
+    let actual = stabilized_at.saturating_sub(fault_end);
+    if actual > w.claimed_bound {
+        return Err(CheckError::StabilizationBoundExceeded {
+            claimed_bound: w.claimed_bound,
+            actual,
+        });
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
 // campaign violations
 // ---------------------------------------------------------------------------
 
@@ -830,6 +953,35 @@ mod tests {
     }
 
     #[test]
+    fn genuine_stabilization_certificate_passes() {
+        use stp_channel::campaign::{Direction, FaultAction, FaultClause, FaultPlan, Trigger};
+        use stp_channel::SchedulerSpec;
+        use stp_core::data::DataSeq;
+        let family = FamilySpec::Stabilizing { d: 4, max_len: 6 };
+        let input = DataSeq::from_indices([2u16, 0, 1, 3]);
+        let clause = FaultClause::new(FaultAction::StateScramble, Trigger::OnWrite { index: 1 })
+            .direction(Direction::ToReceiver);
+        // Scan a few seeds: a scramble draw can land the receiver counter
+        // exactly on the input length (the documented blind spot), in which
+        // case the emitter correctly declines to certify.
+        let cert = (0..64u64)
+            .find_map(|seed| {
+                crate::cert::stabilization_certificate(
+                    &family,
+                    &ChannelSpec::Del,
+                    &input,
+                    &FaultPlan::single(seed, clause.clone()),
+                    &SchedulerSpec::Eager,
+                    20_000,
+                    10_000,
+                )
+            })
+            .expect("some seed lands a recoverable scramble");
+        assert_eq!(cert.kind(), "stabilization");
+        check_certificate(&cert).expect("genuine stabilization certificate must pass");
+    }
+
+    #[test]
     fn error_messages_are_distinct_and_nonempty() {
         let errors = [
             CheckError::Version {
@@ -847,6 +999,23 @@ mod tests {
             CheckError::NextItemsAgree,
             CheckError::ConfusionUnsupported,
             CheckError::EmbeddingInvalid,
+            CheckError::StabilizingFamilyRequired {
+                family: "tight(d=2)".into(),
+            },
+            CheckError::NoCorruptionFired,
+            CheckError::FaultEndMismatch {
+                claimed: 3,
+                replayed: 4,
+            },
+            CheckError::NotStabilized,
+            CheckError::StabilizedAtMismatch {
+                claimed: 5,
+                replayed: 6,
+            },
+            CheckError::StabilizationBoundExceeded {
+                claimed_bound: 2,
+                actual: 7,
+            },
         ];
         let mut texts: Vec<String> = errors.iter().map(|e| e.to_string()).collect();
         texts.sort();

@@ -49,7 +49,7 @@ pub use boundedness::{min_recovery_schedule, min_recovery_steps};
 pub use capacity::{encoding_capacity, exhaustive_prefix_closed_check};
 pub use cert::{
     capacity_certificate, conflict_certificate, fair_cycle_certificate, recovery_certificate,
-    Certificate, WitnessKind,
+    stabilization_certificate, Certificate, WitnessKind,
 };
 pub use check::{check_certificate, CheckError};
 pub use explore::{explore_runs, ExploreConfig};

@@ -4,15 +4,15 @@
 //! CI conformance gate relies on to detect stale or doctored artifacts.
 
 use stp_channel::campaign::{Direction, FaultAction, FaultClause, FaultPlan, Trigger};
-use stp_channel::{ChannelSpec, EagerScheduler, SchedulerSpec};
+use stp_channel::{CampaignScheduler, ChannelSpec, EagerScheduler, SchedulerSpec};
 use stp_core::data::DataSeq;
 use stp_core::CERT_SCHEMA_VERSION;
 use stp_protocols::{FamilySpec, ResendPolicy};
-use stp_sim::{shrink_to_witness, CampaignJudge, FaultInjector, Witness, World};
+use stp_sim::{burst_plan, shrink_to_witness, CampaignJudge, Witness, World};
 use stp_verify::cert::{ConflictClaim, MirrorStep};
 use stp_verify::{
     capacity_certificate, check_certificate, conflict_certificate, fair_cycle_certificate,
-    recovery_certificate, Certificate, CheckError, WitnessKind,
+    recovery_certificate, stabilization_certificate, Certificate, CheckError, WitnessKind,
 };
 
 fn over_dup_family() -> FamilySpec {
@@ -63,16 +63,43 @@ fn recovery_del_cert() -> Certificate {
         .sender(fam.sender_for(&input))
         .receiver(fam.receiver())
         .channel(channel.build())
-        .scheduler(Box::new(FaultInjector::new(
+        .scheduler(Box::new(CampaignScheduler::new(
             Box::new(EagerScheduler::new()),
-            4,
-            2,
+            burst_plan(4, 2),
         )))
         .build()
         .expect("all components supplied");
     assert!(world.run_until(200, |w| w.written() == 1));
     recovery_certificate(&family, &channel, &world, 8)
         .expect("tight-del points are bounded everywhere")
+}
+
+fn stabilization_del_cert() -> Certificate {
+    let family = FamilySpec::Stabilizing { d: 4, max_len: 6 };
+    let input = DataSeq::from_indices([2u16, 0, 1, 3]);
+    let clause = FaultClause::new(FaultAction::StateScramble, Trigger::OnWrite { index: 1 })
+        .direction(Direction::ToReceiver);
+    // Scan seeds for a strike that both lands and costs at least one step
+    // to recover from (so a zeroed bound is a genuine tamper below); some
+    // scramble draws land the receiver counter on the input length — the
+    // documented blind spot — and are correctly declined by the emitter.
+    (0..64u64)
+        .find_map(|seed| {
+            let cert = stabilization_certificate(
+                &family,
+                &ChannelSpec::Del,
+                &input,
+                &FaultPlan::single(seed, clause.clone()),
+                &SchedulerSpec::Eager,
+                20_000,
+                10_000,
+            )?;
+            let WitnessKind::Stabilization(w) = &cert.witness else {
+                unreachable!("the emitter wraps a stabilization witness");
+            };
+            (w.stabilized_at > w.fault_end).then_some(cert)
+        })
+        .expect("some seed lands a scramble with a positive recovery cost")
 }
 
 fn shrunk_witness() -> Witness {
@@ -122,6 +149,7 @@ fn all_genuine_certificate_kinds_are_accepted() {
         fair_cycle_timed_cert(),
         recovery_del_cert(),
         violation_cert(),
+        stabilization_del_cert(),
     ];
     for cert in &certs {
         check_certificate(cert)
@@ -141,6 +169,7 @@ fn version_tamper_is_rejected_for_every_kind() {
         fair_cycle_timed_cert(),
         recovery_del_cert(),
         violation_cert(),
+        stabilization_del_cert(),
     ];
     for mut cert in certs {
         cert.version += 1;
@@ -510,6 +539,110 @@ fn recovery_stale_delivery_is_rejected_as_not_fresh() {
         matches!(
             check_certificate(&cert),
             Err(CheckError::RecoveryNotFresh { .. })
+        ),
+        "got {:?}",
+        check_certificate(&cert)
+    );
+}
+
+// ---------------------------------------------------------------------------
+// stabilization tampers — one distinct error per mutated obligation
+// ---------------------------------------------------------------------------
+
+#[test]
+fn stabilization_family_swap_is_rejected() {
+    let mut cert = stabilization_del_cert();
+    let WitnessKind::Stabilization(w) = &mut cert.witness else {
+        panic!("expected a stabilization witness");
+    };
+    // Re-attribute the bound to a family that never claimed to
+    // self-stabilize: rejected before any replay happens.
+    w.family = FamilySpec::Tight {
+        d: 4,
+        policy: ResendPolicy::EveryTick,
+    };
+    assert!(
+        matches!(
+            check_certificate(&cert),
+            Err(CheckError::StabilizingFamilyRequired { .. })
+        ),
+        "got {:?}",
+        check_certificate(&cert)
+    );
+}
+
+#[test]
+fn stabilization_gutted_plan_is_rejected() {
+    let mut cert = stabilization_del_cert();
+    let WitnessKind::Stabilization(w) = &mut cert.witness else {
+        panic!("expected a stabilization witness");
+    };
+    // Strip every corruption clause: the replay is a clean run, so there
+    // is no strike to have stabilized from.
+    w.plan.clauses.clear();
+    assert_eq!(check_certificate(&cert), Err(CheckError::NoCorruptionFired));
+}
+
+#[test]
+fn stabilization_fault_end_tamper_is_rejected() {
+    let mut cert = stabilization_del_cert();
+    let WitnessKind::Stabilization(w) = &mut cert.witness else {
+        panic!("expected a stabilization witness");
+    };
+    w.fault_end += 1;
+    assert!(
+        matches!(
+            check_certificate(&cert),
+            Err(CheckError::FaultEndMismatch { .. })
+        ),
+        "got {:?}",
+        check_certificate(&cert)
+    );
+}
+
+#[test]
+fn stabilization_truncated_budget_is_rejected_as_not_stabilized() {
+    let mut cert = stabilization_del_cert();
+    let WitnessKind::Stabilization(w) = &mut cert.witness else {
+        panic!("expected a stabilization witness");
+    };
+    // Cut the replay off right after the strike: the deterministic prefix
+    // still lands the corruption at the claimed step, but the write tail
+    // never reaches the input's end.
+    w.max_steps = w.fault_end + 1;
+    assert_eq!(check_certificate(&cert), Err(CheckError::NotStabilized));
+}
+
+#[test]
+fn stabilization_point_tamper_is_rejected() {
+    let mut cert = stabilization_del_cert();
+    let WitnessKind::Stabilization(w) = &mut cert.witness else {
+        panic!("expected a stabilization witness");
+    };
+    w.stabilized_at += 1;
+    assert!(
+        matches!(
+            check_certificate(&cert),
+            Err(CheckError::StabilizedAtMismatch { .. })
+        ),
+        "got {:?}",
+        check_certificate(&cert)
+    );
+}
+
+#[test]
+fn stabilization_zeroed_bound_is_rejected_as_exceeded() {
+    let mut cert = stabilization_del_cert();
+    let WitnessKind::Stabilization(w) = &mut cert.witness else {
+        panic!("expected a stabilization witness");
+    };
+    // The helper guarantees the genuine recovery cost is positive, so a
+    // zero bound is a strictly stronger claim than the run supports.
+    w.claimed_bound = 0;
+    assert!(
+        matches!(
+            check_certificate(&cert),
+            Err(CheckError::StabilizationBoundExceeded { .. })
         ),
         "got {:?}",
         check_certificate(&cert)

@@ -5,10 +5,10 @@
 //! cargo run -p stp-examples --bin boundedness_probe
 //! ```
 
-use stp_channel::{DelChannel, EagerScheduler, TimedChannel};
+use stp_channel::{CampaignScheduler, DelChannel, EagerScheduler, TimedChannel};
 use stp_core::data::DataSeq;
 use stp_protocols::{HybridReceiver, HybridSender, ResendPolicy, TightReceiver, TightSender};
-use stp_sim::{FaultInjector, World};
+use stp_sim::{burst_plan, World};
 use stp_verify::min_recovery_steps;
 
 fn probe(label: &str, mut w: World, n: usize, budget: u64, max_steps: u64) {
@@ -60,10 +60,9 @@ fn main() {
             ResendPolicy::EveryTick,
         )))
         .channel(Box::new(DelChannel::new()))
-        .scheduler(Box::new(FaultInjector::new(
+        .scheduler(Box::new(CampaignScheduler::new(
             Box::new(EagerScheduler::new()),
-            4,
-            2,
+            burst_plan(4, 2),
         )))
         .build()
         .expect("all components supplied");
@@ -80,10 +79,9 @@ fn main() {
         .sender(Box::new(HybridSender::new(input.clone(), 2, 3)))
         .receiver(Box::new(HybridReceiver::new(2)))
         .channel(Box::new(TimedChannel::new(3)))
-        .scheduler(Box::new(FaultInjector::new(
+        .scheduler(Box::new(CampaignScheduler::new(
             Box::new(EagerScheduler::new()),
-            3,
-            1,
+            burst_plan(3, 1),
         )))
         .build()
         .expect("all components supplied");

@@ -3,7 +3,8 @@
 
 use proptest::prelude::*;
 use stp_channel::{
-    ChannelSpec, DelChannel, EagerScheduler, SchedulerSpec, TargetedScheduler, TimedChannel,
+    CampaignScheduler, ChannelSpec, DelChannel, EagerScheduler, SchedulerSpec, TargetedScheduler,
+    TimedChannel,
 };
 use stp_core::data::DataSeq;
 use stp_core::event::Trace;
@@ -11,7 +12,7 @@ use stp_core::require::check_safety;
 use stp_protocols::{
     HybridReceiver, HybridSender, ProbabilisticFamily, ResendPolicy, TightReceiver, TightSender,
 };
-use stp_sim::{replay, sweep_family_parallel, FaultInjector, SweepSpec, World};
+use stp_sim::{burst_plan, replay, sweep_family_parallel, SweepSpec, World};
 
 fn seq(v: &[u16]) -> DataSeq {
     DataSeq::from_indices(v.iter().copied())
@@ -66,10 +67,9 @@ fn hybrid_completes_for_every_fault_step() {
             .sender(Box::new(HybridSender::new(input.clone(), 2, 3)))
             .receiver(Box::new(HybridReceiver::new(2)))
             .channel(Box::new(TimedChannel::new(3)))
-            .scheduler(Box::new(FaultInjector::new(
+            .scheduler(Box::new(CampaignScheduler::new(
                 Box::new(EagerScheduler::new()),
-                fault_at,
-                1,
+                burst_plan(fault_at, 1),
             )))
             .build()
             .expect("all components supplied");
@@ -100,10 +100,9 @@ fn replayed_faulty_runs_are_bit_identical_across_channel_types() {
         .sender(mk_sender())
         .receiver(mk_receiver())
         .channel(Box::new(DelChannel::new()))
-        .scheduler(Box::new(FaultInjector::new(
+        .scheduler(Box::new(CampaignScheduler::new(
             Box::new(EagerScheduler::new()),
-            3,
-            2,
+            burst_plan(3, 2),
         )))
         .build()
         .expect("all components supplied");
@@ -133,7 +132,7 @@ proptest! {
             .sender(Box::new(HybridSender::new(input.clone(), 2, 3)))
             .receiver(Box::new(HybridReceiver::new(2)))
             .channel(Box::new(TimedChannel::new(3)))
-            .scheduler(Box::new(FaultInjector::new(Box::new(EagerScheduler::new()), fault_at, 1)))
+            .scheduler(Box::new(CampaignScheduler::new(Box::new(EagerScheduler::new()), burst_plan(fault_at, 1))))
             .build()
             .expect("all components supplied");
         w.run(600);
@@ -152,7 +151,7 @@ proptest! {
             .sender(Box::new(HybridSender::new(input.clone(), 2, 3)))
             .receiver(Box::new(HybridReceiver::new(2)))
             .channel(Box::new(TimedChannel::new(3)))
-            .scheduler(Box::new(FaultInjector::new(Box::new(EagerScheduler::new()), fault_at, 1)))
+            .scheduler(Box::new(CampaignScheduler::new(Box::new(EagerScheduler::new()), burst_plan(fault_at, 1))))
             .build()
             .expect("all components supplied");
         let done = w.run_until(5_000, World::is_complete);
