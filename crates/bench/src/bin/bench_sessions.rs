@@ -1,0 +1,189 @@
+//! Massively-multi-session throughput benchmark: the sharded
+//! [`SessionServer`](stp_sim::sessions::SessionServer) store under a
+//! million-session open/transmit/
+//! disconnect churn workload, at 1, 4 and 8 shards. Writes
+//! `BENCH_sessions.json` in the current directory and, when
+//! `STP_TELEMETRY` is set, one `{"sessions": …}` line per lane.
+//!
+//! ## Timing model
+//!
+//! Lane throughput is **critical-path** timing: each lane steps its
+//! shards sequentially, in isolation, and records every shard's exact
+//! single-threaded stepping seconds; the lane's `sessions_per_sec` is
+//! completed sessions over the *busiest* shard's seconds. That is the
+//! wall time the lane converges to on a host with a core per shard, and
+//! it measures what sharding actually controls — partition balance and
+//! per-shard speed — rather than how many cores the benchmark host
+//! happens to have (CI runners often pin this binary to one or two). The
+//! honest wall clock of each run is recorded alongside (`wall_secs`,
+//! which on a single-core host is close to the *sum* of the per-shard
+//! times), and `host_cores` says what the numbers were measured on.
+//!
+//! Every lane runs the identical seeded workload; the per-session
+//! outcome digest must agree across shard counts — the sharding is
+//! required to change scheduling only, never any session's result.
+
+use serde::Serialize;
+use stp_channel::{ChannelSpec, SchedulerSpec};
+use stp_protocols::{FamilySpec, ResendPolicy};
+use stp_sim::sessions::{run_churn_isolated, ChurnSpec, ServerSpec, SessionTemplate};
+use stp_sim::SessionsRecord;
+
+/// One shard-count lane of the benchmark.
+#[derive(Debug, Serialize)]
+struct Lane {
+    shards: u16,
+    completed: u64,
+    critical_path_secs: f64,
+    wall_secs: f64,
+    sessions_per_sec: f64,
+    p99_latency_rounds: f64,
+    rounds: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct SessionsBenchReport {
+    workload: String,
+    timing: String,
+    host_cores: usize,
+    sessions_submitted: u64,
+    sessions_completed: u64,
+    sessions_disconnected: u64,
+    sessions_exhausted: u64,
+    digest: String,
+    lanes: Vec<Lane>,
+    sessions_per_sec_1: f64,
+    sessions_per_sec_4: f64,
+    sessions_per_sec_8: f64,
+    p99_latency_rounds: f64,
+    scaling_4_over_1: f64,
+    scaling_8_over_1: f64,
+}
+
+fn workload(shards: u16) -> ChurnSpec {
+    ChurnSpec {
+        sessions: 1_100_000,
+        arrivals_per_round: 4_096,
+        server: ServerSpec {
+            shards,
+            capacity_per_shard: 4_096,
+            quantum: 8,
+        },
+        max_steps: 2_000,
+        seed: 0x5E55_1045,
+        disconnect_rate: 0.05,
+        disconnect_after: 2,
+        mix: vec![
+            SessionTemplate {
+                family: FamilySpec::Tight {
+                    d: 3,
+                    policy: ResendPolicy::Once,
+                },
+                channel: ChannelSpec::Dup,
+                scheduler: SchedulerSpec::DupStorm { p_deliver: 0.9 },
+            },
+            SessionTemplate {
+                family: FamilySpec::Abp {
+                    domain: 2,
+                    max_len: 3,
+                },
+                channel: ChannelSpec::LossyFifo,
+                scheduler: SchedulerSpec::Random { p_deliver: 0.8 },
+            },
+            SessionTemplate {
+                family: FamilySpec::Tight {
+                    d: 4,
+                    policy: ResendPolicy::EveryTick,
+                },
+                channel: ChannelSpec::Del,
+                scheduler: SchedulerSpec::Random { p_deliver: 0.7 },
+            },
+        ],
+    }
+}
+
+fn main() {
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let meter = stp_bench::telemetry::progress();
+
+    let mut lanes = Vec::new();
+    let mut records: Vec<SessionsRecord> = Vec::new();
+    let mut first_report = None;
+    for shards in [1u16, 4, 8] {
+        eprintln!("bench_sessions: lane {shards} shard(s)…");
+        let spec = workload(shards);
+        let report = run_churn_isolated(&spec, Some(&meter));
+        assert_eq!(report.submitted, spec.sessions);
+        assert_eq!(
+            report.completed + report.exhausted + report.disconnected,
+            report.submitted
+        );
+        lanes.push(Lane {
+            shards,
+            completed: report.completed,
+            critical_path_secs: report.critical_path_secs(),
+            wall_secs: report.wall_secs,
+            sessions_per_sec: report.sessions_per_sec(),
+            p99_latency_rounds: report.p99_latency_rounds(),
+            rounds: report.rounds,
+        });
+        records.push(report.record("bench_sessions"));
+        match &first_report {
+            None => first_report = Some(report),
+            Some(base) => {
+                assert_eq!(
+                    report.digest, base.digest,
+                    "sharding must not change any session's outcome"
+                );
+                assert_eq!(report.completed, base.completed);
+            }
+        }
+    }
+    let base = first_report.expect("three lanes ran");
+
+    let rate = |shards: u16| {
+        lanes
+            .iter()
+            .find(|l| l.shards == shards)
+            .map(|l| l.sessions_per_sec)
+            .expect("lane ran")
+    };
+    let (r1, r4, r8) = (rate(1), rate(4), rate(8));
+    let report = SessionsBenchReport {
+        workload: format!(
+            "churn: {} sessions, 5% walk-away, mix {{tight-dup, abp-lossy, tight-del}}, \
+             4096 arrivals/round",
+            base.submitted
+        ),
+        timing: "critical-path".to_string(),
+        host_cores,
+        sessions_submitted: base.submitted,
+        sessions_completed: base.completed,
+        sessions_disconnected: base.disconnected,
+        sessions_exhausted: base.exhausted,
+        digest: format!("{:016x}", base.digest),
+        sessions_per_sec_1: r1,
+        sessions_per_sec_4: r4,
+        sessions_per_sec_8: r8,
+        p99_latency_rounds: lanes.last().expect("lanes ran").p99_latency_rounds,
+        scaling_4_over_1: r4 / r1,
+        scaling_8_over_1: r8 / r1,
+        lanes,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_sessions.json", &json).expect("BENCH_sessions.json written");
+    println!("{json}");
+
+    stp_bench::telemetry::export_sessions("bench_sessions", &records);
+    // Headline gates, re-checked (with reviewed budgets) by CI's
+    // bench_gate step: a million completed sessions in one churn run,
+    // and 4-way sharding at least 2.5× the single shard on the
+    // critical path.
+    stp_bench::telemetry::export_summary(
+        "bench_sessions",
+        records.len(),
+        report.sessions_completed >= 1_000_000 && report.scaling_4_over_1 >= 2.5,
+    );
+}

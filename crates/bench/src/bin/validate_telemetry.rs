@@ -10,7 +10,8 @@
 
 use std::process::ExitCode;
 use stp_sim::telemetry::{
-    FrontierLine, ReportLine, RunLine, SpanLine, StabilizationLine, SummaryLine, VerdictLine,
+    FrontierLine, ReportLine, RunLine, SessionsLine, SpanLine, StabilizationLine, SummaryLine,
+    VerdictLine,
 };
 use stp_sim::TelemetryLine;
 
@@ -47,6 +48,9 @@ fn round_trips(line: &TelemetryLine) -> Result<bool, serde_json::Error> {
         TelemetryLine::Stabilization(s) => serde_json::to_string(&StabilizationLine {
             stabilization: s.clone(),
         })?,
+        TelemetryLine::Sessions(s) => serde_json::to_string(&SessionsLine {
+            sessions: s.clone(),
+        })?,
     };
     Ok(TelemetryLine::parse(&reserialized)? == *line)
 }
@@ -65,6 +69,7 @@ fn main() -> ExitCode {
     let (mut runs, mut reports, mut summaries) = (0usize, 0usize, 0usize);
     let (mut spans, mut frontiers, mut verdicts) = (0usize, 0usize, 0usize);
     let mut stabilizations = 0usize;
+    let mut sessions = 0usize;
     for (no, line) in body.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -105,9 +110,11 @@ fn main() -> ExitCode {
             TelemetryLine::Frontier(_) => frontiers += 1,
             TelemetryLine::Verdict(_) => verdicts += 1,
             TelemetryLine::Stabilization(_) => stabilizations += 1,
+            TelemetryLine::Sessions(_) => sessions += 1,
         }
     }
-    let total = runs + reports + summaries + spans + frontiers + verdicts + stabilizations;
+    let total =
+        runs + reports + summaries + spans + frontiers + verdicts + stabilizations + sessions;
     if total == 0 {
         eprintln!("validate_telemetry: {path} contains no telemetry lines");
         return ExitCode::FAILURE;
@@ -115,7 +122,7 @@ fn main() -> ExitCode {
     println!(
         "{path}: {total} lines valid ({runs} runs, {reports} reports, {summaries} summaries, \
          {spans} spans, {frontiers} frontiers, {verdicts} verdicts, \
-         {stabilizations} stabilizations)"
+         {stabilizations} stabilizations, {sessions} sessions)"
     );
     ExitCode::SUCCESS
 }

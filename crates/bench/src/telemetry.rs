@@ -10,7 +10,8 @@
 
 use std::time::Duration;
 use stp_sim::{
-    ExperimentSummary, ProgressMeter, StabilizationRecord, SweepOutcome, TelemetryWriter,
+    ExperimentSummary, ProgressMeter, SessionsRecord, StabilizationRecord, SweepOutcome,
+    TelemetryWriter,
 };
 
 /// The writer configured by `STP_TELEMETRY`, or `None` when telemetry is
@@ -60,6 +61,19 @@ pub fn export_stabilizations(experiment: &str, records: &[StabilizationRecord]) 
             .and_then(|()| w.flush());
         if let Err(e) = result {
             eprintln!("telemetry: stabilization export failed for {experiment}: {e}");
+        }
+    }
+}
+
+/// Exports churn-bench records — one `{"sessions": …}` line per lane.
+pub fn export_sessions(experiment: &str, records: &[SessionsRecord]) {
+    if let Some(mut w) = writer() {
+        let result = records
+            .iter()
+            .try_for_each(|r| w.emit_sessions(r))
+            .and_then(|()| w.flush());
+        if let Err(e) = result {
+            eprintln!("telemetry: sessions export failed for {experiment}: {e}");
         }
     }
 }

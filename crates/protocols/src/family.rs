@@ -356,6 +356,14 @@ pub enum FamilySpec {
         /// Retransmission policy.
         policy: ResendPolicy,
     },
+    /// [`AbpFamily`] — the Alternating Bit protocol over all bounded-length
+    /// sequences, its natural claim on a lossy FIFO link.
+    Abp {
+        /// Data domain size.
+        domain: u16,
+        /// Maximum claimed sequence length.
+        max_len: usize,
+    },
     /// [`StabilizingFamily`] — the self-stabilizing variant, the family
     /// stabilization certificates are issued against.
     Stabilizing {
@@ -374,6 +382,7 @@ impl FamilySpec {
             FamilySpec::Naive { d, max_len, policy } => {
                 Box::new(NaiveFamily { d, max_len, policy })
             }
+            FamilySpec::Abp { domain, max_len } => Box::new(AbpFamily::new(domain, max_len)),
             FamilySpec::Stabilizing { d, max_len } => Box::new(StabilizingFamily::new(d, max_len)),
         }
     }
@@ -382,8 +391,35 @@ impl FamilySpec {
     pub fn m(&self) -> u16 {
         match *self {
             FamilySpec::Tight { d, .. } | FamilySpec::Naive { d, .. } => d,
+            FamilySpec::Abp { domain, .. } => 2 * domain,
             FamilySpec::Stabilizing { d, max_len } => max_len * d + 1,
         }
+    }
+
+    /// Spec-driven construction into pre-allocated slots: when `prev`
+    /// shows the slots already hold this family's machines, the pair is
+    /// reset in place for `x` (the [`Sender::reset`] contract — bit-
+    /// identical to a fresh build, no re-boxing); otherwise fresh machines
+    /// are built into the slots. This is the family half of the session
+    /// store's slot-recycling path — the channel half lives on
+    /// `ChannelSpec::provision`.
+    pub fn provision(
+        &self,
+        prev: Option<&FamilySpec>,
+        x: &DataSeq,
+        sender: &mut Option<Box<dyn Sender>>,
+        receiver: &mut Option<Box<dyn Receiver>>,
+    ) {
+        if prev == Some(self) {
+            if let (Some(s), Some(r)) = (sender.as_mut(), receiver.as_mut()) {
+                s.reset(x);
+                r.reset();
+                return;
+            }
+        }
+        let family = self.build();
+        *sender = Some(family.sender_for(x));
+        *receiver = Some(family.receiver());
     }
 }
 
@@ -393,6 +429,9 @@ impl fmt::Display for FamilySpec {
             FamilySpec::Tight { d, policy } => write!(f, "tight(d={d}, {policy:?})"),
             FamilySpec::Naive { d, max_len, policy } => {
                 write!(f, "naive(d={d}, max_len={max_len}, {policy:?})")
+            }
+            FamilySpec::Abp { domain, max_len } => {
+                write!(f, "abp(domain={domain}, max_len={max_len})")
             }
             FamilySpec::Stabilizing { d, max_len } => {
                 write!(f, "stabilizing(d={d}, max_len={max_len})")
@@ -474,6 +513,58 @@ mod tests {
         assert_eq!(StenningFamily::new(2, 2, 2).name(), "stenning");
         assert_eq!(HybridFamily::new(2, 2, 2).name(), "hybrid-weakly-bounded");
         assert_eq!(StabilizingFamily::new(2, 4).name(), "stabilizing");
+    }
+
+    #[test]
+    fn abp_spec_round_trips_and_builds() {
+        let spec = FamilySpec::Abp {
+            domain: 3,
+            max_len: 4,
+        };
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: FamilySpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+        let fam = spec.build();
+        assert_eq!(fam.name(), "abp");
+        assert_eq!(fam.sender_alphabet_size(), 6);
+        assert_eq!(spec.m(), 6);
+        assert_eq!(spec.to_string(), "abp(domain=3, max_len=4)");
+    }
+
+    #[test]
+    fn provision_resets_in_place_on_matching_spec_and_rebuilds_otherwise() {
+        use stp_core::proto::SenderEvent;
+        let abp = FamilySpec::Abp {
+            domain: 3,
+            max_len: 4,
+        };
+        let tight = FamilySpec::Tight {
+            d: 3,
+            policy: ResendPolicy::Once,
+        };
+        let x = DataSeq::from_indices([1, 2]);
+        let y = DataSeq::from_indices([2, 0, 1]);
+
+        // Fresh provisioning into empty slots.
+        let (mut sender, mut receiver) = (None, None);
+        abp.provision(None, &x, &mut sender, &mut receiver);
+        assert!(sender.is_some() && receiver.is_some());
+        sender.as_mut().unwrap().on_event(SenderEvent::Init);
+
+        // Matching spec: reset in place must equal a fresh build.
+        abp.provision(Some(&abp), &y, &mut sender, &mut receiver);
+        let fresh = abp.build().sender_for(&y);
+        assert_eq!(
+            sender.as_ref().unwrap().fingerprint(),
+            fresh.fingerprint(),
+            "in-place reset must be bit-identical to a fresh build"
+        );
+
+        // Different spec: slots are rebuilt for the new family.
+        tight.provision(Some(&abp), &y, &mut sender, &mut receiver);
+        let fresh = tight.build().sender_for(&y);
+        assert_eq!(sender.as_ref().unwrap().fingerprint(), fresh.fingerprint());
+        assert_eq!(sender.as_ref().unwrap().alphabet().size(), 3);
     }
 
     #[test]

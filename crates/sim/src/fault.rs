@@ -1,46 +1,33 @@
 //! One-shot fault injection — the instrument behind the boundedness
 //! experiments (E3, E5).
 //!
-//! [`FaultInjector`] wraps an inner scheduler and, at a chosen global step,
-//! destroys in-flight copies (on deleting/lossy channels) and suppresses
-//! that step's deliveries. Everything else is delegated. Injecting exactly
-//! one fault right after the receiver learns item `i` is how we measure a
-//! protocol's recovery profile: the paper's Definition-2 *bounded*
-//! protocols recover in time `f(i)` independent of the input length, while
-//! the Section-5 hybrid needs time proportional to the whole remaining
-//! sequence.
+//! [`burst_plan`] builds the canonical two-clause [`FaultPlan`]: at a
+//! chosen global step, destroy in-flight copies (on deleting/lossy
+//! channels) and suppress that step's deliveries. Compiled onto any inner
+//! scheduler with [`CampaignScheduler::new`], injecting exactly one fault
+//! right after the receiver learns item `i` is how we measure a protocol's
+//! recovery profile: the paper's Definition-2 *bounded* protocols recover
+//! in time `f(i)` independent of the input length, while the Section-5
+//! hybrid needs time proportional to the whole remaining sequence.
 //!
-//! # Migration
-//!
-//! `FaultInjector` predates the composable campaign engine and is now a
-//! thin veneer over [`CampaignScheduler`]: `FaultInjector::new(inner, at,
-//! copies)` is exactly the two-clause plan
-//!
-//! ```text
-//! FaultPlan::new(0)
-//!     .with(FaultClause::new(FaultAction::DeletionBurst { copies }, Trigger::AtStep(at)))
-//!     .with(FaultClause::new(FaultAction::SilenceWindow,           Trigger::AtStep(at)))
-//! ```
-//!
-//! New code that needs anything richer — multiple strikes, windows,
-//! write-triggered faults, randomized storms — should build a
-//! [`FaultPlan`] and use
-//! [`CampaignScheduler`] directly (or the measurement helpers in
-//! [`crate::slo`]). The historical wart that an injector could not be
-//! reused across [`World`](crate::World) runs (its `fired` latch stayed
-//! set) is gone: [`FaultInjector::reset`] rewinds it.
+//! The historical `FaultInjector` wrapper that predated the campaign
+//! engine was deprecated in 0.1.0 and removed in 0.3.0; `burst_plan` is
+//! its exact migration target. Anything richer — multiple strikes,
+//! windows, write-triggered faults, randomized storms — is a larger
+//! [`FaultPlan`] (or the measurement helpers in [`crate::slo`]).
 
-use stp_channel::campaign::{CampaignScheduler, FaultAction, FaultClause, FaultPlan, Trigger};
-use stp_channel::{Channel, Scheduler, StepDecision};
+use stp_channel::campaign::{FaultAction, FaultClause, FaultPlan, Trigger};
 use stp_core::event::Step;
 
-/// The two-clause [`FaultPlan`] behind the historical
+#[cfg(doc)]
+use stp_channel::campaign::CampaignScheduler;
+
+/// The two-clause [`FaultPlan`] behind the retired
 /// `FaultInjector::new(inner, at, copies)`: one deletion burst of up to
 /// `copies` in-flight copies per direction at the first decision with
 /// `step >= at`, with that step's deliveries suppressed.
 ///
-/// This is the migration target for the deprecated
-/// [`FaultInjector::new`]: compile the plan onto any inner scheduler with
+/// Compile the plan onto any inner scheduler with
 /// [`CampaignScheduler::new`], or build richer single-clause plans
 /// directly with [`FaultPlan::single`].
 pub fn burst_plan(at: Step, copies: usize) -> FaultPlan {
@@ -55,85 +42,32 @@ pub fn burst_plan(at: Step, copies: usize) -> FaultPlan {
         ))
 }
 
-/// A scheduler wrapper that injects a single deletion burst at a fixed
-/// step. Compatibility veneer over [`CampaignScheduler`]; see the module
-/// docs for migration guidance.
-#[derive(Debug, Clone)]
-pub struct FaultInjector {
-    campaign: CampaignScheduler,
-}
-
-impl FaultInjector {
-    /// Wraps `inner`, deleting up to `copies` in-flight copies per
-    /// direction at the first decision with `step >= at` and suppressing
-    /// that step's deliveries.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use CampaignScheduler::new(inner, burst_plan(at, copies)), or build a \
-                FaultPlan::single(..) directly — FaultInjector adds nothing over the \
-                campaign engine"
-    )]
-    pub fn new(inner: Box<dyn Scheduler>, at: Step, copies: usize) -> Self {
-        FaultInjector {
-            campaign: CampaignScheduler::new(inner, burst_plan(at, copies)),
-        }
-    }
-
-    /// Whether the fault has fired yet.
-    pub fn fired(&self) -> bool {
-        self.campaign.any_fired()
-    }
-
-    /// Rewinds the injector so it can drive a fresh run: the fault will
-    /// fire again at its configured step. The inner scheduler is not
-    /// reset.
-    pub fn reset(&mut self) {
-        self.campaign.reset();
-    }
-}
-
-impl Scheduler for FaultInjector {
-    fn decide(&mut self, step: Step, chan: &dyn Channel) -> StepDecision {
-        self.campaign.decide(step, chan)
-    }
-
-    fn note_progress(&mut self, step: Step, written: usize) {
-        self.campaign.note_progress(step, written);
-    }
-
-    fn reset(&mut self, seed: u64) {
-        // UFCS: the campaign's inherent `reset()` (which does not touch the
-        // inner scheduler) would otherwise shadow the trait method.
-        Scheduler::reset(&mut self.campaign, seed);
-    }
-
-    fn box_clone(&self) -> Box<dyn Scheduler> {
-        Box::new(self.clone())
-    }
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
-    use stp_channel::{DelChannel, DupChannel, EagerScheduler};
+    use stp_channel::campaign::CampaignScheduler;
+    use stp_channel::{Channel, DelChannel, DupChannel, EagerScheduler, Scheduler};
     use stp_core::alphabet::SMsg;
+
+    fn injector(at: Step, copies: usize) -> CampaignScheduler {
+        CampaignScheduler::new(Box::new(EagerScheduler::new()), burst_plan(at, copies))
+    }
 
     #[test]
     fn fires_once_at_the_configured_step() {
         let mut ch = DelChannel::new();
         ch.send_s(SMsg(0));
         ch.send_s(SMsg(1));
-        let mut f = FaultInjector::new(Box::new(EagerScheduler::new()), 3, 1);
+        let mut f = injector(3, 1);
         for t in 0..3 {
             let d = f.decide(t, &ch);
             assert!(d.delete_to_r.is_empty(), "t={t}");
-            assert!(!f.fired());
+            assert!(!f.any_fired());
         }
         let d = f.decide(3, &ch);
         assert_eq!(d.delete_to_r.len(), 1);
         assert!(d.deliver_to_r.is_none(), "delivery suppressed at the fault");
-        assert!(f.fired());
+        assert!(f.any_fired());
         // Subsequent steps delegate untouched.
         let d = f.decide(4, &ch);
         assert!(d.delete_to_r.is_empty());
@@ -144,33 +78,33 @@ mod tests {
     fn respects_non_deleting_channels() {
         let mut ch = DupChannel::new();
         ch.send_s(SMsg(0));
-        let mut f = FaultInjector::new(Box::new(EagerScheduler::new()), 0, 1);
+        let mut f = injector(0, 1);
         let d = f.decide(0, &ch);
         assert!(d.delete_to_r.is_empty(), "dup channels cannot lose copies");
         assert!(d.deliver_to_r.is_none(), "delivery still suppressed");
-        assert!(f.fired(), "the strike step still counts as fired");
+        assert!(f.any_fired(), "the strike step still counts as fired");
     }
 
     #[test]
     fn late_start_fires_at_first_opportunity() {
         let ch = DelChannel::new();
-        let mut f = FaultInjector::new(Box::new(EagerScheduler::new()), 2, 1);
+        let mut f = injector(2, 1);
         // Jump straight past the configured step.
         let _ = f.decide(10, &ch);
-        assert!(f.fired());
+        assert!(f.any_fired());
     }
 
     #[test]
     fn reset_rearms_the_fault_for_a_fresh_run() {
         let mut ch = DelChannel::new();
         ch.send_s(SMsg(0));
-        let mut f = FaultInjector::new(Box::new(EagerScheduler::new()), 1, 1);
+        let mut f = injector(1, 1);
         let _ = f.decide(1, &ch);
-        assert!(f.fired());
+        assert!(f.any_fired());
         f.reset();
-        assert!(!f.fired(), "reset clears the latch");
+        assert!(!f.any_fired(), "reset clears the latch");
         let d = f.decide(1, &ch);
         assert_eq!(d.delete_to_r.len(), 1, "the fault fires again");
-        assert!(f.fired());
+        assert!(f.any_fired());
     }
 }

@@ -37,6 +37,7 @@ pub mod metrics;
 pub mod prelude;
 pub mod replay;
 pub mod runner;
+pub mod sessions;
 pub mod shrink;
 pub mod slo;
 pub mod telemetry;
@@ -46,12 +47,16 @@ pub mod world;
 
 pub use engine::{SweepEngine, SweepSpec};
 pub use error::SimError;
-pub use fault::{burst_plan, FaultInjector};
+pub use fault::burst_plan;
 pub use metrics::{Histogram, MetricsProbe, RunStats, SweepReport};
 pub use replay::{replay, script_from_trace, scripted_world};
 pub use runner::{
     run_family_member, sweep_family, sweep_family_parallel, sweep_family_parallel_observed,
     MemberRun, SweepOutcome,
+};
+pub use sessions::{
+    run_churn, run_churn_isolated, ChurnReport, ChurnSpec, ServerSpec, SessionEngine, SessionFate,
+    SessionId, SessionOutcome, SessionServer, SessionSpec, SessionStatus, SessionTemplate,
 };
 pub use shrink::{
     classify, is_one_minimal, shrink_plan, shrink_to_witness, CampaignJudge, Violation, Witness,
@@ -63,8 +68,9 @@ pub use slo::{
     StabilizationProbe,
 };
 pub use telemetry::{
-    ExperimentSummary, FrontierRecord, MemorySink, ProgressMeter, ProgressSnapshot, RunRecord,
-    Sink, SpanRecord, StabilizationRecord, TelemetryLine, TelemetryWriter,
+    ExperimentSummary, FrontierRecord, LocalProgress, MemorySink, ProgressMeter, ProgressSnapshot,
+    RunRecord, SessionsRecord, Sink, SpanRecord, StabilizationRecord, TelemetryLine,
+    TelemetryWriter,
 };
 pub use trace::{
     chrome_trace_json, write_chrome_trace, CounterTrack, LifecycleCounts, MsgFate, MsgSpan,

@@ -18,14 +18,18 @@ pub use crate::runner::{
     run_family_member, sweep_family, sweep_family_parallel, sweep_family_parallel_observed,
     MemberRun, SweepOutcome,
 };
+pub use crate::sessions::{
+    run_churn, run_churn_isolated, ChurnReport, ChurnSpec, ServerSpec, SessionEngine, SessionFate,
+    SessionId, SessionOutcome, SessionServer, SessionSpec, SessionStatus, SessionTemplate,
+};
 pub use crate::shrink::{shrink_plan, shrink_to_witness, CampaignJudge, Violation, Witness};
 pub use crate::slo::{
     probe_recovery, recovery_envelope, recovery_envelope_observed, RecoveryEnvelope, RecoveryProbe,
     SloConfig,
 };
 pub use crate::telemetry::{
-    ExperimentSummary, FrontierRecord, MemorySink, ProgressMeter, ProgressSnapshot, RunRecord,
-    Sink, SpanRecord, TelemetryLine, TelemetryWriter,
+    ExperimentSummary, FrontierRecord, LocalProgress, MemorySink, ProgressMeter, ProgressSnapshot,
+    RunRecord, SessionsRecord, Sink, SpanRecord, TelemetryLine, TelemetryWriter,
 };
 pub use crate::trace::{
     chrome_trace_json, write_chrome_trace, CounterTrack, LifecycleCounts, MsgFate, MsgSpan,
@@ -37,3 +41,4 @@ pub use stp_channel::campaign::{
 };
 pub use stp_channel::{ChannelSpec, SchedulerSpec};
 pub use stp_core::event::TraceMode;
+pub use stp_protocols::FamilySpec;

@@ -1,0 +1,1646 @@
+//! The massively-multi-session engine: a data-oriented session store
+//! fronted by a sharded submit/poll API.
+//!
+//! One [`World`] owns one sender/receiver pair; sweeps
+//! iterate worlds one at a time. This module is the scaling step the
+//! ROADMAP's "millions of users opening sessions, transmitting, and
+//! disconnecting under churn" workload needs: a [`SessionEngine`] holds
+//! *columns* (struct-of-arrays) of sender state, receiver state, channel
+//! queues and per-session adversary RNG — the same columnar layout
+//! [`crate::trace`] uses for spans — and steps every active session a
+//! quantum of protocol steps per *round* in one tight, allocation-free
+//! loop. The loop is the [`TraceMode::Off`](stp_core::event::TraceMode)
+//! semantics of [`World::step`](crate::World::step) with every
+//! event-construction and probe branch deleted outright, so a session's
+//! [`RunStats`] are bit-identical to a pooled single-world run of the
+//! same [`SessionSpec`] (the `sessions_parity` suite proves this over the
+//! full seed × channel × family grid).
+//!
+//! Slots are recycled under churn through the spec-driven provisioning
+//! trio — [`FamilySpec::provision`], [`ChannelSpec::provision`],
+//! [`SchedulerSpec::provision`] — which generalizes the pooled-world
+//! reset machinery from the sweep engine: a retiring session's slot goes
+//! onto its *recipe's* free list, and a later admission with the same
+//! recipe resets the boxed machines in place instead of re-boxing them.
+//!
+//! [`SessionServer`] shards the store: `submit` routes round-robin,
+//! `poll`/`disconnect` route by the shard bits of the [`SessionId`], and
+//! each shard steps independently under its own lock. [`ChurnSpec`] is
+//! the seeded open/transmit/disconnect workload generator the
+//! `bench_sessions` lanes run; session `k`'s spec is derived purely from
+//! `(workload seed, k)`, so the set of sessions — and each session's
+//! stats — is independent of the shard count, which
+//! [`ChurnReport::digest`] checks.
+
+use crate::engine::SweepSpec;
+use crate::metrics::{Histogram, RunStats};
+use crate::telemetry::{ProgressMeter, SessionsRecord};
+use crate::world::World;
+use parking_lot::Mutex;
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+use stp_channel::{Channel, ChannelSpec, Scheduler, SchedulerSpec};
+use stp_core::alphabet::{RMsg, SMsg};
+use stp_core::data::DataSeq;
+use stp_core::event::{CorruptionKind, Step, TraceMode};
+use stp_core::proto::{Receiver, ReceiverEvent, Sender, SenderEvent};
+use stp_protocols::FamilySpec;
+
+/// Everything needed to run one STP session: the protocol family, the
+/// input to transmit, the channel model, the adversary, its seed, and the
+/// session's budgets. The serde form travels next to [`SweepSpec`] /
+/// [`ChannelSpec`] / [`SchedulerSpec`] as one spec surface; the legacy
+/// sweep path expands into it via [`SweepSpec::session_specs`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSpec {
+    /// The protocol family recipe.
+    pub family: FamilySpec,
+    /// The input sequence to transmit.
+    pub input: DataSeq,
+    /// The channel recipe.
+    pub channel: ChannelSpec,
+    /// The adversary recipe.
+    pub scheduler: SchedulerSpec,
+    /// The adversary seed.
+    pub seed: u64,
+    /// Step budget: the session retires as [`SessionFate::Exhausted`]
+    /// when it runs this many steps without completing.
+    pub max_steps: Step,
+    /// Churn: the user walks away this many rounds after admission
+    /// (retiring the session as [`SessionFate::Disconnected`]); `None`
+    /// stays until completion or exhaustion.
+    #[serde(default)]
+    pub ttl_rounds: Option<u64>,
+}
+
+impl SessionSpec {
+    /// Bridges to the legacy single-world path: builds a [`World`] (trace
+    /// off) that runs exactly this session. The parity suite holds the
+    /// session store to this world's behaviour, bit for bit.
+    pub fn build_world(&self) -> World {
+        let family = self.family.build();
+        World::builder(self.input.clone())
+            .sender(family.sender_for(&self.input))
+            .receiver(family.receiver())
+            .channel(self.channel.build())
+            .scheduler(self.scheduler.build(self.seed))
+            .mode(TraceMode::Off)
+            .build()
+            .expect("all components supplied")
+    }
+}
+
+impl SweepSpec {
+    /// Expands the sweep grid into per-session specs in the engine's
+    /// (scheduler-major, then sequence, then seed) order — the bridge
+    /// that lets the session server consume the same spec surface as
+    /// [`SweepEngine`](crate::engine::SweepEngine).
+    pub fn session_specs(&self, family: &FamilySpec) -> Vec<SessionSpec> {
+        let claimed = family.build().claimed_family();
+        let mut specs =
+            Vec::with_capacity(self.schedulers.len() * claimed.len() * self.seeds.len());
+        for scheduler in &self.schedulers {
+            for input in claimed.iter() {
+                for &seed in &self.seeds {
+                    specs.push(SessionSpec {
+                        family: family.clone(),
+                        input: input.clone(),
+                        channel: self.channel.clone(),
+                        scheduler: scheduler.clone(),
+                        seed,
+                        max_steps: self.max_steps,
+                        ttl_rounds: None,
+                    });
+                }
+            }
+        }
+        specs
+    }
+}
+
+/// A session's identity: 16 shard bits over 48 serial bits, so ids route
+/// straight back to the owning shard without a directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SessionId(u64);
+
+impl SessionId {
+    const SERIAL_BITS: u32 = 48;
+
+    /// Packs a shard index and a per-shard serial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `serial` needs more than 48 bits.
+    pub fn new(shard: u16, serial: u64) -> SessionId {
+        assert!(serial < 1 << Self::SERIAL_BITS, "serial overflows 48 bits");
+        SessionId((u64::from(shard) << Self::SERIAL_BITS) | serial)
+    }
+
+    /// The owning shard.
+    pub fn shard(self) -> u16 {
+        (self.0 >> Self::SERIAL_BITS) as u16
+    }
+
+    /// The per-shard serial.
+    pub fn serial(self) -> u64 {
+        self.0 & ((1 << Self::SERIAL_BITS) - 1)
+    }
+}
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.shard(), self.serial())
+    }
+}
+
+/// How a session left the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SessionFate {
+    /// The sender finished and the whole input was written.
+    Completed,
+    /// The step budget ran out first.
+    Exhausted,
+    /// The user disconnected (TTL churn or an explicit
+    /// [`SessionServer::disconnect`]).
+    Disconnected,
+}
+
+/// The terminal record of one session, handed out (exactly once) by
+/// [`SessionServer::drain_completed`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionOutcome {
+    /// The session's identity.
+    pub id: SessionId,
+    /// How it retired.
+    pub fate: SessionFate,
+    /// The run's statistics — identical to what a single [`World`] run of
+    /// the same [`SessionSpec`] reports at the same stopping point.
+    pub stats: RunStats,
+    /// The engine round the session was submitted on.
+    pub submitted_round: u64,
+    /// The engine round it retired on.
+    pub retired_round: u64,
+}
+
+impl SessionOutcome {
+    /// Submit-to-retire latency in engine rounds (includes queueing).
+    pub fn latency_rounds(&self) -> u64 {
+        self.retired_round.saturating_sub(self.submitted_round)
+    }
+}
+
+/// What [`SessionServer::poll`] reports for an id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SessionStatus {
+    /// Never submitted here, or already drained.
+    Unknown,
+    /// Waiting for a slot.
+    Queued,
+    /// In a slot, mid-run.
+    Running {
+        /// Protocol steps executed so far.
+        steps: Step,
+    },
+    /// Retired; the outcome stays pollable until drained.
+    Done {
+        /// The terminal record.
+        outcome: Box<SessionOutcome>,
+    },
+}
+
+// Where an id currently lives inside one shard.
+enum SlotState {
+    Queued { submitted: u64 },
+    Running { slot: u32 },
+    Done { at: usize },
+}
+
+// An interned (family, channel, scheduler) triple plus the free slots
+// that last ran it — the unit of reset-in-place recycling.
+struct Recipe {
+    family: FamilySpec,
+    channel: ChannelSpec,
+    scheduler: SchedulerSpec,
+    free: Vec<u32>,
+}
+
+const NO_RECIPE: u32 = u32::MAX;
+
+/// One shard of the session store: fixed-capacity slot columns, a recipe
+/// table, an admission queue, and a completion buffer.
+///
+/// The store is data-oriented: every per-session quantity lives in its
+/// own column (`Vec`), indexed by slot. The hot stepping loop walks the
+/// dense `active` roster and touches only the columns it needs; boxed
+/// protocol machines, channels and schedulers are *columns of slots* that
+/// provisioning reuses in place whenever the incoming session's recipe
+/// matches what the slot last ran. Per-session randomized adversary state
+/// (the "per-session RNG") lives inside the scheduler column, reseeded
+/// per admission.
+pub struct SessionEngine {
+    shard: u16,
+    capacity: usize,
+    quantum: u32,
+    round: u64,
+    recipes: Vec<Recipe>,
+    // Slot columns (struct-of-arrays), all `capacity` long.
+    senders: Vec<Option<Box<dyn Sender>>>,
+    receivers: Vec<Option<Box<dyn Receiver>>>,
+    channels: Vec<Option<Box<dyn Channel>>>,
+    schedulers: Vec<Option<Box<dyn Scheduler>>>,
+    slot_recipe: Vec<u32>,
+    inputs: Vec<DataSeq>,
+    serials: Vec<u64>,
+    steps: Vec<Step>,
+    written: Vec<usize>,
+    safe: Vec<bool>,
+    sends_s: Vec<usize>,
+    sends_r: Vec<usize>,
+    deliveries_r: Vec<usize>,
+    deliveries_s: Vec<usize>,
+    drops: Vec<usize>,
+    write_steps: Vec<Vec<Step>>,
+    deadline: Vec<Step>,
+    expires: Vec<u64>,
+    submitted: Vec<u64>,
+    // Rosters: dense active list (swap-remove retire), never-used slots,
+    // admissions waiting for capacity.
+    active: Vec<u32>,
+    virgin: Vec<u32>,
+    queue: VecDeque<(u64, u64, SessionSpec)>,
+    index: HashMap<u64, SlotState>,
+    completed: Vec<SessionOutcome>,
+    next_serial: u64,
+    recycled: u64,
+    // Shared expiry scratch, reused across every slot in the shard.
+    scratch_r: Vec<SMsg>,
+    scratch_s: Vec<RMsg>,
+}
+
+impl std::fmt::Debug for SessionEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SessionEngine")
+            .field("shard", &self.shard)
+            .field("capacity", &self.capacity)
+            .field("round", &self.round)
+            .field("active", &self.active.len())
+            .field("queued", &self.queue.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SessionEngine {
+    /// An empty shard with `capacity` slots, stepping each active session
+    /// up to `quantum` protocol steps per round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` or `quantum` is zero.
+    pub fn new(shard: u16, capacity: usize, quantum: u32) -> SessionEngine {
+        assert!(capacity > 0, "a shard needs at least one slot");
+        assert!(quantum > 0, "a round must step at least once");
+        let none_senders = (0..capacity).map(|_| None).collect();
+        let none_receivers = (0..capacity).map(|_| None).collect();
+        let none_channels = (0..capacity).map(|_| None).collect();
+        let none_schedulers = (0..capacity).map(|_| None).collect();
+        SessionEngine {
+            shard,
+            capacity,
+            quantum,
+            round: 0,
+            recipes: Vec::new(),
+            senders: none_senders,
+            receivers: none_receivers,
+            channels: none_channels,
+            schedulers: none_schedulers,
+            slot_recipe: vec![NO_RECIPE; capacity],
+            inputs: vec![DataSeq::from_indices([]); capacity],
+            serials: vec![0; capacity],
+            steps: vec![0; capacity],
+            written: vec![0; capacity],
+            safe: vec![true; capacity],
+            sends_s: vec![0; capacity],
+            sends_r: vec![0; capacity],
+            deliveries_r: vec![0; capacity],
+            deliveries_s: vec![0; capacity],
+            drops: vec![0; capacity],
+            write_steps: vec![Vec::new(); capacity],
+            deadline: vec![0; capacity],
+            expires: vec![u64::MAX; capacity],
+            submitted: vec![0; capacity],
+            active: Vec::with_capacity(capacity),
+            virgin: (0..capacity as u32).rev().collect(),
+            queue: VecDeque::new(),
+            index: HashMap::new(),
+            completed: Vec::new(),
+            next_serial: 0,
+            recycled: 0,
+            scratch_r: Vec::new(),
+            scratch_s: Vec::new(),
+        }
+    }
+
+    /// The shard index baked into every [`SessionId`] this engine mints.
+    pub fn shard(&self) -> u16 {
+        self.shard
+    }
+
+    /// Slots in this shard.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Rounds stepped so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Sessions currently in slots.
+    pub fn active_len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Sessions waiting for a slot.
+    pub fn queued_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Retired sessions not yet drained.
+    pub fn completed_len(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Admissions that reused a previously-occupied slot (as opposed to a
+    /// virgin one) — the recycling the churn bench exercises.
+    pub fn slots_recycled(&self) -> u64 {
+        self.recycled
+    }
+
+    /// No session is active or waiting.
+    pub fn is_idle(&self) -> bool {
+        self.active.is_empty() && self.queue.is_empty()
+    }
+
+    /// Accepts a session; it is admitted into a slot at the start of the
+    /// next [`SessionEngine::step_round`] with free capacity. Returns the
+    /// per-shard serial ([`SessionId::serial`]).
+    pub fn submit(&mut self, spec: SessionSpec) -> u64 {
+        let serial = self.next_serial;
+        self.next_serial += 1;
+        self.index.insert(
+            serial,
+            SlotState::Queued {
+                submitted: self.round,
+            },
+        );
+        self.queue.push_back((serial, self.round, spec));
+        serial
+    }
+
+    /// Where the session with this serial stands.
+    pub fn poll(&self, serial: u64) -> SessionStatus {
+        match self.index.get(&serial) {
+            None => SessionStatus::Unknown,
+            Some(SlotState::Queued { .. }) => SessionStatus::Queued,
+            Some(&SlotState::Running { slot }) => SessionStatus::Running {
+                steps: self.steps[slot as usize],
+            },
+            Some(&SlotState::Done { at }) => SessionStatus::Done {
+                outcome: Box::new(self.completed[at].clone()),
+            },
+        }
+    }
+
+    /// Disconnects the session: a queued one retires without running, an
+    /// active one retires at its current state, both as
+    /// [`SessionFate::Disconnected`]. Returns `false` for ids that are
+    /// done, drained, or unknown.
+    pub fn disconnect(&mut self, serial: u64) -> bool {
+        match self.index.get(&serial) {
+            Some(&SlotState::Running { slot }) => {
+                let pos = self
+                    .active
+                    .iter()
+                    .position(|&s| s == slot)
+                    .expect("running slot is on the active roster");
+                self.retire(pos, SessionFate::Disconnected);
+                true
+            }
+            Some(&SlotState::Queued { submitted }) => {
+                let at = self
+                    .queue
+                    .iter()
+                    .position(|(s, _, _)| *s == serial)
+                    .expect("queued serial is in the queue");
+                let (_, _, spec) = self.queue.remove(at).expect("position came from the queue");
+                let outcome = SessionOutcome {
+                    id: SessionId::new(self.shard, serial),
+                    fate: SessionFate::Disconnected,
+                    stats: RunStats {
+                        steps: 0,
+                        sends_s: 0,
+                        sends_r: 0,
+                        deliveries_r: 0,
+                        deliveries_s: 0,
+                        drops: 0,
+                        written: 0,
+                        input_len: spec.input.len(),
+                        safe: true,
+                        write_steps: Vec::new(),
+                    },
+                    submitted_round: submitted,
+                    retired_round: self.round,
+                };
+                self.index.insert(
+                    serial,
+                    SlotState::Done {
+                        at: self.completed.len(),
+                    },
+                );
+                self.completed.push(outcome);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Hands out every outcome retired since the last drain, exactly
+    /// once; drained ids poll as [`SessionStatus::Unknown`] afterwards.
+    pub fn drain_completed(&mut self) -> Vec<SessionOutcome> {
+        let drained = std::mem::take(&mut self.completed);
+        for outcome in &drained {
+            self.index.remove(&outcome.id.serial());
+        }
+        drained
+    }
+
+    /// One engine round: admit from the queue into free slots, then step
+    /// every active session up to the quantum, retiring completions,
+    /// exhaustions and TTL disconnects along the way.
+    pub fn step_round(&mut self) {
+        while self.active.len() < self.capacity {
+            let Some((serial, submitted, spec)) = self.queue.pop_front() else {
+                break;
+            };
+            self.admit(serial, submitted, spec);
+        }
+        let mut i = 0;
+        while i < self.active.len() {
+            let slot = self.active[i] as usize;
+            if self.round >= self.expires[slot] {
+                self.retire(i, SessionFate::Disconnected);
+                continue;
+            }
+            match self.step_slot(slot) {
+                Some(fate) => self.retire(i, fate),
+                None => i += 1,
+            }
+        }
+        self.round += 1;
+    }
+
+    /// Rounds until [`SessionEngine::is_idle`], stopping after
+    /// `max_rounds`; reports whether idle was reached.
+    pub fn run_until_idle(&mut self, max_rounds: u64) -> bool {
+        for _ in 0..max_rounds {
+            if self.is_idle() {
+                return true;
+            }
+            self.step_round();
+        }
+        self.is_idle()
+    }
+
+    fn intern(&mut self, spec: &SessionSpec) -> usize {
+        if let Some(i) = self.recipes.iter().position(|r| {
+            r.family == spec.family && r.channel == spec.channel && r.scheduler == spec.scheduler
+        }) {
+            return i;
+        }
+        self.recipes.push(Recipe {
+            family: spec.family.clone(),
+            channel: spec.channel.clone(),
+            scheduler: spec.scheduler.clone(),
+            free: Vec::new(),
+        });
+        self.recipes.len() - 1
+    }
+
+    fn admit(&mut self, serial: u64, submitted: u64, spec: SessionSpec) {
+        debug_assert!(self.active.len() < self.capacity);
+        let rid = self.intern(&spec);
+        // Prefer a slot that last ran this exact recipe (reset in place),
+        // then a virgin slot, then cannibalize any other free slot.
+        let slot = self.recipes[rid]
+            .free
+            .pop()
+            .or_else(|| self.virgin.pop())
+            .or_else(|| self.recipes.iter_mut().find_map(|r| r.free.pop()))
+            .expect("active < capacity implies a free slot exists");
+        let slot = slot as usize;
+
+        let prev = self.slot_recipe[slot];
+        if prev != NO_RECIPE {
+            self.recycled += 1;
+        }
+        let (prev_family, prev_channel, prev_scheduler) = if prev == NO_RECIPE {
+            (None, None, None)
+        } else {
+            let r = &self.recipes[prev as usize];
+            (Some(&r.family), Some(&r.channel), Some(&r.scheduler))
+        };
+        spec.family.provision(
+            prev_family,
+            &spec.input,
+            &mut self.senders[slot],
+            &mut self.receivers[slot],
+        );
+        spec.channel
+            .provision(&mut self.channels[slot], prev_channel);
+        spec.scheduler
+            .provision(&mut self.schedulers[slot], prev_scheduler, spec.seed);
+
+        self.slot_recipe[slot] = rid as u32;
+        self.inputs[slot] = spec.input;
+        self.serials[slot] = serial;
+        self.steps[slot] = 0;
+        self.written[slot] = 0;
+        self.safe[slot] = true;
+        self.sends_s[slot] = 0;
+        self.sends_r[slot] = 0;
+        self.deliveries_r[slot] = 0;
+        self.deliveries_s[slot] = 0;
+        self.drops[slot] = 0;
+        self.write_steps[slot].clear();
+        self.deadline[slot] = spec.max_steps;
+        self.expires[slot] = spec
+            .ttl_rounds
+            .map_or(u64::MAX, |ttl| self.round.saturating_add(ttl));
+        self.submitted[slot] = submitted;
+        self.active.push(slot as u32);
+        self.index
+            .insert(serial, SlotState::Running { slot: slot as u32 });
+    }
+
+    fn retire(&mut self, pos: usize, fate: SessionFate) {
+        let slot = self.active.swap_remove(pos) as usize;
+        let serial = self.serials[slot];
+        let outcome = SessionOutcome {
+            id: SessionId::new(self.shard, serial),
+            fate,
+            stats: RunStats {
+                steps: self.steps[slot],
+                sends_s: self.sends_s[slot],
+                sends_r: self.sends_r[slot],
+                deliveries_r: self.deliveries_r[slot],
+                deliveries_s: self.deliveries_s[slot],
+                drops: self.drops[slot],
+                written: self.written[slot],
+                input_len: self.inputs[slot].len(),
+                safe: self.safe[slot],
+                write_steps: self.write_steps[slot].clone(),
+            },
+            submitted_round: self.submitted[slot],
+            retired_round: self.round,
+        };
+        self.recipes[self.slot_recipe[slot] as usize]
+            .free
+            .push(slot as u32);
+        self.index.insert(
+            serial,
+            SlotState::Done {
+                at: self.completed.len(),
+            },
+        );
+        self.completed.push(outcome);
+    }
+
+    // Same stopping rule as `World::run_until(max_steps, is_complete)`:
+    // completion is checked before each step, the budget caps the count.
+    fn slot_fate(&self, slot: usize) -> Option<SessionFate> {
+        let sender = self.senders[slot].as_ref().expect("active slot has sender");
+        if sender.is_done() && self.written[slot] >= self.inputs[slot].len() {
+            return Some(SessionFate::Completed);
+        }
+        if self.steps[slot] >= self.deadline[slot] {
+            return Some(SessionFate::Exhausted);
+        }
+        None
+    }
+
+    fn step_slot(&mut self, slot: usize) -> Option<SessionFate> {
+        for _ in 0..self.quantum {
+            if let Some(fate) = self.slot_fate(slot) {
+                return Some(fate);
+            }
+            self.step_slot_once(slot);
+        }
+        self.slot_fate(slot)
+    }
+
+    // One protocol step — `World::step` under `TraceMode::Off` with the
+    // event construction, probe fan-out and provenance branches removed.
+    // Any behavioural divergence from the world loop is a bug the parity
+    // suite exists to catch.
+    fn step_slot_once(&mut self, slot: usize) {
+        let t = self.steps[slot];
+        let sender = self.senders[slot].as_mut().expect("active slot has sender");
+        let receiver = self.receivers[slot]
+            .as_mut()
+            .expect("active slot has receiver");
+        let channel = self.channels[slot]
+            .as_mut()
+            .expect("active slot has channel");
+        let scheduler = self.schedulers[slot]
+            .as_mut()
+            .expect("active slot has scheduler");
+
+        scheduler.note_progress(t, self.written[slot]);
+        let decision = scheduler.decide(t, &**channel);
+
+        // Adversarial deletions first (they model in-transit loss).
+        for i in 0..decision.delete_to_r.len() {
+            if channel.delete_to_r(decision.delete_to_r[i]).is_ok() {
+                self.drops[slot] += 1;
+            }
+        }
+        for i in 0..decision.delete_to_s.len() {
+            if channel.delete_to_s(decision.delete_to_s[i]).is_ok() {
+                self.drops[slot] += 1;
+            }
+        }
+
+        // Transient corruption strikes land between loss and delivery.
+        for cmd in &decision.corruptions {
+            match cmd.kind {
+                CorruptionKind::ScrambleSender => {
+                    sender.scramble(cmd.draw);
+                }
+                CorruptionKind::ScrambleReceiver => {
+                    receiver.scramble(cmd.draw);
+                }
+                CorruptionKind::DesyncSender => {
+                    sender.desync(cmd.draw);
+                }
+                CorruptionKind::DesyncReceiver => {
+                    receiver.desync(cmd.draw);
+                }
+                CorruptionKind::InjectToR => {
+                    let size = sender.alphabet().size();
+                    if size != 0 {
+                        channel.send_s(SMsg((cmd.draw % u64::from(size)) as u16));
+                    }
+                }
+                CorruptionKind::InjectToS => {
+                    let size = receiver.alphabet().size();
+                    if size != 0 {
+                        channel.send_r(RMsg((cmd.draw % u64::from(size)) as u16));
+                    }
+                }
+            }
+        }
+
+        // Deliveries (against the post-deletion state; infeasible choices
+        // are ignored).
+        let delivered_to_s = decision
+            .deliver_to_s
+            .filter(|m| channel.deliver_to_s(*m).is_ok());
+        if delivered_to_s.is_some() {
+            self.deliveries_s[slot] += 1;
+        }
+        let delivered_to_r = decision
+            .deliver_to_r
+            .filter(|m| channel.deliver_to_r(*m).is_ok());
+        if delivered_to_r.is_some() {
+            self.deliveries_r[slot] += 1;
+        }
+
+        // Processor steps.
+        let s_event = if t == 0 {
+            SenderEvent::Init
+        } else {
+            match delivered_to_s {
+                Some(m) => SenderEvent::Deliver(m),
+                None => SenderEvent::Tick,
+            }
+        };
+        let r_event = if t == 0 {
+            ReceiverEvent::Init
+        } else {
+            match delivered_to_r {
+                Some(m) => ReceiverEvent::Deliver(m),
+                None => ReceiverEvent::Tick,
+            }
+        };
+        let s_out = sender.on_event(s_event);
+        let r_out = receiver.on_event(r_event);
+
+        // Apply outputs after deliveries: sends become deliverable next
+        // step at the earliest.
+        for item in r_out.write {
+            self.safe[slot] &= self.inputs[slot].get(self.written[slot]) == Some(item);
+            self.write_steps[slot].push(t);
+            self.written[slot] += 1;
+        }
+        for m in s_out.send {
+            channel.send_s(m);
+            self.sends_s[slot] += 1;
+        }
+        for m in r_out.send {
+            channel.send_r(m);
+            self.sends_r[slot] += 1;
+        }
+
+        // Channel clock, then the expiry drain: channel-destroyed copies
+        // count as drops exactly like adversarial loss.
+        channel.tick();
+        channel.take_expirations(&mut self.scratch_r, &mut self.scratch_s);
+        self.drops[slot] += self.scratch_r.len() + self.scratch_s.len();
+        self.scratch_r.clear();
+        self.scratch_s.clear();
+
+        self.steps[slot] = t + 1;
+    }
+}
+
+/// Shape of a [`SessionServer`]: how many shards, how many slots each,
+/// and the per-round step quantum.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerSpec {
+    /// Independent shards (each its own [`SessionEngine`] and lock).
+    #[serde(default = "default_shards")]
+    pub shards: u16,
+    /// Slots per shard.
+    #[serde(default = "default_capacity")]
+    pub capacity_per_shard: usize,
+    /// Protocol steps per session per round.
+    #[serde(default = "default_quantum")]
+    pub quantum: u32,
+}
+
+fn default_shards() -> u16 {
+    1
+}
+
+fn default_capacity() -> usize {
+    1024
+}
+
+fn default_quantum() -> u32 {
+    8
+}
+
+impl Default for ServerSpec {
+    fn default() -> Self {
+        ServerSpec {
+            shards: default_shards(),
+            capacity_per_shard: default_capacity(),
+            quantum: default_quantum(),
+        }
+    }
+}
+
+/// The sharded submit/poll front of the session store.
+///
+/// `submit` routes round-robin across shards; `poll` and `disconnect`
+/// route by the id's shard bits. Shards step in lockstep under
+/// [`SessionServer::step_rounds`] / [`SessionServer::run_until_idle`];
+/// each shard is an independently locked [`SessionEngine`], so callers on
+/// different shards never contend.
+#[derive(Debug)]
+pub struct SessionServer {
+    engines: Vec<Mutex<SessionEngine>>,
+    router: AtomicUsize,
+}
+
+impl SessionServer {
+    /// Builds the server: `spec.shards` empty engines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec names zero shards, slots, or quantum.
+    pub fn new(spec: &ServerSpec) -> SessionServer {
+        assert!(spec.shards > 0, "a server needs at least one shard");
+        let engines = (0..spec.shards)
+            .map(|s| Mutex::new(SessionEngine::new(s, spec.capacity_per_shard, spec.quantum)))
+            .collect();
+        SessionServer {
+            engines,
+            router: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Accepts a session on the next shard in round-robin order.
+    pub fn submit(&self, spec: SessionSpec) -> SessionId {
+        let shard = self.router.fetch_add(1, Ordering::Relaxed) % self.engines.len();
+        self.submit_to(shard as u16, spec)
+    }
+
+    /// Accepts a session on a specific shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn submit_to(&self, shard: u16, spec: SessionSpec) -> SessionId {
+        let serial = self.engines[shard as usize].lock().submit(spec);
+        SessionId::new(shard, serial)
+    }
+
+    /// Where the session stands. Ids from another server (shard out of
+    /// range) report [`SessionStatus::Unknown`].
+    pub fn poll(&self, id: SessionId) -> SessionStatus {
+        match self.engines.get(id.shard() as usize) {
+            Some(engine) => engine.lock().poll(id.serial()),
+            None => SessionStatus::Unknown,
+        }
+    }
+
+    /// Disconnects the session; see [`SessionEngine::disconnect`].
+    pub fn disconnect(&self, id: SessionId) -> bool {
+        match self.engines.get(id.shard() as usize) {
+            Some(engine) => engine.lock().disconnect(id.serial()),
+            None => false,
+        }
+    }
+
+    /// Steps every shard `rounds` rounds, in lockstep.
+    pub fn step_rounds(&self, rounds: u64) {
+        for _ in 0..rounds {
+            for engine in &self.engines {
+                engine.lock().step_round();
+            }
+        }
+    }
+
+    /// Rounds (lockstep across shards) until every shard is idle,
+    /// stopping after `max_rounds`; reports whether idle was reached.
+    pub fn run_until_idle(&self, max_rounds: u64) -> bool {
+        for _ in 0..max_rounds {
+            if self.engines.iter().all(|e| e.lock().is_idle()) {
+                return true;
+            }
+            for engine in &self.engines {
+                engine.lock().step_round();
+            }
+        }
+        self.engines.iter().all(|e| e.lock().is_idle())
+    }
+
+    /// Sessions currently in slots, across all shards.
+    pub fn active_sessions(&self) -> usize {
+        self.engines.iter().map(|e| e.lock().active_len()).sum()
+    }
+
+    /// Sessions waiting for slots, across all shards.
+    pub fn queued_sessions(&self) -> usize {
+        self.engines.iter().map(|e| e.lock().queued_len()).sum()
+    }
+
+    /// Drains every shard's outcomes; each outcome is handed out exactly
+    /// once, shard-major.
+    pub fn drain_completed(&self) -> Vec<SessionOutcome> {
+        let mut out = Vec::new();
+        for engine in &self.engines {
+            out.append(&mut engine.lock().drain_completed());
+        }
+        out
+    }
+}
+
+/// One entry in a churn workload's session mix: the recipe a slice of the
+/// synthetic users runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionTemplate {
+    /// The protocol family recipe.
+    pub family: FamilySpec,
+    /// The channel recipe.
+    pub channel: ChannelSpec,
+    /// The adversary recipe.
+    pub scheduler: SchedulerSpec,
+}
+
+/// A seeded open/transmit/disconnect workload: `sessions` users arrive
+/// `arrivals_per_round` per round (round-robin over shards), each running
+/// a [`SessionTemplate`] from the mix on an input drawn from the
+/// template's claimed family, and a `disconnect_rate` fraction walk away
+/// `disconnect_after` rounds after admission.
+///
+/// Session `k`'s spec is a pure function of `(seed, k)`, so the workload
+/// — and every per-session outcome — is identical at any shard count;
+/// [`ChurnReport::digest`] is the order-insensitive check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnSpec {
+    /// Total sessions the workload opens.
+    pub sessions: u64,
+    /// Arrival rate: sessions `k` with `k / arrivals_per_round == r`
+    /// arrive on round `r`.
+    pub arrivals_per_round: u64,
+    /// Server shape the workload runs on.
+    #[serde(default)]
+    pub server: ServerSpec,
+    /// Per-session step budget.
+    pub max_steps: Step,
+    /// Workload seed: drives per-session input choice, adversary seed and
+    /// walk-away draws.
+    pub seed: u64,
+    /// Fraction of sessions that disconnect early, in `[0, 1]`.
+    #[serde(default)]
+    pub disconnect_rate: f64,
+    /// Rounds after admission an early-disconnecting session walks away.
+    #[serde(default = "default_disconnect_after")]
+    pub disconnect_after: u64,
+    /// The session mix; session `k` runs template `k % mix.len()`.
+    pub mix: Vec<SessionTemplate>,
+}
+
+fn default_disconnect_after() -> u64 {
+    1
+}
+
+impl ChurnSpec {
+    /// The per-template input pools (each template's claimed family),
+    /// computed once per run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a template's family claims no sequences.
+    pub fn claimed_inputs(&self) -> Vec<Vec<DataSeq>> {
+        self.mix
+            .iter()
+            .map(|t| {
+                let seqs = t.family.build().claimed_family().seqs().to_vec();
+                assert!(!seqs.is_empty(), "template family claims no sequences");
+                seqs
+            })
+            .collect()
+    }
+
+    /// Session `k`'s spec — a pure function of `(self.seed, k)` and the
+    /// mix, independent of shard count and arrival interleaving.
+    pub fn session_at(&self, k: u64, claimed: &[Vec<DataSeq>]) -> SessionSpec {
+        let t = (k % self.mix.len() as u64) as usize;
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(self.seed ^ (k + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let pool = &claimed[t];
+        let input = pool[rng.gen_range(0..pool.len())].clone();
+        let seed = rng.next_u64();
+        let ttl = (self.disconnect_rate > 0.0 && rng.gen_bool(self.disconnect_rate))
+            .then_some(self.disconnect_after);
+        let template = &self.mix[t];
+        SessionSpec {
+            family: template.family.clone(),
+            input,
+            channel: template.channel.clone(),
+            scheduler: template.scheduler.clone(),
+            seed,
+            max_steps: self.max_steps,
+            ttl_rounds: ttl,
+        }
+    }
+}
+
+/// What a churn run measured, merged across shards.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChurnReport {
+    /// Shards the workload ran on.
+    pub shards: usize,
+    /// Sessions submitted.
+    pub submitted: u64,
+    /// Sessions that completed their transmission.
+    pub completed: u64,
+    /// Sessions that ran out of step budget.
+    pub exhausted: u64,
+    /// Sessions that walked away.
+    pub disconnected: u64,
+    /// Protocol steps executed across every session.
+    pub total_steps: u64,
+    /// Engine rounds, max across shards.
+    pub rounds: u64,
+    /// Submit-to-retire latency of *completed* sessions, in rounds.
+    pub latency_rounds: Histogram,
+    /// Order-insensitive digest over per-session `(fate, stats)` — equal
+    /// digests at different shard counts certify the sharding changed
+    /// scheduling only, not any session's outcome.
+    pub digest: u64,
+    /// Wall-clock seconds for the whole run (threads included).
+    pub wall_secs: f64,
+    /// Per-shard busy seconds — the time each shard's engine spent
+    /// stepping its own sessions. On a machine with a core per shard,
+    /// wall time converges to the maximum of these (the critical path).
+    pub shard_busy_secs: Vec<f64>,
+}
+
+impl ChurnReport {
+    /// The parallel critical path: the busiest shard's seconds. This is
+    /// what aggregate throughput is computed against, so the number
+    /// measures sharding quality (balance + per-shard speed) rather than
+    /// how many cores the benchmark host happens to have.
+    pub fn critical_path_secs(&self) -> f64 {
+        self.shard_busy_secs.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Completed sessions per critical-path second.
+    pub fn sessions_per_sec(&self) -> f64 {
+        let secs = self.critical_path_secs();
+        if secs > 0.0 {
+            self.completed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// p99 submit-to-retire latency of completed sessions, in rounds.
+    pub fn p99_latency_rounds(&self) -> f64 {
+        self.latency_rounds.quantile(0.99)
+    }
+
+    /// Flattens for the `{"sessions": …}` telemetry line.
+    pub fn record(&self, experiment: &str) -> SessionsRecord {
+        SessionsRecord {
+            experiment: experiment.to_string(),
+            shards: self.shards,
+            submitted: self.submitted,
+            completed: self.completed,
+            exhausted: self.exhausted,
+            disconnected: self.disconnected,
+            total_steps: self.total_steps,
+            rounds: self.rounds,
+            wall_secs: self.wall_secs,
+            busy_secs: self.critical_path_secs(),
+            sessions_per_sec: self.sessions_per_sec(),
+            p99_latency_rounds: self.p99_latency_rounds(),
+        }
+    }
+}
+
+// Per-shard fold of drained outcomes.
+struct ShardOutcome {
+    submitted: u64,
+    completed: u64,
+    exhausted: u64,
+    disconnected: u64,
+    total_steps: u64,
+    rounds: u64,
+    latency: Histogram,
+    digest: u64,
+    busy_secs: f64,
+}
+
+fn latency_histogram() -> Histogram {
+    // Width-1 buckets: exact quantiles for round-valued latencies up to
+    // the overflow bucket.
+    Histogram::linear(1.0, 1.0, 256)
+}
+
+fn outcome_digest(outcome: &SessionOutcome) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    (outcome.fate == SessionFate::Completed).hash(&mut h);
+    (outcome.fate == SessionFate::Disconnected).hash(&mut h);
+    outcome.stats.steps.hash(&mut h);
+    outcome.stats.sends_s.hash(&mut h);
+    outcome.stats.sends_r.hash(&mut h);
+    outcome.stats.deliveries_r.hash(&mut h);
+    outcome.stats.deliveries_s.hash(&mut h);
+    outcome.stats.drops.hash(&mut h);
+    outcome.stats.written.hash(&mut h);
+    outcome.stats.input_len.hash(&mut h);
+    outcome.stats.safe.hash(&mut h);
+    outcome.stats.write_steps.hash(&mut h);
+    h.finish()
+}
+
+fn run_shard(
+    spec: &ChurnSpec,
+    shard: u16,
+    claimed: &[Vec<DataSeq>],
+    meter: Option<&ProgressMeter>,
+) -> ShardOutcome {
+    let shards = u64::from(spec.server.shards.max(1));
+    let arrivals = spec.arrivals_per_round.max(1);
+    let mut engine = SessionEngine::new(shard, spec.server.capacity_per_shard, spec.server.quantum);
+    let mut progress = meter.map(ProgressMeter::local);
+    let mut out = ShardOutcome {
+        submitted: 0,
+        completed: 0,
+        exhausted: 0,
+        disconnected: 0,
+        total_steps: 0,
+        rounds: 0,
+        latency: latency_histogram(),
+        digest: 0,
+        busy_secs: 0.0,
+    };
+    let started = Instant::now();
+    // Shard `s` owns sessions `k ≡ s (mod shards)`; session `k` arrives
+    // on round `k / arrivals` regardless of shard count.
+    let mut k = u64::from(shard);
+    while k < spec.sessions || !engine.is_idle() {
+        while k < spec.sessions && k / arrivals <= engine.round() {
+            engine.submit(spec.session_at(k, claimed));
+            out.submitted += 1;
+            k += shards;
+        }
+        engine.step_round();
+        for outcome in engine.drain_completed() {
+            match outcome.fate {
+                SessionFate::Completed => {
+                    out.completed += 1;
+                    out.latency.record(outcome.latency_rounds() as f64);
+                }
+                SessionFate::Exhausted => out.exhausted += 1,
+                SessionFate::Disconnected => out.disconnected += 1,
+            }
+            out.total_steps += outcome.stats.steps;
+            out.digest = out.digest.wrapping_add(outcome_digest(&outcome));
+            if let Some(p) = progress.as_mut() {
+                p.add(1);
+            }
+        }
+    }
+    out.rounds = engine.round();
+    out.busy_secs = started.elapsed().as_secs_f64();
+    out
+}
+
+fn fold_shards(spec: &ChurnSpec, outs: Vec<ShardOutcome>, wall_secs: f64) -> ChurnReport {
+    let mut report = ChurnReport {
+        shards: outs.len(),
+        submitted: 0,
+        completed: 0,
+        exhausted: 0,
+        disconnected: 0,
+        total_steps: 0,
+        rounds: 0,
+        latency_rounds: latency_histogram(),
+        digest: 0,
+        wall_secs,
+        shard_busy_secs: Vec::with_capacity(outs.len()),
+    };
+    for out in outs {
+        report.submitted += out.submitted;
+        report.completed += out.completed;
+        report.exhausted += out.exhausted;
+        report.disconnected += out.disconnected;
+        report.total_steps += out.total_steps;
+        report.rounds = report.rounds.max(out.rounds);
+        report.latency_rounds.merge(&out.latency);
+        report.digest = report.digest.wrapping_add(out.digest);
+        report.shard_busy_secs.push(out.busy_secs);
+    }
+    debug_assert_eq!(report.submitted, spec.sessions);
+    report
+}
+
+fn churn(spec: &ChurnSpec, meter: Option<&ProgressMeter>, isolated: bool) -> ChurnReport {
+    assert!(!spec.mix.is_empty(), "a churn workload needs a session mix");
+    assert!(
+        (0.0..=1.0).contains(&spec.disconnect_rate),
+        "disconnect_rate out of range"
+    );
+    let claimed = spec.claimed_inputs();
+    let shards = spec.server.shards.max(1);
+    if let Some(m) = meter {
+        m.begin(spec.sessions as usize);
+    }
+    let wall = Instant::now();
+    let outs: Vec<ShardOutcome> = if isolated || shards == 1 {
+        (0..shards)
+            .map(|s| run_shard(spec, s, &claimed, meter))
+            .collect()
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|s| {
+                    let claimed = &claimed;
+                    scope.spawn(move || {
+                        if let Some(m) = meter {
+                            m.worker_started();
+                        }
+                        let out = run_shard(spec, s, claimed, meter);
+                        if let Some(m) = meter {
+                            m.worker_finished();
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        })
+    };
+    let wall_secs = wall.elapsed().as_secs_f64();
+    if let Some(m) = meter {
+        m.finish();
+    }
+    fold_shards(spec, outs, wall_secs)
+}
+
+/// Runs the churn workload with one thread per shard (live progress via
+/// the meter's merge-on-join counters). Per-session outcomes — and the
+/// report's digest — are identical to [`run_churn_isolated`]; only the
+/// timing fields differ.
+pub fn run_churn(spec: &ChurnSpec, meter: Option<&ProgressMeter>) -> ChurnReport {
+    churn(spec, meter, false)
+}
+
+/// Runs the churn workload stepping each shard *in isolation*,
+/// sequentially, so [`ChurnReport::shard_busy_secs`] is each shard's
+/// exact single-threaded cost with no core contention. This is the bench
+/// timing mode: on a host with a core per shard, wall time converges to
+/// the critical path these numbers bound.
+pub fn run_churn_isolated(spec: &ChurnSpec, meter: Option<&ProgressMeter>) -> ChurnReport {
+    churn(spec, meter, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stp_protocols::ResendPolicy;
+
+    fn tight_spec(input: &[u16], seed: u64) -> SessionSpec {
+        SessionSpec {
+            family: FamilySpec::Tight {
+                d: 3,
+                policy: ResendPolicy::Once,
+            },
+            input: DataSeq::from_indices(input.iter().copied()),
+            channel: ChannelSpec::Dup,
+            scheduler: SchedulerSpec::DupStorm { p_deliver: 0.9 },
+            seed,
+            max_steps: 5_000,
+            ttl_rounds: None,
+        }
+    }
+
+    fn churn_mix() -> Vec<SessionTemplate> {
+        vec![
+            SessionTemplate {
+                family: FamilySpec::Tight {
+                    d: 3,
+                    policy: ResendPolicy::Once,
+                },
+                channel: ChannelSpec::Dup,
+                scheduler: SchedulerSpec::DupStorm { p_deliver: 0.9 },
+            },
+            SessionTemplate {
+                family: FamilySpec::Abp {
+                    domain: 2,
+                    max_len: 3,
+                },
+                channel: ChannelSpec::LossyFifo,
+                scheduler: SchedulerSpec::Random { p_deliver: 0.8 },
+            },
+        ]
+    }
+
+    fn small_churn(sessions: u64, shards: u16) -> ChurnSpec {
+        ChurnSpec {
+            sessions,
+            arrivals_per_round: 16,
+            server: ServerSpec {
+                shards,
+                capacity_per_shard: 32,
+                quantum: 8,
+            },
+            max_steps: 2_000,
+            seed: 42,
+            disconnect_rate: 0.1,
+            disconnect_after: 2,
+            mix: churn_mix(),
+        }
+    }
+
+    #[test]
+    fn session_id_round_trips_shard_and_serial() {
+        let id = SessionId::new(7, 123_456);
+        assert_eq!(id.shard(), 7);
+        assert_eq!(id.serial(), 123_456);
+        assert_eq!(id.to_string(), "7:123456");
+        let top = SessionId::new(u16::MAX, (1 << 48) - 1);
+        assert_eq!(top.shard(), u16::MAX);
+        assert_eq!(top.serial(), (1 << 48) - 1);
+    }
+
+    #[test]
+    fn submit_poll_drain_lifecycle() {
+        let server = SessionServer::new(&ServerSpec {
+            shards: 1,
+            capacity_per_shard: 8,
+            quantum: 8,
+        });
+        let id = server.submit(tight_spec(&[1, 2, 0], 7));
+        assert_eq!(server.poll(id), SessionStatus::Queued);
+        server.step_rounds(1);
+        match server.poll(id) {
+            SessionStatus::Running { steps } => assert!(steps > 0),
+            SessionStatus::Done { .. } => {} // fast completion is fine
+            other => panic!("expected running or done, got {other:?}"),
+        }
+        assert!(server.run_until_idle(10_000));
+        let outcome = match server.poll(id) {
+            SessionStatus::Done { outcome } => outcome,
+            other => panic!("expected done, got {other:?}"),
+        };
+        assert_eq!(outcome.fate, SessionFate::Completed);
+        assert!(outcome.stats.safe);
+        assert_eq!(outcome.stats.written, 3);
+        let drained = server.drain_completed();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0], *outcome);
+        // Exactly-once: drained ids are forgotten.
+        assert_eq!(server.poll(id), SessionStatus::Unknown);
+        assert!(server.drain_completed().is_empty());
+    }
+
+    #[test]
+    fn stats_match_a_single_world_run() {
+        for seed in 0..16 {
+            let spec = tight_spec(&[2, 0, 1], seed);
+            let mut world = spec.build_world();
+            world.run_until(spec.max_steps, World::is_complete);
+
+            let mut engine = SessionEngine::new(0, 4, 8);
+            let serial = engine.submit(spec);
+            assert!(engine.run_until_idle(10_000));
+            let SessionStatus::Done { outcome } = engine.poll(serial) else {
+                panic!("session must have retired");
+            };
+            assert_eq!(outcome.stats, world.stats(), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn slot_recycling_replays_bit_identically() {
+        // Two laps of the same five sessions through a 2-slot shard: the
+        // second lap reuses slots (reset in place) and must reproduce the
+        // first lap's stats exactly.
+        let specs: Vec<SessionSpec> = (0..5).map(|s| tight_spec(&[1, 2, 0], s)).collect();
+        let mut engine = SessionEngine::new(0, 2, 8);
+        let lap = |engine: &mut SessionEngine| -> Vec<RunStats> {
+            let serials: Vec<u64> = specs.iter().map(|s| engine.submit(s.clone())).collect();
+            assert!(engine.run_until_idle(10_000));
+            let stats = serials
+                .iter()
+                .map(|&s| match engine.poll(s) {
+                    SessionStatus::Done { outcome } => outcome.stats.clone(),
+                    other => panic!("expected done, got {other:?}"),
+                })
+                .collect();
+            engine.drain_completed();
+            stats
+        };
+        let first = lap(&mut engine);
+        assert!(engine.slots_recycled() > 0, "2 slots, 5 sessions: recycles");
+        let second = lap(&mut engine);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn cross_recipe_recycling_rebuilds_slots() {
+        // Alternate two recipes through a 1-slot shard: every admission
+        // after the first recycles the slot, half across recipes.
+        let mut engine = SessionEngine::new(0, 1, 8);
+        let abp = SessionSpec {
+            family: FamilySpec::Abp {
+                domain: 2,
+                max_len: 3,
+            },
+            input: DataSeq::from_indices([1, 0]),
+            channel: ChannelSpec::LossyFifo,
+            scheduler: SchedulerSpec::Random { p_deliver: 0.8 },
+            seed: 3,
+            max_steps: 2_000,
+            ttl_rounds: None,
+        };
+        let tight = tight_spec(&[2, 1], 3);
+        for round in 0..3 {
+            for spec in [&abp, &tight] {
+                let mut solo = SessionEngine::new(0, 1, 8);
+                let fresh_serial = solo.submit(spec.clone());
+                assert!(solo.run_until_idle(10_000));
+                let SessionStatus::Done { outcome: fresh } = solo.poll(fresh_serial) else {
+                    panic!("fresh run must retire");
+                };
+                let serial = engine.submit(spec.clone());
+                assert!(engine.run_until_idle(10_000));
+                let SessionStatus::Done { outcome } = engine.poll(serial) else {
+                    panic!("recycled run must retire");
+                };
+                assert_eq!(outcome.stats, fresh.stats, "round={round}");
+                engine.drain_completed();
+            }
+        }
+        assert!(engine.slots_recycled() >= 5);
+    }
+
+    #[test]
+    fn backpressure_queues_and_eventually_completes() {
+        let server = SessionServer::new(&ServerSpec {
+            shards: 1,
+            capacity_per_shard: 1,
+            quantum: 8,
+        });
+        let ids: Vec<SessionId> = (0..3)
+            .map(|s| server.submit(tight_spec(&[1, 0], s)))
+            .collect();
+        assert_eq!(server.queued_sessions(), 3);
+        assert!(server.run_until_idle(100_000));
+        for id in ids {
+            match server.poll(id) {
+                SessionStatus::Done { outcome } => {
+                    assert_eq!(outcome.fate, SessionFate::Completed);
+                }
+                other => panic!("expected done, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn disconnect_running_and_queued_sessions() {
+        let server = SessionServer::new(&ServerSpec {
+            shards: 1,
+            capacity_per_shard: 1,
+            quantum: 1,
+        });
+        // Starved adversary: the session would never finish on its own.
+        let mut starved = tight_spec(&[1, 0], 0);
+        starved.scheduler = SchedulerSpec::Random { p_deliver: 0.0 };
+        let running = server.submit(starved.clone());
+        let queued = server.submit(starved);
+        server.step_rounds(3);
+        assert!(matches!(
+            server.poll(running),
+            SessionStatus::Running { .. }
+        ));
+        assert_eq!(server.poll(queued), SessionStatus::Queued);
+
+        assert!(server.disconnect(running));
+        assert!(server.disconnect(queued));
+        let drained = server.drain_completed();
+        assert_eq!(drained.len(), 2);
+        assert!(drained
+            .iter()
+            .all(|o| o.fate == SessionFate::Disconnected && o.stats.safe));
+        let with_steps = drained.iter().find(|o| o.id == running).unwrap();
+        assert!(with_steps.stats.steps > 0, "ran before disconnecting");
+        let without = drained.iter().find(|o| o.id == queued).unwrap();
+        assert_eq!(without.stats.steps, 0, "never admitted");
+        // A second disconnect is a no-op.
+        assert!(!server.disconnect(running));
+    }
+
+    #[test]
+    fn ttl_churn_disconnects_after_the_configured_rounds() {
+        let mut spec = tight_spec(&[1, 0], 0);
+        spec.scheduler = SchedulerSpec::Random { p_deliver: 0.0 };
+        spec.ttl_rounds = Some(3);
+        let mut engine = SessionEngine::new(0, 4, 2);
+        let serial = engine.submit(spec);
+        assert!(engine.run_until_idle(100));
+        let SessionStatus::Done { outcome } = engine.poll(serial) else {
+            panic!("ttl must retire the session");
+        };
+        assert_eq!(outcome.fate, SessionFate::Disconnected);
+        // Admitted on round 0, expired at round 3: three 2-step rounds.
+        assert_eq!(outcome.stats.steps, 6);
+    }
+
+    #[test]
+    fn exhaustion_caps_steps_at_the_budget() {
+        let mut spec = tight_spec(&[1, 0], 0);
+        spec.scheduler = SchedulerSpec::Random { p_deliver: 0.0 };
+        spec.max_steps = 10;
+        let mut engine = SessionEngine::new(0, 4, 8);
+        let serial = engine.submit(spec);
+        assert!(engine.run_until_idle(100));
+        let SessionStatus::Done { outcome } = engine.poll(serial) else {
+            panic!("budget must retire the session");
+        };
+        assert_eq!(outcome.fate, SessionFate::Exhausted);
+        assert_eq!(outcome.stats.steps, 10);
+    }
+
+    #[test]
+    fn empty_input_completes_like_a_world_run() {
+        // A fresh sender only learns it is done at Init, so both the
+        // world loop and the session store charge the empty input one
+        // step — parity is the contract, not zero.
+        let spec = tight_spec(&[], 0);
+        let mut world = spec.build_world();
+        world.run_until(spec.max_steps, World::is_complete);
+
+        let mut engine = SessionEngine::new(0, 4, 8);
+        let serial = engine.submit(spec);
+        assert!(engine.run_until_idle(10));
+        let SessionStatus::Done { outcome } = engine.poll(serial) else {
+            panic!("empty input must complete");
+        };
+        assert_eq!(outcome.fate, SessionFate::Completed);
+        assert_eq!(outcome.stats, world.stats());
+        assert_eq!(outcome.stats.steps, 1);
+    }
+
+    #[test]
+    fn churn_outcomes_are_shard_count_invariant() {
+        let base = run_churn(&small_churn(400, 1), None);
+        assert_eq!(base.submitted, 400);
+        assert_eq!(
+            base.completed + base.exhausted + base.disconnected,
+            base.submitted
+        );
+        assert!(base.completed > 0);
+        assert!(base.disconnected > 0, "10% walk-away rate must show up");
+        for shards in [2u16, 4] {
+            let sharded = run_churn(&small_churn(400, shards), None);
+            assert_eq!(sharded.completed, base.completed, "shards={shards}");
+            assert_eq!(sharded.exhausted, base.exhausted, "shards={shards}");
+            assert_eq!(sharded.disconnected, base.disconnected, "shards={shards}");
+            assert_eq!(sharded.total_steps, base.total_steps, "shards={shards}");
+            assert_eq!(sharded.digest, base.digest, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn churn_threaded_and_isolated_agree() {
+        let spec = small_churn(300, 3);
+        let threaded = run_churn(&spec, None);
+        let isolated = run_churn_isolated(&spec, None);
+        assert_eq!(threaded.digest, isolated.digest);
+        assert_eq!(threaded.completed, isolated.completed);
+        assert_eq!(threaded.latency_rounds, isolated.latency_rounds);
+        assert_eq!(isolated.shard_busy_secs.len(), 3);
+        assert!(isolated.critical_path_secs() > 0.0);
+        assert!(isolated.sessions_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn churn_is_deterministic_per_seed() {
+        let a = run_churn(&small_churn(200, 2), None);
+        let b = run_churn(&small_churn(200, 2), None);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.completed, b.completed);
+        let mut other = small_churn(200, 2);
+        other.seed = 43;
+        let c = run_churn(&other, None);
+        assert_ne!(a.digest, c.digest, "seed must matter");
+    }
+
+    #[test]
+    fn churn_report_flattens_to_a_sessions_record() {
+        let report = run_churn_isolated(&small_churn(120, 2), None);
+        let record = report.record("bench_sessions");
+        assert_eq!(record.shards, 2);
+        assert_eq!(record.completed, report.completed);
+        assert!(record.sessions_per_sec > 0.0);
+        assert!(record.p99_latency_rounds >= 1.0);
+    }
+
+    #[test]
+    fn sweep_spec_expands_to_session_specs_in_grid_order() {
+        let sweep = SweepSpec::new(ChannelSpec::Dup, SchedulerSpec::DupStorm { p_deliver: 0.9 })
+            .seeds([0, 1]);
+        let family = FamilySpec::Tight {
+            d: 2,
+            policy: ResendPolicy::Once,
+        };
+        let specs = sweep.session_specs(&family);
+        let claimed = family.build().claimed_family();
+        assert_eq!(specs.len(), claimed.len() * 2);
+        assert_eq!(specs[0].input, claimed.seqs()[0]);
+        assert_eq!(specs[0].seed, 0);
+        assert_eq!(specs[1].seed, 1);
+        assert_eq!(specs[2].input, claimed.seqs()[1]);
+        assert!(specs.iter().all(|s| s.channel == ChannelSpec::Dup));
+    }
+
+    #[test]
+    fn session_and_churn_specs_round_trip_json() {
+        let spec = tight_spec(&[1, 2, 0], 9);
+        let json = serde_json::to_string(&spec).unwrap();
+        assert_eq!(serde_json::from_str::<SessionSpec>(&json).unwrap(), spec);
+
+        let churn = small_churn(100, 4);
+        let json = serde_json::to_string(&churn).unwrap();
+        assert_eq!(serde_json::from_str::<ChurnSpec>(&json).unwrap(), churn);
+
+        // `server` and `ttl_rounds` are defaulted, so a minimal spec parses.
+        let minimal = r#"{"sessions":10,"arrivals_per_round":2,"max_steps":100,"seed":1,
+            "mix":[{"family":{"Tight":{"d":2,"policy":"Once"}},
+                    "channel":"Dup","scheduler":"Eager"}]}"#;
+        let parsed: ChurnSpec = serde_json::from_str(minimal).unwrap();
+        assert_eq!(parsed.server, ServerSpec::default());
+        assert_eq!(parsed.disconnect_rate, 0.0);
+    }
+}

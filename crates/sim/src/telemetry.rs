@@ -308,6 +308,51 @@ pub struct StabilizationLine {
     pub stabilization: StabilizationRecord,
 }
 
+/// One churn-workload benchmark result, flattened for export: what a
+/// [`ChurnReport`](crate::sessions::ChurnReport) measured, as the
+/// `{"sessions": …}` telemetry line the bench gate consumes.
+///
+/// `busy_secs` is the parallel critical path — the busiest shard's
+/// single-threaded stepping time — and `sessions_per_sec` is computed
+/// against it, so the lane measures sharding quality independently of
+/// how many cores the benchmark host has. `wall_secs` is the honest
+/// wall clock of the same run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionsRecord {
+    /// Which harness produced this line; empty when untagged.
+    #[serde(default)]
+    pub experiment: String,
+    /// Shards the workload ran on.
+    pub shards: usize,
+    /// Sessions submitted.
+    pub submitted: u64,
+    /// Sessions that completed their transmission.
+    pub completed: u64,
+    /// Sessions that ran out of step budget.
+    pub exhausted: u64,
+    /// Sessions that walked away (TTL churn).
+    pub disconnected: u64,
+    /// Protocol steps executed across every session.
+    pub total_steps: u64,
+    /// Engine rounds (max across shards).
+    pub rounds: u64,
+    /// Wall-clock seconds of the run.
+    pub wall_secs: f64,
+    /// Critical-path seconds: the busiest shard's stepping time.
+    pub busy_secs: f64,
+    /// Completed sessions per critical-path second.
+    pub sessions_per_sec: f64,
+    /// p99 submit-to-retire latency of completed sessions, in rounds.
+    pub p99_latency_rounds: f64,
+}
+
+/// The wire form of a churn-bench line: `{"sessions": {…}}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionsLine {
+    /// The record.
+    pub sessions: SessionsRecord,
+}
+
 /// The wire form of a conformance-ledger line: `{"verdict": {…}}` — one
 /// grid cell of the certificate gate, carrying the cell's expected and
 /// observed verdicts plus the independent checker's judgement.
@@ -335,6 +380,8 @@ pub enum TelemetryLine {
     Verdict(stp_core::schema::ConformanceVerdict),
     /// A stabilization probe under state corruption.
     Stabilization(StabilizationRecord),
+    /// A churn-workload benchmark result.
+    Sessions(SessionsRecord),
 }
 
 impl TelemetryLine {
@@ -344,8 +391,8 @@ impl TelemetryLine {
     ///
     /// Returns the underlying JSON error when the line is none of the
     /// `{"run": …}` / `{"span": …}` / `{"frontier": …}` / `{"summary": …}`
-    /// / `{"verdict": …}` / `{"stabilization": …}` / `{"report": …}`
-    /// documents.
+    /// / `{"verdict": …}` / `{"stabilization": …}` / `{"sessions": …}` /
+    /// `{"report": …}` documents.
     pub fn parse(line: &str) -> Result<TelemetryLine, serde_json::Error> {
         if let Ok(l) = serde_json::from_str::<RunLine>(line) {
             return Ok(TelemetryLine::Run(l.run));
@@ -355,6 +402,9 @@ impl TelemetryLine {
         }
         if let Ok(l) = serde_json::from_str::<StabilizationLine>(line) {
             return Ok(TelemetryLine::Stabilization(l.stabilization));
+        }
+        if let Ok(l) = serde_json::from_str::<SessionsLine>(line) {
+            return Ok(TelemetryLine::Sessions(l.sessions));
         }
         if let Ok(l) = serde_json::from_str::<SpanLine>(line) {
             return Ok(TelemetryLine::Span(l.span));
@@ -484,6 +534,19 @@ impl TelemetryWriter {
         self.sink.write_line(&line)
     }
 
+    /// Emits one churn-bench line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization or sink I/O errors.
+    pub fn emit_sessions(&mut self, record: &SessionsRecord) -> io::Result<()> {
+        let line = serde_json::to_string(&SessionsLine {
+            sessions: record.clone(),
+        })
+        .map_err(io::Error::other)?;
+        self.sink.write_line(&line)
+    }
+
     /// Emits one knowledge-frontier sample line.
     ///
     /// # Errors
@@ -568,6 +631,10 @@ pub struct ProgressMeter {
     workers: AtomicUsize,
     interval: Duration,
     clock: Mutex<MeterClock>,
+    // Single-reporter guard: the callback runs under this lock, so two
+    // shards can never emit interleaved partial lines. Throttled callers
+    // that lose the race skip — their counts are already in the atomics.
+    report_lock: Mutex<()>,
     callback: Box<dyn Fn(&ProgressSnapshot) + Send + Sync>,
 }
 
@@ -605,6 +672,7 @@ impl ProgressMeter {
                 last_report: None,
                 last_done: 0,
             }),
+            report_lock: Mutex::new(()),
             callback: Box::new(callback),
         }
     }
@@ -641,6 +709,29 @@ impl ProgressMeter {
     pub fn record_done(&self, n: usize) {
         self.done.fetch_add(n, Ordering::Relaxed);
         self.maybe_report(false);
+    }
+
+    /// A per-worker batching handle: increments accumulate locally and
+    /// merge into the shared counter every 64 additions and when the
+    /// handle drops (merge-on-join). A sharded stepping loop holds one
+    /// handle per shard thread, so the hot path pays no atomics at all
+    /// between flushes.
+    pub fn local(&self) -> LocalProgress<'_> {
+        self.local_every(64)
+    }
+
+    /// [`ProgressMeter::local`] with an explicit flush batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flush_every` is zero.
+    pub fn local_every(&self, flush_every: usize) -> LocalProgress<'_> {
+        assert!(flush_every > 0, "a batch must flush eventually");
+        LocalProgress {
+            meter: self,
+            pending: 0,
+            flush_every,
+        }
     }
 
     /// Forces a final report (e.g. after the merge).
@@ -680,6 +771,16 @@ impl ProgressMeter {
     }
 
     fn maybe_report(&self, force: bool) {
+        // One reporter at a time: a forced report waits its turn, a
+        // throttled one skips if another thread is already reporting.
+        let _reporting = if force {
+            self.report_lock.lock()
+        } else {
+            match self.report_lock.try_lock() {
+                Some(guard) => guard,
+                None => return,
+            }
+        };
         // The critical section is two clock reads; workers contend here
         // only once per finished run.
         let mut clock = self.clock.lock();
@@ -716,6 +817,49 @@ impl ProgressMeter {
             }
             (self.callback)(&snap);
         }
+    }
+}
+
+/// A per-worker batching view of a [`ProgressMeter`] — see
+/// [`ProgressMeter::local`]. Dropping the handle flushes whatever is
+/// pending, so joining a worker merges its tail automatically.
+pub struct LocalProgress<'a> {
+    meter: &'a ProgressMeter,
+    pending: usize,
+    flush_every: usize,
+}
+
+impl fmt::Debug for LocalProgress<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LocalProgress")
+            .field("pending", &self.pending)
+            .field("flush_every", &self.flush_every)
+            .finish_non_exhaustive()
+    }
+}
+
+impl LocalProgress<'_> {
+    /// Records `n` finished items locally, flushing to the shared meter
+    /// when the batch threshold is reached.
+    pub fn add(&mut self, n: usize) {
+        self.pending += n;
+        if self.pending >= self.flush_every {
+            self.flush();
+        }
+    }
+
+    /// Merges pending items into the shared meter now.
+    pub fn flush(&mut self) {
+        if self.pending > 0 {
+            self.meter.record_done(self.pending);
+            self.pending = 0;
+        }
+    }
+}
+
+impl Drop for LocalProgress<'_> {
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
@@ -922,6 +1066,80 @@ mod tests {
         match TelemetryLine::parse(&sink.lines()[1]).unwrap() {
             TelemetryLine::Stabilization(back) => assert_eq!(back, divergent),
             other => panic!("expected a stabilization line, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sessions_lines_round_trip() {
+        let rec = SessionsRecord {
+            experiment: "bench_sessions".to_string(),
+            shards: 4,
+            submitted: 1_000_000,
+            completed: 880_000,
+            exhausted: 20_000,
+            disconnected: 100_000,
+            total_steps: 123_456_789,
+            rounds: 70_000,
+            wall_secs: 12.5,
+            busy_secs: 3.2,
+            sessions_per_sec: 275_000.0,
+            p99_latency_rounds: 9.0,
+        };
+        let sink = MemorySink::new();
+        let mut w = TelemetryWriter::new(Box::new(sink.clone()));
+        w.emit_sessions(&rec).unwrap();
+        let line = &sink.lines()[0];
+        assert!(line.contains("\"sessions\""), "{line}");
+        match TelemetryLine::parse(line).unwrap() {
+            TelemetryLine::Sessions(back) => assert_eq!(back, rec),
+            other => panic!("expected a sessions line, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn local_progress_batches_and_flushes_on_drop() {
+        let meter = ProgressMeter::new(Duration::from_secs(3600), |_| {});
+        meter.begin(100);
+        {
+            let mut local = meter.local_every(10);
+            local.add(4);
+            assert_eq!(meter.snapshot().done, 0, "below the batch threshold");
+            local.add(6);
+            assert_eq!(meter.snapshot().done, 10, "threshold reached, flushed");
+            local.add(3);
+            assert_eq!(meter.snapshot().done, 10, "tail still pending");
+        } // drop flushes the tail (merge-on-join)
+        assert_eq!(meter.snapshot().done, 13);
+    }
+
+    #[test]
+    fn concurrent_forced_reports_never_interleave() {
+        // Each callback appends an open marker, sleeps, then a close
+        // marker under the meter's report lock; interleaving would break
+        // the strict open/close alternation.
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let seen = events.clone();
+        let meter = Arc::new(ProgressMeter::new(Duration::from_secs(0), move |_| {
+            seen.lock().push("open");
+            std::thread::sleep(Duration::from_millis(2));
+            seen.lock().push("close");
+        }));
+        meter.begin(64);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let meter = Arc::clone(&meter);
+                scope.spawn(move || {
+                    for _ in 0..4 {
+                        meter.record_done(1);
+                        meter.finish();
+                    }
+                });
+            }
+        });
+        let events = events.lock();
+        assert!(!events.is_empty());
+        for pair in events.chunks(2) {
+            assert_eq!(pair, ["open", "close"], "reports interleaved: {events:?}");
         }
     }
 

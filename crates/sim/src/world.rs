@@ -246,18 +246,6 @@ impl World {
         }
     }
 
-    /// Assembles a world from its parts.
-    #[deprecated(since = "0.2.0", note = "use `World::builder` instead")]
-    pub fn new(
-        input: DataSeq,
-        sender: Box<dyn Sender>,
-        receiver: Box<dyn Receiver>,
-        channel: Box<dyn Channel>,
-        scheduler: Box<dyn Scheduler>,
-    ) -> Self {
-        World::assemble(input, sender, receiver, channel, scheduler, TraceMode::Full)
-    }
-
     /// Convenience: the paper's tight protocol on `input` over a
     /// duplicating channel with an eager scheduler.
     pub fn tight_dup(input: DataSeq, d: u16) -> Self {

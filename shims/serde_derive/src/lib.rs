@@ -31,12 +31,15 @@ enum Shape {
 }
 
 /// A named field plus the one field attribute the shim honours:
-/// `#[serde(default)]` (a missing key deserializes via `Default::default()`
-/// instead of being fed `Content::Null`).
+/// `#[serde(default)]` / `#[serde(default = "path")]` (a missing key
+/// deserializes via `Default::default()` or the named function instead of
+/// being fed `Content::Null`). `default` is `None` for no attribute,
+/// `Some(None)` for the bare form, `Some(Some(path))` for the function
+/// form.
 #[derive(Debug)]
 struct Field {
     name: String,
-    default: bool,
+    default: Option<Option<String>>,
 }
 
 #[derive(Debug)]
@@ -110,24 +113,45 @@ fn strip_prefix(tokens: &[TokenTree]) -> &[TokenTree] {
     &tokens[i..]
 }
 
-/// Whether an (un-stripped) field segment carries `#[serde(default)]` —
-/// possibly alongside other serde arguments, which the shim ignores.
-fn has_serde_default(segment: &[TokenTree]) -> bool {
-    segment.windows(2).any(|w| {
-        matches!(&w[0], TokenTree::Punct(p) if p.as_char() == '#')
-            && matches!(&w[1], TokenTree::Group(attr) if {
-                let toks: Vec<TokenTree> = attr.stream().into_iter().collect();
-                matches!(toks.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde")
-                    && matches!(toks.get(1), Some(TokenTree::Group(args)) if {
-                        split_commas(&args.stream().into_iter().collect::<Vec<_>>())
-                            .iter()
-                            .any(|arg| matches!(
-                                (arg.first(), arg.len()),
-                                (Some(TokenTree::Ident(id)), 1) if id.to_string() == "default"
-                            ))
-                    })
-            })
-    })
+/// The `#[serde(default)]` / `#[serde(default = "path")]` attribute of an
+/// (un-stripped) field segment, if present — possibly alongside other
+/// serde arguments, which the shim ignores. See [`Field::default`] for
+/// the encoding.
+fn serde_default(segment: &[TokenTree]) -> Option<Option<String>> {
+    for w in segment.windows(2) {
+        if !matches!(&w[0], TokenTree::Punct(p) if p.as_char() == '#') {
+            continue;
+        }
+        let TokenTree::Group(attr) = &w[1] else {
+            continue;
+        };
+        let toks: Vec<TokenTree> = attr.stream().into_iter().collect();
+        if !matches!(toks.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+            continue;
+        }
+        let Some(TokenTree::Group(args)) = toks.get(1) else {
+            continue;
+        };
+        for arg in split_commas(&args.stream().into_iter().collect::<Vec<_>>()) {
+            if !matches!(arg.first(), Some(TokenTree::Ident(id)) if id.to_string() == "default") {
+                continue;
+            }
+            match arg.len() {
+                // `default`
+                1 => return Some(None),
+                // `default = "path"`
+                3 if matches!(&arg[1], TokenTree::Punct(p) if p.as_char() == '=') => {
+                    if let TokenTree::Literal(lit) = &arg[2] {
+                        let path = lit.to_string();
+                        let path = path.trim_matches('"').to_string();
+                        return Some(Some(path));
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
 }
 
 /// The first identifier of a (stripped) field segment, i.e. the field name.
@@ -145,7 +169,7 @@ fn parse_named_fields(group_tokens: &[TokenTree]) -> Vec<Field> {
         .filter_map(|seg| {
             field_name(seg).map(|name| Field {
                 name,
-                default: has_serde_default(seg),
+                default: serde_default(seg),
             })
         })
         .collect()
@@ -229,18 +253,23 @@ fn parse_shape(input: TokenStream) -> Result<Shape, String> {
 
 fn field_lookup(field: &Field, source: &str) -> String {
     let name = &field.name;
-    if field.default {
-        format!(
-            "match {source}.iter().find(|(k, _)| k == \"{name}\") {{\
-                 Some((_, v)) => ::serde::Deserialize::from_content(v)?,\
-                 None => ::std::default::Default::default(),\
-             }}"
-        )
-    } else {
-        format!(
+    match &field.default {
+        Some(fallback) => {
+            let absent = match fallback {
+                Some(path) => format!("{path}()"),
+                None => "::std::default::Default::default()".to_string(),
+            };
+            format!(
+                "match {source}.iter().find(|(k, _)| k == \"{name}\") {{\
+                     Some((_, v)) => ::serde::Deserialize::from_content(v)?,\
+                     None => {absent},\
+                 }}"
+            )
+        }
+        None => format!(
             "::serde::Deserialize::from_content({source}.iter().find(|(k, _)| k == \"{name}\")\
              .map(|(_, v)| v).unwrap_or(&::serde::Content::Null))?"
-        )
+        ),
     }
 }
 
