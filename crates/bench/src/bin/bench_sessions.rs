@@ -1,9 +1,12 @@
 //! Massively-multi-session throughput benchmark: the sharded
 //! [`SessionServer`](stp_sim::sessions::SessionServer) store under a
 //! million-session open/transmit/
-//! disconnect churn workload, at 1, 4 and 8 shards. Writes
+//! disconnect churn workload, at 1, 4 and 8 shards, plus a metered
+//! 4-shard lane with the fleet registry and stall watchdog armed whose
+//! overhead is recorded (and budget-gated in CI). Writes
 //! `BENCH_sessions.json` in the current directory and, when
-//! `STP_TELEMETRY` is set, one `{"sessions": …}` line per lane.
+//! `STP_TELEMETRY` is set, one `{"sessions": …}` line per lane and the
+//! metered lane's per-shard + aggregate `{"fleet": …}` snapshots.
 //!
 //! ## Timing model
 //!
@@ -17,7 +20,29 @@
 //! happens to have (CI runners often pin this binary to one or two). The
 //! honest wall clock of each run is recorded alongside (`wall_secs`,
 //! which on a single-core host is close to the *sum* of the per-shard
-//! times), and `host_cores` says what the numbers were measured on.
+//! times). The host's measured parallelism is recorded as
+//! `host_cores_effective` (what the scheduler actually grants this
+//! process — cgroup and affinity aware) and `host_cores_present` (CPUs
+//! the kernel reports), so a `1` next to 4- and 8-shard lanes reads as
+//! "critical-path projection from one core", not as a claim the lanes
+//! ran in parallel.
+//!
+//! ## Metered overhead
+//!
+//! The metered lane re-runs the 4-shard workload with a
+//! [`FleetRegistry`] attached and the default [`WatchdogSpec`] armed.
+//! `metered_overhead` compares **total busy seconds** (summed across
+//! shards) against the unmetered 4-shard lane — the sum is steadier than
+//! the per-shard max on small hosts, and metering cost is per-shard
+//! work, so the sum is the quantity the registry can actually inflate.
+//! Both sides are measured as the **minimum over interleaved laps**:
+//! shared benchmark hosts inject multi-percent one-sided timing noise
+//! (a single identical lap can vary ±10%+ under a noisy neighbour), and
+//! since noise only ever *adds* time, min-of-N on each side converges on
+//! the true cost while a single-shot ratio would gate on the weather.
+//! The metered digest must equal the unmetered digest (observation never
+//! changes an outcome) and the watchdog must stay silent on this clean
+//! workload.
 //!
 //! Every lane runs the identical seeded workload; the per-session
 //! outcome digest must agree across shard counts — the sharding is
@@ -26,38 +51,91 @@
 use serde::Serialize;
 use stp_channel::{ChannelSpec, SchedulerSpec};
 use stp_protocols::{FamilySpec, ResendPolicy};
-use stp_sim::sessions::{run_churn_isolated, ChurnSpec, ServerSpec, SessionTemplate};
+use stp_sim::fleet::{FleetRegistry, WatchdogSpec};
+use stp_sim::sessions::{
+    run_churn_fleet_isolated, run_churn_isolated, ChurnReport, ChurnSpec, ServerSpec,
+    SessionTemplate,
+};
 use stp_sim::SessionsRecord;
 
 /// One shard-count lane of the benchmark.
 #[derive(Debug, Serialize)]
 struct Lane {
     shards: u16,
+    /// Whether the fleet registry + watchdog were attached for this lane.
+    metered: bool,
     completed: u64,
     critical_path_secs: f64,
+    /// Total stepping seconds summed across shards — the denominator of
+    /// the metered-overhead ratio.
+    busy_secs: f64,
     wall_secs: f64,
     sessions_per_sec: f64,
     p99_latency_rounds: f64,
     rounds: u64,
 }
 
+impl Lane {
+    fn from_report(report: &ChurnReport, shards: u16, metered: bool) -> Self {
+        Lane {
+            shards,
+            metered,
+            completed: report.completed,
+            critical_path_secs: report.critical_path_secs(),
+            busy_secs: report.shard_busy_secs.iter().sum(),
+            wall_secs: report.wall_secs,
+            sessions_per_sec: report.sessions_per_sec(),
+            p99_latency_rounds: report.p99_latency_rounds(),
+            rounds: report.rounds,
+        }
+    }
+}
+
 #[derive(Debug, Serialize)]
 struct SessionsBenchReport {
     workload: String,
     timing: String,
-    host_cores: usize,
+    /// Parallelism actually granted to this process (affinity/cgroup
+    /// aware) — what the lanes were *measured* on.
+    host_cores_effective: usize,
+    /// CPUs the kernel reports as present, `>= host_cores_effective`.
+    host_cores_present: usize,
     sessions_submitted: u64,
     sessions_completed: u64,
     sessions_disconnected: u64,
     sessions_exhausted: u64,
     digest: String,
     lanes: Vec<Lane>,
+    metered_lane: Lane,
+    /// Busy-seconds inflation of the metered 4-shard lane over the
+    /// unmetered one (0.012 = +1.2%). Budget-gated in CI.
+    metered_overhead: f64,
     sessions_per_sec_1: f64,
     sessions_per_sec_4: f64,
     sessions_per_sec_8: f64,
     p99_latency_rounds: f64,
     scaling_4_over_1: f64,
     scaling_8_over_1: f64,
+}
+
+/// Parallelism granted to this process and CPUs present on the host.
+///
+/// `available_parallelism` respects cgroup quotas and CPU affinity, so
+/// it is the honest answer to "how parallel were the measurements";
+/// `/proc/cpuinfo` (when readable) says how many CPUs exist regardless.
+fn host_parallelism() -> (usize, usize) {
+    let effective = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let present = std::fs::read_to_string("/proc/cpuinfo")
+        .map(|body| {
+            body.lines()
+                .filter(|line| line.starts_with("processor"))
+                .count()
+        })
+        .unwrap_or(0)
+        .max(effective);
+    (effective, present)
 }
 
 fn workload(shards: u16) -> ChurnSpec {
@@ -68,6 +146,7 @@ fn workload(shards: u16) -> ChurnSpec {
             shards,
             capacity_per_shard: 4_096,
             quantum: 8,
+            watchdog: None,
         },
         max_steps: 2_000,
         seed: 0x5E55_1045,
@@ -103,14 +182,13 @@ fn workload(shards: u16) -> ChurnSpec {
 }
 
 fn main() {
-    let host_cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let (host_cores_effective, host_cores_present) = host_parallelism();
     let meter = stp_bench::telemetry::progress();
 
     let mut lanes = Vec::new();
     let mut records: Vec<SessionsRecord> = Vec::new();
     let mut first_report = None;
+    let mut unmetered_4_busy = 0.0_f64;
     for shards in [1u16, 4, 8] {
         eprintln!("bench_sessions: lane {shards} shard(s)…");
         let spec = workload(shards);
@@ -120,15 +198,11 @@ fn main() {
             report.completed + report.exhausted + report.disconnected,
             report.submitted
         );
-        lanes.push(Lane {
-            shards,
-            completed: report.completed,
-            critical_path_secs: report.critical_path_secs(),
-            wall_secs: report.wall_secs,
-            sessions_per_sec: report.sessions_per_sec(),
-            p99_latency_rounds: report.p99_latency_rounds(),
-            rounds: report.rounds,
-        });
+        let lane = Lane::from_report(&report, shards, false);
+        if shards == 4 {
+            unmetered_4_busy = lane.busy_secs;
+        }
+        lanes.push(lane);
         records.push(report.record("bench_sessions"));
         match &first_report {
             None => first_report = Some(report),
@@ -142,6 +216,62 @@ fn main() {
         }
     }
     let base = first_report.expect("three lanes ran");
+
+    // Metered lane: same 4-shard workload, fleet registry attached and
+    // the default watchdog armed. Observation must not change a single
+    // outcome, and the watchdog must stay silent — this workload always
+    // retires sessions well inside their α(m)-derived bound. Overhead
+    // is min-of-laps on both sides (see the module docs on noise).
+    const OVERHEAD_LAPS: usize = 3;
+    let mut metered_spec = workload(4);
+    metered_spec.server.watchdog = Some(WatchdogSpec::default());
+    let mut plain_busy = unmetered_4_busy;
+    let mut metered_busy = f64::INFINITY;
+    let mut metered_lane = None;
+    let mut last_snapshot = None;
+    for lap in 1..=OVERHEAD_LAPS {
+        eprintln!(
+            "bench_sessions: metered lane 4 shard(s) (fleet registry + watchdog), \
+             lap {lap}/{OVERHEAD_LAPS}…"
+        );
+        let fleet = FleetRegistry::new(4);
+        let metered = run_churn_fleet_isolated(&metered_spec, Some(&meter), &fleet);
+        assert_eq!(
+            metered.digest, base.digest,
+            "metering must not change any session's outcome"
+        );
+        assert_eq!(metered.completed, base.completed);
+        assert!(
+            metered.stalls.is_empty(),
+            "watchdog false positives on the clean bench workload: {}",
+            metered.stalls.len()
+        );
+        let snapshot = fleet.snapshot();
+        assert_eq!(snapshot.stats().completed, metered.completed);
+        last_snapshot = Some(snapshot);
+        let lane = Lane::from_report(&metered, 4, true);
+        if lane.busy_secs < metered_busy {
+            metered_busy = lane.busy_secs;
+            metered_lane = Some(lane);
+        }
+        if lap == OVERHEAD_LAPS {
+            records.push(metered.record("bench_sessions"));
+            break;
+        }
+        // Interleave an unmetered control lap so both sides sample the
+        // same host weather.
+        eprintln!(
+            "bench_sessions: unmetered control lap {lap}/{}…",
+            OVERHEAD_LAPS - 1
+        );
+        let control = run_churn_isolated(&workload(4), Some(&meter));
+        assert_eq!(control.digest, base.digest);
+        plain_busy = plain_busy.min(control.shard_busy_secs.iter().sum());
+    }
+    let snapshot = last_snapshot.expect("metered laps ran");
+    let stats = snapshot.stats();
+    let metered_lane = metered_lane.expect("metered laps ran");
+    let metered_overhead = metered_busy / plain_busy - 1.0;
 
     let rate = |shards: u16| {
         lanes
@@ -158,7 +288,8 @@ fn main() {
             base.submitted
         ),
         timing: "critical-path".to_string(),
-        host_cores,
+        host_cores_effective,
+        host_cores_present,
         sessions_submitted: base.submitted,
         sessions_completed: base.completed,
         sessions_disconnected: base.disconnected,
@@ -171,19 +302,36 @@ fn main() {
         scaling_4_over_1: r4 / r1,
         scaling_8_over_1: r8 / r1,
         lanes,
+        metered_lane,
+        metered_overhead,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_sessions.json", &json).expect("BENCH_sessions.json written");
     println!("{json}");
+    println!(
+        "bench_sessions: 4-shard lane {r4:.0}/s critical-path, measured on \
+         {host_cores_effective} effective core(s) ({host_cores_present} present); \
+         fleet metering overhead {:+.2}% busy-secs",
+        report.metered_overhead * 100.0
+    );
 
     stp_bench::telemetry::export_sessions("bench_sessions", &records);
+    let mut fleet_records: Vec<_> = snapshot
+        .shards
+        .iter()
+        .map(|s| s.record("bench_sessions"))
+        .collect();
+    fleet_records.push(stats.record("bench_sessions"));
+    stp_bench::telemetry::export_fleet("bench_sessions", &fleet_records);
     // Headline gates, re-checked (with reviewed budgets) by CI's
     // bench_gate step: a million completed sessions in one churn run,
-    // and 4-way sharding at least 2.5× the single shard on the
-    // critical path.
+    // 4-way sharding at least 2.5× the single shard on the critical
+    // path, and fleet metering within its busy-seconds budget.
     stp_bench::telemetry::export_summary(
         "bench_sessions",
         records.len(),
-        report.sessions_completed >= 1_000_000 && report.scaling_4_over_1 >= 2.5,
+        report.sessions_completed >= 1_000_000
+            && report.scaling_4_over_1 >= 2.5
+            && report.metered_overhead <= 0.05,
     );
 }

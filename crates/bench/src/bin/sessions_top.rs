@@ -1,0 +1,268 @@
+//! `top` for the session fleet: runs a seeded churn workload on the
+//! sharded session store and renders a live, refreshing per-shard table
+//! (throughput, p50/p99 latency, queue depth, oldest-active-age, stall
+//! flags) sampled lock-free from the [`FleetRegistry`] while the shards
+//! step — the dashboard the `stp-sim::fleet` module exists to feed.
+//!
+//! Modes:
+//!
+//! * default — live view: the workload runs on worker threads, the main
+//!   thread redraws the table every `--interval` milliseconds from
+//!   [`FleetWatch`](stp_sim::fleet::FleetWatch) deltas until the run
+//!   completes.
+//! * `--once` — non-interactive: run the workload to completion, print
+//!   the final table exactly once (no ANSI escapes), for CI and scripts.
+//! * `--prometheus` — additionally print the final snapshot in the
+//!   Prometheus text exposition format.
+//!
+//! With `STP_TELEMETRY` set, every refresh emits an aggregate
+//! `{"fleet": …}` line, the final snapshot adds one line per shard, and
+//! every watchdog flag becomes a `{"stall": …}` line — all validated by
+//! `validate_telemetry`.
+//!
+//! Usage: `sessions_top [--once] [--prometheus] [--shards N]
+//! [--sessions N] [--interval MS]`
+
+use std::time::Duration;
+use stp_channel::{ChannelSpec, SchedulerSpec};
+use stp_protocols::{FamilySpec, ResendPolicy};
+use stp_sim::fleet::{
+    prometheus_text, FleetDelta, FleetRegistry, FleetSnapshot, ShardDelta, WatchdogSpec, NO_SAMPLES,
+};
+use stp_sim::sessions::{run_churn_fleet, ChurnSpec, ServerSpec, SessionTemplate};
+
+struct Args {
+    once: bool,
+    prometheus: bool,
+    shards: u16,
+    sessions: u64,
+    interval: Duration,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        once: false,
+        prometheus: false,
+        shards: 4,
+        sessions: 200_000,
+        interval: Duration::from_millis(500),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--once" => args.once = true,
+            "--prometheus" => args.prometheus = true,
+            "--shards" => {
+                args.shards = value("--shards").parse().unwrap_or_else(|e| {
+                    die(&format!("--shards: {e}"));
+                })
+            }
+            "--sessions" => {
+                args.sessions = value("--sessions").parse().unwrap_or_else(|e| {
+                    die(&format!("--sessions: {e}"));
+                })
+            }
+            "--interval" => {
+                let ms: u64 = value("--interval").parse().unwrap_or_else(|e| {
+                    die(&format!("--interval: {e}"));
+                });
+                args.interval = Duration::from_millis(ms.max(50));
+            }
+            other => die(&format!("unknown argument '{other}'")),
+        }
+    }
+    args
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!(
+        "sessions_top: {msg}\nusage: sessions_top [--once] [--prometheus] [--shards N] \
+         [--sessions N] [--interval MS]"
+    );
+    std::process::exit(2);
+}
+
+// The same mix the churn bench runs, scaled to a dashboard-sized
+// workload, with the default watchdog armed so the STALLS column is
+// live.
+fn workload(args: &Args) -> ChurnSpec {
+    ChurnSpec {
+        sessions: args.sessions,
+        arrivals_per_round: 1_024,
+        server: ServerSpec {
+            shards: args.shards,
+            capacity_per_shard: 2_048,
+            quantum: 8,
+            watchdog: Some(WatchdogSpec::default()),
+        },
+        max_steps: 2_000,
+        seed: 0x70_5E55,
+        disconnect_rate: 0.05,
+        disconnect_after: 2,
+        mix: vec![
+            SessionTemplate {
+                family: FamilySpec::Tight {
+                    d: 3,
+                    policy: ResendPolicy::Once,
+                },
+                channel: ChannelSpec::Dup,
+                scheduler: SchedulerSpec::DupStorm { p_deliver: 0.9 },
+            },
+            SessionTemplate {
+                family: FamilySpec::Abp {
+                    domain: 2,
+                    max_len: 3,
+                },
+                channel: ChannelSpec::LossyFifo,
+                scheduler: SchedulerSpec::Random { p_deliver: 0.8 },
+            },
+        ],
+    }
+}
+
+fn fmt_quantile(q: f64) -> String {
+    if q == NO_SAMPLES {
+        "-".to_string()
+    } else {
+        format!("{q:.0}")
+    }
+}
+
+fn fmt_rate(rate: Option<f64>) -> String {
+    match rate {
+        Some(r) if r >= 0.0 => format!("{r:.0}"),
+        _ => "-".to_string(),
+    }
+}
+
+// One table: a header, one row per shard, and an aggregate row. Rates
+// come from the watch delta when there is one (live view); the final
+// `--once` table reports the whole-run average instead.
+fn render(snapshot: &FleetSnapshot, deltas: Option<&FleetDelta>, avg_rate: Option<f64>) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>5} {:>8} {:>7} {:>7} {:>9} {:>9} {:>6} {:>6} {:>7} {:>7}\n",
+        "SHARD", "ROUND", "ACTIVE", "QUEUE", "DONE", "RATE/s", "p50", "p99", "OLDEST", "STALLS"
+    ));
+    let shard_rate = |shard: u16| -> Option<f64> {
+        let d = deltas?;
+        let per: &ShardDelta = d.per_shard.iter().find(|p| p.shard == shard)?;
+        (d.secs > 0.0).then(|| per.completed as f64 / d.secs)
+    };
+    for s in &snapshot.shards {
+        out.push_str(&format!(
+            "{:>5} {:>8} {:>7} {:>7} {:>9} {:>9} {:>6} {:>6} {:>7} {:>7}\n",
+            s.shard,
+            s.round,
+            s.active,
+            s.queued,
+            s.completed,
+            fmt_rate(shard_rate(s.shard)),
+            fmt_quantile(s.p50_latency_rounds()),
+            fmt_quantile(s.p99_latency_rounds()),
+            s.oldest_active_age,
+            s.stalls,
+        ));
+    }
+    let stats = snapshot.stats();
+    let rate = deltas
+        .filter(|d| d.secs > 0.0)
+        .map(FleetDelta::sessions_per_sec)
+        .or(avg_rate);
+    out.push_str(&format!(
+        "{:>5} {:>8} {:>7} {:>7} {:>9} {:>9} {:>6} {:>6} {:>7} {:>7}\n",
+        "ALL",
+        stats.round,
+        stats.active,
+        stats.queued,
+        stats.completed,
+        fmt_rate(rate),
+        fmt_quantile(stats.p50_latency_rounds()),
+        fmt_quantile(stats.p99_latency_rounds()),
+        stats.oldest_active_age,
+        stats.stalls,
+    ));
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let spec = workload(&args);
+    let fleet = FleetRegistry::new(args.shards);
+    let mut telemetry = stp_bench::telemetry::writer();
+    let mut emit = |record: &stp_sim::FleetRecord| {
+        if let Some(w) = telemetry.as_mut() {
+            if let Err(e) = w.emit_fleet(record) {
+                eprintln!("sessions_top: fleet telemetry failed: {e}");
+            }
+        }
+    };
+
+    let report = if args.once {
+        run_churn_fleet(&spec, None, &fleet)
+    } else {
+        // Live view: the workload runs on its own thread (which spawns
+        // one worker per shard); this thread samples and redraws.
+        let mut watch = fleet.watch();
+        let worker = {
+            let spec = spec.clone();
+            let fleet = fleet.clone();
+            std::thread::spawn(move || run_churn_fleet(&spec, None, &fleet))
+        };
+        while !worker.is_finished() {
+            std::thread::sleep(args.interval);
+            let delta = watch.tick();
+            emit(&delta.snapshot.stats().record("sessions_top"));
+            // Clear screen + home, then the table — plain ANSI, no TUI
+            // dependency.
+            print!(
+                "\x1b[2J\x1b[H{}",
+                render(&delta.snapshot, Some(&delta), None)
+            );
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        worker.join().expect("churn worker panicked")
+    };
+
+    // Final state: the definitive table (printed once, no escapes), the
+    // per-shard + aggregate telemetry lines, and any watchdog flags.
+    let snapshot = fleet.snapshot();
+    let avg_rate = (report.wall_secs > 0.0).then(|| report.completed as f64 / report.wall_secs);
+    print!("{}", render(&snapshot, None, avg_rate));
+    println!(
+        "{} sessions: {} completed, {} disconnected, {} exhausted, {} stalled in {:.2}s",
+        report.submitted,
+        report.completed,
+        report.disconnected,
+        report.exhausted,
+        report.stalls.len(),
+        report.wall_secs,
+    );
+    for shard in &snapshot.shards {
+        emit(&shard.record("sessions_top"));
+    }
+    emit(&snapshot.stats().record("sessions_top"));
+    if let Some(w) = telemetry.as_mut() {
+        let result = report
+            .stalls
+            .iter()
+            .cloned()
+            .try_for_each(|mut stall| {
+                stall.experiment = "sessions_top".to_string();
+                w.emit_stall(&stall)
+            })
+            .and_then(|()| w.flush());
+        if let Err(e) = result {
+            eprintln!("sessions_top: stall telemetry failed: {e}");
+        }
+    }
+
+    if args.prometheus {
+        print!("{}", prometheus_text(&snapshot));
+    }
+}

@@ -10,8 +10,8 @@
 
 use std::process::ExitCode;
 use stp_sim::telemetry::{
-    FrontierLine, ReportLine, RunLine, SessionsLine, SpanLine, StabilizationLine, SummaryLine,
-    VerdictLine,
+    FleetLine, FrontierLine, ReportLine, RunLine, SessionsLine, SpanLine, StabilizationLine,
+    StallLine, SummaryLine, VerdictLine,
 };
 use stp_sim::TelemetryLine;
 
@@ -51,6 +51,8 @@ fn round_trips(line: &TelemetryLine) -> Result<bool, serde_json::Error> {
         TelemetryLine::Sessions(s) => serde_json::to_string(&SessionsLine {
             sessions: s.clone(),
         })?,
+        TelemetryLine::Fleet(f) => serde_json::to_string(&FleetLine { fleet: f.clone() })?,
+        TelemetryLine::Stall(s) => serde_json::to_string(&StallLine { stall: s.clone() })?,
     };
     Ok(TelemetryLine::parse(&reserialized)? == *line)
 }
@@ -70,6 +72,7 @@ fn main() -> ExitCode {
     let (mut spans, mut frontiers, mut verdicts) = (0usize, 0usize, 0usize);
     let mut stabilizations = 0usize;
     let mut sessions = 0usize;
+    let (mut fleets, mut stalls) = (0usize, 0usize);
     for (no, line) in body.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -111,10 +114,20 @@ fn main() -> ExitCode {
             TelemetryLine::Verdict(_) => verdicts += 1,
             TelemetryLine::Stabilization(_) => stabilizations += 1,
             TelemetryLine::Sessions(_) => sessions += 1,
+            TelemetryLine::Fleet(_) => fleets += 1,
+            TelemetryLine::Stall(_) => stalls += 1,
         }
     }
-    let total =
-        runs + reports + summaries + spans + frontiers + verdicts + stabilizations + sessions;
+    let total = runs
+        + reports
+        + summaries
+        + spans
+        + frontiers
+        + verdicts
+        + stabilizations
+        + sessions
+        + fleets
+        + stalls;
     if total == 0 {
         eprintln!("validate_telemetry: {path} contains no telemetry lines");
         return ExitCode::FAILURE;
@@ -122,7 +135,7 @@ fn main() -> ExitCode {
     println!(
         "{path}: {total} lines valid ({runs} runs, {reports} reports, {summaries} summaries, \
          {spans} spans, {frontiers} frontiers, {verdicts} verdicts, \
-         {stabilizations} stabilizations, {sessions} sessions)"
+         {stabilizations} stabilizations, {sessions} sessions, {fleets} fleets, {stalls} stalls)"
     );
     ExitCode::SUCCESS
 }

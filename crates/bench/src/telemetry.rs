@@ -10,8 +10,8 @@
 
 use std::time::Duration;
 use stp_sim::{
-    ExperimentSummary, ProgressMeter, SessionsRecord, StabilizationRecord, SweepOutcome,
-    TelemetryWriter,
+    ExperimentSummary, FleetRecord, ProgressMeter, SessionsRecord, StabilizationRecord,
+    StallRecord, SweepOutcome, TelemetryWriter,
 };
 
 /// The writer configured by `STP_TELEMETRY`, or `None` when telemetry is
@@ -74,6 +74,34 @@ pub fn export_sessions(experiment: &str, records: &[SessionsRecord]) {
             .and_then(|()| w.flush());
         if let Err(e) = result {
             eprintln!("telemetry: sessions export failed for {experiment}: {e}");
+        }
+    }
+}
+
+/// Exports fleet-metrics snapshots — one `{"fleet": …}` line per
+/// per-shard or aggregate sample.
+pub fn export_fleet(experiment: &str, records: &[FleetRecord]) {
+    if let Some(mut w) = writer() {
+        let result = records
+            .iter()
+            .try_for_each(|r| w.emit_fleet(r))
+            .and_then(|()| w.flush());
+        if let Err(e) = result {
+            eprintln!("telemetry: fleet export failed for {experiment}: {e}");
+        }
+    }
+}
+
+/// Exports stall-watchdog flags — one `{"stall": …}` line per flagged
+/// session.
+pub fn export_stalls(experiment: &str, records: &[StallRecord]) {
+    if let Some(mut w) = writer() {
+        let result = records
+            .iter()
+            .try_for_each(|r| w.emit_stall(r))
+            .and_then(|()| w.flush());
+        if let Err(e) = result {
+            eprintln!("telemetry: stall export failed for {experiment}: {e}");
         }
     }
 }

@@ -1,0 +1,1123 @@
+//! Fleet observability for the session store: per-shard atomic metrics,
+//! stop-free snapshots, and a bound-aware stall watchdog.
+//!
+//! The sharded [`SessionServer`](crate::sessions::SessionServer) steps
+//! over a million concurrent STP sessions, and until this module it ran
+//! dark: the probe/trace layers observe *single runs*, not the live
+//! fleet. Three pieces fix that:
+//!
+//! * [`ShardMetrics`] — one per shard, all counters and gauges are
+//!   relaxed atomics and the two distributions ([`AtomicHistogram`]s of
+//!   submit-to-retire latency and per-round step cost) are arrays of
+//!   atomic buckets, so the stepping loop updates them without a lock
+//!   and readers sample them without stopping the shard. The engine
+//!   batches its updates at round granularity (admissions, retirements,
+//!   one end-of-round gauge store) — nothing touches the per-step hot
+//!   loop, which is what keeps the metered lane inside its ≤ 5% budget.
+//! * [`FleetRegistry`] → [`FleetSnapshot`] / [`FleetWatch`] — a
+//!   registry is a cheaply clonable handle over every shard's metrics;
+//!   `snapshot()` materializes plain (serializable, mergeable)
+//!   [`ShardSnapshot`]s, [`FleetStats`] aggregates them, and a watch
+//!   tick yields the [`FleetDelta`] between consecutive snapshots, which
+//!   is how the `sessions_top` dashboard computes live throughput.
+//! * The **stall watchdog** ([`WatchdogSpec`]) — the paper's α(m) bound
+//!   gives every protocol family a *certified* expectation for how many
+//!   steps a healthy session needs ([`healthy_step_bound`]); a session
+//!   whose age exceeds a configured multiple of that bound is flagged as
+//!   a [`StallRecord`] carrying its full [`SessionSpec`] (family,
+//!   input, channel, adversary, seed), so a flagged session can be
+//!   replayed through the witness machinery verbatim.
+//!
+//! Snapshots are *eventually consistent*: a reader can observe a sample
+//! whose bucket increment landed but whose sum has not (or vice versa).
+//! Counts are derived from the bucket array itself, so every snapshot is
+//! a well-formed [`Histogram`]; transients only nudge the mean.
+
+use crate::metrics::Histogram;
+use crate::sessions::SessionSpec;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use stp_core::event::Step;
+use stp_protocols::FamilySpec;
+
+/// The NaN-free sentinel every fleet percentile path returns when no
+/// sessions have completed yet: latencies are non-negative, so `-1.0`
+/// can never be a real quantile, and unlike `NaN` it serializes to valid
+/// JSON and compares `==` in tests.
+pub const NO_SAMPLES: f64 = -1.0;
+
+// The fleet's two distribution layouts. Latency mirrors the churn
+// report's histogram (width-1 buckets: exact round-valued quantiles up
+// to the overflow bucket); per-round step cost spans orders of
+// magnitude, so it gets exponential edges.
+fn latency_bounds() -> Vec<f64> {
+    (0..256).map(|i| 1.0 + i as f64).collect()
+}
+
+fn round_cost_bounds() -> Vec<f64> {
+    let mut edge = 1.0;
+    (0..16)
+        .map(|_| {
+            let e = edge;
+            edge *= 2.0;
+            e
+        })
+        .collect()
+}
+
+/// A fixed-layout histogram whose buckets are atomic counters, so many
+/// threads can [`record`](AtomicHistogram::record) while another thread
+/// [`snapshot`](AtomicHistogram::snapshot)s — the concurrent sibling of
+/// [`Histogram`], sharing its bucket semantics (upper edges, overflow
+/// bucket) so snapshots merge with ordinary histograms.
+///
+/// Samples are `u64` (the fleet records round counts and step counts);
+/// min/max ride `fetch_min`/`fetch_max`. All orderings are relaxed: the
+/// histogram is telemetry, not synchronization.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl AtomicHistogram {
+    /// Creates an atomic histogram with the given upper bucket edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing (the
+    /// [`Histogram`] layout contract).
+    pub fn new(bounds: Vec<f64>) -> AtomicHistogram {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must be strictly increasing"
+        );
+        let counts = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        AtomicHistogram {
+            bounds,
+            counts,
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        let idx = self.bounds.partition_point(|&b| b <= v as f64);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Materializes a plain [`Histogram`] with the same layout. The
+    /// count is derived from the bucket array itself, so the result is
+    /// always internally consistent even while writers are racing.
+    pub fn snapshot(&self) -> Histogram {
+        let counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        let (min, max) = if count == 0 {
+            (0.0, 0.0)
+        } else {
+            (
+                self.min.load(Ordering::Relaxed) as f64,
+                self.max.load(Ordering::Relaxed) as f64,
+            )
+        };
+        Histogram {
+            bounds: self.bounds.clone(),
+            counts,
+            count,
+            sum: self.sum.load(Ordering::Relaxed) as f64,
+            min,
+            max,
+        }
+    }
+}
+
+/// The per-shard metrics registry: every counter and gauge the fleet
+/// dashboard shows, updated by the owning
+/// [`SessionEngine`](crate::sessions::SessionEngine) at round
+/// granularity and read by anyone holding the [`FleetRegistry`].
+#[derive(Debug)]
+pub struct ShardMetrics {
+    shard: u16,
+    // Counters (monotone).
+    submitted: AtomicU64,
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    disconnected: AtomicU64,
+    exhausted: AtomicU64,
+    recycle_hits: AtomicU64,
+    recycle_misses: AtomicU64,
+    steps: AtomicU64,
+    stalls: AtomicU64,
+    // Gauges (stored once per round).
+    round: AtomicU64,
+    queue_depth: AtomicU64,
+    active_slots: AtomicU64,
+    oldest_active_age: AtomicU64,
+    // Distributions.
+    latency: AtomicHistogram,
+    round_cost: AtomicHistogram,
+}
+
+impl ShardMetrics {
+    /// Fresh, zeroed metrics for one shard.
+    pub fn new(shard: u16) -> ShardMetrics {
+        ShardMetrics {
+            shard,
+            submitted: AtomicU64::new(0),
+            admitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            disconnected: AtomicU64::new(0),
+            exhausted: AtomicU64::new(0),
+            recycle_hits: AtomicU64::new(0),
+            recycle_misses: AtomicU64::new(0),
+            steps: AtomicU64::new(0),
+            stalls: AtomicU64::new(0),
+            round: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            active_slots: AtomicU64::new(0),
+            oldest_active_age: AtomicU64::new(0),
+            latency: AtomicHistogram::new(latency_bounds()),
+            round_cost: AtomicHistogram::new(round_cost_bounds()),
+        }
+    }
+
+    /// The shard these metrics belong to.
+    pub fn shard(&self) -> u16 {
+        self.shard
+    }
+
+    /// A session was submitted to this shard.
+    pub fn note_submitted(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A session was admitted into a slot (`recycled` says whether the
+    /// slot had run before — the recycle hit/miss split).
+    pub fn note_admitted(&self, recycled: bool) {
+        self.admitted.fetch_add(1, Ordering::Relaxed);
+        if recycled {
+            self.recycle_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.recycle_misses.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A session completed; `latency_rounds` is its submit-to-retire
+    /// latency.
+    pub fn note_completed(&self, latency_rounds: u64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.latency.record(latency_rounds);
+    }
+
+    /// A session walked away (TTL churn or an explicit disconnect).
+    pub fn note_disconnected(&self) {
+        self.disconnected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A session ran out of step budget.
+    pub fn note_exhausted(&self) {
+        self.exhausted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The watchdog flagged a session.
+    pub fn note_stall(&self) {
+        self.stalls.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// End-of-round sample: the engine's round counter, the queue and
+    /// active-roster depths, the age (in rounds) of the oldest active
+    /// session, and the protocol steps the round executed.
+    pub fn end_round(&self, round: u64, queued: u64, active: u64, oldest_age: u64, steps: u64) {
+        self.round.store(round, Ordering::Relaxed);
+        self.queue_depth.store(queued, Ordering::Relaxed);
+        self.active_slots.store(active, Ordering::Relaxed);
+        self.oldest_active_age.store(oldest_age, Ordering::Relaxed);
+        self.steps.fetch_add(steps, Ordering::Relaxed);
+        self.round_cost.record(steps);
+    }
+
+    /// Materializes a point-in-time [`ShardSnapshot`].
+    pub fn snapshot(&self) -> ShardSnapshot {
+        ShardSnapshot {
+            shard: self.shard,
+            round: self.round.load(Ordering::Relaxed),
+            submitted: self.submitted.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            disconnected: self.disconnected.load(Ordering::Relaxed),
+            exhausted: self.exhausted.load(Ordering::Relaxed),
+            recycle_hits: self.recycle_hits.load(Ordering::Relaxed),
+            recycle_misses: self.recycle_misses.load(Ordering::Relaxed),
+            steps: self.steps.load(Ordering::Relaxed),
+            stalls: self.stalls.load(Ordering::Relaxed),
+            queued: self.queue_depth.load(Ordering::Relaxed),
+            active: self.active_slots.load(Ordering::Relaxed),
+            oldest_active_age: self.oldest_active_age.load(Ordering::Relaxed),
+            latency: self.latency.snapshot(),
+            round_cost: self.round_cost.snapshot(),
+        }
+    }
+}
+
+/// A point-in-time copy of one shard's metrics — plain data, so it
+/// serializes, diffs and merges without touching the live registry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardSnapshot {
+    /// The shard index.
+    pub shard: u16,
+    /// Engine rounds stepped.
+    pub round: u64,
+    /// Sessions submitted.
+    pub submitted: u64,
+    /// Sessions admitted into slots.
+    pub admitted: u64,
+    /// Sessions that completed.
+    pub completed: u64,
+    /// Sessions that walked away.
+    pub disconnected: u64,
+    /// Sessions that ran out of step budget.
+    pub exhausted: u64,
+    /// Admissions that reused a previously-occupied slot.
+    pub recycle_hits: u64,
+    /// Admissions that provisioned a virgin slot.
+    pub recycle_misses: u64,
+    /// Protocol steps executed.
+    pub steps: u64,
+    /// Sessions the watchdog flagged.
+    pub stalls: u64,
+    /// Sessions waiting for a slot (gauge).
+    pub queued: u64,
+    /// Sessions in slots (gauge).
+    pub active: u64,
+    /// Age in rounds of the oldest active session (gauge; `0` when no
+    /// session is active).
+    pub oldest_active_age: u64,
+    /// Submit-to-retire latency of completed sessions, in rounds.
+    pub latency: Histogram,
+    /// Protocol steps per engine round.
+    pub round_cost: Histogram,
+}
+
+impl ShardSnapshot {
+    /// p50 submit-to-retire latency in rounds, [`NO_SAMPLES`] when no
+    /// session has completed.
+    pub fn p50_latency_rounds(&self) -> f64 {
+        guarded_quantile(&self.latency, 0.5)
+    }
+
+    /// p99 submit-to-retire latency in rounds, [`NO_SAMPLES`] when no
+    /// session has completed.
+    pub fn p99_latency_rounds(&self) -> f64 {
+        guarded_quantile(&self.latency, 0.99)
+    }
+
+    /// Flattens into the `{"fleet": …}` telemetry form, tagged as this
+    /// shard's line.
+    pub fn record(&self, experiment: &str) -> FleetRecord {
+        FleetRecord {
+            experiment: experiment.to_string(),
+            shard: Some(self.shard),
+            shards: 1,
+            round: self.round,
+            submitted: self.submitted,
+            admitted: self.admitted,
+            completed: self.completed,
+            disconnected: self.disconnected,
+            exhausted: self.exhausted,
+            recycle_hits: self.recycle_hits,
+            recycle_misses: self.recycle_misses,
+            steps: self.steps,
+            stalls: self.stalls,
+            queued: self.queued,
+            active: self.active,
+            oldest_active_age: self.oldest_active_age,
+            p50_latency_rounds: self.p50_latency_rounds(),
+            p99_latency_rounds: self.p99_latency_rounds(),
+        }
+    }
+}
+
+// The shared empty-distribution guard behind every fleet percentile
+// path (the satellite fix: NaN-free, explicit, testable).
+fn guarded_quantile(h: &Histogram, q: f64) -> f64 {
+    if h.count == 0 {
+        NO_SAMPLES
+    } else {
+        h.quantile(q)
+    }
+}
+
+/// A point-in-time copy of the whole fleet: one [`ShardSnapshot`] per
+/// shard, taken without stopping any of them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetSnapshot {
+    /// Per-shard snapshots, indexed by shard.
+    pub shards: Vec<ShardSnapshot>,
+}
+
+impl FleetSnapshot {
+    /// Aggregates every shard into one [`FleetStats`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot is empty (a registry always has ≥ 1
+    /// shard).
+    pub fn stats(&self) -> FleetStats {
+        assert!(!self.shards.is_empty(), "a fleet has at least one shard");
+        let mut latency = Histogram::new(latency_bounds());
+        let mut round_cost = Histogram::new(round_cost_bounds());
+        let mut stats = FleetStats {
+            shards: self.shards.len(),
+            round: 0,
+            submitted: 0,
+            admitted: 0,
+            completed: 0,
+            disconnected: 0,
+            exhausted: 0,
+            recycle_hits: 0,
+            recycle_misses: 0,
+            steps: 0,
+            stalls: 0,
+            queued: 0,
+            active: 0,
+            oldest_active_age: 0,
+            latency: Histogram::new(latency_bounds()),
+            round_cost: Histogram::new(round_cost_bounds()),
+        };
+        for s in &self.shards {
+            stats.round = stats.round.max(s.round);
+            stats.submitted += s.submitted;
+            stats.admitted += s.admitted;
+            stats.completed += s.completed;
+            stats.disconnected += s.disconnected;
+            stats.exhausted += s.exhausted;
+            stats.recycle_hits += s.recycle_hits;
+            stats.recycle_misses += s.recycle_misses;
+            stats.steps += s.steps;
+            stats.stalls += s.stalls;
+            stats.queued += s.queued;
+            stats.active += s.active;
+            stats.oldest_active_age = stats.oldest_active_age.max(s.oldest_active_age);
+            latency.merge(&s.latency);
+            round_cost.merge(&s.round_cost);
+        }
+        stats.latency = latency;
+        stats.round_cost = round_cost;
+        stats
+    }
+}
+
+/// Fleet-wide aggregate of a [`FleetSnapshot`]: summed counters, maxed
+/// gauges, merged distributions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetStats {
+    /// Shards aggregated.
+    pub shards: usize,
+    /// Engine rounds, max across shards.
+    pub round: u64,
+    /// Sessions submitted.
+    pub submitted: u64,
+    /// Sessions admitted into slots.
+    pub admitted: u64,
+    /// Sessions that completed.
+    pub completed: u64,
+    /// Sessions that walked away.
+    pub disconnected: u64,
+    /// Sessions that ran out of step budget.
+    pub exhausted: u64,
+    /// Admissions that reused a previously-occupied slot.
+    pub recycle_hits: u64,
+    /// Admissions that provisioned a virgin slot.
+    pub recycle_misses: u64,
+    /// Protocol steps executed.
+    pub steps: u64,
+    /// Sessions the watchdog flagged.
+    pub stalls: u64,
+    /// Sessions waiting for slots, summed.
+    pub queued: u64,
+    /// Sessions in slots, summed.
+    pub active: u64,
+    /// Oldest active session's age in rounds, max across shards.
+    pub oldest_active_age: u64,
+    /// Merged submit-to-retire latency distribution.
+    pub latency: Histogram,
+    /// Merged per-round step-cost distribution.
+    pub round_cost: Histogram,
+}
+
+impl FleetStats {
+    /// p50 submit-to-retire latency in rounds, [`NO_SAMPLES`] when no
+    /// session has completed anywhere in the fleet.
+    pub fn p50_latency_rounds(&self) -> f64 {
+        guarded_quantile(&self.latency, 0.5)
+    }
+
+    /// p99 submit-to-retire latency in rounds, [`NO_SAMPLES`] when no
+    /// session has completed anywhere in the fleet — never NaN, never a
+    /// phantom `0.0` that reads like a real latency.
+    pub fn p99_latency_rounds(&self) -> f64 {
+        guarded_quantile(&self.latency, 0.99)
+    }
+
+    /// Flattens into the `{"fleet": …}` telemetry form, tagged as the
+    /// aggregate line (`shard: null`).
+    pub fn record(&self, experiment: &str) -> FleetRecord {
+        FleetRecord {
+            experiment: experiment.to_string(),
+            shard: None,
+            shards: self.shards,
+            round: self.round,
+            submitted: self.submitted,
+            admitted: self.admitted,
+            completed: self.completed,
+            disconnected: self.disconnected,
+            exhausted: self.exhausted,
+            recycle_hits: self.recycle_hits,
+            recycle_misses: self.recycle_misses,
+            steps: self.steps,
+            stalls: self.stalls,
+            queued: self.queued,
+            active: self.active,
+            oldest_active_age: self.oldest_active_age,
+            p50_latency_rounds: self.p50_latency_rounds(),
+            p99_latency_rounds: self.p99_latency_rounds(),
+        }
+    }
+}
+
+/// One `{"fleet": …}` telemetry line: a flattened shard snapshot
+/// (`shard` set) or fleet aggregate (`shard` absent). Percentile fields
+/// carry the [`NO_SAMPLES`] sentinel while nothing has completed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetRecord {
+    /// Which harness produced this line; empty when untagged.
+    #[serde(default)]
+    pub experiment: String,
+    /// The shard this line describes; `None` for the fleet aggregate.
+    #[serde(default)]
+    pub shard: Option<u16>,
+    /// Shards aggregated (1 for a per-shard line).
+    pub shards: usize,
+    /// Engine rounds (max across aggregated shards).
+    pub round: u64,
+    /// Sessions submitted.
+    pub submitted: u64,
+    /// Sessions admitted into slots.
+    pub admitted: u64,
+    /// Sessions that completed.
+    pub completed: u64,
+    /// Sessions that walked away.
+    pub disconnected: u64,
+    /// Sessions that ran out of step budget.
+    pub exhausted: u64,
+    /// Admissions that reused a previously-occupied slot.
+    pub recycle_hits: u64,
+    /// Admissions that provisioned a virgin slot.
+    pub recycle_misses: u64,
+    /// Protocol steps executed.
+    pub steps: u64,
+    /// Sessions the watchdog flagged.
+    pub stalls: u64,
+    /// Sessions waiting for slots.
+    pub queued: u64,
+    /// Sessions in slots.
+    pub active: u64,
+    /// Oldest active session's age in rounds.
+    pub oldest_active_age: u64,
+    /// p50 submit-to-retire latency in rounds ([`NO_SAMPLES`] when no
+    /// completions).
+    pub p50_latency_rounds: f64,
+    /// p99 submit-to-retire latency in rounds ([`NO_SAMPLES`] when no
+    /// completions).
+    pub p99_latency_rounds: f64,
+}
+
+/// The shared handle over every shard's [`ShardMetrics`]. Clones are
+/// cheap (`Arc`s), so the registry travels into shard threads while the
+/// dashboard keeps its own handle to sample from.
+#[derive(Debug, Clone)]
+pub struct FleetRegistry {
+    shards: Vec<Arc<ShardMetrics>>,
+}
+
+impl FleetRegistry {
+    /// A registry for `shards` shards, all metrics zeroed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn new(shards: u16) -> FleetRegistry {
+        assert!(shards > 0, "a fleet needs at least one shard");
+        FleetRegistry {
+            shards: (0..shards)
+                .map(|s| Arc::new(ShardMetrics::new(s)))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The metrics handle of one shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn shard(&self, shard: u16) -> Arc<ShardMetrics> {
+        Arc::clone(&self.shards[shard as usize])
+    }
+
+    /// A point-in-time copy of every shard — taken lock-free, without
+    /// stopping any stepping loop.
+    pub fn snapshot(&self) -> FleetSnapshot {
+        FleetSnapshot {
+            shards: self.shards.iter().map(|m| m.snapshot()).collect(),
+        }
+    }
+
+    /// A delta-tracking view starting from the current state.
+    pub fn watch(&self) -> FleetWatch {
+        FleetWatch {
+            registry: self.clone(),
+            last: self.snapshot(),
+            last_at: Instant::now(),
+        }
+    }
+}
+
+/// What one shard did between two watch ticks.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ShardDelta {
+    /// The shard index.
+    pub shard: u16,
+    /// Sessions completed in the window.
+    pub completed: u64,
+    /// Protocol steps executed in the window.
+    pub steps: u64,
+    /// Engine rounds stepped in the window.
+    pub rounds: u64,
+}
+
+/// What the fleet did between two watch ticks: the wall-clock window,
+/// per-shard deltas, and the fresh snapshot the delta was computed
+/// against (so a dashboard renders gauges and rates from one tick).
+#[derive(Debug, Clone)]
+pub struct FleetDelta {
+    /// Wall-clock seconds since the previous tick.
+    pub secs: f64,
+    /// Sessions completed fleet-wide in the window.
+    pub completed: u64,
+    /// Protocol steps executed fleet-wide in the window.
+    pub steps: u64,
+    /// Per-shard deltas.
+    pub per_shard: Vec<ShardDelta>,
+    /// The snapshot this delta ends at.
+    pub snapshot: FleetSnapshot,
+}
+
+impl FleetDelta {
+    /// Completed sessions per second over the window (`0.0` for a
+    /// zero-width window).
+    pub fn sessions_per_sec(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.completed as f64 / self.secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Protocol steps per second over the window.
+    pub fn steps_per_sec(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.steps as f64 / self.secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Tracks consecutive snapshots of a [`FleetRegistry`]; each
+/// [`tick`](FleetWatch::tick) yields the [`FleetDelta`] since the last.
+#[derive(Debug)]
+pub struct FleetWatch {
+    registry: FleetRegistry,
+    last: FleetSnapshot,
+    last_at: Instant,
+}
+
+impl FleetWatch {
+    /// Takes a fresh snapshot and returns the delta since the previous
+    /// tick (or since the watch was created).
+    pub fn tick(&mut self) -> FleetDelta {
+        let now = Instant::now();
+        let snapshot = self.registry.snapshot();
+        let per_shard: Vec<ShardDelta> = snapshot
+            .shards
+            .iter()
+            .zip(&self.last.shards)
+            .map(|(cur, prev)| ShardDelta {
+                shard: cur.shard,
+                completed: cur.completed.saturating_sub(prev.completed),
+                steps: cur.steps.saturating_sub(prev.steps),
+                rounds: cur.round.saturating_sub(prev.round),
+            })
+            .collect();
+        let delta = FleetDelta {
+            secs: now.duration_since(self.last_at).as_secs_f64(),
+            completed: per_shard.iter().map(|d| d.completed).sum(),
+            steps: per_shard.iter().map(|d| d.steps).sum(),
+            per_shard,
+            snapshot: snapshot.clone(),
+        };
+        self.last = snapshot;
+        self.last_at = now;
+        delta
+    }
+}
+
+/// Stall-watchdog configuration: a session is flagged when its age (in
+/// engine rounds since admission) exceeds
+/// `max(min_rounds, ⌈multiplier · healthy_step_bound / quantum⌉)` — a
+/// configurable multiple of its protocol's *certified* expected cost
+/// ([`healthy_step_bound`]), translated from steps to rounds by the
+/// engine's quantum.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WatchdogSpec {
+    /// Slack multiplier over the healthy step bound. The default (8×)
+    /// keeps clean churn grids at zero false positives: observed p99
+    /// latency is ~5 rounds while the smallest default threshold is 16.
+    #[serde(default = "default_multiplier")]
+    pub multiplier: f64,
+    /// Floor on the threshold in rounds, so tiny inputs (whose bound is
+    /// a handful of steps) are not flagged on scheduling jitter.
+    #[serde(default = "default_min_rounds")]
+    pub min_rounds: u64,
+}
+
+fn default_multiplier() -> f64 {
+    8.0
+}
+
+fn default_min_rounds() -> u64 {
+    16
+}
+
+impl Default for WatchdogSpec {
+    fn default() -> Self {
+        WatchdogSpec {
+            multiplier: default_multiplier(),
+            min_rounds: default_min_rounds(),
+        }
+    }
+}
+
+impl WatchdogSpec {
+    /// The flagging threshold in engine rounds for a session whose
+    /// healthy cost is `expected_steps`, under a `quantum`-step round.
+    pub fn threshold_rounds(&self, expected_steps: u64, quantum: u32) -> u64 {
+        let rounds = (self.multiplier * expected_steps as f64 / f64::from(quantum.max(1))).ceil();
+        (rounds as u64).max(self.min_rounds)
+    }
+}
+
+/// The certified expectation for how many protocol steps a *healthy*
+/// session of this family needs on an input of `input_len` items — the
+/// theory-grounded baseline the watchdog multiplies.
+///
+/// Derivation: the receiver must single out the input among at most
+/// `α(m)` claimed sequences ([`stp_core::alpha::alpha`]); the tight
+/// protocol's knowledge frontier collapses to the exact input after at
+/// most `input_len + 1` *productive* S→R deliveries (one per item plus
+/// the end-marker round — the same per-item collapse the
+/// [`FrontierProbe`](../../stp_knowledge/frontier/index.html) samples),
+/// each acknowledged R→S. On a healthy channel a send becomes
+/// deliverable the next step, so one productive exchange costs at most
+/// four steps (S send, deliver-to-R, R ack send, deliver-to-S); the
+/// constant `+4` absorbs `Init` and the final completion check. ABP and
+/// the naive variant pipeline the same per-item exchange, so they share
+/// the bound. The self-stabilizing family pays an extra RESET preamble
+/// of up to `2·max_len` steps before its indexed-frame exchange, and
+/// its end-of-frame round trips cost six steps in the worst interleaving
+/// — hence the larger constants.
+pub fn healthy_step_bound(family: &FamilySpec, input_len: usize) -> u64 {
+    let len = input_len as u64;
+    match family {
+        FamilySpec::Tight { .. } | FamilySpec::Naive { .. } | FamilySpec::Abp { .. } => {
+            4 * (len + 1) + 4
+        }
+        FamilySpec::Stabilizing { max_len, .. } => 6 * (len + 2) + 2 * u64::from(*max_len),
+    }
+}
+
+/// One watchdog flag: a session whose age exceeded its threshold. The
+/// embedded [`SessionSpec`] (family, input, channel, scheduler, seed,
+/// budgets) is complete provenance — `spec.build_world()` replays the
+/// exact session through the single-world path and the witness
+/// machinery.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StallRecord {
+    /// Which harness produced this line; empty when untagged.
+    #[serde(default)]
+    pub experiment: String,
+    /// The shard the session is running on.
+    pub shard: u16,
+    /// The session's per-shard serial ([`SessionId::serial`](crate::sessions::SessionId::serial)).
+    pub serial: u64,
+    /// The engine round the flag was raised on.
+    pub round: u64,
+    /// The session's age in rounds since admission when flagged.
+    pub age_rounds: u64,
+    /// The threshold it exceeded, in rounds.
+    pub threshold_rounds: u64,
+    /// The healthy step bound the threshold was derived from.
+    pub expected_steps: u64,
+    /// Protocol steps the session had executed when flagged.
+    pub steps: Step,
+    /// Full session provenance: replay with
+    /// [`SessionSpec::build_world`].
+    pub spec: SessionSpec,
+}
+
+/// Renders a [`FleetSnapshot`] in the Prometheus text exposition format
+/// (version 0.0.4): per-shard counters and gauges labelled
+/// `{shard="N"}`, plus the fleet-wide latency distribution as a
+/// cumulative `_bucket`/`_sum`/`_count` histogram.
+pub fn prometheus_text(snapshot: &FleetSnapshot) -> String {
+    use std::fmt::Write as _;
+    // One exposition row: metric name, help text, field accessor.
+    type MetricRow = (&'static str, &'static str, fn(&ShardSnapshot) -> u64);
+    let mut out = String::new();
+    let counters: [MetricRow; 9] = [
+        (
+            "stp_sessions_submitted_total",
+            "Sessions submitted to the shard.",
+            |s| s.submitted,
+        ),
+        (
+            "stp_sessions_admitted_total",
+            "Sessions admitted into slots.",
+            |s| s.admitted,
+        ),
+        (
+            "stp_sessions_completed_total",
+            "Sessions that completed their transmission.",
+            |s| s.completed,
+        ),
+        (
+            "stp_sessions_disconnected_total",
+            "Sessions that walked away.",
+            |s| s.disconnected,
+        ),
+        (
+            "stp_sessions_exhausted_total",
+            "Sessions that ran out of step budget.",
+            |s| s.exhausted,
+        ),
+        (
+            "stp_slot_recycle_hits_total",
+            "Admissions that reused a previously-occupied slot.",
+            |s| s.recycle_hits,
+        ),
+        (
+            "stp_slot_recycle_misses_total",
+            "Admissions that provisioned a virgin slot.",
+            |s| s.recycle_misses,
+        ),
+        (
+            "stp_protocol_steps_total",
+            "Protocol steps executed by the shard.",
+            |s| s.steps,
+        ),
+        (
+            "stp_sessions_stalled_total",
+            "Sessions flagged by the stall watchdog.",
+            |s| s.stalls,
+        ),
+    ];
+    let gauges: [MetricRow; 4] = [
+        (
+            "stp_engine_round",
+            "Engine rounds stepped by the shard.",
+            |s| s.round,
+        ),
+        ("stp_sessions_queued", "Sessions waiting for a slot.", |s| {
+            s.queued
+        }),
+        ("stp_sessions_active", "Sessions in slots.", |s| s.active),
+        (
+            "stp_oldest_active_age_rounds",
+            "Age in rounds of the oldest active session.",
+            |s| s.oldest_active_age,
+        ),
+    ];
+    for (name, help, get) in counters {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        for s in &snapshot.shards {
+            let _ = writeln!(out, "{name}{{shard=\"{}\"}} {}", s.shard, get(s));
+        }
+    }
+    for (name, help, get) in gauges {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        for s in &snapshot.shards {
+            let _ = writeln!(out, "{name}{{shard=\"{}\"}} {}", s.shard, get(s));
+        }
+    }
+    let stats = snapshot.stats();
+    let name = "stp_session_latency_rounds";
+    let _ = writeln!(
+        out,
+        "# HELP {name} Submit-to-retire latency of completed sessions, in engine rounds."
+    );
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let mut cumulative = 0u64;
+    for (i, bound) in stats.latency.bounds.iter().enumerate() {
+        cumulative += stats.latency.counts[i];
+        let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", stats.latency.count);
+    let _ = writeln!(out, "{name}_sum {}", stats.latency.sum);
+    let _ = writeln!(out, "{name}_count {}", stats.latency.count);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stp_protocols::ResendPolicy;
+
+    #[test]
+    fn atomic_histogram_matches_plain_histogram() {
+        let atomic = AtomicHistogram::new(vec![1.0, 2.0, 4.0]);
+        let mut plain = Histogram::new(vec![1.0, 2.0, 4.0]);
+        for v in [0u64, 1, 1, 3, 9] {
+            atomic.record(v);
+            plain.record(v as f64);
+        }
+        assert_eq!(atomic.snapshot(), plain);
+    }
+
+    #[test]
+    fn atomic_histogram_empty_snapshot_is_well_formed() {
+        let h = AtomicHistogram::new(vec![1.0, 2.0]).snapshot();
+        assert_eq!(h.count, 0);
+        assert_eq!(h.min, 0.0);
+        assert_eq!(h.max, 0.0);
+        assert_eq!(h.quantile(0.99), 0.0);
+        // Merges with an ordinary empty histogram of the same layout.
+        let mut other = Histogram::new(vec![1.0, 2.0]);
+        other.merge(&h);
+        assert_eq!(other.count, 0);
+    }
+
+    #[test]
+    fn atomic_histogram_is_safe_under_concurrent_recording() {
+        let h = AtomicHistogram::new((0..32).map(|i| 1.0 + i as f64).collect());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = &h;
+                scope.spawn(move || {
+                    for i in 0..1_000u64 {
+                        h.record((t * 7 + i) % 40);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4_000);
+        assert_eq!(snap.counts.iter().sum::<u64>(), 4_000);
+    }
+
+    #[test]
+    fn shard_metrics_round_trip_into_a_snapshot() {
+        let m = ShardMetrics::new(3);
+        m.note_submitted();
+        m.note_submitted();
+        m.note_admitted(false);
+        m.note_admitted(true);
+        m.note_completed(4);
+        m.note_disconnected();
+        m.note_stall();
+        m.end_round(5, 7, 1, 2, 16);
+        let s = m.snapshot();
+        assert_eq!(s.shard, 3);
+        assert_eq!(s.submitted, 2);
+        assert_eq!(s.admitted, 2);
+        assert_eq!(s.recycle_hits, 1);
+        assert_eq!(s.recycle_misses, 1);
+        assert_eq!(s.completed, 1);
+        assert_eq!(s.disconnected, 1);
+        assert_eq!(s.exhausted, 0);
+        assert_eq!(s.stalls, 1);
+        assert_eq!(s.round, 5);
+        assert_eq!(s.queued, 7);
+        assert_eq!(s.active, 1);
+        assert_eq!(s.oldest_active_age, 2);
+        assert_eq!(s.steps, 16);
+        assert_eq!(s.latency.count, 1);
+        assert_eq!(s.round_cost.count, 1);
+        assert_eq!(s.p50_latency_rounds(), 4.0);
+    }
+
+    #[test]
+    fn p99_is_the_no_samples_sentinel_with_zero_completed_sessions() {
+        // The regression the satellite fix pins: an idle fleet must
+        // report an explicit sentinel, not NaN and not a phantom 0.0.
+        let registry = FleetRegistry::new(2);
+        let stats = registry.snapshot().stats();
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.p99_latency_rounds(), NO_SAMPLES);
+        assert_eq!(stats.p50_latency_rounds(), NO_SAMPLES);
+        assert!(!stats.p99_latency_rounds().is_nan());
+        let shard = &registry.snapshot().shards[0];
+        assert_eq!(shard.p99_latency_rounds(), NO_SAMPLES);
+        // The telemetry form carries the sentinel through serialization.
+        let record = stats.record("t");
+        let json = serde_json::to_string(&record).unwrap();
+        assert!(!json.contains("NaN"), "{json}");
+        assert_eq!(record.p99_latency_rounds, NO_SAMPLES);
+        // One completion flips both percentiles to real values.
+        registry.shard(0).note_completed(3);
+        let stats = registry.snapshot().stats();
+        assert_eq!(stats.p99_latency_rounds(), 3.0);
+    }
+
+    #[test]
+    fn fleet_stats_aggregate_sums_maxes_and_merges() {
+        let registry = FleetRegistry::new(2);
+        registry.shard(0).note_submitted();
+        registry.shard(0).note_completed(2);
+        registry.shard(0).end_round(4, 1, 1, 9, 8);
+        registry.shard(1).note_submitted();
+        registry.shard(1).note_submitted();
+        registry.shard(1).note_completed(6);
+        registry.shard(1).end_round(7, 0, 2, 3, 24);
+        let stats = registry.snapshot().stats();
+        assert_eq!(stats.shards, 2);
+        assert_eq!(stats.submitted, 3);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.round, 7, "rounds max across shards");
+        assert_eq!(stats.oldest_active_age, 9, "age maxes across shards");
+        assert_eq!(stats.queued, 1);
+        assert_eq!(stats.active, 3);
+        assert_eq!(stats.steps, 32);
+        assert_eq!(stats.latency.count, 2, "latency merges across shards");
+        assert_eq!(stats.latency.min, 2.0);
+        assert_eq!(stats.latency.max, 6.0);
+    }
+
+    #[test]
+    fn watch_ticks_yield_deltas_between_snapshots() {
+        let registry = FleetRegistry::new(2);
+        let mut watch = registry.watch();
+        registry.shard(0).note_completed(1);
+        registry.shard(0).end_round(1, 0, 0, 0, 10);
+        registry.shard(1).end_round(1, 0, 0, 0, 6);
+        let d = watch.tick();
+        assert_eq!(d.completed, 1);
+        assert_eq!(d.steps, 16);
+        assert_eq!(d.per_shard[0].completed, 1);
+        assert_eq!(d.per_shard[0].rounds, 1);
+        assert_eq!(d.per_shard[1].completed, 0);
+        assert!(d.secs >= 0.0);
+        // The next tick starts from the new baseline.
+        let d = watch.tick();
+        assert_eq!(d.completed, 0);
+        assert_eq!(d.steps, 0);
+        assert!(d.sessions_per_sec() >= 0.0);
+    }
+
+    #[test]
+    fn watchdog_threshold_respects_floor_and_scales_with_bound() {
+        let w = WatchdogSpec::default();
+        // Tiny bound: the floor wins.
+        assert_eq!(w.threshold_rounds(4, 8), w.min_rounds);
+        // Large bound: multiplier · steps / quantum, rounded up.
+        assert_eq!(w.threshold_rounds(100, 8), 100);
+        let tight = WatchdogSpec {
+            multiplier: 2.0,
+            min_rounds: 1,
+        };
+        assert_eq!(tight.threshold_rounds(9, 8), 3, "ceil(18/8) = 3");
+        // Quantum 0 is clamped rather than dividing by zero.
+        assert!(tight.threshold_rounds(9, 0) >= 1);
+    }
+
+    #[test]
+    fn healthy_step_bound_grows_with_input_and_family() {
+        let tight = FamilySpec::Tight {
+            d: 3,
+            policy: ResendPolicy::Once,
+        };
+        assert_eq!(healthy_step_bound(&tight, 0), 8);
+        assert_eq!(healthy_step_bound(&tight, 3), 20);
+        assert!(healthy_step_bound(&tight, 4) > healthy_step_bound(&tight, 3));
+        let abp = FamilySpec::Abp {
+            domain: 2,
+            max_len: 3,
+        };
+        assert_eq!(healthy_step_bound(&abp, 3), healthy_step_bound(&tight, 3));
+        let stab = FamilySpec::Stabilizing { d: 2, max_len: 4 };
+        assert!(
+            healthy_step_bound(&stab, 3) > healthy_step_bound(&tight, 3),
+            "stabilizing pays its RESET preamble"
+        );
+    }
+
+    #[test]
+    fn snapshots_serialize_and_round_trip() {
+        let registry = FleetRegistry::new(2);
+        registry.shard(0).note_submitted();
+        registry.shard(0).note_completed(2);
+        let snap = registry.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: FleetSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        let stats = snap.stats();
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: FleetStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn prometheus_text_exposes_counters_gauges_and_the_histogram() {
+        let registry = FleetRegistry::new(2);
+        registry.shard(0).note_submitted();
+        registry.shard(0).note_admitted(false);
+        registry.shard(0).note_completed(3);
+        registry.shard(1).end_round(2, 5, 1, 4, 16);
+        let text = prometheus_text(&registry.snapshot());
+        assert!(text.contains("# TYPE stp_sessions_submitted_total counter"));
+        assert!(text.contains("stp_sessions_submitted_total{shard=\"0\"} 1"));
+        assert!(text.contains("stp_sessions_submitted_total{shard=\"1\"} 0"));
+        assert!(text.contains("# TYPE stp_sessions_queued gauge"));
+        assert!(text.contains("stp_sessions_queued{shard=\"1\"} 5"));
+        assert!(text.contains("# TYPE stp_session_latency_rounds histogram"));
+        assert!(text.contains("stp_session_latency_rounds_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("stp_session_latency_rounds_count 1"));
+        // Cumulative buckets: every line ≤ the +Inf count, none absent.
+        let buckets: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("stp_session_latency_rounds_bucket"))
+            .collect();
+        assert_eq!(buckets.len(), 257, "256 edges + +Inf");
+    }
+}

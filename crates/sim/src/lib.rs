@@ -33,6 +33,7 @@
 pub mod engine;
 pub mod error;
 pub mod fault;
+pub mod fleet;
 pub mod metrics;
 pub mod prelude;
 pub mod replay;
@@ -48,6 +49,11 @@ pub mod world;
 pub use engine::{SweepEngine, SweepSpec};
 pub use error::SimError;
 pub use fault::burst_plan;
+pub use fleet::{
+    healthy_step_bound, prometheus_text, AtomicHistogram, FleetDelta, FleetRecord, FleetRegistry,
+    FleetSnapshot, FleetStats, FleetWatch, ShardDelta, ShardMetrics, ShardSnapshot, StallRecord,
+    WatchdogSpec, NO_SAMPLES,
+};
 pub use metrics::{Histogram, MetricsProbe, RunStats, SweepReport};
 pub use replay::{replay, script_from_trace, scripted_world};
 pub use runner::{
@@ -55,8 +61,9 @@ pub use runner::{
     MemberRun, SweepOutcome,
 };
 pub use sessions::{
-    run_churn, run_churn_isolated, ChurnReport, ChurnSpec, ServerSpec, SessionEngine, SessionFate,
-    SessionId, SessionOutcome, SessionServer, SessionSpec, SessionStatus, SessionTemplate,
+    run_churn, run_churn_fleet, run_churn_fleet_isolated, run_churn_isolated, ChurnReport,
+    ChurnSpec, ServerSpec, SessionEngine, SessionFate, SessionId, SessionOutcome, SessionServer,
+    SessionSpec, SessionStatus, SessionTemplate,
 };
 pub use shrink::{
     classify, is_one_minimal, shrink_plan, shrink_to_witness, CampaignJudge, Violation, Witness,

@@ -704,6 +704,70 @@ mod tests {
     }
 
     #[test]
+    fn single_bucket_histogram_quantiles_clamp_to_samples() {
+        // One bound: everything below it in bucket 0, everything else in
+        // overflow. Quantiles must stay inside [min, max] either way.
+        let mut h = Histogram::new(vec![10.0]);
+        h.record(3.0);
+        assert_eq!(h.quantile(0.0), 3.0);
+        assert_eq!(h.quantile(0.5), 3.0);
+        assert_eq!(h.quantile(1.0), 3.0);
+        h.record(7.0);
+        // Bucket resolution: both samples share the one bucket, so any
+        // quantile reports that bucket's edge clamped to the observed
+        // range — never outside [min, max].
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert!((3.0..=7.0).contains(&h.quantile(q)), "q={q}");
+        }
+    }
+
+    #[test]
+    fn overflow_only_histogram_quantiles_stay_in_sample_range() {
+        // Every sample lands past the last edge: the quantile walk ends
+        // in the overflow bucket, whose "edge" is the recorded max.
+        let mut h = Histogram::linear(1.0, 1.0, 4);
+        h.record(100.0);
+        h.record(250.0);
+        h.record(9_000.0);
+        assert_eq!(h.counts[4], 3, "all three in the overflow bucket");
+        let p99 = h.quantile(0.99);
+        assert!((100.0..=9_000.0).contains(&p99), "p99={p99}");
+        assert_eq!(h.min, 100.0);
+        assert_eq!(h.max, 9_000.0);
+        assert!((h.mean() - (100.0 + 250.0 + 9_000.0) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_then_quantile_equals_quantile_of_concatenation() {
+        // The mergeability contract the fleet aggregation leans on:
+        // merging per-shard histograms then taking a percentile gives
+        // exactly the percentile of recording every sample into one.
+        let shard_a: Vec<f64> = vec![1.0, 2.0, 2.0, 5.0, 90.0];
+        let shard_b: Vec<f64> = vec![0.0, 3.0, 3.0, 3.0, 7.0, 300.0];
+        let mut a = Histogram::linear(1.0, 1.0, 16);
+        let mut b = Histogram::linear(1.0, 1.0, 16);
+        let mut all = Histogram::linear(1.0, 1.0, 16);
+        for &v in &shard_a {
+            a.record(v);
+            all.record(v);
+        }
+        for &v in &shard_b {
+            b.record(v);
+            all.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, all, "merge is exactly the concatenation");
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), all.quantile(q), "q={q}");
+        }
+        // And merging in the other order agrees too.
+        let mut other = b.clone();
+        other.merge(&a);
+        assert_eq!(other.quantile(0.99), all.quantile(0.99));
+    }
+
+    #[test]
     fn sweep_report_folds_runs_and_merges() {
         let stats = RunStats::of(&sample());
         let mut a = SweepReport::new();

@@ -13,14 +13,19 @@
 //! ```
 
 pub use crate::engine::{SweepEngine, SweepSpec};
+pub use crate::fleet::{
+    healthy_step_bound, prometheus_text, FleetDelta, FleetRecord, FleetRegistry, FleetSnapshot,
+    FleetStats, FleetWatch, ShardMetrics, ShardSnapshot, StallRecord, WatchdogSpec, NO_SAMPLES,
+};
 pub use crate::metrics::{Histogram, MetricsProbe, RunStats, SweepReport};
 pub use crate::runner::{
     run_family_member, sweep_family, sweep_family_parallel, sweep_family_parallel_observed,
     MemberRun, SweepOutcome,
 };
 pub use crate::sessions::{
-    run_churn, run_churn_isolated, ChurnReport, ChurnSpec, ServerSpec, SessionEngine, SessionFate,
-    SessionId, SessionOutcome, SessionServer, SessionSpec, SessionStatus, SessionTemplate,
+    run_churn, run_churn_fleet, run_churn_fleet_isolated, run_churn_isolated, ChurnReport,
+    ChurnSpec, ServerSpec, SessionEngine, SessionFate, SessionId, SessionOutcome, SessionServer,
+    SessionSpec, SessionStatus, SessionTemplate,
 };
 pub use crate::shrink::{shrink_plan, shrink_to_witness, CampaignJudge, Violation, Witness};
 pub use crate::slo::{

@@ -33,6 +33,10 @@
 //! [`ChurnReport::digest`] checks.
 
 use crate::engine::SweepSpec;
+use crate::fleet::{
+    healthy_step_bound, FleetRegistry, FleetSnapshot, FleetWatch, ShardMetrics, StallRecord,
+    WatchdogSpec,
+};
 use crate::metrics::{Histogram, RunStats};
 use crate::telemetry::{ProgressMeter, SessionsRecord};
 use crate::world::World;
@@ -43,6 +47,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 use stp_channel::{Channel, ChannelSpec, Scheduler, SchedulerSpec};
 use stp_core::alphabet::{RMsg, SMsg};
@@ -268,6 +273,12 @@ pub struct SessionEngine {
     deadline: Vec<Step>,
     expires: Vec<u64>,
     submitted: Vec<u64>,
+    admitted_round: Vec<u64>,
+    seeds: Vec<u64>,
+    // The round at which the slot's session gets flagged as stalled;
+    // `u64::MAX` means disarmed (no watchdog, or already flagged), so
+    // the per-round check is one compare.
+    stall_at: Vec<u64>,
     // Rosters: dense active list (swap-remove retire), never-used slots,
     // admissions waiting for capacity.
     active: Vec<u32>,
@@ -280,6 +291,11 @@ pub struct SessionEngine {
     // Shared expiry scratch, reused across every slot in the shard.
     scratch_r: Vec<SMsg>,
     scratch_s: Vec<RMsg>,
+    // Fleet observability: both default off and cost nothing until
+    // attached/armed.
+    metrics: Option<Arc<ShardMetrics>>,
+    watchdog: Option<WatchdogSpec>,
+    stalls: Vec<StallRecord>,
 }
 
 impl std::fmt::Debug for SessionEngine {
@@ -333,6 +349,9 @@ impl SessionEngine {
             deadline: vec![0; capacity],
             expires: vec![u64::MAX; capacity],
             submitted: vec![0; capacity],
+            admitted_round: vec![0; capacity],
+            seeds: vec![0; capacity],
+            stall_at: vec![u64::MAX; capacity],
             active: Vec::with_capacity(capacity),
             virgin: (0..capacity as u32).rev().collect(),
             queue: VecDeque::new(),
@@ -342,7 +361,29 @@ impl SessionEngine {
             recycled: 0,
             scratch_r: Vec::new(),
             scratch_s: Vec::new(),
+            metrics: None,
+            watchdog: None,
+            stalls: Vec::new(),
         }
+    }
+
+    /// Attaches a fleet metrics handle: from here on the engine reports
+    /// admissions, retirements and end-of-round gauges into it. Updates
+    /// happen at round granularity, never inside the per-step hot loop.
+    pub fn attach_metrics(&mut self, metrics: Arc<ShardMetrics>) {
+        self.metrics = Some(metrics);
+    }
+
+    /// Arms the stall watchdog: sessions admitted from here on are
+    /// flagged (once each, as [`StallRecord`]s) when their age exceeds
+    /// the spec's multiple of their family's [`healthy_step_bound`].
+    pub fn arm_watchdog(&mut self, spec: WatchdogSpec) {
+        self.watchdog = Some(spec);
+    }
+
+    /// Hands out every stall flagged since the last drain, exactly once.
+    pub fn drain_stalls(&mut self) -> Vec<StallRecord> {
+        std::mem::take(&mut self.stalls)
     }
 
     /// The shard index baked into every [`SessionId`] this engine mints.
@@ -392,6 +433,9 @@ impl SessionEngine {
     pub fn submit(&mut self, spec: SessionSpec) -> u64 {
         let serial = self.next_serial;
         self.next_serial += 1;
+        if let Some(m) = &self.metrics {
+            m.note_submitted();
+        }
         self.index.insert(
             serial,
             SlotState::Queued {
@@ -463,6 +507,9 @@ impl SessionEngine {
                     },
                 );
                 self.completed.push(outcome);
+                if let Some(m) = &self.metrics {
+                    m.note_disconnected();
+                }
                 true
             }
             _ => false,
@@ -489,6 +536,7 @@ impl SessionEngine {
             };
             self.admit(serial, submitted, spec);
         }
+        let mut round_steps: u64 = 0;
         let mut i = 0;
         while i < self.active.len() {
             let slot = self.active[i] as usize;
@@ -496,12 +544,35 @@ impl SessionEngine {
                 self.retire(i, SessionFate::Disconnected);
                 continue;
             }
-            match self.step_slot(slot) {
+            if self.round >= self.stall_at[slot] {
+                self.flag_stall(slot);
+            }
+            let before = self.steps[slot];
+            let fate = self.step_slot(slot);
+            round_steps += self.steps[slot] - before;
+            match fate {
                 Some(fate) => self.retire(i, fate),
                 None => i += 1,
             }
         }
         self.round += 1;
+        if let Some(m) = &self.metrics {
+            // O(active) once per round, metered lanes only: the age of
+            // the oldest session still in a slot.
+            let oldest = self
+                .active
+                .iter()
+                .map(|&s| self.admitted_round[s as usize])
+                .min();
+            let age = oldest.map_or(0, |o| self.round.saturating_sub(o));
+            m.end_round(
+                self.round,
+                self.queue.len() as u64,
+                self.active.len() as u64,
+                age,
+                round_steps,
+            );
+        }
     }
 
     /// Rounds until [`SessionEngine::is_idle`], stopping after
@@ -548,6 +619,9 @@ impl SessionEngine {
         if prev != NO_RECIPE {
             self.recycled += 1;
         }
+        if let Some(m) = &self.metrics {
+            m.note_admitted(prev != NO_RECIPE);
+        }
         let (prev_family, prev_channel, prev_scheduler) = if prev == NO_RECIPE {
             (None, None, None)
         } else {
@@ -566,6 +640,15 @@ impl SessionEngine {
             .provision(&mut self.schedulers[slot], prev_scheduler, spec.seed);
 
         self.slot_recipe[slot] = rid as u32;
+        self.seeds[slot] = spec.seed;
+        self.admitted_round[slot] = self.round;
+        self.stall_at[slot] = match &self.watchdog {
+            Some(w) => self.round.saturating_add(w.threshold_rounds(
+                healthy_step_bound(&spec.family, spec.input.len()),
+                self.quantum,
+            )),
+            None => u64::MAX,
+        };
         self.inputs[slot] = spec.input;
         self.serials[slot] = serial;
         self.steps[slot] = 0;
@@ -590,6 +673,16 @@ impl SessionEngine {
     fn retire(&mut self, pos: usize, fate: SessionFate) {
         let slot = self.active.swap_remove(pos) as usize;
         let serial = self.serials[slot];
+        self.stall_at[slot] = u64::MAX;
+        if let Some(m) = &self.metrics {
+            match fate {
+                SessionFate::Completed => {
+                    m.note_completed(self.round.saturating_sub(self.submitted[slot]));
+                }
+                SessionFate::Exhausted => m.note_exhausted(),
+                SessionFate::Disconnected => m.note_disconnected(),
+            }
+        }
         let outcome = SessionOutcome {
             id: SessionId::new(self.shard, serial),
             fate,
@@ -618,6 +711,46 @@ impl SessionEngine {
             },
         );
         self.completed.push(outcome);
+    }
+
+    // Flags the session in `slot` as stalled, exactly once per
+    // admission: reconstructs its full SessionSpec from the recipe table
+    // and the slot columns (complete replay provenance), buffers the
+    // StallRecord for `drain_stalls`, and disarms the slot's threshold.
+    // The session keeps running — the watchdog observes, it does not
+    // kill.
+    fn flag_stall(&mut self, slot: usize) {
+        self.stall_at[slot] = u64::MAX;
+        let r = &self.recipes[self.slot_recipe[slot] as usize];
+        let expected = healthy_step_bound(&r.family, self.inputs[slot].len());
+        let threshold = self
+            .watchdog
+            .as_ref()
+            .map_or(0, |w| w.threshold_rounds(expected, self.quantum));
+        let spec = SessionSpec {
+            family: r.family.clone(),
+            input: self.inputs[slot].clone(),
+            channel: r.channel.clone(),
+            scheduler: r.scheduler.clone(),
+            seed: self.seeds[slot],
+            max_steps: self.deadline[slot],
+            ttl_rounds: (self.expires[slot] != u64::MAX)
+                .then(|| self.expires[slot] - self.admitted_round[slot]),
+        };
+        self.stalls.push(StallRecord {
+            experiment: String::new(),
+            shard: self.shard,
+            serial: self.serials[slot],
+            round: self.round,
+            age_rounds: self.round.saturating_sub(self.admitted_round[slot]),
+            threshold_rounds: threshold,
+            expected_steps: expected,
+            steps: self.steps[slot],
+            spec,
+        });
+        if let Some(m) = &self.metrics {
+            m.note_stall();
+        }
     }
 
     // Same stopping rule as `World::run_until(max_steps, is_complete)`:
@@ -781,6 +914,9 @@ pub struct ServerSpec {
     /// Protocol steps per session per round.
     #[serde(default = "default_quantum")]
     pub quantum: u32,
+    /// Stall watchdog; `None` (the default) runs without one.
+    #[serde(default)]
+    pub watchdog: Option<WatchdogSpec>,
 }
 
 fn default_shards() -> u16 {
@@ -801,6 +937,7 @@ impl Default for ServerSpec {
             shards: default_shards(),
             capacity_per_shard: default_capacity(),
             quantum: default_quantum(),
+            watchdog: None,
         }
     }
 }
@@ -816,10 +953,13 @@ impl Default for ServerSpec {
 pub struct SessionServer {
     engines: Vec<Mutex<SessionEngine>>,
     router: AtomicUsize,
+    fleet: Option<FleetRegistry>,
 }
 
 impl SessionServer {
-    /// Builds the server: `spec.shards` empty engines.
+    /// Builds the server: `spec.shards` empty engines (no fleet
+    /// registry; see [`SessionServer::with_fleet`]). A `spec.watchdog`
+    /// arms every shard's stall watchdog either way.
     ///
     /// # Panics
     ///
@@ -827,12 +967,60 @@ impl SessionServer {
     pub fn new(spec: &ServerSpec) -> SessionServer {
         assert!(spec.shards > 0, "a server needs at least one shard");
         let engines = (0..spec.shards)
-            .map(|s| Mutex::new(SessionEngine::new(s, spec.capacity_per_shard, spec.quantum)))
+            .map(|s| {
+                let mut engine = SessionEngine::new(s, spec.capacity_per_shard, spec.quantum);
+                if let Some(w) = spec.watchdog {
+                    engine.arm_watchdog(w);
+                }
+                Mutex::new(engine)
+            })
             .collect();
         SessionServer {
             engines,
             router: AtomicUsize::new(0),
+            fleet: None,
         }
+    }
+
+    /// Builds the server with a [`FleetRegistry`] attached: every shard
+    /// reports into its own [`ShardMetrics`], and
+    /// [`SessionServer::snapshot`] / [`SessionServer::watch`] observe
+    /// the fleet live.
+    pub fn with_fleet(spec: &ServerSpec) -> SessionServer {
+        let mut server = SessionServer::new(spec);
+        let fleet = FleetRegistry::new(spec.shards);
+        for (s, engine) in server.engines.iter_mut().enumerate() {
+            engine.get_mut().attach_metrics(fleet.shard(s as u16));
+        }
+        server.fleet = Some(fleet);
+        server
+    }
+
+    /// The fleet registry, when built via [`SessionServer::with_fleet`].
+    pub fn fleet(&self) -> Option<&FleetRegistry> {
+        self.fleet.as_ref()
+    }
+
+    /// A point-in-time [`FleetSnapshot`] of every shard's metrics, taken
+    /// without stopping (or locking) any shard; `None` unless built via
+    /// [`SessionServer::with_fleet`].
+    pub fn snapshot(&self) -> Option<FleetSnapshot> {
+        self.fleet.as_ref().map(FleetRegistry::snapshot)
+    }
+
+    /// A delta-tracking [`FleetWatch`] over the fleet; `None` unless
+    /// built via [`SessionServer::with_fleet`].
+    pub fn watch(&self) -> Option<FleetWatch> {
+        self.fleet.as_ref().map(FleetRegistry::watch)
+    }
+
+    /// Drains every shard's watchdog flags, exactly once, shard-major.
+    pub fn drain_stalls(&self) -> Vec<StallRecord> {
+        let mut out = Vec::new();
+        for engine in &self.engines {
+            out.append(&mut engine.lock().drain_stalls());
+        }
+        out
     }
 
     /// Number of shards.
@@ -1038,6 +1226,10 @@ pub struct ChurnReport {
     /// stepping its own sessions. On a machine with a core per shard,
     /// wall time converges to the maximum of these (the critical path).
     pub shard_busy_secs: Vec<f64>,
+    /// Sessions the stall watchdog flagged (empty unless
+    /// `server.watchdog` was set), with full replay provenance.
+    #[serde(default)]
+    pub stalls: Vec<StallRecord>,
 }
 
 impl ChurnReport {
@@ -1094,6 +1286,7 @@ struct ShardOutcome {
     latency: Histogram,
     digest: u64,
     busy_secs: f64,
+    stalls: Vec<StallRecord>,
 }
 
 fn latency_histogram() -> Histogram {
@@ -1124,10 +1317,17 @@ fn run_shard(
     shard: u16,
     claimed: &[Vec<DataSeq>],
     meter: Option<&ProgressMeter>,
+    metrics: Option<Arc<ShardMetrics>>,
 ) -> ShardOutcome {
     let shards = u64::from(spec.server.shards.max(1));
     let arrivals = spec.arrivals_per_round.max(1);
     let mut engine = SessionEngine::new(shard, spec.server.capacity_per_shard, spec.server.quantum);
+    if let Some(m) = metrics {
+        engine.attach_metrics(m);
+    }
+    if let Some(w) = spec.server.watchdog {
+        engine.arm_watchdog(w);
+    }
     let mut progress = meter.map(ProgressMeter::local);
     let mut out = ShardOutcome {
         submitted: 0,
@@ -1139,6 +1339,7 @@ fn run_shard(
         latency: latency_histogram(),
         digest: 0,
         busy_secs: 0.0,
+        stalls: Vec::new(),
     };
     let started = Instant::now();
     // Shard `s` owns sessions `k ≡ s (mod shards)`; session `k` arrives
@@ -1169,6 +1370,7 @@ fn run_shard(
     }
     out.rounds = engine.round();
     out.busy_secs = started.elapsed().as_secs_f64();
+    out.stalls = engine.drain_stalls();
     out
 }
 
@@ -1185,8 +1387,9 @@ fn fold_shards(spec: &ChurnSpec, outs: Vec<ShardOutcome>, wall_secs: f64) -> Chu
         digest: 0,
         wall_secs,
         shard_busy_secs: Vec::with_capacity(outs.len()),
+        stalls: Vec::new(),
     };
-    for out in outs {
+    for mut out in outs {
         report.submitted += out.submitted;
         report.completed += out.completed;
         report.exhausted += out.exhausted;
@@ -1196,12 +1399,18 @@ fn fold_shards(spec: &ChurnSpec, outs: Vec<ShardOutcome>, wall_secs: f64) -> Chu
         report.latency_rounds.merge(&out.latency);
         report.digest = report.digest.wrapping_add(out.digest);
         report.shard_busy_secs.push(out.busy_secs);
+        report.stalls.append(&mut out.stalls);
     }
     debug_assert_eq!(report.submitted, spec.sessions);
     report
 }
 
-fn churn(spec: &ChurnSpec, meter: Option<&ProgressMeter>, isolated: bool) -> ChurnReport {
+fn churn(
+    spec: &ChurnSpec,
+    meter: Option<&ProgressMeter>,
+    isolated: bool,
+    fleet: Option<&FleetRegistry>,
+) -> ChurnReport {
     assert!(!spec.mix.is_empty(), "a churn workload needs a session mix");
     assert!(
         (0.0..=1.0).contains(&spec.disconnect_rate),
@@ -1209,24 +1418,32 @@ fn churn(spec: &ChurnSpec, meter: Option<&ProgressMeter>, isolated: bool) -> Chu
     );
     let claimed = spec.claimed_inputs();
     let shards = spec.server.shards.max(1);
+    if let Some(f) = fleet {
+        assert_eq!(
+            f.shard_count(),
+            usize::from(shards),
+            "fleet registry shard count must match the workload's"
+        );
+    }
     if let Some(m) = meter {
         m.begin(spec.sessions as usize);
     }
     let wall = Instant::now();
     let outs: Vec<ShardOutcome> = if isolated || shards == 1 {
         (0..shards)
-            .map(|s| run_shard(spec, s, &claimed, meter))
+            .map(|s| run_shard(spec, s, &claimed, meter, fleet.map(|f| f.shard(s))))
             .collect()
     } else {
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..shards)
                 .map(|s| {
                     let claimed = &claimed;
+                    let metrics = fleet.map(|f| f.shard(s));
                     scope.spawn(move || {
                         if let Some(m) = meter {
                             m.worker_started();
                         }
-                        let out = run_shard(spec, s, claimed, meter);
+                        let out = run_shard(spec, s, claimed, meter, metrics);
                         if let Some(m) = meter {
                             m.worker_finished();
                         }
@@ -1252,7 +1469,7 @@ fn churn(spec: &ChurnSpec, meter: Option<&ProgressMeter>, isolated: bool) -> Chu
 /// report's digest — are identical to [`run_churn_isolated`]; only the
 /// timing fields differ.
 pub fn run_churn(spec: &ChurnSpec, meter: Option<&ProgressMeter>) -> ChurnReport {
-    churn(spec, meter, false)
+    churn(spec, meter, false, None)
 }
 
 /// Runs the churn workload stepping each shard *in isolation*,
@@ -1261,7 +1478,41 @@ pub fn run_churn(spec: &ChurnSpec, meter: Option<&ProgressMeter>) -> ChurnReport
 /// timing mode: on a host with a core per shard, wall time converges to
 /// the critical path these numbers bound.
 pub fn run_churn_isolated(spec: &ChurnSpec, meter: Option<&ProgressMeter>) -> ChurnReport {
-    churn(spec, meter, true)
+    churn(spec, meter, true, None)
+}
+
+/// [`run_churn`] with each shard reporting into its slice of `fleet` —
+/// the metered lane. Another thread holding a clone of the registry can
+/// sample [`FleetRegistry::snapshot`] / [`FleetRegistry::watch`] while
+/// the workload runs; per-session outcomes and the report's digest are
+/// identical to the unmetered lanes.
+///
+/// # Panics
+///
+/// Panics if the registry's shard count differs from
+/// `spec.server.shards`.
+pub fn run_churn_fleet(
+    spec: &ChurnSpec,
+    meter: Option<&ProgressMeter>,
+    fleet: &FleetRegistry,
+) -> ChurnReport {
+    churn(spec, meter, false, Some(fleet))
+}
+
+/// [`run_churn_isolated`] with fleet metrics attached — the metered
+/// bench lane the `METERED_BUDGET` overhead gate compares against its
+/// unmetered sibling.
+///
+/// # Panics
+///
+/// Panics if the registry's shard count differs from
+/// `spec.server.shards`.
+pub fn run_churn_fleet_isolated(
+    spec: &ChurnSpec,
+    meter: Option<&ProgressMeter>,
+    fleet: &FleetRegistry,
+) -> ChurnReport {
+    churn(spec, meter, true, Some(fleet))
 }
 
 #[cfg(test)]
@@ -1313,6 +1564,7 @@ mod tests {
                 shards,
                 capacity_per_shard: 32,
                 quantum: 8,
+                watchdog: None,
             },
             max_steps: 2_000,
             seed: 42,
@@ -1339,6 +1591,7 @@ mod tests {
             shards: 1,
             capacity_per_shard: 8,
             quantum: 8,
+            watchdog: None,
         });
         let id = server.submit(tight_spec(&[1, 2, 0], 7));
         assert_eq!(server.poll(id), SessionStatus::Queued);
@@ -1451,6 +1704,7 @@ mod tests {
             shards: 1,
             capacity_per_shard: 1,
             quantum: 8,
+            watchdog: None,
         });
         let ids: Vec<SessionId> = (0..3)
             .map(|s| server.submit(tight_spec(&[1, 0], s)))
@@ -1473,6 +1727,7 @@ mod tests {
             shards: 1,
             capacity_per_shard: 1,
             quantum: 1,
+            watchdog: None,
         });
         // Starved adversary: the session would never finish on its own.
         let mut starved = tight_spec(&[1, 0], 0);
@@ -1623,6 +1878,116 @@ mod tests {
         assert_eq!(specs[1].seed, 1);
         assert_eq!(specs[2].input, claimed.seqs()[1]);
         assert!(specs.iter().all(|s| s.channel == ChannelSpec::Dup));
+    }
+
+    #[test]
+    fn watchdog_flags_a_starved_session_with_replay_provenance() {
+        // A session the adversary starves outright: it can never
+        // complete, so its age crosses the (deliberately tight)
+        // threshold and the watchdog must flag it — once — while
+        // letting it keep running.
+        let mut starved = tight_spec(&[1, 2, 0], 7);
+        starved.scheduler = SchedulerSpec::Random { p_deliver: 0.0 };
+        starved.max_steps = 5_000;
+        let mut engine = SessionEngine::new(3, 4, 8);
+        engine.arm_watchdog(WatchdogSpec {
+            multiplier: 1.0,
+            min_rounds: 2,
+        });
+        let serial = engine.submit(starved.clone());
+        for _ in 0..20 {
+            engine.step_round();
+        }
+        let stalls = engine.drain_stalls();
+        assert_eq!(stalls.len(), 1, "flagged exactly once");
+        let stall = &stalls[0];
+        assert_eq!(stall.shard, 3);
+        assert_eq!(stall.serial, serial);
+        assert_eq!(stall.spec, starved, "full provenance round-trips");
+        assert!(stall.age_rounds >= stall.threshold_rounds);
+        assert_eq!(stall.expected_steps, healthy_step_bound(&starved.family, 3));
+        assert!(stall.steps > 0, "it was running when flagged");
+        // Drains are exactly-once; the session was not killed.
+        assert!(engine.drain_stalls().is_empty());
+        assert!(matches!(engine.poll(serial), SessionStatus::Running { .. }));
+        // The provenance replays through the single-world path and
+        // reproduces the stall: the session never completes.
+        let mut world = stall.spec.build_world();
+        world.run_until(1_000, World::is_complete);
+        assert!(!world.is_complete(), "replayed session is indeed stuck");
+    }
+
+    #[test]
+    fn watchdog_stays_silent_on_a_clean_churn_grid() {
+        // Zero false positives: 32 seeded churn workloads under the
+        // default watchdog, none of which starve anyone. Every stall —
+        // and every exhaustion, which would signal the workload itself
+        // leaves too little budget — must be absent.
+        for seed in 0..32u64 {
+            let mut spec = small_churn(100, 2);
+            spec.seed = seed;
+            spec.server.watchdog = Some(WatchdogSpec::default());
+            let report = run_churn(&spec, None);
+            assert_eq!(report.exhausted, 0, "seed={seed}: clean workload");
+            assert!(
+                report.stalls.is_empty(),
+                "seed={seed}: false positive {:?}",
+                report.stalls[0]
+            );
+        }
+    }
+
+    #[test]
+    fn metered_churn_is_outcome_identical_and_fleet_counts_reconcile() {
+        let spec = small_churn(300, 2);
+        let unmetered = run_churn(&spec, None);
+        let fleet = FleetRegistry::new(2);
+        let metered = run_churn_fleet(&spec, None, &fleet);
+        assert_eq!(metered.digest, unmetered.digest);
+        assert_eq!(metered.completed, unmetered.completed);
+        assert_eq!(metered.latency_rounds, unmetered.latency_rounds);
+        let stats = fleet.snapshot().stats();
+        assert_eq!(stats.submitted, metered.submitted);
+        assert_eq!(stats.completed, metered.completed);
+        assert_eq!(stats.disconnected, metered.disconnected);
+        assert_eq!(stats.exhausted, metered.exhausted);
+        assert_eq!(stats.steps, metered.total_steps);
+        assert_eq!(stats.round, metered.rounds);
+        assert_eq!(stats.admitted, stats.recycle_hits + stats.recycle_misses);
+        // Same samples, same bucket layout: the fleet's merged latency
+        // distribution is the report's, exactly.
+        assert_eq!(stats.latency, metered.latency_rounds);
+        assert!(stats.p99_latency_rounds() >= 1.0);
+    }
+
+    #[test]
+    fn server_with_fleet_snapshots_without_stopping() {
+        let server = SessionServer::with_fleet(&ServerSpec {
+            shards: 2,
+            capacity_per_shard: 8,
+            quantum: 8,
+            watchdog: Some(WatchdogSpec::default()),
+        });
+        assert!(server.fleet().is_some());
+        let mut watch = server.watch().expect("fleet is attached");
+        let ids: Vec<SessionId> = (0..6)
+            .map(|s| server.submit(tight_spec(&[1, 0], s)))
+            .collect();
+        assert!(server.run_until_idle(10_000));
+        let snap = server.snapshot().expect("fleet is attached");
+        let stats = snap.stats();
+        assert_eq!(stats.shards, 2);
+        assert_eq!(stats.submitted, 6);
+        assert_eq!(stats.completed, 6);
+        assert_eq!(stats.active, 0);
+        // Six completions: a real percentile, not the empty sentinel.
+        assert!(stats.p99_latency_rounds() >= 0.0);
+        let delta = watch.tick();
+        assert_eq!(delta.completed, 6);
+        assert!(server.drain_stalls().is_empty(), "healthy fleet");
+        for id in ids {
+            assert!(matches!(server.poll(id), SessionStatus::Done { .. }));
+        }
     }
 
     #[test]

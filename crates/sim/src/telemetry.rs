@@ -17,6 +17,7 @@
 //!   one line to *stderr* per interval) that the sweep engine and the
 //!   SLO harness drive while a grid is in flight.
 
+use crate::fleet::{FleetRecord, StallRecord};
 use crate::metrics::{RunStats, SweepReport};
 use crate::runner::{MemberRun, SweepOutcome};
 use parking_lot::Mutex;
@@ -362,6 +363,22 @@ pub struct VerdictLine {
     pub verdict: stp_core::schema::ConformanceVerdict,
 }
 
+/// The wire form of a fleet-snapshot line: `{"fleet": {…}}` — one
+/// per-shard or aggregate sample of the session-server metrics registry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetLine {
+    /// The record.
+    pub fleet: FleetRecord,
+}
+
+/// The wire form of a stall-watchdog line: `{"stall": {…}}` — one
+/// flagged session with full replay provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StallLine {
+    /// The record.
+    pub stall: StallRecord,
+}
+
 /// A parsed telemetry line — what [`TelemetryLine::parse`] dispatches to.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TelemetryLine {
@@ -382,6 +399,10 @@ pub enum TelemetryLine {
     Stabilization(StabilizationRecord),
     /// A churn-workload benchmark result.
     Sessions(SessionsRecord),
+    /// A fleet-metrics snapshot sample (per-shard or aggregate).
+    Fleet(FleetRecord),
+    /// A stall-watchdog flag with replay provenance.
+    Stall(StallRecord),
 }
 
 impl TelemetryLine {
@@ -392,7 +413,7 @@ impl TelemetryLine {
     /// Returns the underlying JSON error when the line is none of the
     /// `{"run": …}` / `{"span": …}` / `{"frontier": …}` / `{"summary": …}`
     /// / `{"verdict": …}` / `{"stabilization": …}` / `{"sessions": …}` /
-    /// `{"report": …}` documents.
+    /// `{"fleet": …}` / `{"stall": …}` / `{"report": …}` documents.
     pub fn parse(line: &str) -> Result<TelemetryLine, serde_json::Error> {
         if let Ok(l) = serde_json::from_str::<RunLine>(line) {
             return Ok(TelemetryLine::Run(l.run));
@@ -405,6 +426,12 @@ impl TelemetryLine {
         }
         if let Ok(l) = serde_json::from_str::<SessionsLine>(line) {
             return Ok(TelemetryLine::Sessions(l.sessions));
+        }
+        if let Ok(l) = serde_json::from_str::<FleetLine>(line) {
+            return Ok(TelemetryLine::Fleet(l.fleet));
+        }
+        if let Ok(l) = serde_json::from_str::<StallLine>(line) {
+            return Ok(TelemetryLine::Stall(l.stall));
         }
         if let Ok(l) = serde_json::from_str::<SpanLine>(line) {
             return Ok(TelemetryLine::Span(l.span));
@@ -542,6 +569,32 @@ impl TelemetryWriter {
     pub fn emit_sessions(&mut self, record: &SessionsRecord) -> io::Result<()> {
         let line = serde_json::to_string(&SessionsLine {
             sessions: record.clone(),
+        })
+        .map_err(io::Error::other)?;
+        self.sink.write_line(&line)
+    }
+
+    /// Emits one fleet-metrics snapshot line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization or sink I/O errors.
+    pub fn emit_fleet(&mut self, record: &FleetRecord) -> io::Result<()> {
+        let line = serde_json::to_string(&FleetLine {
+            fleet: record.clone(),
+        })
+        .map_err(io::Error::other)?;
+        self.sink.write_line(&line)
+    }
+
+    /// Emits one stall-watchdog line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization or sink I/O errors.
+    pub fn emit_stall(&mut self, record: &StallRecord) -> io::Result<()> {
+        let line = serde_json::to_string(&StallLine {
+            stall: record.clone(),
         })
         .map_err(io::Error::other)?;
         self.sink.write_line(&line)
@@ -1093,6 +1146,68 @@ mod tests {
         match TelemetryLine::parse(line).unwrap() {
             TelemetryLine::Sessions(back) => assert_eq!(back, rec),
             other => panic!("expected a sessions line, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fleet_and_stall_lines_round_trip() {
+        let registry = crate::fleet::FleetRegistry::new(2);
+        registry.shard(0).note_submitted();
+        registry.shard(0).note_admitted(false);
+        registry.shard(0).note_completed(3);
+        let snap = registry.snapshot();
+
+        let sink = MemorySink::new();
+        let mut w = TelemetryWriter::new(Box::new(sink.clone()));
+        for shard in &snap.shards {
+            w.emit_fleet(&shard.record("sessions_top")).unwrap();
+        }
+        w.emit_fleet(&snap.stats().record("sessions_top")).unwrap();
+
+        let stall = StallRecord {
+            experiment: "sessions_top".to_string(),
+            shard: 1,
+            serial: 42,
+            round: 99,
+            age_rounds: 40,
+            threshold_rounds: 16,
+            expected_steps: 20,
+            steps: 310,
+            spec: crate::sessions::SessionSpec {
+                family: stp_protocols::FamilySpec::Tight {
+                    d: 3,
+                    policy: stp_protocols::ResendPolicy::Once,
+                },
+                input: DataSeq::from_indices([1, 2, 0]),
+                channel: stp_channel::ChannelSpec::Dup,
+                scheduler: stp_channel::SchedulerSpec::Random { p_deliver: 0.0 },
+                seed: 7,
+                max_steps: 5_000,
+                ttl_rounds: None,
+            },
+        };
+        w.emit_stall(&stall).unwrap();
+
+        let lines = sink.lines();
+        assert_eq!(lines.len(), 4);
+        match TelemetryLine::parse(&lines[0]).unwrap() {
+            TelemetryLine::Fleet(back) => {
+                assert_eq!(back.shard, Some(0));
+                assert_eq!(back.submitted, 1);
+                assert_eq!(back.p50_latency_rounds, 3.0);
+            }
+            other => panic!("expected a fleet line, got {other:?}"),
+        }
+        match TelemetryLine::parse(&lines[2]).unwrap() {
+            TelemetryLine::Fleet(back) => {
+                assert_eq!(back.shard, None, "aggregate line");
+                assert_eq!(back.shards, 2);
+            }
+            other => panic!("expected a fleet line, got {other:?}"),
+        }
+        match TelemetryLine::parse(&lines[3]).unwrap() {
+            TelemetryLine::Stall(back) => assert_eq!(back, stall),
+            other => panic!("expected a stall line, got {other:?}"),
         }
     }
 

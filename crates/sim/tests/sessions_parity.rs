@@ -123,6 +123,7 @@ fn sharded_server_matches_sweep_engine() {
         shards: 4,
         capacity_per_shard: 8,
         quantum: 16,
+        watchdog: None,
     });
     let ids: Vec<SessionId> = specs.iter().map(|s| server.submit(s.clone())).collect();
     assert!(
