@@ -3,10 +3,14 @@
 //! million-session open/transmit/
 //! disconnect churn workload, at 1, 4 and 8 shards, plus a metered
 //! 4-shard lane with the fleet registry and stall watchdog armed whose
-//! overhead is recorded (and budget-gated in CI). Writes
-//! `BENCH_sessions.json` in the current directory and, when
-//! `STP_TELEMETRY` is set, one `{"sessions": …}` line per lane and the
-//! metered lane's per-shard + aggregate `{"fleet": …}` snapshots.
+//! overhead is recorded (and budget-gated in CI), plus a profiled
+//! 4-shard lane under the phase-scoped profiler whose overhead is gated
+//! the same way. Writes `BENCH_sessions.json` in the current directory,
+//! appends one schema-versioned record (lane metrics + per-phase cost
+//! breakdown) to `BENCH_history.jsonl` for `bench_gate`'s baselines,
+//! and, when `STP_TELEMETRY` is set, emits one `{"sessions": …}` line
+//! per lane, the metered lane's per-shard + aggregate `{"fleet": …}`
+//! snapshots, and the profiled lane's `{"prof": …}` report.
 //!
 //! ## Timing model
 //!
@@ -49,14 +53,18 @@
 //! required to change scheduling only, never any session's result.
 
 use serde::Serialize;
+use std::path::Path;
+use std::sync::Arc;
+use stp_bench::history::{self, HistoryRecord, HISTORY_FILE};
+use stp_bench::host::host_parallelism;
 use stp_channel::{ChannelSpec, SchedulerSpec};
 use stp_protocols::{FamilySpec, ResendPolicy};
 use stp_sim::fleet::{FleetRegistry, WatchdogSpec};
 use stp_sim::sessions::{
-    run_churn_fleet_isolated, run_churn_isolated, ChurnReport, ChurnSpec, ServerSpec,
-    SessionTemplate,
+    run_churn_fleet_isolated, run_churn_isolated, run_churn_profiled_isolated, ChurnReport,
+    ChurnSpec, ServerSpec, SessionTemplate,
 };
-use stp_sim::SessionsRecord;
+use stp_sim::{PhaseProfiler, SessionsRecord};
 
 /// One shard-count lane of the benchmark.
 #[derive(Debug, Serialize)]
@@ -110,32 +118,17 @@ struct SessionsBenchReport {
     /// Busy-seconds inflation of the metered 4-shard lane over the
     /// unmetered one (0.012 = +1.2%). Budget-gated in CI.
     metered_overhead: f64,
+    profiled_lane: Lane,
+    /// Busy-seconds inflation of the profiled 4-shard lane (phase-scoped
+    /// profiler at its default sampling period) over the unmetered one.
+    /// Budget-gated in CI.
+    prof_overhead: f64,
     sessions_per_sec_1: f64,
     sessions_per_sec_4: f64,
     sessions_per_sec_8: f64,
     p99_latency_rounds: f64,
     scaling_4_over_1: f64,
     scaling_8_over_1: f64,
-}
-
-/// Parallelism granted to this process and CPUs present on the host.
-///
-/// `available_parallelism` respects cgroup quotas and CPU affinity, so
-/// it is the honest answer to "how parallel were the measurements";
-/// `/proc/cpuinfo` (when readable) says how many CPUs exist regardless.
-fn host_parallelism() -> (usize, usize) {
-    let effective = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let present = std::fs::read_to_string("/proc/cpuinfo")
-        .map(|body| {
-            body.lines()
-                .filter(|line| line.starts_with("processor"))
-                .count()
-        })
-        .unwrap_or(0)
-        .max(effective);
-    (effective, present)
 }
 
 fn workload(shards: u16) -> ChurnSpec {
@@ -273,6 +266,37 @@ fn main() {
     let metered_lane = metered_lane.expect("metered laps ran");
     let metered_overhead = metered_busy / plain_busy - 1.0;
 
+    // Profiled lane: the same 4-shard workload under the phase-scoped
+    // profiler at its default (sparse) sampling period. Profiling must
+    // not change a single outcome — the sampled quanta run the same
+    // generic step body, just observed — and its busy-seconds inflation
+    // is measured min-of-laps against the unmetered minimum, like the
+    // metered lane.
+    const PROF_LAPS: usize = 2;
+    let prof = Arc::new(PhaseProfiler::new(PhaseProfiler::DEFAULT_PERIOD));
+    let mut profiled_busy = f64::INFINITY;
+    let mut profiled_lane = None;
+    for lap in 1..=PROF_LAPS {
+        eprintln!("bench_sessions: profiled lane 4 shard(s), lap {lap}/{PROF_LAPS}…");
+        let profiled = run_churn_profiled_isolated(&workload(4), Some(&meter), &prof);
+        assert_eq!(
+            profiled.digest, base.digest,
+            "profiling must not change any session's outcome"
+        );
+        assert_eq!(profiled.completed, base.completed);
+        let lane = Lane::from_report(&profiled, 4, false);
+        if lane.busy_secs < profiled_busy {
+            profiled_busy = lane.busy_secs;
+            profiled_lane = Some(lane);
+        }
+        if lap == PROF_LAPS {
+            records.push(profiled.record("bench_sessions"));
+        }
+    }
+    let profiled_lane = profiled_lane.expect("profiled laps ran");
+    let prof_overhead = profiled_busy / plain_busy - 1.0;
+    let prof_record = prof.report("bench_sessions", "churn_4shard");
+
     let rate = |shards: u16| {
         lanes
             .iter()
@@ -304,6 +328,8 @@ fn main() {
         lanes,
         metered_lane,
         metered_overhead,
+        profiled_lane,
+        prof_overhead,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_sessions.json", &json).expect("BENCH_sessions.json written");
@@ -311,9 +337,26 @@ fn main() {
     println!(
         "bench_sessions: 4-shard lane {r4:.0}/s critical-path, measured on \
          {host_cores_effective} effective core(s) ({host_cores_present} present); \
-         fleet metering overhead {:+.2}% busy-secs",
-        report.metered_overhead * 100.0
+         fleet metering overhead {:+.2}% busy-secs, profiling overhead {:+.2}%",
+        report.metered_overhead * 100.0,
+        report.prof_overhead * 100.0
     );
+
+    // Durable trajectory: one schema-versioned record per run, appended
+    // to the history file bench_gate reads its baselines from.
+    let history_record = HistoryRecord::new("bench_sessions")
+        .metric("sessions_completed", report.sessions_completed as f64)
+        .metric("sessions_per_sec_1", r1)
+        .metric("sessions_per_sec_4", r4)
+        .metric("sessions_per_sec_8", r8)
+        .metric("scaling_4_over_1", report.scaling_4_over_1)
+        .metric("metered_overhead", report.metered_overhead)
+        .metric("prof_overhead", report.prof_overhead)
+        .phases_from(&prof_record);
+    if let Err(e) = history::append(Path::new(HISTORY_FILE), &history_record) {
+        eprintln!("bench_sessions: cannot append {HISTORY_FILE}: {e}");
+    }
+    stp_bench::telemetry::export_profs("bench_sessions", &[prof_record]);
 
     stp_bench::telemetry::export_sessions("bench_sessions", &records);
     let mut fleet_records: Vec<_> = snapshot
@@ -332,6 +375,7 @@ fn main() {
         records.len(),
         report.sessions_completed >= 1_000_000
             && report.scaling_4_over_1 >= 2.5
-            && report.metered_overhead <= 0.05,
+            && report.metered_overhead <= 0.05
+            && report.prof_overhead <= 0.05,
     );
 }

@@ -9,17 +9,31 @@
 //! a final index sort. The engine runs the identical E1 grid — same
 //! family, same adversaries, same seeds, same thread count — with pooled
 //! worlds and [`TraceMode::Off`]. Writes `BENCH_sweep.json` in the
-//! current directory.
+//! current directory, and appends one schema-versioned record — lane
+//! metrics plus the profiled lane's per-phase cost breakdown — to
+//! `BENCH_history.jsonl`, the durable trajectory `bench_gate` compares
+//! fresh runs against.
 
 use serde::Serialize;
+use std::path::Path;
 use std::time::Instant;
-use stp_bench::e1;
+use stp_bench::history::{self, HistoryRecord, HISTORY_FILE};
+use stp_bench::{e1, host};
 use stp_channel::campaign::FaultPlan;
 use stp_channel::{ChannelSpec, SchedulerSpec};
 use stp_core::data::DataSeq;
 use stp_core::event::TraceMode;
 use stp_protocols::{ProtocolFamily, ResendPolicy, TightFamily};
-use stp_sim::{run_family_member, RunStats, SweepEngine, SweepSpec};
+use stp_sim::{run_family_member, PhaseProfiler, RunStats, SweepEngine, SweepSpec};
+
+/// Sampling period for the profiled lane. The E1 grid's cells are tiny
+/// (a couple of microseconds each), so a fully profiled cell pays the
+/// per-step timer cost against almost no useful work — dense sampling
+/// would price the instrumentation, not the engine. One window every 128
+/// cells still lands several windows per sweep (the grid is ~240 cells
+/// per rep, and reps accumulate) while keeping the lane inside the same
+/// ≤5% budget the session engines meet at their default period.
+const PROF_PERIOD: u64 = 128;
 
 /// One baseline result row (the old `MemberRun` shape).
 struct LegacyRun {
@@ -91,7 +105,14 @@ struct SweepBenchReport {
     grid: String,
     runs_per_sweep: usize,
     sweeps_timed: usize,
+    /// Worker threads the engine lanes were *configured* with.
     threads: usize,
+    /// Parallelism actually granted to this process (affinity/cgroup
+    /// aware) — what the lanes were *measured* on. `threads` above is
+    /// what was asked for; on a pinned CI runner the two differ.
+    host_cores_effective: usize,
+    /// CPUs the kernel reports as present, `>= host_cores_effective`.
+    host_cores_present: usize,
     legacy_secs: f64,
     legacy_runs_per_sec: f64,
     engine_secs: f64,
@@ -106,6 +127,9 @@ struct SweepBenchReport {
     unarmed_secs: f64,
     unarmed_runs_per_sec: f64,
     unarmed_overhead: f64,
+    profiled_secs: f64,
+    profiled_runs_per_sec: f64,
+    prof_overhead: f64,
 }
 
 fn main() {
@@ -146,6 +170,10 @@ fn main() {
         })
         .collect();
     let unarmed_engine = SweepEngine::new(unarmed_spec);
+    // The profiled lane prices phase-scoped profiling at its sampling
+    // period: one profiler accumulates across every rep, so the report
+    // at the end has windows from the whole session.
+    let prof = PhaseProfiler::new(PROF_PERIOD);
     let runs_per_sweep = spec.grid_size(&family);
     // Enough reps that every lane gets several preemption-free shots; the
     // minimum estimator below only sharpens with more samples.
@@ -169,6 +197,12 @@ fn main() {
         "an unarmed campaign must not perturb results"
     );
     assert_eq!(unarmed.report, pooled.report);
+    let profiled = engine.run_profiled(&family, &prof);
+    assert_eq!(
+        profiled.runs, pooled.runs,
+        "profiling must not perturb results"
+    );
+    assert_eq!(profiled.report, pooled.report);
     for s in 0..spec.schedulers.len() {
         let legacy = legacy_sweep_family_parallel(&family, &spec, s, threads);
         assert!(legacy.iter().all(|r| r.stats.is_complete()));
@@ -186,6 +220,7 @@ fn main() {
     let mut probed_reps = Vec::with_capacity(reps);
     let mut traced_reps = Vec::with_capacity(reps);
     let mut unarmed_reps = Vec::with_capacity(reps);
+    let mut profiled_reps = Vec::with_capacity(reps);
     for _ in 0..reps {
         let t = Instant::now();
         let mut total = 0;
@@ -214,6 +249,11 @@ fn main() {
         let out = unarmed_engine.run(&family);
         unarmed_reps.push(t.elapsed().as_secs_f64());
         assert_eq!(out.len(), runs_per_sweep);
+
+        let t = Instant::now();
+        let out = engine.run_profiled(&family, &prof);
+        profiled_reps.push(t.elapsed().as_secs_f64());
+        assert_eq!(out.len(), runs_per_sweep);
     }
 
     fn fastest(samples: &[f64]) -> f64 {
@@ -225,14 +265,19 @@ fn main() {
     let probed_secs = fastest(&probed_reps);
     let traced_secs = fastest(&traced_reps);
     let unarmed_secs = fastest(&unarmed_reps);
+    let profiled_secs = fastest(&profiled_reps);
     let probe_overhead = probed_secs / engine_secs - 1.0;
     let traced_overhead = traced_secs / engine_secs - 1.0;
     let unarmed_overhead = unarmed_secs / engine_secs - 1.0;
+    let prof_overhead = profiled_secs / engine_secs - 1.0;
+    let (host_cores_effective, host_cores_present) = host::host_parallelism();
     let report = SweepBenchReport {
         grid: format!("E1: tight-dup m={m} x {{dup-storm, reorder-max, random-0.5}} x 8 seeds"),
         runs_per_sweep,
         sweeps_timed: reps,
         threads,
+        host_cores_effective,
+        host_cores_present,
         legacy_secs,
         legacy_runs_per_sec: sweep_runs / legacy_secs,
         engine_secs,
@@ -247,16 +292,41 @@ fn main() {
         unarmed_secs,
         unarmed_runs_per_sec: sweep_runs / unarmed_secs,
         unarmed_overhead,
+        profiled_secs,
+        profiled_runs_per_sec: sweep_runs / profiled_secs,
+        prof_overhead,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_sweep.json", &json).expect("BENCH_sweep.json written");
     println!("{json}");
+
+    // Durable trajectory: one schema-versioned record per run, appended
+    // to the history file bench_gate reads its baselines from.
+    let prof_record = prof.report("bench_sweep", "e1_grid");
+    let record = HistoryRecord::new("bench_sweep")
+        .metric("legacy_secs", legacy_secs)
+        .metric("engine_secs", engine_secs)
+        .metric("engine_runs_per_sec", sweep_runs / engine_secs)
+        .metric("probe_overhead", probe_overhead)
+        .metric("traced_overhead", traced_overhead)
+        .metric("unarmed_overhead", unarmed_overhead)
+        .metric("prof_overhead", prof_overhead)
+        .phases_from(&prof_record);
+    if let Err(e) = history::append(Path::new(HISTORY_FILE), &record) {
+        eprintln!("bench_sweep: cannot append {HISTORY_FILE}: {e}");
+    }
+    stp_bench::telemetry::export_profs("bench_sweep", &[prof_record]);
+
     // Budget gates: streaming metrics stay within 10% of the bare engine,
-    // full causal tracing within 25%, and an unarmed fault campaign —
-    // the corruption machinery with nothing to fire — within 10%.
+    // full causal tracing within 25%, an unarmed fault campaign —
+    // the corruption machinery with nothing to fire — within 10%, and
+    // sampled phase profiling within 5%.
     stp_bench::telemetry::export_summary(
         "bench_sweep",
         1,
-        probe_overhead <= 0.10 && traced_overhead <= 0.25 && unarmed_overhead <= 0.10,
+        probe_overhead <= 0.10
+            && traced_overhead <= 0.25
+            && unarmed_overhead <= 0.10
+            && prof_overhead <= 0.05,
     );
 }

@@ -13,7 +13,9 @@
 //! * `--once` — non-interactive: run the workload to completion, print
 //!   the final table exactly once (no ANSI escapes), for CI and scripts.
 //! * `--prometheus` — additionally print the final snapshot in the
-//!   Prometheus text exposition format.
+//!   Prometheus text exposition format, followed by the per-phase cost
+//!   metrics from the phase-scoped profiler that rides along with every
+//!   run (`stp_prof_*` families).
 //!
 //! With `STP_TELEMETRY` set, every refresh emits an aggregate
 //! `{"fleet": …}` line, the final snapshot adds one line per shard, and
@@ -23,13 +25,15 @@
 //! Usage: `sessions_top [--once] [--prometheus] [--shards N]
 //! [--sessions N] [--interval MS]`
 
+use std::sync::Arc;
 use std::time::Duration;
 use stp_channel::{ChannelSpec, SchedulerSpec};
 use stp_protocols::{FamilySpec, ResendPolicy};
 use stp_sim::fleet::{
     prometheus_text, FleetDelta, FleetRegistry, FleetSnapshot, ShardDelta, WatchdogSpec, NO_SAMPLES,
 };
-use stp_sim::sessions::{run_churn_fleet, ChurnSpec, ServerSpec, SessionTemplate};
+use stp_sim::sessions::{run_churn_fleet_profiled, ChurnSpec, ServerSpec, SessionTemplate};
+use stp_sim::{prometheus_prof_text, PhaseProfiler, ProfRecord};
 
 struct Args {
     once: bool,
@@ -189,10 +193,25 @@ fn render(snapshot: &FleetSnapshot, deltas: Option<&FleetDelta>, avg_rate: Optio
     out
 }
 
+/// The full exposition page: fleet families first, then the profiler's
+/// `stp_prof_*` families. Kept as a function so the unit tests below can
+/// check the combined page is well-formed.
+fn exposition(snapshot: &FleetSnapshot, prof: &ProfRecord) -> String {
+    format!(
+        "{}{}",
+        prometheus_text(snapshot),
+        prometheus_prof_text(prof)
+    )
+}
+
 fn main() {
     let args = parse_args();
     let spec = workload(&args);
     let fleet = FleetRegistry::new(args.shards);
+    // The profiler rides along on every run (sparse sampling, so the
+    // dashboard numbers are unperturbed); its report feeds the
+    // --prometheus page and the {"prof": …} telemetry line.
+    let prof = Arc::new(PhaseProfiler::new(PhaseProfiler::DEFAULT_PERIOD));
     let mut telemetry = stp_bench::telemetry::writer();
     let mut emit = |record: &stp_sim::FleetRecord| {
         if let Some(w) = telemetry.as_mut() {
@@ -203,7 +222,7 @@ fn main() {
     };
 
     let report = if args.once {
-        run_churn_fleet(&spec, None, &fleet)
+        run_churn_fleet_profiled(&spec, None, &fleet, &prof)
     } else {
         // Live view: the workload runs on its own thread (which spawns
         // one worker per shard); this thread samples and redraws.
@@ -211,7 +230,8 @@ fn main() {
         let worker = {
             let spec = spec.clone();
             let fleet = fleet.clone();
-            std::thread::spawn(move || run_churn_fleet(&spec, None, &fleet))
+            let prof = Arc::clone(&prof);
+            std::thread::spawn(move || run_churn_fleet_profiled(&spec, None, &fleet, &prof))
         };
         while !worker.is_finished() {
             std::thread::sleep(args.interval);
@@ -247,6 +267,12 @@ fn main() {
         emit(&shard.record("sessions_top"));
     }
     emit(&snapshot.stats().record("sessions_top"));
+    let prof_record = prof.report("sessions_top", "churn");
+    if let Some(w) = telemetry.as_mut() {
+        if let Err(e) = w.emit_prof(&prof_record) {
+            eprintln!("sessions_top: prof telemetry failed: {e}");
+        }
+    }
     if let Some(w) = telemetry.as_mut() {
         let result = report
             .stalls
@@ -263,6 +289,81 @@ fn main() {
     }
 
     if args.prometheus {
-        print!("{}", prometheus_text(&snapshot));
+        print!("{}", exposition(&snapshot, &prof_record));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // A small but real exposition page: a registry with traffic on two
+    // shards (shard 1 left idle so NO_SAMPLES quantiles are in play) and
+    // a profiler with one timed window.
+    fn sample_page() -> String {
+        let fleet = FleetRegistry::new(2);
+        fleet.shard(0).note_submitted();
+        fleet.shard(0).note_admitted(false);
+        fleet.shard(0).note_completed(3);
+        let prof = PhaseProfiler::new(1);
+        prof.time(stp_sim::Phase::SenderStep, || std::hint::black_box(1));
+        exposition(&fleet.snapshot(), &prof.report("sessions_top", "churn"))
+    }
+
+    #[test]
+    fn exposition_page_parses_as_prometheus_text_format() {
+        let page = sample_page();
+        assert!(page.ends_with('\n'), "exposition must end in a newline");
+        for line in page.lines() {
+            assert!(!line.trim().is_empty(), "no blank lines in the page");
+            if line.starts_with("# HELP ") || line.starts_with("# TYPE ") {
+                continue;
+            }
+            assert!(!line.starts_with('#'), "unknown comment form: {line}");
+            // Sample lines: `name{labels} value` or `name value`.
+            let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+            assert!(!series.is_empty());
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "unparseable sample value in: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn help_and_type_are_emitted_once_per_family() {
+        let page = sample_page();
+        let mut helps = std::collections::BTreeMap::new();
+        let mut types = std::collections::BTreeMap::new();
+        for line in page.lines() {
+            for (prefix, counts) in [("# HELP ", &mut helps), ("# TYPE ", &mut types)] {
+                if let Some(rest) = line.strip_prefix(prefix) {
+                    let family = rest.split(' ').next().expect("family name").to_string();
+                    *counts.entry(family).or_insert(0usize) += 1;
+                }
+            }
+        }
+        assert!(!helps.is_empty() && !types.is_empty());
+        for (family, count) in helps.iter().chain(types.iter()) {
+            assert_eq!(*count, 1, "duplicate HELP/TYPE for {family}");
+        }
+        // The fleet and prof halves must not collide on family names.
+        assert!(helps.keys().any(|f| f.starts_with("stp_prof_")));
+    }
+
+    #[test]
+    fn no_samples_sentinel_never_leaks_into_the_page() {
+        let page = sample_page();
+        for line in page.lines() {
+            if line.starts_with('#') {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+            let v: f64 = value.parse().expect("numeric sample");
+            assert!(
+                v != NO_SAMPLES,
+                "NO_SAMPLES sentinel leaked as a sample: {series}"
+            );
+        }
     }
 }

@@ -10,8 +10,8 @@
 
 use std::process::ExitCode;
 use stp_sim::telemetry::{
-    FleetLine, FrontierLine, ReportLine, RunLine, SessionsLine, SpanLine, StabilizationLine,
-    StallLine, SummaryLine, VerdictLine,
+    FleetLine, FrontierLine, ProfLine, ReportLine, RunLine, SessionsLine, SpanLine,
+    StabilizationLine, StallLine, SummaryLine, VerdictLine,
 };
 use stp_sim::TelemetryLine;
 
@@ -53,6 +53,7 @@ fn round_trips(line: &TelemetryLine) -> Result<bool, serde_json::Error> {
         })?,
         TelemetryLine::Fleet(f) => serde_json::to_string(&FleetLine { fleet: f.clone() })?,
         TelemetryLine::Stall(s) => serde_json::to_string(&StallLine { stall: s.clone() })?,
+        TelemetryLine::Prof(p) => serde_json::to_string(&ProfLine { prof: p.clone() })?,
     };
     Ok(TelemetryLine::parse(&reserialized)? == *line)
 }
@@ -73,6 +74,7 @@ fn main() -> ExitCode {
     let mut stabilizations = 0usize;
     let mut sessions = 0usize;
     let (mut fleets, mut stalls) = (0usize, 0usize);
+    let mut profs = 0usize;
     for (no, line) in body.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -116,6 +118,7 @@ fn main() -> ExitCode {
             TelemetryLine::Sessions(_) => sessions += 1,
             TelemetryLine::Fleet(_) => fleets += 1,
             TelemetryLine::Stall(_) => stalls += 1,
+            TelemetryLine::Prof(_) => profs += 1,
         }
     }
     let total = runs
@@ -127,7 +130,8 @@ fn main() -> ExitCode {
         + stabilizations
         + sessions
         + fleets
-        + stalls;
+        + stalls
+        + profs;
     if total == 0 {
         eprintln!("validate_telemetry: {path} contains no telemetry lines");
         return ExitCode::FAILURE;
@@ -135,7 +139,8 @@ fn main() -> ExitCode {
     println!(
         "{path}: {total} lines valid ({runs} runs, {reports} reports, {summaries} summaries, \
          {spans} spans, {frontiers} frontiers, {verdicts} verdicts, \
-         {stabilizations} stabilizations, {sessions} sessions, {fleets} fleets, {stalls} stalls)"
+         {stabilizations} stabilizations, {sessions} sessions, {fleets} fleets, {stalls} stalls, \
+         {profs} profs)"
     );
     ExitCode::SUCCESS
 }

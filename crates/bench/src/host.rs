@@ -1,0 +1,41 @@
+//! Host-shape introspection shared by the benchmark binaries.
+//!
+//! The benches record two core counts next to every measurement so a
+//! number in `BENCH_*.json` or `BENCH_history.jsonl` can always be read
+//! against the hardware it came from: `host_cores_effective` — the
+//! parallelism actually granted to the process — and
+//! `host_cores_present` — the CPUs the kernel reports.
+
+/// Parallelism granted to this process and CPUs present on the host.
+///
+/// `available_parallelism` respects cgroup quotas and CPU affinity, so
+/// it is the honest answer to "how parallel were the measurements";
+/// `/proc/cpuinfo` (when readable) says how many CPUs exist regardless.
+/// The present count is clamped to at least the effective count so the
+/// pair is always ordered.
+pub fn host_parallelism() -> (usize, usize) {
+    let effective = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let present = std::fs::read_to_string("/proc/cpuinfo")
+        .map(|body| {
+            body.lines()
+                .filter(|line| line.starts_with("processor"))
+                .count()
+        })
+        .unwrap_or(0)
+        .max(effective);
+    (effective, present)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_is_positive_and_no_larger_than_present() {
+        let (effective, present) = host_parallelism();
+        assert!(effective >= 1);
+        assert!(present >= effective);
+    }
+}

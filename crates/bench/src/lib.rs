@@ -41,5 +41,8 @@ pub mod e6;
 pub mod e7;
 pub mod e8;
 pub mod e9;
+pub mod gate;
+pub mod history;
+pub mod host;
 pub mod table;
 pub mod telemetry;

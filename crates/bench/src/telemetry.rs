@@ -10,7 +10,7 @@
 
 use std::time::Duration;
 use stp_sim::{
-    ExperimentSummary, FleetRecord, ProgressMeter, SessionsRecord, StabilizationRecord,
+    ExperimentSummary, FleetRecord, ProfRecord, ProgressMeter, SessionsRecord, StabilizationRecord,
     StallRecord, SweepOutcome, TelemetryWriter,
 };
 
@@ -88,6 +88,20 @@ pub fn export_fleet(experiment: &str, records: &[FleetRecord]) {
             .and_then(|()| w.flush());
         if let Err(e) = result {
             eprintln!("telemetry: fleet export failed for {experiment}: {e}");
+        }
+    }
+}
+
+/// Exports profiler cost-attribution reports — one `{"prof": …}` line
+/// per profiled lane or workload.
+pub fn export_profs(experiment: &str, records: &[ProfRecord]) {
+    if let Some(mut w) = writer() {
+        let result = records
+            .iter()
+            .try_for_each(|r| w.emit_prof(r))
+            .and_then(|()| w.flush());
+        if let Err(e) = result {
+            eprintln!("telemetry: prof export failed for {experiment}: {e}");
         }
     }
 }

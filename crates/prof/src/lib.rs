@@ -1,0 +1,69 @@
+//! # stp-prof — allocation metering for bench and test builds
+//!
+//! A counting [`GlobalAlloc`] that forwards every request to the system
+//! allocator and reports the traffic to the phase-scoped profiler in
+//! `stp-sim` via [`stp_sim::note_alloc`]. Install it per *binary* (the
+//! global allocator is a link-time choice, which is why this lives in its
+//! own crate instead of `stp-sim`, whose library code forbids `unsafe`):
+//!
+//! ```ignore
+//! use stp_prof::CountingAlloc;
+//!
+//! #[global_allocator]
+//! static ALLOC: CountingAlloc = CountingAlloc;
+//! ```
+//!
+//! With the allocator installed, every allocation made inside a profiled
+//! phase window (a [`PhaseProfiler::time`](stp_sim::PhaseProfiler::time)
+//! closure or an engine step window) is charged to that phase; allocations
+//! outside any window land in the profiler's *unattributed* slot. Without
+//! it, `note_alloc` is never called and prof reports say
+//! `alloc_metered: false` — the timers keep working either way.
+//!
+//! ## Caveats
+//!
+//! - Counting costs two relaxed atomic adds and a thread-local read per
+//!   allocation. That is noise next to the allocation itself, but it is
+//!   not *zero*: keep the shim out of latency-gated release binaries.
+//! - `realloc` is charged for the full new size (the old block's size is
+//!   not refunded), so byte totals measure allocator *pressure*, not live
+//!   heap. Deallocations are deliberately not tracked.
+//! - Attribution is per-thread: a worker thread allocating on behalf of a
+//!   profiled coordinator charges the slot *its own* thread is in
+//!   (usually unattributed), not the coordinator's phase.
+
+#![warn(missing_docs)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+
+/// A [`System`]-backed allocator that reports every allocation to
+/// [`stp_sim::note_alloc`] before satisfying it.
+///
+/// Zero-sized and unit: install with `#[global_allocator]` as shown in
+/// the crate docs.
+pub struct CountingAlloc;
+
+// SAFETY: every method delegates directly to `System`, which upholds the
+// GlobalAlloc contract. `note_alloc` only touches static atomics and a
+// `Cell` thread-local (no allocation, no panic), so calling it from
+// inside the allocator cannot recurse or unwind.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        stp_sim::note_alloc(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        stp_sim::note_alloc(layout.size());
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        stp_sim::note_alloc(new_size);
+        System.realloc(ptr, layout, new_size)
+    }
+}

@@ -1,0 +1,62 @@
+//! With [`CountingAlloc`] installed as the global allocator, heap traffic
+//! inside a profiled phase window is charged to that phase, and a prof
+//! report flips to `alloc_metered: true`.
+
+use stp_prof::CountingAlloc;
+use stp_sim::{Phase, PhaseProfiler};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn allocations_inside_a_window_are_charged_to_its_phase() {
+    let prof = PhaseProfiler::new(1);
+    let grown = prof.time(Phase::SenderStep, || {
+        let mut v: Vec<u64> = Vec::with_capacity(8_192);
+        v.push(std::hint::black_box(7));
+        v
+    });
+    assert_eq!(grown[0], 7);
+
+    let report = prof.report("stp-prof", "alloc_attribution");
+    assert!(report.alloc_metered, "global allocator shim not detected");
+    let sender = report
+        .phases
+        .iter()
+        .find(|p| p.phase == "sender_step")
+        .expect("sender_step row present");
+    // The Vec above cost one allocation of 8_192 * 8 bytes; anything else
+    // the closure allocated only adds to the totals, so assert with >=.
+    assert!(sender.allocs >= 1, "allocs = {}", sender.allocs);
+    assert!(
+        sender.alloc_bytes >= 8_192 * 8,
+        "alloc_bytes = {}",
+        sender.alloc_bytes
+    );
+    assert!(report.allocs_total >= sender.allocs);
+    assert!(report.alloc_bytes_total >= sender.alloc_bytes);
+}
+
+#[test]
+fn allocations_outside_any_window_stay_unattributed() {
+    let prof = PhaseProfiler::new(1);
+    // Allocate with no phase window open: the traffic lands in the
+    // unattributed slot, not in the phase this thread profiles next.
+    // (Only per-thread attribution can be asserted here — the counters
+    // are process-global and the other test runs concurrently.)
+    let stray: Vec<u8> = vec![0; 1 << 16];
+    std::hint::black_box(&stray);
+    prof.time(Phase::ReceiverStep, || std::hint::black_box(1));
+
+    let report = prof.report("stp-prof", "alloc_attribution");
+    // The stray 64 KiB must be in the run totals (unattributed counts
+    // toward totals) but must not have been charged to receiver_step.
+    assert!(report.alloc_bytes_total >= 1 << 16);
+    if let Some(recv) = report.phases.iter().find(|p| p.phase == "receiver_step") {
+        assert!(
+            recv.alloc_bytes < 1 << 16,
+            "stray allocation charged to receiver_step: {} bytes",
+            recv.alloc_bytes
+        );
+    }
+}

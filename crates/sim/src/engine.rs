@@ -24,6 +24,7 @@
 //! spec reproduces the legacy sweep order bit-for-bit.
 
 use crate::metrics::{MetricsProbe, RunStats};
+use crate::prof::{delivery_phase, expiry_phase, PhaseProfiler};
 use crate::runner::{MemberRun, SweepOutcome};
 use crate::slo::SloConfig;
 use crate::telemetry::ProgressMeter;
@@ -218,9 +219,31 @@ impl SweepEngine {
         family: &(dyn ProtocolFamily + Sync),
         meter: Option<&ProgressMeter>,
     ) -> SweepOutcome {
+        self.run_inner(family, meter, None)
+    }
+
+    /// [`SweepEngine::run`] with a phase profiler attached: every
+    /// [`period`](PhaseProfiler::period)-th grid cell per worker runs as
+    /// one profiled window, attributing time to [`Phase`](crate::prof::Phase)s
+    /// split by the spec's channel kind. Results are bit-identical to an
+    /// unprofiled run — profiling only observes (see `tests/prof_parity.rs`).
+    pub fn run_profiled(
+        &self,
+        family: &(dyn ProtocolFamily + Sync),
+        prof: &PhaseProfiler,
+    ) -> SweepOutcome {
+        self.run_inner(family, None, Some(prof))
+    }
+
+    fn run_inner(
+        &self,
+        family: &(dyn ProtocolFamily + Sync),
+        meter: Option<&ProgressMeter>,
+        prof: Option<&PhaseProfiler>,
+    ) -> SweepOutcome {
         let threads = self.spec.resolved_threads();
         if threads <= 1 {
-            return self.run_serial_observed(family, meter);
+            return self.run_serial_inner(family, meter, prof);
         }
         let claimed = family.claimed_family();
         let work = self.work_list(claimed.seqs());
@@ -246,11 +269,20 @@ impl SweepEngine {
                         let mut worlds: Vec<Option<World>> =
                             (0..spec.schedulers.len()).map(|_| None).collect();
                         let mut out = Vec::new();
+                        // Per-worker sampling tick: each worker profiles
+                        // every `period`-th of *its own* cells, so the
+                        // sampled share is period-independent of the
+                        // thread count.
+                        let mut tick: u64 = 0;
                         loop {
                             let i = cursor.fetch_add(1, Ordering::Relaxed);
                             if i >= work.len() {
                                 break;
                             }
+                            let cell_prof = prof.filter(|p| {
+                                tick += 1;
+                                p.sample(tick)
+                            });
                             let (sched, xi, seed) = work[i];
                             out.push((
                                 i,
@@ -261,6 +293,7 @@ impl SweepEngine {
                                     sched,
                                     &claimed.seqs()[xi],
                                     seed,
+                                    cell_prof,
                                 ),
                             ));
                             if let Some(m) = meter {
@@ -300,6 +333,25 @@ impl SweepEngine {
         family: &dyn ProtocolFamily,
         meter: Option<&ProgressMeter>,
     ) -> SweepOutcome {
+        self.run_serial_inner(family, meter, None)
+    }
+
+    /// [`SweepEngine::run_serial`] with a phase profiler attached; see
+    /// [`SweepEngine::run_profiled`].
+    pub fn run_serial_profiled(
+        &self,
+        family: &dyn ProtocolFamily,
+        prof: &PhaseProfiler,
+    ) -> SweepOutcome {
+        self.run_serial_inner(family, None, Some(prof))
+    }
+
+    fn run_serial_inner(
+        &self,
+        family: &dyn ProtocolFamily,
+        meter: Option<&ProgressMeter>,
+        prof: Option<&PhaseProfiler>,
+    ) -> SweepOutcome {
         let mut worlds: Vec<Option<World>> =
             (0..self.spec.schedulers.len()).map(|_| None).collect();
         let claimed = family.claimed_family();
@@ -308,9 +360,14 @@ impl SweepEngine {
             m.begin(work.len());
             m.worker_started();
         }
+        let mut tick: u64 = 0;
         let runs = work
             .into_iter()
             .map(|(sched, xi, seed)| {
+                let cell_prof = prof.filter(|p| {
+                    tick += 1;
+                    p.sample(tick)
+                });
                 let run = run_cell(
                     &mut worlds,
                     family,
@@ -318,6 +375,7 @@ impl SweepEngine {
                     sched,
                     &claimed.seqs()[xi],
                     seed,
+                    cell_prof,
                 );
                 if let Some(m) = meter {
                     m.record_done(1);
@@ -345,6 +403,7 @@ fn run_cell(
     sched: usize,
     x: &DataSeq,
     seed: u64,
+    prof: Option<&PhaseProfiler>,
 ) -> MemberRun {
     let slot = &mut worlds[sched];
     let world = match slot {
@@ -368,7 +427,23 @@ fn run_cell(
             slot.insert(builder.build().expect("engine supplies every component"))
         }
     };
-    world.run_until(spec.max_steps, World::is_complete);
+    match prof {
+        // A sampled cell: the whole run is one profiling window, with
+        // channel cost split by the spec's channel kind. Unsampled cells
+        // take the unchanged fast path.
+        Some(p) => {
+            world.run_until_profiled(
+                spec.max_steps,
+                World::is_complete,
+                p,
+                delivery_phase(&spec.channel),
+                expiry_phase(&spec.channel),
+            );
+        }
+        None => {
+            world.run_until(spec.max_steps, World::is_complete);
+        }
+    }
     // With a probe attached, statistics come from the streaming path —
     // the parity tests pin this to the world's incremental counters and
     // to trace-derived stats.
@@ -459,7 +534,7 @@ mod tests {
             .max_by_key(|s| s.len())
             .unwrap()
             .clone();
-        let run = run_cell(&mut worlds, &family, &traced_spec, 0, &x, 0);
+        let run = run_cell(&mut worlds, &family, &traced_spec, 0, &x, 0, None);
         let world = worlds[0].as_ref().unwrap();
         let probe = world
             .probe_of::<TraceProbe>()

@@ -36,6 +36,7 @@ pub mod fault;
 pub mod fleet;
 pub mod metrics;
 pub mod prelude;
+pub mod prof;
 pub mod replay;
 pub mod runner;
 pub mod sessions;
@@ -55,6 +56,10 @@ pub use fleet::{
     WatchdogSpec, NO_SAMPLES,
 };
 pub use metrics::{Histogram, MetricsProbe, RunStats, SweepReport};
+pub use prof::{
+    delivery_phase, expiry_phase, folded, note_alloc, prometheus_prof_text, Phase, PhaseProfiler,
+    ProfPhase, ProfRecord,
+};
 pub use replay::{replay, script_from_trace, scripted_world};
 pub use runner::{
     run_family_member, sweep_family, sweep_family_parallel, sweep_family_parallel_observed,

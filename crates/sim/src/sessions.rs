@@ -38,6 +38,7 @@ use crate::fleet::{
     WatchdogSpec,
 };
 use crate::metrics::{Histogram, RunStats};
+use crate::prof::{delivery_phase, expiry_phase, NoObs, Phase, PhaseProfiler, ProfObs, StepObs};
 use crate::telemetry::{ProgressMeter, SessionsRecord};
 use crate::world::World;
 use parking_lot::Mutex;
@@ -296,6 +297,11 @@ pub struct SessionEngine {
     metrics: Option<Arc<ShardMetrics>>,
     watchdog: Option<WatchdogSpec>,
     stalls: Vec<StallRecord>,
+    // Phase profiler: off by default; when attached, every
+    // `prof.period()`-th slot quantum becomes a profiled window. The
+    // unprofiled path is untouched (see `step_slot_once`).
+    prof: Option<Arc<PhaseProfiler>>,
+    prof_tick: u64,
 }
 
 impl std::fmt::Debug for SessionEngine {
@@ -364,6 +370,8 @@ impl SessionEngine {
             metrics: None,
             watchdog: None,
             stalls: Vec::new(),
+            prof: None,
+            prof_tick: 0,
         }
     }
 
@@ -372,6 +380,16 @@ impl SessionEngine {
     /// happen at round granularity, never inside the per-step hot loop.
     pub fn attach_metrics(&mut self, metrics: Arc<ShardMetrics>) {
         self.metrics = Some(metrics);
+    }
+
+    /// Attaches a phase profiler: every `prof.period()`-th slot quantum
+    /// from here on runs as a profiled window attributing time to
+    /// [`Phase`]s, and admission/retirement get coarse windows of their
+    /// own. Profiling is observation-only — session outcomes and the
+    /// churn digest are bit-identical with or without it (the
+    /// `prof_parity` suite enforces this).
+    pub fn attach_profiler(&mut self, prof: Arc<PhaseProfiler>) {
+        self.prof = Some(prof);
     }
 
     /// Arms the stall watchdog: sessions admitted from here on are
@@ -530,11 +548,16 @@ impl SessionEngine {
     /// every active session up to the quantum, retiring completions,
     /// exhaustions and TTL disconnects along the way.
     pub fn step_round(&mut self) {
-        while self.active.len() < self.capacity {
-            let Some((serial, submitted, spec)) = self.queue.pop_front() else {
-                break;
-            };
-            self.admit(serial, submitted, spec);
+        // Clone the profiler handle out so timed closures below can
+        // borrow `self` mutably; one Arc clone per round, nothing per
+        // slot beyond a predictable branch.
+        let prof = self.prof.clone();
+        let prof = prof.as_deref();
+        match prof {
+            Some(p) if !self.queue.is_empty() && self.active.len() < self.capacity => {
+                p.time(Phase::Admission, || self.admit_from_queue());
+            }
+            _ => self.admit_from_queue(),
         }
         let mut round_steps: u64 = 0;
         let mut i = 0;
@@ -548,10 +571,26 @@ impl SessionEngine {
                 self.flag_stall(slot);
             }
             let before = self.steps[slot];
-            let fate = self.step_slot(slot);
+            let (fate, sampled) = match prof {
+                Some(p) => {
+                    self.prof_tick += 1;
+                    if p.sample(self.prof_tick) {
+                        (self.step_slot_profiled(slot, p), true)
+                    } else {
+                        (self.step_slot(slot), false)
+                    }
+                }
+                None => (self.step_slot(slot), false),
+            };
             round_steps += self.steps[slot] - before;
             match fate {
-                Some(fate) => self.retire(i, fate),
+                Some(fate) => match prof {
+                    // Retirement cost is only visible for the sampled
+                    // quantum's session — same sampling rate as the
+                    // step windows, so shares stay comparable.
+                    Some(p) if sampled => p.time(Phase::Retire, || self.retire(i, fate)),
+                    _ => self.retire(i, fate),
+                },
                 None => i += 1,
             }
         }
@@ -572,6 +611,15 @@ impl SessionEngine {
                 age,
                 round_steps,
             );
+        }
+    }
+
+    fn admit_from_queue(&mut self) {
+        while self.active.len() < self.capacity {
+            let Some((serial, submitted, spec)) = self.queue.pop_front() else {
+                break;
+            };
+            self.admit(serial, submitted, spec);
         }
     }
 
@@ -776,11 +824,51 @@ impl SessionEngine {
         self.slot_fate(slot)
     }
 
+    // `step_slot` as one profiled window: the same quantum loop, with
+    // each protocol step marking phase boundaries into `obs`. Stopping
+    // rule and stepping are byte-for-byte the unprofiled logic — the
+    // prof_parity suite holds the digests equal.
+    fn step_slot_profiled(&mut self, slot: usize, prof: &PhaseProfiler) -> Option<SessionFate> {
+        let recipe = &self.recipes[self.slot_recipe[slot] as usize];
+        let deliver = delivery_phase(&recipe.channel);
+        let expire = expiry_phase(&recipe.channel);
+        let mut obs = ProfObs::begin();
+        let fate = 'quantum: {
+            for _ in 0..self.quantum {
+                if let Some(fate) = self.slot_fate(slot) {
+                    break 'quantum Some(fate);
+                }
+                self.step_slot_once_impl(slot, &mut obs, deliver, expire);
+            }
+            self.slot_fate(slot)
+        };
+        obs.finish(prof);
+        fate
+    }
+
     // One protocol step — `World::step` under `TraceMode::Off` with the
     // event construction, probe fan-out and provenance branches removed.
     // Any behavioural divergence from the world loop is a bug the parity
     // suite exists to catch.
     fn step_slot_once(&mut self, slot: usize) {
+        // Phases are irrelevant under `NoObs` (marks compile away), so
+        // the unprofiled hot path is unchanged.
+        self.step_slot_once_impl(
+            slot,
+            &mut NoObs,
+            Phase::DeliverPerfect,
+            Phase::ExpirePerfect,
+        );
+    }
+
+    fn step_slot_once_impl<O: StepObs>(
+        &mut self,
+        slot: usize,
+        obs: &mut O,
+        deliver: Phase,
+        expire: Phase,
+    ) {
+        obs.mark(Phase::SchedulerDecide);
         let t = self.steps[slot];
         let sender = self.senders[slot].as_mut().expect("active slot has sender");
         let receiver = self.receivers[slot]
@@ -797,6 +885,7 @@ impl SessionEngine {
         let decision = scheduler.decide(t, &**channel);
 
         // Adversarial deletions first (they model in-transit loss).
+        obs.mark(deliver);
         for i in 0..decision.delete_to_r.len() {
             if channel.delete_to_r(decision.delete_to_r[i]).is_ok() {
                 self.drops[slot] += 1;
@@ -854,6 +943,7 @@ impl SessionEngine {
         }
 
         // Processor steps.
+        obs.mark(Phase::SenderStep);
         let s_event = if t == 0 {
             SenderEvent::Init
         } else {
@@ -871,6 +961,7 @@ impl SessionEngine {
             }
         };
         let s_out = sender.on_event(s_event);
+        obs.mark(Phase::ReceiverStep);
         let r_out = receiver.on_event(r_event);
 
         // Apply outputs after deliveries: sends become deliverable next
@@ -880,6 +971,7 @@ impl SessionEngine {
             self.write_steps[slot].push(t);
             self.written[slot] += 1;
         }
+        obs.mark(deliver);
         for m in s_out.send {
             channel.send_s(m);
             self.sends_s[slot] += 1;
@@ -891,12 +983,14 @@ impl SessionEngine {
 
         // Channel clock, then the expiry drain: channel-destroyed copies
         // count as drops exactly like adversarial loss.
+        obs.mark(expire);
         channel.tick();
         channel.take_expirations(&mut self.scratch_r, &mut self.scratch_s);
         self.drops[slot] += self.scratch_r.len() + self.scratch_s.len();
         self.scratch_r.clear();
         self.scratch_s.clear();
 
+        obs.mark(Phase::Bookkeeping);
         self.steps[slot] = t + 1;
     }
 }
@@ -1318,12 +1412,16 @@ fn run_shard(
     claimed: &[Vec<DataSeq>],
     meter: Option<&ProgressMeter>,
     metrics: Option<Arc<ShardMetrics>>,
+    prof: Option<&Arc<PhaseProfiler>>,
 ) -> ShardOutcome {
     let shards = u64::from(spec.server.shards.max(1));
     let arrivals = spec.arrivals_per_round.max(1);
     let mut engine = SessionEngine::new(shard, spec.server.capacity_per_shard, spec.server.quantum);
     if let Some(m) = metrics {
         engine.attach_metrics(m);
+    }
+    if let Some(p) = prof {
+        engine.attach_profiler(Arc::clone(p));
     }
     if let Some(w) = spec.server.watchdog {
         engine.arm_watchdog(w);
@@ -1410,6 +1508,7 @@ fn churn(
     meter: Option<&ProgressMeter>,
     isolated: bool,
     fleet: Option<&FleetRegistry>,
+    prof: Option<&Arc<PhaseProfiler>>,
 ) -> ChurnReport {
     assert!(!spec.mix.is_empty(), "a churn workload needs a session mix");
     assert!(
@@ -1431,7 +1530,7 @@ fn churn(
     let wall = Instant::now();
     let outs: Vec<ShardOutcome> = if isolated || shards == 1 {
         (0..shards)
-            .map(|s| run_shard(spec, s, &claimed, meter, fleet.map(|f| f.shard(s))))
+            .map(|s| run_shard(spec, s, &claimed, meter, fleet.map(|f| f.shard(s)), prof))
             .collect()
     } else {
         std::thread::scope(|scope| {
@@ -1443,7 +1542,7 @@ fn churn(
                         if let Some(m) = meter {
                             m.worker_started();
                         }
-                        let out = run_shard(spec, s, claimed, meter, metrics);
+                        let out = run_shard(spec, s, claimed, meter, metrics, prof);
                         if let Some(m) = meter {
                             m.worker_finished();
                         }
@@ -1469,7 +1568,7 @@ fn churn(
 /// report's digest — are identical to [`run_churn_isolated`]; only the
 /// timing fields differ.
 pub fn run_churn(spec: &ChurnSpec, meter: Option<&ProgressMeter>) -> ChurnReport {
-    churn(spec, meter, false, None)
+    churn(spec, meter, false, None, None)
 }
 
 /// Runs the churn workload stepping each shard *in isolation*,
@@ -1478,7 +1577,7 @@ pub fn run_churn(spec: &ChurnSpec, meter: Option<&ProgressMeter>) -> ChurnReport
 /// timing mode: on a host with a core per shard, wall time converges to
 /// the critical path these numbers bound.
 pub fn run_churn_isolated(spec: &ChurnSpec, meter: Option<&ProgressMeter>) -> ChurnReport {
-    churn(spec, meter, true, None)
+    churn(spec, meter, true, None, None)
 }
 
 /// [`run_churn`] with each shard reporting into its slice of `fleet` —
@@ -1496,7 +1595,7 @@ pub fn run_churn_fleet(
     meter: Option<&ProgressMeter>,
     fleet: &FleetRegistry,
 ) -> ChurnReport {
-    churn(spec, meter, false, Some(fleet))
+    churn(spec, meter, false, Some(fleet), None)
 }
 
 /// [`run_churn_isolated`] with fleet metrics attached — the metered
@@ -1512,7 +1611,48 @@ pub fn run_churn_fleet_isolated(
     meter: Option<&ProgressMeter>,
     fleet: &FleetRegistry,
 ) -> ChurnReport {
-    churn(spec, meter, true, Some(fleet))
+    churn(spec, meter, true, Some(fleet), None)
+}
+
+/// [`run_churn`] with every shard engine sharing `prof`: each
+/// `prof.period()`-th slot quantum becomes a profiled window, so the
+/// per-phase cost table covers the whole fleet. Per-session outcomes and
+/// the report's digest are identical to the unprofiled lanes — the
+/// profiler only observes.
+pub fn run_churn_profiled(
+    spec: &ChurnSpec,
+    meter: Option<&ProgressMeter>,
+    prof: &Arc<PhaseProfiler>,
+) -> ChurnReport {
+    churn(spec, meter, false, None, Some(prof))
+}
+
+/// [`run_churn_isolated`] with phase profiling attached — the profiled
+/// bench lane the `PROF_BUDGET` overhead gate compares against its
+/// unprofiled sibling.
+pub fn run_churn_profiled_isolated(
+    spec: &ChurnSpec,
+    meter: Option<&ProgressMeter>,
+    prof: &Arc<PhaseProfiler>,
+) -> ChurnReport {
+    churn(spec, meter, true, None, Some(prof))
+}
+
+/// [`run_churn_fleet`] with phase profiling attached as well — the
+/// fully-instrumented lane `sessions_top` runs so its Prometheus
+/// exposition can include per-phase cost alongside the fleet gauges.
+///
+/// # Panics
+///
+/// Panics if the registry's shard count differs from
+/// `spec.server.shards`.
+pub fn run_churn_fleet_profiled(
+    spec: &ChurnSpec,
+    meter: Option<&ProgressMeter>,
+    fleet: &FleetRegistry,
+    prof: &Arc<PhaseProfiler>,
+) -> ChurnReport {
+    churn(spec, meter, false, Some(fleet), Some(prof))
 }
 
 #[cfg(test)]

@@ -19,6 +19,7 @@
 
 use crate::fleet::{FleetRecord, StallRecord};
 use crate::metrics::{RunStats, SweepReport};
+use crate::prof::ProfRecord;
 use crate::runner::{MemberRun, SweepOutcome};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -379,6 +380,14 @@ pub struct StallLine {
     pub stall: StallRecord,
 }
 
+/// The wire form of a profiler line: `{"prof": {…}}` — one per-phase
+/// cost-attribution report from the phase-scoped profiler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfLine {
+    /// The record.
+    pub prof: ProfRecord,
+}
+
 /// A parsed telemetry line — what [`TelemetryLine::parse`] dispatches to.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TelemetryLine {
@@ -403,6 +412,8 @@ pub enum TelemetryLine {
     Fleet(FleetRecord),
     /// A stall-watchdog flag with replay provenance.
     Stall(StallRecord),
+    /// A phase-scoped profiler report.
+    Prof(ProfRecord),
 }
 
 impl TelemetryLine {
@@ -413,7 +424,8 @@ impl TelemetryLine {
     /// Returns the underlying JSON error when the line is none of the
     /// `{"run": …}` / `{"span": …}` / `{"frontier": …}` / `{"summary": …}`
     /// / `{"verdict": …}` / `{"stabilization": …}` / `{"sessions": …}` /
-    /// `{"fleet": …}` / `{"stall": …}` / `{"report": …}` documents.
+    /// `{"fleet": …}` / `{"stall": …}` / `{"prof": …}` / `{"report": …}`
+    /// documents.
     pub fn parse(line: &str) -> Result<TelemetryLine, serde_json::Error> {
         if let Ok(l) = serde_json::from_str::<RunLine>(line) {
             return Ok(TelemetryLine::Run(l.run));
@@ -432,6 +444,9 @@ impl TelemetryLine {
         }
         if let Ok(l) = serde_json::from_str::<StallLine>(line) {
             return Ok(TelemetryLine::Stall(l.stall));
+        }
+        if let Ok(l) = serde_json::from_str::<ProfLine>(line) {
+            return Ok(TelemetryLine::Prof(l.prof));
         }
         if let Ok(l) = serde_json::from_str::<SpanLine>(line) {
             return Ok(TelemetryLine::Span(l.span));
@@ -595,6 +610,19 @@ impl TelemetryWriter {
     pub fn emit_stall(&mut self, record: &StallRecord) -> io::Result<()> {
         let line = serde_json::to_string(&StallLine {
             stall: record.clone(),
+        })
+        .map_err(io::Error::other)?;
+        self.sink.write_line(&line)
+    }
+
+    /// Emits one profiler cost-attribution line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serialization or sink I/O errors.
+    pub fn emit_prof(&mut self, record: &ProfRecord) -> io::Result<()> {
+        let line = serde_json::to_string(&ProfLine {
+            prof: record.clone(),
         })
         .map_err(io::Error::other)?;
         self.sink.write_line(&line)
@@ -1146,6 +1174,23 @@ mod tests {
         match TelemetryLine::parse(line).unwrap() {
             TelemetryLine::Sessions(back) => assert_eq!(back, rec),
             other => panic!("expected a sessions line, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prof_lines_round_trip() {
+        let prof = crate::prof::PhaseProfiler::new(1);
+        prof.time(crate::prof::Phase::SenderStep, || std::hint::black_box(7));
+        let rec = prof.report("bench_sweep", "e1_grid");
+
+        let sink = MemorySink::new();
+        let mut w = TelemetryWriter::new(Box::new(sink.clone()));
+        w.emit_prof(&rec).unwrap();
+        let line = &sink.lines()[0];
+        assert!(line.contains("\"prof\""), "{line}");
+        match TelemetryLine::parse(line).unwrap() {
+            TelemetryLine::Prof(back) => assert_eq!(back, rec),
+            other => panic!("expected a prof line, got {other:?}"),
         }
     }
 

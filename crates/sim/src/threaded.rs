@@ -15,6 +15,7 @@
 
 use crate::error::SimError;
 use crate::metrics::{MetricsProbe, RunStats};
+use crate::prof::{Phase, PhaseProfiler, ProfObs};
 use crate::world::World;
 use crossbeam::channel::{bounded, Receiver as CbReceiver, Sender as CbSender};
 use parking_lot::Mutex;
@@ -237,7 +238,7 @@ pub fn run_threaded(
     progress: Option<Arc<Mutex<Progress>>>,
 ) -> Result<Trace, SimError> {
     run_threaded_inner(
-        input, sender, receiver, channel, scheduler, max_steps, progress, false,
+        input, sender, receiver, channel, scheduler, max_steps, progress, false, None,
     )
     .map(|(trace, _)| trace)
 }
@@ -261,9 +262,47 @@ pub fn run_threaded_probed(
     progress: Option<Arc<Mutex<Progress>>>,
 ) -> Result<(Trace, RunStats), SimError> {
     run_threaded_inner(
-        input, sender, receiver, channel, scheduler, max_steps, progress, true,
+        input, sender, receiver, channel, scheduler, max_steps, progress, true, None,
     )
     .map(|(trace, stats)| (trace, stats.expect("probe was attached")))
+}
+
+/// [`run_threaded`] with the whole run profiled as one window of `prof`:
+/// phase time includes the proxy round-trips inside the sender/receiver
+/// phases, so the cost of thread-hopping shows up exactly where it is
+/// paid. `deliver`/`expire` name the channel kind (see
+/// [`delivery_phase`](crate::prof::delivery_phase)). The trace is
+/// identical to an unprofiled run.
+///
+/// # Errors
+///
+/// Returns [`SimError::WorkerDied`] if a worker thread panics or hangs up
+/// mid-run, with the step the coordinator had reached.
+#[allow(clippy::too_many_arguments)]
+pub fn run_threaded_prof(
+    input: DataSeq,
+    sender: Box<dyn Sender + Send>,
+    receiver: Box<dyn Receiver + Send>,
+    channel: Box<dyn Channel>,
+    scheduler: Box<dyn Scheduler>,
+    max_steps: Step,
+    progress: Option<Arc<Mutex<Progress>>>,
+    prof: &PhaseProfiler,
+    deliver: Phase,
+    expire: Phase,
+) -> Result<Trace, SimError> {
+    run_threaded_inner(
+        input,
+        sender,
+        receiver,
+        channel,
+        scheduler,
+        max_steps,
+        progress,
+        false,
+        Some((prof, deliver, expire)),
+    )
+    .map(|(trace, _)| trace)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -276,6 +315,7 @@ fn run_threaded_inner(
     max_steps: Step,
     progress: Option<Arc<Mutex<Progress>>>,
     probed: bool,
+    prof: Option<(&PhaseProfiler, Phase, Phase)>,
 ) -> Result<(Trace, Option<RunStats>), SimError> {
     let (s_proxy, s_handle) = spawn_sender(sender);
     let (r_proxy, r_handle) = spawn_receiver(receiver);
@@ -305,8 +345,12 @@ fn run_threaded_inner(
             None
         }
     };
+    let mut obs = prof.map(|_| ProfObs::begin());
     while world.step_count() < max_steps && !world.is_complete() {
-        world.step();
+        match (&mut obs, prof) {
+            (Some(o), Some((_, deliver, expire))) => world.step_observed(o, deliver, expire),
+            _ => world.step(),
+        }
         if let Some(err) = worker_down(world.step_count()) {
             if let Some(p) = &progress {
                 p.lock().done = true;
@@ -318,6 +362,9 @@ fn run_threaded_inner(
             p.steps = world.step_count();
             p.written = world.trace().output().len();
         }
+    }
+    if let (Some(o), Some((p, _, _))) = (obs.take(), prof) {
+        o.finish(p);
     }
     if let Some(p) = &progress {
         p.lock().done = true;

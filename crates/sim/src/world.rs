@@ -2,6 +2,7 @@
 
 use crate::error::SimError;
 use crate::metrics::RunStats;
+use crate::prof::{NoObs, Phase, PhaseProfiler, ProfObs, StepObs};
 use stp_channel::{Channel, CorruptionCommand, DelChannel, DupChannel, EagerScheduler, Scheduler};
 use stp_core::alphabet::{RMsg, SMsg};
 use stp_core::data::DataSeq;
@@ -522,6 +523,24 @@ impl World {
 
     /// Executes one global step.
     pub fn step(&mut self) {
+        // The phases are irrelevant under `NoObs` (marks compile away);
+        // any pair works.
+        self.step_impl(&mut NoObs, Phase::DeliverPerfect, Phase::ExpirePerfect);
+    }
+
+    // One global step observed through an open profiling window (the
+    // threaded runner drives this directly when profiled).
+    pub(crate) fn step_observed(&mut self, obs: &mut ProfObs, deliver: Phase, expire: Phase) {
+        self.step_impl(obs, deliver, expire);
+    }
+
+    // The single source of truth for the step body. `O = NoObs`
+    // monomorphizes every `obs.mark` to nothing, so the unprofiled
+    // `step()` compiles to the same code as before the profiler existed;
+    // `O = ProfObs` timestamps each phase boundary. `deliver`/`expire`
+    // carry the channel kind so cost splits per kind.
+    fn step_impl<O: StepObs>(&mut self, obs: &mut O, deliver: Phase, expire: Phase) {
+        obs.mark(Phase::SchedulerDecide);
         let t = self.step;
         self.scheduler.note_progress(t, self.written);
         let decision = self.scheduler.decide(t, &*self.channel);
@@ -530,6 +549,7 @@ impl World {
         }
 
         // Adversarial deletions first (they model in-transit loss).
+        obs.mark(deliver);
         for i in 0..decision.delete_to_r.len() {
             let msg = decision.delete_to_r[i];
             if self.channel.delete_to_r(msg).is_ok() {
@@ -630,6 +650,7 @@ impl World {
         }
 
         // Processor steps.
+        obs.mark(Phase::SenderStep);
         let s_event = if t == 0 {
             SenderEvent::Init
         } else {
@@ -647,9 +668,11 @@ impl World {
             }
         };
         let s_out = self.sender.on_event(s_event);
+        obs.mark(Phase::ReceiverStep);
         let r_out = self.receiver.on_event(r_event);
 
         // Record tape reads the sender performed during this step.
+        obs.mark(Phase::SenderStep);
         let reads_now = self.sender.reads();
         for pos in self.reads_seen..reads_now {
             if let Some(item) = self.trace.input().get(pos) {
@@ -660,6 +683,7 @@ impl World {
 
         // Apply outputs after deliveries: sends become deliverable next
         // step at the earliest.
+        obs.mark(Phase::ReceiverStep);
         for item in r_out.write {
             // Positions are assigned consecutively, so safety reduces to
             // "each written item matches the input at its position" —
@@ -675,6 +699,7 @@ impl World {
             );
             self.written += 1;
         }
+        obs.mark(deliver);
         for m in s_out.send {
             self.channel.send_s(m);
             self.sends_s += 1;
@@ -718,6 +743,7 @@ impl World {
         // expiry drain: copies the channel itself destroyed this step are
         // counted — and evented — exactly like adversarial loss, except as
         // `ChannelExpire` so replay does not re-inject them.
+        obs.mark(expire);
         self.channel.tick();
         self.channel
             .take_expirations(&mut self.expiry_scratch_r, &mut self.expiry_scratch_s);
@@ -785,11 +811,14 @@ impl World {
         self.expiry_id_scratch_r.clear();
         self.expiry_id_scratch_s.clear();
 
+        obs.mark(Phase::Bookkeeping);
         self.step += 1;
         self.trace.set_steps(self.step);
+        obs.mark(Phase::ProbeDispatch);
         for p in &mut self.probes {
             p.on_step_end(t);
         }
+        obs.mark(Phase::Bookkeeping);
     }
 
     /// Runs exactly `steps` global steps and returns the trace.
@@ -824,6 +853,33 @@ impl World {
             self.step();
         }
         cond(self)
+    }
+
+    /// Like [`World::run_until`], but the whole run is one profiling
+    /// window of `prof`: channel cost lands in the per-kind
+    /// `deliver`/`expire` phases (see [`crate::prof::delivery_phase`]),
+    /// the rest in the shared taxonomy. Profiling only observes —
+    /// behaviour, trace, and stats are identical to an unprofiled run.
+    pub fn run_until_profiled<F: FnMut(&World) -> bool>(
+        &mut self,
+        max_steps: Step,
+        mut cond: F,
+        prof: &PhaseProfiler,
+        deliver: Phase,
+        expire: Phase,
+    ) -> bool {
+        let mut obs = ProfObs::begin();
+        let reached = loop {
+            if self.step >= max_steps {
+                break cond(self);
+            }
+            if cond(self) {
+                break true;
+            }
+            self.step_impl(&mut obs, deliver, expire);
+        };
+        obs.finish(prof);
+        reached
     }
 
     /// Consumes the world and returns the recorded trace.
