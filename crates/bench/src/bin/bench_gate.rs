@@ -30,6 +30,12 @@ const STATIC_GATES: &[(&str, &str, &str, bool)] = &[
     ("bench_sweep", "unarmed_overhead", "UNARMED_BUDGET", false),
     ("bench_sweep", "prof_overhead", "PROF_BUDGET", false),
     (
+        "bench_sweep",
+        "parallel_scaling_4_over_1",
+        "PARALLEL_FLOOR",
+        true,
+    ),
+    (
         "bench_sessions",
         "sessions_completed",
         "SESSIONS_FLOOR",

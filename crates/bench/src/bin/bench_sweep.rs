@@ -15,6 +15,7 @@
 //! fresh runs against.
 
 use serde::Serialize;
+use std::collections::BTreeMap;
 use std::path::Path;
 use std::time::Instant;
 use stp_bench::history::{self, HistoryRecord, HISTORY_FILE};
@@ -24,7 +25,10 @@ use stp_channel::{ChannelSpec, SchedulerSpec};
 use stp_core::data::DataSeq;
 use stp_core::event::TraceMode;
 use stp_protocols::{ProtocolFamily, ResendPolicy, TightFamily};
-use stp_sim::{run_family_member, PhaseProfiler, RunStats, SweepEngine, SweepSpec};
+use stp_sim::{run_family_member, PhaseProfiler, RunStats, StealSweep, SweepEngine, SweepSpec};
+
+/// Worker widths for the work-stealing scaling lanes.
+const STEAL_WIDTHS: [usize; 4] = [1, 2, 4, 8];
 
 /// Sampling period for the profiled lane. The E1 grid's cells are tiny
 /// (a couple of microseconds each), so a fully profiled cell pays the
@@ -98,6 +102,21 @@ fn legacy_sweep_family_parallel(
     indexed.into_iter().map(|(_, r)| r).collect()
 }
 
+/// One work-stealing scaling lane, measured in isolated critical-path
+/// mode: each worker's statically-dealt chunks run sequentially with a
+/// per-worker busy clock, and the lane's time is the slowest worker's —
+/// what `workers` real cores would need, judged honestly from however
+/// many cores the host grants (the `bench_sessions` churn convention).
+#[derive(Debug, Serialize)]
+struct StealLaneReport {
+    /// Worker count (and thread count on a wide-enough host).
+    workers: usize,
+    /// Fastest critical-path seconds across the timed reps.
+    critical_path_secs: f64,
+    /// Aggregate runs per second over that critical path.
+    runs_per_sec: f64,
+}
+
 // All `*_secs` are each lane's *fastest* per-sweep wall time across the
 // timed reps; rates and overheads derive from those minima.
 #[derive(Debug, Serialize)]
@@ -105,11 +124,13 @@ struct SweepBenchReport {
     grid: String,
     runs_per_sweep: usize,
     sweeps_timed: usize,
-    /// Worker threads the engine lanes were *configured* with.
-    threads: usize,
+    /// Worker threads per lane. Each lane records what it actually ran
+    /// with — there is deliberately no global `threads` scalar, which
+    /// used to misreport the steal lanes' widths.
+    lane_threads: BTreeMap<String, usize>,
     /// Parallelism actually granted to this process (affinity/cgroup
-    /// aware) — what the lanes were *measured* on. `threads` above is
-    /// what was asked for; on a pinned CI runner the two differ.
+    /// aware) — what the lanes were *measured* on. `lane_threads` above
+    /// is what was asked for; on a pinned CI runner the two differ.
     host_cores_effective: usize,
     /// CPUs the kernel reports as present, `>= host_cores_effective`.
     host_cores_present: usize,
@@ -130,6 +151,14 @@ struct SweepBenchReport {
     profiled_secs: f64,
     profiled_runs_per_sec: f64,
     prof_overhead: f64,
+    /// How the steal lanes below were timed (`critical-path`), to keep
+    /// them from being read as wall-clock numbers.
+    steal_timing: &'static str,
+    /// Work-stealing scaling lanes at [`STEAL_WIDTHS`] workers.
+    steal_lanes: Vec<StealLaneReport>,
+    /// 4-worker steal lane throughput over the 1-worker steal lane —
+    /// the scaling headline `PARALLEL_FLOOR` gates in CI.
+    parallel_scaling_4_over_1: f64,
 }
 
 fn main() {
@@ -203,6 +232,16 @@ fn main() {
         "profiling must not perturb results"
     );
     assert_eq!(profiled.report, pooled.report);
+    // The steal lanes share the engine lane's spec; a real-threaded
+    // 4-worker stolen sweep must be bit-identical to the pooled engine
+    // before any lane is timed.
+    let steal_spec = spec.clone().trace_mode(TraceMode::Off);
+    let stolen = StealSweep::new(steal_spec.clone(), 4).run(&family);
+    assert_eq!(
+        stolen.runs, pooled.runs,
+        "work stealing must not perturb results"
+    );
+    assert_eq!(stolen.report, pooled.report);
     for s in 0..spec.schedulers.len() {
         let legacy = legacy_sweep_family_parallel(&family, &spec, s, threads);
         assert!(legacy.iter().all(|r| r.stats.is_complete()));
@@ -221,6 +260,11 @@ fn main() {
     let mut traced_reps = Vec::with_capacity(reps);
     let mut unarmed_reps = Vec::with_capacity(reps);
     let mut profiled_reps = Vec::with_capacity(reps);
+    let steal_sweeps: Vec<StealSweep> = STEAL_WIDTHS
+        .iter()
+        .map(|&w| StealSweep::new(steal_spec.clone(), w))
+        .collect();
+    let mut steal_reps: Vec<Vec<f64>> = STEAL_WIDTHS.iter().map(|_| Vec::new()).collect();
     for _ in 0..reps {
         let t = Instant::now();
         let mut total = 0;
@@ -254,6 +298,14 @@ fn main() {
         let out = engine.run_profiled(&family, &prof);
         profiled_reps.push(t.elapsed().as_secs_f64());
         assert_eq!(out.len(), runs_per_sweep);
+
+        // Steal lanes time each worker's busy loop in isolation, so the
+        // recorded critical path is theft-free and core-count honest.
+        for (sweep, lane_reps) in steal_sweeps.iter().zip(&mut steal_reps) {
+            let report = sweep.run_isolated(&family);
+            assert_eq!(report.outcome.len(), runs_per_sweep);
+            lane_reps.push(report.critical_path_secs());
+        }
     }
 
     fn fastest(samples: &[f64]) -> f64 {
@@ -270,12 +322,47 @@ fn main() {
     let traced_overhead = traced_secs / engine_secs - 1.0;
     let unarmed_overhead = unarmed_secs / engine_secs - 1.0;
     let prof_overhead = profiled_secs / engine_secs - 1.0;
+    let steal_lanes: Vec<StealLaneReport> = STEAL_WIDTHS
+        .iter()
+        .zip(&steal_reps)
+        .map(|(&workers, lane_reps)| {
+            let critical_path_secs = fastest(lane_reps);
+            StealLaneReport {
+                workers,
+                critical_path_secs,
+                runs_per_sec: sweep_runs / critical_path_secs,
+            }
+        })
+        .collect();
+    // Scaling is judged against the 1-worker steal lane — serial
+    // execution over the same pooled machinery — so the ratio isolates
+    // the partition quality rather than executor constant factors.
+    let steal_rps = |w: usize| {
+        steal_lanes
+            .iter()
+            .find(|l| l.workers == w)
+            .map(|l| l.runs_per_sec)
+            .expect("lane present")
+    };
+    let parallel_scaling_4_over_1 = steal_rps(4) / steal_rps(1);
+    let parallel_scaling_8_over_1 = steal_rps(8) / steal_rps(1);
     let (host_cores_effective, host_cores_present) = host::host_parallelism();
+    // Wall-clock lanes all ran at the configured thread count; the steal
+    // lanes record their own widths inline in `steal_lanes`.
+    let mut lane_threads = BTreeMap::new();
+    for lane in [
+        "legacy", "engine", "probed", "traced", "unarmed", "profiled",
+    ] {
+        lane_threads.insert(lane.to_string(), threads);
+    }
+    for &w in &STEAL_WIDTHS {
+        lane_threads.insert(format!("steal_{w}"), w);
+    }
     let report = SweepBenchReport {
         grid: format!("E1: tight-dup m={m} x {{dup-storm, reorder-max, random-0.5}} x 8 seeds"),
         runs_per_sweep,
         sweeps_timed: reps,
-        threads,
+        lane_threads,
         host_cores_effective,
         host_cores_present,
         legacy_secs,
@@ -295,6 +382,9 @@ fn main() {
         profiled_secs,
         profiled_runs_per_sec: sweep_runs / profiled_secs,
         prof_overhead,
+        steal_timing: "critical-path",
+        steal_lanes,
+        parallel_scaling_4_over_1,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_sweep.json", &json).expect("BENCH_sweep.json written");
@@ -303,7 +393,11 @@ fn main() {
     // Durable trajectory: one schema-versioned record per run, appended
     // to the history file bench_gate reads its baselines from.
     let prof_record = prof.report("bench_sweep", "e1_grid");
-    let record = HistoryRecord::new("bench_sweep")
+    // `parallel_scaling_*` deliberately does not start with `scaling_`:
+    // the ratio is gated by the PARALLEL_FLOOR static floor, and keeping
+    // it out of the baseline direction inference means a *better* deal
+    // (higher ratio) can never arm a median that later noise trips.
+    let mut record = HistoryRecord::new("bench_sweep")
         .metric("legacy_secs", legacy_secs)
         .metric("engine_secs", engine_secs)
         .metric("engine_runs_per_sec", sweep_runs / engine_secs)
@@ -311,7 +405,15 @@ fn main() {
         .metric("traced_overhead", traced_overhead)
         .metric("unarmed_overhead", unarmed_overhead)
         .metric("prof_overhead", prof_overhead)
+        .metric("parallel_scaling_4_over_1", parallel_scaling_4_over_1)
+        .metric("parallel_scaling_8_over_1", parallel_scaling_8_over_1)
         .phases_from(&prof_record);
+    for lane in &report.steal_lanes {
+        record = record.metric(
+            &format!("parallel_runs_per_sec_{}", lane.workers),
+            lane.runs_per_sec,
+        );
+    }
     if let Err(e) = history::append(Path::new(HISTORY_FILE), &record) {
         eprintln!("bench_sweep: cannot append {HISTORY_FILE}: {e}");
     }

@@ -13,6 +13,57 @@ use crate::error::ChannelError;
 use stp_core::alphabet::{RMsg, SMsg};
 use stp_core::event::MsgId;
 
+// Dense origin-table accessors: indexed by message value, `None` until a
+// first send is noted.
+#[inline]
+fn origin_get(table: &[Option<MsgId>], v: u16) -> Option<MsgId> {
+    table.get(usize::from(v)).copied().flatten()
+}
+
+#[inline]
+fn origin_note(table: &mut Vec<Option<MsgId>>, v: u16, id: MsgId) -> MsgId {
+    let i = usize::from(v);
+    if i >= table.len() {
+        table.resize(i + 1, None);
+    }
+    *table[i].get_or_insert(id)
+}
+
+// A flat bitset over message values: one bit per value, grown on demand
+// (message values are u16, so at most 1024 words). Membership is one
+// shift+mask — the dup channel's hot path — where the sorted-vec layout
+// it replaced paid a binary search per send *and* per delivery check,
+// plus an O(n) shifting insert per novel value.
+#[derive(Debug, Clone, Default)]
+struct ValueBits(Vec<u64>);
+
+impl ValueBits {
+    #[inline]
+    fn contains(&self, v: u16) -> bool {
+        self.0
+            .get(usize::from(v) >> 6)
+            .is_some_and(|w| w & (1 << (v & 63)) != 0)
+    }
+
+    /// Sets the bit; reports whether it was newly set.
+    #[inline]
+    fn insert(&mut self, v: u16) -> bool {
+        let word = usize::from(v) >> 6;
+        if word >= self.0.len() {
+            self.0.resize(word + 1, 0);
+        }
+        let mask = 1 << (v & 63);
+        let fresh = self.0[word] & mask == 0;
+        self.0[word] |= mask;
+        fresh
+    }
+
+    /// Clears every bit, keeping the allocation (pooled-reset friendly).
+    fn clear(&mut self) {
+        self.0.fill(0);
+    }
+}
+
 /// A bidirectional reorder + duplicate channel.
 ///
 /// ```
@@ -31,17 +82,22 @@ pub struct DupChannel {
     // Sorted, deduplicated. Kept contiguous so `deliverable_*` can hand
     // schedulers a borrowed slice instead of allocating every step; the
     // ascending order is what scheduler RNG indexing is defined against.
+    // The `seen_*` bitsets mirror the vecs exactly: membership tests and
+    // duplicate sends are O(1), and the sorted insert only runs on a
+    // value's *first* send (bounded by the alphabet size per run).
     ever_sent_to_r: Vec<SMsg>,
     ever_sent_to_s: Vec<RMsg>,
+    seen_r: ValueBits,
+    seen_s: ValueBits,
     deliveries_to_r: u64,
     deliveries_to_s: u64,
     // Provenance (active only under `prov`): the id of the *first* send of
     // each value — the carrier every later re-send coalesces into and
-    // every delivery of that value fans out from. Sorted by value,
-    // independently of `ever_sent_*`, so note-order never matters.
+    // every delivery of that value fans out from. Dense, indexed by the
+    // message value, so note-order never matters and lookups are O(1).
     prov: bool,
-    origin_r: Vec<(SMsg, MsgId)>,
-    origin_s: Vec<(RMsg, MsgId)>,
+    origin_r: Vec<Option<MsgId>>,
+    origin_s: Vec<Option<MsgId>>,
     last_delivered_r: Option<MsgId>,
     last_delivered_s: Option<MsgId>,
 }
@@ -81,13 +137,24 @@ impl Channel for DupChannel {
     }
 
     fn send_s(&mut self, msg: SMsg) {
-        if let Err(i) = self.ever_sent_to_r.binary_search(&msg) {
+        // Duplicate sends (the common case under a resend policy) are one
+        // bit test; only a novel value pays the sorted insert that keeps
+        // `deliverable_to_r`'s ascending-slice contract.
+        if self.seen_r.insert(msg.0) {
+            let i = self
+                .ever_sent_to_r
+                .binary_search(&msg)
+                .expect_err("bitset says the value is novel");
             self.ever_sent_to_r.insert(i, msg);
         }
     }
 
     fn send_r(&mut self, msg: RMsg) {
-        if let Err(i) = self.ever_sent_to_s.binary_search(&msg) {
+        if self.seen_s.insert(msg.0) {
+            let i = self
+                .ever_sent_to_s
+                .binary_search(&msg)
+                .expect_err("bitset says the value is novel");
             self.ever_sent_to_s.insert(i, msg);
         }
     }
@@ -101,14 +168,10 @@ impl Channel for DupChannel {
     }
 
     fn deliver_to_r(&mut self, msg: SMsg) -> Result<(), ChannelError> {
-        if self.ever_sent_to_r.binary_search(&msg).is_ok() {
+        if self.seen_r.contains(msg.0) {
             self.deliveries_to_r += 1;
             if self.prov {
-                self.last_delivered_r = self
-                    .origin_r
-                    .binary_search_by_key(&msg, |&(m, _)| m)
-                    .ok()
-                    .map(|i| self.origin_r[i].1);
+                self.last_delivered_r = origin_get(&self.origin_r, msg.0);
             }
             Ok(())
         } else {
@@ -117,14 +180,10 @@ impl Channel for DupChannel {
     }
 
     fn deliver_to_s(&mut self, msg: RMsg) -> Result<(), ChannelError> {
-        if self.ever_sent_to_s.binary_search(&msg).is_ok() {
+        if self.seen_s.contains(msg.0) {
             self.deliveries_to_s += 1;
             if self.prov {
-                self.last_delivered_s = self
-                    .origin_s
-                    .binary_search_by_key(&msg, |&(m, _)| m)
-                    .ok()
-                    .map(|i| self.origin_s[i].1);
+                self.last_delivered_s = origin_get(&self.origin_s, msg.0);
             }
             Ok(())
         } else {
@@ -144,26 +203,14 @@ impl Channel for DupChannel {
         if !self.prov {
             return id;
         }
-        match self.origin_r.binary_search_by_key(&msg, |&(m, _)| m) {
-            Ok(i) => self.origin_r[i].1,
-            Err(i) => {
-                self.origin_r.insert(i, (msg, id));
-                id
-            }
-        }
+        origin_note(&mut self.origin_r, msg.0, id)
     }
 
     fn note_send_r(&mut self, msg: RMsg, id: MsgId) -> MsgId {
         if !self.prov {
             return id;
         }
-        match self.origin_s.binary_search_by_key(&msg, |&(m, _)| m) {
-            Ok(i) => self.origin_s[i].1,
-            Err(i) => {
-                self.origin_s.insert(i, (msg, id));
-                id
-            }
-        }
+        origin_note(&mut self.origin_s, msg.0, id)
     }
 
     fn take_delivered_id_to_r(&mut self) -> Option<MsgId> {
@@ -184,15 +231,18 @@ impl Channel for DupChannel {
 
     fn reset(&mut self) {
         // Clear rather than replace: pooled executors reset between every
-        // run, and keeping the buffers' capacity makes that allocation-free.
+        // run, and keeping the buffers' capacity makes that allocation-free
+        // (the bitset words and dense origin tables are zeroed in place).
         self.ever_sent_to_r.clear();
         self.ever_sent_to_s.clear();
+        self.seen_r.clear();
+        self.seen_s.clear();
         self.deliveries_to_r = 0;
         self.deliveries_to_s = 0;
         // Provenance stays enabled across pooled resets; only the
         // per-run id bookkeeping is wiped.
-        self.origin_r.clear();
-        self.origin_s.clear();
+        self.origin_r.fill(None);
+        self.origin_s.fill(None);
         self.last_delivered_r = None;
         self.last_delivered_s = None;
     }
@@ -328,6 +378,28 @@ mod tests {
         assert_eq!(ch.take_delivered_id_to_r(), None);
     }
 
+    #[test]
+    fn reset_clears_the_bitset_mirror() {
+        // A value sent before reset must not be deliverable after it —
+        // stale bits would break the bitset/vec mirror invariant.
+        let mut ch = DupChannel::new();
+        ch.send_s(SMsg(5));
+        ch.send_r(RMsg(2));
+        ch.reset();
+        assert_eq!(
+            ch.deliver_to_r(SMsg(5)),
+            Err(ChannelError::NotDeliverableToR { msg: SMsg(5) })
+        );
+        assert_eq!(
+            ch.deliver_to_s(RMsg(2)),
+            Err(ChannelError::NotDeliverableToS { msg: RMsg(2) })
+        );
+        assert!(ch.deliverable_to_r().is_empty());
+        // And the channel works normally after the reset.
+        ch.send_s(SMsg(5));
+        assert!(ch.deliver_to_r(SMsg(5)).is_ok());
+    }
+
     proptest! {
         /// The channel never creates messages: anything deliverable was sent.
         #[test]
@@ -342,6 +414,28 @@ mod tests {
             }
             // And everything sent is deliverable (nothing is ever lost).
             prop_assert_eq!(ch.deliverable_to_r().len(), sent.len());
+        }
+
+        /// The bitset mirrors the sorted vec exactly: membership answers
+        /// and the ascending slice agree after any send interleaving.
+        #[test]
+        fn prop_bitset_mirrors_sorted_vec(sends in proptest::collection::vec(0u16..64, 0..80)) {
+            let mut ch = DupChannel::new();
+            for s in &sends {
+                ch.send_s(SMsg(*s));
+            }
+            let mut expected: Vec<u16> = sends.to_vec();
+            expected.sort_unstable();
+            expected.dedup();
+            let slice: Vec<u16> = ch.deliverable_to_r().iter().map(|m| m.0).collect();
+            prop_assert_eq!(slice, expected.clone());
+            for v in 0u16..64 {
+                prop_assert_eq!(
+                    ch.deliver_to_r(SMsg(v)).is_ok(),
+                    expected.contains(&v),
+                    "membership for {}", v
+                );
+            }
         }
     }
 }

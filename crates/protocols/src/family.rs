@@ -377,6 +377,13 @@ pub enum FamilySpec {
 impl FamilySpec {
     /// Instantiates the family the spec describes.
     pub fn build(&self) -> Box<dyn ProtocolFamily> {
+        self.build_sync()
+    }
+
+    /// [`FamilySpec::build`] with the `Sync` bound surfaced in the trait
+    /// object, for executors that share the family across worker threads
+    /// (every concrete family is plain data, so this is free).
+    pub fn build_sync(&self) -> Box<dyn ProtocolFamily + Sync> {
         match *self {
             FamilySpec::Tight { d, policy } => Box::new(TightFamily::new(d, policy)),
             FamilySpec::Naive { d, max_len, policy } => {

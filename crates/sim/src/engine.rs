@@ -175,7 +175,7 @@ pub struct SweepEngine {
 /// One grid cell: scheduler index, index into the family's claimed
 /// sequences, adversary seed. Indices rather than owned sequences keep
 /// the work list allocation-free however large the grid.
-type Cell = (usize, usize, u64);
+pub(crate) type Cell = (usize, usize, u64);
 
 impl SweepEngine {
     /// Wraps a spec.
@@ -190,7 +190,7 @@ impl SweepEngine {
 
     /// Flattens the grid scheduler-major, then sequence, then seed — the
     /// legacy sweep order within each scheduler block.
-    fn work_list(&self, claimed: &[DataSeq]) -> Vec<Cell> {
+    pub(crate) fn work_list(&self, claimed: &[DataSeq]) -> Vec<Cell> {
         let mut work =
             Vec::with_capacity(self.spec.schedulers.len() * claimed.len() * self.spec.seeds.len());
         for sched in 0..self.spec.schedulers.len() {
@@ -396,7 +396,7 @@ impl SweepEngine {
 /// resetting it otherwise. The reset path and the fresh-build path are
 /// behaviourally identical by the component reset contract — the parity
 /// test in `tests/parity.rs` pins this down against the legacy runner.
-fn run_cell(
+pub(crate) fn run_cell(
     worlds: &mut [Option<World>],
     family: &dyn ProtocolFamily,
     spec: &SweepSpec,

@@ -42,6 +42,7 @@ pub mod runner;
 pub mod sessions;
 pub mod shrink;
 pub mod slo;
+pub mod steal;
 pub mod telemetry;
 pub mod threaded;
 pub mod trace;
@@ -79,6 +80,7 @@ pub use slo::{
     stabilization_point, RecoveryEnvelope, RecoveryProbe, SloConfig, StabilizationEnvelope,
     StabilizationProbe,
 };
+pub use steal::{StealReport, StealSweep, DEFAULT_CHUNK};
 pub use telemetry::{
     ExperimentSummary, FrontierRecord, LocalProgress, MemorySink, ProgressMeter, ProgressSnapshot,
     RunRecord, SessionsRecord, Sink, SpanRecord, StabilizationRecord, TelemetryLine,

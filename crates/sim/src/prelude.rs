@@ -32,6 +32,7 @@ pub use crate::slo::{
     probe_recovery, recovery_envelope, recovery_envelope_observed, RecoveryEnvelope, RecoveryProbe,
     SloConfig,
 };
+pub use crate::steal::{StealReport, StealSweep, DEFAULT_CHUNK};
 pub use crate::telemetry::{
     ExperimentSummary, FrontierRecord, LocalProgress, MemorySink, ProgressMeter, ProgressSnapshot,
     RunRecord, SessionsRecord, Sink, SpanRecord, TelemetryLine, TelemetryWriter,

@@ -237,6 +237,49 @@ struct Recipe {
 
 const NO_RECIPE: u32 = u32::MAX;
 
+// A submitted session waiting for a slot. The recipe triple is interned
+// at submit time, so admission — the profiled hot phase — moves a dense
+// struct and a recipe id instead of re-comparing (or even carrying)
+// three component specs per session.
+struct QueuedSession {
+    serial: u64,
+    submitted: u64,
+    rid: u32,
+    input: DataSeq,
+    seed: u64,
+    max_steps: Step,
+    ttl_rounds: Option<u64>,
+}
+
+// The serial index maps *sequential* per-shard serials to slot states;
+// SipHash's DoS resistance buys nothing against keys this engine mints
+// itself and its per-insert cost showed up squarely in the admission
+// phase profile. Fibonacci multiplicative hashing scrambles sequential
+// keys across buckets in one multiply.
+#[derive(Default)]
+struct SerialHasher(u64);
+
+impl Hasher for SerialHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Only reached for non-u64 keys (none today): FNV-1a fallback.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type SerialMap<V> = HashMap<u64, V, std::hash::BuildHasherDefault<SerialHasher>>;
+
 /// One shard of the session store: fixed-capacity slot columns, a recipe
 /// table, an admission queue, and a completion buffer.
 ///
@@ -284,8 +327,8 @@ pub struct SessionEngine {
     // admissions waiting for capacity.
     active: Vec<u32>,
     virgin: Vec<u32>,
-    queue: VecDeque<(u64, u64, SessionSpec)>,
-    index: HashMap<u64, SlotState>,
+    queue: VecDeque<QueuedSession>,
+    index: SerialMap<SlotState>,
     completed: Vec<SessionOutcome>,
     next_serial: u64,
     recycled: u64,
@@ -361,7 +404,7 @@ impl SessionEngine {
             active: Vec::with_capacity(capacity),
             virgin: (0..capacity as u32).rev().collect(),
             queue: VecDeque::new(),
-            index: HashMap::new(),
+            index: SerialMap::default(),
             completed: Vec::new(),
             next_serial: 0,
             recycled: 0,
@@ -460,7 +503,19 @@ impl SessionEngine {
                 submitted: self.round,
             },
         );
-        self.queue.push_back((serial, self.round, spec));
+        // Intern the recipe triple now: every later admission keys the
+        // slot search and provisioning off the id alone, never
+        // re-comparing (or reconstructing) the component specs.
+        let rid = self.intern(&spec) as u32;
+        self.queue.push_back(QueuedSession {
+            serial,
+            submitted: self.round,
+            rid,
+            input: spec.input,
+            seed: spec.seed,
+            max_steps: spec.max_steps,
+            ttl_rounds: spec.ttl_rounds,
+        });
         serial
     }
 
@@ -497,9 +552,9 @@ impl SessionEngine {
                 let at = self
                     .queue
                     .iter()
-                    .position(|(s, _, _)| *s == serial)
+                    .position(|q| q.serial == serial)
                     .expect("queued serial is in the queue");
-                let (_, _, spec) = self.queue.remove(at).expect("position came from the queue");
+                let q = self.queue.remove(at).expect("position came from the queue");
                 let outcome = SessionOutcome {
                     id: SessionId::new(self.shard, serial),
                     fate: SessionFate::Disconnected,
@@ -511,7 +566,7 @@ impl SessionEngine {
                         deliveries_s: 0,
                         drops: 0,
                         written: 0,
-                        input_len: spec.input.len(),
+                        input_len: q.input.len(),
                         safe: true,
                         write_steps: Vec::new(),
                     },
@@ -555,7 +610,18 @@ impl SessionEngine {
         let prof = prof.as_deref();
         match prof {
             Some(p) if !self.queue.is_empty() && self.active.len() < self.capacity => {
-                p.time(Phase::Admission, || self.admit_from_queue());
+                // Admission windows are sampled at the same 1-in-period
+                // rate as the step-quantum and retire windows, so phase
+                // shares stay comparable. (Timing every admission round
+                // against 1-in-period step samples overcounted admission
+                // by the sampling period — the profile that motivated
+                // the fast path read 77% where the true share was ~3%.)
+                self.prof_tick += 1;
+                if p.sample(self.prof_tick) {
+                    p.time(Phase::Admission, || self.admit_from_queue());
+                } else {
+                    self.admit_from_queue();
+                }
             }
             _ => self.admit_from_queue(),
         }
@@ -615,11 +681,16 @@ impl SessionEngine {
     }
 
     fn admit_from_queue(&mut self) {
-        while self.active.len() < self.capacity {
-            let Some((serial, submitted, spec)) = self.queue.pop_front() else {
+        // Batch admission: the free-slot budget is computed once and the
+        // loop pops exactly that many entries — each admission is a
+        // dense-struct move plus a recipe-id-keyed slot reset.
+        let mut budget = self.capacity - self.active.len();
+        while budget > 0 {
+            let Some(q) = self.queue.pop_front() else {
                 break;
             };
-            self.admit(serial, submitted, spec);
+            self.admit(q);
+            budget -= 1;
         }
     }
 
@@ -650,12 +721,20 @@ impl SessionEngine {
         self.recipes.len() - 1
     }
 
-    fn admit(&mut self, serial: u64, submitted: u64, spec: SessionSpec) {
+    fn admit(&mut self, q: QueuedSession) {
         debug_assert!(self.active.len() < self.capacity);
-        let rid = self.intern(&spec);
+        let QueuedSession {
+            serial,
+            submitted,
+            rid,
+            input,
+            seed,
+            max_steps,
+            ttl_rounds,
+        } = q;
         // Prefer a slot that last ran this exact recipe (reset in place),
         // then a virgin slot, then cannibalize any other free slot.
-        let slot = self.recipes[rid]
+        let slot = self.recipes[rid as usize]
             .free
             .pop()
             .or_else(|| self.virgin.pop())
@@ -670,34 +749,64 @@ impl SessionEngine {
         if let Some(m) = &self.metrics {
             m.note_admitted(prev != NO_RECIPE);
         }
-        let (prev_family, prev_channel, prev_scheduler) = if prev == NO_RECIPE {
-            (None, None, None)
+        if prev == rid {
+            // Recipe-keyed fast path (the recipe's own free list hit, the
+            // overwhelmingly common case under steady churn): interned
+            // equality already proves the slot's machines were built from
+            // this exact triple, so reset them in place without the three
+            // spec comparisons `provision` would repeat per admission.
+            // Behaviourally identical to the provision path by the reset
+            // contract — `sessions_parity` pins this bit-for-bit.
+            self.senders[slot]
+                .as_mut()
+                .expect("recycled slot has a sender")
+                .reset(&input);
+            self.receivers[slot]
+                .as_mut()
+                .expect("recycled slot has a receiver")
+                .reset();
+            self.channels[slot]
+                .as_mut()
+                .expect("recycled slot has a channel")
+                .reset();
+            self.schedulers[slot]
+                .as_mut()
+                .expect("recycled slot has a scheduler")
+                .reset(seed);
         } else {
-            let r = &self.recipes[prev as usize];
-            (Some(&r.family), Some(&r.channel), Some(&r.scheduler))
-        };
-        spec.family.provision(
-            prev_family,
-            &spec.input,
-            &mut self.senders[slot],
-            &mut self.receivers[slot],
-        );
-        spec.channel
-            .provision(&mut self.channels[slot], prev_channel);
-        spec.scheduler
-            .provision(&mut self.schedulers[slot], prev_scheduler, spec.seed);
+            let (prev_family, prev_channel, prev_scheduler) = if prev == NO_RECIPE {
+                (None, None, None)
+            } else {
+                let r = &self.recipes[prev as usize];
+                (Some(&r.family), Some(&r.channel), Some(&r.scheduler))
+            };
+            self.recipes[rid as usize].family.provision(
+                prev_family,
+                &input,
+                &mut self.senders[slot],
+                &mut self.receivers[slot],
+            );
+            self.recipes[rid as usize]
+                .channel
+                .provision(&mut self.channels[slot], prev_channel);
+            self.recipes[rid as usize].scheduler.provision(
+                &mut self.schedulers[slot],
+                prev_scheduler,
+                seed,
+            );
+        }
 
-        self.slot_recipe[slot] = rid as u32;
-        self.seeds[slot] = spec.seed;
+        self.slot_recipe[slot] = rid;
+        self.seeds[slot] = seed;
         self.admitted_round[slot] = self.round;
         self.stall_at[slot] = match &self.watchdog {
             Some(w) => self.round.saturating_add(w.threshold_rounds(
-                healthy_step_bound(&spec.family, spec.input.len()),
+                healthy_step_bound(&self.recipes[rid as usize].family, input.len()),
                 self.quantum,
             )),
             None => u64::MAX,
         };
-        self.inputs[slot] = spec.input;
+        self.inputs[slot] = input;
         self.serials[slot] = serial;
         self.steps[slot] = 0;
         self.written[slot] = 0;
@@ -708,10 +817,8 @@ impl SessionEngine {
         self.deliveries_s[slot] = 0;
         self.drops[slot] = 0;
         self.write_steps[slot].clear();
-        self.deadline[slot] = spec.max_steps;
-        self.expires[slot] = spec
-            .ttl_rounds
-            .map_or(u64::MAX, |ttl| self.round.saturating_add(ttl));
+        self.deadline[slot] = max_steps;
+        self.expires[slot] = ttl_rounds.map_or(u64::MAX, |ttl| self.round.saturating_add(ttl));
         self.submitted[slot] = submitted;
         self.active.push(slot as u32);
         self.index

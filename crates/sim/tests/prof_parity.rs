@@ -84,6 +84,35 @@ fn profiled_sweep_is_bit_identical_to_unprofiled() {
     }
 }
 
+#[test]
+fn profiled_steal_lane_keeps_coverage_and_parity() {
+    // The parallel lane must not dilute attribution: each steal worker
+    // samples every period-th of its own cells, so aggregate coverage
+    // stays ≥95% however many workers split the grid — and profiling a
+    // stolen sweep changes nothing about its results.
+    for (fname, family) in families() {
+        for (cname, channel) in channels() {
+            let spec = sweep_spec(channel);
+            let built = family.build_sync();
+            let sweep = StealSweep::new(spec, 4).chunk(4);
+            let plain = sweep.run(&*built);
+            let prof = PhaseProfiler::new(1);
+            let profiled = sweep.run_profiled(&*built, &prof);
+            assert_eq!(
+                plain.runs, profiled.runs,
+                "{fname}/{cname}: profiled steal lane must be bit-identical"
+            );
+            let record = prof.report("prof_parity", "steal");
+            assert!(record.windows > 0, "{fname}/{cname}: windows recorded");
+            assert!(
+                record.coverage >= 0.95,
+                "{fname}/{cname}: parallel-lane coverage {:.3} below floor",
+                record.coverage
+            );
+        }
+    }
+}
+
 fn engine_lap(engine: &mut SessionEngine, specs: &[SessionSpec]) -> Vec<RunStats> {
     let serials: Vec<u64> = specs.iter().map(|s| engine.submit(s.clone())).collect();
     assert!(
